@@ -1,0 +1,48 @@
+// Ablation A4: the Gaussian discretization intervals alpha (direction)
+// and beta (offset) of Eq. 5.  The paper sets alpha = 20 deg and
+// beta = 1 m "based on the standard deviations of the direction and
+// offset measurements in the motion database"; this sweep shows the
+// sensitivity around those choices.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Ablation A4: discretization intervals alpha / beta "
+              "(6 APs) ===\n\n");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ablation_alpha_beta.csv",
+                      {"alpha_deg", "beta_m", "accuracy", "mean_err_m"});
+
+  std::printf("alpha sweep (beta = 1 m):\n");
+  std::printf("%-10s %-10s %-10s\n", "alpha_deg", "accuracy", "mean_err");
+  for (double alpha : {5.0, 10.0, 20.0, 30.0, 45.0, 90.0}) {
+    eval::WorldConfig config;
+    config.moloc.matcher.alphaDeg = alpha;
+    const auto run = bench::runPaired(config);
+    std::printf("%-10.0f %-10.3f %-10.2f%s\n", alpha,
+                run.moloc.accuracy(), run.moloc.meanError(),
+                alpha == 20.0 ? "   <- paper's setting" : "");
+    csv.cell(alpha).cell(1.0).cell(run.moloc.accuracy())
+        .cell(run.moloc.meanError()).endRow();
+  }
+
+  std::printf("\nbeta sweep (alpha = 20 deg):\n");
+  std::printf("%-10s %-10s %-10s\n", "beta_m", "accuracy", "mean_err");
+  for (double beta : {0.25, 0.5, 1.0, 2.0, 3.0}) {
+    eval::WorldConfig config;
+    config.moloc.matcher.betaMeters = beta;
+    const auto run = bench::runPaired(config);
+    std::printf("%-10.2f %-10.3f %-10.2f%s\n", beta,
+                run.moloc.accuracy(), run.moloc.meanError(),
+                beta == 1.0 ? "   <- paper's setting" : "");
+    csv.cell(20.0).cell(beta).cell(run.moloc.accuracy())
+        .cell(run.moloc.meanError()).endRow();
+  }
+  std::printf("rows written to %s/ablation_alpha_beta.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

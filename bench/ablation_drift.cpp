@@ -1,0 +1,35 @@
+// Ablation A5: radio-map staleness.  The paper's motivation names
+// "temporal variations of wireless signals" as a root cause of
+// fingerprint ambiguity; this sweep ages the radio map with a
+// serving-time drift field and shows MoLoc degrading far more
+// gracefully than memoryless fingerprinting.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Ablation A5: radio-map staleness (6 APs) ===\n");
+  std::printf("%-12s %-12s %-12s %-12s %-12s\n", "drift_dB",
+              "moloc_acc", "wifi_acc", "moloc_mean", "wifi_mean");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ablation_drift.csv",
+                      {"drift_db", "moloc_accuracy", "wifi_accuracy",
+                       "moloc_mean_err_m", "wifi_mean_err_m"});
+
+  for (double drift : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    eval::WorldConfig config;
+    config.propagation.driftSigmaDb = drift;
+    const auto run = bench::runPaired(config);
+    std::printf("%-12.1f %-12.3f %-12.3f %-12.2f %-12.2f\n", drift,
+                run.moloc.accuracy(), run.wifi.accuracy(),
+                run.moloc.meanError(), run.wifi.meanError());
+    csv.cell(drift).cell(run.moloc.accuracy()).cell(run.wifi.accuracy())
+        .cell(run.moloc.meanError()).cell(run.wifi.meanError()).endRow();
+  }
+  std::printf("rows written to %s/ablation_drift.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation A1: the candidate-set size k.  The paper keeps k implicit;
+// this sweep shows the trade-off the engine design implies: k = 1
+// degenerates to plain fingerprinting (no candidate set to carry), and
+// accuracy saturates once the set reliably contains the truth.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Ablation A1: candidate-set size k (6 APs) ===\n");
+  std::printf("%-4s %-10s %-12s %-10s\n", "k", "accuracy", "mean_err_m",
+              "max_err_m");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ablation_k.csv",
+                      {"k", "accuracy", "mean_err_m", "max_err_m"});
+
+  for (std::size_t k : {1, 2, 4, 8, 12, 20, 28}) {
+    eval::WorldConfig config;
+    config.moloc.candidateCount = k;
+    const auto run = bench::runPaired(config);
+    std::printf("%-4zu %-10.3f %-12.2f %-10.2f\n", k,
+                run.moloc.accuracy(), run.moloc.meanError(),
+                run.moloc.maxError());
+    csv.cell(k).cell(run.moloc.accuracy()).cell(run.moloc.meanError())
+        .cell(run.moloc.maxError()).endRow();
+  }
+  std::printf("rows written to %s/ablation_k.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

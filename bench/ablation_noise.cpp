@@ -1,0 +1,38 @@
+// Ablation A8: channel-noise sensitivity.  Sweeps the per-scan
+// temporal RSS noise — the knob that manufactures fingerprint
+// ambiguity — and shows where memoryless fingerprinting collapses
+// while the motion term keeps MoLoc serviceable.  Also makes the
+// calibration transparent: the default 6.5 dB was chosen to land the
+// *baseline* in the paper's 40-55 % regime (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Ablation A8: per-scan RSS noise sweep (6 APs) ===\n");
+  std::printf("%-12s %-12s %-12s %-12s %-12s\n", "noise_dB",
+              "moloc_acc", "wifi_acc", "moloc_mean", "wifi_mean");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ablation_noise.csv",
+                      {"temporal_sigma_db", "moloc_accuracy",
+                       "wifi_accuracy", "moloc_mean_err_m",
+                       "wifi_mean_err_m"});
+
+  for (double noise : {3.0, 4.5, 5.5, 6.5, 7.5, 9.0}) {
+    eval::WorldConfig config;
+    config.propagation.temporalSigmaDb = noise;
+    const auto run = bench::runPaired(config);
+    std::printf("%-12.1f %-12.3f %-12.3f %-12.2f %-12.2f%s\n", noise,
+                run.moloc.accuracy(), run.wifi.accuracy(),
+                run.moloc.meanError(), run.wifi.meanError(),
+                noise == 6.5 ? "   <- default" : "");
+    csv.cell(noise).cell(run.moloc.accuracy()).cell(run.wifi.accuracy())
+        .cell(run.moloc.meanError()).cell(run.wifi.meanError()).endRow();
+  }
+  std::printf("rows written to %s/ablation_noise.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A7: crowdsourcing volume.  The paper's efficiency principle
+// argues crowdsourcing makes motion-database construction cheap; this
+// sweep shows how much walking the crowd actually has to do — accuracy
+// and motion-DB coverage as a function of the number of training walks.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Ablation A7: crowdsourcing training volume "
+              "(6 APs) ===\n");
+  std::printf("%-10s %-8s %-10s %-12s\n", "walks", "pairs", "accuracy",
+              "mean_err_m");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ablation_training.csv",
+                      {"training_walks", "pairs_learned", "accuracy",
+                       "mean_err_m"});
+
+  for (int walks : {10, 25, 50, 100, 150, 300}) {
+    eval::WorldConfig config;
+    config.trainingTraces = walks;
+    eval::ExperimentWorld world(config);
+    eval::ErrorStats moloc;
+    for (const auto& outcome : eval::runComparison(
+             world, bench::kTestTraces, bench::kLegsPerTrace))
+      moloc.addAll(outcome.moloc);
+
+    std::printf("%-10d %-8zu %-10.3f %-12.2f%s\n", walks,
+                world.builderReport().pairsStored, moloc.accuracy(),
+                moloc.meanError(),
+                walks == 150 ? "   <- paper's volume" : "");
+    csv.cell(walks).cell(world.builderReport().pairsStored)
+        .cell(moloc.accuracy()).cell(moloc.meanError()).endRow();
+  }
+  std::printf("rows written to %s/ablation_training.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction binaries: the
+// paper's test protocol (34 walks, 12 legs each, users cycled) and
+// uniform printing of error CDFs and summary rows.  Each binary also
+// dumps its series to CSV under bench_results/ so the figures can be
+// re-plotted offline.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/convergence.hpp"
+#include "eval/experiment_world.hpp"
+#include "util/csv.hpp"
+
+namespace moloc::bench {
+
+/// The paper's test workload (Sec. VI.A): 34 held-out walks.
+inline constexpr int kTestTraces = 34;
+inline constexpr int kLegsPerTrace = 12;
+
+/// Where CSV series land; created on demand.
+inline std::string resultsDir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Paired per-walk records for one AP configuration.
+struct PairedRun {
+  int apCount = 0;
+  eval::ErrorStats moloc;
+  eval::ErrorStats wifi;
+  std::vector<std::vector<eval::LocalizationRecord>> molocWalks;
+  std::vector<std::vector<eval::LocalizationRecord>> wifiWalks;
+};
+
+/// Runs the paper's test protocol against a freshly built world.
+inline PairedRun runPaired(const eval::WorldConfig& config,
+                           int traces = kTestTraces,
+                           int legs = kLegsPerTrace) {
+  eval::ExperimentWorld world(config);
+  PairedRun run;
+  run.apCount = config.apCount;
+  for (const auto& outcome : eval::runComparison(world, traces, legs)) {
+    run.moloc.addAll(outcome.moloc);
+    run.wifi.addAll(outcome.wifi);
+    run.molocWalks.push_back(outcome.moloc);
+    run.wifiWalks.push_back(outcome.wifi);
+  }
+  return run;
+}
+
+/// Prints one CDF as "value cumulative" rows, downsampled.
+inline void printCdf(const char* label,
+                     const std::vector<util::CdfPoint>& cdf) {
+  std::printf("  %s CDF (error_m -> cumulative):\n", label);
+  for (const auto& point : cdf)
+    std::printf("    %6.2f  %.3f\n", point.value, point.cumulative);
+}
+
+/// Writes paired CDFs to CSV: columns method,error_m,cumulative.
+inline void writeCdfCsv(const std::string& path,
+                        const eval::ErrorStats& moloc,
+                        const eval::ErrorStats& wifi) {
+  util::CsvWriter csv(path, {"method", "error_m", "cumulative"});
+  for (const auto& point : moloc.cdf())
+    csv.cell("moloc").cell(point.value).cell(point.cumulative).endRow();
+  for (const auto& point : wifi.cdf())
+    csv.cell("wifi").cell(point.value).cell(point.cumulative).endRow();
+}
+
+}  // namespace moloc::bench

@@ -1,0 +1,124 @@
+// Extension E1: the related-work comparators on the same test workload.
+//  - HMM (accelerometer-assisted, ref. [23]): full-state belief with
+//    offset-matched transitions but no direction information.
+//  - Dead reckoning: the initial fingerprint fix plus pure inertial
+//    integration (no re-anchoring).
+// The paper argues MoLoc beats the HMM on both accuracy-convergence and
+// computational cost; this bench reproduces the accuracy side (the cost
+// side is in micro_engine).
+
+#include <cstdio>
+
+#include "baseline/dead_reckoning.hpp"
+#include "baseline/hmm_localizer.hpp"
+#include "baseline/knn_averaging.hpp"
+#include "baseline/particle_filter.hpp"
+#include "baseline/wifi_fingerprinting.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Extension E1: comparator methods (6 APs) ===\n");
+  std::printf("%-16s %-10s %-12s %-10s\n", "method", "accuracy",
+              "mean_err_m", "max_err_m");
+
+  eval::WorldConfig config;
+  eval::ExperimentWorld world(config);
+
+  const baseline::WifiFingerprinting wifi(world.fingerprintDb());
+  baseline::HmmLocalizer hmm(world.fingerprintDb(), world.hall().graph);
+  baseline::ParticleFilter particles(world.hall().plan,
+                                     world.fingerprintDb());
+  const baseline::KnnAveraging knn(world.hall().plan,
+                                   world.fingerprintDb(), 3);
+  auto engine = world.makeEngine();
+
+  eval::ErrorStats wifiStats, hmmStats, molocStats, drStats, pfStats,
+      knnStats;
+
+  for (int t = 0; t < bench::kTestTraces; ++t) {
+    const auto& user =
+        world.users()[static_cast<std::size_t>(t) % world.users().size()];
+    const auto trace =
+        world.makeTrace(user, bench::kLegsPerTrace, world.evalRng());
+
+    engine.reset();
+    hmm.reset();
+    particles.reset();
+    baseline::DeadReckoning dr(world.hall().plan, world.fingerprintDb());
+
+    auto record = [&world](env::LocationId estimated,
+                           env::LocationId truth) {
+      return eval::LocalizationRecord{
+          estimated, truth, world.locationDistance(estimated, truth)};
+    };
+
+    const auto initialMoloc = engine.localize(trace.initialScan,
+                                              std::nullopt);
+    const auto initialWifi = wifi.localize(trace.initialScan);
+    const auto initialHmm = hmm.update(trace.initialScan, std::nullopt);
+    const auto initialPf = particles.update(trace.initialScan,
+                                            std::nullopt);
+    dr.initialize(trace.initialScan);
+    pfStats.add(record(initialPf, trace.startTruth));
+    knnStats.add(record(knn.localize(trace.initialScan), trace.startTruth));
+    molocStats.add(record(initialMoloc.location, trace.startTruth));
+    wifiStats.add(record(initialWifi, trace.startTruth));
+    hmmStats.add(record(initialHmm, trace.startTruth));
+
+    for (const auto& interval : trace.intervals) {
+      const auto motion = world.processInterval(interval, user);
+
+      const auto molocFix = engine.localize(interval.scanAtArrival,
+                                            motion);
+      molocStats.add(record(molocFix.location, interval.toTruth));
+
+      wifiStats.add(
+          record(wifi.localize(interval.scanAtArrival), interval.toTruth));
+
+      const auto hmmFix = hmm.update(
+          interval.scanAtArrival,
+          motion ? std::optional<double>(motion->offsetMeters)
+                 : std::nullopt);
+      hmmStats.add(record(hmmFix, interval.toTruth));
+
+      const auto pfFix = particles.update(interval.scanAtArrival, motion);
+      pfStats.add(record(pfFix, interval.toTruth));
+
+      knnStats.add(record(knn.localize(interval.scanAtArrival),
+                          interval.toTruth));
+
+      if (motion) {
+        drStats.add(record(dr.update(*motion), interval.toTruth));
+      }
+    }
+  }
+
+  util::CsvWriter csv(bench::resultsDir() + "/ext_comparators.csv",
+                      {"method", "accuracy", "mean_err_m", "max_err_m"});
+  const struct {
+    const char* name;
+    const eval::ErrorStats* stats;
+  } rows[] = {{"moloc", &molocStats},
+              {"particle-filter", &pfStats},
+              {"hmm", &hmmStats},
+              {"knn-averaging", &knnStats},
+              {"wifi", &wifiStats},
+              {"dead-reckoning", &drStats}};
+  for (const auto& row : rows) {
+    std::printf("%-16s %-10.3f %-12.2f %-10.2f\n", row.name,
+                row.stats->accuracy(), row.stats->meanError(),
+                row.stats->maxError());
+    csv.cell(row.name).cell(row.stats->accuracy())
+        .cell(row.stats->meanError()).cell(row.stats->maxError()).endRow();
+  }
+  std::printf("\nexpected ordering: moloc > particle-filter/hmm > wifi; dead "
+              "reckoning drifts over the walk.\n(knn-averaging scores low on "
+              "*exact-location* accuracy by construction: averaging pulls\n"
+              "the estimate off the grid, and between twins it lands in "
+              "no-man's-land.)\n");
+  std::printf("rows written to %s/ext_comparators.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Extension E5: offline trace smoothing.  The causal engine pays an
+// EL penalty after an erroneous initial fix (Table I); a server that
+// sees the whole walk can run Viterbi over the same fingerprint and
+// motion models and fix early errors retroactively.  This bench
+// measures how much of Table I's EL the offline pass recovers.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/trace_smoother.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Extension E5: online engine vs offline Viterbi "
+              "smoothing ===\n");
+  std::printf("%-6s %-14s %-14s %-16s %-16s\n", "APs", "online_acc",
+              "offline_acc", "online_initacc", "offline_initacc");
+
+  util::CsvWriter csv(bench::resultsDir() + "/ext_smoother.csv",
+                      {"aps", "online_accuracy", "offline_accuracy",
+                       "online_initial_accuracy",
+                       "offline_initial_accuracy"});
+
+  for (int aps : {4, 5, 6}) {
+    eval::WorldConfig config;
+    config.apCount = aps;
+    eval::ExperimentWorld world(config);
+    const core::TraceSmoother smoother(world.fingerprintDb(),
+                                       world.motionDb(), config.moloc);
+    auto engine = world.makeEngine();
+
+    eval::ErrorStats online;
+    eval::ErrorStats offline;
+    int initialTotal = 0;
+    int onlineInitialCorrect = 0;
+    int offlineInitialCorrect = 0;
+
+    for (int t = 0; t < bench::kTestTraces; ++t) {
+      const auto& user = world.users()[static_cast<std::size_t>(t) %
+                                       world.users().size()];
+      const auto trace =
+          world.makeTrace(user, bench::kLegsPerTrace, world.evalRng());
+
+      std::vector<radio::Fingerprint> scans{trace.initialScan};
+      std::vector<std::optional<sensors::MotionMeasurement>> motions;
+      std::vector<env::LocationId> truth{trace.startTruth};
+      for (const auto& interval : trace.intervals) {
+        scans.push_back(interval.scanAtArrival);
+        motions.push_back(world.processInterval(interval, user));
+        truth.push_back(interval.toTruth);
+      }
+
+      engine.reset();
+      std::vector<env::LocationId> onlinePath;
+      onlinePath.push_back(
+          engine.localize(scans[0], std::nullopt).location);
+      for (std::size_t s = 1; s < scans.size(); ++s)
+        onlinePath.push_back(
+            engine.localize(scans[s], motions[s - 1]).location);
+
+      const auto offlinePath = smoother.smooth(scans, motions);
+
+      for (std::size_t s = 0; s < truth.size(); ++s) {
+        online.add({onlinePath[s], truth[s],
+                    world.locationDistance(onlinePath[s], truth[s])});
+        offline.add({offlinePath[s], truth[s],
+                     world.locationDistance(offlinePath[s], truth[s])});
+      }
+      ++initialTotal;
+      if (onlinePath[0] == truth[0]) ++onlineInitialCorrect;
+      if (offlinePath[0] == truth[0]) ++offlineInitialCorrect;
+    }
+
+    const double onlineInit =
+        static_cast<double>(onlineInitialCorrect) / initialTotal;
+    const double offlineInit =
+        static_cast<double>(offlineInitialCorrect) / initialTotal;
+    std::printf("%-6d %-14.3f %-14.3f %-16.3f %-16.3f\n", aps,
+                online.accuracy(), offline.accuracy(), onlineInit,
+                offlineInit);
+    csv.cell(aps).cell(online.accuracy()).cell(offline.accuracy())
+        .cell(onlineInit).cell(offlineInit).endRow();
+  }
+  std::printf("\n(initacc = accuracy of the *first* fix of each walk — "
+              "the fix the causal engine\ncannot help and the offline "
+              "pass corrects retroactively.)\n");
+  std::printf("rows written to %s/ext_smoother.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Fig. 6: validity of the crowdsourced motion database.
+// For every learned pair, the direction / offset means are compared
+// with the map-derived ground truth of the same walkable leg, and the
+// error CDFs are printed (paper: direction median 3 deg / max 15 deg;
+// offset median 0.13 m / max 0.46 m).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "geometry/angles.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace moloc;
+
+  eval::WorldConfig config;  // 6 APs, paper-scale training.
+  eval::ExperimentWorld world(config);
+
+  const auto& graph = world.hall().graph;
+  const auto& motionDb = world.motionDb();
+
+  std::vector<double> directionErrors;
+  std::vector<double> offsetErrors;
+  std::size_t learnedPairs = 0;
+  std::size_t truePairs = 0;
+
+  for (env::LocationId i = 0;
+       i < static_cast<env::LocationId>(graph.nodeCount()); ++i) {
+    for (const auto& edge : graph.neighbors(i)) {
+      if (edge.to < i) continue;  // Each undirected leg once.
+      ++truePairs;
+      const auto learned = motionDb.entry(i, edge.to);
+      if (!learned) continue;
+      ++learnedPairs;
+      directionErrors.push_back(geometry::angularDistDeg(
+          learned->muDirectionDeg, edge.headingDeg));
+      offsetErrors.push_back(
+          std::abs(learned->muOffsetMeters - edge.length));
+    }
+  }
+
+  const auto& report = world.builderReport();
+  std::printf("=== Fig. 6: validity of the motion database ===\n");
+  std::printf("training: %d crowdsourced walks, %zu observations "
+              "(%zu rejected coarse, %zu rejected fine)\n",
+              config.trainingTraces, report.observations,
+              report.rejectedCoarse, report.rejectedFine);
+  std::printf("coverage: %zu of %zu walkable legs learned\n\n",
+              learnedPairs, truePairs);
+
+  std::printf("(a) direction errors [deg]   (paper: median 3, max 15)\n");
+  std::printf("    median %.1f  mean %.1f  max %.1f\n",
+              util::median(directionErrors), util::mean(directionErrors),
+              util::maxValue(directionErrors));
+  for (const auto& point : util::sampledCdf(directionErrors, 10))
+    std::printf("    %6.2f deg -> %.3f\n", point.value, point.cumulative);
+
+  std::printf("\n(b) offset errors [m]        (paper: median 0.13, "
+              "max 0.46)\n");
+  std::printf("    median %.2f  mean %.2f  max %.2f\n",
+              util::median(offsetErrors), util::mean(offsetErrors),
+              util::maxValue(offsetErrors));
+  for (const auto& point : util::sampledCdf(offsetErrors, 10))
+    std::printf("    %6.2f m   -> %.3f\n", point.value, point.cumulative);
+
+  util::CsvWriter csv(bench::resultsDir() + "/fig6_motion_db.csv",
+                      {"metric", "error", "cumulative"});
+  for (const auto& point : util::empiricalCdf(directionErrors))
+    csv.cell("direction_deg").cell(point.value).cell(point.cumulative)
+        .endRow();
+  for (const auto& point : util::empiricalCdf(offsetErrors))
+    csv.cell("offset_m").cell(point.value).cell(point.cumulative)
+        .endRow();
+  std::printf("\nseries written to %s/fig6_motion_db.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

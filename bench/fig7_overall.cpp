@@ -1,0 +1,46 @@
+// Reproduces Fig. 7: CDFs of overall localization error, MoLoc vs the
+// WiFi fingerprinting baseline, with 4, 5 and 6 APs.  The paper reports
+// average accuracies of 75/82/86 % for MoLoc vs 31/36/43 % for WiFi,
+// a ~4 m reduction in maximum error, and (headline) a MoLoc mean error
+// under 1 m.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Fig. 7: overall localization error, MoLoc vs WiFi "
+              "===\n");
+  std::printf("protocol: %d test walks x %d legs, users cycled\n\n",
+              bench::kTestTraces, bench::kLegsPerTrace);
+
+  for (int aps : {4, 5, 6}) {
+    eval::WorldConfig config;
+    config.apCount = aps;
+    const auto run = bench::runPaired(config);
+
+    std::printf("--- %d APs ---\n", aps);
+    std::printf("  accuracy: moloc %.0f%%  wifi %.0f%%  (paper: "
+                "%s)\n",
+                run.moloc.accuracy() * 100.0, run.wifi.accuracy() * 100.0,
+                aps == 4   ? "75% vs 31%"
+                : aps == 5 ? "82% vs 36%"
+                           : "86% vs 43%");
+    std::printf("  mean error: moloc %.2f m  wifi %.2f m\n",
+                run.moloc.meanError(), run.wifi.meanError());
+    std::printf("  max error:  moloc %.2f m  wifi %.2f m\n",
+                run.moloc.maxError(), run.wifi.maxError());
+    bench::printCdf("moloc", run.moloc.cdf(10));
+    bench::printCdf("wifi", run.wifi.cdf(10));
+
+    bench::writeCdfCsv(bench::resultsDir() + "/fig7_overall_" +
+                           std::to_string(aps) + "ap.csv",
+                       run.moloc, run.wifi);
+    std::printf("\n");
+  }
+  std::printf("series written to %s/fig7_overall_{4,5,6}ap.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks backing the paper's efficiency claims (Sec. V.C):
+// MoLoc "minimizes the computational complexity so as to save energy",
+// and the related-work HMM carries "high computational overhead".
+// Measures the per-query cost of each pipeline stage and of the
+// full-state HMM comparator on the paper-scale world.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "baseline/hmm_localizer.hpp"
+#include "baseline/particle_filter.hpp"
+#include "core/localization_session.hpp"
+#include "baseline/wifi_fingerprinting.hpp"
+#include "eval/experiment_world.hpp"
+
+namespace {
+
+using namespace moloc;
+
+/// One world shared by all benchmarks (construction is not measured).
+eval::ExperimentWorld& world() {
+  static eval::ExperimentWorld instance{eval::WorldConfig{}};
+  return instance;
+}
+
+radio::Fingerprint probeScan() {
+  static const radio::Fingerprint scan = [] {
+    util::Rng rng(77);
+    return world().radio().scan({20.4, 8.0}, 90.0, rng);
+  }();
+  return scan;
+}
+
+void BM_FingerprintNearest(benchmark::State& state) {
+  const baseline::WifiFingerprinting wifi(world().fingerprintDb());
+  const auto scan = probeScan();
+  for (auto _ : state) benchmark::DoNotOptimize(wifi.localize(scan));
+}
+BENCHMARK(BM_FingerprintNearest);
+
+void BM_CandidateQuery(benchmark::State& state) {
+  const auto scan = probeScan();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(world().fingerprintDb().query(scan, k));
+}
+BENCHMARK(BM_CandidateQuery)->Arg(1)->Arg(5)->Arg(12)->Arg(28);
+
+void BM_MotionPairProbability(benchmark::State& state) {
+  const core::MotionMatcher matcher(world().motionDb());
+  const sensors::MotionMeasurement motion{90.0, 5.7};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(matcher.pairProbability(0, 1, motion));
+}
+BENCHMARK(BM_MotionPairProbability);
+
+void BM_MoLocLocalize(benchmark::State& state) {
+  auto engine = world().makeEngine();
+  const auto scan = probeScan();
+  engine.localize(scan, std::nullopt);
+  const sensors::MotionMeasurement motion{90.0, 5.7};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.localize(scan, motion));
+}
+BENCHMARK(BM_MoLocLocalize);
+
+void BM_HmmUpdate(benchmark::State& state) {
+  baseline::HmmLocalizer hmm(world().fingerprintDb(),
+                             world().hall().graph);
+  const auto scan = probeScan();
+  hmm.update(scan, std::nullopt);
+  for (auto _ : state) benchmark::DoNotOptimize(hmm.update(scan, 5.7));
+}
+BENCHMARK(BM_HmmUpdate);
+
+void BM_MotionDbLookup(benchmark::State& state) {
+  const auto& db = world().motionDb();
+  for (auto _ : state) benchmark::DoNotOptimize(db.entry(0, 1));
+}
+BENCHMARK(BM_MotionDbLookup);
+
+void BM_MotionDbBuild(benchmark::State& state) {
+  // Rebuild the sanitation pipeline over a synthetic intake of the
+  // given size.
+  const auto observations = state.range(0);
+  core::MotionDatabaseBuilder builder(world().hall().plan);
+  util::Rng rng(5);
+  const auto& graph = world().hall().graph;
+  for (long i = 0; i < observations; ++i) {
+    const auto from = static_cast<env::LocationId>(
+        rng.uniformInt(0, static_cast<int>(graph.nodeCount()) - 1));
+    const auto neighbors = graph.neighbors(from);
+    if (neighbors.empty()) continue;
+    const auto& edge = neighbors[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(neighbors.size()) - 1))];
+    builder.addObservation(from, edge.to,
+                           edge.headingDeg + rng.normal(0.0, 4.0),
+                           edge.length + rng.normal(0.0, 0.2));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(builder.build());
+}
+BENCHMARK(BM_MotionDbBuild)->Arg(300)->Arg(3000);
+
+void BM_WifiScanSimulation(benchmark::State& state) {
+  util::Rng rng(9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(world().radio().scan({20.4, 8.0}, 90.0, rng));
+}
+BENCHMARK(BM_WifiScanSimulation);
+
+void BM_ParticleFilterUpdate(benchmark::State& state) {
+  baseline::ParticleFilter filter(world().hall().plan,
+                                  world().fingerprintDb());
+  const auto scan = probeScan();
+  filter.update(scan, std::nullopt);
+  const sensors::MotionMeasurement motion{90.0, 5.7};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(filter.update(scan, motion));
+}
+BENCHMARK(BM_ParticleFilterUpdate);
+
+void BM_SessionOnScanWithImu(benchmark::State& state) {
+  // The full phone-side cost: motion processing over a 3 s IMU trace
+  // plus one engine round.
+  core::LocalizationSession session(world().fingerprintDb(),
+                                    world().motionDb(), 0.72);
+  const auto scan = probeScan();
+  util::Rng rng(11);
+  sensors::AccelerometerModel accel;
+  const auto accelSeries = accel.walkingSamples(150, 1.8, rng);
+  const sensors::CompassModel compassModel;
+  const auto compassSeries = compassModel.readings(90.0, 0.0, 150, rng);
+  sensors::ImuTrace imu(50.0);
+  for (std::size_t i = 0; i < 150; ++i)
+    imu.append({i / 50.0, accelSeries[i], compassSeries[i]});
+  session.onScan(scan, sensors::ImuTrace(50.0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(session.onScan(scan, imu));
+}
+BENCHMARK(BM_SessionOnScanWithImu);
+
+}  // namespace
+
+BENCHMARK_MAIN();

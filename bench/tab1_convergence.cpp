@@ -1,0 +1,72 @@
+// Reproduces Table I: convergence to accurate localization.  Over the
+// test walks whose *initial* estimate is erroneous, how many erroneous
+// localizations (EL) precede the first accurate one, and the accuracy /
+// mean error / max error of all subsequent fixes.
+//
+// Paper's Table I:
+//   Setting      EL    Accuracy  Mean err  Max err
+//   4-AP WiFi    3.28  34 %      4.91      16.64
+//   4-AP MoLoc   1.57  89 %      0.67       7.92
+//   5-AP WiFi    2.71  39 %      4.33      14.7
+//   5-AP MoLoc   1.42  93 %      0.36       6.25
+//   6-AP WiFi    2.25  48 %      3.27      13.6
+//   6-AP MoLoc   1.13  96 %      0.22       6.88
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Table I: convergence of accurate localization ===\n");
+  std::printf("%-12s %-6s %-9s %-10s %-10s %-8s\n", "Setting", "EL",
+              "Accuracy", "Mean err", "Max err", "walks");
+
+  util::CsvWriter csv(bench::resultsDir() + "/tab1_convergence.csv",
+                      {"aps", "method", "el", "accuracy", "mean_err_m",
+                       "max_err_m", "walks"});
+
+  for (int aps : {4, 5, 6}) {
+    eval::WorldConfig config;
+    config.apCount = aps;
+    // More walks than Fig. 7's 34 so that the erroneous-initial subset
+    // is large enough for stable statistics.
+    const auto run = bench::runPaired(config, 100, bench::kLegsPerTrace);
+
+    const auto convWifi = eval::analyzeConvergence(run.wifiWalks);
+    const auto convMoloc = eval::analyzeConvergence(run.molocWalks);
+
+    std::printf("%d-AP WiFi    %-6.2f %-9.0f %-10.2f %-10.2f %zu\n", aps,
+                convWifi.meanErroneousBeforeFirstAccurate,
+                convWifi.subsequentAccuracy * 100.0,
+                convWifi.subsequentMeanError, convWifi.subsequentMaxError,
+                convWifi.tracesAnalyzed);
+    std::printf("%d-AP MoLoc   %-6.2f %-9.0f %-10.2f %-10.2f %zu\n", aps,
+                convMoloc.meanErroneousBeforeFirstAccurate,
+                convMoloc.subsequentAccuracy * 100.0,
+                convMoloc.subsequentMeanError,
+                convMoloc.subsequentMaxError, convMoloc.tracesAnalyzed);
+
+    csv.cell(aps).cell("wifi")
+        .cell(convWifi.meanErroneousBeforeFirstAccurate)
+        .cell(convWifi.subsequentAccuracy)
+        .cell(convWifi.subsequentMeanError)
+        .cell(convWifi.subsequentMaxError)
+        .cell(convWifi.tracesAnalyzed)
+        .endRow();
+    csv.cell(aps).cell("moloc")
+        .cell(convMoloc.meanErroneousBeforeFirstAccurate)
+        .cell(convMoloc.subsequentAccuracy)
+        .cell(convMoloc.subsequentMeanError)
+        .cell(convMoloc.subsequentMaxError)
+        .cell(convMoloc.tracesAnalyzed)
+        .endRow();
+  }
+  std::printf("\n(EL = erroneous localizations before the first accurate "
+              "fix,\n over walks with an erroneous initial estimate; "
+              "subsequent-fix stats follow.)\n");
+  std::printf("rows written to %s/tab1_convergence.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

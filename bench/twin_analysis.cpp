@@ -1,0 +1,76 @@
+// Twin analysis: operationalizes "fingerprint ambiguity" (Sec. I /
+// Sec. VI.B.3).  Scans the surveyed radio map for fingerprint twins —
+// far-apart locations with near-identical fingerprints — per AP count,
+// the way the paper identifies its pairs (2,15), (10,27), (13,26), and
+// cross-checks that the twin fixes are where the WiFi baseline's large
+// errors actually happen.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+#include "eval/ambiguity.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== Fingerprint-twin analysis of the office hall ===\n");
+  std::printf("criteria: fingerprint gap <= 8 dB, geometric gap >= 6 m\n"
+              "(ids are 0-based; the paper's Fig. 5 ids are these "
+              "plus one)\n\n");
+
+  util::CsvWriter csv(bench::resultsDir() + "/twin_analysis.csv",
+                      {"aps", "loc_a", "loc_b", "fingerprint_gap_db",
+                       "geometric_gap_m"});
+
+  for (int aps : {4, 5, 6}) {
+    eval::WorldConfig config;
+    config.apCount = aps;
+    eval::ExperimentWorld world(config);
+
+    const auto twins = eval::findFingerprintTwins(
+        world.fingerprintDb(), world.hall().plan);
+    std::printf("--- %d APs: %zu twin pairs ---\n", aps, twins.size());
+    int printed = 0;
+    for (const auto& twin : twins) {
+      if (printed++ >= 8) {
+        std::printf("  ... and %zu more\n", twins.size() - 8);
+        break;
+      }
+      std::printf("  (%2d, %2d): fingerprints %.1f dB apart, locations "
+                  "%.1f m apart\n",
+                  twin.a, twin.b, twin.fingerprintGapDb,
+                  twin.geometricGapMeters);
+    }
+    for (const auto& twin : twins)
+      csv.cell(aps).cell(twin.a).cell(twin.b).cell(twin.fingerprintGapDb)
+          .cell(twin.geometricGapMeters).endRow();
+
+    // Cross-check: are the WiFi baseline's large errors concentrated
+    // at twin locations?
+    std::set<env::LocationId> twinLocations;
+    for (const auto& twin : twins) {
+      twinLocations.insert(twin.a);
+      twinLocations.insert(twin.b);
+    }
+    const auto outcomes = eval::runComparison(world, bench::kTestTraces,
+                                              bench::kLegsPerTrace);
+    std::size_t largeErrors = 0;
+    std::size_t largeErrorsAtTwins = 0;
+    for (const auto& outcome : outcomes) {
+      for (const auto& record : outcome.wifi) {
+        if (record.errorMeters <= 6.0) continue;
+        ++largeErrors;
+        if (twinLocations.count(record.truth)) ++largeErrorsAtTwins;
+      }
+    }
+    std::printf("  wifi errors > 6 m: %zu, of which %zu (%.0f%%) at "
+                "twin locations\n\n",
+                largeErrors, largeErrorsAtTwins,
+                largeErrors ? 100.0 * largeErrorsAtTwins / largeErrors
+                            : 0.0);
+  }
+  std::printf("rows written to %s/twin_analysis.csv\n",
+              bench::resultsDir().c_str());
+  return 0;
+}

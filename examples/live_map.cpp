@@ -1,0 +1,60 @@
+// Renders a walk through the office hall on an ASCII floor plan,
+// step by step: the ground truth ('T'), MoLoc's estimate ('M'), and
+// the WiFi baseline's estimate ('W').  When two coincide, the better
+// mark wins ('*' = all three agree).
+//
+// A quick visual intuition for what fingerprint twins do to the
+// baseline — W regularly teleports to a far, mirrored location while
+// M tracks T.
+
+#include <cstdio>
+
+#include "baseline/wifi_fingerprinting.hpp"
+#include "eval/ascii_map.hpp"
+#include "eval/experiment_world.hpp"
+
+int main() {
+  using namespace moloc;
+
+  eval::WorldConfig config;
+  eval::ExperimentWorld world(config);
+  const auto& user = world.users().front();
+  const auto trace = world.makeTrace(user, 8, world.evalRng());
+
+  auto engine = world.makeEngine();
+  const baseline::WifiFingerprinting wifi(world.fingerprintDb());
+
+  std::printf("=== Walking the office hall (40.8 m x 16 m) ===\n");
+  std::printf("marks: T = ground truth, M = MoLoc, W = WiFi baseline, "
+              "* = all agree\n\n");
+
+  auto show = [&world](env::LocationId truth, env::LocationId moloc,
+                       env::LocationId wifiFix, int step) {
+    eval::AsciiMap map(world.hall().plan);
+    map.markLocation(truth, 'T');
+    map.markLocation(wifiFix, wifiFix == truth ? '*' : 'W');
+    map.markLocation(moloc, moloc == truth
+                                ? (wifiFix == truth ? '*' : 'M')
+                                : 'M');
+    std::printf("step %d: truth=%d moloc=%d (err %.1f m) wifi=%d "
+                "(err %.1f m)\n%s\n",
+                step, truth, moloc,
+                world.locationDistance(moloc, truth), wifiFix,
+                world.locationDistance(wifiFix, truth),
+                map.render().c_str());
+  };
+
+  const auto initial = engine.localize(trace.initialScan, std::nullopt);
+  show(trace.startTruth, initial.location,
+       wifi.localize(trace.initialScan), 0);
+
+  int step = 1;
+  for (const auto& interval : trace.intervals) {
+    const auto motion = world.processInterval(interval, user);
+    const auto fix = engine.localize(interval.scanAtArrival, motion);
+    show(interval.toTruth, fix.location,
+         wifi.localize(interval.scanAtArrival), step);
+    ++step;
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The full paper campaign in one run: builds the office-hall world for
+// 4, 5 and 6 APs, runs the test protocol, and prints a compact report
+// combining the content of Figs. 7-8 and Table I.
+
+#include <cstdio>
+
+#include "eval/convergence.hpp"
+#include "eval/experiment_world.hpp"
+
+int main() {
+  using namespace moloc;
+
+  std::printf("=== MoLoc office-hall campaign "
+              "(40.8 m x 16 m, 28 locations, 4 users) ===\n\n");
+
+  for (int aps : {4, 5, 6}) {
+    eval::WorldConfig config;
+    config.apCount = aps;
+    eval::ExperimentWorld world(config);
+
+    eval::ErrorStats moloc;
+    eval::ErrorStats wifi;
+    std::vector<std::vector<eval::LocalizationRecord>> molocWalks;
+    std::vector<std::vector<eval::LocalizationRecord>> wifiWalks;
+    eval::ErrorStats molocAtTwins;
+    eval::ErrorStats wifiAtTwins;
+
+    for (const auto& outcome : eval::runComparison(world, 34, 12)) {
+      moloc.addAll(outcome.moloc);
+      wifi.addAll(outcome.wifi);
+      molocWalks.push_back(outcome.moloc);
+      wifiWalks.push_back(outcome.wifi);
+      for (std::size_t i = 0; i < outcome.wifi.size(); ++i) {
+        if (outcome.wifi[i].errorMeters > 6.0) {
+          wifiAtTwins.add(outcome.wifi[i]);
+          molocAtTwins.add(outcome.moloc[i]);
+        }
+      }
+    }
+
+    const auto convMoloc = eval::analyzeConvergence(molocWalks);
+    const auto convWifi = eval::analyzeConvergence(wifiWalks);
+
+    std::printf("--- %d APs ---\n", aps);
+    std::printf("  overall:      moloc %.0f%% / %.2f m mean    "
+                "wifi %.0f%% / %.2f m mean\n",
+                moloc.accuracy() * 100.0, moloc.meanError(),
+                wifi.accuracy() * 100.0, wifi.meanError());
+    std::printf("  at twin fixes (wifi > 6 m): moloc %.2f m vs wifi "
+                "%.2f m mean error (%zu fixes)\n",
+                molocAtTwins.meanError(), wifiAtTwins.meanError(),
+                wifiAtTwins.count());
+    std::printf("  convergence:  EL moloc %.2f vs wifi %.2f; "
+                "subsequent accuracy %.0f%% vs %.0f%%\n\n",
+                convMoloc.meanErroneousBeforeFirstAccurate,
+                convWifi.meanErroneousBeforeFirstAccurate,
+                convMoloc.subsequentAccuracy * 100.0,
+                convWifi.subsequentAccuracy * 100.0);
+  }
+
+  std::printf("(paper's headline: MoLoc doubles fingerprinting accuracy "
+              "and holds the mean error under 1 m with 6 APs)\n");
+  return 0;
+}

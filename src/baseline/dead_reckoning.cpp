@@ -1,0 +1,48 @@
+#include "baseline/dead_reckoning.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::baseline {
+
+DeadReckoning::DeadReckoning(const env::FloorPlan& plan,
+                             const radio::FingerprintDatabase& db)
+    : plan_(plan), db_(db) {}
+
+void DeadReckoning::initialize(const radio::Fingerprint& initialScan) {
+  const env::LocationId start = db_.nearest(initialScan);
+  position_ = plan_.location(start).pos;
+  initialized_ = true;
+}
+
+env::LocationId DeadReckoning::update(
+    const sensors::MotionMeasurement& motion) {
+  if (!initialized_)
+    throw std::logic_error("DeadReckoning: update before initialize");
+  position_ = position_ + geometry::headingToUnitVec(motion.directionDeg) *
+                              motion.offsetMeters;
+  return nearestReference();
+}
+
+geometry::Vec2 DeadReckoning::position() const {
+  if (!initialized_)
+    throw std::logic_error("DeadReckoning: position before initialize");
+  return position_;
+}
+
+env::LocationId DeadReckoning::nearestReference() const {
+  env::LocationId best = 0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (const auto& loc : plan_.locations()) {
+    const double d = geometry::distance(position_, loc.pos);
+    if (d < bestDist) {
+      bestDist = d;
+      best = loc.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace moloc::baseline

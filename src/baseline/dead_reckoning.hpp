@@ -1,0 +1,45 @@
+#pragma once
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "sensors/motion_processor.hpp"
+
+namespace moloc::baseline {
+
+/// Pure inertial dead reckoning, ablation comparator: take one
+/// fingerprint fix at the start, then integrate (direction, offset)
+/// measurements in continuous coordinates and report the nearest
+/// reference location.
+///
+/// Shows the other failure mode MoLoc avoids: without fingerprint
+/// re-anchoring, heading bias and step-length error accumulate into
+/// unbounded drift.
+class DeadReckoning {
+ public:
+  /// Both references must outlive the localizer.
+  DeadReckoning(const env::FloorPlan& plan,
+                const radio::FingerprintDatabase& db);
+
+  /// Sets the track's origin from a fingerprint fix (Eq. 2 NN).
+  void initialize(const radio::Fingerprint& initialScan);
+
+  /// True once initialize() has run.
+  bool initialized() const { return initialized_; }
+
+  /// Advances the track by one measured motion and returns the nearest
+  /// reference location.  Throws std::logic_error before initialize().
+  env::LocationId update(const sensors::MotionMeasurement& motion);
+
+  /// The continuous track position (for drift diagnostics).
+  geometry::Vec2 position() const;
+
+ private:
+  env::LocationId nearestReference() const;
+
+  const env::FloorPlan& plan_;
+  const radio::FingerprintDatabase& db_;
+  geometry::Vec2 position_;
+  bool initialized_ = false;
+};
+
+}  // namespace moloc::baseline

@@ -1,0 +1,91 @@
+#include "baseline/hmm_localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace moloc::baseline {
+
+HmmLocalizer::HmmLocalizer(const radio::FingerprintDatabase& db,
+                           const env::WalkGraph& graph, HmmParams params)
+    : db_(db), graph_(graph), params_(params), n_(graph.nodeCount()) {
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!db_.contains(static_cast<env::LocationId>(i)))
+      throw std::invalid_argument(
+          "HmmLocalizer: database misses a graph node");
+
+  // Precompute pairwise walkable distances (Dijkstra from each node).
+  walkDistance_.assign(n_ * n_, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      walkDistance_[i * n_ + j] =
+          graph_.walkableDistance(static_cast<env::LocationId>(i),
+                                  static_cast<env::LocationId>(j));
+}
+
+void HmmLocalizer::reset() { belief_.clear(); }
+
+double HmmLocalizer::emissionLogLikelihood(const radio::Fingerprint& query,
+                                           env::LocationId state) const {
+  const double sq = radio::squaredDissimilarity(query, db_.entry(state));
+  return -sq / (2.0 * params_.emissionSigmaDb * params_.emissionSigmaDb);
+}
+
+env::LocationId HmmLocalizer::update(
+    const radio::Fingerprint& query,
+    std::optional<double> walkedOffsetMeters) {
+  std::vector<double> next(n_, 0.0);
+
+  if (belief_.empty() || !walkedOffsetMeters) {
+    // First fix (or a motion gap): emissions alone, uniform prior.
+    for (std::size_t j = 0; j < n_; ++j)
+      next[j] = std::exp(
+          emissionLogLikelihood(query, static_cast<env::LocationId>(j)));
+  } else {
+    const double offset = *walkedOffsetMeters;
+    const double inv2Sigma2 = 1.0 / (2.0 * params_.transitionSigmaMeters *
+                                     params_.transitionSigmaMeters);
+    for (std::size_t j = 0; j < n_; ++j) {
+      double predicted = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double walkDist = walkDistance_[i * n_ + j];
+        double transition = params_.transitionFloor;
+        if (std::isfinite(walkDist)) {
+          const double gap = walkDist - offset;
+          transition = std::max(std::exp(-gap * gap * inv2Sigma2),
+                                params_.transitionFloor);
+        }
+        predicted += belief_[i] * transition;
+      }
+      next[j] =
+          predicted *
+          std::exp(emissionLogLikelihood(query,
+                                         static_cast<env::LocationId>(j)));
+    }
+  }
+
+  double total = 0.0;
+  for (double b : next) total += b;
+  if (total <= 0.0) {
+    // Numerical underflow across the board: restart from emissions.
+    for (std::size_t j = 0; j < n_; ++j)
+      next[j] = std::exp(
+          emissionLogLikelihood(query, static_cast<env::LocationId>(j)));
+    total = 0.0;
+    for (double b : next) total += b;
+    if (total <= 0.0) {
+      // Even emissions underflowed; fall back to uniform.
+      std::fill(next.begin(), next.end(), 1.0);
+      total = static_cast<double>(n_);
+    }
+  }
+  for (double& b : next) b /= total;
+  belief_ = std::move(next);
+
+  const auto best =
+      std::max_element(belief_.begin(), belief_.end()) - belief_.begin();
+  return static_cast<env::LocationId>(best);
+}
+
+}  // namespace moloc::baseline

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "env/walk_graph.hpp"
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::baseline {
+
+/// Parameters of the HMM comparator.
+struct HmmParams {
+  /// Sigma (dB) of the Gaussian RSS emission model: the likelihood of a
+  /// query given a location decays with the per-AP fingerprint gap.
+  double emissionSigmaDb = 4.0;
+  /// Sigma (m) of the transition model: how strongly a step's walked
+  /// distance must match the walkable distance between states.
+  double transitionSigmaMeters = 1.5;
+  /// Floor for transitions to unreachable states.
+  double transitionFloor = 1e-6;
+};
+
+/// Accelerometer-assisted HMM localization — the related-work
+/// comparator ([23], Liu et al.) MoLoc is contrasted with.
+///
+/// Maintains a belief over *all* reference locations and runs one
+/// forward-algorithm step per localization interval.  Transitions score
+/// how well the walked offset matches the walkable distance between
+/// states; unlike MoLoc it uses no direction information and carries
+/// the full state space rather than a k-candidate set — the source of
+/// the higher computational cost the paper mentions.
+class HmmLocalizer {
+ public:
+  /// Both references must outlive the localizer; the database must hold
+  /// an entry for every graph node (throws std::invalid_argument).
+  HmmLocalizer(const radio::FingerprintDatabase& db,
+               const env::WalkGraph& graph, HmmParams params = {});
+
+  /// Forgets the belief (start of a new walk).
+  void reset();
+
+  /// One forward step: pass the walked offset since the last fix, or
+  /// nullopt for the first fix (belief starts from emissions alone).
+  /// Returns the maximum-belief location.
+  env::LocationId update(const radio::Fingerprint& query,
+                         std::optional<double> walkedOffsetMeters);
+
+  /// The current belief, indexed by location id; empty before the
+  /// first update.
+  std::span<const double> belief() const { return belief_; }
+
+ private:
+  double emissionLogLikelihood(const radio::Fingerprint& query,
+                               env::LocationId state) const;
+
+  const radio::FingerprintDatabase& db_;
+  const env::WalkGraph& graph_;
+  HmmParams params_;
+  std::vector<double> belief_;
+  /// Pairwise walkable distances, precomputed (n^2 doubles).
+  std::vector<double> walkDistance_;
+  std::size_t n_;
+};
+
+}  // namespace moloc::baseline

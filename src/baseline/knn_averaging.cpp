@@ -1,0 +1,41 @@
+#include "baseline/knn_averaging.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace moloc::baseline {
+
+KnnAveraging::KnnAveraging(const env::FloorPlan& plan,
+                           const radio::FingerprintDatabase& db,
+                           std::size_t k)
+    : plan_(plan), db_(db), k_(k) {
+  if (k == 0)
+    throw std::invalid_argument("KnnAveraging: k must be >= 1");
+}
+
+geometry::Vec2 KnnAveraging::position(
+    const radio::Fingerprint& scan) const {
+  const auto matches = db_.query(scan, k_);
+  geometry::Vec2 weighted{};
+  for (const auto& match : matches)
+    weighted =
+        weighted + plan_.location(match.location).pos * match.probability;
+  return weighted;  // Probabilities sum to 1.
+}
+
+env::LocationId KnnAveraging::localize(
+    const radio::Fingerprint& scan) const {
+  const auto pos = position(scan);
+  env::LocationId best = 0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (const auto& loc : plan_.locations()) {
+    const double d = geometry::distance(pos, loc.pos);
+    if (d < bestDist) {
+      bestDist = d;
+      best = loc.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace moloc::baseline

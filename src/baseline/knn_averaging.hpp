@@ -1,0 +1,36 @@
+#pragma once
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::baseline {
+
+/// RADAR-style k-nearest-neighbour averaging (the paper's ref. [8],
+/// Bahl & Padmanabhan): take the k locations whose fingerprints best
+/// match the scan and average their *coordinates*, weighted by Eq. 4
+/// probabilities.  Stateless like plain fingerprinting, but smooths
+/// single-neighbour mistakes — unless the neighbours are twins, in
+/// which case the average lands in the no-man's-land between them
+/// (the failure Fig. 1 illustrates geometrically).
+class KnnAveraging {
+ public:
+  /// `k` must be >= 1 (throws std::invalid_argument); the plan and
+  /// database must outlive the localizer.
+  KnnAveraging(const env::FloorPlan& plan,
+               const radio::FingerprintDatabase& db, std::size_t k = 3);
+
+  std::size_t k() const { return k_; }
+
+  /// The probability-weighted average position of the k best matches.
+  geometry::Vec2 position(const radio::Fingerprint& scan) const;
+
+  /// The reference location nearest to position(scan).
+  env::LocationId localize(const radio::Fingerprint& scan) const;
+
+ private:
+  const env::FloorPlan& plan_;
+  const radio::FingerprintDatabase& db_;
+  std::size_t k_;
+};
+
+}  // namespace moloc::baseline

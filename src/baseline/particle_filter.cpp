@@ -1,0 +1,183 @@
+#include "baseline/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::baseline {
+
+ParticleFilter::ParticleFilter(const env::FloorPlan& plan,
+                               const radio::FingerprintDatabase& db,
+                               ParticleFilterParams params,
+                               std::uint64_t seed)
+    : plan_(plan), db_(db), params_(params), rng_(seed) {
+  if (params_.particleCount == 0)
+    throw std::invalid_argument(
+        "ParticleFilter: particle count must be >= 1");
+}
+
+void ParticleFilter::reset() { particles_.clear(); }
+
+env::LocationId ParticleFilter::nearestReference(
+    geometry::Vec2 pos) const {
+  env::LocationId best = 0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (const auto& loc : plan_.locations()) {
+    const double d = geometry::distance(pos, loc.pos);
+    if (d < bestDist) {
+      bestDist = d;
+      best = loc.id;
+    }
+  }
+  return best;
+}
+
+void ParticleFilter::initializeFromScan(const radio::Fingerprint& scan) {
+  // Seed the cloud around the best fingerprint matches, proportional
+  // to their Eq. 4 probabilities, with positional spread.
+  const auto matches = db_.query(scan, std::min<std::size_t>(8, db_.size()));
+  particles_.clear();
+  particles_.reserve(params_.particleCount);
+  for (std::size_t p = 0; p < params_.particleCount; ++p) {
+    // Pick a seed location by its probability.
+    double pick = rng_.uniform(0.0, 1.0);
+    geometry::Vec2 center = plan_.location(matches.front().location).pos;
+    for (const auto& match : matches) {
+      if (pick < match.probability) {
+        center = plan_.location(match.location).pos;
+        break;
+      }
+      pick -= match.probability;
+    }
+    particles_.push_back(
+        {{std::clamp(center.x + rng_.normal(0.0, 2.0), 0.0,
+                     plan_.width()),
+          std::clamp(center.y + rng_.normal(0.0, 2.0), 0.0,
+                     plan_.height())},
+         1.0});
+  }
+}
+
+void ParticleFilter::propagate(const sensors::MotionMeasurement& motion) {
+  for (auto& particle : particles_) {
+    const double heading =
+        motion.directionDeg + rng_.normal(0.0, params_.directionSigmaDeg);
+    const double offset = std::max(
+        0.0,
+        motion.offsetMeters + rng_.normal(0.0, params_.offsetSigmaMeters));
+    const geometry::Vec2 next =
+        particle.pos + geometry::headingToUnitVec(heading) * offset;
+
+    if (params_.enforceWalls &&
+        plan_.lineBlocked(particle.pos, next)) {
+      particle.weight = 0.0;  // Walked through a wall: impossible.
+      continue;
+    }
+    particle.pos = {std::clamp(next.x, 0.0, plan_.width()),
+                    std::clamp(next.y, 0.0, plan_.height())};
+  }
+}
+
+void ParticleFilter::weight(const radio::Fingerprint& scan) {
+  double maxLog = -std::numeric_limits<double>::infinity();
+  std::vector<double> logWeights(particles_.size());
+  const double inv2Sigma2 =
+      1.0 / (2.0 * params_.emissionSigmaDb * params_.emissionSigmaDb);
+  for (std::size_t p = 0; p < particles_.size(); ++p) {
+    if (particles_[p].weight <= 0.0) {
+      logWeights[p] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const auto anchor = nearestReference(particles_[p].pos);
+    const double sq = radio::squaredDissimilarity(scan, db_.entry(anchor));
+    logWeights[p] = std::log(particles_[p].weight) - sq * inv2Sigma2;
+    maxLog = std::max(maxLog, logWeights[p]);
+  }
+
+  if (!std::isfinite(maxLog)) {
+    // Every particle died (walls); restart from the scan.
+    initializeFromScan(scan);
+    return;
+  }
+
+  double total = 0.0;
+  for (std::size_t p = 0; p < particles_.size(); ++p) {
+    particles_[p].weight = std::exp(logWeights[p] - maxLog);
+    total += particles_[p].weight;
+  }
+  for (auto& particle : particles_) particle.weight /= total;
+}
+
+double ParticleFilter::effectiveSampleSize() const {
+  double sumSq = 0.0;
+  double sum = 0.0;
+  for (const auto& particle : particles_) {
+    sum += particle.weight;
+    sumSq += particle.weight * particle.weight;
+  }
+  if (sumSq <= 0.0) return 0.0;
+  const double normalized = sum * sum / sumSq;
+  return normalized;
+}
+
+void ParticleFilter::resampleIfNeeded() {
+  const double ess = effectiveSampleSize();
+  if (ess >= params_.resampleThreshold *
+                 static_cast<double>(particles_.size()))
+    return;
+
+  // Systematic resampling.
+  std::vector<Particle> resampled;
+  resampled.reserve(particles_.size());
+  const double step = 1.0 / static_cast<double>(particles_.size());
+  double cursor = rng_.uniform(0.0, step);
+  double cumulative = 0.0;
+  std::size_t index = 0;
+  for (std::size_t p = 0; p < particles_.size(); ++p) {
+    while (index < particles_.size() &&
+           cumulative + particles_[index].weight < cursor) {
+      cumulative += particles_[index].weight;
+      ++index;
+    }
+    const auto& src =
+        particles_[std::min(index, particles_.size() - 1)];
+    resampled.push_back({src.pos, 1.0 / static_cast<double>(
+                                       particles_.size())});
+    cursor += step;
+  }
+  particles_ = std::move(resampled);
+}
+
+env::LocationId ParticleFilter::update(
+    const radio::Fingerprint& scan,
+    const std::optional<sensors::MotionMeasurement>& motion) {
+  if (db_.empty())
+    throw std::logic_error("ParticleFilter: empty fingerprint database");
+
+  if (particles_.empty()) {
+    initializeFromScan(scan);
+  } else if (motion) {
+    propagate(*motion);
+  }
+  weight(scan);
+  resampleIfNeeded();
+  return nearestReference(meanPosition());
+}
+
+geometry::Vec2 ParticleFilter::meanPosition() const {
+  if (particles_.empty())
+    throw std::logic_error("ParticleFilter: no particles yet");
+  geometry::Vec2 mean{};
+  double totalWeight = 0.0;
+  for (const auto& particle : particles_) {
+    mean = mean + particle.pos * particle.weight;
+    totalWeight += particle.weight;
+  }
+  if (totalWeight <= 0.0) return particles_.front().pos;
+  return mean / totalWeight;
+}
+
+}  // namespace moloc::baseline

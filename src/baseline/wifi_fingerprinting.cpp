@@ -1,0 +1,13 @@
+#include "baseline/wifi_fingerprinting.hpp"
+
+namespace moloc::baseline {
+
+WifiFingerprinting::WifiFingerprinting(const radio::FingerprintDatabase& db)
+    : db_(db) {}
+
+env::LocationId WifiFingerprinting::localize(
+    const radio::Fingerprint& query) const {
+  return db_.nearest(query);
+}
+
+}  // namespace moloc::baseline

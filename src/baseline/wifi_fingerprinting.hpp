@@ -1,0 +1,23 @@
+#pragma once
+
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::baseline {
+
+/// The paper's baseline: plain WiFi fingerprinting (Eq. 2) — return the
+/// single location whose radio-map entry minimizes the Euclidean
+/// dissimilarity to the query fingerprint.  Stateless: every query is
+/// independent, which is exactly why fingerprint twins hurt it.
+class WifiFingerprinting {
+ public:
+  /// The database must outlive the localizer and be non-empty when
+  /// queried.
+  explicit WifiFingerprinting(const radio::FingerprintDatabase& db);
+
+  env::LocationId localize(const radio::Fingerprint& query) const;
+
+ private:
+  const radio::FingerprintDatabase& db_;
+};
+
+}  // namespace moloc::baseline

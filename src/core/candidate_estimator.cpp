@@ -1,0 +1,36 @@
+#include "core/candidate_estimator.hpp"
+
+#include <stdexcept>
+
+namespace moloc::core {
+
+namespace {
+
+std::size_t checkK(std::size_t k) {
+  if (k == 0)
+    throw std::invalid_argument("CandidateEstimator: k must be >= 1");
+  return k;
+}
+
+}  // namespace
+
+CandidateEstimator::CandidateEstimator(
+    const radio::FingerprintDatabase& db, std::size_t k)
+    : query_([&db](const radio::Fingerprint& fp, std::size_t kk) {
+        return db.query(fp, kk);
+      }),
+      k_(checkK(k)) {}
+
+CandidateEstimator::CandidateEstimator(
+    const radio::ProbabilisticFingerprintDatabase& db, std::size_t k)
+    : query_([&db](const radio::Fingerprint& fp, std::size_t kk) {
+        return db.query(fp, kk);
+      }),
+      k_(checkK(k)) {}
+
+std::vector<Candidate> CandidateEstimator::estimate(
+    const radio::Fingerprint& query) const {
+  return query_(query, k_);
+}
+
+}  // namespace moloc::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "radio/fingerprint_database.hpp"
+#include "radio/probabilistic_database.hpp"
+
+namespace moloc::core {
+
+/// A location candidate with its fingerprint-matching probability —
+/// what the candidate estimation unit hands to candidate evaluation.
+using Candidate = radio::Match;
+
+/// The candidate estimation unit (Fig. 2): yields the k location
+/// candidates for a query fingerprint with normalized probabilities.
+///
+/// Two backends implement the contract: the paper's deterministic
+/// matcher (Eq. 3's k-nearest by Euclidean dissimilarity with Eq. 4's
+/// inverse-dissimilarity probabilities) and the Horus-style
+/// probabilistic radio map (k most likely with softmax posteriors).
+/// The engine is agnostic to the choice.
+class CandidateEstimator {
+ public:
+  /// Deterministic backend (the paper's Eq. 3-4).
+  /// `k` must be >= 1 (throws std::invalid_argument); the database
+  /// must outlive the estimator.
+  CandidateEstimator(const radio::FingerprintDatabase& db, std::size_t k);
+
+  /// Probabilistic backend (Horus-style maximum likelihood).
+  CandidateEstimator(const radio::ProbabilisticFingerprintDatabase& db,
+                     std::size_t k);
+
+  std::size_t k() const { return k_; }
+
+  /// The k candidates for a query fingerprint, best first.
+  std::vector<Candidate> estimate(const radio::Fingerprint& query) const;
+
+ private:
+  std::function<std::vector<Candidate>(const radio::Fingerprint&,
+                                       std::size_t)>
+      query_;
+  std::size_t k_;
+};
+
+}  // namespace moloc::core

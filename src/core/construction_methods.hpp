@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/motion_database.hpp"
+#include "env/floor_plan.hpp"
+#include "env/walk_graph.hpp"
+
+namespace moloc::core {
+
+/// The alternative motion-database construction methods the paper
+/// weighs against crowdsourcing in Sec. IV.A, implemented so the
+/// trade-off can be measured instead of argued:
+///
+///  - *Manual configuration*: engineers measure the RLM of every
+///    walkable leg.  Accurate and consistent, but violates the paper's
+///    efficiency principle (modelled here as building from the walk
+///    graph's ground truth — the best any manual survey could do).
+///  - *Map computation*: a program derives RLMs from location
+///    coordinates alone.  Efficient, but violates the consistency
+///    principle: two locations separated by a wall look adjacent on
+///    the map, and the straight-line RLM does not describe any
+///    walkable path.
+
+/// Default measurement spreads assigned to entries that are computed
+/// rather than fitted from samples.
+struct ComputedRlmSpread {
+  double sigmaDirectionDeg = 5.0;
+  double sigmaOffsetMeters = 0.3;
+};
+
+/// Manual configuration: one entry (plus mirror) per walkable leg of
+/// the graph, using the map-exact direction and walkable length.
+MotionDatabase buildMotionDatabaseManually(
+    const env::WalkGraph& graph, ComputedRlmSpread spread = {});
+
+/// Map computation: one entry (plus mirror) per pair of locations
+/// within `maxAdjacencyDist` of each other *by straight-line
+/// distance*, walls ignored — faithfully reproducing the method's
+/// flaw.  Directions and offsets are the straight-line values.
+MotionDatabase buildMotionDatabaseFromMap(
+    const env::FloorPlan& plan, double maxAdjacencyDist,
+    ComputedRlmSpread spread = {});
+
+/// Counts the entries of `db` (i < j, undirected) that do not
+/// correspond to a walkable leg of `graph` — the consistency
+/// violations the paper warns about.
+std::size_t countUnwalkableEntries(const MotionDatabase& db,
+                                   const env::WalkGraph& graph);
+
+}  // namespace moloc::core

@@ -1,0 +1,44 @@
+#include "core/localization_session.hpp"
+
+#include <stdexcept>
+
+namespace moloc::core {
+
+namespace {
+
+double checkStepLength(double stepLengthMeters) {
+  if (stepLengthMeters <= 0.0)
+    throw std::invalid_argument(
+        "LocalizationSession: step length must be positive");
+  return stepLengthMeters;
+}
+
+}  // namespace
+
+LocalizationSession::LocalizationSession(
+    const radio::FingerprintDatabase& fingerprints,
+    const MotionDatabase& motion, double stepLengthMeters,
+    MoLocConfig config, sensors::MotionProcessorParams motionParams)
+    : engine_(fingerprints, motion, config),
+      processor_(motionParams),
+      stepLengthMeters_(checkStepLength(stepLengthMeters)) {}
+
+LocalizationSession::LocalizationSession(
+    const radio::ProbabilisticFingerprintDatabase& fingerprints,
+    const MotionDatabase& motion, double stepLengthMeters,
+    MoLocConfig config, sensors::MotionProcessorParams motionParams)
+    : engine_(fingerprints, motion, config),
+      processor_(motionParams),
+      stepLengthMeters_(checkStepLength(stepLengthMeters)) {}
+
+LocationEstimate LocalizationSession::onScan(
+    const radio::Fingerprint& scan,
+    const sensors::ImuTrace& imuSinceLastScan) {
+  lastMotion_ = imuSinceLastScan.empty()
+                    ? std::nullopt
+                    : processor_.process(imuSinceLastScan,
+                                         stepLengthMeters_);
+  return engine_.localize(scan, lastMotion_);
+}
+
+}  // namespace moloc::core

@@ -1,0 +1,91 @@
+#include "core/moloc_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moloc::core {
+
+double LocationEstimate::normalizedEntropy() const {
+  if (candidates.size() < 2) return 0.0;
+  double entropy = 0.0;
+  for (const auto& c : candidates)
+    if (c.probability > 0.0)
+      entropy -= c.probability * std::log(c.probability);
+  return entropy / std::log(static_cast<double>(candidates.size()));
+}
+
+MoLocEngine::MoLocEngine(const radio::FingerprintDatabase& fingerprints,
+                         const MotionDatabase& motion, MoLocConfig config)
+    : estimator_(fingerprints, config.candidateCount),
+      matcher_(motion, config.matcher),
+      config_(config) {}
+
+MoLocEngine::MoLocEngine(
+    const radio::ProbabilisticFingerprintDatabase& fingerprints,
+    const MotionDatabase& motion, MoLocConfig config)
+    : estimator_(fingerprints, config.candidateCount),
+      matcher_(motion, config.matcher),
+      config_(config) {}
+
+LocationEstimate MoLocEngine::localize(
+    const radio::Fingerprint& query,
+    const std::optional<sensors::MotionMeasurement>& motion) {
+  const auto candidates = estimator_.estimate(query);
+
+  std::vector<WeightedCandidate> scored;
+  scored.reserve(candidates.size());
+
+  // Defensive: non-finite motion (corrupt sensor data that slipped
+  // through processing) degrades to a fingerprint-only update rather
+  // than poisoning the posterior.
+  const bool motionUsable = motion.has_value() &&
+                            std::isfinite(motion->directionDeg) &&
+                            std::isfinite(motion->offsetMeters);
+  const bool useMotion = motionUsable && !previous_.empty();
+  double total = 0.0;
+  for (const auto& candidate : candidates) {
+    double weight = candidate.probability;
+    if (useMotion) {
+      // Eq. 7 numerator: P(x=j|F) * P_{L',j}(d, o).
+      weight *= matcher_.setProbability(previous_, candidate.location,
+                                        *motion);
+    }
+    scored.push_back({candidate.location, weight});
+    total += weight;
+  }
+
+  if (total <= 0.0) {
+    // Every candidate's motion mass vanished (can only happen with a
+    // zero floor); degrade to fingerprint-only ranking, as on a first
+    // fix.
+    scored.clear();
+    for (const auto& candidate : candidates)
+      scored.push_back({candidate.location, candidate.probability});
+    total = 0.0;
+    for (const auto& c : scored) total += c.probability;
+  }
+
+  // Eq. 7 normalizer N.
+  for (auto& c : scored) c.probability /= total;
+
+  return finalize(std::move(scored));
+}
+
+LocationEstimate MoLocEngine::finalize(
+    std::vector<WeightedCandidate> scored) {
+  std::sort(scored.begin(), scored.end(),
+            [](const WeightedCandidate& a, const WeightedCandidate& b) {
+              return a.probability > b.probability;
+            });
+
+  LocationEstimate estimate;
+  estimate.location = scored.front().location;
+  estimate.probability = scored.front().probability;
+  estimate.candidates = scored;
+
+  // "All these candidates are retained for localization next time."
+  previous_ = std::move(scored);
+  return estimate;
+}
+
+}  // namespace moloc::core

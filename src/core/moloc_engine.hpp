@@ -1,0 +1,88 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/candidate_estimator.hpp"
+#include "core/motion_database.hpp"
+#include "core/motion_matcher.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "sensors/motion_processor.hpp"
+
+namespace moloc::core {
+
+/// Tunables of the localization engine (Sec. V).
+struct MoLocConfig {
+  std::size_t candidateCount = 12;  ///< k, the candidate set size.
+  MotionMatcherParams matcher;
+};
+
+/// The engine's answer for one query: the top-ranked location plus the
+/// full candidate set retained for the next round.
+struct LocationEstimate {
+  env::LocationId location = 0;
+  double probability = 0.0;
+  std::vector<WeightedCandidate> candidates;
+
+  /// Shannon entropy of the posterior, normalized to [0, 1] by the
+  /// maximum log(k): 0 = certain, 1 = uniform over the candidates.
+  /// Applications use this as a confidence signal (e.g. suppress the
+  /// position dot until the posterior sharpens).
+  double normalizedEntropy() const;
+};
+
+/// The MoLoc localization engine (Fig. 2, right; Sec. V.C).
+///
+/// The first fix ranks candidates by fingerprint alone (Eq. 3-4); each
+/// subsequent fix combines the new fingerprint's candidate probabilities
+/// with the motion-matching probability from the retained previous
+/// candidate set (Eq. 6) via the normalized independence product of
+/// Eq. 7, and the posterior candidate set is carried forward.
+///
+/// When a localization interval carries no usable motion (the user stood
+/// still, or step detection failed), `localize` falls back to the
+/// fingerprint-only update but still refreshes the candidate set, so the
+/// engine degrades to plain fingerprinting rather than stalling.
+class MoLocEngine {
+ public:
+  /// The databases must outlive the engine.
+  MoLocEngine(const radio::FingerprintDatabase& fingerprints,
+              const MotionDatabase& motion, MoLocConfig config = {});
+
+  /// Variant using the Horus-style probabilistic radio map as the
+  /// candidate source (extension; the paper uses the deterministic
+  /// matcher above).
+  MoLocEngine(const radio::ProbabilisticFingerprintDatabase& fingerprints,
+              const MotionDatabase& motion, MoLocConfig config = {});
+
+  const MoLocConfig& config() const { return config_; }
+
+  /// True once at least one fix has been produced since construction or
+  /// the last reset().
+  bool hasHistory() const { return !previous_.empty(); }
+
+  /// Forgets the retained candidate set (start of a new walk).
+  void reset() { previous_.clear(); }
+
+  /// One localization round.  Pass the motion measured since the last
+  /// round; pass nullopt for the first fix of a walk or when no motion
+  /// was detected.
+  LocationEstimate localize(
+      const radio::Fingerprint& query,
+      const std::optional<sensors::MotionMeasurement>& motion);
+
+  /// The retained candidate set (posterior of the last fix).
+  std::span<const WeightedCandidate> retainedCandidates() const {
+    return previous_;
+  }
+
+ private:
+  LocationEstimate finalize(std::vector<WeightedCandidate> scored);
+
+  CandidateEstimator estimator_;
+  MotionMatcher matcher_;
+  MoLocConfig config_;
+  std::vector<WeightedCandidate> previous_;
+};
+
+}  // namespace moloc::core

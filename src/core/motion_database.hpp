@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+
+namespace moloc::core {
+
+/// The Gaussian relative-location-measurement model between one ordered
+/// pair of locations: means and standard deviations of the walking
+/// direction and offset (the quadruple stored per matrix entry in
+/// Sec. IV.C).
+struct RlmStats {
+  double muDirectionDeg = 0.0;
+  double sigmaDirectionDeg = 0.0;
+  double muOffsetMeters = 0.0;
+  double sigmaOffsetMeters = 0.0;
+  int sampleCount = 0;
+};
+
+/// The motion database: an n x n matrix M where entry M[i][j] models
+/// the RLM from location i to location j (Sec. IV.C).
+///
+/// Entries are optional — most pairs are not adjacent and never receive
+/// crowdsourced measurements; the localization engine treats a missing
+/// entry as "no known walkable leg".
+class MotionDatabase {
+ public:
+  MotionDatabase() = default;
+  explicit MotionDatabase(std::size_t locationCount);
+
+  std::size_t locationCount() const { return n_; }
+
+  /// Stores M[i][j].  Throws std::out_of_range on bad ids.
+  void setEntry(env::LocationId i, env::LocationId j, RlmStats stats);
+
+  /// Stores M[i][j] and its mutual-reachability mirror M[j][i]
+  /// (reverse direction = mu + 180 mod 360, same offset and sigmas —
+  /// the rule of Sec. IV.B.2).
+  void setEntryWithMirror(env::LocationId i, env::LocationId j,
+                          RlmStats stats);
+
+  bool hasEntry(env::LocationId i, env::LocationId j) const;
+
+  /// M[i][j], or nullopt when the pair was never learned.
+  std::optional<RlmStats> entry(env::LocationId i, env::LocationId j) const;
+
+  /// Number of populated directed entries.
+  std::size_t entryCount() const;
+
+ private:
+  std::size_t index(env::LocationId i, env::LocationId j) const;
+  void checkIds(env::LocationId i, env::LocationId j) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::optional<RlmStats>> entries_;
+};
+
+}  // namespace moloc::core

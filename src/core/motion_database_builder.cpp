@@ -1,0 +1,166 @@
+#include "core/motion_database_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::core {
+
+namespace {
+
+/// Fits direction (circular) and offset (linear) Gaussians to a sample.
+RlmStats fitGaussians(const std::vector<double>& directions,
+                      const std::vector<double>& offsets) {
+  RlmStats stats;
+  stats.sampleCount = static_cast<int>(directions.size());
+  stats.muDirectionDeg = geometry::circularMeanDeg(directions);
+
+  // Deviations measured on the circle around the circular mean.
+  std::vector<double> dirDevs;
+  dirDevs.reserve(directions.size());
+  for (double d : directions)
+    dirDevs.push_back(
+        geometry::signedAngularDiffDeg(stats.muDirectionDeg, d));
+  stats.sigmaDirectionDeg = util::stddev(dirDevs);
+
+  stats.muOffsetMeters = util::mean(offsets);
+  stats.sigmaOffsetMeters = util::stddev(offsets);
+  return stats;
+}
+
+}  // namespace
+
+MotionDatabaseBuilder::MotionDatabaseBuilder(const env::FloorPlan& plan,
+                                             BuilderConfig config)
+    : plan_(plan), config_(config) {}
+
+void MotionDatabaseBuilder::addObservation(env::LocationId estimatedStart,
+                                           env::LocationId estimatedEnd,
+                                           double directionDeg,
+                                           double offsetMeters) {
+  // Validate ids eagerly (throws on bad ids).
+  (void)plan_.location(estimatedStart);
+  (void)plan_.location(estimatedEnd);
+  if (!std::isfinite(directionDeg) || !std::isfinite(offsetMeters) ||
+      offsetMeters < 0.0)
+    throw std::invalid_argument(
+        "MotionDatabaseBuilder: non-finite or negative measurement");
+
+  ++observations_;
+  if (estimatedStart == estimatedEnd) {
+    ++droppedSelfPairs_;
+    return;
+  }
+
+  // Data reassembling: anchor every RLM on the smaller-ID endpoint,
+  // mirroring the direction (mutual reachability, Sec. IV.B.2).
+  env::LocationId i = estimatedStart;
+  env::LocationId j = estimatedEnd;
+  double d = geometry::normalizeDeg(directionDeg);
+  if (i > j) {
+    std::swap(i, j);
+    d = geometry::reverseHeadingDeg(d);
+  }
+  raw_[{i, j}].push_back({d, offsetMeters});
+}
+
+std::size_t MotionDatabaseBuilder::pendingObservations() const {
+  std::size_t count = 0;
+  for (const auto& [key, obs] : raw_) count += obs.size();
+  return count;
+}
+
+MotionDatabase MotionDatabaseBuilder::build() const {
+  BuilderReport report;
+  return build(report);
+}
+
+MotionDatabase MotionDatabaseBuilder::build(BuilderReport& report) const {
+  report = BuilderReport{};
+  report.observations = observations_;
+  report.droppedSelfPairs = droppedSelfPairs_;
+
+  MotionDatabase db(plan_.locationCount());
+
+  for (const auto& [key, observations] : raw_) {
+    const auto [i, j] = key;
+    const auto posI = plan_.location(i).pos;
+    const auto posJ = plan_.location(j).pos;
+    // The coarse reference: the RLM computed from map coordinates
+    // (straight line — the paper's "calculated by their corresponding
+    // coordinates").
+    const double mapDirection = geometry::headingBetweenDeg(posI, posJ);
+    const double mapOffset = geometry::distance(posI, posJ);
+
+    std::vector<double> directions;
+    std::vector<double> offsets;
+    for (const auto& obs : observations) {
+      if (config_.enableCoarseFilter) {
+        const bool directionOk =
+            geometry::angularDistDeg(obs.directionDeg, mapDirection) <=
+            config_.coarseDirectionThresholdDeg;
+        const bool offsetOk =
+            std::abs(obs.offsetMeters - mapOffset) <=
+            config_.coarseOffsetThresholdMeters;
+        if (!directionOk || !offsetOk) {
+          ++report.rejectedCoarse;
+          continue;
+        }
+      }
+      directions.push_back(obs.directionDeg);
+      offsets.push_back(obs.offsetMeters);
+    }
+
+    if (static_cast<int>(directions.size()) < config_.minSamplesPerPair) {
+      ++report.underMinSamples;
+      continue;
+    }
+
+    RlmStats stats = fitGaussians(directions, offsets);
+
+    if (config_.enableFineFilter) {
+      // Drop samples beyond k sigma of the first fit, then refit.
+      const double dirLimit = config_.fineSigmaMultiplier *
+                              std::max(stats.sigmaDirectionDeg,
+                                       config_.minDirectionSigmaDeg);
+      const double offLimit = config_.fineSigmaMultiplier *
+                              std::max(stats.sigmaOffsetMeters,
+                                       config_.minOffsetSigmaMeters);
+      std::vector<double> keptDirections;
+      std::vector<double> keptOffsets;
+      for (std::size_t s = 0; s < directions.size(); ++s) {
+        const bool directionOk =
+            geometry::angularDistDeg(directions[s],
+                                     stats.muDirectionDeg) <= dirLimit;
+        const bool offsetOk =
+            std::abs(offsets[s] - stats.muOffsetMeters) <= offLimit;
+        if (directionOk && offsetOk) {
+          keptDirections.push_back(directions[s]);
+          keptOffsets.push_back(offsets[s]);
+        } else {
+          ++report.rejectedFine;
+        }
+      }
+      if (static_cast<int>(keptDirections.size()) <
+          config_.minSamplesPerPair) {
+        ++report.underMinSamples;
+        continue;
+      }
+      stats = fitGaussians(keptDirections, keptOffsets);
+    }
+
+    stats.sigmaDirectionDeg =
+        std::max(stats.sigmaDirectionDeg, config_.minDirectionSigmaDeg);
+    stats.sigmaOffsetMeters =
+        std::max(stats.sigmaOffsetMeters, config_.minOffsetSigmaMeters);
+
+    db.setEntryWithMirror(i, j, stats);
+    ++report.pairsStored;
+  }
+  return db;
+}
+
+}  // namespace moloc::core

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/motion_database.hpp"
+#include "env/floor_plan.hpp"
+
+namespace moloc::core {
+
+/// Sanitation thresholds of the database construction unit
+/// (Sec. IV.B.2).  The coarse/fine toggles exist for the sanitation
+/// ablation; production use keeps both on.
+struct BuilderConfig {
+  double coarseDirectionThresholdDeg = 20.0;  ///< vs. map-derived RLM.
+  double coarseOffsetThresholdMeters = 3.0;   ///< vs. map-derived RLM.
+  double fineSigmaMultiplier = 2.0;  ///< Drop samples beyond k sigma.
+  int minSamplesPerPair = 3;         ///< Entries need this many samples.
+  /// Floors keep the fitted Gaussians from degenerating when a pair's
+  /// surviving samples happen to agree almost exactly.
+  double minDirectionSigmaDeg = 2.0;
+  double minOffsetSigmaMeters = 0.05;
+  bool enableCoarseFilter = true;
+  bool enableFineFilter = true;
+};
+
+/// Counters describing what the sanitation pipeline did — surfaced so
+/// experiments (and operators) can see how dirty the crowd data was.
+struct BuilderReport {
+  std::size_t observations = 0;       ///< Total intake.
+  std::size_t droppedSelfPairs = 0;   ///< i == j observations.
+  std::size_t rejectedCoarse = 0;     ///< Failed the map comparison.
+  std::size_t rejectedFine = 0;       ///< Beyond k sigma of the fit.
+  std::size_t underMinSamples = 0;    ///< Pairs with too few survivors.
+  std::size_t pairsStored = 0;        ///< Undirected pairs in the DB.
+};
+
+/// The crowdsourcing intake and sanitation pipeline that constructs the
+/// motion database (Sec. IV.B).
+///
+/// Observations arrive as (estimated start, estimated end, measured
+/// direction, measured offset).  The builder *reassembles* each onto the
+/// smaller-ID endpoint (mirroring the direction by 180 degrees — mutual
+/// reachability), then at build() time applies the coarse filter
+/// (discard RLMs that disagree with the straight-line map RLM beyond the
+/// thresholds), fits per-pair Gaussians, applies the fine filter (drop
+/// samples beyond `fineSigmaMultiplier` standard deviations), refits,
+/// and stores each surviving pair with its mirror entry.
+class MotionDatabaseBuilder {
+ public:
+  MotionDatabaseBuilder(const env::FloorPlan& plan,
+                        BuilderConfig config = {});
+
+  const BuilderConfig& config() const { return config_; }
+
+  /// Adds one crowdsourced RLM.  Ids must name plan locations; throws
+  /// std::out_of_range otherwise.  Self-pairs are counted and dropped.
+  void addObservation(env::LocationId estimatedStart,
+                      env::LocationId estimatedEnd, double directionDeg,
+                      double offsetMeters);
+
+  /// Number of raw observations currently held (after reassembling,
+  /// before sanitation).
+  std::size_t pendingObservations() const;
+
+  /// Runs sanitation and produces the motion database.  The builder
+  /// retains its raw data, so build() can be called repeatedly (e.g.
+  /// with different configs via `setConfig`).
+  MotionDatabase build() const;
+
+  /// Like build(), but also reports sanitation counters.
+  MotionDatabase build(BuilderReport& report) const;
+
+  /// Replaces the sanitation config (used by the ablation benches).
+  void setConfig(const BuilderConfig& config) { config_ = config; }
+
+ private:
+  struct RawRlm {
+    double directionDeg;
+    double offsetMeters;
+  };
+  using PairKey = std::pair<env::LocationId, env::LocationId>;
+
+  const env::FloorPlan& plan_;
+  BuilderConfig config_;
+  std::map<PairKey, std::vector<RawRlm>> raw_;
+  std::size_t observations_ = 0;
+  std::size_t droppedSelfPairs_ = 0;
+};
+
+}  // namespace moloc::core

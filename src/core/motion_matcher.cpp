@@ -1,0 +1,73 @@
+#include "core/motion_matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::core {
+
+double gaussianWindowProbability(double x, double halfWidth, double mu,
+                                 double sigma) {
+  if (sigma <= 0.0)
+    return std::abs(x - mu) <= halfWidth ? 1.0 : 0.0;
+  const double invSqrt2Sigma = 1.0 / (sigma * std::sqrt(2.0));
+  const double upper = (x + halfWidth - mu) * invSqrt2Sigma;
+  const double lower = (x - halfWidth - mu) * invSqrt2Sigma;
+  return 0.5 * (std::erf(upper) - std::erf(lower));
+}
+
+MotionMatcher::MotionMatcher(const MotionDatabase& db,
+                             MotionMatcherParams params)
+    : db_(db), params_(params) {}
+
+double MotionMatcher::directionFactor(const RlmStats& stats,
+                                      double directionDeg) const {
+  // Integrate the wrapped deviation from the stored circular mean over
+  // a window of width alpha centred on the measurement.
+  const double deviation =
+      geometry::signedAngularDiffDeg(stats.muDirectionDeg, directionDeg);
+  return gaussianWindowProbability(deviation, params_.alphaDeg / 2.0, 0.0,
+                                   stats.sigmaDirectionDeg);
+}
+
+double MotionMatcher::offsetFactor(const RlmStats& stats,
+                                   double offsetMeters) const {
+  return gaussianWindowProbability(offsetMeters, params_.betaMeters / 2.0,
+                                   stats.muOffsetMeters,
+                                   stats.sigmaOffsetMeters);
+}
+
+double MotionMatcher::pairProbability(
+    env::LocationId i, env::LocationId j,
+    const sensors::MotionMeasurement& motion) const {
+  if (i == j) {
+    if (!params_.allowStationary) return params_.unreachableFloor;
+    // Staying put: any direction is equally (un)informative; the offset
+    // should be near zero up to sensor noise.
+    const double directionFactorStationary = params_.alphaDeg / 360.0;
+    const double offsetFactorStationary = gaussianWindowProbability(
+        motion.offsetMeters, params_.betaMeters / 2.0, 0.0,
+        params_.stationarySigmaMeters);
+    return std::max(directionFactorStationary * offsetFactorStationary,
+                    params_.unreachableFloor);
+  }
+
+  const auto stats = db_.entry(i, j);
+  if (!stats) return params_.unreachableFloor;
+  const double p = directionFactor(*stats, motion.directionDeg) *
+                   offsetFactor(*stats, motion.offsetMeters);
+  return std::max(p, params_.unreachableFloor);
+}
+
+double MotionMatcher::setProbability(
+    std::span<const WeightedCandidate> previousCandidates,
+    env::LocationId j, const sensors::MotionMeasurement& motion) const {
+  double acc = 0.0;
+  for (const auto& candidate : previousCandidates)
+    acc += candidate.probability *
+           pairProbability(candidate.location, j, motion);
+  return acc;
+}
+
+}  // namespace moloc::core

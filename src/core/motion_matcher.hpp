@@ -1,0 +1,76 @@
+#pragma once
+
+#include <span>
+
+#include "core/candidate_estimator.hpp"
+#include "core/motion_database.hpp"
+#include "sensors/motion_processor.hpp"
+
+namespace moloc::core {
+
+/// A location carrying a probability — the shape of both the previous
+/// candidate set S of Eq. 6 and the posterior set the engine retains.
+struct WeightedCandidate {
+  env::LocationId location = 0;
+  double probability = 0.0;
+};
+
+/// Parameters of the motion matching unit (Sec. V.B).
+struct MotionMatcherParams {
+  /// Discretization interval of the direction Gaussian (Eq. 5's alpha).
+  /// The paper sets 20 degrees from the motion DB's direction sigmas.
+  double alphaDeg = 20.0;
+  /// Discretization interval of the offset Gaussian (Eq. 5's beta).
+  /// The paper sets 1 m from the motion DB's offset sigmas.
+  double betaMeters = 1.0;
+  /// Probability floor for pairs without a motion-DB entry, so a single
+  /// missing edge cannot zero the posterior (see DESIGN.md).
+  double unreachableFloor = 1e-6;
+  /// Whether a candidate may explain the motion by staying put (i == j).
+  bool allowStationary = true;
+  /// Offset sigma (m) of the stationary model: lingering users still
+  /// register small offsets from sensor noise.
+  double stationarySigmaMeters = 0.5;
+};
+
+/// The motion matching unit: evaluates how well a measured (direction,
+/// offset) pair matches the motion database between locations.
+class MotionMatcher {
+ public:
+  MotionMatcher(const MotionDatabase& db, MotionMatcherParams params = {});
+
+  const MotionMatcherParams& params() const { return params_; }
+
+  /// Eq. 5: P_ij(d, o) = D_ij(d) * O_ij(o), the product of the
+  /// discretized direction and offset Gaussian integrals.  Directions
+  /// are handled circularly (the integration window is recentred on the
+  /// wrapped deviation from the stored mean).  Unknown pairs return the
+  /// configured floor; i == j uses the stationary model when enabled.
+  double pairProbability(env::LocationId i, env::LocationId j,
+                         const sensors::MotionMeasurement& motion) const;
+
+  /// Eq. 6: the probability of arriving at `j` from the previous
+  /// candidate set, marginalizing over candidates' probabilities:
+  /// P_{S,j}(d,o) = sum_i P(x=i) P_ij(d,o).
+  double setProbability(
+      std::span<const WeightedCandidate> previousCandidates,
+      env::LocationId j, const sensors::MotionMeasurement& motion) const;
+
+  /// The direction factor D_ij alone; exposed for tests and ablations.
+  double directionFactor(const RlmStats& stats, double directionDeg) const;
+
+  /// The offset factor O_ij alone; exposed for tests and ablations.
+  double offsetFactor(const RlmStats& stats, double offsetMeters) const;
+
+ private:
+  const MotionDatabase& db_;
+  MotionMatcherParams params_;
+};
+
+/// The probability mass of a N(mu, sigma) variable inside
+/// [x - halfWidth, x + halfWidth]; the building block of Eq. 5.
+/// Degenerate sigma <= 0 returns 1 when |x - mu| <= halfWidth, else 0.
+double gaussianWindowProbability(double x, double halfWidth, double mu,
+                                 double sigma);
+
+}  // namespace moloc::core

@@ -1,0 +1,152 @@
+#include "core/online_motion_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::core {
+
+OnlineMotionDatabase::OnlineMotionDatabase(const env::FloorPlan& plan,
+                                           BuilderConfig config,
+                                           std::size_t reservoirCapacity,
+                                           std::uint64_t seed)
+    : plan_(plan),
+      config_(config),
+      capacity_(reservoirCapacity),
+      rng_(seed),
+      db_(plan.locationCount()) {
+  if (reservoirCapacity <
+      static_cast<std::size_t>(std::max(config.minSamplesPerPair, 1)))
+    throw std::invalid_argument(
+        "OnlineMotionDatabase: reservoir smaller than the per-pair "
+        "sample minimum");
+}
+
+bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
+                                          env::LocationId estimatedEnd,
+                                          double directionDeg,
+                                          double offsetMeters) {
+  const auto& startLoc = plan_.location(estimatedStart);
+  const auto& endLoc = plan_.location(estimatedEnd);
+  if (!std::isfinite(directionDeg) || !std::isfinite(offsetMeters) ||
+      offsetMeters < 0.0)
+    throw std::invalid_argument(
+        "OnlineMotionDatabase: non-finite or negative measurement");
+  ++counters_.observations;
+
+  if (estimatedStart == estimatedEnd) {
+    ++counters_.droppedSelfPairs;
+    return false;
+  }
+
+  // Reassemble onto the smaller-ID endpoint.
+  env::LocationId i = estimatedStart;
+  env::LocationId j = estimatedEnd;
+  double d = geometry::normalizeDeg(directionDeg);
+  geometry::Vec2 posI = startLoc.pos;
+  geometry::Vec2 posJ = endLoc.pos;
+  if (i > j) {
+    std::swap(i, j);
+    std::swap(posI, posJ);
+    d = geometry::reverseHeadingDeg(d);
+  }
+
+  // Coarse filter at intake (vs the straight-line map RLM).
+  if (config_.enableCoarseFilter) {
+    const double mapDirection = geometry::headingBetweenDeg(posI, posJ);
+    const double mapOffset = geometry::distance(posI, posJ);
+    const bool directionOk =
+        geometry::angularDistDeg(d, mapDirection) <=
+        config_.coarseDirectionThresholdDeg;
+    const bool offsetOk = std::abs(offsetMeters - mapOffset) <=
+                          config_.coarseOffsetThresholdMeters;
+    if (!directionOk || !offsetOk) {
+      ++counters_.rejectedCoarse;
+      return false;
+    }
+  }
+
+  auto& reservoir = reservoirs_[{i, j}];
+  ++reservoir.seen;
+  if (reservoir.samples.size() < capacity_) {
+    reservoir.samples.push_back({d, offsetMeters});
+  } else {
+    // Uniform reservoir sampling: replace a random slot with
+    // probability capacity / seen.
+    const auto slot = static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<int>(reservoir.seen) - 1));
+    if (slot < capacity_) reservoir.samples[slot] = {d, offsetMeters};
+  }
+  ++counters_.accepted;
+
+  refit({i, j}, reservoir);
+  return true;
+}
+
+void OnlineMotionDatabase::refit(const PairKey& key,
+                                 const Reservoir& reservoir) {
+  if (static_cast<int>(reservoir.samples.size()) <
+      config_.minSamplesPerPair)
+    return;
+
+  auto fit = [](const std::vector<double>& directions,
+                const std::vector<double>& offsets) {
+    RlmStats stats;
+    stats.sampleCount = static_cast<int>(directions.size());
+    stats.muDirectionDeg = geometry::circularMeanDeg(directions);
+    std::vector<double> devs;
+    devs.reserve(directions.size());
+    for (double d : directions)
+      devs.push_back(
+          geometry::signedAngularDiffDeg(stats.muDirectionDeg, d));
+    stats.sigmaDirectionDeg = util::stddev(devs);
+    stats.muOffsetMeters = util::mean(offsets);
+    stats.sigmaOffsetMeters = util::stddev(offsets);
+    return stats;
+  };
+
+  std::vector<double> directions;
+  std::vector<double> offsets;
+  directions.reserve(reservoir.samples.size());
+  offsets.reserve(reservoir.samples.size());
+  for (const auto& s : reservoir.samples) {
+    directions.push_back(s.directionDeg);
+    offsets.push_back(s.offsetMeters);
+  }
+
+  RlmStats stats = fit(directions, offsets);
+
+  if (config_.enableFineFilter) {
+    const double dirLimit =
+        config_.fineSigmaMultiplier *
+        std::max(stats.sigmaDirectionDeg, config_.minDirectionSigmaDeg);
+    const double offLimit =
+        config_.fineSigmaMultiplier *
+        std::max(stats.sigmaOffsetMeters, config_.minOffsetSigmaMeters);
+    std::vector<double> keptDirections;
+    std::vector<double> keptOffsets;
+    for (std::size_t s = 0; s < directions.size(); ++s) {
+      if (geometry::angularDistDeg(directions[s],
+                                   stats.muDirectionDeg) <= dirLimit &&
+          std::abs(offsets[s] - stats.muOffsetMeters) <= offLimit) {
+        keptDirections.push_back(directions[s]);
+        keptOffsets.push_back(offsets[s]);
+      }
+    }
+    if (static_cast<int>(keptDirections.size()) <
+        config_.minSamplesPerPair)
+      return;
+    stats = fit(keptDirections, keptOffsets);
+  }
+
+  stats.sigmaDirectionDeg =
+      std::max(stats.sigmaDirectionDeg, config_.minDirectionSigmaDeg);
+  stats.sigmaOffsetMeters =
+      std::max(stats.sigmaOffsetMeters, config_.minOffsetSigmaMeters);
+  db_.setEntryWithMirror(key.first, key.second, stats);
+}
+
+}  // namespace moloc::core

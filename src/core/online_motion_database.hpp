@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/motion_database.hpp"
+#include "core/motion_database_builder.hpp"
+#include "env/floor_plan.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::core {
+
+/// An incrementally-updated motion database for deployments where
+/// crowdsourcing never stops (the paper's batch builder assumes a
+/// train-then-serve split).
+///
+/// Each accepted observation lands in a bounded per-pair reservoir
+/// (uniform reservoir sampling once full, so the model tracks the
+/// long-run distribution without unbounded memory), after which that
+/// pair's Gaussians are refitted — including the fine 2-sigma pass —
+/// and written through to the queryable database with its mirror.
+/// The coarse map filter runs at intake, so poisoned or mislocated
+/// observations are rejected before they consume reservoir space.
+class OnlineMotionDatabase {
+ public:
+  /// `reservoirCapacity` bounds per-pair memory; must be >= the
+  /// config's minSamplesPerPair (throws std::invalid_argument).
+  OnlineMotionDatabase(const env::FloorPlan& plan,
+                       BuilderConfig config = {},
+                       std::size_t reservoirCapacity = 64,
+                       std::uint64_t seed = 0x0b5e55edULL);
+
+  /// Feeds one crowdsourced RLM.  Returns true when the observation
+  /// was accepted (passed the coarse filter and was not a self-pair).
+  bool addObservation(env::LocationId estimatedStart,
+                      env::LocationId estimatedEnd, double directionDeg,
+                      double offsetMeters);
+
+  /// The current queryable database.  Always coherent: every stored
+  /// pair reflects the latest refit of its reservoir.
+  const MotionDatabase& database() const { return db_; }
+
+  const BuilderConfig& config() const { return config_; }
+
+  /// Intake counters (coarse rejections, self-pairs, acceptances).
+  struct Counters {
+    std::size_t observations = 0;
+    std::size_t accepted = 0;
+    std::size_t rejectedCoarse = 0;
+    std::size_t droppedSelfPairs = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Number of pairs currently holding at least one sample.
+  std::size_t trackedPairs() const { return reservoirs_.size(); }
+
+ private:
+  struct RawRlm {
+    double directionDeg;
+    double offsetMeters;
+  };
+  struct Reservoir {
+    std::vector<RawRlm> samples;
+    std::size_t seen = 0;  ///< Total accepted, including evicted.
+  };
+  using PairKey = std::pair<env::LocationId, env::LocationId>;
+
+  void refit(const PairKey& key, const Reservoir& reservoir);
+
+  const env::FloorPlan& plan_;
+  BuilderConfig config_;
+  std::size_t capacity_;
+  util::Rng rng_;
+  std::map<PairKey, Reservoir> reservoirs_;
+  MotionDatabase db_;
+  Counters counters_;
+};
+
+}  // namespace moloc::core

@@ -1,0 +1,75 @@
+#include "env/corridor_building.hpp"
+
+namespace moloc::env {
+
+namespace {
+
+/// Adds one side's corridor wall (at `wallY`) with a 2 m door gap in
+/// front of each room centre (rooms span 10 m, centres at 5 + 10k).
+void addCorridorWallWithDoors(FloorPlan& plan, double wallY) {
+  double cursor = 0.0;
+  for (int room = 0; room < CorridorBuildingLayout::kRoomsPerSide;
+       ++room) {
+    const double doorStart = 5.0 + 10.0 * room - 1.0;
+    const double doorEnd = doorStart + 2.0;
+    plan.addWall({{cursor, wallY}, {doorStart, wallY}});
+    cursor = doorEnd;
+  }
+  plan.addWall({{cursor, wallY}, {CorridorBuildingLayout::kWidth, wallY}});
+}
+
+}  // namespace
+
+Site makeCorridorBuilding() {
+  FloorPlan plan(CorridorBuildingLayout::kWidth,
+                 CorridorBuildingLayout::kHeight);
+
+  // Outer walls.
+  plan.addWall({{0.0, 0.0}, {CorridorBuildingLayout::kWidth, 0.0}});
+  plan.addWall({{CorridorBuildingLayout::kWidth, 0.0},
+                {CorridorBuildingLayout::kWidth,
+                 CorridorBuildingLayout::kHeight}});
+  plan.addWall({{CorridorBuildingLayout::kWidth,
+                 CorridorBuildingLayout::kHeight},
+                {0.0, CorridorBuildingLayout::kHeight}});
+  plan.addWall({{0.0, CorridorBuildingLayout::kHeight}, {0.0, 0.0}});
+
+  // The corridor band spans y in [5, 7]; rooms sit above and below,
+  // reachable only through their door gaps.
+  addCorridorWallWithDoors(plan, 7.0);  // North side.
+  addCorridorWallWithDoors(plan, 5.0);  // South side.
+
+  // Partition walls between neighbouring rooms.
+  for (int divider = 1; divider < CorridorBuildingLayout::kRoomsPerSide;
+       ++divider) {
+    const double x = 10.0 * divider;
+    plan.addWall({{x, 7.0}, {x, CorridorBuildingLayout::kHeight}});
+    plan.addWall({{x, 0.0}, {x, 5.0}});
+  }
+
+  // Reference locations: corridor chain first (ids 0-10), then the
+  // north rooms (11-16), then the south rooms (17-22).
+  for (int c = 0; c < CorridorBuildingLayout::kCorridorLocations; ++c)
+    plan.addReferenceLocation({5.0 + 5.0 * c, 6.0});
+  for (int room = 0; room < CorridorBuildingLayout::kRoomsPerSide;
+       ++room)
+    plan.addReferenceLocation({5.0 + 10.0 * room, 9.5});
+  for (int room = 0; room < CorridorBuildingLayout::kRoomsPerSide;
+       ++room)
+    plan.addReferenceLocation({5.0 + 10.0 * room, 2.5});
+
+  Site site{std::move(plan),
+            WalkGraph{},
+            {
+                // Corridor-end APs plus one room-mounted AP per side.
+                {1.0, 6.0},   // West corridor end.
+                {59.0, 6.0},  // East corridor end.
+                {25.0, 11.0}, // Inside a north room.
+                {35.0, 1.0},  // Inside a south room.
+            }};
+  site.graph =
+      WalkGraph::build(site.plan, CorridorBuildingLayout::kAdjacency);
+  return site;
+}
+
+}  // namespace moloc::env

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "env/site.hpp"
+
+namespace moloc::env {
+
+/// A second synthetic deployment, topologically unlike the open office
+/// hall: a 60 m x 12 m office floor with a central corridor and six
+/// walled rooms on each side, each connected to the corridor through a
+/// 2 m door gap.
+///
+/// The layout stresses different properties than the hall does:
+/// corridor locations form a 1-D chain (motion is highly informative),
+/// room locations are walled dead ends (strong RSS attenuation, a
+/// single walkable leg in and out), and room pairs across the corridor
+/// are classic twin candidates.
+///
+/// Reference locations: 11 corridor points (ids 0-10, west to east at
+/// x = 5, 10, ..., 55 on the corridor centreline) and 12 room centres
+/// (ids 11-16 the north rooms west to east, ids 17-22 the south rooms).
+struct CorridorBuildingLayout {
+  static constexpr double kWidth = 60.0;
+  static constexpr double kHeight = 12.0;
+  static constexpr int kCorridorLocations = 11;
+  static constexpr int kRoomsPerSide = 6;
+  static constexpr int kLocations =
+      kCorridorLocations + 2 * kRoomsPerSide;
+  /// Covers the 5 m corridor spacing and the 3.5 m room-door legs,
+  /// excludes room-to-room and diagonal pairs.
+  static constexpr double kAdjacency = 5.2;
+};
+
+/// Builds the corridor building with 4 candidate AP positions.
+Site makeCorridorBuilding();
+
+}  // namespace moloc::env

@@ -1,0 +1,84 @@
+#include "env/office_hall.hpp"
+
+#include <stdexcept>
+
+namespace moloc::env {
+
+namespace {
+
+constexpr double kColumnSpacing = 5.7;
+constexpr double kFirstColumnX = 3.3;
+constexpr double kRowYs[kHallRows] = {14.0, 10.0, 6.0, 2.0};
+
+/// A structural pillar approximated by a small "+" of two segments —
+/// enough to attenuate radio paths that pass through it without
+/// occupying a walkable aisle.
+void addPillar(FloorPlan& plan, geometry::Vec2 center, double halfSize) {
+  plan.addWall({{center.x - halfSize, center.y},
+                {center.x + halfSize, center.y}});
+  plan.addWall({{center.x, center.y - halfSize},
+                {center.x, center.y + halfSize}});
+}
+
+}  // namespace
+
+geometry::Vec2 hallGridPosition(int row, int column) {
+  if (row < 0 || row >= kHallRows || column < 0 || column >= kHallColumns)
+    throw std::out_of_range("hallGridPosition: bad grid index");
+  return {kFirstColumnX + column * kColumnSpacing, kRowYs[row]};
+}
+
+OfficeHall makeOfficeHall() {
+  FloorPlan plan(kHallWidth, kHallHeight);
+
+  // Outer walls.
+  plan.addWall({{0.0, 0.0}, {kHallWidth, 0.0}});
+  plan.addWall({{kHallWidth, 0.0}, {kHallWidth, kHallHeight}});
+  plan.addWall({{kHallWidth, kHallHeight}, {0.0, kHallHeight}});
+  plan.addWall({{0.0, kHallHeight}, {0.0, 0.0}});
+
+  // Partition boards.  P1 severs the vertical legs between the north two
+  // rows at columns 2 and 3; P2 severs the leg between the south two rows
+  // at column 5.  Locations on either side stay geometrically close but
+  // are only reachable via a detour along the aisles.
+  plan.addWall({{12.0, 12.0}, {23.0, 12.0}});
+  plan.addWall({{28.0, 4.0}, {35.5, 4.0}});
+
+  // Structural pillars, placed off the aisles so they attenuate radio
+  // paths without blocking walking legs.
+  addPillar(plan, {6.15, 4.0}, 0.35);
+  addPillar(plan, {17.55, 8.0}, 0.35);
+  addPillar(plan, {28.95, 12.0}, 0.35);
+  addPillar(plan, {34.65, 4.0}, 0.35);
+
+  // Reference locations, row-major from the north row to match the
+  // paper's numbering in Fig. 5.
+  for (int row = 0; row < kHallRows; ++row)
+    for (int col = 0; col < kHallColumns; ++col)
+      plan.addReferenceLocation(hallGridPosition(row, col));
+
+  OfficeHall hall{std::move(plan),
+                  WalkGraph{},
+                  {
+                      // The first four AP sites sit nearly symmetric
+                      // under reflection about both hall mid-lines
+                      // (x = 20.4, y = 8), so with 4 APs every grid
+                      // location has up to three near-"fingerprint
+                      // twins" — the ambiguity the paper studies.  The
+                      // ~0.5 m off-axis jitter keeps the degeneracy
+                      // from being exact (real deployments are never
+                      // perfectly symmetric), and APs 5-6 break the
+                      // mirrors further, so accuracy climbs with AP
+                      // count as in the paper's 4/5/6-AP evaluations.
+                      {2.0, 8.9},    // west mid-wall
+                      {19.4, 15.5},  // north mid-wall
+                      {21.3, 0.5},   // south mid-wall
+                      {38.8, 7.3},   // east mid-wall
+                      {11.0, 9.5},   // off-axis ceiling mount (west)
+                      {29.0, 7.0},   // off-axis ceiling mount (east)
+                  }};
+  hall.graph = WalkGraph::build(hall.plan, kHallAdjacency);
+  return hall;
+}
+
+}  // namespace moloc::env

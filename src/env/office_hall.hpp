@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "env/site.hpp"
+
+namespace moloc::env {
+
+/// The paper's deployment site (Fig. 5), rebuilt synthetically.
+///
+/// A 40.8 m x 16 m office hall with 28 reference locations laid out as a
+/// 7-column x 4-row grid along the aisles, structural pillars, partition
+/// boards that sever a few geometrically-close legs (so walkable !=
+/// straight-line — the consistency principle of Sec. IV.A), and 6 AP
+/// sites placed near-symmetrically so that mirrored locations become
+/// "fingerprint twins", the ambiguity MoLoc is designed to resolve.
+/// Experiments use the first 4, 5, or 6 AP positions, matching the
+/// paper's 4/5/6-AP evaluations.
+using OfficeHall = Site;
+
+/// Grid geometry shared by the factory and the tests.
+inline constexpr int kHallColumns = 7;
+inline constexpr int kHallRows = 4;
+inline constexpr int kHallLocations = kHallColumns * kHallRows;
+inline constexpr double kHallWidth = 40.8;
+inline constexpr double kHallHeight = 16.0;
+/// Neighbour cutoff for the aisle graph: spans the 5.7 m column spacing
+/// and the 4.0 m row spacing but excludes diagonals.
+inline constexpr double kHallAdjacency = 5.8;
+
+/// Builds the office hall.  Location ids are row-major from the north
+/// row: id = row * 7 + column, so paper location n is id n-1.
+OfficeHall makeOfficeHall();
+
+/// Position of the grid point at (row, column); row 0 is the north row.
+geometry::Vec2 hallGridPosition(int row, int column);
+
+}  // namespace moloc::env

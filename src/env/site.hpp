@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "env/walk_graph.hpp"
+
+namespace moloc::env {
+
+/// A deployable site: the floor plan, its walkable-aisle graph, and
+/// the candidate AP positions.  Factories under env/ build concrete
+/// sites (the paper's office hall, the corridor building); experiments
+/// and the evaluation harness consume any Site interchangeably.
+struct Site {
+  FloorPlan plan;
+  WalkGraph graph;
+  /// Candidate AP sites; experiments use a prefix of this list.
+  std::vector<geometry::Vec2> apPositions;
+};
+
+}  // namespace moloc::env

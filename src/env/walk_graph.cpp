@@ -1,0 +1,135 @@
+#include "env/walk_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::env {
+
+WalkGraph WalkGraph::build(const FloorPlan& plan, double maxAdjacencyDist) {
+  WalkGraph graph;
+  const auto locs = plan.locations();
+  graph.adjacency_.resize(locs.size());
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    for (std::size_t j = i + 1; j < locs.size(); ++j) {
+      const auto a = locs[i].pos;
+      const auto b = locs[j].pos;
+      const double dist = geometry::distance(a, b);
+      if (dist > maxAdjacencyDist) continue;
+      if (plan.lineBlocked(a, b)) continue;
+      graph.adjacency_[i].push_back(
+          {locs[j].id, dist, geometry::headingBetweenDeg(a, b)});
+      graph.adjacency_[j].push_back(
+          {locs[i].id, dist, geometry::headingBetweenDeg(b, a)});
+    }
+  }
+  return graph;
+}
+
+std::span<const WalkEdge> WalkGraph::neighbors(LocationId id) const {
+  checkId(id);
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+bool WalkGraph::adjacent(LocationId i, LocationId j) const {
+  if (i == j) return false;
+  for (const auto& e : neighbors(i))
+    if (e.to == j) return true;
+  return false;
+}
+
+std::optional<double> WalkGraph::edgeLength(LocationId i,
+                                            LocationId j) const {
+  for (const auto& e : neighbors(i))
+    if (e.to == j) return e.length;
+  return std::nullopt;
+}
+
+std::optional<GroundTruthRlm> WalkGraph::groundTruthRlm(
+    LocationId i, LocationId j) const {
+  for (const auto& e : neighbors(i))
+    if (e.to == j) return GroundTruthRlm{e.headingDeg, e.length};
+  return std::nullopt;
+}
+
+std::optional<WalkPath> WalkGraph::shortestPath(LocationId i,
+                                                LocationId j) const {
+  checkId(i);
+  checkId(j);
+  if (i == j) return WalkPath{{i}, 0.0};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(adjacency_.size(), kInf);
+  std::vector<LocationId> prev(adjacency_.size(), -1);
+  using Entry = std::pair<double, LocationId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(i)] = 0.0;
+  pq.push({0.0, i});
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == j) break;
+    for (const auto& e : adjacency_[static_cast<std::size_t>(u)]) {
+      const double nd = d + e.length;
+      if (nd < dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        prev[static_cast<std::size_t>(e.to)] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(j)] == kInf) return std::nullopt;
+
+  WalkPath path;
+  path.length = dist[static_cast<std::size_t>(j)];
+  for (LocationId v = j; v != -1; v = prev[static_cast<std::size_t>(v)])
+    path.nodes.push_back(v);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+double WalkGraph::walkableDistance(LocationId i, LocationId j) const {
+  const auto path = shortestPath(i, j);
+  return path ? path->length : std::numeric_limits<double>::infinity();
+}
+
+bool WalkGraph::isConnected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<LocationId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const LocationId u = stack.back();
+    stack.pop_back();
+    for (const auto& e : adjacency_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+std::size_t WalkGraph::edgeCount() const {
+  std::size_t directed = 0;
+  for (const auto& edges : adjacency_) directed += edges.size();
+  return directed / 2;
+}
+
+void WalkGraph::checkId(LocationId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= adjacency_.size())
+    throw std::out_of_range("WalkGraph: bad location id " +
+                            std::to_string(id));
+}
+
+}  // namespace moloc::env

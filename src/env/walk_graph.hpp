@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+
+namespace moloc::env {
+
+/// One directed aisle edge out of a reference location.
+struct WalkEdge {
+  LocationId to = 0;
+  double length = 0.0;       ///< Walkable length of the leg, metres.
+  double headingDeg = 0.0;   ///< Compass heading of the leg.
+};
+
+/// Ground-truth relative location measurement between adjacent
+/// locations — the quantity the crowdsourced motion database estimates.
+struct GroundTruthRlm {
+  double directionDeg = 0.0;
+  double offsetMeters = 0.0;
+};
+
+/// A shortest walkable route between two reference locations.
+struct WalkPath {
+  std::vector<LocationId> nodes;  ///< Including both endpoints.
+  double length = 0.0;            ///< Total walkable length, metres.
+};
+
+/// The walkable-aisle graph over a floor plan's reference locations.
+///
+/// Two locations are adjacent iff they are within `maxAdjacencyDist` of
+/// each other *and* the straight leg between them crosses no wall — this
+/// is the paper's "principle of consistency": geometric closeness does
+/// not imply walkability when a partition intervenes.  The graph feeds
+/// (a) ground-truth RLMs for validating the crowdsourced motion database
+/// (Fig. 6), (b) random-walk trajectory generation, and (c) the HMM
+/// baseline's transition model.
+class WalkGraph {
+ public:
+  /// Builds the graph from the plan's reference locations.
+  static WalkGraph build(const FloorPlan& plan, double maxAdjacencyDist);
+
+  std::size_t nodeCount() const { return adjacency_.size(); }
+
+  /// Outgoing edges of `id`; throws std::out_of_range for a bad id.
+  std::span<const WalkEdge> neighbors(LocationId id) const;
+
+  /// True iff i and j share a direct aisle leg (i != j).
+  bool adjacent(LocationId i, LocationId j) const;
+
+  /// Direct leg length between adjacent i, j; nullopt otherwise.
+  std::optional<double> edgeLength(LocationId i, LocationId j) const;
+
+  /// Map-derived RLM for the direct leg i -> j (adjacent pairs only).
+  std::optional<GroundTruthRlm> groundTruthRlm(LocationId i,
+                                               LocationId j) const;
+
+  /// Dijkstra shortest walkable route; nullopt when disconnected.
+  /// i == j yields the trivial single-node path of length 0.
+  std::optional<WalkPath> shortestPath(LocationId i, LocationId j) const;
+
+  /// Length of the shortest walkable route; +infinity when disconnected.
+  double walkableDistance(LocationId i, LocationId j) const;
+
+  /// True when every node can reach every other node.
+  bool isConnected() const;
+
+  /// Total number of undirected edges.
+  std::size_t edgeCount() const;
+
+ private:
+  void checkId(LocationId id) const;
+
+  std::vector<std::vector<WalkEdge>> adjacency_;
+};
+
+}  // namespace moloc::env

@@ -1,0 +1,62 @@
+#include "eval/ambiguity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace moloc::eval {
+
+std::vector<TwinPair> findFingerprintTwins(
+    const radio::FingerprintDatabase& db, const env::FloorPlan& plan,
+    TwinCriteria criteria) {
+  const auto ids = db.locationIds();
+  std::vector<TwinPair> twins;
+  for (std::size_t x = 0; x < ids.size(); ++x) {
+    for (std::size_t y = x + 1; y < ids.size(); ++y) {
+      const double fingerprintGap =
+          radio::dissimilarity(db.entry(ids[x]), db.entry(ids[y]));
+      if (fingerprintGap > criteria.maxFingerprintGapDb) continue;
+      const double geometricGap = geometry::distance(
+          plan.location(ids[x]).pos, plan.location(ids[y]).pos);
+      if (geometricGap < criteria.minGeometricGapMeters) continue;
+      twins.push_back({ids[x], ids[y], fingerprintGap, geometricGap});
+    }
+  }
+  std::sort(twins.begin(), twins.end(),
+            [](const TwinPair& a, const TwinPair& b) {
+              return a.fingerprintGapDb < b.fingerprintGapDb;
+            });
+  return twins;
+}
+
+std::vector<AmbiguityScore> ambiguityScores(
+    const radio::FingerprintDatabase& db, const env::FloorPlan& plan) {
+  const auto ids = db.locationIds();
+  std::vector<AmbiguityScore> scores;
+  scores.reserve(ids.size());
+  for (const auto id : ids) {
+    AmbiguityScore score;
+    score.location = id;
+    score.fingerprintGapDb = std::numeric_limits<double>::infinity();
+    for (const auto other : ids) {
+      if (other == id) continue;
+      const double gap =
+          radio::dissimilarity(db.entry(id), db.entry(other));
+      if (gap < score.fingerprintGapDb) {
+        score.fingerprintGapDb = gap;
+        score.nearestInSignalSpace = other;
+      }
+    }
+    if (!ids.empty() && ids.size() > 1)
+      score.errorIfConfusedMeters = geometry::distance(
+          plan.location(id).pos,
+          plan.location(score.nearestInSignalSpace).pos);
+    scores.push_back(score);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const AmbiguityScore& a, const AmbiguityScore& b) {
+              return a.errorIfConfusedMeters > b.errorIfConfusedMeters;
+            });
+  return scores;
+}
+
+}  // namespace moloc::eval

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::eval {
+
+/// A pair of reference locations whose radio-map fingerprints are
+/// nearly identical while the locations themselves are far apart —
+/// the paper's "fingerprint twins" (its Sec. VI.B.3 names the pairs
+/// (2,15), (10,27) and (13,26) in its hall).
+struct TwinPair {
+  env::LocationId a = 0;
+  env::LocationId b = 0;
+  double fingerprintGapDb = 0.0;   ///< phi between radio-map entries.
+  double geometricGapMeters = 0.0; ///< Distance between the locations.
+};
+
+/// Thresholds defining a twin: fingerprints closer than
+/// `maxFingerprintGapDb` while locations farther than
+/// `minGeometricGapMeters`.
+struct TwinCriteria {
+  double maxFingerprintGapDb = 8.0;
+  double minGeometricGapMeters = 6.0;
+};
+
+/// Scans the radio map for twin pairs, sorted by ascending fingerprint
+/// gap (the most confusable first).
+std::vector<TwinPair> findFingerprintTwins(
+    const radio::FingerprintDatabase& db, const env::FloorPlan& plan,
+    TwinCriteria criteria = {});
+
+/// An overall ambiguity score for one location: the geometric distance
+/// (metres) to the location with the most similar fingerprint.  High
+/// values mean a confusion would be a *large* error — the locations
+/// the paper's Fig. 8 isolates.
+struct AmbiguityScore {
+  env::LocationId location = 0;
+  env::LocationId nearestInSignalSpace = 0;
+  double fingerprintGapDb = 0.0;
+  double errorIfConfusedMeters = 0.0;
+};
+
+/// Per-location ambiguity, sorted by descending error-if-confused.
+std::vector<AmbiguityScore> ambiguityScores(
+    const radio::FingerprintDatabase& db, const env::FloorPlan& plan);
+
+}  // namespace moloc::eval

@@ -1,0 +1,78 @@
+#include "eval/ascii_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace moloc::eval {
+
+AsciiMap::AsciiMap(const env::FloorPlan& plan, double metersPerCell)
+    : plan_(plan), metersPerCell_(metersPerCell) {
+  if (metersPerCell <= 0.0)
+    throw std::invalid_argument("AsciiMap: resolution must be positive");
+  // Two characters per horizontal cell approximates square cells in a
+  // terminal font.
+  columns_ = static_cast<std::size_t>(
+                 std::ceil(plan.width() / metersPerCell)) *
+                 2 +
+             1;
+  rows_ = static_cast<std::size_t>(
+              std::ceil(plan.height() / metersPerCell)) +
+          1;
+  grid_.assign(rows_, std::string(columns_, ' '));
+
+  // Rasterize walls by sampling each segment.
+  for (const auto& wall : plan.walls()) {
+    const double length = wall.length();
+    const int samples =
+        std::max(2, static_cast<int>(length / (metersPerCell * 0.25)));
+    for (int s = 0; s <= samples; ++s) {
+      const auto p = wall.pointAt(static_cast<double>(s) / samples);
+      grid_[rowOf(p.y)][columnOf(p.x)] = '#';
+    }
+  }
+
+  // Reference locations as two-digit ids (mod 100).
+  for (const auto& loc : plan.locations()) {
+    const auto row = rowOf(loc.pos.y);
+    const auto col = columnOf(loc.pos.x);
+    const int id = loc.id % 100;
+    grid_[row][col] = static_cast<char>('0' + id / 10);
+    if (col + 1 < columns_)
+      grid_[row][col + 1] = static_cast<char>('0' + id % 10);
+  }
+}
+
+std::size_t AsciiMap::columnOf(double x) const {
+  const double clamped = std::clamp(x, 0.0, plan_.width());
+  const auto col = static_cast<std::size_t>(clamped / metersPerCell_) * 2;
+  return std::min(col, columns_ - 1);
+}
+
+std::size_t AsciiMap::rowOf(double y) const {
+  const double clamped = std::clamp(y, 0.0, plan_.height());
+  // North (max y) at the top row.
+  const auto fromBottom =
+      static_cast<std::size_t>(clamped / metersPerCell_);
+  return rows_ - 1 - std::min(fromBottom, rows_ - 1);
+}
+
+void AsciiMap::mark(geometry::Vec2 pos, char symbol) {
+  grid_[rowOf(pos.y)][columnOf(pos.x)] = symbol;
+}
+
+void AsciiMap::markLocation(env::LocationId id, char symbol) {
+  mark(plan_.location(id).pos, symbol);
+}
+
+std::string AsciiMap::render() const {
+  std::string out;
+  out.reserve(rows_ * (columns_ + 1));
+  for (const auto& row : grid_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace moloc::eval

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+
+namespace moloc::eval {
+
+/// Renders a floor plan as ASCII art for terminal output: reference
+/// locations (two-digit ids), walls ('#'), and optional per-run marks
+/// (e.g. 'T' for the ground truth, 'M'/'W' for method estimates).
+///
+/// Used by the examples to show where estimates land relative to the
+/// truth without leaving the terminal.
+class AsciiMap {
+ public:
+  /// `metersPerCell` controls resolution; each cell is one character
+  /// (plans render roughly 2x wider than tall to compensate for
+  /// character aspect).  Throws std::invalid_argument for non-positive
+  /// resolution.
+  AsciiMap(const env::FloorPlan& plan, double metersPerCell = 1.0);
+
+  /// Overlays a single-character mark at a world position (clamped to
+  /// the plan bounds).  Later marks overwrite earlier ones.
+  void mark(geometry::Vec2 pos, char symbol);
+
+  /// Overlays a mark at a reference location.
+  void markLocation(env::LocationId id, char symbol);
+
+  /// The rendered map, row per line, north at the top.
+  std::string render() const;
+
+ private:
+  std::size_t columnOf(double x) const;
+  std::size_t rowOf(double y) const;
+
+  const env::FloorPlan& plan_;
+  double metersPerCell_;
+  std::size_t columns_;
+  std::size_t rows_;
+  std::vector<std::string> grid_;
+};
+
+}  // namespace moloc::eval

@@ -1,0 +1,44 @@
+#include "eval/convergence.hpp"
+
+namespace moloc::eval {
+
+ConvergenceStats analyzeConvergence(
+    std::span<const std::vector<LocalizationRecord>> walks,
+    bool onlyErroneousInitial) {
+  ConvergenceStats stats;
+  double elSum = 0.0;
+  ErrorStats subsequent;
+
+  for (const auto& walk : walks) {
+    if (walk.empty()) continue;
+    if (onlyErroneousInitial && walk.front().accurate()) continue;
+
+    ++stats.tracesAnalyzed;
+
+    std::size_t firstAccurate = walk.size();
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      if (walk[i].accurate()) {
+        firstAccurate = i;
+        break;
+      }
+    }
+
+    elSum += static_cast<double>(firstAccurate);
+    if (firstAccurate == walk.size()) {
+      ++stats.tracesNeverAccurate;
+      continue;
+    }
+    for (std::size_t i = firstAccurate + 1; i < walk.size(); ++i)
+      subsequent.add(walk[i]);
+  }
+
+  if (stats.tracesAnalyzed > 0)
+    stats.meanErroneousBeforeFirstAccurate =
+        elSum / static_cast<double>(stats.tracesAnalyzed);
+  stats.subsequentAccuracy = subsequent.accuracy();
+  stats.subsequentMeanError = subsequent.meanError();
+  stats.subsequentMaxError = subsequent.maxError();
+  return stats;
+}
+
+}  // namespace moloc::eval

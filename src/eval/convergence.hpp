@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eval/error_stats.hpp"
+
+namespace moloc::eval {
+
+/// Convergence summary (Table I of the paper): over walks whose initial
+/// estimate was erroneous, how many erroneous localizations (EL) precede
+/// the first accurate one, and how the method performs afterwards.
+struct ConvergenceStats {
+  double meanErroneousBeforeFirstAccurate = 0.0;  ///< "EL" in Table I.
+  double subsequentAccuracy = 0.0;   ///< Exact-fix rate after converging.
+  double subsequentMeanError = 0.0;  ///< Metres.
+  double subsequentMaxError = 0.0;   ///< Metres.
+  std::size_t tracesAnalyzed = 0;    ///< Walks entering the statistics.
+  std::size_t tracesNeverAccurate = 0;  ///< Walks with no accurate fix.
+};
+
+/// Analyzes per-walk record sequences (each inner span is one walk's
+/// fixes in order, the initial fix first).
+///
+/// When `onlyErroneousInitial` is set (the paper's Table I protocol),
+/// walks whose very first fix was already accurate are skipped.  A walk
+/// that never produces an accurate fix contributes its full length to
+/// the EL average and nothing to the subsequent statistics.
+ConvergenceStats analyzeConvergence(
+    std::span<const std::vector<LocalizationRecord>> walks,
+    bool onlyErroneousInitial = true);
+
+}  // namespace moloc::eval

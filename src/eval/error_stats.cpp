@@ -1,0 +1,19 @@
+#include "eval/error_stats.hpp"
+
+namespace moloc::eval {
+
+void ErrorStats::add(const LocalizationRecord& record) {
+  errors_.push_back(record.errorMeters);
+  if (record.accurate()) ++exact_;
+}
+
+void ErrorStats::addAll(std::span<const LocalizationRecord> records) {
+  for (const auto& r : records) add(r);
+}
+
+double ErrorStats::accuracy() const {
+  if (errors_.empty()) return 0.0;
+  return static_cast<double>(exact_) / static_cast<double>(errors_.size());
+}
+
+}  // namespace moloc::eval

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::eval {
+
+/// One localization outcome: what a method answered vs. the ground
+/// truth, with the metric error between the two reference points.
+struct LocalizationRecord {
+  env::LocationId estimated = 0;
+  env::LocationId truth = 0;
+  double errorMeters = 0.0;
+
+  /// The paper's "accurate" criterion: the estimate names the
+  /// ground-truth reference location.
+  bool accurate() const { return estimated == truth; }
+};
+
+/// Accumulates localization records and answers the questions the
+/// paper's evaluation asks: accuracy (fraction of exact fixes), mean /
+/// max / median / percentile error, and the error CDF (Figs. 7-8).
+class ErrorStats {
+ public:
+  void add(const LocalizationRecord& record);
+  void addAll(std::span<const LocalizationRecord> records);
+
+  std::size_t count() const { return errors_.size(); }
+  bool empty() const { return errors_.empty(); }
+
+  /// Fraction of fixes whose estimate equals the ground truth.
+  double accuracy() const;
+
+  double meanError() const { return util::mean(errors_); }
+  double maxError() const { return util::maxValue(errors_); }
+  double medianError() const { return util::median(errors_); }
+  double percentileError(double pct) const {
+    return util::percentile(errors_, pct);
+  }
+
+  std::span<const double> errors() const { return errors_; }
+
+  /// Empirical CDF of the errors (full resolution).
+  std::vector<util::CdfPoint> cdf() const {
+    return util::empiricalCdf(errors_);
+  }
+
+  /// CDF downsampled for printing.
+  std::vector<util::CdfPoint> cdf(std::size_t points) const {
+    return util::sampledCdf(errors_, points);
+  }
+
+ private:
+  std::vector<double> errors_;
+  std::size_t exact_ = 0;
+};
+
+}  // namespace moloc::eval

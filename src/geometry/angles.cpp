@@ -1,0 +1,86 @@
+#include "geometry/angles.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace moloc::geometry {
+
+double normalizeDeg(double deg) {
+  double wrapped = std::fmod(deg, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  // A tiny negative input can round back up to exactly 360.
+  if (wrapped >= 360.0) wrapped -= 360.0;
+  return wrapped;
+}
+
+double signedAngularDiffDeg(double from, double to) {
+  double diff = normalizeDeg(to - from);
+  if (diff > 180.0) diff -= 360.0;
+  return diff;
+}
+
+double angularDistDeg(double a, double b) {
+  return std::abs(signedAngularDiffDeg(a, b));
+}
+
+double reverseHeadingDeg(double deg) { return normalizeDeg(deg + 180.0); }
+
+double circularMeanDeg(std::span<const double> degs) {
+  if (degs.empty()) return 0.0;
+  double sumSin = 0.0;
+  double sumCos = 0.0;
+  for (double d : degs) {
+    sumSin += std::sin(degToRad(d));
+    sumCos += std::cos(degToRad(d));
+  }
+  if (sumSin == 0.0 && sumCos == 0.0) return 0.0;
+  return normalizeDeg(radToDeg(std::atan2(sumSin, sumCos)));
+}
+
+double circularMedianDeg(std::span<const double> degs) {
+  if (degs.empty()) return 0.0;
+  if (degs.size() == 1) return normalizeDeg(degs[0]);
+
+  // Bound the candidate set so the cost stays ~O(200 n).
+  const std::size_t stride = degs.size() > 200 ? degs.size() / 200 : 1;
+  double best = degs[0];
+  double bestCost = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < degs.size(); c += stride) {
+    double cost = 0.0;
+    for (double d : degs) cost += angularDistDeg(degs[c], d);
+    if (cost < bestCost) {
+      bestCost = cost;
+      best = degs[c];
+    }
+  }
+  return normalizeDeg(best);
+}
+
+double circularStddevDeg(std::span<const double> degs) {
+  if (degs.size() < 2) return 0.0;
+  double sumSin = 0.0;
+  double sumCos = 0.0;
+  for (double d : degs) {
+    sumSin += std::sin(degToRad(d));
+    sumCos += std::cos(degToRad(d));
+  }
+  const double n = static_cast<double>(degs.size());
+  const double r = std::hypot(sumSin / n, sumCos / n);
+  if (r <= 0.0) return 180.0;  // Perfectly dispersed sample.
+  if (r >= 1.0) return 0.0;
+  return radToDeg(std::sqrt(-2.0 * std::log(r)));
+}
+
+double headingBetweenDeg(Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  if (d.x == 0.0 && d.y == 0.0) return 0.0;
+  // Compass heading: clockwise from north, so atan2 of (east, north).
+  return normalizeDeg(radToDeg(std::atan2(d.x, d.y)));
+}
+
+Vec2 headingToUnitVec(double deg) {
+  const double rad = degToRad(deg);
+  return {std::sin(rad), std::cos(rad)};
+}
+
+}  // namespace moloc::geometry

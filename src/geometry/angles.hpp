@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+
+#include "geometry/vec2.hpp"
+
+namespace moloc::geometry {
+
+/// Circular arithmetic on compass headings.
+///
+/// Headings are degrees in [0, 360), clockwise from north — the raw
+/// convention of a phone's digital compass and of the paper's relative
+/// location measurements (RLMs).  All differences are computed on the
+/// circle, never as plain subtraction.
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+constexpr double degToRad(double deg) { return deg * kPi / 180.0; }
+constexpr double radToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wraps any angle (degrees) into [0, 360).
+double normalizeDeg(double deg);
+
+/// Signed smallest rotation from `from` to `to`, in (-180, 180].
+double signedAngularDiffDeg(double from, double to);
+
+/// Absolute circular distance between two headings, in [0, 180].
+double angularDistDeg(double a, double b);
+
+/// The paper's mirror rule for mutual reachability:
+/// reverse(d) = d + 180 (mod 360).
+double reverseHeadingDeg(double deg);
+
+/// Circular mean of a set of headings (degrees); 0 for an empty set.
+/// Computed via the resultant vector, so {350, 10} averages to 0.
+double circularMeanDeg(std::span<const double> degs);
+
+/// Circular median of a set of headings (degrees): the sample heading
+/// minimizing the total circular distance to all others — robust to a
+/// minority of outliers (e.g. a magnetic-disturbance window), unlike
+/// the circular mean.  For large samples, candidates are subsampled
+/// (every k-th element) to bound the cost; distances are still summed
+/// over the full sample.  Returns 0 for an empty set.
+double circularMedianDeg(std::span<const double> degs);
+
+/// Circular standard deviation (degrees) around the circular mean,
+/// computed as sqrt(-2 ln R) in radians, the standard directional
+/// statistic; 0 for fewer than 2 samples.
+double circularStddevDeg(std::span<const double> degs);
+
+/// Compass heading (deg, clockwise from north) of the displacement a->b.
+/// Returns 0 if the two points coincide.
+double headingBetweenDeg(Vec2 a, Vec2 b);
+
+/// Unit displacement for a compass heading: heading 0 -> (0, 1),
+/// heading 90 -> (1, 0).
+Vec2 headingToUnitVec(double deg);
+
+}  // namespace moloc::geometry

@@ -1,0 +1,50 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+
+namespace moloc::geometry {
+
+namespace {
+
+/// Orientation of the ordered triple (a, b, c):
+/// +1 counterclockwise, -1 clockwise, 0 collinear (within tolerance).
+int orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double cross = (b - a).cross(c - a);
+  constexpr double kEps = 1e-12;
+  if (cross > kEps) return 1;
+  if (cross < -kEps) return -1;
+  return 0;
+}
+
+/// For collinear a, b, c: is c within the bounding box of [a, b]?
+bool onSegment(Vec2 a, Vec2 b, Vec2 c) {
+  return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool segmentsIntersect(const Segment& s1, const Segment& s2) {
+  const int o1 = orientation(s1.a, s1.b, s2.a);
+  const int o2 = orientation(s1.a, s1.b, s2.b);
+  const int o3 = orientation(s2.a, s2.b, s1.a);
+  const int o4 = orientation(s2.a, s2.b, s1.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  if (o1 == 0 && onSegment(s1.a, s1.b, s2.a)) return true;
+  if (o2 == 0 && onSegment(s1.a, s1.b, s2.b)) return true;
+  if (o3 == 0 && onSegment(s2.a, s2.b, s1.a)) return true;
+  if (o4 == 0 && onSegment(s2.a, s2.b, s1.b)) return true;
+  return false;
+}
+
+double distanceToSegment(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.squaredNorm();
+  if (len2 == 0.0) return distance(p, s.a);
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return distance(p, s.pointAt(t));
+}
+
+}  // namespace moloc::geometry

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace moloc::geometry {
+
+/// A line segment in the floor plan; walls and walk legs are segments.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  Vec2 midpoint() const { return (a + b) * 0.5; }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  Vec2 pointAt(double t) const { return a + (b - a) * t; }
+};
+
+/// True when the two segments properly intersect or touch.
+///
+/// Used both for wall-crossing tests in the radio propagation model
+/// (each crossed wall attenuates the signal) and for walkability tests
+/// when building the aisle graph (a leg blocked by a wall is not
+/// walkable even if its endpoints are geometrically close).
+bool segmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// Number of walls in `walls` crossed by the open segment from `from`
+/// to `to`.
+template <typename WallRange>
+int countCrossings(Vec2 from, Vec2 to, const WallRange& walls) {
+  const Segment path{from, to};
+  int crossings = 0;
+  for (const Segment& wall : walls)
+    if (segmentsIntersect(path, wall)) ++crossings;
+  return crossings;
+}
+
+/// Shortest distance from point `p` to the segment.
+double distanceToSegment(Vec2 p, const Segment& s);
+
+}  // namespace moloc::geometry

@@ -1,0 +1,5 @@
+#include "geometry/vec2.hpp"
+
+// Vec2 is fully inline; this translation unit exists so the geometry
+// component has a stable object file for the library archive.
+namespace moloc::geometry {}

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cmath>
+
+namespace moloc::geometry {
+
+/// A 2-D point / displacement in metres, world coordinates.
+///
+/// The floor-plan convention throughout the library: +x points east,
+/// +y points north, and compass headings are measured clockwise from
+/// north (see angles.hpp for conversions).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component); >0 when `o` lies counterclockwise.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double squaredNorm() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace moloc::geometry

@@ -1,0 +1,242 @@
+#include "io/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace moloc::io {
+
+namespace {
+
+constexpr char kFingerprintHeader[] = "moloc-fingerprint-db v1";
+constexpr char kMotionHeader[] = "moloc-motion-db v1";
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("moloc::io: line " + std::to_string(line) +
+                           ": " + what);
+}
+
+/// Reads one non-empty line; returns false at EOF.
+bool nextLine(std::istream& in, std::string& line, int& lineNo) {
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (!line.empty()) return true;
+  }
+  return false;
+}
+
+std::ofstream openForWrite(const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("moloc::io: cannot open for writing: " +
+                             path);
+  return out;
+}
+
+std::ifstream openForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("moloc::io: cannot open for reading: " +
+                             path);
+  return in;
+}
+
+}  // namespace
+
+void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
+                             std::ostream& out) {
+  out << kFingerprintHeader << '\n';
+  out << "aps " << db.apCount() << '\n';
+  out.precision(17);
+  for (const env::LocationId id : db.locationIds()) {
+    const auto& fp = db.entry(id);
+    out << "location " << id;
+    for (std::size_t i = 0; i < fp.size(); ++i) out << ' ' << fp[i];
+    out << '\n';
+  }
+}
+
+radio::FingerprintDatabase loadFingerprintDatabase(std::istream& in) {
+  int lineNo = 0;
+  std::string line;
+  if (!nextLine(in, line, lineNo) || line != kFingerprintHeader)
+    fail(lineNo, "expected header '" + std::string(kFingerprintHeader) +
+                     "'");
+
+  if (!nextLine(in, line, lineNo)) fail(lineNo, "missing 'aps' line");
+  std::istringstream apsLine(line);
+  std::string keyword;
+  std::size_t apCount = 0;
+  if (!(apsLine >> keyword >> apCount) || keyword != "aps")
+    fail(lineNo, "expected 'aps <n>'");
+  if (apCount == 0) fail(lineNo, "aps must be >= 1");
+
+  radio::FingerprintDatabase db;
+  while (nextLine(in, line, lineNo)) {
+    std::istringstream row(line);
+    env::LocationId id = 0;
+    if (!(row >> keyword >> id) || keyword != "location")
+      fail(lineNo, "expected 'location <id> <rss...>'");
+    if (id < 0) fail(lineNo, "negative location id");
+    std::vector<double> rss;
+    double value = 0.0;
+    while (row >> value) rss.push_back(value);
+    if (rss.size() != apCount)
+      fail(lineNo, "expected " + std::to_string(apCount) +
+                       " RSS values, got " + std::to_string(rss.size()));
+    try {
+      db.addLocation(id, radio::Fingerprint(std::move(rss)));
+    } catch (const std::invalid_argument& e) {
+      fail(lineNo, e.what());
+    }
+  }
+  return db;
+}
+
+void saveMotionDatabase(const core::MotionDatabase& db,
+                        std::ostream& out) {
+  out << kMotionHeader << '\n';
+  out << "locations " << db.locationCount() << '\n';
+  out.precision(17);
+  const auto n = static_cast<env::LocationId>(db.locationCount());
+  for (env::LocationId i = 0; i < n; ++i) {
+    for (env::LocationId j = 0; j < n; ++j) {
+      const auto entry = db.entry(i, j);
+      if (!entry) continue;
+      out << "entry " << i << ' ' << j << ' ' << entry->muDirectionDeg
+          << ' ' << entry->sigmaDirectionDeg << ' '
+          << entry->muOffsetMeters << ' ' << entry->sigmaOffsetMeters
+          << ' ' << entry->sampleCount << '\n';
+    }
+  }
+}
+
+core::MotionDatabase loadMotionDatabase(std::istream& in) {
+  int lineNo = 0;
+  std::string line;
+  if (!nextLine(in, line, lineNo) || line != kMotionHeader)
+    fail(lineNo,
+         "expected header '" + std::string(kMotionHeader) + "'");
+
+  if (!nextLine(in, line, lineNo))
+    fail(lineNo, "missing 'locations' line");
+  std::istringstream head(line);
+  std::string keyword;
+  std::size_t locationCount = 0;
+  if (!(head >> keyword >> locationCount) || keyword != "locations")
+    fail(lineNo, "expected 'locations <n>'");
+
+  core::MotionDatabase db(locationCount);
+  while (nextLine(in, line, lineNo)) {
+    std::istringstream row(line);
+    env::LocationId i = 0;
+    env::LocationId j = 0;
+    core::RlmStats stats;
+    if (!(row >> keyword >> i >> j >> stats.muDirectionDeg >>
+          stats.sigmaDirectionDeg >> stats.muOffsetMeters >>
+          stats.sigmaOffsetMeters >> stats.sampleCount) ||
+        keyword != "entry")
+      fail(lineNo, "expected 'entry <i> <j> <mu_d> <s_d> <mu_o> <s_o> "
+                   "<samples>'");
+    std::string extra;
+    if (row >> extra) fail(lineNo, "trailing data");
+    try {
+      db.setEntry(i, j, stats);
+    } catch (const std::out_of_range& e) {
+      fail(lineNo, e.what());
+    }
+  }
+  return db;
+}
+
+void saveProbabilisticDatabase(
+    const radio::ProbabilisticFingerprintDatabase& db,
+    std::ostream& out) {
+  out << "moloc-probabilistic-db v1\n";
+  out << "aps " << db.apCount() << '\n';
+  out.precision(17);
+  for (const env::LocationId id : db.locationIds()) {
+    out << "location " << id << " mu";
+    for (double v : db.mu(id)) out << ' ' << v;
+    out << " sigma";
+    for (double v : db.sigma(id)) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
+    std::istream& in) {
+  int lineNo = 0;
+  std::string line;
+  if (!nextLine(in, line, lineNo) || line != "moloc-probabilistic-db v1")
+    fail(lineNo, "expected header 'moloc-probabilistic-db v1'");
+
+  if (!nextLine(in, line, lineNo)) fail(lineNo, "missing 'aps' line");
+  std::istringstream apsLine(line);
+  std::string keyword;
+  std::size_t apCount = 0;
+  if (!(apsLine >> keyword >> apCount) || keyword != "aps" ||
+      apCount == 0)
+    fail(lineNo, "expected 'aps <n>' with n >= 1");
+
+  radio::ProbabilisticFingerprintDatabase db;
+  while (nextLine(in, line, lineNo)) {
+    std::istringstream row(line);
+    env::LocationId id = 0;
+    if (!(row >> keyword >> id) || keyword != "location" || id < 0)
+      fail(lineNo, "expected 'location <id> mu ... sigma ...'");
+
+    if (!(row >> keyword) || keyword != "mu")
+      fail(lineNo, "expected 'mu' marker");
+    std::vector<double> mu;
+    std::vector<double> sigma;
+    double value = 0.0;
+    std::string token;
+    while (row >> token) {
+      if (token == "sigma") break;
+      try {
+        mu.push_back(std::stod(token));
+      } catch (const std::exception&) {
+        fail(lineNo, "bad mu value '" + token + "'");
+      }
+    }
+    if (token != "sigma") fail(lineNo, "missing 'sigma' marker");
+    while (row >> value) sigma.push_back(value);
+    if (mu.size() != apCount || sigma.size() != apCount)
+      fail(lineNo, "expected " + std::to_string(apCount) +
+                       " mu and sigma values");
+    try {
+      db.addFittedLocation(id, std::move(mu), std::move(sigma));
+    } catch (const std::invalid_argument& e) {
+      fail(lineNo, e.what());
+    }
+  }
+  return db;
+}
+
+void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
+                             const std::string& path) {
+  auto out = openForWrite(path);
+  saveFingerprintDatabase(db, out);
+}
+
+radio::FingerprintDatabase loadFingerprintDatabase(
+    const std::string& path) {
+  auto in = openForRead(path);
+  return loadFingerprintDatabase(in);
+}
+
+void saveMotionDatabase(const core::MotionDatabase& db,
+                        const std::string& path) {
+  auto out = openForWrite(path);
+  saveMotionDatabase(db, out);
+}
+
+core::MotionDatabase loadMotionDatabase(const std::string& path) {
+  auto in = openForRead(path);
+  return loadMotionDatabase(in);
+}
+
+}  // namespace moloc::io

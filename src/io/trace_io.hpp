@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "traj/trace_simulator.hpp"
+
+namespace moloc::io {
+
+/// Persistence for walk traces — the raw material of the paper's
+/// trace-driven methodology ("we applied a trace-driven approach to
+/// collecting and analyzing data", Sec. VI.A).  Recorded traces can be
+/// re-run against different engine configurations without re-simulating
+/// (or, with real data, without re-walking the building).
+///
+/// Line-oriented text format:
+///
+///   moloc-trace v1
+///   user <name> <height> <weight> <step_len> <cadence>
+///   compass_bias <deg>
+///   start <location_id>
+///   initial_scan <rss...>
+///   interval <from> <to> <true_dir> <true_off>
+///   scan <rss...>
+///   imu <rate_hz> <n>
+///   <t> <accel> <compass> <gyro>     (n sample lines)
+///
+/// Readers throw std::runtime_error with line numbers on malformed
+/// input.
+
+void saveTrace(const traj::Trace& trace, std::ostream& out);
+traj::Trace loadTrace(std::istream& in);
+
+void saveTraces(const std::vector<traj::Trace>& traces,
+                const std::string& path);
+std::vector<traj::Trace> loadTraces(const std::string& path);
+
+}  // namespace moloc::io

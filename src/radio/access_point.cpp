@@ -1,0 +1,5 @@
+#include "radio/access_point.hpp"
+
+// AccessPoint is a plain aggregate; this file anchors the component in
+// the library archive.
+namespace moloc::radio {}

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace moloc::radio {
+
+/// A WiFi access point (a "signal source" in the paper's terms).
+///
+/// `txPowerDbm` is the received power at the 1 m reference distance of
+/// the log-distance model, i.e. transmit power minus fixed system losses.
+struct AccessPoint {
+  int id = 0;
+  geometry::Vec2 pos;
+  double txPowerDbm = -35.0;
+};
+
+}  // namespace moloc::radio

@@ -1,0 +1,124 @@
+#include "radio/fingerprint_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace moloc::radio {
+
+namespace {
+/// Floor for Eq. 4's 1/m weights.  Besides guarding the division when a
+/// query exactly matches a stored fingerprint, the floor encodes a
+/// physical fact: dissimilarities below ~half a dB are measurement
+/// coincidence, not information, and must not let the fingerprint term
+/// overrule the motion term (a 1e-9 floor would make an exact match
+/// ~10^9 times "more likely" than a twin 0.1 dB away).
+constexpr double kMinDissimilarity = 0.5;
+
+bool allFinite(const Fingerprint& fp) {
+  for (std::size_t i = 0; i < fp.size(); ++i)
+    if (!std::isfinite(fp[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+void FingerprintDatabase::addLocation(env::LocationId id,
+                                      Fingerprint radioMapEntry) {
+  if (radioMapEntry.empty())
+    throw std::invalid_argument("FingerprintDatabase: empty fingerprint");
+  if (!allFinite(radioMapEntry))
+    throw std::invalid_argument(
+        "FingerprintDatabase: non-finite RSS value");
+  if (!entries_.empty() &&
+      radioMapEntry.size() != entries_.front().fingerprint.size())
+    throw std::invalid_argument(
+        "FingerprintDatabase: mismatched AP dimensionality");
+  if (contains(id))
+    throw std::invalid_argument("FingerprintDatabase: duplicate location " +
+                                std::to_string(id));
+  entries_.push_back({id, std::move(radioMapEntry)});
+}
+
+std::size_t FingerprintDatabase::apCount() const {
+  return entries_.empty() ? 0 : entries_.front().fingerprint.size();
+}
+
+const Fingerprint& FingerprintDatabase::entry(env::LocationId id) const {
+  for (const auto& e : entries_)
+    if (e.id == id) return e.fingerprint;
+  throw std::out_of_range("FingerprintDatabase: unknown location " +
+                          std::to_string(id));
+}
+
+bool FingerprintDatabase::contains(env::LocationId id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const Entry& e) { return e.id == id; });
+}
+
+std::vector<env::LocationId> FingerprintDatabase::locationIds() const {
+  std::vector<env::LocationId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& e : entries_) ids.push_back(e.id);
+  return ids;
+}
+
+env::LocationId FingerprintDatabase::nearest(const Fingerprint& query) const {
+  if (entries_.empty())
+    throw std::logic_error("FingerprintDatabase: empty database");
+  if (!allFinite(query))
+    throw std::invalid_argument(
+        "FingerprintDatabase: non-finite query RSS");
+  const Entry* best = &entries_.front();
+  double bestDis = squaredDissimilarity(query, best->fingerprint);
+  for (const auto& e : entries_) {
+    const double dis = squaredDissimilarity(query, e.fingerprint);
+    if (dis < bestDis) {
+      bestDis = dis;
+      best = &e;
+    }
+  }
+  return best->id;
+}
+
+std::vector<Match> FingerprintDatabase::query(const Fingerprint& query,
+                                              std::size_t k) const {
+  if (k == 0)
+    throw std::invalid_argument("FingerprintDatabase: k must be >= 1");
+  if (entries_.empty())
+    throw std::logic_error("FingerprintDatabase: empty database");
+  if (!allFinite(query))
+    throw std::invalid_argument(
+        "FingerprintDatabase: non-finite query RSS");
+
+  std::vector<Match> matches;
+  matches.reserve(entries_.size());
+  for (const auto& e : entries_)
+    matches.push_back({e.id, dissimilarity(query, e.fingerprint), 0.0});
+
+  const std::size_t kept = std::min(k, matches.size());
+  std::partial_sort(matches.begin(),
+                    matches.begin() + static_cast<long>(kept), matches.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.dissimilarity < b.dissimilarity;
+                    });
+  matches.resize(kept);
+
+  double invSum = 0.0;
+  for (const auto& m : matches)
+    invSum += 1.0 / std::max(m.dissimilarity, kMinDissimilarity);
+  for (auto& m : matches)
+    m.probability =
+        (1.0 / std::max(m.dissimilarity, kMinDissimilarity)) / invSum;
+  return matches;
+}
+
+FingerprintDatabase FingerprintDatabase::truncatedTo(std::size_t n) const {
+  FingerprintDatabase reduced;
+  for (const auto& e : entries_)
+    reduced.addLocation(e.id, e.fingerprint.truncated(n));
+  return reduced;
+}
+
+}  // namespace moloc::radio

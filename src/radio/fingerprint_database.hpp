@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint.hpp"
+
+namespace moloc::radio {
+
+/// One fingerprint-matching result: a candidate location, its
+/// dissimilarity m_i = phi(F, F_i), and its probability from Eq. 4.
+struct Match {
+  env::LocationId location = 0;
+  double dissimilarity = 0.0;
+  double probability = 0.0;
+};
+
+/// The location -> fingerprint radio map built by the site survey
+/// (Sec. IV.B.1), supporting the paper's two query modes:
+///   - `nearest` implements Eq. 2 (the plain WiFi baseline), and
+///   - `query` implements Eq. 3-4 (the k-nearest candidate set with
+///     probabilities P(x = l_i | F) = (1/m_i) / sum_j (1/m_j)).
+class FingerprintDatabase {
+ public:
+  FingerprintDatabase() = default;
+
+  /// Registers the radio-map entry for a location.  Entries must share
+  /// one AP dimensionality; ids may arrive in any order but must be
+  /// unique.  Throws std::invalid_argument on violations.
+  void addLocation(env::LocationId id, Fingerprint radioMapEntry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Dimensionality (number of APs) of stored fingerprints; 0 if empty.
+  std::size_t apCount() const;
+
+  /// The stored radio-map entry for `id`; throws std::out_of_range when
+  /// the id was never added.
+  const Fingerprint& entry(env::LocationId id) const;
+
+  /// True iff `id` has a radio-map entry.
+  bool contains(env::LocationId id) const;
+
+  /// All stored location ids, in insertion order.
+  std::vector<env::LocationId> locationIds() const;
+
+  /// Eq. 2: the single location of least dissimilarity.
+  /// Throws std::logic_error on an empty database.
+  env::LocationId nearest(const Fingerprint& query) const;
+
+  /// Eq. 3-4: the k nearest locations, ascending by dissimilarity, with
+  /// normalized inverse-dissimilarity probabilities.  Returns fewer than
+  /// k matches when the database is smaller.  k must be >= 1.
+  std::vector<Match> query(const Fingerprint& query, std::size_t k) const;
+
+  /// A copy of this database restricted to the first `n` APs — how the
+  /// paper derives its 4- and 5-AP configurations from the 6-AP survey.
+  FingerprintDatabase truncatedTo(std::size_t n) const;
+
+ private:
+  struct Entry {
+    env::LocationId id;
+    Fingerprint fingerprint;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace moloc::radio

@@ -1,0 +1,173 @@
+#include "radio/probabilistic_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "geometry/angles.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::radio {
+
+void ProbabilisticFingerprintDatabase::addLocation(
+    env::LocationId id, std::span<const Fingerprint> samples) {
+  if (samples.empty())
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: no samples");
+  const std::size_t n = samples.front().size();
+  if (n == 0)
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: empty fingerprint");
+  if (!entries_.empty() && n != entries_.front().mu.size())
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: mismatched AP count");
+  if (contains(id))
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: duplicate location " +
+        std::to_string(id));
+
+  GaussianEntry entry;
+  entry.id = id;
+  entry.mu.resize(n);
+  entry.sigma.resize(n);
+  std::vector<double> column(samples.size());
+  for (std::size_t ap = 0; ap < n; ++ap) {
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      if (samples[s].size() != n)
+        throw std::invalid_argument(
+            "ProbabilisticFingerprintDatabase: ragged samples");
+      column[s] = samples[s][ap];
+    }
+    entry.mu[ap] = util::mean(column);
+    entry.sigma[ap] = std::max(util::stddev(column), kMinSigmaDb);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t ProbabilisticFingerprintDatabase::apCount() const {
+  return entries_.empty() ? 0 : entries_.front().mu.size();
+}
+
+bool ProbabilisticFingerprintDatabase::contains(env::LocationId id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const GaussianEntry& e) { return e.id == id; });
+}
+
+std::vector<env::LocationId>
+ProbabilisticFingerprintDatabase::locationIds() const {
+  std::vector<env::LocationId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& e : entries_) ids.push_back(e.id);
+  return ids;
+}
+
+const ProbabilisticFingerprintDatabase::GaussianEntry&
+ProbabilisticFingerprintDatabase::find(env::LocationId id) const {
+  for (const auto& e : entries_)
+    if (e.id == id) return e;
+  throw std::out_of_range(
+      "ProbabilisticFingerprintDatabase: unknown location " +
+      std::to_string(id));
+}
+
+double ProbabilisticFingerprintDatabase::logLikelihood(
+    const Fingerprint& scan, env::LocationId id) const {
+  const auto& entry = find(id);
+  if (scan.size() != entry.mu.size())
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: dimension mismatch");
+  double logL = 0.0;
+  for (std::size_t ap = 0; ap < entry.mu.size(); ++ap) {
+    const double z = (scan[ap] - entry.mu[ap]) / entry.sigma[ap];
+    logL += -0.5 * z * z - std::log(entry.sigma[ap]) -
+            0.5 * std::log(2.0 * geometry::kPi);
+  }
+  return logL;
+}
+
+env::LocationId ProbabilisticFingerprintDatabase::mostLikely(
+    const Fingerprint& scan) const {
+  if (entries_.empty())
+    throw std::logic_error("ProbabilisticFingerprintDatabase: empty");
+  env::LocationId best = entries_.front().id;
+  double bestLogL = logLikelihood(scan, best);
+  for (const auto& e : entries_) {
+    const double logL = logLikelihood(scan, e.id);
+    if (logL > bestLogL) {
+      bestLogL = logL;
+      best = e.id;
+    }
+  }
+  return best;
+}
+
+std::vector<Match> ProbabilisticFingerprintDatabase::query(
+    const Fingerprint& scan, std::size_t k) const {
+  if (k == 0)
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: k must be >= 1");
+  if (entries_.empty())
+    throw std::logic_error("ProbabilisticFingerprintDatabase: empty");
+
+  std::vector<Match> matches;
+  matches.reserve(entries_.size());
+  for (const auto& e : entries_)
+    matches.push_back({e.id, -logLikelihood(scan, e.id), 0.0});
+
+  const std::size_t kept = std::min(k, matches.size());
+  std::partial_sort(matches.begin(),
+                    matches.begin() + static_cast<long>(kept),
+                    matches.end(), [](const Match& a, const Match& b) {
+                      return a.dissimilarity < b.dissimilarity;
+                    });
+  matches.resize(kept);
+
+  // Posterior over the kept set (uniform prior): softmax of the
+  // log-likelihoods, computed with the max subtracted for stability.
+  const double maxLogL = -matches.front().dissimilarity;
+  double total = 0.0;
+  for (auto& m : matches) {
+    m.probability = std::exp(-m.dissimilarity - maxLogL);
+    total += m.probability;
+  }
+  for (auto& m : matches) m.probability /= total;
+  return matches;
+}
+
+std::span<const double> ProbabilisticFingerprintDatabase::mu(
+    env::LocationId id) const {
+  return find(id).mu;
+}
+
+std::span<const double> ProbabilisticFingerprintDatabase::sigma(
+    env::LocationId id) const {
+  return find(id).sigma;
+}
+
+void ProbabilisticFingerprintDatabase::addFittedLocation(
+    env::LocationId id, std::vector<double> mu,
+    std::vector<double> sigma) {
+  if (mu.empty() || mu.size() != sigma.size())
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: bad fitted Gaussians");
+  if (!entries_.empty() && mu.size() != entries_.front().mu.size())
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: mismatched AP count");
+  if (contains(id))
+    throw std::invalid_argument(
+        "ProbabilisticFingerprintDatabase: duplicate location " +
+        std::to_string(id));
+  for (double& s : sigma) s = std::max(s, kMinSigmaDb);
+  entries_.push_back({id, std::move(mu), std::move(sigma)});
+}
+
+ProbabilisticFingerprintDatabase
+ProbabilisticFingerprintDatabase::fromSurvey(const SurveyData& survey) {
+  ProbabilisticFingerprintDatabase db;
+  for (const auto& loc : survey.samples)
+    db.addLocation(loc.location, loc.train);
+  return db;
+}
+
+}  // namespace moloc::radio

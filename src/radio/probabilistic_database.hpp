@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "radio/site_survey.hpp"
+
+namespace moloc::radio {
+
+/// A Horus-style probabilistic radio map (Youssef & Agrawala, cited as
+/// the paper's ref. [17]): instead of one mean fingerprint per
+/// location, store a per-(location, AP) Gaussian fitted from the
+/// survey samples, and rank locations by the log-likelihood of a scan.
+///
+/// This is the classic alternative to Eq. 1-4's deterministic matching;
+/// it can serve as a drop-in candidate source for the MoLoc engine (see
+/// core::CandidateEstimator), letting the motion term be combined with
+/// either matcher.
+class ProbabilisticFingerprintDatabase {
+ public:
+  /// Floor applied to fitted sigmas so a location surveyed under
+  /// unusually calm conditions cannot claim near-certainty.
+  static constexpr double kMinSigmaDb = 1.0;
+
+  ProbabilisticFingerprintDatabase() = default;
+
+  /// Fits the per-AP Gaussians for one location from its survey
+  /// samples.  Requirements mirror FingerprintDatabase::addLocation:
+  /// non-empty samples of equal, consistent dimensionality; unique ids.
+  void addLocation(env::LocationId id,
+                   std::span<const Fingerprint> samples);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t apCount() const;
+  bool contains(env::LocationId id) const;
+  std::vector<env::LocationId> locationIds() const;
+
+  /// Log-likelihood of observing `scan` at `id` under the fitted
+  /// independent-Gaussian model.  Throws std::out_of_range for unknown
+  /// ids and std::invalid_argument on dimension mismatch.
+  double logLikelihood(const Fingerprint& scan, env::LocationId id) const;
+
+  /// The maximum-likelihood location (the Horus baseline's answer).
+  /// Throws std::logic_error when empty.
+  env::LocationId mostLikely(const Fingerprint& scan) const;
+
+  /// The k most likely locations with normalized posterior
+  /// probabilities (uniform location prior) — the same contract as
+  /// FingerprintDatabase::query, so either can feed candidate
+  /// estimation.  `dissimilarity` is filled with the negative
+  /// log-likelihood for diagnostic symmetry.
+  std::vector<Match> query(const Fingerprint& scan, std::size_t k) const;
+
+  /// Builds the map from a survey's training partitions.
+  static ProbabilisticFingerprintDatabase fromSurvey(
+      const SurveyData& survey);
+
+  /// The fitted per-AP means/sigmas for `id` (ascending AP order);
+  /// throws std::out_of_range for unknown ids.  Used by persistence.
+  std::span<const double> mu(env::LocationId id) const;
+  std::span<const double> sigma(env::LocationId id) const;
+
+  /// Registers pre-fitted Gaussians directly (persistence load path).
+  /// Sigmas are floored at kMinSigmaDb; same uniqueness/dimensionality
+  /// rules as addLocation.
+  void addFittedLocation(env::LocationId id, std::vector<double> mu,
+                         std::vector<double> sigma);
+
+ private:
+  struct GaussianEntry {
+    env::LocationId id;
+    std::vector<double> mu;
+    std::vector<double> sigma;
+  };
+  const GaussianEntry& find(env::LocationId id) const;
+
+  std::vector<GaussianEntry> entries_;
+};
+
+}  // namespace moloc::radio

@@ -1,0 +1,115 @@
+#include "radio/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::radio {
+
+namespace {
+
+/// SplitMix64-style integer mix; maps a lattice coordinate to a value
+/// deterministically.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Standard-normal-ish value in roughly [-3, 3] from a hash: sum of four
+/// uniform values (Irwin-Hall), centred and scaled to unit variance.
+double hashToGaussian(std::uint64_t h) {
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = mix(h + 0x9e3779b97f4a7c15ULL);
+    sum += static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  // Sum of 4 U(0,1): mean 2, variance 4/12; scale to unit variance.
+  return (sum - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+}  // namespace
+
+LogDistanceModel::LogDistanceModel(PropagationParams params,
+                                   const env::FloorPlan& plan)
+    : params_(params), plan_(&plan) {}
+
+double LogDistanceModel::latticeNoise(std::uint64_t seed, int apId,
+                                      double cx, double cy) {
+  const auto key = (static_cast<std::uint64_t>(apId) << 48) ^
+                   (static_cast<std::uint64_t>(static_cast<std::int64_t>(cx) &
+                                               0xffffff)
+                    << 24) ^
+                   (static_cast<std::uint64_t>(static_cast<std::int64_t>(cy) &
+                                               0xffffff));
+  return hashToGaussian(mix(seed ^ key));
+}
+
+double LogDistanceModel::fieldDb(std::uint64_t seed, double sigma,
+                                 double cell, int apId,
+                                 geometry::Vec2 pos) {
+  const double safeCell = std::max(cell, 1e-6);
+  const double gx = pos.x / safeCell;
+  const double gy = pos.y / safeCell;
+  const double x0 = std::floor(gx);
+  const double y0 = std::floor(gy);
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+
+  const double n00 = latticeNoise(seed, apId, x0, y0);
+  const double n10 = latticeNoise(seed, apId, x0 + 1, y0);
+  const double n01 = latticeNoise(seed, apId, x0, y0 + 1);
+  const double n11 = latticeNoise(seed, apId, x0 + 1, y0 + 1);
+
+  const double top = n00 + fx * (n10 - n00);
+  const double bottom = n01 + fx * (n11 - n01);
+  return sigma * (top + fy * (bottom - top));
+}
+
+double LogDistanceModel::shadowingDb(int apId, geometry::Vec2 pos) const {
+  return fieldDb(params_.shadowingSeed, params_.shadowingSigmaDb,
+                 params_.shadowingCellMeters, apId, pos);
+}
+
+double LogDistanceModel::driftDb(int apId, geometry::Vec2 pos) const {
+  return fieldDb(params_.driftSeed, params_.driftSigmaDb,
+                 params_.driftCellMeters, apId, pos);
+}
+
+double LogDistanceModel::meanRssDbm(const AccessPoint& ap,
+                                    geometry::Vec2 pos,
+                                    double orientationDeg,
+                                    Epoch epoch) const {
+  const double d = std::max(geometry::distance(ap.pos, pos), 0.5);
+  double rss = ap.txPowerDbm - 10.0 * params_.pathLossExponent *
+                                   std::log10(d);
+
+  rss -= params_.wallAttenuationDb *
+         static_cast<double>(plan_->wallCrossings(ap.pos, pos));
+
+  // Body blocking: worst when the AP lies directly behind the user.
+  const double towardAp = geometry::headingBetweenDeg(pos, ap.pos);
+  const double away =
+      geometry::angularDistDeg(orientationDeg, towardAp) / 180.0;
+  rss -= params_.bodyAttenuationDb * away;
+
+  rss += shadowingDb(ap.id, pos);
+  if (epoch == Epoch::kServing) rss += driftDb(ap.id, pos);
+
+  return std::max(rss, params_.detectionFloorDbm);
+}
+
+double LogDistanceModel::sampleRssDbm(const AccessPoint& ap,
+                                      geometry::Vec2 pos,
+                                      double orientationDeg,
+                                      util::Rng& rng, Epoch epoch) const {
+  const double noisy = meanRssDbm(ap, pos, orientationDeg, epoch) +
+                       rng.normal(0.0, params_.temporalSigmaDb);
+  return std::max(noisy, params_.detectionFloorDbm);
+}
+
+}  // namespace moloc::radio

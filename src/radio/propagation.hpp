@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+#include "env/floor_plan.hpp"
+#include "geometry/vec2.hpp"
+#include "radio/access_point.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::radio {
+
+/// Parameters of the indoor propagation model.
+///
+/// The model substitutes for the paper's real office-hall WiFi channel
+/// (see DESIGN.md Sec. 2).  It composes the standard log-distance path
+/// loss with per-wall attenuation, a *static* spatially-correlated
+/// shadowing field (what makes fingerprints location-specific and
+/// repeatable across the site survey and later queries), a body
+/// orientation term (the paper surveys each location facing N/E/S/W),
+/// and per-sample temporal noise (what makes fingerprints ambiguous).
+struct PropagationParams {
+  double pathLossExponent = 2.8;   ///< n in -10 n log10(d / 1m).
+  double wallAttenuationDb = 5.0;  ///< Loss per wall/partition crossed.
+  double shadowingSigmaDb = 3.0;   ///< Std. dev. of the static field.
+  double shadowingCellMeters = 3.0;///< Correlation length of the field.
+  double bodyAttenuationDb = 3.0;  ///< Max loss when the body blocks.
+  double temporalSigmaDb = 6.5;    ///< Per-sample Gaussian noise.
+  /// Environmental drift between the site survey and the serving phase
+  /// (furniture moved, doors opened, crowds changed): a second static
+  /// field, present only at serving time, that makes the radio map
+  /// stale — the paper's "temporal variations of wireless signals".
+  double driftSigmaDb = 0.0;
+  double driftCellMeters = 3.0;    ///< Correlation length of the drift.
+  double detectionFloorDbm = -100.0;  ///< Weakest reportable RSS.
+  std::uint64_t shadowingSeed = 0x5eed5eedULL;  ///< Field realization.
+  std::uint64_t driftSeed = 0xd51f7d51ULL;      ///< Drift realization.
+};
+
+/// When a measurement is taken relative to the site survey: the survey
+/// itself sees the pristine channel; everything afterwards (motion-DB
+/// crowdsourcing, localization queries) sees the drifted one.
+enum class Epoch {
+  kSurvey,
+  kServing,
+};
+
+/// Deterministic log-distance + shadowing propagation model.
+///
+/// `meanRssDbm` is a pure function of geometry (reproducible across
+/// calls); `sampleRssDbm` adds one draw of temporal noise from the
+/// caller's RNG.
+class LogDistanceModel {
+ public:
+  LogDistanceModel(PropagationParams params, const env::FloorPlan& plan);
+
+  const PropagationParams& params() const { return params_; }
+
+  /// Noise-free expected RSS at `pos` for a user facing
+  /// `orientationDeg` (compass degrees), at the given epoch.  Clamped
+  /// to the detection floor.
+  double meanRssDbm(const AccessPoint& ap, geometry::Vec2 pos,
+                    double orientationDeg,
+                    Epoch epoch = Epoch::kServing) const;
+
+  /// One noisy RSS sample (mean + temporal Gaussian noise, clamped).
+  double sampleRssDbm(const AccessPoint& ap, geometry::Vec2 pos,
+                      double orientationDeg, util::Rng& rng,
+                      Epoch epoch = Epoch::kServing) const;
+
+  /// The static shadowing component alone (dB), exposed for testing.
+  double shadowingDb(int apId, geometry::Vec2 pos) const;
+
+  /// The serving-epoch drift component alone (dB), exposed for testing.
+  double driftDb(int apId, geometry::Vec2 pos) const;
+
+ private:
+  /// Hash-lattice value noise, bilinear-interpolated: smooth in `pos`,
+  /// deterministic in (seed, apId, lattice cell).
+  static double latticeNoise(std::uint64_t seed, int apId, double cx,
+                             double cy);
+
+  /// Evaluates one smooth field (bilinear over the hash lattice).
+  static double fieldDb(std::uint64_t seed, double sigma, double cell,
+                        int apId, geometry::Vec2 pos);
+
+  PropagationParams params_;
+  const env::FloorPlan* plan_;
+};
+
+}  // namespace moloc::radio

@@ -1,0 +1,33 @@
+#include "radio/radio_environment.hpp"
+
+#include <stdexcept>
+
+namespace moloc::radio {
+
+RadioEnvironment::RadioEnvironment(const env::FloorPlan& plan,
+                                   std::vector<AccessPoint> aps,
+                                   PropagationParams params)
+    : plan_(plan), aps_(std::move(aps)), model_(params, plan) {
+  if (aps_.empty())
+    throw std::invalid_argument("RadioEnvironment: no access points");
+}
+
+Fingerprint RadioEnvironment::scan(geometry::Vec2 pos, double orientationDeg,
+                                   util::Rng& rng, Epoch epoch) const {
+  std::vector<double> rss;
+  rss.reserve(aps_.size());
+  for (const auto& ap : aps_)
+    rss.push_back(model_.sampleRssDbm(ap, pos, orientationDeg, rng, epoch));
+  return Fingerprint(std::move(rss));
+}
+
+Fingerprint RadioEnvironment::expectedFingerprint(
+    geometry::Vec2 pos, double orientationDeg, Epoch epoch) const {
+  std::vector<double> rss;
+  rss.reserve(aps_.size());
+  for (const auto& ap : aps_)
+    rss.push_back(model_.meanRssDbm(ap, pos, orientationDeg, epoch));
+  return Fingerprint(std::move(rss));
+}
+
+}  // namespace moloc::radio

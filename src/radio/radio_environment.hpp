@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "radio/access_point.hpp"
+#include "radio/fingerprint.hpp"
+#include "radio/propagation.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::radio {
+
+/// Binds a floor plan, a set of access points, and a propagation model
+/// into the "air interface" of the simulation: the single source of RSS
+/// fingerprints for the site survey, the crowdsourcing walkers, and the
+/// localization queries.
+class RadioEnvironment {
+ public:
+  /// Throws std::invalid_argument when `aps` is empty.
+  RadioEnvironment(const env::FloorPlan& plan, std::vector<AccessPoint> aps,
+                   PropagationParams params);
+
+  std::span<const AccessPoint> accessPoints() const { return aps_; }
+  std::size_t apCount() const { return aps_.size(); }
+  const LogDistanceModel& model() const { return model_; }
+  const env::FloorPlan& plan() const { return plan_; }
+
+  /// One full WiFi scan at `pos` facing `orientationDeg`: a fresh noisy
+  /// RSS sample from every AP (what a phone reports per scan).  The
+  /// site survey passes Epoch::kSurvey; the default serving epoch adds
+  /// the environmental drift accumulated since the survey.
+  Fingerprint scan(geometry::Vec2 pos, double orientationDeg,
+                   util::Rng& rng, Epoch epoch = Epoch::kServing) const;
+
+  /// Noise-free expected fingerprint (used by diagnostics and tests).
+  Fingerprint expectedFingerprint(geometry::Vec2 pos,
+                                  double orientationDeg,
+                                  Epoch epoch = Epoch::kServing) const;
+
+ private:
+  const env::FloorPlan& plan_;
+  std::vector<AccessPoint> aps_;
+  LogDistanceModel model_;
+};
+
+}  // namespace moloc::radio

@@ -1,0 +1,51 @@
+#include "radio/site_survey.hpp"
+
+#include <stdexcept>
+
+namespace moloc::radio {
+
+FingerprintDatabase SurveyData::buildDatabase() const {
+  FingerprintDatabase db;
+  for (const auto& loc : samples)
+    db.addLocation(loc.location, meanFingerprint(loc.train));
+  return db;
+}
+
+SurveyData conductSurvey(const RadioEnvironment& radio,
+                         const SurveyConfig& config, util::Rng& rng) {
+  if (config.trainPerLocation <= 0 || config.motionPerLocation < 0 ||
+      config.testPerLocation < 0)
+    throw std::invalid_argument("conductSurvey: bad partition sizes");
+  if (config.trainPerLocation + config.motionPerLocation +
+          config.testPerLocation !=
+      config.samplesPerLocation)
+    throw std::invalid_argument(
+        "conductSurvey: partitions must sum to samplesPerLocation");
+
+  constexpr double kCardinal[4] = {0.0, 90.0, 180.0, 270.0};
+
+  SurveyData data;
+  data.samples.reserve(radio.plan().locationCount());
+  for (const auto& loc : radio.plan().locations()) {
+    LocationSamples ls;
+    ls.location = loc.id;
+    for (int s = 0; s < config.samplesPerLocation; ++s) {
+      // Cycle the facing direction so each partition sees all four
+      // orientations in equal proportion, as the paper's quarter-split
+      // prescribes.
+      const double orientation = kCardinal[s % 4];
+      Fingerprint fp = radio.scan(loc.pos, orientation, rng, Epoch::kSurvey);
+      if (s < config.trainPerLocation) {
+        ls.train.push_back(std::move(fp));
+      } else if (s < config.trainPerLocation + config.motionPerLocation) {
+        ls.motionEstimate.push_back(std::move(fp));
+      } else {
+        ls.test.push_back(std::move(fp));
+      }
+    }
+    data.samples.push_back(std::move(ls));
+  }
+  return data;
+}
+
+}  // namespace moloc::radio

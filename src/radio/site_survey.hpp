@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "radio/radio_environment.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::radio {
+
+/// Parameters of the paper's survey protocol (Sec. VI.A): 60 samples per
+/// location, a quarter facing each of N/E/S/W, split 40 / 10 / 10 into
+/// radio-map training, motion-database location estimation, and held-out
+/// localization samples.
+struct SurveyConfig {
+  int samplesPerLocation = 60;
+  int trainPerLocation = 40;
+  int motionPerLocation = 10;
+  int testPerLocation = 10;
+};
+
+/// The per-location sample partitions collected by one survey pass.
+struct LocationSamples {
+  env::LocationId location = 0;
+  std::vector<Fingerprint> train;           ///< Radio-map construction.
+  std::vector<Fingerprint> motionEstimate;  ///< Motion-DB crowdsourcing.
+  std::vector<Fingerprint> test;            ///< Localization evaluation.
+};
+
+/// The output of a site survey over every reference location.
+struct SurveyData {
+  std::vector<LocationSamples> samples;  ///< One entry per location.
+
+  /// Builds the radio map: the per-location mean of the training
+  /// partition, as classic fingerprinting systems do.
+  FingerprintDatabase buildDatabase() const;
+};
+
+/// Runs the survey: for each reference location of the plan, collects
+/// `samplesPerLocation` scans cycling through the four cardinal facing
+/// directions, and splits them per the config.
+/// Throws std::invalid_argument when the split does not sum to the
+/// sample count or any partition is negative, or when `train` is zero.
+SurveyData conductSurvey(const RadioEnvironment& radio,
+                         const SurveyConfig& config, util::Rng& rng);
+
+}  // namespace moloc::radio

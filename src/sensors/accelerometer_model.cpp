@@ -1,0 +1,63 @@
+#include "sensors/accelerometer_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+AccelerometerModel::AccelerometerModel(AccelParams params)
+    : params_(params) {
+  if (params_.sampleRateHz <= 0.0)
+    throw std::invalid_argument(
+        "AccelerometerModel: sample rate must be positive");
+}
+
+std::vector<double> AccelerometerModel::walkingSamples(std::size_t count,
+                                                       double cadenceHz,
+                                                       util::Rng& rng) {
+  if (cadenceHz <= 0.0)
+    throw std::invalid_argument(
+        "AccelerometerModel: cadence must be positive");
+  std::vector<double> out;
+  out.reserve(count);
+  const double dt = 1.0 / params_.sampleRateHz;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double theta = 2.0 * geometry::kPi * phase_;
+    const double amp = params_.primaryAmplitude * currentAmplitudeScale_;
+    const double value = params_.gravity + amp * std::sin(theta) +
+                         amp * params_.harmonicRatio * std::sin(2.0 * theta) +
+                         rng.normal(0.0, params_.noiseSigma);
+    out.push_back(value);
+
+    const double prevPhase = phase_;
+    phase_ += cadenceHz * dt;
+    if (phase_ >= 1.0) {
+      phase_ -= std::floor(phase_);
+      // A new step begins: re-draw its amplitude so consecutive steps
+      // differ slightly, as real gait does.
+      currentAmplitudeScale_ =
+          1.0 + rng.normal(0.0, params_.amplitudeJitter);
+      if (currentAmplitudeScale_ < 0.5) currentAmplitudeScale_ = 0.5;
+    } else if (prevPhase == 0.0 && i == 0) {
+      // First sample of a fresh walk: seed the per-step amplitude.
+      currentAmplitudeScale_ =
+          1.0 + rng.normal(0.0, params_.amplitudeJitter);
+      if (currentAmplitudeScale_ < 0.5) currentAmplitudeScale_ = 0.5;
+    }
+  }
+  return out;
+}
+
+std::vector<double> AccelerometerModel::idleSamples(std::size_t count,
+                                                    util::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(params_.gravity +
+                  rng.normal(0.0, params_.idleNoiseSigma));
+  return out;
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+
+/// Parameters of the synthetic walking accelerometer (our substitute for
+/// the Nexus S sensor behind the paper's Fig. 4).
+///
+/// Walking produces a dominant oscillation at the step cadence plus a
+/// weaker second harmonic (heel-strike), riding on gravity, with jitter.
+/// The resulting magnitude trace swings roughly between 6 and 15 m/s^2 —
+/// the envelope visible in Fig. 4.
+struct AccelParams {
+  double sampleRateHz = 50.0;
+  double gravity = 9.81;
+  double primaryAmplitude = 2.8;  ///< m/s^2 swing at the step cadence.
+  double harmonicRatio = 0.35;    ///< Second-harmonic amplitude fraction.
+  double amplitudeJitter = 0.15;  ///< Per-step amplitude variation frac.
+  double noiseSigma = 0.35;       ///< White sensor noise, m/s^2.
+  double idleNoiseSigma = 0.15;   ///< Noise when standing still.
+};
+
+/// Generates accelerometer-magnitude series with phase continuity across
+/// consecutive segments (so a walk spanning several localization
+/// intervals has no seam in its step pattern).
+class AccelerometerModel {
+ public:
+  explicit AccelerometerModel(AccelParams params = {});
+
+  const AccelParams& params() const { return params_; }
+
+  /// `count` samples of walking at the given cadence (steps/second).
+  /// Advances the internal step phase.
+  std::vector<double> walkingSamples(std::size_t count, double cadenceHz,
+                                     util::Rng& rng);
+
+  /// `count` samples of standing still (gravity + noise).
+  std::vector<double> idleSamples(std::size_t count, util::Rng& rng);
+
+  /// Current step phase in [0, 1); exposed for phase-continuity tests.
+  double phase() const { return phase_; }
+
+ private:
+  AccelParams params_;
+  double phase_ = 0.0;
+  double currentAmplitudeScale_ = 1.0;
+};
+
+}  // namespace moloc::sensors

@@ -1,0 +1,26 @@
+#include "sensors/compass_calibrator.hpp"
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+void CompassCalibrator::addLeg(double measuredDirectionDeg,
+                               double mapDirectionDeg) {
+  residuals_.push_back(geometry::normalizeDeg(
+      measuredDirectionDeg - mapDirectionDeg));
+}
+
+double CompassCalibrator::estimatedBiasDeg() const {
+  if (residuals_.empty()) return 0.0;
+  // Report in (-180, 180] so a small negative bias reads as negative.
+  return geometry::signedAngularDiffDeg(
+      0.0, geometry::circularMeanDeg(residuals_));
+}
+
+double CompassCalibrator::robustBiasDeg() const {
+  if (residuals_.empty()) return 0.0;
+  return geometry::signedAngularDiffDeg(
+      0.0, geometry::circularMedianDeg(residuals_));
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moloc::sensors {
+
+/// Map-aided compass calibration: estimates a user's constant heading
+/// bias (phone placement offset plus device bias) by comparing measured
+/// walking directions against the map directions of the legs the system
+/// believes were walked.
+///
+/// The paper assumes Zee's placement-independent orientation estimation
+/// has already removed the placement offset (Sec. IV.B.1).  This class
+/// is the fallback when no such front end exists: during crowdsourcing,
+/// every leg whose endpoint estimates are map-adjacent contributes one
+/// residual (measured - map direction); their circular average is the
+/// bias estimate that motion processing then subtracts.
+///
+/// Mis-estimated legs contaminate residuals, so the robust (median)
+/// estimate is preferred when contamination is expected.
+class CompassCalibrator {
+ public:
+  /// Adds one leg's residual evidence.
+  void addLeg(double measuredDirectionDeg, double mapDirectionDeg);
+
+  std::size_t legCount() const { return residuals_.size(); }
+
+  /// Circular-mean bias estimate (degrees, in (-180, 180]); 0 with no
+  /// evidence.
+  double estimatedBiasDeg() const;
+
+  /// Circular-median bias estimate — robust to a minority of
+  /// mis-estimated legs; 0 with no evidence.
+  double robustBiasDeg() const;
+
+  void reset() { residuals_.clear(); }
+
+ private:
+  std::vector<double> residuals_;
+};
+
+}  // namespace moloc::sensors

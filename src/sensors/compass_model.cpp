@@ -1,0 +1,63 @@
+#include "sensors/compass_model.hpp"
+
+#include <cmath>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+CompassModel::CompassModel(CompassParams params) : params_(params) {}
+
+double CompassModel::drawResidualBias(util::Rng& rng) const {
+  return rng.normal(0.0, params_.residualBiasSigmaDeg);
+}
+
+double CompassModel::systematicErrorDeg(
+    double trueHeadingDeg, const CompassDistortion& distortion) {
+  return distortion.biasDeg +
+         distortion.softIronAmplitudeDeg *
+             std::sin(geometry::degToRad(trueHeadingDeg) +
+                      distortion.softIronPhaseRad);
+}
+
+std::vector<double> CompassModel::readings(
+    double trueHeadingDeg, const CompassDistortion& distortion,
+    std::size_t count, util::Rng& rng) const {
+  const double systematic =
+      systematicErrorDeg(trueHeadingDeg, distortion);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(geometry::normalizeDeg(
+        trueHeadingDeg + systematic +
+        rng.normal(0.0, params_.noiseSigmaDeg)));
+  return out;
+}
+
+std::vector<double> CompassModel::readings(double trueHeadingDeg,
+                                           double biasDeg,
+                                           std::size_t count,
+                                           util::Rng& rng) const {
+  return readings(trueHeadingDeg, CompassDistortion{biasDeg, 0.0, 0.0},
+                  count, rng);
+}
+
+bool CompassModel::maybeDisturb(std::vector<double>& legReadings,
+                                util::Rng& rng) const {
+  if (legReadings.empty() || !rng.chance(params_.disturbanceProbability))
+    return false;
+  const auto window = static_cast<std::size_t>(
+      params_.disturbanceFractionOfLeg *
+      static_cast<double>(legReadings.size()));
+  if (window == 0) return false;
+  const auto start = static_cast<std::size_t>(rng.uniformInt(
+      0, static_cast<int>(legReadings.size() - window)));
+  const double offset = rng.chance(0.5)
+                            ? params_.disturbanceMagnitudeDeg
+                            : -params_.disturbanceMagnitudeDeg;
+  for (std::size_t i = start; i < start + window; ++i)
+    legReadings[i] = geometry::normalizeDeg(legReadings[i] + offset);
+  return true;
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+
+/// Parameters of the synthetic digital compass.
+///
+/// A phone compass reports the device heading, not the walking
+/// direction; the paper borrows Zee's placement-independent orientation
+/// estimation to remove the phone-placement offset.  We model what is
+/// left after that correction: a slowly-varying residual bias (drawn per
+/// walk) plus per-sample magnetic noise, and — per device — a
+/// heading-dependent soft-iron distortion.  The distortion is what the
+/// paper observes as "reversing directions generally brings in bias
+/// errors of 10 to 20 degrees with our mobile phone" (Sec. VI.B.1):
+/// a sinusoidal error A*sin(heading + phase) differs between a heading
+/// and its reverse by up to 2A.
+struct CompassParams {
+  double noiseSigmaDeg = 8.0;          ///< Per-sample reading noise.
+  double residualBiasSigmaDeg = 3.0;   ///< Residual after Zee correction.
+  /// Transient magnetic disturbances (steel pillars, elevators): with
+  /// this probability per walking leg, a contiguous window of the
+  /// readings is offset by +-disturbanceMagnitudeDeg.  Off by default;
+  /// the Kalman-fusion extension exercises it.
+  double disturbanceProbability = 0.0;
+  double disturbanceMagnitudeDeg = 30.0;
+  double disturbanceFractionOfLeg = 0.3;
+};
+
+/// The systematic error state applied to one walk's readings: the
+/// walk-level residual bias plus the carrying device's soft-iron
+/// distortion.
+struct CompassDistortion {
+  double biasDeg = 0.0;              ///< Drawn per walk.
+  double softIronAmplitudeDeg = 0.0; ///< Device property.
+  double softIronPhaseRad = 0.0;     ///< Device property.
+};
+
+/// Generates compass reading series for a walk of known true heading.
+class CompassModel {
+ public:
+  explicit CompassModel(CompassParams params = {});
+
+  const CompassParams& params() const { return params_; }
+
+  /// Draws one residual heading bias for a walk (degrees).
+  double drawResidualBias(util::Rng& rng) const;
+
+  /// The systematic (noise-free) reading error at a true heading under
+  /// the given distortion; exposed for tests and diagnostics.
+  static double systematicErrorDeg(double trueHeadingDeg,
+                                   const CompassDistortion& distortion);
+
+  /// `count` readings while heading `trueHeadingDeg`, with the given
+  /// distortion applied; each reading is wrapped to [0, 360).
+  std::vector<double> readings(double trueHeadingDeg,
+                               const CompassDistortion& distortion,
+                               std::size_t count, util::Rng& rng) const;
+
+  /// Convenience overload: bias only, no soft-iron term.
+  std::vector<double> readings(double trueHeadingDeg, double biasDeg,
+                               std::size_t count, util::Rng& rng) const;
+
+  /// Rolls for a magnetic disturbance on one leg's readings (per the
+  /// disturbance* params) and applies it in place.  Returns true when
+  /// a disturbance was injected.
+  bool maybeDisturb(std::vector<double>& legReadings,
+                    util::Rng& rng) const;
+
+ private:
+  CompassParams params_;
+};
+
+}  // namespace moloc::sensors

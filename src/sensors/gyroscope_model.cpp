@@ -1,0 +1,40 @@
+#include "sensors/gyroscope_model.hpp"
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+GyroscopeModel::GyroscopeModel(GyroParams params) : params_(params) {}
+
+double GyroscopeModel::drawBias(util::Rng& rng) const {
+  return rng.normal(0.0, params_.biasSigmaDegPerSec);
+}
+
+std::vector<double> GyroscopeModel::rates(
+    std::span<const double> trueHeadingDeg, double sampleRateHz,
+    double biasDegPerSec, util::Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(trueHeadingDeg.size());
+  for (std::size_t i = 0; i < trueHeadingDeg.size(); ++i) {
+    const double trueRate =
+        i == 0 ? 0.0
+               : geometry::signedAngularDiffDeg(trueHeadingDeg[i - 1],
+                                                trueHeadingDeg[i]) *
+                     sampleRateHz;
+    out.push_back(trueRate + biasDegPerSec +
+                  rng.normal(0.0, params_.noiseSigmaDegPerSec));
+  }
+  return out;
+}
+
+std::vector<double> GyroscopeModel::straightWalkRates(
+    std::size_t count, double biasDegPerSec, util::Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(biasDegPerSec +
+                  rng.normal(0.0, params_.noiseSigmaDegPerSec));
+  return out;
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+
+/// Parameters of the synthetic z-axis gyroscope (yaw rate).
+///
+/// A MEMS gyro reports the angular rate with a slowly-drifting bias
+/// plus white noise.  Rates integrate beautifully over seconds (no
+/// magnetic disturbance) but drift over minutes — the complementary
+/// error profile to the compass, which is why the paper's future-work
+/// section proposes fusing the two with a Kalman filter.
+struct GyroParams {
+  double noiseSigmaDegPerSec = 1.0;  ///< White rate noise.
+  double biasSigmaDegPerSec = 0.3;   ///< Per-walk constant bias spread.
+};
+
+class GyroscopeModel {
+ public:
+  explicit GyroscopeModel(GyroParams params = {});
+
+  const GyroParams& params() const { return params_; }
+
+  /// Draws one rate bias for a walk (deg/s).
+  double drawBias(util::Rng& rng) const;
+
+  /// Rate readings for a known true-heading series sampled at
+  /// `sampleRateHz`: the discrete derivative of the series (wrap-aware)
+  /// plus bias plus noise.  The first reading assumes a zero rate into
+  /// the first sample.
+  std::vector<double> rates(std::span<const double> trueHeadingDeg,
+                            double sampleRateHz, double biasDegPerSec,
+                            util::Rng& rng) const;
+
+  /// Rate readings for a straight walk (true rate zero throughout).
+  std::vector<double> straightWalkRates(std::size_t count,
+                                        double biasDegPerSec,
+                                        util::Rng& rng) const;
+
+ private:
+  GyroParams params_;
+};
+
+}  // namespace moloc::sensors

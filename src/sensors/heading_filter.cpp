@@ -1,0 +1,115 @@
+#include "sensors/heading_filter.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+KalmanHeadingFilter::KalmanHeadingFilter(KalmanHeadingParams params)
+    : params_(params) {
+  reset();
+}
+
+void KalmanHeadingFilter::reset(double headingDeg) {
+  heading_ = geometry::normalizeDeg(headingDeg);
+  variance_ = params_.initialSigmaDeg * params_.initialSigmaDeg;
+  rejected_ = 0;
+  hasFirstUpdate_ = false;
+}
+
+void KalmanHeadingFilter::predict(double rateDegPerSec, double dtSec) {
+  heading_ = geometry::normalizeDeg(heading_ + rateDegPerSec * dtSec);
+  variance_ += params_.rateNoiseDegPerSqrtSec *
+               params_.rateNoiseDegPerSqrtSec * dtSec;
+}
+
+bool KalmanHeadingFilter::update(double compassDeg) {
+  const double r = params_.compassSigmaDeg * params_.compassSigmaDeg;
+  const double innovation =
+      geometry::signedAngularDiffDeg(heading_, compassDeg);
+
+  // The first reading initializes the state outright: the prior is a
+  // placeholder, not information, so gating against it would be wrong.
+  if (!hasFirstUpdate_) {
+    heading_ = geometry::normalizeDeg(compassDeg);
+    variance_ = r;
+    hasFirstUpdate_ = true;
+    return true;
+  }
+
+  if (params_.gateSigma > 0.0) {
+    const double innovationVariance = variance_ + r;
+    if (innovation * innovation >
+        params_.gateSigma * params_.gateSigma * innovationVariance) {
+      ++rejected_;
+      return false;
+    }
+  }
+
+  const double gain = variance_ / (variance_ + r);
+  heading_ = geometry::normalizeDeg(heading_ + gain * innovation);
+  variance_ *= 1.0 - gain;
+  return true;
+}
+
+double KalmanHeadingFilter::headingDeg() const {
+  return geometry::normalizeDeg(heading_);
+}
+
+double KalmanHeadingFilter::sigmaDeg() const {
+  return std::sqrt(variance_);
+}
+
+double fuseHeadingDeg(std::span<const double> compassDeg,
+                      std::span<const double> gyroRateDegPerSec,
+                      double sampleRateHz, KalmanHeadingParams params) {
+  if (gyroRateDegPerSec.empty() ||
+      gyroRateDegPerSec.size() != compassDeg.size() ||
+      sampleRateHz <= 0.0)
+    return geometry::circularMeanDeg(compassDeg);
+
+  // Integrate the gyro into a relative heading curve psi(t) (unknown
+  // absolute offset).  Over one localization interval the gyro bias
+  // contributes only a degree or two of drift.
+  const double dt = 1.0 / sampleRateHz;
+  std::vector<double> psi(compassDeg.size());
+  double integral = 0.0;
+  for (std::size_t i = 0; i < compassDeg.size(); ++i) {
+    if (i > 0) integral += gyroRateDegPerSec[i] * dt;
+    psi[i] = integral;
+  }
+
+  // Each compass reading votes for the absolute offset c_i =
+  // compass_i - psi_i.  The circular *median* of these votes is robust
+  // to a minority window of magnetically disturbed readings, which
+  // would drag a plain mean.
+  std::vector<double> offsets(compassDeg.size());
+  for (std::size_t i = 0; i < compassDeg.size(); ++i)
+    offsets[i] = geometry::normalizeDeg(compassDeg[i] - psi[i]);
+  const double robustOffset = geometry::circularMedianDeg(offsets);
+
+  // Refine: average the inlier votes (within the innovation gate of
+  // the robust offset) for efficiency, then re-add the mean relative
+  // heading so the result is the average walking direction over the
+  // interval.
+  const double gate = params.gateSigma > 0.0
+                          ? params.gateSigma * params.compassSigmaDeg
+                          : 1e9;
+  std::vector<double> inliers;
+  inliers.reserve(offsets.size());
+  for (double c : offsets)
+    if (geometry::angularDistDeg(c, robustOffset) <= gate)
+      inliers.push_back(c);
+  const double offset = inliers.empty()
+                            ? robustOffset
+                            : geometry::circularMeanDeg(inliers);
+
+  double meanPsi = 0.0;
+  for (double p : psi) meanPsi += p;
+  meanPsi /= static_cast<double>(psi.size());
+  return geometry::normalizeDeg(offset + meanPsi);
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+
+namespace moloc::sensors {
+
+/// A one-dimensional wrap-aware Kalman filter fusing gyroscope rates
+/// (prediction) with compass readings (correction) — the "gyroscope and
+/// advanced filtering techniques such as the Kalman filter" the paper
+/// leaves as future work (Sec. IV.B.2).
+///
+/// The filter carries heading (degrees) and its variance.  Compass
+/// innovations beyond `gateSigma` standard deviations are rejected,
+/// which is what makes the fusion robust to transient magnetic
+/// disturbances that drag a plain circular mean.
+struct KalmanHeadingParams {
+  double rateNoiseDegPerSqrtSec = 1.5;  ///< Gyro random walk strength.
+  double compassSigmaDeg = 8.0;         ///< Compass measurement noise.
+  double initialSigmaDeg = 45.0;        ///< Prior spread before data.
+  double gateSigma = 3.0;  ///< Innovation gate; <= 0 disables gating.
+};
+
+class KalmanHeadingFilter {
+ public:
+  explicit KalmanHeadingFilter(KalmanHeadingParams params = {});
+
+  /// Resets to an uninformative prior centred on `headingDeg`.
+  void reset(double headingDeg = 0.0);
+
+  /// Propagates the heading by one gyro reading over `dtSec`.
+  void predict(double rateDegPerSec, double dtSec);
+
+  /// Fuses one compass reading (wrap-aware).  Returns false when the
+  /// innovation gate rejected the reading as an outlier.
+  bool update(double compassDeg);
+
+  /// Current heading estimate in [0, 360).
+  double headingDeg() const;
+
+  /// Current standard deviation (degrees).
+  double sigmaDeg() const;
+
+  /// Number of compass readings rejected by the gate since reset().
+  std::size_t rejectedUpdates() const { return rejected_; }
+
+ private:
+  KalmanHeadingParams params_;
+  double heading_ = 0.0;
+  double variance_ = 0.0;
+  std::size_t rejected_ = 0;
+  bool hasFirstUpdate_ = false;
+};
+
+/// Convenience: runs the filter over whole per-sample series (compass
+/// and gyro, equal lengths, `sampleRateHz`) and returns the final
+/// heading estimate.  Returns the plain circular mean if the series is
+/// empty of gyro data.
+double fuseHeadingDeg(std::span<const double> compassDeg,
+                      std::span<const double> gyroRateDegPerSec,
+                      double sampleRateHz,
+                      KalmanHeadingParams params = {});
+
+}  // namespace moloc::sensors

@@ -1,0 +1,38 @@
+#include "sensors/imu_trace.hpp"
+
+#include <stdexcept>
+
+namespace moloc::sensors {
+
+ImuTrace::ImuTrace(double sampleRateHz) : sampleRateHz_(sampleRateHz) {
+  if (sampleRateHz <= 0.0)
+    throw std::invalid_argument("ImuTrace: sample rate must be positive");
+}
+
+double ImuTrace::duration() const {
+  if (samples_.empty()) return 0.0;
+  return samples_.back().t - samples_.front().t + 1.0 / sampleRateHz_;
+}
+
+std::vector<double> ImuTrace::accelSeries() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.accelMagnitude);
+  return out;
+}
+
+std::vector<double> ImuTrace::compassSeries() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.compassDeg);
+  return out;
+}
+
+std::vector<double> ImuTrace::gyroSeries() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.gyroRateDegPerSec);
+  return out;
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,58 @@
+#include "sensors/motion_processor.hpp"
+
+#include "geometry/angles.hpp"
+
+namespace moloc::sensors {
+
+MotionProcessor::MotionProcessor(MotionProcessorParams params)
+    : params_(params) {}
+
+std::optional<StepCount> MotionProcessor::countSteps(
+    const ImuTrace& trace) const {
+  const auto accel = trace.accelSeries();
+  const WalkingDetector walkingDetector(params_.walking);
+  if (!walkingDetector.isWalking(accel)) return std::nullopt;
+
+  const StepDetector detector(params_.steps);
+  const auto stepTimes = detector.detectTimes(accel, trace.sampleRateHz());
+  if (stepTimes.empty()) return std::nullopt;
+
+  switch (params_.mode) {
+    case StepCountingMode::kDiscrete:
+      return discreteStepCount(stepTimes);
+    case StepCountingMode::kContinuous:
+      return continuousStepCount(stepTimes, trace.duration());
+  }
+  return std::nullopt;
+}
+
+std::optional<MotionMeasurement> MotionProcessor::process(
+    const ImuTrace& trace, double stepLengthMeters) const {
+  const auto steps = countSteps(trace);
+  if (!steps) {
+    // Distinguish "no usable data" from "the user stood still": a
+    // healthy-length idle trace is positive evidence of staying put.
+    if (params_.reportStationary &&
+        trace.size() >= params_.walking.minSamples) {
+      return MotionMeasurement{
+          geometry::circularMeanDeg(trace.compassSeries()), 0.0};
+    }
+    return std::nullopt;
+  }
+
+  const auto headings = trace.compassSeries();
+  double direction = 0.0;
+  switch (params_.heading) {
+    case HeadingMode::kCircularMean:
+      direction = geometry::circularMeanDeg(headings);
+      break;
+    case HeadingMode::kKalmanFusion:
+      direction = fuseHeadingDeg(headings, trace.gyroSeries(),
+                                 trace.sampleRateHz(), params_.kalman);
+      break;
+  }
+  return MotionMeasurement{direction,
+                           steps->totalSteps() * stepLengthMeters};
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+
+#include "sensors/heading_filter.hpp"
+#include "sensors/imu_trace.hpp"
+#include "sensors/step_counter.hpp"
+#include "sensors/step_detector.hpp"
+#include "sensors/walking_detector.hpp"
+
+namespace moloc::sensors {
+
+/// A relative location measurement extracted from one localization
+/// interval's inertial data: the walking direction (compass degrees) and
+/// the offset walked (metres).  This is the <d, o> pair of Sec. IV.B.1.
+struct MotionMeasurement {
+  double directionDeg = 0.0;
+  double offsetMeters = 0.0;
+};
+
+/// Which step-counting variant the processor uses for the offset.
+enum class StepCountingMode {
+  kDiscrete,    ///< DSC: integral detected steps only (prior art).
+  kContinuous,  ///< CSC: integral + decimal steps (the paper's method).
+};
+
+/// How the walking direction is estimated from the interval's data.
+enum class HeadingMode {
+  kCircularMean,  ///< Circular mean of compass readings (the paper).
+  kKalmanFusion,  ///< Gyro-predicted, compass-corrected Kalman filter
+                  ///< with innovation gating (the paper's future work).
+};
+
+/// Configuration of the motion processing unit.
+struct MotionProcessorParams {
+  WalkingDetectorParams walking;
+  StepDetectorParams steps;
+  StepCountingMode mode = StepCountingMode::kContinuous;
+  HeadingMode heading = HeadingMode::kCircularMean;
+  KalmanHeadingParams kalman;
+  /// When the trace shows the user standing still, report a
+  /// zero-offset measurement instead of "no measurement".  Standing
+  /// still is evidence ("I have not left my location"), and the
+  /// engine's stationary model exploits it; without this the engine
+  /// falls back to memoryless fingerprinting for every idle interval.
+  bool reportStationary = true;
+};
+
+/// The "motion processing unit" of the MoLoc architecture (Fig. 2):
+/// turns a raw IMU trace into a direction/offset RLM.
+///
+/// Direction is the circular mean of the compass readings over the
+/// interval; offset is (steps counted) x (the user's estimated step
+/// length).  Returns nullopt when the trace shows no walking — a user
+/// standing still contributes no RLM.
+class MotionProcessor {
+ public:
+  explicit MotionProcessor(MotionProcessorParams params = {});
+
+  const MotionProcessorParams& params() const { return params_; }
+
+  std::optional<MotionMeasurement> process(const ImuTrace& trace,
+                                           double stepLengthMeters) const;
+
+  /// The step count alone (per the configured mode), for diagnostics and
+  /// the CSC-vs-DSC ablation.
+  std::optional<StepCount> countSteps(const ImuTrace& trace) const;
+
+ private:
+  MotionProcessorParams params_;
+};
+
+}  // namespace moloc::sensors

@@ -1,0 +1,28 @@
+#include "sensors/step_counter.hpp"
+
+#include <algorithm>
+
+namespace moloc::sensors {
+
+StepCount discreteStepCount(std::span<const double> stepTimesSec) {
+  return {static_cast<int>(stepTimesSec.size()), 0.0};
+}
+
+StepCount continuousStepCount(std::span<const double> stepTimesSec,
+                              double intervalDurationSec) {
+  const int k = static_cast<int>(stepTimesSec.size());
+  if (k < 2) return {k, 0.0};
+
+  // Peak-to-peak span covers k-1 gait cycles; one period per step means
+  // whole steps cover k * period of the interval.
+  const double span = stepTimesSec.back() - stepTimesSec.front();
+  if (span <= 0.0) return {k, 0.0};
+  const double period = span / static_cast<double>(k - 1);
+
+  const double covered = static_cast<double>(k) * period;
+  const double oddTime =
+      std::max(0.0, intervalDurationSec - covered);
+  return {k, oddTime / period};
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+namespace moloc::sensors {
+
+/// A step count split into the integral part (detected peaks) and the
+/// decimal part CSC recovers from the "odd time" (Sec. IV.B.1).
+struct StepCount {
+  int integralSteps = 0;
+  double decimalSteps = 0.0;
+
+  double totalSteps() const { return integralSteps + decimalSteps; }
+};
+
+/// Discrete Step Counting: integral detected steps only.  This is the
+/// prior-art method the paper improves on — it drops the motion before
+/// the first recognized step and after the last one, losing up to one or
+/// two steps per localization interval.
+StepCount discreteStepCount(std::span<const double> stepTimesSec);
+
+/// Continuous Step Counting (the paper's method): estimates the walking
+/// period from the detected steps, attributes the interval's odd time
+/// (the part not covered by whole steps) a fractional number of steps,
+/// and returns integral + decimal steps.
+///
+/// With fewer than two detected steps the period is undefined and the
+/// count degrades gracefully to DSC.  `intervalDurationSec` must cover
+/// the step times; values smaller than the covered span are clamped.
+StepCount continuousStepCount(std::span<const double> stepTimesSec,
+                              double intervalDurationSec);
+
+}  // namespace moloc::sensors

@@ -1,0 +1,72 @@
+#include "sensors/step_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moloc::sensors {
+
+StepDetector::StepDetector(StepDetectorParams params) : params_(params) {}
+
+std::vector<double> StepDetector::smooth(std::span<const double> xs,
+                                         std::size_t window) {
+  if (window <= 1 || xs.empty())
+    return std::vector<double>(xs.begin(), xs.end());
+  const std::size_t half = window / 2;
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, xs.size() - 1);
+    double sum = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += xs[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<std::size_t> StepDetector::detect(
+    std::span<const double> accelMagnitudes, double sampleRateHz) const {
+  std::vector<std::size_t> peaks;
+  if (accelMagnitudes.size() < 3 || sampleRateHz <= 0.0) return peaks;
+
+  const auto smoothed = smooth(accelMagnitudes, params_.smoothingWindow);
+
+  double mean = 0.0;
+  for (double v : smoothed) mean += v;
+  mean /= static_cast<double>(smoothed.size());
+  const double threshold = mean + params_.thresholdMargin;
+
+  const auto minGap = static_cast<std::size_t>(
+      std::max(1.0, params_.minStepIntervalSec * sampleRateHz));
+
+  std::size_t lastPeak = 0;
+  bool havePeak = false;
+  for (std::size_t i = 1; i + 1 < smoothed.size(); ++i) {
+    if (smoothed[i] < threshold) continue;
+    if (smoothed[i] < smoothed[i - 1] || smoothed[i] < smoothed[i + 1])
+      continue;
+    if (havePeak && i - lastPeak < minGap) {
+      // Within the refractory window: keep the taller of the two.
+      if (smoothed[i] > smoothed[lastPeak]) {
+        peaks.back() = i;
+        lastPeak = i;
+      }
+      continue;
+    }
+    peaks.push_back(i);
+    lastPeak = i;
+    havePeak = true;
+  }
+  return peaks;
+}
+
+std::vector<double> StepDetector::detectTimes(
+    std::span<const double> accelMagnitudes, double sampleRateHz) const {
+  const auto indices = detect(accelMagnitudes, sampleRateHz);
+  std::vector<double> times;
+  times.reserve(indices.size());
+  for (std::size_t idx : indices)
+    times.push_back(static_cast<double>(idx) / sampleRateHz);
+  return times;
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace moloc::sensors {
+
+/// Peak-picking step detector over accelerometer magnitudes.
+///
+/// Each gait cycle produces one dominant magnitude peak (Fig. 4 marks
+/// them with crosses).  The detector smooths the series with a short
+/// moving average, then keeps local maxima that rise above an adaptive
+/// threshold (window mean plus a margin) and are separated by at least a
+/// refractory gap, rejecting the second-harmonic ripple.
+struct StepDetectorParams {
+  std::size_t smoothingWindow = 5;   ///< Moving-average width, samples.
+  double thresholdMargin = 0.8;      ///< m/s^2 above the window mean.
+  double minStepIntervalSec = 0.35;  ///< Refractory gap between steps.
+};
+
+class StepDetector {
+ public:
+  explicit StepDetector(StepDetectorParams params = {});
+
+  const StepDetectorParams& params() const { return params_; }
+
+  /// Indices (into the input series) of detected step peaks, ascending.
+  std::vector<std::size_t> detect(std::span<const double> accelMagnitudes,
+                                  double sampleRateHz) const;
+
+  /// Same peaks as times in seconds from the start of the series.
+  std::vector<double> detectTimes(std::span<const double> accelMagnitudes,
+                                  double sampleRateHz) const;
+
+  /// Centered moving average used for smoothing; exposed for tests.
+  static std::vector<double> smooth(std::span<const double> xs,
+                                    std::size_t window);
+
+ private:
+  StepDetectorParams params_;
+};
+
+}  // namespace moloc::sensors

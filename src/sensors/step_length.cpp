@@ -1,0 +1,19 @@
+#include "sensors/step_length.hpp"
+
+#include <algorithm>
+
+namespace moloc::sensors {
+
+double estimateStepLength(double heightMeters, double weightKg) {
+  const double h =
+      std::clamp(heightMeters, kMinHeightMeters, kMaxHeightMeters);
+  const double w = std::clamp(weightKg, kMinWeightKg, kMaxWeightKg);
+
+  // Base anthropometric ratio: step length ~ 0.41 x height, with a
+  // small weight correction around a 70 kg reference (-2 % per 20 kg).
+  const double base = 0.41 * h;
+  const double weightFactor = 1.0 - 0.02 * (w - 70.0) / 20.0;
+  return base * std::clamp(weightFactor, 0.9, 1.1);
+}
+
+}  // namespace moloc::sensors

@@ -1,0 +1,21 @@
+#pragma once
+
+namespace moloc::sensors {
+
+/// Step length (metres) estimated from a user's height and weight, per
+/// the anthropometric model the paper cites ([25], Constandache et al.):
+/// step length scales with height, with a mild weight correction (heavy
+/// gaits are slightly shorter).
+///
+/// Heights are metres, weights kilograms; inputs outside a plausible
+/// human range are clamped rather than rejected, because crowdsourced
+/// profile data is exactly the place bad values appear.
+double estimateStepLength(double heightMeters, double weightKg);
+
+/// Bounds applied by estimateStepLength.
+inline constexpr double kMinHeightMeters = 1.2;
+inline constexpr double kMaxHeightMeters = 2.2;
+inline constexpr double kMinWeightKg = 35.0;
+inline constexpr double kMaxWeightKg = 150.0;
+
+}  // namespace moloc::sensors

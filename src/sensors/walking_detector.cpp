@@ -1,0 +1,26 @@
+#include "sensors/walking_detector.hpp"
+
+namespace moloc::sensors {
+
+WalkingDetector::WalkingDetector(WalkingDetectorParams params)
+    : params_(params) {}
+
+double WalkingDetector::windowVariance(
+    std::span<const double> accelMagnitudes) {
+  const std::size_t n = accelMagnitudes.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (double a : accelMagnitudes) sum += a;
+  const double mu = sum / static_cast<double>(n);
+  double acc = 0.0;
+  for (double a : accelMagnitudes) acc += (a - mu) * (a - mu);
+  return acc / static_cast<double>(n - 1);
+}
+
+bool WalkingDetector::isWalking(
+    std::span<const double> accelMagnitudes) const {
+  if (accelMagnitudes.size() < params_.minSamples) return false;
+  return windowVariance(accelMagnitudes) > params_.varianceThreshold;
+}
+
+}  // namespace moloc::sensors

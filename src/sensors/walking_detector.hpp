@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+namespace moloc::sensors {
+
+/// Decides whether an accelerometer-magnitude window shows walking.
+///
+/// The CSC pipeline (Sec. IV.B.1) first checks "whether a user is
+/// walking throughout an interval" before counting steps; standing still
+/// shows only sensor noise around gravity, while walking swings several
+/// m/s^2 — a variance threshold separates the two reliably.
+struct WalkingDetectorParams {
+  double varianceThreshold = 0.5;  ///< (m/s^2)^2 above which = walking.
+  std::size_t minSamples = 8;      ///< Below this, report not walking.
+};
+
+class WalkingDetector {
+ public:
+  explicit WalkingDetector(WalkingDetectorParams params = {});
+
+  /// True when the whole window's variance exceeds the threshold.
+  bool isWalking(std::span<const double> accelMagnitudes) const;
+
+  /// Sample variance of the window (0 for fewer than 2 samples),
+  /// exposed for diagnostics.
+  static double windowVariance(std::span<const double> accelMagnitudes);
+
+ private:
+  WalkingDetectorParams params_;
+};
+
+}  // namespace moloc::sensors

@@ -1,0 +1,128 @@
+#include "traj/trace_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::traj {
+
+TraceSimulator::TraceSimulator(const radio::RadioEnvironment& radio,
+                               const env::WalkGraph& graph,
+                               TraceSimulatorParams params)
+    : radio_(radio), graph_(graph), params_(params) {}
+
+radio::Fingerprint TraceSimulator::scanAt(env::LocationId location,
+                                          double orientationDeg,
+                                          util::Rng& rng) const {
+  if (scanProvider_) return scanProvider_(location, orientationDeg, rng);
+  return radio_.scan(radio_.plan().location(location).pos,
+                     orientationDeg, rng);
+}
+
+Trace TraceSimulator::simulate(const UserProfile& user,
+                               const std::vector<env::LocationId>& route,
+                               util::Rng& rng) const {
+  if (route.empty())
+    throw std::invalid_argument("TraceSimulator: empty route");
+
+  const sensors::CompassModel compass(params_.compass);
+  const sensors::GyroscopeModel gyro(params_.gyro);
+  sensors::AccelerometerModel accel(params_.accel);
+
+  Trace trace;
+  trace.user = user;
+  trace.compassBiasDeg = compass.drawResidualBias(rng);
+  const double gyroBias = gyro.drawBias(rng);
+  trace.startTruth = route.front();
+
+  // The initial scan: facing the direction of the upcoming first leg
+  // (or north when the route has no legs).
+  double initialFacing = 0.0;
+  if (route.size() > 1) {
+    const auto rlm = graph_.groundTruthRlm(route[0], route[1]);
+    if (rlm) initialFacing = rlm->directionDeg;
+  }
+  trace.initialScan = scanAt(route.front(), initialFacing, rng);
+
+  double lastHeading = initialFacing;
+  for (std::size_t leg = 0; leg + 1 < route.size(); ++leg) {
+    const env::LocationId from = route[leg];
+    const env::LocationId to = route[leg + 1];
+
+    if (from == to) {
+      // The user lingers: idle accelerometer, compass around the last
+      // facing, a fresh scan at the same location.
+      LocalizationInterval interval;
+      interval.fromTruth = from;
+      interval.toTruth = to;
+      interval.trueDirectionDeg = lastHeading;
+      interval.trueOffsetMeters = 0.0;
+
+      const auto sampleCount = static_cast<std::size_t>(std::max(
+          1.0,
+          std::round(params_.pauseDurationSec * params_.accel.sampleRateHz)));
+      const auto accelSeries = accel.idleSamples(sampleCount, rng);
+      const sensors::CompassDistortion distortion{
+          trace.compassBiasDeg + user.placementBiasDeg,
+          user.softIronAmplitudeDeg, user.softIronPhaseRad};
+      const auto compassSeries =
+          compass.readings(lastHeading, distortion, sampleCount, rng);
+      const auto gyroSeries =
+          gyro.straightWalkRates(sampleCount, gyroBias, rng);
+
+      sensors::ImuTrace imu(params_.accel.sampleRateHz);
+      const double dt = 1.0 / params_.accel.sampleRateHz;
+      for (std::size_t i = 0; i < sampleCount; ++i)
+        imu.append({static_cast<double>(i) * dt, accelSeries[i],
+                    compassSeries[i], gyroSeries[i]});
+      interval.imu = std::move(imu);
+      interval.scanAtArrival = scanAt(to, lastHeading, rng);
+      trace.intervals.push_back(std::move(interval));
+      continue;
+    }
+
+    const auto rlm = graph_.groundTruthRlm(from, to);
+    if (!rlm)
+      throw std::invalid_argument(
+          "TraceSimulator: route legs must be adjacent in the graph");
+
+    LocalizationInterval interval;
+    interval.fromTruth = from;
+    interval.toTruth = to;
+    interval.trueDirectionDeg = rlm->directionDeg;
+    interval.trueOffsetMeters = rlm->offsetMeters;
+    lastHeading = rlm->directionDeg;
+
+    const double duration = rlm->offsetMeters / user.speedMps();
+    const auto sampleCount = static_cast<std::size_t>(
+        std::max(1.0, std::round(duration * params_.accel.sampleRateHz)));
+
+    const auto accelSeries =
+        accel.walkingSamples(sampleCount, user.cadenceHz, rng);
+    const sensors::CompassDistortion distortion{
+        trace.compassBiasDeg + user.placementBiasDeg,
+        user.softIronAmplitudeDeg, user.softIronPhaseRad};
+    auto compassSeries = compass.readings(rlm->directionDeg, distortion,
+                                          sampleCount, rng);
+    compass.maybeDisturb(compassSeries, rng);
+    // Aisle legs are straight, so the true yaw rate is zero throughout.
+    const auto gyroSeries =
+        gyro.straightWalkRates(sampleCount, gyroBias, rng);
+
+    sensors::ImuTrace imu(params_.accel.sampleRateHz);
+    const double dt = 1.0 / params_.accel.sampleRateHz;
+    for (std::size_t i = 0; i < sampleCount; ++i)
+      imu.append({static_cast<double>(i) * dt, accelSeries[i],
+                  compassSeries[i], gyroSeries[i]});
+    interval.imu = std::move(imu);
+
+    // On arrival the user still faces the walking direction.
+    interval.scanAtArrival = scanAt(to, rlm->directionDeg, rng);
+
+    trace.intervals.push_back(std::move(interval));
+  }
+  return trace;
+}
+
+}  // namespace moloc::traj

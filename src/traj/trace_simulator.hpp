@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "env/walk_graph.hpp"
+#include "radio/radio_environment.hpp"
+#include "sensors/accelerometer_model.hpp"
+#include "sensors/compass_model.hpp"
+#include "sensors/gyroscope_model.hpp"
+#include "sensors/imu_trace.hpp"
+#include "traj/user_profile.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::traj {
+
+/// One localization interval: the user walked one aisle leg, the phone
+/// recorded IMU data throughout and scanned WiFi on arrival.
+struct LocalizationInterval {
+  env::LocationId fromTruth = 0;  ///< Ground-truth leg start.
+  env::LocationId toTruth = 0;    ///< Ground-truth leg end.
+  double trueDirectionDeg = 0.0;  ///< Map heading of the leg.
+  double trueOffsetMeters = 0.0;  ///< Map length of the leg.
+  sensors::ImuTrace imu;          ///< Raw sensor data for the leg.
+  radio::Fingerprint scanAtArrival;  ///< WiFi scan at the leg's end.
+};
+
+/// One full walk: a starting scan plus a sequence of intervals.  Traces
+/// feed both the crowdsourced motion-database construction (training
+/// traces) and the localization evaluation (test traces).
+struct Trace {
+  UserProfile user;
+  double compassBiasDeg = 0.0;  ///< Residual bias drawn for this walk.
+  env::LocationId startTruth = 0;
+  radio::Fingerprint initialScan;  ///< Scan at the starting location.
+  std::vector<LocalizationInterval> intervals;
+};
+
+/// Sensor/radio fidelity knobs for trace generation.
+struct TraceSimulatorParams {
+  sensors::AccelParams accel;
+  sensors::CompassParams compass;
+  sensors::GyroParams gyro;
+  /// Length of a lingering interval (a repeated node in the route).
+  double pauseDurationSec = 3.0;
+};
+
+/// Source of the WiFi scan observed at a reference location.  The
+/// default draws a fresh sample from the radio model; the paper's
+/// trace-driven protocol instead replays held-out site-survey samples
+/// (Sec. VI.A), which a custom provider implements.
+using ScanProvider = std::function<radio::Fingerprint(
+    env::LocationId location, double orientationDeg, util::Rng& rng)>;
+
+/// Walks a user along a node sequence, synthesizing ground truth, IMU
+/// data, and WiFi scans — the "data collection" unit of Fig. 2.
+class TraceSimulator {
+ public:
+  TraceSimulator(const radio::RadioEnvironment& radio,
+                 const env::WalkGraph& graph,
+                 TraceSimulatorParams params = {});
+
+  /// Replaces the scan source (empty provider restores the default).
+  void setScanProvider(ScanProvider provider) {
+    scanProvider_ = std::move(provider);
+  }
+
+  /// Simulates the user walking `route` (consecutive entries must be
+  /// adjacent in the graph; throws std::invalid_argument otherwise, or
+  /// when the route is empty).
+  Trace simulate(const UserProfile& user,
+                 const std::vector<env::LocationId>& route,
+                 util::Rng& rng) const;
+
+ private:
+  radio::Fingerprint scanAt(env::LocationId location,
+                            double orientationDeg, util::Rng& rng) const;
+
+  const radio::RadioEnvironment& radio_;
+  const env::WalkGraph& graph_;
+  TraceSimulatorParams params_;
+  ScanProvider scanProvider_;
+};
+
+}  // namespace moloc::traj

@@ -1,0 +1,60 @@
+#include "traj/trajectory_generator.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace moloc::traj {
+
+TrajectoryGenerator::TrajectoryGenerator(const env::WalkGraph& graph,
+                                         TrajectoryParams params)
+    : graph_(graph), params_(params) {
+  if (graph_.nodeCount() == 0)
+    throw std::invalid_argument("TrajectoryGenerator: empty graph");
+}
+
+std::vector<env::LocationId> TrajectoryGenerator::randomWalk(
+    env::LocationId start, int numLegs, util::Rng& rng) const {
+  std::vector<env::LocationId> walk{start};
+  env::LocationId previous = -1;
+  env::LocationId current = start;
+
+  for (int leg = 0; leg < numLegs; ++leg) {
+    if (rng.chance(params_.pauseProbability)) {
+      walk.push_back(current);  // Linger for one interval.
+      continue;
+    }
+    const auto neighbors = graph_.neighbors(current);
+    if (neighbors.empty())
+      throw std::runtime_error("TrajectoryGenerator: isolated node");
+
+    // Prefer not to U-turn; fall back to it at a dead end.
+    std::vector<env::LocationId> options;
+    options.reserve(neighbors.size());
+    for (const auto& e : neighbors)
+      if (e.to != previous) options.push_back(e.to);
+
+    env::LocationId next;
+    if (options.empty() ||
+        (previous != -1 && rng.chance(params_.uturnProbability))) {
+      next = neighbors[static_cast<std::size_t>(rng.uniformInt(
+                           0, static_cast<int>(neighbors.size()) - 1))]
+                 .to;
+    } else {
+      next = options[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<int>(options.size()) - 1))];
+    }
+    walk.push_back(next);
+    previous = current;
+    current = next;
+  }
+  return walk;
+}
+
+std::vector<env::LocationId> TrajectoryGenerator::randomWalk(
+    int numLegs, util::Rng& rng) const {
+  const auto start = static_cast<env::LocationId>(
+      rng.uniformInt(0, static_cast<int>(graph_.nodeCount()) - 1));
+  return randomWalk(start, numLegs, rng);
+}
+
+}  // namespace moloc::traj

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "env/walk_graph.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::traj {
+
+/// Generates random walks over the aisle graph — the "user randomly
+/// walked along the aisles" workload of the paper's data collection.
+///
+/// Walks avoid immediately reversing onto the leg just walked (with the
+/// configured probability) because people rarely U-turn mid-aisle; this
+/// also spreads coverage over the whole hall faster.  With
+/// `pauseProbability` > 0, a step may repeat the current node instead of
+/// moving — the user lingers for one localization interval (phones keep
+/// scanning while their owners read a message), which exercises the
+/// engine's stationary handling.
+struct TrajectoryParams {
+  double uturnProbability = 0.1;  ///< Chance of allowing a U-turn.
+  double pauseProbability = 0.0;  ///< Chance of lingering per step.
+};
+
+class TrajectoryGenerator {
+ public:
+  /// Throws std::invalid_argument if the graph has no nodes.
+  TrajectoryGenerator(const env::WalkGraph& graph,
+                      TrajectoryParams params = {});
+
+  /// A walk of `numLegs` aisle legs starting at `start`.  Each
+  /// consecutive pair in the result is adjacent in the graph.  Throws
+  /// std::out_of_range for a bad start and std::runtime_error if the
+  /// start node is isolated.
+  std::vector<env::LocationId> randomWalk(env::LocationId start,
+                                          int numLegs,
+                                          util::Rng& rng) const;
+
+  /// A walk starting at a uniformly random node.
+  std::vector<env::LocationId> randomWalk(int numLegs,
+                                          util::Rng& rng) const;
+
+ private:
+  const env::WalkGraph& graph_;
+  TrajectoryParams params_;
+};
+
+}  // namespace moloc::traj

@@ -1,0 +1,45 @@
+#include "traj/user_profile.hpp"
+
+#include "sensors/step_length.hpp"
+
+namespace moloc::traj {
+
+double UserProfile::estimatedStepLengthMeters() const {
+  return sensors::estimateStepLength(heightMeters, weightKg);
+}
+
+std::vector<UserProfile> makeDefaultUsers() {
+  // True step lengths sit within a few percent of the 0.41 x height
+  // estimate, with individual spread in cadence (and hence speed).
+  // All four users carry the same prototype phone, as in the paper's
+  // deployment, so they share one soft-iron distortion — which is why
+  // its heading-dependent error does not average out of the motion
+  // database (the paper's 10-20 degree reversal-bias observation).
+  constexpr double kDeviceSoftIronDeg = 7.0;
+  constexpr double kDeviceSoftIronPhase = 1.0;
+  return {
+      {"alice", 1.62, 54.0, 0.655, 1.95, kDeviceSoftIronDeg,
+       kDeviceSoftIronPhase},
+      {"bob", 1.78, 82.0, 0.715, 1.75, kDeviceSoftIronDeg,
+       kDeviceSoftIronPhase},
+      {"carol", 1.70, 63.0, 0.705, 1.85, kDeviceSoftIronDeg,
+       kDeviceSoftIronPhase},
+      {"dave", 1.88, 90.0, 0.755, 1.65, kDeviceSoftIronDeg,
+       kDeviceSoftIronPhase},
+  };
+}
+
+UserProfile makeRandomUser(util::Rng& rng, const std::string& name) {
+  UserProfile user;
+  user.name = name;
+  user.heightMeters = rng.uniform(1.50, 1.95);
+  user.weightKg = rng.uniform(48.0, 100.0);
+  user.cadenceHz = rng.uniform(1.5, 2.1);
+  const double estimate = user.estimatedStepLengthMeters();
+  user.trueStepLengthMeters = estimate * rng.uniform(0.96, 1.04);
+  user.softIronAmplitudeDeg = rng.uniform(2.0, 7.0);
+  user.softIronPhaseRad = rng.uniform(0.0, 2.0 * 3.14159265358979);
+  return user;
+}
+
+}  // namespace moloc::traj

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moloc::traj {
+
+/// A walking user carrying the phone.
+///
+/// The *actual* gait (true step length, cadence, hence speed) is what
+/// the simulator walks with; the *estimated* step length (derived from
+/// the profile height/weight, Sec. IV.B.1 / ref. [25]) is what the
+/// motion processing unit multiplies step counts by.  The gap between
+/// the two is a genuine error source the paper's offset-error numbers
+/// include.
+struct UserProfile {
+  std::string name;
+  double heightMeters = 1.75;
+  double weightKg = 70.0;
+  double trueStepLengthMeters = 0.72;
+  double cadenceHz = 1.8;  ///< Steps per second.
+  /// The carried device's soft-iron compass distortion (see
+  /// sensors::CompassDistortion): a heading-dependent reading error of
+  /// up to this amplitude, at a device-specific phase.  This is the
+  /// error source behind the paper's observed 10-20 degree reversal
+  /// bias (Sec. VI.B.1).
+  double softIronAmplitudeDeg = 4.0;
+  double softIronPhaseRad = 0.0;
+  /// Constant heading offset from how the user habitually carries the
+  /// phone.  Zero models a Zee-corrected front end (the paper's
+  /// assumption); non-zero values exercise the map-aided calibration
+  /// fallback (sensors::CompassCalibrator).
+  double placementBiasDeg = 0.0;
+
+  /// Walking speed implied by the true gait.
+  double speedMps() const { return trueStepLengthMeters * cadenceHz; }
+
+  /// What the motion processor believes the step length to be.
+  double estimatedStepLengthMeters() const;
+};
+
+/// The paper's cohort: four users "with diverse height and walking
+/// speed" (Sec. VI.A).  True step lengths deviate a few percent from
+/// the height-derived estimate, as real gaits do.
+std::vector<UserProfile> makeDefaultUsers();
+
+/// A randomized user for property-style sweeps: plausible height,
+/// weight, cadence, and a true step length within +-4 % of the
+/// anthropometric estimate.
+UserProfile makeRandomUser(util::Rng& rng, const std::string& name);
+
+}  // namespace moloc::traj

@@ -1,0 +1,134 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace moloc::util {
+
+ArgParser::ArgParser(std::string programDescription)
+    : description_(std::move(programDescription)) {}
+
+void ArgParser::addOption(const std::string& name,
+                          const std::string& defaultValue,
+                          const std::string& help) {
+  declared_[name] = {defaultValue, help, false};
+}
+
+void ArgParser::addSwitch(const std::string& name,
+                          const std::string& help) {
+  declared_[name] = {"false", help, true};
+}
+
+const ArgParser::Option& ArgParser::findDeclared(
+    const std::string& name) const {
+  const auto it = declared_.find(name);
+  if (it == declared_.end())
+    throw std::invalid_argument("ArgParser: undeclared option --" + name);
+  return it->second;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) programName_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (token.rfind("--", 0) != 0)
+      throw std::invalid_argument("ArgParser: expected --option, got '" +
+                                  token + "'");
+    token = token.substr(2);
+
+    std::string name = token;
+    std::optional<std::string> inlineValue;
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inlineValue = token.substr(eq + 1);
+    }
+
+    const Option& option = findDeclared(name);
+    if (option.isSwitch) {
+      if (inlineValue)
+        throw std::invalid_argument("ArgParser: switch --" + name +
+                                    " takes no value");
+      values_[name] = "true";
+      continue;
+    }
+    if (inlineValue) {
+      values_[name] = *inlineValue;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("ArgParser: --" + name +
+                                    " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::getString(const std::string& name) const {
+  const Option& option = findDeclared(name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : option.defaultValue;
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  const std::string raw = getString(name);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(raw, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + name +
+                                " expects a number, got '" + raw + "'");
+  }
+  if (consumed != raw.size())
+    throw std::invalid_argument("ArgParser: --" + name +
+                                " expects a number, got '" + raw + "'");
+  return value;
+}
+
+int ArgParser::getInt(const std::string& name) const {
+  const std::string raw = getString(name);
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(raw, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + name +
+                                " expects an integer, got '" + raw + "'");
+  }
+  if (consumed != raw.size())
+    throw std::invalid_argument("ArgParser: --" + name +
+                                " expects an integer, got '" + raw + "'");
+  return value;
+}
+
+bool ArgParser::getSwitch(const std::string& name) const {
+  const Option& option = findDeclared(name);
+  if (!option.isSwitch)
+    throw std::invalid_argument("ArgParser: --" + name +
+                                " is not a switch");
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nusage: " << programName_
+      << " [options]\n\noptions:\n";
+  for (const auto& [name, option] : declared_) {
+    out << "  --" << name;
+    if (!option.isSwitch) out << " <value>";
+    out << "\n      " << option.help;
+    if (!option.isSwitch)
+      out << " (default: " << option.defaultValue << ")";
+    out << "\n";
+  }
+  out << "  --help\n      print this message\n";
+  return out.str();
+}
+
+}  // namespace moloc::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace moloc::util {
+
+/// A minimal command-line option parser for the example binaries.
+///
+/// Supports `--name value`, `--name=value`, and boolean switches
+/// (`--name` with no value).  Unknown options are an error; `--help`
+/// is always recognized.  Options are declared with defaults and help
+/// text so `usage()` is generated, not hand-maintained.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string programDescription);
+
+  /// Declares a value option.  `name` is without the leading dashes.
+  void addOption(const std::string& name, const std::string& defaultValue,
+                 const std::string& help);
+
+  /// Declares a boolean switch (false unless present).
+  void addSwitch(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) when --help is
+  /// requested; throws std::invalid_argument on unknown or malformed
+  /// options.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; throw std::invalid_argument when the option was
+  /// never declared or the value does not convert.
+  std::string getString(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  int getInt(const std::string& name) const;
+  bool getSwitch(const std::string& name) const;
+
+  /// The generated usage text.
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string defaultValue;
+    std::string help;
+    bool isSwitch = false;
+  };
+  const Option& findDeclared(const std::string& name) const;
+
+  std::string description_;
+  std::string programName_ = "program";
+  std::map<std::string, Option> declared_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace moloc::util

@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace moloc::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  writeRow(header);
+}
+
+CsvWriter& CsvWriter::cell(std::string_view value) {
+  pending_.emplace_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  std::ostringstream os;
+  os << value;
+  pending_.push_back(os.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(int value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::endRow() {
+  writeRow(pending_);
+  pending_.clear();
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needsQuote =
+      value.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needsQuote) return std::string(value);
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace moloc::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moloc::util {
+
+/// Minimal CSV writer used by the benchmark harnesses to dump the series
+/// behind each reproduced figure (so plots can be regenerated offline).
+///
+/// Values are written row by row; strings containing separators or quotes
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one cell; cells accumulate until endRow().
+  CsvWriter& cell(std::string_view value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(int value);
+  CsvWriter& cell(std::size_t value);
+
+  /// Flushes the accumulated cells as one row.
+  void endRow();
+
+ private:
+  void writeRow(const std::vector<std::string>& cells);
+  static std::string escape(std::string_view value);
+
+  std::ofstream out_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace moloc::util

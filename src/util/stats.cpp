@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "util/rng.hpp"
+
+
+namespace moloc::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double maxValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double minValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double fractionBelow(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double x : xs)
+    if (x < threshold) ++below;
+  return static_cast<double>(below) / static_cast<double>(xs.size());
+}
+
+std::vector<CdfPoint> empiricalCdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) /
+                                  static_cast<double>(sorted.size())});
+  }
+  return cdf;
+}
+
+std::vector<CdfPoint> sampledCdf(std::span<const double> xs,
+                                 std::size_t points) {
+  auto full = empiricalCdf(xs);
+  if (full.size() <= points || points == 0) return full;
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const std::size_t idx =
+        (i * (full.size() - 1)) / (points > 1 ? points - 1 : 1);
+    out.push_back(full[idx]);
+  }
+  return out;
+}
+
+ConfidenceInterval bootstrapMeanCi(std::span<const double> xs,
+                                   double confidence, int resamples,
+                                   Rng& rng) {
+  ConfidenceInterval ci;
+  ci.estimate = mean(xs);
+  ci.lower = ci.estimate;
+  ci.upper = ci.estimate;
+  if (xs.size() < 2 || resamples < 2) return ci;
+
+  const double clamped = std::clamp(confidence, 1e-6, 1.0 - 1e-6);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = static_cast<int>(xs.size());
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int s = 0; s < n; ++s)
+      sum += xs[static_cast<std::size_t>(rng.uniformInt(0, n - 1))];
+    means.push_back(sum / n);
+  }
+  ci.lower = percentile(means, (1.0 - clamped) / 2.0 * 100.0);
+  ci.upper = percentile(means, (1.0 + clamped) / 2.0 * 100.0);
+  return ci;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    max_ = x;
+    min_ = x;
+  } else {
+    max_ = std::max(max_, x);
+    min_ = std::min(min_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace moloc::util

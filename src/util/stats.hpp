@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace moloc::util {
+
+class Rng;
+
+/// Descriptive statistics over a sample of doubles.
+///
+/// Used throughout the evaluation harness to summarize error
+/// distributions (mean / max / median / arbitrary percentiles) and to
+/// emit the empirical CDFs the paper plots in Figs. 6–8.
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample standard deviation; 0 for fewer than 2 points.
+double stddev(std::span<const double> xs);
+
+/// Largest element; 0 for an empty sample.
+double maxValue(std::span<const double> xs);
+
+/// Smallest element; 0 for an empty sample.
+double minValue(std::span<const double> xs);
+
+/// Percentile in [0, 100] by linear interpolation between order
+/// statistics (the "linear" / R-7 method); 0 for an empty sample.
+double percentile(std::span<const double> xs, double pct);
+
+/// Median, i.e. percentile(xs, 50).
+double median(std::span<const double> xs);
+
+/// Fraction of elements strictly below `threshold`; 0 for empty input.
+double fractionBelow(std::span<const double> xs, double threshold);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;       ///< Sorted sample value.
+  double cumulative = 0.0;  ///< Fraction of samples <= value, in (0, 1].
+};
+
+/// Full empirical CDF: one point per sample, values ascending.
+std::vector<CdfPoint> empiricalCdf(std::span<const double> xs);
+
+/// CDF downsampled to `points` evenly spaced cumulative levels, suitable
+/// for compact printing; returns the full CDF if it is already smaller.
+std::vector<CdfPoint> sampledCdf(std::span<const double> xs,
+                                 std::size_t points);
+
+/// A two-sided confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double estimate = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`:
+/// resample with replacement `resamples` times and take the
+/// (1-confidence)/2 and (1+confidence)/2 percentiles of the resampled
+/// means.  Returns a degenerate interval for fewer than 2 samples.
+/// `confidence` is clamped to (0, 1).
+/// (Rng is forward-declared to keep this header light.)
+ConfidenceInterval bootstrapMeanCi(std::span<const double> xs,
+                                   double confidence, int resamples,
+                                   Rng& rng);
+
+/// Welford-style running accumulator for mean and standard deviation;
+/// used where samples are streamed rather than stored.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample standard deviation; 0 for fewer than 2 points.
+  double stddev() const;
+  double max() const { return n_ ? max_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+}  // namespace moloc::util

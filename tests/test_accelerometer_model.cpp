@@ -1,0 +1,134 @@
+#include "sensors/accelerometer_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(AccelerometerModel, RejectsBadSampleRate) {
+  AccelParams params;
+  params.sampleRateHz = 0.0;
+  EXPECT_THROW(AccelerometerModel{params}, std::invalid_argument);
+}
+
+TEST(AccelerometerModel, RejectsBadCadence) {
+  AccelerometerModel model;
+  util::Rng rng(1);
+  EXPECT_THROW(model.walkingSamples(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(model.walkingSamples(10, -1.0, rng), std::invalid_argument);
+}
+
+TEST(AccelerometerModel, WalkingOscillatesAroundGravity) {
+  AccelParams params;
+  params.noiseSigma = 0.0;
+  params.amplitudeJitter = 0.0;
+  AccelerometerModel model(params);
+  util::Rng rng(2);
+  const auto samples = model.walkingSamples(500, 1.8, rng);
+  EXPECT_NEAR(util::mean(samples), params.gravity, 0.3);
+  EXPECT_GT(util::maxValue(samples), params.gravity + 2.0);
+  EXPECT_LT(util::minValue(samples), params.gravity - 2.0);
+}
+
+TEST(AccelerometerModel, WalkingEnvelopeMatchesFig4) {
+  // The paper's Fig. 4 trace swings roughly between 6 and 15 m/s^2.
+  AccelerometerModel model;
+  util::Rng rng(3);
+  const auto samples = model.walkingSamples(500, 1.8, rng);
+  EXPECT_GT(util::maxValue(samples), 11.0);
+  EXPECT_LT(util::maxValue(samples), 17.0);
+  EXPECT_LT(util::minValue(samples), 8.0);
+  EXPECT_GT(util::minValue(samples), 3.0);
+}
+
+TEST(AccelerometerModel, IdleStaysNearGravity) {
+  AccelerometerModel model;
+  util::Rng rng(4);
+  const auto samples = model.idleSamples(500, rng);
+  EXPECT_NEAR(util::mean(samples), 9.81, 0.1);
+  EXPECT_LT(util::stddev(samples), 0.3);
+}
+
+TEST(AccelerometerModel, IdleVarianceFarBelowWalking) {
+  AccelerometerModel model;
+  util::Rng rng(5);
+  const auto idle = model.idleSamples(300, rng);
+  const auto walking = model.walkingSamples(300, 1.8, rng);
+  EXPECT_LT(util::stddev(idle) * 5.0, util::stddev(walking));
+}
+
+TEST(AccelerometerModel, PhaseAdvancesAcrossSegments) {
+  AccelParams params;
+  params.noiseSigma = 0.0;
+  params.amplitudeJitter = 0.0;
+  AccelerometerModel model(params);
+  util::Rng rng(6);
+  // Half a gait cycle at 2 Hz and 50 Hz sampling = 12.5 samples.
+  model.walkingSamples(10, 2.0, rng);
+  const double phase = model.phase();
+  EXPECT_NEAR(phase, 10.0 * 2.0 / 50.0, 1e-9);
+  model.walkingSamples(10, 2.0, rng);
+  EXPECT_NEAR(model.phase(), 20.0 * 2.0 / 50.0 - 0.0, 1e-9);
+}
+
+TEST(AccelerometerModel, PhaseWrapsBelowOne) {
+  AccelerometerModel model;
+  util::Rng rng(7);
+  model.walkingSamples(1000, 1.9, rng);
+  EXPECT_GE(model.phase(), 0.0);
+  EXPECT_LT(model.phase(), 1.0);
+}
+
+TEST(AccelerometerModel, RequestedCountProduced) {
+  AccelerometerModel model;
+  util::Rng rng(8);
+  EXPECT_EQ(model.walkingSamples(0, 1.8, rng).size(), 0u);
+  EXPECT_EQ(model.walkingSamples(123, 1.8, rng).size(), 123u);
+  EXPECT_EQ(model.idleSamples(77, rng).size(), 77u);
+}
+
+TEST(AccelerometerModel, DeterministicGivenSeed) {
+  AccelerometerModel m1;
+  AccelerometerModel m2;
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const auto a = m1.walkingSamples(50, 1.8, rng1);
+  const auto b = m2.walkingSamples(50, 1.8, rng2);
+  EXPECT_EQ(a, b);
+}
+
+/// Parameterized: the dominant oscillation tracks the commanded cadence
+/// (verified by counting mean-crossings).
+class CadenceSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CadenceSweepTest, MeanCrossingsTrackCadence) {
+  const double cadence = GetParam();
+  AccelParams params;
+  params.noiseSigma = 0.0;
+  params.amplitudeJitter = 0.0;
+  params.harmonicRatio = 0.0;  // Pure tone for crisp crossings.
+  AccelerometerModel model(params);
+  util::Rng rng(10);
+  const double duration = 10.0;
+  const auto count =
+      static_cast<std::size_t>(duration * params.sampleRateHz);
+  const auto samples = model.walkingSamples(count, cadence, rng);
+
+  int upCrossings = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    if (samples[i - 1] < params.gravity && samples[i] >= params.gravity)
+      ++upCrossings;
+  // One upward crossing per gait cycle.
+  EXPECT_NEAR(upCrossings, cadence * duration, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CadenceSweepTest,
+                         ::testing::Values(1.5, 1.7, 1.9, 2.1));
+
+}  // namespace
+}  // namespace moloc::sensors

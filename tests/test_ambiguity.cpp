@@ -1,0 +1,90 @@
+#include "eval/ambiguity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment_world.hpp"
+
+namespace moloc::eval {
+namespace {
+
+/// A hand-built map with one obvious twin pair and one unique location.
+struct TwinFixture {
+  TwinFixture() : plan(30.0, 10.0) {
+    plan.addReferenceLocation({2.0, 5.0});    // 0: twin of 1.
+    plan.addReferenceLocation({28.0, 5.0});   // 1: twin of 0 (26 m away).
+    plan.addReferenceLocation({15.0, 5.0});   // 2: unique.
+    db.addLocation(0, radio::Fingerprint({-50.0, -60.0}));
+    db.addLocation(1, radio::Fingerprint({-50.5, -60.5}));
+    db.addLocation(2, radio::Fingerprint({-80.0, -30.0}));
+  }
+  env::FloorPlan plan;
+  radio::FingerprintDatabase db;
+};
+
+TEST(Ambiguity, FindsTheTwinPair) {
+  const TwinFixture fixture;
+  const auto twins = findFingerprintTwins(fixture.db, fixture.plan);
+  ASSERT_EQ(twins.size(), 1u);
+  EXPECT_EQ(twins[0].a, 0);
+  EXPECT_EQ(twins[0].b, 1);
+  EXPECT_NEAR(twins[0].fingerprintGapDb, 0.71, 0.01);
+  EXPECT_NEAR(twins[0].geometricGapMeters, 26.0, 1e-9);
+}
+
+TEST(Ambiguity, CriteriaAreRespected) {
+  const TwinFixture fixture;
+  // Tighten the fingerprint criterion below the pair's gap: no twins.
+  TwinCriteria strict;
+  strict.maxFingerprintGapDb = 0.5;
+  EXPECT_TRUE(
+      findFingerprintTwins(fixture.db, fixture.plan, strict).empty());
+
+  // Raise the geometric criterion beyond 26 m: no twins.
+  TwinCriteria far;
+  far.minGeometricGapMeters = 30.0;
+  EXPECT_TRUE(
+      findFingerprintTwins(fixture.db, fixture.plan, far).empty());
+}
+
+TEST(Ambiguity, NearbyConfusablePairsAreNotTwins) {
+  // Two locations 2 m apart with identical fingerprints: confusable,
+  // but a confusion is a small error, so not a "twin" by the paper's
+  // meaning.
+  env::FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({4.0, 5.0});
+  plan.addReferenceLocation({6.0, 5.0});
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-50.0}));
+  db.addLocation(1, radio::Fingerprint({-50.1}));
+  EXPECT_TRUE(findFingerprintTwins(db, plan).empty());
+}
+
+TEST(Ambiguity, ScoresIdentifyWorstLocationsFirst) {
+  const TwinFixture fixture;
+  const auto scores = ambiguityScores(fixture.db, fixture.plan);
+  ASSERT_EQ(scores.size(), 3u);
+  // The twin endpoints carry the largest error-if-confused (26 m) and
+  // rank first; the unique location ranks last.
+  EXPECT_NEAR(scores[0].errorIfConfusedMeters, 26.0, 1e-9);
+  EXPECT_NEAR(scores[1].errorIfConfusedMeters, 26.0, 1e-9);
+  EXPECT_EQ(scores[2].location, 2);
+  // Each twin's nearest-in-signal-space is the other twin.
+  EXPECT_EQ(scores[0].nearestInSignalSpace,
+            scores[0].location == 0 ? 1 : 0);
+}
+
+TEST(Ambiguity, OfficeHallHasTwins) {
+  // The calibrated hall must actually contain the ambiguity the paper
+  // studies: several far-apart pairs with close fingerprints at 4 APs.
+  eval::WorldConfig config;
+  config.apCount = 4;
+  config.trainingTraces = 2;  // DB content irrelevant here; keep fast.
+  config.legsPerTrainingTrace = 3;
+  ExperimentWorld world(config);
+  const auto twins =
+      findFingerprintTwins(world.fingerprintDb(), world.hall().plan);
+  EXPECT_GE(twins.size(), 3u);
+}
+
+}  // namespace
+}  // namespace moloc::eval

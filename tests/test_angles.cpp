@@ -1,0 +1,164 @@
+#include "geometry/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace moloc::geometry {
+namespace {
+
+TEST(Angles, NormalizeDeg) {
+  EXPECT_DOUBLE_EQ(normalizeDeg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeDeg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeDeg(-90.0), 270.0);
+  EXPECT_DOUBLE_EQ(normalizeDeg(725.0), 5.0);
+  EXPECT_DOUBLE_EQ(normalizeDeg(-725.0), 355.0);
+}
+
+TEST(Angles, SignedDiffShortestWay) {
+  EXPECT_DOUBLE_EQ(signedAngularDiffDeg(10.0, 20.0), 10.0);
+  EXPECT_DOUBLE_EQ(signedAngularDiffDeg(20.0, 10.0), -10.0);
+  EXPECT_DOUBLE_EQ(signedAngularDiffDeg(350.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(signedAngularDiffDeg(10.0, 350.0), -20.0);
+  // The antipode maps to +180, not -180.
+  EXPECT_DOUBLE_EQ(signedAngularDiffDeg(0.0, 180.0), 180.0);
+}
+
+TEST(Angles, AngularDistSymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(angularDistDeg(350.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(angularDistDeg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(angularDistDeg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(angularDistDeg(90.0, 90.0), 0.0);
+}
+
+TEST(Angles, ReverseHeading) {
+  EXPECT_DOUBLE_EQ(reverseHeadingDeg(0.0), 180.0);
+  EXPECT_DOUBLE_EQ(reverseHeadingDeg(270.0), 90.0);
+  EXPECT_DOUBLE_EQ(reverseHeadingDeg(359.0), 179.0);
+}
+
+TEST(Angles, ReverseIsInvolution) {
+  for (double d : {0.0, 45.0, 123.4, 200.0, 359.9})
+    EXPECT_NEAR(reverseHeadingDeg(reverseHeadingDeg(d)), d, 1e-9);
+}
+
+TEST(Angles, CircularMeanWrapsAroundNorth) {
+  const std::vector<double> degs{350.0, 10.0};
+  EXPECT_NEAR(circularMeanDeg(degs), 0.0, 1e-9);
+}
+
+TEST(Angles, CircularMeanSimple) {
+  const std::vector<double> degs{80.0, 100.0};
+  EXPECT_NEAR(circularMeanDeg(degs), 90.0, 1e-9);
+}
+
+TEST(Angles, CircularMeanEmptyIsZero) {
+  EXPECT_EQ(circularMeanDeg({}), 0.0);
+}
+
+TEST(Angles, CircularStddevZeroForIdentical) {
+  const std::vector<double> degs{42.0, 42.0, 42.0};
+  EXPECT_NEAR(circularStddevDeg(degs), 0.0, 1e-9);
+}
+
+TEST(Angles, CircularStddevGrowsWithSpread) {
+  const std::vector<double> narrow{88.0, 90.0, 92.0};
+  const std::vector<double> wide{60.0, 90.0, 120.0};
+  EXPECT_LT(circularStddevDeg(narrow), circularStddevDeg(wide));
+}
+
+TEST(Angles, CircularStddevHandlesWrap) {
+  // Same spread, once wrapped around north, once not: same stddev.
+  const std::vector<double> atNorth{355.0, 0.0, 5.0};
+  const std::vector<double> atEast{85.0, 90.0, 95.0};
+  EXPECT_NEAR(circularStddevDeg(atNorth), circularStddevDeg(atEast), 1e-9);
+}
+
+TEST(Angles, CircularMedianBasics) {
+  EXPECT_EQ(circularMedianDeg({}), 0.0);
+  const std::vector<double> one{123.0};
+  EXPECT_DOUBLE_EQ(circularMedianDeg(one), 123.0);
+  const std::vector<double> cluster{88.0, 90.0, 92.0};
+  EXPECT_DOUBLE_EQ(circularMedianDeg(cluster), 90.0);
+}
+
+TEST(Angles, CircularMedianWrapsAroundNorth) {
+  const std::vector<double> degs{354.0, 358.0, 2.0, 6.0, 10.0};
+  const double median = circularMedianDeg(degs);
+  EXPECT_LT(angularDistDeg(median, 2.0), 1e-9);
+}
+
+TEST(Angles, CircularMedianResistsOutliers) {
+  // 70 % cluster at 90, 30 % junk at 250: the mean gets dragged, the
+  // median stays with the cluster.
+  std::vector<double> degs;
+  for (int i = 0; i < 7; ++i) degs.push_back(90.0 + i - 3);
+  for (int i = 0; i < 3; ++i) degs.push_back(250.0 + i);
+  EXPECT_LT(angularDistDeg(circularMedianDeg(degs), 90.0), 4.0);
+  EXPECT_GT(angularDistDeg(circularMeanDeg(degs), 90.0), 10.0);
+}
+
+TEST(Angles, CircularMedianLargeSampleSubsampling) {
+  // Beyond 200 elements candidates are subsampled; the answer must
+  // stay near the cluster centre.
+  std::vector<double> degs;
+  for (int i = 0; i < 1000; ++i)
+    degs.push_back(normalizeDeg(180.0 + (i % 21) - 10));
+  EXPECT_LT(angularDistDeg(circularMedianDeg(degs), 180.0), 6.0);
+}
+
+TEST(Angles, HeadingBetweenCardinals) {
+  const Vec2 origin{0.0, 0.0};
+  EXPECT_NEAR(headingBetweenDeg(origin, {0.0, 1.0}), 0.0, 1e-9);    // N
+  EXPECT_NEAR(headingBetweenDeg(origin, {1.0, 0.0}), 90.0, 1e-9);   // E
+  EXPECT_NEAR(headingBetweenDeg(origin, {0.0, -1.0}), 180.0, 1e-9); // S
+  EXPECT_NEAR(headingBetweenDeg(origin, {-1.0, 0.0}), 270.0, 1e-9); // W
+}
+
+TEST(Angles, HeadingBetweenCoincidentPointsIsZero) {
+  EXPECT_EQ(headingBetweenDeg({2.0, 2.0}, {2.0, 2.0}), 0.0);
+}
+
+TEST(Angles, HeadingToUnitVecCardinals) {
+  const Vec2 north = headingToUnitVec(0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-12);
+  EXPECT_NEAR(north.y, 1.0, 1e-12);
+  const Vec2 east = headingToUnitVec(90.0);
+  EXPECT_NEAR(east.x, 1.0, 1e-12);
+  EXPECT_NEAR(east.y, 0.0, 1e-12);
+}
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double d : {0.0, 30.0, 90.0, 180.0, 300.0})
+    EXPECT_NEAR(radToDeg(degToRad(d)), d, 1e-12);
+}
+
+/// Property sweep: heading -> unit vector -> heading round-trips.
+class HeadingRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeadingRoundTripTest, RoundTrips) {
+  const double deg = GetParam();
+  const Vec2 unit = headingToUnitVec(deg);
+  EXPECT_NEAR(headingBetweenDeg({0.0, 0.0}, unit), deg, 1e-9);
+  EXPECT_NEAR(unit.norm(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HeadingRoundTripTest,
+                         ::testing::Values(0.0, 15.0, 90.0, 135.5, 180.0,
+                                           222.2, 270.0, 315.0, 359.0));
+
+/// Property sweep: the reverse rule of Sec. IV.B.2 flips the angular
+/// distance to any reference by exactly 180 degrees worth.
+class ReverseRuleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReverseRuleTest, ReversePlusForwardIsAntipodal) {
+  const double d = GetParam();
+  EXPECT_NEAR(angularDistDeg(d, reverseHeadingDeg(d)), 180.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReverseRuleTest,
+                         ::testing::Values(0.0, 10.0, 89.9, 90.0, 180.0,
+                                           269.5, 359.9));
+
+}  // namespace
+}  // namespace moloc::geometry

@@ -1,0 +1,103 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace moloc::util {
+namespace {
+
+ArgParser makeParser() {
+  ArgParser parser("test program");
+  parser.addOption("count", "5", "a count");
+  parser.addOption("rate", "2.5", "a rate");
+  parser.addOption("name", "alice", "a name");
+  parser.addSwitch("verbose", "talk more");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_EQ(parser.getInt("count"), 5);
+  EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 2.5);
+  EXPECT_EQ(parser.getString("name"), "alice");
+  EXPECT_FALSE(parser.getSwitch("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {"--count", "9", "--name", "bob"}));
+  EXPECT_EQ(parser.getInt("count"), 9);
+  EXPECT_EQ(parser.getString("name"), "bob");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {"--rate=7.25", "--name=carol"}));
+  EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 7.25);
+  EXPECT_EQ(parser.getString("name"), "carol");
+}
+
+TEST(ArgParser, SwitchPresence) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {"--verbose"}));
+  EXPECT_TRUE(parser.getSwitch("verbose"));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto parser = makeParser();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW(parse(parser, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW(parse(parser, {"--count"}), std::invalid_argument);
+}
+
+TEST(ArgParser, NonNumericValueThrows) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {"--count", "abc"}));
+  EXPECT_THROW(parser.getInt("count"), std::invalid_argument);
+  ASSERT_TRUE(parse(parser, {"--rate", "1.5x"}));
+  EXPECT_THROW(parser.getDouble("rate"), std::invalid_argument);
+}
+
+TEST(ArgParser, SwitchWithValueThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW(parse(parser, {"--verbose=true"}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW(parse(parser, {"stray"}), std::invalid_argument);
+}
+
+TEST(ArgParser, UndeclaredAccessThrows) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_THROW(parser.getString("missing"), std::invalid_argument);
+  EXPECT_THROW(parser.getSwitch("count"), std::invalid_argument);
+}
+
+TEST(ArgParser, UsageMentionsEveryOption) {
+  const auto parser = makeParser();
+  const auto usage = parser.usage();
+  for (const char* needle :
+       {"--count", "--rate", "--name", "--verbose", "--help"})
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace
+}  // namespace moloc::util

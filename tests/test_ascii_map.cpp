@@ -1,0 +1,78 @@
+#include "eval/ascii_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "env/office_hall.hpp"
+
+namespace moloc::eval {
+namespace {
+
+TEST(AsciiMap, RejectsBadResolution) {
+  env::FloorPlan plan(10.0, 10.0);
+  EXPECT_THROW(AsciiMap(plan, 0.0), std::invalid_argument);
+  EXPECT_THROW(AsciiMap(plan, -1.0), std::invalid_argument);
+}
+
+TEST(AsciiMap, RendersLocationsAsIds) {
+  env::FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({5.0, 5.0});
+  const AsciiMap map(plan);
+  const auto art = map.render();
+  EXPECT_NE(art.find("00"), std::string::npos);
+}
+
+TEST(AsciiMap, RendersWalls) {
+  env::FloorPlan plan(10.0, 10.0);
+  plan.addWall({{2.0, 2.0}, {8.0, 2.0}});
+  const AsciiMap map(plan);
+  EXPECT_NE(map.render().find('#'), std::string::npos);
+}
+
+TEST(AsciiMap, NorthIsUp) {
+  env::FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({5.0, 9.0});  // North.
+  plan.addReferenceLocation({5.0, 1.0});  // South.
+  const AsciiMap map(plan);
+  const auto art = map.render();
+  // "00" (north) appears before "01" (south) in the rendered string.
+  EXPECT_LT(art.find("00"), art.find("01"));
+}
+
+TEST(AsciiMap, MarksOverwrite) {
+  env::FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({5.0, 5.0});
+  AsciiMap map(plan);
+  map.markLocation(0, 'T');
+  EXPECT_NE(map.render().find('T'), std::string::npos);
+}
+
+TEST(AsciiMap, MarkClampsOutOfBounds) {
+  env::FloorPlan plan(10.0, 10.0);
+  AsciiMap map(plan);
+  EXPECT_NO_THROW(map.mark({-5.0, 50.0}, 'X'));
+  EXPECT_NE(map.render().find('X'), std::string::npos);
+}
+
+TEST(AsciiMap, OfficeHallRendersAllLocations) {
+  const auto hall = env::makeOfficeHall();
+  const AsciiMap map(hall.plan);
+  const auto art = map.render();
+  // Spot-check the corners of the grid: paper ids 1, 7, 22, 28 are our
+  // 0-based 00, 06, 21, 27.
+  for (const char* id : {"00", "06", "21", "27"})
+    EXPECT_NE(art.find(id), std::string::npos) << id;
+
+  // Line structure: every row has the same width.
+  std::istringstream rows(art);
+  std::string row;
+  std::size_t width = 0;
+  while (std::getline(rows, row)) {
+    if (width == 0) width = row.size();
+    EXPECT_EQ(row.size(), width);
+  }
+}
+
+}  // namespace
+}  // namespace moloc::eval

@@ -1,0 +1,68 @@
+#include "core/candidate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::core {
+namespace {
+
+radio::FingerprintDatabase smallDb() {
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+  db.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+  db.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  db.addLocation(3, radio::Fingerprint({-45.0, -65.0}));
+  return db;
+}
+
+TEST(CandidateEstimator, RejectsZeroK) {
+  const auto db = smallDb();
+  EXPECT_THROW(CandidateEstimator(db, 0), std::invalid_argument);
+}
+
+TEST(CandidateEstimator, ReturnsKCandidates) {
+  const auto db = smallDb();
+  const CandidateEstimator estimator(db, 3);
+  EXPECT_EQ(estimator.k(), 3u);
+  const auto candidates =
+      estimator.estimate(radio::Fingerprint({-42.0, -68.0}));
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+TEST(CandidateEstimator, OrderedByDissimilarity) {
+  const auto db = smallDb();
+  const CandidateEstimator estimator(db, 4);
+  const auto candidates =
+      estimator.estimate(radio::Fingerprint({-42.0, -68.0}));
+  for (std::size_t i = 1; i < candidates.size(); ++i)
+    EXPECT_LE(candidates[i - 1].dissimilarity,
+              candidates[i].dissimilarity);
+  EXPECT_EQ(candidates.front().location, 0);
+}
+
+TEST(CandidateEstimator, ProbabilitiesNormalized) {
+  const auto db = smallDb();
+  const CandidateEstimator estimator(db, 4);
+  const auto candidates =
+      estimator.estimate(radio::Fingerprint({-50.0, -60.0}));
+  double total = 0.0;
+  for (const auto& c : candidates) total += c.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CandidateEstimator, MatchesDatabaseQuery) {
+  const auto db = smallDb();
+  const CandidateEstimator estimator(db, 2);
+  const radio::Fingerprint probe({-46.0, -63.0});
+  const auto viaEstimator = estimator.estimate(probe);
+  const auto viaDb = db.query(probe, 2);
+  ASSERT_EQ(viaEstimator.size(), viaDb.size());
+  for (std::size_t i = 0; i < viaDb.size(); ++i) {
+    EXPECT_EQ(viaEstimator[i].location, viaDb[i].location);
+    EXPECT_EQ(viaEstimator[i].probability, viaDb[i].probability);
+  }
+}
+
+}  // namespace
+}  // namespace moloc::core

@@ -1,0 +1,108 @@
+#include "sensors/compass_calibrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment_world.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(CompassCalibrator, NoEvidenceIsZero) {
+  const CompassCalibrator calibrator;
+  EXPECT_EQ(calibrator.estimatedBiasDeg(), 0.0);
+  EXPECT_EQ(calibrator.robustBiasDeg(), 0.0);
+  EXPECT_EQ(calibrator.legCount(), 0u);
+}
+
+TEST(CompassCalibrator, RecoversConstantBias) {
+  CompassCalibrator calibrator;
+  util::Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const double mapDir = rng.uniform(0.0, 360.0);
+    calibrator.addLeg(mapDir + 12.0 + rng.normal(0.0, 3.0), mapDir);
+  }
+  EXPECT_NEAR(calibrator.estimatedBiasDeg(), 12.0, 1.5);
+  EXPECT_NEAR(calibrator.robustBiasDeg(), 12.0, 2.5);
+}
+
+TEST(CompassCalibrator, RecoversNegativeBias) {
+  CompassCalibrator calibrator;
+  util::Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    const double mapDir = rng.uniform(0.0, 360.0);
+    calibrator.addLeg(mapDir - 20.0 + rng.normal(0.0, 3.0), mapDir);
+  }
+  EXPECT_NEAR(calibrator.estimatedBiasDeg(), -20.0, 1.5);
+}
+
+TEST(CompassCalibrator, HandlesWrapAroundNorth) {
+  CompassCalibrator calibrator;
+  // Legs near north with a +10 bias: residuals straddle 0/360.
+  for (double mapDir : {350.0, 355.0, 0.0, 5.0, 10.0})
+    calibrator.addLeg(mapDir + 10.0, mapDir);
+  EXPECT_NEAR(calibrator.estimatedBiasDeg(), 10.0, 1e-9);
+}
+
+TEST(CompassCalibrator, RobustEstimateResistsBadLegs) {
+  CompassCalibrator calibrator;
+  util::Rng rng(3);
+  // 70 % honest legs with +8 bias, 30 % mis-estimated legs whose
+  // residuals are junk.
+  for (int i = 0; i < 70; ++i) {
+    const double mapDir = rng.uniform(0.0, 360.0);
+    calibrator.addLeg(mapDir + 8.0 + rng.normal(0.0, 3.0), mapDir);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const double mapDir = rng.uniform(0.0, 360.0);
+    calibrator.addLeg(rng.uniform(0.0, 360.0), mapDir);
+  }
+  EXPECT_NEAR(calibrator.robustBiasDeg(), 8.0, 4.0);
+}
+
+TEST(CompassCalibrator, ResetClears) {
+  CompassCalibrator calibrator;
+  calibrator.addLeg(100.0, 90.0);
+  EXPECT_EQ(calibrator.legCount(), 1u);
+  calibrator.reset();
+  EXPECT_EQ(calibrator.legCount(), 0u);
+  EXPECT_EQ(calibrator.estimatedBiasDeg(), 0.0);
+}
+
+TEST(CompassCalibrator, WorldCalibrationRecoversPlacementBias) {
+  // End to end: a cohort carrying phones with a +18 degree placement
+  // bias; calibration must recover most of it from training walks.
+  eval::WorldConfig config;
+  config.trainingTraces = 60;
+  config.legsPerTrainingTrace = 15;
+  config.userPlacementBiasDeg = 18.0;
+  config.calibrateCompass = true;
+  eval::ExperimentWorld world(config);
+  for (const auto& user : world.users())
+    EXPECT_NEAR(world.compassBiasCorrectionDeg(user), 18.0, 6.0)
+        << user.name;
+}
+
+TEST(CompassCalibrator, WorldCalibrationNearZeroWithoutBias) {
+  eval::WorldConfig config;
+  config.trainingTraces = 60;
+  config.legsPerTrainingTrace = 15;
+  config.calibrateCompass = true;
+  eval::ExperimentWorld world(config);
+  for (const auto& user : world.users())
+    EXPECT_NEAR(world.compassBiasCorrectionDeg(user), 0.0, 6.0)
+        << user.name;
+}
+
+TEST(CompassCalibrator, DisabledCalibrationIsIdentity) {
+  eval::WorldConfig config;
+  config.trainingTraces = 20;
+  config.legsPerTrainingTrace = 10;
+  config.userPlacementBiasDeg = 18.0;
+  eval::ExperimentWorld world(config);
+  for (const auto& user : world.users())
+    EXPECT_EQ(world.compassBiasCorrectionDeg(user), 0.0);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

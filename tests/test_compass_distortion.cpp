@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "geometry/angles.hpp"
+#include "sensors/compass_model.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(SoftIron, SystematicErrorIsSinusoidal) {
+  const CompassDistortion distortion{0.0, 10.0, 0.0};
+  EXPECT_NEAR(CompassModel::systematicErrorDeg(0.0, distortion), 0.0,
+              1e-9);
+  EXPECT_NEAR(CompassModel::systematicErrorDeg(90.0, distortion), 10.0,
+              1e-9);
+  EXPECT_NEAR(CompassModel::systematicErrorDeg(270.0, distortion),
+              -10.0, 1e-9);
+}
+
+TEST(SoftIron, ReversalBiasIsTwiceAmplitude) {
+  // The paper's observation: reversing directions brings in bias
+  // errors of 10-20 degrees.  With soft-iron amplitude A, the error at
+  // a heading and at its reverse differ by 2A sin(theta + phase).
+  const CompassDistortion distortion{0.0, 8.0, 0.5};
+  for (double heading : {0.0, 45.0, 90.0, 200.0}) {
+    const double forward =
+        CompassModel::systematicErrorDeg(heading, distortion);
+    const double backward = CompassModel::systematicErrorDeg(
+        geometry::reverseHeadingDeg(heading), distortion);
+    EXPECT_NEAR(forward, -backward, 1e-9);
+    EXPECT_LE(std::abs(forward - backward), 16.0 + 1e-9);
+  }
+}
+
+TEST(SoftIron, BiasAddsOnTop) {
+  const CompassDistortion distortion{5.0, 10.0, 0.0};
+  EXPECT_NEAR(CompassModel::systematicErrorDeg(90.0, distortion), 15.0,
+              1e-9);
+}
+
+TEST(SoftIron, ReadingsCarryDistortion) {
+  CompassParams params;
+  params.noiseSigmaDeg = 0.0;
+  const CompassModel compass(params);
+  util::Rng rng(1);
+  const CompassDistortion distortion{2.0, 6.0, 0.0};
+  const auto readings = compass.readings(90.0, distortion, 5, rng);
+  for (double r : readings) EXPECT_NEAR(r, 98.0, 1e-9);
+}
+
+TEST(Disturbance, ZeroProbabilityNeverDisturbs) {
+  const CompassModel compass;  // disturbanceProbability = 0.
+  util::Rng rng(2);
+  std::vector<double> readings(100, 90.0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_FALSE(compass.maybeDisturb(readings, rng));
+  for (double r : readings) EXPECT_DOUBLE_EQ(r, 90.0);
+}
+
+TEST(Disturbance, AlwaysDisturbsAtProbabilityOne) {
+  CompassParams params;
+  params.disturbanceProbability = 1.0;
+  params.disturbanceMagnitudeDeg = 30.0;
+  params.disturbanceFractionOfLeg = 0.25;
+  const CompassModel compass(params);
+  util::Rng rng(3);
+  std::vector<double> readings(100, 90.0);
+  EXPECT_TRUE(compass.maybeDisturb(readings, rng));
+
+  int disturbed = 0;
+  for (double r : readings)
+    if (std::abs(geometry::signedAngularDiffDeg(90.0, r)) > 1.0)
+      ++disturbed;
+  EXPECT_EQ(disturbed, 25);  // Exactly the window size.
+}
+
+TEST(Disturbance, WindowIsContiguous) {
+  CompassParams params;
+  params.disturbanceProbability = 1.0;
+  params.disturbanceFractionOfLeg = 0.3;
+  const CompassModel compass(params);
+  util::Rng rng(4);
+  std::vector<double> readings(100, 180.0);
+  compass.maybeDisturb(readings, rng);
+
+  // Find the disturbed region and assert no clean sample inside it.
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < 100; ++i) {
+    if (std::abs(geometry::signedAngularDiffDeg(180.0, readings[static_cast<std::size_t>(i)])) >
+        1.0) {
+      if (first < 0) first = i;
+      last = i;
+    }
+  }
+  ASSERT_GE(first, 0);
+  EXPECT_EQ(last - first + 1, 30);
+}
+
+TEST(Disturbance, EmptyAndTinyInputsSafe) {
+  CompassParams params;
+  params.disturbanceProbability = 1.0;
+  params.disturbanceFractionOfLeg = 0.3;
+  const CompassModel compass(params);
+  util::Rng rng(5);
+  std::vector<double> empty;
+  EXPECT_FALSE(compass.maybeDisturb(empty, rng));
+  std::vector<double> two{90.0, 90.0};  // Window rounds to 0.
+  EXPECT_FALSE(compass.maybeDisturb(two, rng));
+}
+
+/// Parameterized: across phases, the soft-iron error never exceeds the
+/// amplitude in magnitude and averages to ~0 over all headings.
+class SoftIronPhaseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftIronPhaseTest, BoundedAndZeroMean) {
+  const CompassDistortion distortion{0.0, 7.0, GetParam()};
+  double sum = 0.0;
+  int n = 0;
+  for (double heading = 0.0; heading < 360.0; heading += 5.0) {
+    const double error =
+        CompassModel::systematicErrorDeg(heading, distortion);
+    EXPECT_LE(std::abs(error), 7.0 + 1e-9);
+    sum += error;
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SoftIronPhaseTest,
+                         ::testing::Values(0.0, 0.7, 1.6, 3.1, 4.5,
+                                           5.9));
+
+}  // namespace
+}  // namespace moloc::sensors

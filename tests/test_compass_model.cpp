@@ -1,0 +1,83 @@
+#include "sensors/compass_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angles.hpp"
+#include "util/stats.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(CompassModel, ReadingsAreWrapped) {
+  CompassParams params;
+  params.noiseSigmaDeg = 30.0;
+  const CompassModel compass(params);
+  util::Rng rng(1);
+  const auto readings = compass.readings(355.0, 0.0, 200, rng);
+  for (double r : readings) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 360.0);
+  }
+}
+
+TEST(CompassModel, NoiselessUnbiasedIsExact) {
+  CompassParams params;
+  params.noiseSigmaDeg = 0.0;
+  const CompassModel compass(params);
+  util::Rng rng(2);
+  const auto readings = compass.readings(123.0, 0.0, 10, rng);
+  for (double r : readings) EXPECT_DOUBLE_EQ(r, 123.0);
+}
+
+TEST(CompassModel, BiasShiftsReadings) {
+  CompassParams params;
+  params.noiseSigmaDeg = 0.0;
+  const CompassModel compass(params);
+  util::Rng rng(3);
+  const auto readings = compass.readings(90.0, 7.5, 5, rng);
+  for (double r : readings) EXPECT_DOUBLE_EQ(r, 97.5);
+}
+
+TEST(CompassModel, CircularMeanRecoversHeading) {
+  const CompassModel compass;
+  util::Rng rng(4);
+  // A heading near north exercises the wrap-around.
+  const auto readings = compass.readings(2.0, 0.0, 2000, rng);
+  const double mean = geometry::circularMeanDeg(readings);
+  EXPECT_LT(geometry::angularDistDeg(mean, 2.0), 1.0);
+}
+
+TEST(CompassModel, NoiseMagnitudeMatchesSigma) {
+  CompassParams params;
+  params.noiseSigmaDeg = 8.0;
+  const CompassModel compass(params);
+  util::Rng rng(5);
+  const auto readings = compass.readings(180.0, 0.0, 5000, rng);
+  std::vector<double> deviations;
+  deviations.reserve(readings.size());
+  for (double r : readings)
+    deviations.push_back(geometry::signedAngularDiffDeg(180.0, r));
+  EXPECT_NEAR(util::stddev(deviations), 8.0, 0.5);
+}
+
+TEST(CompassModel, ResidualBiasSpreadMatchesSigma) {
+  CompassParams params;
+  params.residualBiasSigmaDeg = 3.0;
+  const CompassModel compass(params);
+  util::Rng rng(6);
+  std::vector<double> biases;
+  for (int i = 0; i < 5000; ++i)
+    biases.push_back(compass.drawResidualBias(rng));
+  EXPECT_NEAR(util::mean(biases), 0.0, 0.2);
+  EXPECT_NEAR(util::stddev(biases), 3.0, 0.2);
+}
+
+TEST(CompassModel, RequestedCountProduced) {
+  const CompassModel compass;
+  util::Rng rng(7);
+  EXPECT_EQ(compass.readings(0.0, 0.0, 0, rng).size(), 0u);
+  EXPECT_EQ(compass.readings(0.0, 0.0, 42, rng).size(), 42u);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

@@ -1,0 +1,104 @@
+#include "core/construction_methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "env/office_hall.hpp"
+#include "geometry/angles.hpp"
+
+namespace moloc::core {
+namespace {
+
+class ConstructionTest : public ::testing::Test {
+ protected:
+  env::OfficeHall hall_ = env::makeOfficeHall();
+};
+
+TEST_F(ConstructionTest, ManualCoversExactlyTheWalkableLegs) {
+  const auto db = buildMotionDatabaseManually(hall_.graph);
+  EXPECT_EQ(db.entryCount(), hall_.graph.edgeCount() * 2);
+  EXPECT_EQ(countUnwalkableEntries(db, hall_.graph), 0u);
+}
+
+TEST_F(ConstructionTest, ManualEntriesMatchMapExactly) {
+  const auto db = buildMotionDatabaseManually(hall_.graph);
+  for (env::LocationId i = 0;
+       i < static_cast<env::LocationId>(hall_.graph.nodeCount()); ++i) {
+    for (const auto& edge : hall_.graph.neighbors(i)) {
+      const auto entry = db.entry(i, edge.to);
+      ASSERT_TRUE(entry.has_value());
+      EXPECT_LT(geometry::angularDistDeg(entry->muDirectionDeg,
+                                         edge.headingDeg),
+                1e-9);
+      EXPECT_NEAR(entry->muOffsetMeters, edge.length, 1e-9);
+    }
+  }
+}
+
+TEST_F(ConstructionTest, ManualRespectsSeveredLegs) {
+  const auto db = buildMotionDatabaseManually(hall_.graph);
+  // The partition-severed pairs must have no entry.
+  EXPECT_FALSE(db.hasEntry(2, 9));
+  EXPECT_FALSE(db.hasEntry(3, 10));
+  EXPECT_FALSE(db.hasEntry(19, 26));
+}
+
+TEST_F(ConstructionTest, MapMethodCannotSeeWalls) {
+  const auto db =
+      buildMotionDatabaseFromMap(hall_.plan, env::kHallAdjacency);
+  // The map method includes the severed pairs: a consistency violation
+  // per partition-blocked leg.
+  EXPECT_TRUE(db.hasEntry(2, 9));
+  EXPECT_TRUE(db.hasEntry(3, 10));
+  EXPECT_TRUE(db.hasEntry(19, 26));
+  EXPECT_EQ(countUnwalkableEntries(db, hall_.graph), 3u);
+}
+
+TEST_F(ConstructionTest, MapMethodUsesStraightLineRlms) {
+  const auto db =
+      buildMotionDatabaseFromMap(hall_.plan, env::kHallAdjacency);
+  const auto entry = db.entry(2, 9);  // Severed: straight line = 4 m.
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_NEAR(entry->muOffsetMeters, 4.0, 1e-9);
+  // But the true walkable path detours around the partition.
+  EXPECT_GT(hall_.graph.walkableDistance(2, 9),
+            entry->muOffsetMeters + 1.0);
+}
+
+TEST_F(ConstructionTest, MapMethodRespectsDistanceCutoff) {
+  const auto db = buildMotionDatabaseFromMap(hall_.plan, 4.5);
+  // Only the 4 m vertical legs qualify at a 4.5 m cutoff.
+  EXPECT_TRUE(db.hasEntry(0, 7));
+  EXPECT_FALSE(db.hasEntry(0, 1));  // 5.7 m horizontal.
+}
+
+TEST_F(ConstructionTest, MirrorsPresentInBothMethods) {
+  const auto manual = buildMotionDatabaseManually(hall_.graph);
+  const auto map =
+      buildMotionDatabaseFromMap(hall_.plan, env::kHallAdjacency);
+  for (const auto* db : {&manual, &map}) {
+    ASSERT_TRUE(db->hasEntry(0, 1));
+    ASSERT_TRUE(db->hasEntry(1, 0));
+    EXPECT_NEAR(geometry::angularDistDeg(
+                    db->entry(0, 1)->muDirectionDeg,
+                    geometry::reverseHeadingDeg(
+                        db->entry(1, 0)->muDirectionDeg)),
+                0.0, 1e-9);
+  }
+}
+
+TEST_F(ConstructionTest, SpreadParametersApplied) {
+  ComputedRlmSpread spread;
+  spread.sigmaDirectionDeg = 9.0;
+  spread.sigmaOffsetMeters = 0.7;
+  const auto db = buildMotionDatabaseManually(hall_.graph, spread);
+  EXPECT_DOUBLE_EQ(db.entry(0, 1)->sigmaDirectionDeg, 9.0);
+  EXPECT_DOUBLE_EQ(db.entry(0, 1)->sigmaOffsetMeters, 0.7);
+}
+
+TEST_F(ConstructionTest, CountUnwalkableOnEmptyDb) {
+  const MotionDatabase empty(hall_.graph.nodeCount());
+  EXPECT_EQ(countUnwalkableEntries(empty, hall_.graph), 0u);
+}
+
+}  // namespace
+}  // namespace moloc::core

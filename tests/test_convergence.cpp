@@ -1,0 +1,90 @@
+#include "eval/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moloc::eval {
+namespace {
+
+LocalizationRecord good(double unused = 0.0) {
+  (void)unused;
+  return {1, 1, 0.0};
+}
+
+LocalizationRecord bad(double error = 5.0) { return {2, 1, error}; }
+
+TEST(Convergence, EmptyInput) {
+  const auto stats = analyzeConvergence({});
+  EXPECT_EQ(stats.tracesAnalyzed, 0u);
+  EXPECT_EQ(stats.meanErroneousBeforeFirstAccurate, 0.0);
+}
+
+TEST(Convergence, SkipsAccurateInitialWhenFiltering) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {good(), bad(), bad()},
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  EXPECT_EQ(stats.tracesAnalyzed, 0u);
+}
+
+TEST(Convergence, CountsAccurateInitialWhenNotFiltering) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {good(), bad(), bad()},
+  };
+  const auto stats = analyzeConvergence(walks, false);
+  EXPECT_EQ(stats.tracesAnalyzed, 1u);
+  EXPECT_DOUBLE_EQ(stats.meanErroneousBeforeFirstAccurate, 0.0);
+}
+
+TEST(Convergence, ElCountsErroneousBeforeFirstAccurate) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {bad(), bad(), good(), bad()},  // EL = 2.
+      {bad(), good(), good()},        // EL = 1.
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  EXPECT_EQ(stats.tracesAnalyzed, 2u);
+  EXPECT_DOUBLE_EQ(stats.meanErroneousBeforeFirstAccurate, 1.5);
+}
+
+TEST(Convergence, SubsequentStatsAfterFirstAccurate) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {bad(), good(), good(), bad(4.0), good()},
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  // Records after the first accurate: good, bad(4), good.
+  EXPECT_NEAR(stats.subsequentAccuracy, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.subsequentMeanError, 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.subsequentMaxError, 4.0);
+}
+
+TEST(Convergence, NeverAccurateContributesFullLength) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {bad(), bad(), bad()},
+      {bad(), good()},
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  EXPECT_EQ(stats.tracesAnalyzed, 2u);
+  EXPECT_EQ(stats.tracesNeverAccurate, 1u);
+  // (3 + 1) / 2.
+  EXPECT_DOUBLE_EQ(stats.meanErroneousBeforeFirstAccurate, 2.0);
+}
+
+TEST(Convergence, EmptyWalksIgnored) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {},
+      {bad(), good()},
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  EXPECT_EQ(stats.tracesAnalyzed, 1u);
+}
+
+TEST(Convergence, FirstAccurateAtEndLeavesNoSubsequent) {
+  const std::vector<std::vector<LocalizationRecord>> walks{
+      {bad(), bad(), good()},
+  };
+  const auto stats = analyzeConvergence(walks, true);
+  EXPECT_DOUBLE_EQ(stats.meanErroneousBeforeFirstAccurate, 2.0);
+  EXPECT_EQ(stats.subsequentAccuracy, 0.0);  // No subsequent records.
+}
+
+}  // namespace
+}  // namespace moloc::eval

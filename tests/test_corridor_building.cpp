@@ -1,0 +1,96 @@
+#include "env/corridor_building.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment_world.hpp"
+
+namespace moloc::env {
+namespace {
+
+class CorridorTest : public ::testing::Test {
+ protected:
+  Site site_ = makeCorridorBuilding();
+};
+
+TEST_F(CorridorTest, LayoutCounts) {
+  EXPECT_EQ(site_.plan.locationCount(),
+            static_cast<std::size_t>(CorridorBuildingLayout::kLocations));
+  EXPECT_EQ(site_.apPositions.size(), 4u);
+  EXPECT_DOUBLE_EQ(site_.plan.width(), 60.0);
+  EXPECT_DOUBLE_EQ(site_.plan.height(), 12.0);
+}
+
+TEST_F(CorridorTest, GraphIsConnected) {
+  EXPECT_TRUE(site_.graph.isConnected());
+}
+
+TEST_F(CorridorTest, CorridorFormsAChain) {
+  for (int c = 0; c + 1 < CorridorBuildingLayout::kCorridorLocations;
+       ++c)
+    EXPECT_TRUE(site_.graph.adjacent(c, c + 1)) << c;
+  // No corridor shortcuts.
+  EXPECT_FALSE(site_.graph.adjacent(0, 2));
+}
+
+TEST_F(CorridorTest, RoomsConnectOnlyThroughTheirDoor) {
+  // North room 0 (id 11) connects to corridor location 0 (x = 5)...
+  EXPECT_TRUE(site_.graph.adjacent(11, 0));
+  // ...and to nothing else.
+  EXPECT_EQ(site_.graph.neighbors(11).size(), 1u);
+
+  // South room 0 (id 17) likewise.
+  EXPECT_TRUE(site_.graph.adjacent(17, 0));
+  EXPECT_EQ(site_.graph.neighbors(17).size(), 1u);
+}
+
+TEST_F(CorridorTest, NeighbouringRoomsAreWalledOff) {
+  EXPECT_FALSE(site_.graph.adjacent(11, 12));  // North rooms 0 and 1.
+  EXPECT_FALSE(site_.graph.adjacent(17, 18));  // South rooms 0 and 1.
+  EXPECT_FALSE(site_.graph.adjacent(11, 17));  // Across the corridor.
+}
+
+TEST_F(CorridorTest, RoomToRoomRequiresCorridorDetour) {
+  // North room 0 to north room 1: out the door, along the corridor,
+  // in the next door — far beyond the 10 m straight line.
+  const auto path = site_.graph.shortestPath(11, 12);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_GT(path->length, 10.0 + 3.0);
+  // The path passes through corridor nodes.
+  bool viaCorridor = false;
+  for (const auto node : path->nodes)
+    if (node < CorridorBuildingLayout::kCorridorLocations)
+      viaCorridor = true;
+  EXPECT_TRUE(viaCorridor);
+}
+
+TEST_F(CorridorTest, WallsAttenuateRoomSignals) {
+  // A straight path from inside a north room into a south room (off
+  // the door axis) crosses both corridor walls.
+  EXPECT_GE(site_.plan.wallCrossings({22.0, 11.0}, {22.0, 2.5}), 2);
+}
+
+TEST_F(CorridorTest, EndToEndCampaignShapeHolds) {
+  eval::WorldConfig config;
+  config.apCount = 4;
+  config.trainingTraces = 80;
+  config.legsPerTrainingTrace = 15;
+  eval::ExperimentWorld world(env::makeCorridorBuilding(), config);
+
+  eval::ErrorStats moloc;
+  eval::ErrorStats wifi;
+  for (const auto& outcome : eval::runComparison(world, 20, 10)) {
+    moloc.addAll(outcome.moloc);
+    wifi.addAll(outcome.wifi);
+  }
+  EXPECT_GT(moloc.accuracy(), wifi.accuracy());
+  EXPECT_LT(moloc.meanError(), wifi.meanError());
+}
+
+TEST_F(CorridorTest, Deterministic) {
+  const Site again = makeCorridorBuilding();
+  EXPECT_EQ(again.graph.edgeCount(), site_.graph.edgeCount());
+  EXPECT_EQ(again.plan.walls().size(), site_.plan.walls().size());
+}
+
+}  // namespace
+}  // namespace moloc::env

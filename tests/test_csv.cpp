@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace moloc::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ =
+      ::testing::TempDir() + "moloc_csv_test_" +
+      std::to_string(::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->line()) +
+      ".csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter writer(path_, {"a", "b"});
+    writer.cell(1).cell(2.5).endRow();
+    writer.cell("x").cell(std::size_t{7}).endRow();
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2.5\nx,7\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter writer(path_, {"v"});
+    writer.cell("hello, world").endRow();
+    writer.cell("say \"hi\"").endRow();
+  }
+  EXPECT_EQ(slurp(path_), "v\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, EmptyRowsAllowed) {
+  {
+    CsvWriter writer(path_, {"only_header"});
+  }
+  EXPECT_EQ(slurp(path_), "only_header\n");
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moloc::util

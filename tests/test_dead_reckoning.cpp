@@ -1,0 +1,82 @@
+#include "baseline/dead_reckoning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::baseline {
+namespace {
+
+class DeadReckoningTest : public ::testing::Test {
+ protected:
+  DeadReckoningTest() {
+    plan_.addReferenceLocation({2.0, 2.0});   // 0
+    plan_.addReferenceLocation({6.0, 2.0});   // 1
+    plan_.addReferenceLocation({10.0, 2.0});  // 2
+    db_.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+    db_.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+    db_.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+  radio::FingerprintDatabase db_;
+};
+
+TEST_F(DeadReckoningTest, ThrowsBeforeInitialize) {
+  DeadReckoning dr(plan_, db_);
+  EXPECT_FALSE(dr.initialized());
+  EXPECT_THROW(dr.update({90.0, 1.0}), std::logic_error);
+  EXPECT_THROW(dr.position(), std::logic_error);
+}
+
+TEST_F(DeadReckoningTest, InitializesAtNearestFingerprint) {
+  DeadReckoning dr(plan_, db_);
+  dr.initialize(radio::Fingerprint({-41.0, -69.0}));
+  EXPECT_TRUE(dr.initialized());
+  EXPECT_EQ(dr.position(), (geometry::Vec2{2.0, 2.0}));
+}
+
+TEST_F(DeadReckoningTest, IntegratesMotion) {
+  DeadReckoning dr(plan_, db_);
+  dr.initialize(radio::Fingerprint({-41.0, -69.0}));
+  // Walk east 4 m: lands on location 1.
+  EXPECT_EQ(dr.update({90.0, 4.0}), 1);
+  EXPECT_NEAR(dr.position().x, 6.0, 1e-9);
+  EXPECT_NEAR(dr.position().y, 2.0, 1e-9);
+  // Another 4 m east: location 2.
+  EXPECT_EQ(dr.update({90.0, 4.0}), 2);
+}
+
+TEST_F(DeadReckoningTest, SnapsToNearestReference) {
+  DeadReckoning dr(plan_, db_);
+  dr.initialize(radio::Fingerprint({-41.0, -69.0}));
+  // A short walk leaves it nearest to the start.
+  EXPECT_EQ(dr.update({90.0, 1.0}), 0);
+}
+
+TEST_F(DeadReckoningTest, HeadingErrorAccumulates) {
+  // The ablation's point: a persistent 10-degree bias drifts the track
+  // off the corridor with no mechanism to recover.
+  DeadReckoning biased(plan_, db_);
+  biased.initialize(radio::Fingerprint({-41.0, -69.0}));
+  DeadReckoning clean(plan_, db_);
+  clean.initialize(radio::Fingerprint({-41.0, -69.0}));
+  for (int i = 0; i < 5; ++i) {
+    biased.update({100.0, 4.0});
+    clean.update({90.0, 4.0});
+  }
+  const double drift =
+      geometry::distance(biased.position(), clean.position());
+  EXPECT_GT(drift, 2.0);  // 20 m * sin(10 deg) ~ 3.5 m.
+}
+
+TEST_F(DeadReckoningTest, NorthboundMotion) {
+  DeadReckoning dr(plan_, db_);
+  dr.initialize(radio::Fingerprint({-41.0, -69.0}));
+  dr.update({0.0, 3.0});
+  EXPECT_NEAR(dr.position().x, 2.0, 1e-9);
+  EXPECT_NEAR(dr.position().y, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace moloc::baseline

@@ -1,0 +1,78 @@
+#include "eval/error_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moloc::eval {
+namespace {
+
+TEST(LocalizationRecord, AccurateMeansExactLocation) {
+  EXPECT_TRUE((LocalizationRecord{3, 3, 0.0}.accurate()));
+  EXPECT_FALSE((LocalizationRecord{3, 4, 5.7}.accurate()));
+}
+
+TEST(ErrorStats, EmptyStats) {
+  const ErrorStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.accuracy(), 0.0);
+  EXPECT_EQ(stats.meanError(), 0.0);
+  EXPECT_EQ(stats.maxError(), 0.0);
+}
+
+TEST(ErrorStats, AccuracyCountsExactFixes) {
+  ErrorStats stats;
+  stats.add({0, 0, 0.0});
+  stats.add({1, 1, 0.0});
+  stats.add({2, 5, 8.0});
+  stats.add({3, 6, 12.0});
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.5);
+  EXPECT_EQ(stats.count(), 4u);
+}
+
+TEST(ErrorStats, ErrorAggregates) {
+  ErrorStats stats;
+  stats.add({0, 0, 0.0});
+  stats.add({1, 2, 4.0});
+  stats.add({3, 4, 8.0});
+  EXPECT_DOUBLE_EQ(stats.meanError(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.maxError(), 8.0);
+  EXPECT_DOUBLE_EQ(stats.medianError(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.percentileError(100.0), 8.0);
+}
+
+TEST(ErrorStats, AddAll) {
+  ErrorStats stats;
+  const std::vector<LocalizationRecord> records{
+      {0, 0, 0.0}, {1, 2, 3.0}, {2, 2, 0.0}};
+  stats.addAll(records);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_NEAR(stats.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ErrorStats, CdfEndsAtOne) {
+  ErrorStats stats;
+  stats.add({0, 1, 1.0});
+  stats.add({0, 2, 2.0});
+  stats.add({0, 3, 3.0});
+  const auto cdf = stats.cdf();
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+}
+
+TEST(ErrorStats, DownsampledCdf) {
+  ErrorStats stats;
+  for (int i = 0; i < 100; ++i)
+    stats.add({0, 1, static_cast<double>(i)});
+  EXPECT_EQ(stats.cdf(10).size(), 10u);
+}
+
+TEST(ErrorStats, ErrorsSpanExposed) {
+  ErrorStats stats;
+  stats.add({0, 1, 2.5});
+  ASSERT_EQ(stats.errors().size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.errors()[0], 2.5);
+}
+
+}  // namespace
+}  // namespace moloc::eval

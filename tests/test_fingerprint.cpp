@@ -1,0 +1,111 @@
+#include "radio/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace moloc::radio {
+namespace {
+
+TEST(Fingerprint, SizeAndAccess) {
+  const Fingerprint fp({-40.0, -50.0, -60.0});
+  EXPECT_EQ(fp.size(), 3u);
+  EXPECT_FALSE(fp.empty());
+  EXPECT_DOUBLE_EQ(fp[0], -40.0);
+  EXPECT_DOUBLE_EQ(fp[2], -60.0);
+}
+
+TEST(Fingerprint, DefaultIsEmpty) {
+  const Fingerprint fp;
+  EXPECT_TRUE(fp.empty());
+  EXPECT_EQ(fp.size(), 0u);
+}
+
+TEST(Fingerprint, MutableAccess) {
+  Fingerprint fp({-40.0, -50.0});
+  fp[1] = -55.0;
+  EXPECT_DOUBLE_EQ(fp[1], -55.0);
+}
+
+TEST(Fingerprint, TruncatedKeepsPrefix) {
+  const Fingerprint fp({-40.0, -50.0, -60.0, -70.0});
+  const Fingerprint cut = fp.truncated(2);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut[0], -40.0);
+  EXPECT_DOUBLE_EQ(cut[1], -50.0);
+}
+
+TEST(Fingerprint, TruncatedNoOpWhenLarger) {
+  const Fingerprint fp({-40.0, -50.0});
+  EXPECT_EQ(fp.truncated(5).size(), 2u);
+  EXPECT_EQ(fp.truncated(2).size(), 2u);
+}
+
+TEST(Fingerprint, TruncatedToZeroIsEmpty) {
+  const Fingerprint fp({-40.0});
+  EXPECT_TRUE(fp.truncated(0).empty());
+}
+
+TEST(Dissimilarity, MatchesEq1) {
+  const Fingerprint a({-40.0, -50.0});
+  const Fingerprint b({-43.0, -54.0});
+  EXPECT_DOUBLE_EQ(squaredDissimilarity(a, b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(dissimilarity(a, b), 5.0);
+}
+
+TEST(Dissimilarity, ZeroForIdentical) {
+  const Fingerprint a({-40.0, -50.0, -60.0});
+  EXPECT_DOUBLE_EQ(dissimilarity(a, a), 0.0);
+}
+
+TEST(Dissimilarity, Symmetric) {
+  const Fingerprint a({-40.0, -50.0});
+  const Fingerprint b({-45.0, -48.0});
+  EXPECT_DOUBLE_EQ(dissimilarity(a, b), dissimilarity(b, a));
+}
+
+TEST(Dissimilarity, TriangleInequality) {
+  const Fingerprint a({-40.0, -50.0});
+  const Fingerprint b({-45.0, -48.0});
+  const Fingerprint c({-42.0, -55.0});
+  EXPECT_LE(dissimilarity(a, c),
+            dissimilarity(a, b) + dissimilarity(b, c) + 1e-12);
+}
+
+TEST(Dissimilarity, ThrowsOnDimensionMismatch) {
+  const Fingerprint a({-40.0, -50.0});
+  const Fingerprint b({-40.0});
+  EXPECT_THROW(dissimilarity(a, b), std::invalid_argument);
+  EXPECT_THROW(squaredDissimilarity(a, b), std::invalid_argument);
+}
+
+TEST(MeanFingerprint, ComponentWiseMean) {
+  const std::vector<Fingerprint> fps{Fingerprint({-40.0, -60.0}),
+                                     Fingerprint({-50.0, -70.0})};
+  const Fingerprint mean = meanFingerprint(fps);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(mean[0], -45.0);
+  EXPECT_DOUBLE_EQ(mean[1], -65.0);
+}
+
+TEST(MeanFingerprint, SingleSampleIsIdentity) {
+  const std::vector<Fingerprint> fps{Fingerprint({-41.5, -62.25})};
+  const Fingerprint mean = meanFingerprint(fps);
+  EXPECT_DOUBLE_EQ(mean[0], -41.5);
+  EXPECT_DOUBLE_EQ(mean[1], -62.25);
+}
+
+TEST(MeanFingerprint, ThrowsOnEmptySet) {
+  EXPECT_THROW(meanFingerprint({}), std::invalid_argument);
+}
+
+TEST(MeanFingerprint, ThrowsOnMismatchedLengths) {
+  const std::vector<Fingerprint> fps{Fingerprint({-40.0, -60.0}),
+                                     Fingerprint({-50.0})};
+  EXPECT_THROW(meanFingerprint(fps), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moloc::radio

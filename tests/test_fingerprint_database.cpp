@@ -1,0 +1,166 @@
+#include "radio/fingerprint_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moloc::radio {
+namespace {
+
+FingerprintDatabase threeLocationDb() {
+  FingerprintDatabase db;
+  db.addLocation(0, Fingerprint({-40.0, -70.0}));
+  db.addLocation(1, Fingerprint({-55.0, -55.0}));
+  db.addLocation(2, Fingerprint({-70.0, -40.0}));
+  return db;
+}
+
+TEST(FingerprintDatabase, SizeAndApCount) {
+  const auto db = threeLocationDb();
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.apCount(), 2u);
+  EXPECT_FALSE(db.empty());
+}
+
+TEST(FingerprintDatabase, EmptyDatabase) {
+  const FingerprintDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.apCount(), 0u);
+  EXPECT_THROW(db.nearest(Fingerprint({-40.0})), std::logic_error);
+  EXPECT_THROW(db.query(Fingerprint({-40.0}), 1), std::logic_error);
+}
+
+TEST(FingerprintDatabase, RejectsEmptyFingerprint) {
+  FingerprintDatabase db;
+  EXPECT_THROW(db.addLocation(0, Fingerprint{}), std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, RejectsMismatchedDimensions) {
+  auto db = threeLocationDb();
+  EXPECT_THROW(db.addLocation(3, Fingerprint({-40.0})),
+               std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, RejectsDuplicateIds) {
+  auto db = threeLocationDb();
+  EXPECT_THROW(db.addLocation(1, Fingerprint({-40.0, -40.0})),
+               std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, EntryLookup) {
+  const auto db = threeLocationDb();
+  EXPECT_DOUBLE_EQ(db.entry(1)[0], -55.0);
+  EXPECT_TRUE(db.contains(2));
+  EXPECT_FALSE(db.contains(9));
+  EXPECT_THROW(db.entry(9), std::out_of_range);
+}
+
+TEST(FingerprintDatabase, NearestImplementsEq2) {
+  const auto db = threeLocationDb();
+  EXPECT_EQ(db.nearest(Fingerprint({-41.0, -69.0})), 0);
+  EXPECT_EQ(db.nearest(Fingerprint({-56.0, -54.0})), 1);
+  EXPECT_EQ(db.nearest(Fingerprint({-69.0, -41.0})), 2);
+}
+
+TEST(FingerprintDatabase, QueryOrdersByDissimilarity) {
+  const auto db = threeLocationDb();
+  const auto matches = db.query(Fingerprint({-42.0, -68.0}), 3);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].location, 0);
+  EXPECT_EQ(matches[1].location, 1);
+  EXPECT_EQ(matches[2].location, 2);
+  EXPECT_LT(matches[0].dissimilarity, matches[1].dissimilarity);
+  EXPECT_LT(matches[1].dissimilarity, matches[2].dissimilarity);
+}
+
+TEST(FingerprintDatabase, QueryProbabilitiesFollowEq4) {
+  const auto db = threeLocationDb();
+  const auto matches = db.query(Fingerprint({-42.0, -68.0}), 3);
+  double total = 0.0;
+  for (const auto& m : matches) total += m.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Closer match gets higher probability, with the 1/m shape.
+  EXPECT_GT(matches[0].probability, matches[1].probability);
+  EXPECT_GT(matches[1].probability, matches[2].probability);
+  const double ratio = matches[0].probability / matches[1].probability;
+  EXPECT_NEAR(ratio, matches[1].dissimilarity / matches[0].dissimilarity,
+              1e-9);
+}
+
+TEST(FingerprintDatabase, ExactMatchDominatesProbability) {
+  const auto db = threeLocationDb();
+  const auto matches = db.query(Fingerprint({-40.0, -70.0}), 3);
+  EXPECT_EQ(matches[0].location, 0);
+  // Dominant, but bounded: the 0.5 dB dissimilarity floor keeps even
+  // an exact match from claiming near-certainty (sub-dB gaps are
+  // coincidence, not information).
+  EXPECT_GT(matches[0].probability, 0.9);
+  EXPECT_LT(matches[0].probability, 1.0);
+}
+
+TEST(FingerprintDatabase, QueryClampsKToSize) {
+  const auto db = threeLocationDb();
+  EXPECT_EQ(db.query(Fingerprint({-40.0, -70.0}), 10).size(), 3u);
+}
+
+TEST(FingerprintDatabase, QueryRejectsZeroK) {
+  const auto db = threeLocationDb();
+  EXPECT_THROW(db.query(Fingerprint({-40.0, -70.0}), 0),
+               std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, NearestAgreesWithQueryTop1) {
+  const auto db = threeLocationDb();
+  for (double x : {-40.0, -50.0, -60.0, -75.0}) {
+    const Fingerprint probe({x, -55.0});
+    EXPECT_EQ(db.nearest(probe), db.query(probe, 1).front().location);
+  }
+}
+
+TEST(FingerprintDatabase, TruncatedToKeepsApPrefix) {
+  FingerprintDatabase db;
+  db.addLocation(0, Fingerprint({-40.0, -70.0, -90.0}));
+  db.addLocation(1, Fingerprint({-55.0, -55.0, -30.0}));
+  const auto cut = db.truncatedTo(2);
+  EXPECT_EQ(cut.apCount(), 2u);
+  EXPECT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut.entry(1)[1], -55.0);
+}
+
+TEST(FingerprintDatabase, TruncationChangesNearestWhenDecisiveApDropped) {
+  FingerprintDatabase db;
+  // Locations identical on AP 0, distinguished only by AP 1.
+  db.addLocation(0, Fingerprint({-50.0, -40.0}));
+  db.addLocation(1, Fingerprint({-50.0, -80.0}));
+  const Fingerprint probe({-50.0, -78.0});
+  EXPECT_EQ(db.nearest(probe), 1);
+  const auto cut = db.truncatedTo(1);
+  // With only AP 0 both are equidistant; nearest returns the first.
+  EXPECT_EQ(cut.nearest(probe.truncated(1)), 0);
+}
+
+/// Parameterized sweep: Eq. 4 probabilities are a proper distribution
+/// for any k.
+class QueryNormalizationTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueryNormalizationTest, ProbabilitiesSumToOne) {
+  FingerprintDatabase db;
+  for (int i = 0; i < 10; ++i)
+    db.addLocation(i, Fingerprint({-40.0 - 3.0 * i, -70.0 + 2.5 * i}));
+  const auto matches = db.query(Fingerprint({-52.0, -61.0}), GetParam());
+  double total = 0.0;
+  for (const auto& m : matches) {
+    EXPECT_GT(m.probability, 0.0);
+    total += m.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(matches.size(), std::min<std::size_t>(GetParam(), 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QueryNormalizationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 15));
+
+}  // namespace
+}  // namespace moloc::radio

@@ -1,0 +1,77 @@
+#include "env/floor_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::env {
+namespace {
+
+TEST(FloorPlan, RejectsNonPositiveBounds) {
+  EXPECT_THROW(FloorPlan(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(FloorPlan(5.0, -1.0), std::invalid_argument);
+}
+
+TEST(FloorPlan, AssignsSequentialIds) {
+  FloorPlan plan(10.0, 10.0);
+  EXPECT_EQ(plan.addReferenceLocation({1.0, 1.0}), 0);
+  EXPECT_EQ(plan.addReferenceLocation({2.0, 2.0}), 1);
+  EXPECT_EQ(plan.addReferenceLocation({3.0, 3.0}), 2);
+  EXPECT_EQ(plan.locationCount(), 3u);
+}
+
+TEST(FloorPlan, RejectsLocationOutsideBounds) {
+  FloorPlan plan(10.0, 10.0);
+  EXPECT_THROW(plan.addReferenceLocation({11.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(plan.addReferenceLocation({1.0, -0.1}),
+               std::invalid_argument);
+}
+
+TEST(FloorPlan, BoundaryLocationsAllowed) {
+  FloorPlan plan(10.0, 10.0);
+  EXPECT_NO_THROW(plan.addReferenceLocation({0.0, 0.0}));
+  EXPECT_NO_THROW(plan.addReferenceLocation({10.0, 10.0}));
+}
+
+TEST(FloorPlan, LocationAccessorChecksBounds) {
+  FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({5.0, 5.0});
+  EXPECT_EQ(plan.location(0).pos, (geometry::Vec2{5.0, 5.0}));
+  EXPECT_THROW(plan.location(1), std::out_of_range);
+  EXPECT_THROW(plan.location(-1), std::out_of_range);
+}
+
+TEST(FloorPlan, IsValid) {
+  FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({5.0, 5.0});
+  EXPECT_TRUE(plan.isValid(0));
+  EXPECT_FALSE(plan.isValid(1));
+  EXPECT_FALSE(plan.isValid(-1));
+}
+
+TEST(FloorPlan, WallCrossingsCountsEachWall) {
+  FloorPlan plan(10.0, 10.0);
+  plan.addWall({{3.0, 0.0}, {3.0, 10.0}});
+  plan.addWall({{6.0, 0.0}, {6.0, 10.0}});
+  EXPECT_EQ(plan.wallCrossings({0.0, 5.0}, {10.0, 5.0}), 2);
+  EXPECT_EQ(plan.wallCrossings({0.0, 5.0}, {2.0, 5.0}), 0);
+  EXPECT_EQ(plan.wallCrossings({4.0, 5.0}, {5.0, 5.0}), 0);
+}
+
+TEST(FloorPlan, LineBlockedMatchesCrossings) {
+  FloorPlan plan(10.0, 10.0);
+  plan.addWall({{5.0, 2.0}, {5.0, 8.0}});
+  EXPECT_TRUE(plan.lineBlocked({0.0, 5.0}, {10.0, 5.0}));
+  // Passing below the wall's extent.
+  EXPECT_FALSE(plan.lineBlocked({0.0, 1.0}, {10.0, 1.0}));
+}
+
+TEST(FloorPlan, EmptyPlanBlocksNothing) {
+  const FloorPlan plan(10.0, 10.0);
+  EXPECT_FALSE(plan.lineBlocked({0.0, 0.0}, {10.0, 10.0}));
+  EXPECT_EQ(plan.wallCrossings({0.0, 0.0}, {10.0, 10.0}), 0);
+}
+
+}  // namespace
+}  // namespace moloc::env

@@ -1,0 +1,75 @@
+#include "sensors/gyroscope_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(GyroscopeModel, StraightWalkRatesAverageToBias) {
+  GyroscopeModel gyro;
+  util::Rng rng(1);
+  const auto rates = gyro.straightWalkRates(5000, 0.25, rng);
+  EXPECT_NEAR(util::mean(rates), 0.25, 0.1);
+}
+
+TEST(GyroscopeModel, NoiseMagnitudeMatchesSigma) {
+  GyroParams params;
+  params.noiseSigmaDegPerSec = 2.0;
+  GyroscopeModel gyro(params);
+  util::Rng rng(2);
+  const auto rates = gyro.straightWalkRates(5000, 0.0, rng);
+  EXPECT_NEAR(util::stddev(rates), 2.0, 0.15);
+}
+
+TEST(GyroscopeModel, BiasSpreadMatchesSigma) {
+  GyroParams params;
+  params.biasSigmaDegPerSec = 0.5;
+  GyroscopeModel gyro(params);
+  util::Rng rng(3);
+  std::vector<double> biases;
+  for (int i = 0; i < 4000; ++i) biases.push_back(gyro.drawBias(rng));
+  EXPECT_NEAR(util::mean(biases), 0.0, 0.05);
+  EXPECT_NEAR(util::stddev(biases), 0.5, 0.05);
+}
+
+TEST(GyroscopeModel, RatesTrackHeadingDerivative) {
+  GyroParams params;
+  params.noiseSigmaDegPerSec = 0.0;
+  GyroscopeModel gyro(params);
+  util::Rng rng(4);
+  // A 90-degree turn over 10 samples at 10 Hz: 9 deg per sample
+  // = 90 deg/s while turning.
+  std::vector<double> headings;
+  for (int i = 0; i <= 10; ++i) headings.push_back(9.0 * i);
+  const auto rates = gyro.rates(headings, 10.0, 0.0, rng);
+  ASSERT_EQ(rates.size(), headings.size());
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);  // No rate into the first sample.
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_NEAR(rates[i], 90.0, 1e-9);
+}
+
+TEST(GyroscopeModel, RatesHandleNorthWrap) {
+  GyroParams params;
+  params.noiseSigmaDegPerSec = 0.0;
+  GyroscopeModel gyro(params);
+  util::Rng rng(5);
+  const std::vector<double> headings{358.0, 0.0, 2.0};
+  const auto rates = gyro.rates(headings, 10.0, 0.0, rng);
+  // 2 degrees per 0.1 s = +20 deg/s, not -3580.
+  EXPECT_NEAR(rates[1], 20.0, 1e-9);
+  EXPECT_NEAR(rates[2], 20.0, 1e-9);
+}
+
+TEST(GyroscopeModel, RequestedCountProduced) {
+  GyroscopeModel gyro;
+  util::Rng rng(6);
+  EXPECT_EQ(gyro.straightWalkRates(0, 0.0, rng).size(), 0u);
+  EXPECT_EQ(gyro.straightWalkRates(33, 0.0, rng).size(), 33u);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

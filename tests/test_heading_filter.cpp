@@ -1,0 +1,144 @@
+#include "sensors/heading_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/angles.hpp"
+#include "sensors/compass_model.hpp"
+#include "sensors/gyroscope_model.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(KalmanHeadingFilter, FirstUpdateInitializesOutright) {
+  KalmanHeadingFilter filter;
+  EXPECT_TRUE(filter.update(123.0));
+  EXPECT_NEAR(filter.headingDeg(), 123.0, 1e-9);
+}
+
+TEST(KalmanHeadingFilter, ConvergesToConstantHeading) {
+  KalmanHeadingFilter filter;
+  for (int i = 0; i < 50; ++i) {
+    filter.predict(0.0, 0.1);
+    filter.update(77.0);
+  }
+  EXPECT_NEAR(filter.headingDeg(), 77.0, 0.5);
+  EXPECT_LT(filter.sigmaDeg(), 3.0);
+}
+
+TEST(KalmanHeadingFilter, PredictIntegratesRate) {
+  KalmanHeadingFilter filter;
+  filter.update(0.0);
+  filter.predict(90.0, 1.0);  // 90 deg/s for 1 s.
+  EXPECT_NEAR(filter.headingDeg(), 90.0, 1e-9);
+}
+
+TEST(KalmanHeadingFilter, PredictWrapsAroundNorth) {
+  KalmanHeadingFilter filter;
+  filter.update(350.0);
+  filter.predict(30.0, 1.0);
+  EXPECT_NEAR(filter.headingDeg(), 20.0, 1e-9);
+}
+
+TEST(KalmanHeadingFilter, UpdateWrapsAroundNorth) {
+  KalmanHeadingFilter filter;
+  filter.update(359.0);
+  for (int i = 0; i < 50; ++i) {
+    filter.predict(0.0, 0.1);
+    filter.update(1.0);  // 2 degrees across the wrap.
+  }
+  EXPECT_LT(geometry::angularDistDeg(filter.headingDeg(), 1.0), 1.0);
+}
+
+TEST(KalmanHeadingFilter, GateRejectsOutliers) {
+  KalmanHeadingFilter filter;
+  // Converge tightly on 90.
+  for (int i = 0; i < 100; ++i) {
+    filter.predict(0.0, 0.02);
+    filter.update(90.0);
+  }
+  // A 60-degree spike must be rejected, not absorbed.
+  EXPECT_FALSE(filter.update(150.0));
+  EXPECT_EQ(filter.rejectedUpdates(), 1u);
+  EXPECT_NEAR(filter.headingDeg(), 90.0, 1.0);
+}
+
+TEST(KalmanHeadingFilter, GateCanBeDisabled) {
+  KalmanHeadingParams params;
+  params.gateSigma = 0.0;
+  KalmanHeadingFilter filter(params);
+  for (int i = 0; i < 100; ++i) {
+    filter.predict(0.0, 0.02);
+    filter.update(90.0);
+  }
+  EXPECT_TRUE(filter.update(150.0));  // Absorbed.
+  EXPECT_GT(filter.headingDeg(), 90.0);
+}
+
+TEST(KalmanHeadingFilter, VarianceGrowsOnPredictShrinksOnUpdate) {
+  KalmanHeadingFilter filter;
+  filter.update(10.0);
+  const double afterUpdate = filter.sigmaDeg();
+  filter.predict(0.0, 5.0);
+  EXPECT_GT(filter.sigmaDeg(), afterUpdate);
+  filter.update(10.0);
+  EXPECT_LT(filter.sigmaDeg(), afterUpdate + 1e-9);
+}
+
+TEST(KalmanHeadingFilter, ResetClearsState) {
+  KalmanHeadingFilter filter;
+  for (int i = 0; i < 100; ++i) {
+    filter.predict(0.0, 0.02);
+    filter.update(90.0);
+  }
+  filter.update(200.0);  // Likely rejected.
+  filter.reset(45.0);
+  EXPECT_NEAR(filter.headingDeg(), 45.0, 1e-9);
+  EXPECT_EQ(filter.rejectedUpdates(), 0u);
+}
+
+TEST(FuseHeading, FallsBackToCircularMeanWithoutGyro) {
+  const std::vector<double> compass{88.0, 92.0, 90.0};
+  EXPECT_NEAR(fuseHeadingDeg(compass, {}, 50.0),
+              geometry::circularMeanDeg(compass), 1e-9);
+}
+
+TEST(FuseHeading, MatchesMeanOnCleanStraightWalk) {
+  util::Rng rng(7);
+  const CompassModel compass;
+  const GyroscopeModel gyro;
+  const auto readings = compass.readings(135.0, 0.0, 200, rng);
+  const auto rates = gyro.straightWalkRates(200, 0.0, rng);
+  const double fused = fuseHeadingDeg(readings, rates, 50.0);
+  EXPECT_LT(geometry::angularDistDeg(fused, 135.0), 3.0);
+}
+
+TEST(FuseHeading, RejectsMagneticDisturbance) {
+  // A disturbance drags the circular mean but not the gated filter.
+  util::Rng rng(8);
+  CompassParams params;
+  params.disturbanceProbability = 1.0;
+  params.disturbanceMagnitudeDeg = 40.0;
+  params.disturbanceFractionOfLeg = 0.3;
+  const CompassModel compass(params);
+  const GyroscopeModel gyro;
+
+  double meanErrorSum = 0.0;
+  double fusedErrorSum = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    auto readings = compass.readings(90.0, 0.0, 250, rng);
+    compass.maybeDisturb(readings, rng);
+    const auto rates = gyro.straightWalkRates(250, 0.0, rng);
+    meanErrorSum += geometry::angularDistDeg(
+        geometry::circularMeanDeg(readings), 90.0);
+    fusedErrorSum += geometry::angularDistDeg(
+        fuseHeadingDeg(readings, rates, 50.0), 90.0);
+  }
+  EXPECT_LT(fusedErrorSum, meanErrorSum * 0.5);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

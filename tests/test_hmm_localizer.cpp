@@ -1,0 +1,109 @@
+#include "baseline/hmm_localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::baseline {
+namespace {
+
+/// A 3-location corridor at 4 m spacing with well-separated
+/// fingerprints.
+class HmmTest : public ::testing::Test {
+ protected:
+  HmmTest() {
+    plan_.addReferenceLocation({2.0, 2.0});
+    plan_.addReferenceLocation({6.0, 2.0});
+    plan_.addReferenceLocation({10.0, 2.0});
+    graph_ = env::WalkGraph::build(plan_, 4.5);
+    db_.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+    db_.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+    db_.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+  env::WalkGraph graph_;
+  radio::FingerprintDatabase db_;
+};
+
+TEST_F(HmmTest, RejectsIncompleteDatabase) {
+  radio::FingerprintDatabase partial;
+  partial.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+  EXPECT_THROW(HmmLocalizer(partial, graph_), std::invalid_argument);
+}
+
+TEST_F(HmmTest, FirstFixFollowsEmissions) {
+  HmmLocalizer hmm(db_, graph_);
+  EXPECT_EQ(hmm.update(radio::Fingerprint({-41.0, -69.0}), std::nullopt),
+            0);
+}
+
+TEST_F(HmmTest, BeliefIsNormalized) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-41.0, -69.0}), std::nullopt);
+  double total = 0.0;
+  for (double b : hmm.belief()) {
+    EXPECT_GE(b, 0.0);
+    total += b;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_F(HmmTest, TransitionFavoursMatchingOffset) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  // Ambiguous second scan (equidistant between 0 and 1), but the user
+  // walked 4 m: the step to location 1 explains the offset, staying at
+  // 0 does not.
+  const auto fix =
+      hmm.update(radio::Fingerprint({-47.5, -62.5}), 4.0);
+  EXPECT_EQ(fix, 1);
+}
+
+TEST_F(HmmTest, ZeroOffsetFavoursStaying) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  const auto fix = hmm.update(radio::Fingerprint({-47.5, -62.5}), 0.0);
+  EXPECT_EQ(fix, 0);
+}
+
+TEST_F(HmmTest, ChainsAcrossSteps) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  hmm.update(radio::Fingerprint({-55.0, -55.0}), 4.0);
+  const auto fix = hmm.update(radio::Fingerprint({-70.0, -40.0}), 4.0);
+  EXPECT_EQ(fix, 2);
+}
+
+TEST_F(HmmTest, MissingMotionRestartsFromEmissions) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  const auto fix =
+      hmm.update(radio::Fingerprint({-70.0, -40.0}), std::nullopt);
+  EXPECT_EQ(fix, 2);
+}
+
+TEST_F(HmmTest, ResetClearsBelief) {
+  HmmLocalizer hmm(db_, graph_);
+  hmm.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  EXPECT_FALSE(hmm.belief().empty());
+  hmm.reset();
+  EXPECT_TRUE(hmm.belief().empty());
+}
+
+TEST_F(HmmTest, SurvivesExtremeEmissionGap) {
+  // A scan wildly far from every entry must not underflow to NaN.
+  HmmParams params;
+  params.emissionSigmaDb = 0.5;  // Very sharp emissions.
+  HmmLocalizer hmm(db_, graph_, params);
+  const auto fix =
+      hmm.update(radio::Fingerprint({-200.0, -200.0}), std::nullopt);
+  EXPECT_GE(fix, 0);
+  EXPECT_LE(fix, 2);
+  double total = 0.0;
+  for (double b : hmm.belief()) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace moloc::baseline

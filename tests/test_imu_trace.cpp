@@ -1,0 +1,59 @@
+#include "sensors/imu_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::sensors {
+namespace {
+
+TEST(ImuTrace, RejectsNonPositiveRate) {
+  EXPECT_THROW(ImuTrace(0.0), std::invalid_argument);
+  EXPECT_THROW(ImuTrace(-10.0), std::invalid_argument);
+}
+
+TEST(ImuTrace, EmptyTrace) {
+  const ImuTrace trace(50.0);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.duration(), 0.0);
+}
+
+TEST(ImuTrace, AppendAndAccess) {
+  ImuTrace trace(10.0);
+  trace.append({0.0, 9.8, 45.0});
+  trace.append({0.1, 10.2, 46.0});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[1].accelMagnitude, 10.2);
+  EXPECT_DOUBLE_EQ(trace[0].compassDeg, 45.0);
+}
+
+TEST(ImuTrace, DurationIncludesLastSamplePeriod) {
+  ImuTrace trace(10.0);
+  trace.append({0.0, 9.8, 0.0});
+  trace.append({0.1, 9.8, 0.0});
+  trace.append({0.2, 9.8, 0.0});
+  // 3 samples at 10 Hz cover 0.3 s of signal.
+  EXPECT_NEAR(trace.duration(), 0.3, 1e-12);
+}
+
+TEST(ImuTrace, SingleSampleDuration) {
+  ImuTrace trace(50.0);
+  trace.append({0.0, 9.8, 0.0});
+  EXPECT_NEAR(trace.duration(), 0.02, 1e-12);
+}
+
+TEST(ImuTrace, SeriesExtraction) {
+  ImuTrace trace(10.0);
+  trace.append({0.0, 9.0, 10.0});
+  trace.append({0.1, 11.0, 20.0});
+  const auto accel = trace.accelSeries();
+  const auto compass = trace.compassSeries();
+  ASSERT_EQ(accel.size(), 2u);
+  ASSERT_EQ(compass.size(), 2u);
+  EXPECT_DOUBLE_EQ(accel[1], 11.0);
+  EXPECT_DOUBLE_EQ(compass[0], 10.0);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

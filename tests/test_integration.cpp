@@ -1,0 +1,186 @@
+// End-to-end integration tests asserting the paper's qualitative
+// results hold in the reproduced system (reduced scale for test-suite
+// speed; the bench binaries run the full protocol).
+
+#include <gtest/gtest.h>
+
+#include "baseline/dead_reckoning.hpp"
+#include "baseline/hmm_localizer.hpp"
+#include "baseline/wifi_fingerprinting.hpp"
+#include "eval/convergence.hpp"
+#include "eval/experiment_world.hpp"
+
+namespace moloc {
+namespace {
+
+eval::WorldConfig testConfig(int apCount) {
+  // The paper-scale training volume (150 walks x 20 legs); construction
+  // is fast enough to keep in the unit-test suite.
+  eval::WorldConfig config;
+  config.apCount = apCount;
+  return config;
+}
+
+struct PairedStats {
+  eval::ErrorStats moloc;
+  eval::ErrorStats wifi;
+  std::vector<std::vector<eval::LocalizationRecord>> molocWalks;
+  std::vector<std::vector<eval::LocalizationRecord>> wifiWalks;
+};
+
+PairedStats runPaired(eval::ExperimentWorld& world, int traces,
+                      int legs) {
+  PairedStats stats;
+  for (const auto& outcome : eval::runComparison(world, traces, legs)) {
+    stats.moloc.addAll(outcome.moloc);
+    stats.wifi.addAll(outcome.wifi);
+    stats.molocWalks.push_back(outcome.moloc);
+    stats.wifiWalks.push_back(outcome.wifi);
+  }
+  return stats;
+}
+
+TEST(Integration, MoLocBeatsWifiAccuracySixAps) {
+  eval::ExperimentWorld world(testConfig(6));
+  const auto stats = runPaired(world, 30, 10);
+  // The paper's headline: MoLoc roughly doubles fingerprinting
+  // accuracy.  At reduced scale we assert a generous margin.
+  EXPECT_GT(stats.moloc.accuracy(), stats.wifi.accuracy() * 1.4);
+  EXPECT_GT(stats.moloc.accuracy(), 0.75);
+  EXPECT_LT(stats.wifi.accuracy(), 0.65);
+}
+
+TEST(Integration, MoLocMeanErrorUnderOneMeterSixAps) {
+  eval::ExperimentWorld world(testConfig(6));
+  const auto stats = runPaired(world, 30, 10);
+  EXPECT_LT(stats.moloc.meanError(), 1.0);
+  EXPECT_GT(stats.wifi.meanError(), 2.0);
+}
+
+TEST(Integration, AccuracyImprovesWithApCount) {
+  double previousMoloc = 0.0;
+  double previousWifi = 0.0;
+  for (int aps : {4, 6}) {
+    eval::ExperimentWorld world(testConfig(aps));
+    const auto stats = runPaired(world, 30, 10);
+    EXPECT_GT(stats.moloc.accuracy(), previousMoloc);
+    EXPECT_GT(stats.wifi.accuracy(), previousWifi);
+    previousMoloc = stats.moloc.accuracy();
+    previousWifi = stats.wifi.accuracy();
+  }
+}
+
+TEST(Integration, LargeErrorsReduced) {
+  // Fig. 8's story: at the twin-prone fixes where WiFi errs badly
+  // (> 6 m), MoLoc errs far less on average.
+  eval::ExperimentWorld world(testConfig(6));
+  const auto outcomes = eval::runComparison(world, 30, 10);
+  eval::ErrorStats molocAtTwinFixes;
+  eval::ErrorStats wifiAtTwinFixes;
+  for (const auto& outcome : outcomes) {
+    for (std::size_t i = 0; i < outcome.wifi.size(); ++i) {
+      if (outcome.wifi[i].errorMeters > 6.0) {
+        wifiAtTwinFixes.add(outcome.wifi[i]);
+        molocAtTwinFixes.add(outcome.moloc[i]);
+      }
+    }
+  }
+  ASSERT_GT(wifiAtTwinFixes.count(), 10u);  // Twins do occur.
+  EXPECT_LT(molocAtTwinFixes.meanError(),
+            wifiAtTwinFixes.meanError() * 0.5);
+}
+
+TEST(Integration, PostConvergenceAccuracyHigh) {
+  // Table I's story: after the first accurate fix MoLoc stays right.
+  eval::ExperimentWorld world(testConfig(6));
+  const auto stats = runPaired(world, 40, 10);
+  const auto convMoloc = eval::analyzeConvergence(stats.molocWalks);
+  const auto convWifi = eval::analyzeConvergence(stats.wifiWalks);
+  EXPECT_GT(convMoloc.subsequentAccuracy, 0.85);
+  EXPECT_LT(convWifi.subsequentAccuracy, 0.70);
+  EXPECT_LT(convMoloc.subsequentMeanError,
+            convWifi.subsequentMeanError * 0.5);
+}
+
+TEST(Integration, HmmBeatsWifiButCarriesFullBelief) {
+  // The related-work comparator: accelerometer-assisted HMM also
+  // improves on memoryless WiFi (it uses offsets), while MoLoc adds
+  // direction on top.
+  eval::ExperimentWorld world(testConfig(6));
+  baseline::HmmLocalizer hmm(world.fingerprintDb(), world.hall().graph);
+  const baseline::WifiFingerprinting wifi(world.fingerprintDb());
+
+  eval::ErrorStats hmmStats;
+  eval::ErrorStats wifiStats;
+  for (int t = 0; t < 25; ++t) {
+    const auto& user =
+        world.users()[static_cast<std::size_t>(t) % world.users().size()];
+    const auto trace = world.makeTrace(user, 10, world.evalRng());
+    hmm.reset();
+    hmm.update(trace.initialScan, std::nullopt);
+    for (const auto& interval : trace.intervals) {
+      const auto motion = world.processInterval(interval, user);
+      const auto hmmFix = hmm.update(
+          interval.scanAtArrival,
+          motion ? std::optional<double>(motion->offsetMeters)
+                 : std::nullopt);
+      const auto wifiFix = wifi.localize(interval.scanAtArrival);
+      hmmStats.add({hmmFix, interval.toTruth,
+                    world.locationDistance(hmmFix, interval.toTruth)});
+      wifiStats.add({wifiFix, interval.toTruth,
+                     world.locationDistance(wifiFix, interval.toTruth)});
+    }
+  }
+  EXPECT_GT(hmmStats.accuracy(), wifiStats.accuracy());
+}
+
+TEST(Integration, DeadReckoningDriftsWithoutFingerprints) {
+  // Feed dead reckoning the ground-truth legs distorted by a constant
+  // 8-degree heading bias (a realistic uncorrected compass error): the
+  // continuous track must drift away from the truth, with the final
+  // error far exceeding the early error — the failure mode fingerprint
+  // re-anchoring prevents.
+  // A straight end-to-end route along the north aisle: a rotation bias
+  // cannot cancel out as it can on a loop.
+  eval::ExperimentWorld world(testConfig(6));
+  const std::vector<env::LocationId> route{0, 1, 2, 3, 4, 5, 6};
+  const auto& graph = world.hall().graph;
+
+  baseline::DeadReckoning dr(world.hall().plan, world.fingerprintDb());
+  dr.initialize(world.fingerprintDb().entry(route.front()));
+
+  double earlyError = -1.0;
+  double finalError = -1.0;
+  for (std::size_t leg = 0; leg + 1 < route.size(); ++leg) {
+    const auto rlm = graph.groundTruthRlm(route[leg], route[leg + 1]);
+    ASSERT_TRUE(rlm.has_value());
+    dr.update({rlm->directionDeg + 8.0, rlm->offsetMeters});
+    const double error = geometry::distance(
+        dr.position(), world.hall().plan.location(route[leg + 1]).pos);
+    if (leg == 1) earlyError = error;
+    finalError = error;
+  }
+  ASSERT_GE(earlyError, 0.0);
+  EXPECT_GT(finalError, earlyError);
+  EXPECT_GT(finalError, 3.0);
+}
+
+TEST(Integration, DriftedEnvironmentDegradesWifiMore) {
+  // The staleness knob: serving-time drift ages the radio map.  Both
+  // methods lose accuracy; WiFi has no second signal to fall back on,
+  // so it must not end up ahead.
+  auto freshConfig = testConfig(6);
+  auto staleConfig = testConfig(6);
+  staleConfig.propagation.driftSigmaDb = 3.0;
+
+  eval::ExperimentWorld fresh(freshConfig);
+  eval::ExperimentWorld stale(staleConfig);
+  const auto freshStats = runPaired(fresh, 25, 10);
+  const auto staleStats = runPaired(stale, 25, 10);
+
+  EXPECT_LT(staleStats.wifi.accuracy(), freshStats.wifi.accuracy());
+  EXPECT_GT(staleStats.moloc.accuracy(), staleStats.wifi.accuracy());
+}
+
+}  // namespace
+}  // namespace moloc

@@ -1,0 +1,80 @@
+#include "baseline/knn_averaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::baseline {
+namespace {
+
+class KnnTest : public ::testing::Test {
+ protected:
+  KnnTest() {
+    plan_.addReferenceLocation({2.0, 2.0});
+    plan_.addReferenceLocation({6.0, 2.0});
+    plan_.addReferenceLocation({10.0, 2.0});
+    db_.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+    db_.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+    db_.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+  radio::FingerprintDatabase db_;
+};
+
+TEST_F(KnnTest, RejectsZeroK) {
+  EXPECT_THROW(KnnAveraging(plan_, db_, 0), std::invalid_argument);
+}
+
+TEST_F(KnnTest, KOneDegeneratesToNearest) {
+  const KnnAveraging knn(plan_, db_, 1);
+  const radio::Fingerprint probe({-41.0, -69.0});
+  EXPECT_EQ(knn.localize(probe), db_.nearest(probe));
+  EXPECT_EQ(knn.position(probe), plan_.location(0).pos);
+}
+
+TEST_F(KnnTest, ExactMatchPinsThePosition) {
+  const KnnAveraging knn(plan_, db_, 3);
+  const auto pos = knn.position(radio::Fingerprint({-55.0, -55.0}));
+  // The exact match's Eq. 4 probability dominates.
+  EXPECT_NEAR(pos.x, 6.0, 0.01);
+  EXPECT_NEAR(pos.y, 2.0, 0.01);
+}
+
+TEST_F(KnnTest, MidwayScanAveragesBetweenNeighbours) {
+  const KnnAveraging knn(plan_, db_, 2);
+  // Equidistant between entries 0 and 1 in signal space.
+  const auto pos = knn.position(radio::Fingerprint({-47.5, -62.5}));
+  EXPECT_GT(pos.x, 2.5);
+  EXPECT_LT(pos.x, 5.5);
+}
+
+TEST_F(KnnTest, TwinAveragingLandsInNoMansLand) {
+  // The geometric failure Fig. 1 illustrates: averaging the positions
+  // of two far-apart twins puts the estimate between them, near
+  // neither.
+  env::FloorPlan plan(30.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({28.0, 2.0});
+  plan.addReferenceLocation({15.0, 2.0});
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-50.0, -60.0}));
+  db.addLocation(1, radio::Fingerprint({-50.2, -60.2}));  // Twin of 0.
+  db.addLocation(2, radio::Fingerprint({-90.0, -20.0}));
+
+  const KnnAveraging knn(plan, db, 2);
+  const auto pos = knn.position(radio::Fingerprint({-50.1, -60.1}));
+  // Between the twins, ~13 m from either truth candidate.
+  EXPECT_GT(pos.x, 8.0);
+  EXPECT_LT(pos.x, 22.0);
+  EXPECT_EQ(knn.localize(radio::Fingerprint({-50.1, -60.1})), 2);
+}
+
+TEST_F(KnnTest, LocalizeSnapsToNearestReference) {
+  const KnnAveraging knn(plan_, db_, 3);
+  const auto fix = knn.localize(radio::Fingerprint({-42.0, -68.0}));
+  EXPECT_EQ(fix, 0);
+}
+
+}  // namespace
+}  // namespace moloc::baseline

@@ -1,0 +1,91 @@
+#include "core/motion_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::core {
+namespace {
+
+TEST(MotionDatabase, EmptyByDefault) {
+  const MotionDatabase db(4);
+  EXPECT_EQ(db.locationCount(), 4u);
+  EXPECT_EQ(db.entryCount(), 0u);
+  EXPECT_FALSE(db.hasEntry(0, 1));
+  EXPECT_FALSE(db.entry(0, 1).has_value());
+}
+
+TEST(MotionDatabase, SetAndGetEntry) {
+  MotionDatabase db(4);
+  db.setEntry(1, 2, {90.0, 5.0, 4.0, 0.3, 12});
+  ASSERT_TRUE(db.hasEntry(1, 2));
+  const auto stats = db.entry(1, 2);
+  EXPECT_DOUBLE_EQ(stats->muDirectionDeg, 90.0);
+  EXPECT_DOUBLE_EQ(stats->sigmaDirectionDeg, 5.0);
+  EXPECT_DOUBLE_EQ(stats->muOffsetMeters, 4.0);
+  EXPECT_DOUBLE_EQ(stats->sigmaOffsetMeters, 0.3);
+  EXPECT_EQ(stats->sampleCount, 12);
+  // The plain setter does not mirror.
+  EXPECT_FALSE(db.hasEntry(2, 1));
+}
+
+TEST(MotionDatabase, MirrorFollowsMutualReachability) {
+  MotionDatabase db(4);
+  db.setEntryWithMirror(0, 3, {45.0, 6.0, 5.7, 0.4, 8});
+  ASSERT_TRUE(db.hasEntry(3, 0));
+  const auto mirrored = db.entry(3, 0);
+  // Reverse rule of Sec. IV.B.2: direction + 180 (mod 360), offset and
+  // sigmas unchanged.
+  EXPECT_DOUBLE_EQ(mirrored->muDirectionDeg, 225.0);
+  EXPECT_DOUBLE_EQ(mirrored->sigmaDirectionDeg, 6.0);
+  EXPECT_DOUBLE_EQ(mirrored->muOffsetMeters, 5.7);
+  EXPECT_DOUBLE_EQ(mirrored->sigmaOffsetMeters, 0.4);
+  EXPECT_EQ(mirrored->sampleCount, 8);
+  EXPECT_EQ(db.entryCount(), 2u);
+}
+
+TEST(MotionDatabase, MirrorWrapsAround360) {
+  MotionDatabase db(3);
+  db.setEntryWithMirror(0, 1, {300.0, 3.0, 4.0, 0.2, 5});
+  EXPECT_DOUBLE_EQ(db.entry(1, 0)->muDirectionDeg, 120.0);
+}
+
+TEST(MotionDatabase, OverwriteReplaces) {
+  MotionDatabase db(3);
+  db.setEntry(0, 1, {10.0, 1.0, 2.0, 0.1, 3});
+  db.setEntry(0, 1, {20.0, 2.0, 3.0, 0.2, 4});
+  EXPECT_DOUBLE_EQ(db.entry(0, 1)->muDirectionDeg, 20.0);
+  EXPECT_EQ(db.entryCount(), 1u);
+}
+
+TEST(MotionDatabase, SelfEntryAllowedButNotAutomatic) {
+  MotionDatabase db(3);
+  EXPECT_FALSE(db.hasEntry(1, 1));
+  db.setEntry(1, 1, {0.0, 1.0, 0.0, 0.1, 2});
+  EXPECT_TRUE(db.hasEntry(1, 1));
+}
+
+TEST(MotionDatabase, ThrowsOnBadIds) {
+  MotionDatabase db(3);
+  EXPECT_THROW(db.setEntry(3, 0, {}), std::out_of_range);
+  EXPECT_THROW(db.setEntry(0, -1, {}), std::out_of_range);
+  EXPECT_THROW(db.entry(0, 3), std::out_of_range);
+  EXPECT_THROW(db.hasEntry(-1, 0), std::out_of_range);
+}
+
+TEST(MotionDatabase, DefaultConstructedIsSizeZero) {
+  const MotionDatabase db;
+  EXPECT_EQ(db.locationCount(), 0u);
+  EXPECT_THROW(db.entry(0, 0), std::out_of_range);
+}
+
+TEST(MotionDatabase, EntryCountCountsDirected) {
+  MotionDatabase db(5);
+  db.setEntryWithMirror(0, 1, {});
+  db.setEntryWithMirror(1, 2, {});
+  db.setEntry(3, 4, {});
+  EXPECT_EQ(db.entryCount(), 5u);
+}
+
+}  // namespace
+}  // namespace moloc::core

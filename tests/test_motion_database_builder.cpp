@@ -1,0 +1,241 @@
+#include "core/motion_database_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::core {
+namespace {
+
+/// A 3-location corridor along the x axis: 0 at (2,2), 1 at (6,2),
+/// 2 at (10,2).  The map RLM 0->1 is (90 deg east, 4 m).
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest() {
+    plan_.addReferenceLocation({2.0, 2.0});
+    plan_.addReferenceLocation({6.0, 2.0});
+    plan_.addReferenceLocation({10.0, 2.0});
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+};
+
+TEST_F(BuilderTest, LearnsCleanObservations) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 10; ++i)
+    builder.addObservation(0, 1, 90.0 + (i % 3 - 1) * 2.0,
+                           4.0 + (i % 3 - 1) * 0.1);
+  BuilderReport report;
+  const auto db = builder.build(report);
+
+  EXPECT_EQ(report.pairsStored, 1u);
+  ASSERT_TRUE(db.hasEntry(0, 1));
+  const auto stats = db.entry(0, 1);
+  EXPECT_NEAR(stats->muDirectionDeg, 90.0, 0.5);
+  EXPECT_NEAR(stats->muOffsetMeters, 4.0, 0.05);
+  // The mirror entry exists with the reversed direction.
+  ASSERT_TRUE(db.hasEntry(1, 0));
+  EXPECT_NEAR(db.entry(1, 0)->muDirectionDeg, 270.0, 0.5);
+}
+
+TEST_F(BuilderTest, ReassemblesOntoSmallerId) {
+  MotionDatabaseBuilder builder(plan_);
+  // Observations reported from the larger-ID side (walking west).
+  for (int i = 0; i < 5; ++i) builder.addObservation(1, 0, 270.0, 4.0);
+  const auto db = builder.build();
+  ASSERT_TRUE(db.hasEntry(0, 1));
+  // Stored under the smaller ID as the eastward leg.
+  EXPECT_NEAR(db.entry(0, 1)->muDirectionDeg, 90.0, 1e-9);
+  EXPECT_NEAR(db.entry(1, 0)->muDirectionDeg, 270.0, 1e-9);
+}
+
+TEST_F(BuilderTest, ForwardAndBackwardObservationsPool) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 3; ++i) builder.addObservation(0, 1, 88.0, 3.9);
+  for (int i = 0; i < 3; ++i) builder.addObservation(1, 0, 272.0, 4.1);
+  const auto db = builder.build();
+  ASSERT_TRUE(db.hasEntry(0, 1));
+  EXPECT_EQ(db.entry(0, 1)->sampleCount, 6);
+  EXPECT_NEAR(db.entry(0, 1)->muDirectionDeg, 90.0, 1.0);
+  EXPECT_NEAR(db.entry(0, 1)->muOffsetMeters, 4.0, 0.05);
+}
+
+TEST_F(BuilderTest, SelfPairsDropped) {
+  MotionDatabaseBuilder builder(plan_);
+  builder.addObservation(1, 1, 90.0, 4.0);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.droppedSelfPairs, 1u);
+  EXPECT_EQ(db.entryCount(), 0u);
+}
+
+TEST_F(BuilderTest, CoarseFilterRejectsDirectionOutliers) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  // 45 degrees off the map heading: beyond the 20-degree threshold.
+  builder.addObservation(0, 1, 135.0, 4.0);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.rejectedCoarse, 1u);
+  EXPECT_EQ(db.entry(0, 1)->sampleCount, 5);
+}
+
+TEST_F(BuilderTest, CoarseFilterRejectsOffsetOutliers) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(0, 1, 90.0, 8.5);  // 4.5 m off: beyond 3 m.
+  BuilderReport report;
+  builder.build(report);
+  EXPECT_EQ(report.rejectedCoarse, 1u);
+}
+
+TEST_F(BuilderTest, CoarseFilterComparesAgainstMapNotSamples) {
+  // Consistently wrong observations (e.g. from misestimated locations)
+  // are all rejected even though they agree with each other.
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 10; ++i) builder.addObservation(0, 1, 180.0, 4.0);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.rejectedCoarse, 10u);
+  EXPECT_FALSE(db.hasEntry(0, 1));
+}
+
+TEST_F(BuilderTest, FineFilterRejectsInliersBeyondTwoSigma) {
+  BuilderConfig config;
+  config.coarseDirectionThresholdDeg = 20.0;
+  config.minSamplesPerPair = 3;
+  MotionDatabaseBuilder builder(plan_, config);
+  // A tight cluster plus one sample inside the coarse gate but far from
+  // the cluster (in offset).
+  for (int i = 0; i < 20; ++i)
+    builder.addObservation(0, 1, 90.0, 4.0 + 0.02 * (i % 5 - 2));
+  builder.addObservation(0, 1, 90.0, 5.5);  // Within 3 m of map's 4 m.
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.rejectedCoarse, 0u);
+  EXPECT_EQ(report.rejectedFine, 1u);
+  EXPECT_EQ(db.entry(0, 1)->sampleCount, 20);
+}
+
+TEST_F(BuilderTest, FineFilterCanBeDisabled) {
+  BuilderConfig config;
+  config.enableFineFilter = false;
+  MotionDatabaseBuilder builder(plan_, config);
+  for (int i = 0; i < 20; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(0, 1, 90.0, 5.5);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.rejectedFine, 0u);
+  EXPECT_EQ(db.entry(0, 1)->sampleCount, 21);
+}
+
+TEST_F(BuilderTest, CoarseFilterCanBeDisabled) {
+  BuilderConfig config;
+  config.enableCoarseFilter = false;
+  config.enableFineFilter = false;
+  MotionDatabaseBuilder builder(plan_, config);
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 180.0, 9.0);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.rejectedCoarse, 0u);
+  ASSERT_TRUE(db.hasEntry(0, 1));
+  EXPECT_NEAR(db.entry(0, 1)->muDirectionDeg, 180.0, 1e-9);
+}
+
+TEST_F(BuilderTest, MinSamplesGate) {
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  MotionDatabaseBuilder builder(plan_, config);
+  builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(0, 1, 90.0, 4.0);
+  BuilderReport report;
+  const auto db = builder.build(report);
+  EXPECT_EQ(report.underMinSamples, 1u);
+  EXPECT_FALSE(db.hasEntry(0, 1));
+}
+
+TEST_F(BuilderTest, SigmaFloorsApplied) {
+  BuilderConfig config;
+  config.minDirectionSigmaDeg = 2.0;
+  config.minOffsetSigmaMeters = 0.05;
+  MotionDatabaseBuilder builder(plan_, config);
+  // Identical samples would otherwise fit sigma = 0.
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  const auto db = builder.build();
+  EXPECT_GE(db.entry(0, 1)->sigmaDirectionDeg, 2.0);
+  EXPECT_GE(db.entry(0, 1)->sigmaOffsetMeters, 0.05);
+}
+
+TEST_F(BuilderTest, DirectionFitHandlesNorthWrap) {
+  // A pair whose map heading is north: samples straddle 0/360.
+  env::FloorPlan vertical(6.0, 12.0);
+  vertical.addReferenceLocation({2.0, 2.0});
+  vertical.addReferenceLocation({2.0, 6.0});  // Due north of 0.
+  MotionDatabaseBuilder builder(vertical);
+  for (double d : {355.0, 357.0, 0.0, 3.0, 5.0})
+    builder.addObservation(0, 1, d, 4.0);
+  const auto db = builder.build();
+  ASSERT_TRUE(db.hasEntry(0, 1));
+  EXPECT_LT(geometry::angularDistDeg(db.entry(0, 1)->muDirectionDeg, 0.0),
+            1.0);
+  EXPECT_LT(db.entry(0, 1)->sigmaDirectionDeg, 10.0);
+}
+
+TEST_F(BuilderTest, BuildIsRepeatable) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  const auto first = builder.build();
+  const auto second = builder.build();
+  EXPECT_EQ(first.entryCount(), second.entryCount());
+  EXPECT_DOUBLE_EQ(first.entry(0, 1)->muOffsetMeters,
+                   second.entry(0, 1)->muOffsetMeters);
+}
+
+TEST_F(BuilderTest, PendingObservationsTracksIntake) {
+  MotionDatabaseBuilder builder(plan_);
+  EXPECT_EQ(builder.pendingObservations(), 0u);
+  builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(1, 2, 90.0, 4.0);
+  builder.addObservation(2, 2, 0.0, 0.0);  // Self: dropped.
+  EXPECT_EQ(builder.pendingObservations(), 2u);
+}
+
+TEST_F(BuilderTest, ThrowsOnUnknownLocations) {
+  MotionDatabaseBuilder builder(plan_);
+  EXPECT_THROW(builder.addObservation(0, 7, 90.0, 4.0),
+               std::out_of_range);
+  EXPECT_THROW(builder.addObservation(-1, 1, 90.0, 4.0),
+               std::out_of_range);
+}
+
+TEST_F(BuilderTest, ReportCountsObservations) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 7; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(1, 1, 0.0, 0.0);
+  BuilderReport report;
+  builder.build(report);
+  EXPECT_EQ(report.observations, 8u);
+  EXPECT_EQ(report.droppedSelfPairs, 1u);
+}
+
+TEST_F(BuilderTest, SetConfigChangesSubsequentBuilds) {
+  MotionDatabaseBuilder builder(plan_);
+  for (int i = 0; i < 5; ++i) builder.addObservation(0, 1, 90.0, 4.0);
+  builder.addObservation(0, 1, 135.0, 4.0);  // Coarse outlier.
+  BuilderReport strict;
+  builder.build(strict);
+  EXPECT_EQ(strict.rejectedCoarse, 1u);
+
+  BuilderConfig loose;
+  loose.enableCoarseFilter = false;
+  loose.enableFineFilter = false;
+  builder.setConfig(loose);
+  BuilderReport lax;
+  builder.build(lax);
+  EXPECT_EQ(lax.rejectedCoarse, 0u);
+}
+
+}  // namespace
+}  // namespace moloc::core

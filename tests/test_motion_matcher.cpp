@@ -1,0 +1,176 @@
+#include "core/motion_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace moloc::core {
+namespace {
+
+TEST(GaussianWindow, CentredWindowHasMostMass) {
+  const double p = gaussianWindowProbability(0.0, 1.0, 0.0, 0.5);
+  // +-2 sigma window: ~95 % of the mass.
+  EXPECT_NEAR(p, 0.954, 0.01);
+}
+
+TEST(GaussianWindow, FarWindowHasLittleMass) {
+  const double p = gaussianWindowProbability(5.0, 0.5, 0.0, 1.0);
+  EXPECT_LT(p, 1e-3);
+}
+
+TEST(GaussianWindow, MassDecreasesWithDistanceFromMean) {
+  double prev = 1.0;
+  for (double x : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const double p = gaussianWindowProbability(x, 0.5, 0.0, 1.0);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GaussianWindow, WholeLineIsOne) {
+  const double p = gaussianWindowProbability(0.0, 1e6, 0.0, 1.0);
+  EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(GaussianWindow, DegenerateSigmaIsIndicator) {
+  EXPECT_EQ(gaussianWindowProbability(0.3, 0.5, 0.0, 0.0), 1.0);
+  EXPECT_EQ(gaussianWindowProbability(0.6, 0.5, 0.0, 0.0), 0.0);
+}
+
+TEST(GaussianWindow, SymmetricAroundMean) {
+  const double left = gaussianWindowProbability(3.0, 0.5, 5.0, 1.2);
+  const double right = gaussianWindowProbability(7.0, 0.5, 5.0, 1.2);
+  EXPECT_NEAR(left, right, 1e-12);
+}
+
+class MotionMatcherTest : public ::testing::Test {
+ protected:
+  MotionMatcherTest() : db_(4) {
+    // 0 -> 1: east, 4 m.  1 -> 2: north, 4 m.
+    db_.setEntryWithMirror(0, 1, {90.0, 5.0, 4.0, 0.3, 10});
+    db_.setEntryWithMirror(1, 2, {0.0, 5.0, 4.0, 0.3, 10});
+  }
+
+  MotionDatabase db_;
+  MotionMatcherParams params_;
+};
+
+TEST_F(MotionMatcherTest, MatchingMotionScoresHigh) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(0, 1, {90.0, 4.0});
+  EXPECT_GT(p, 0.5);
+}
+
+TEST_F(MotionMatcherTest, OppositeDirectionScoresLow) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(0, 1, {270.0, 4.0});
+  EXPECT_LT(p, 1e-3);
+}
+
+TEST_F(MotionMatcherTest, WrongOffsetScoresLow) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(0, 1, {90.0, 9.0});
+  EXPECT_LT(p, 1e-3);
+}
+
+TEST_F(MotionMatcherTest, MirroredEntryMatchesReverseWalk) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(1, 0, {270.0, 4.0});
+  EXPECT_GT(p, 0.5);
+}
+
+TEST_F(MotionMatcherTest, UnknownPairGetsFloor) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(0, 3, {90.0, 4.0});
+  EXPECT_DOUBLE_EQ(p, params_.unreachableFloor);
+}
+
+TEST_F(MotionMatcherTest, ProbabilityNeverBelowFloor) {
+  const MotionMatcher matcher(db_, params_);
+  const double p = matcher.pairProbability(0, 1, {270.0, 20.0});
+  EXPECT_GE(p, params_.unreachableFloor);
+}
+
+TEST_F(MotionMatcherTest, DirectionHandlesWrap) {
+  MotionDatabase db(2);
+  db.setEntryWithMirror(0, 1, {359.0, 5.0, 4.0, 0.3, 10});
+  const MotionMatcher matcher(db, params_);
+  // Measured 2 degrees: circularly 3 degrees from the stored 359.
+  const double near = matcher.pairProbability(0, 1, {2.0, 4.0});
+  const double far = matcher.pairProbability(0, 1, {180.0, 4.0});
+  EXPECT_GT(near, 0.3);
+  EXPECT_LT(far, 1e-3);
+}
+
+TEST_F(MotionMatcherTest, StationarySelfTransition) {
+  const MotionMatcher matcher(db_, params_);
+  const double still = matcher.pairProbability(1, 1, {0.0, 0.1});
+  const double moved = matcher.pairProbability(1, 1, {0.0, 4.0});
+  EXPECT_GT(still, moved);
+  EXPECT_GT(still, params_.unreachableFloor);
+}
+
+TEST_F(MotionMatcherTest, StationaryCanBeDisabled) {
+  MotionMatcherParams params;
+  params.allowStationary = false;
+  const MotionMatcher matcher(db_, params);
+  EXPECT_DOUBLE_EQ(matcher.pairProbability(1, 1, {0.0, 0.1}),
+                   params.unreachableFloor);
+}
+
+TEST_F(MotionMatcherTest, SetProbabilityMarginalizesOverCandidates) {
+  const MotionMatcher matcher(db_, params_);
+  const std::vector<WeightedCandidate> prev{{0, 0.5}, {2, 0.5}};
+  // Walking east 4 m: reachable from 0 (towards 1), not from 2.
+  const double pTo1 = matcher.setProbability(prev, 1, {90.0, 4.0});
+  const double expected =
+      0.5 * matcher.pairProbability(0, 1, {90.0, 4.0}) +
+      0.5 * matcher.pairProbability(2, 1, {90.0, 4.0});
+  EXPECT_NEAR(pTo1, expected, 1e-12);
+}
+
+TEST_F(MotionMatcherTest, SetProbabilityWeightsByPrior) {
+  const MotionMatcher matcher(db_, params_);
+  const std::vector<WeightedCandidate> confident{{0, 0.9}, {2, 0.1}};
+  const std::vector<WeightedCandidate> doubtful{{0, 0.1}, {2, 0.9}};
+  const sensors::MotionMeasurement eastWalk{90.0, 4.0};
+  EXPECT_GT(matcher.setProbability(confident, 1, eastWalk),
+            matcher.setProbability(doubtful, 1, eastWalk));
+}
+
+TEST_F(MotionMatcherTest, EmptyPreviousSetYieldsZero) {
+  const MotionMatcher matcher(db_, params_);
+  EXPECT_DOUBLE_EQ(matcher.setProbability({}, 1, {90.0, 4.0}), 0.0);
+}
+
+TEST_F(MotionMatcherTest, FactorsMultiplyPerEq5) {
+  const MotionMatcher matcher(db_, params_);
+  const RlmStats stats{90.0, 5.0, 4.0, 0.3, 10};
+  const sensors::MotionMeasurement motion{92.0, 4.1};
+  const double product = matcher.directionFactor(stats, 92.0) *
+                         matcher.offsetFactor(stats, 4.1);
+  EXPECT_NEAR(matcher.pairProbability(0, 1, motion), product, 1e-12);
+}
+
+/// Alpha/beta discretization: wider windows catch more mass.
+class WindowWidthTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowWidthTest, WiderAlphaMoreMass) {
+  MotionDatabase db(2);
+  db.setEntryWithMirror(0, 1, {90.0, 8.0, 4.0, 0.3, 10});
+  MotionMatcherParams narrow;
+  narrow.alphaDeg = GetParam();
+  MotionMatcherParams wide;
+  wide.alphaDeg = GetParam() + 10.0;
+  const MotionMatcher narrowMatcher(db, narrow);
+  const MotionMatcher wideMatcher(db, wide);
+  const RlmStats stats{90.0, 8.0, 4.0, 0.3, 10};
+  EXPECT_LE(narrowMatcher.directionFactor(stats, 95.0),
+            wideMatcher.directionFactor(stats, 95.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowWidthTest,
+                         ::testing::Values(5.0, 10.0, 20.0, 30.0, 45.0));
+
+}  // namespace
+}  // namespace moloc::core

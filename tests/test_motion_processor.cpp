@@ -1,0 +1,181 @@
+#include "sensors/motion_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angles.hpp"
+#include "sensors/accelerometer_model.hpp"
+#include "sensors/compass_model.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+/// Builds a walking trace: `durationSec` of gait at `cadence` with the
+/// compass reading `headingDeg` (plus noise).
+ImuTrace walkingTrace(double durationSec, double cadence,
+                      double headingDeg, double compassNoise,
+                      util::Rng& rng) {
+  const double rate = 50.0;
+  const auto count = static_cast<std::size_t>(durationSec * rate);
+
+  AccelParams accelParams;
+  AccelerometerModel accel(accelParams);
+  const auto accelSeries = accel.walkingSamples(count, cadence, rng);
+
+  CompassParams compassParams;
+  compassParams.noiseSigmaDeg = compassNoise;
+  const CompassModel compass(compassParams);
+  const auto compassSeries =
+      compass.readings(headingDeg, 0.0, count, rng);
+
+  ImuTrace trace(rate);
+  for (std::size_t i = 0; i < count; ++i)
+    trace.append({static_cast<double>(i) / rate, accelSeries[i],
+                  compassSeries[i]});
+  return trace;
+}
+
+ImuTrace idleTrace(double durationSec, util::Rng& rng) {
+  const double rate = 50.0;
+  const auto count = static_cast<std::size_t>(durationSec * rate);
+  AccelerometerModel accel;
+  const auto accelSeries = accel.idleSamples(count, rng);
+  ImuTrace trace(rate);
+  for (std::size_t i = 0; i < count; ++i)
+    trace.append({static_cast<double>(i) / rate, accelSeries[i], 0.0});
+  return trace;
+}
+
+TEST(MotionProcessor, RecoversDirection) {
+  util::Rng rng(1);
+  const auto trace = walkingTrace(4.0, 1.8, 135.0, 8.0, rng);
+  const MotionProcessor processor;
+  const auto motion = processor.process(trace, 0.7);
+  ASSERT_TRUE(motion.has_value());
+  EXPECT_LT(geometry::angularDistDeg(motion->directionDeg, 135.0), 5.0);
+}
+
+TEST(MotionProcessor, RecoversDirectionAcrossNorthWrap) {
+  util::Rng rng(2);
+  const auto trace = walkingTrace(4.0, 1.8, 358.0, 8.0, rng);
+  const MotionProcessor processor;
+  const auto motion = processor.process(trace, 0.7);
+  ASSERT_TRUE(motion.has_value());
+  EXPECT_LT(geometry::angularDistDeg(motion->directionDeg, 358.0), 5.0);
+}
+
+TEST(MotionProcessor, RecoversOffset) {
+  util::Rng rng(3);
+  const double duration = 4.0;
+  const double cadence = 1.8;
+  const double stepLength = 0.7;
+  const auto trace = walkingTrace(duration, cadence, 90.0, 8.0, rng);
+  const MotionProcessor processor;
+  const auto motion = processor.process(trace, stepLength);
+  ASSERT_TRUE(motion.has_value());
+  const double trueOffset = duration * cadence * stepLength;
+  EXPECT_NEAR(motion->offsetMeters, trueOffset, stepLength);
+}
+
+TEST(MotionProcessor, IdleYieldsStationaryMeasurement) {
+  util::Rng rng(4);
+  const auto trace = idleTrace(4.0, rng);
+  const MotionProcessor processor;
+  // Standing still is reported as a zero-offset measurement (so the
+  // engine's stationary model can use it); step counting still says
+  // "no steps".
+  const auto motion = processor.process(trace, 0.7);
+  ASSERT_TRUE(motion.has_value());
+  EXPECT_EQ(motion->offsetMeters, 0.0);
+  EXPECT_FALSE(processor.countSteps(trace).has_value());
+}
+
+TEST(MotionProcessor, IdleYieldsNothingWhenStationaryReportingOff) {
+  util::Rng rng(4);
+  const auto trace = idleTrace(4.0, rng);
+  MotionProcessorParams params;
+  params.reportStationary = false;
+  const MotionProcessor processor(params);
+  EXPECT_FALSE(processor.process(trace, 0.7).has_value());
+}
+
+TEST(MotionProcessor, TinyTraceYieldsNothing) {
+  ImuTrace tiny(50.0);
+  tiny.append({0.0, 9.8, 0.0});
+  tiny.append({0.02, 9.8, 0.0});
+  const MotionProcessor processor;
+  EXPECT_FALSE(processor.process(tiny, 0.7).has_value());
+}
+
+TEST(MotionProcessor, EmptyTraceYieldsNoMeasurement) {
+  const ImuTrace trace(50.0);
+  const MotionProcessor processor;
+  EXPECT_FALSE(processor.process(trace, 0.7).has_value());
+}
+
+TEST(MotionProcessor, CscCountsMoreThanDsc) {
+  // A trace whose interval extends past the last detected step: CSC
+  // attributes the odd time, DSC drops it (the paper's Sec. IV.B.1).
+  util::Rng rngA(5);
+  util::Rng rngB(5);
+  const auto trace = walkingTrace(3.3, 1.8, 0.0, 0.0, rngA);
+  (void)rngB;
+
+  MotionProcessorParams dscParams;
+  dscParams.mode = StepCountingMode::kDiscrete;
+  const MotionProcessor dsc(dscParams);
+
+  MotionProcessorParams cscParams;
+  cscParams.mode = StepCountingMode::kContinuous;
+  const MotionProcessor csc(cscParams);
+
+  const auto dscCount = dsc.countSteps(trace);
+  const auto cscCount = csc.countSteps(trace);
+  ASSERT_TRUE(dscCount.has_value());
+  ASSERT_TRUE(cscCount.has_value());
+  EXPECT_EQ(dscCount->decimalSteps, 0.0);
+  EXPECT_GE(cscCount->totalSteps(), dscCount->totalSteps());
+}
+
+TEST(MotionProcessor, OffsetScalesWithStepLength) {
+  util::Rng rngA(6);
+  util::Rng rngB(6);
+  const auto traceA = walkingTrace(4.0, 1.8, 90.0, 8.0, rngA);
+  const auto traceB = walkingTrace(4.0, 1.8, 90.0, 8.0, rngB);
+  const MotionProcessor processor;
+  const auto shortStep = processor.process(traceA, 0.6);
+  const auto longStep = processor.process(traceB, 0.8);
+  ASSERT_TRUE(shortStep && longStep);
+  EXPECT_NEAR(longStep->offsetMeters / shortStep->offsetMeters, 0.8 / 0.6,
+              1e-9);
+}
+
+/// Parameterized end-to-end sweep: offset error stays below one step
+/// length across cadences and durations (CSC's guarantee).
+struct WalkCase {
+  double duration;
+  double cadence;
+};
+
+class OffsetSweepTest : public ::testing::TestWithParam<WalkCase> {};
+
+TEST_P(OffsetSweepTest, OffsetWithinOneStep) {
+  const auto [duration, cadence] = GetParam();
+  util::Rng rng(42);
+  const double stepLength = 0.72;
+  const auto trace = walkingTrace(duration, cadence, 45.0, 8.0, rng);
+  const MotionProcessor processor;
+  const auto motion = processor.process(trace, stepLength);
+  ASSERT_TRUE(motion.has_value());
+  const double trueOffset = duration * cadence * stepLength;
+  EXPECT_NEAR(motion->offsetMeters, trueOffset, stepLength);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OffsetSweepTest,
+    ::testing::Values(WalkCase{2.5, 1.6}, WalkCase{3.0, 1.8},
+                      WalkCase{3.7, 2.0}, WalkCase{4.4, 1.7},
+                      WalkCase{5.0, 1.9}, WalkCase{6.1, 2.1}));
+
+}  // namespace
+}  // namespace moloc::sensors

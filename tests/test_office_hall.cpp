@@ -1,0 +1,119 @@
+#include "env/office_hall.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace moloc::env {
+namespace {
+
+class OfficeHallTest : public ::testing::Test {
+ protected:
+  OfficeHall hall_ = makeOfficeHall();
+};
+
+TEST_F(OfficeHallTest, PaperDimensions) {
+  EXPECT_DOUBLE_EQ(hall_.plan.width(), 40.8);
+  EXPECT_DOUBLE_EQ(hall_.plan.height(), 16.0);
+  EXPECT_EQ(hall_.plan.locationCount(),
+            static_cast<std::size_t>(kHallLocations));
+  EXPECT_EQ(hall_.apPositions.size(), 6u);
+}
+
+TEST_F(OfficeHallTest, RowMajorNumberingMatchesFig5) {
+  // Id 0 is the paper's location 1 (north-west corner of the grid);
+  // id 7 starts the second row.
+  EXPECT_EQ(hall_.plan.location(0).pos, hallGridPosition(0, 0));
+  EXPECT_EQ(hall_.plan.location(6).pos, hallGridPosition(0, 6));
+  EXPECT_EQ(hall_.plan.location(7).pos, hallGridPosition(1, 0));
+  EXPECT_EQ(hall_.plan.location(27).pos, hallGridPosition(3, 6));
+}
+
+TEST_F(OfficeHallTest, GridPositionsInsideBounds) {
+  for (int r = 0; r < kHallRows; ++r) {
+    for (int c = 0; c < kHallColumns; ++c) {
+      const auto pos = hallGridPosition(r, c);
+      EXPECT_GT(pos.x, 0.0);
+      EXPECT_LT(pos.x, kHallWidth);
+      EXPECT_GT(pos.y, 0.0);
+      EXPECT_LT(pos.y, kHallHeight);
+    }
+  }
+}
+
+TEST_F(OfficeHallTest, GridPositionRejectsBadIndices) {
+  EXPECT_THROW(hallGridPosition(-1, 0), std::out_of_range);
+  EXPECT_THROW(hallGridPosition(0, kHallColumns), std::out_of_range);
+  EXPECT_THROW(hallGridPosition(kHallRows, 0), std::out_of_range);
+}
+
+TEST_F(OfficeHallTest, NorthRowIsRowZero) {
+  EXPECT_GT(hallGridPosition(0, 0).y, hallGridPosition(3, 0).y);
+}
+
+TEST_F(OfficeHallTest, GraphIsConnectedDespitePartitions) {
+  EXPECT_TRUE(hall_.graph.isConnected());
+}
+
+TEST_F(OfficeHallTest, PartitionsSeverExactlyThreeVerticalLegs) {
+  // The full 7x4 grid has 6*4 horizontal + 7*3 vertical = 45 legs;
+  // partition P1 severs two (rows 0-1, columns 2 and 3) and P2 one
+  // (rows 2-3, column 5).
+  EXPECT_EQ(hall_.graph.edgeCount(), 42u);
+  EXPECT_FALSE(hall_.graph.adjacent(2, 9));    // (0,2)-(1,2)
+  EXPECT_FALSE(hall_.graph.adjacent(3, 10));   // (0,3)-(1,3)
+  EXPECT_FALSE(hall_.graph.adjacent(19, 26));  // (2,5)-(3,5)
+}
+
+TEST_F(OfficeHallTest, SeveredNeighboursNeedDetours) {
+  // The severed pairs stay mutually reachable, but only via a detour
+  // strictly longer than the 4 m row spacing.
+  for (const auto& [i, j] : {std::pair{2, 9}, {3, 10}, {19, 26}}) {
+    const double walkable = hall_.graph.walkableDistance(i, j);
+    EXPECT_TRUE(std::isfinite(walkable));
+    EXPECT_GT(walkable, 4.0 + 1.0);
+  }
+}
+
+TEST_F(OfficeHallTest, UnseveredLegsExist) {
+  EXPECT_TRUE(hall_.graph.adjacent(0, 1));   // Horizontal in row 0.
+  EXPECT_TRUE(hall_.graph.adjacent(0, 7));   // Vertical, column 0.
+  EXPECT_TRUE(hall_.graph.adjacent(20, 27)); // Vertical, column 6.
+}
+
+TEST_F(OfficeHallTest, NoDiagonalAdjacency) {
+  EXPECT_FALSE(hall_.graph.adjacent(0, 8));
+  EXPECT_FALSE(hall_.graph.adjacent(1, 7));
+}
+
+TEST_F(OfficeHallTest, ApsInsideHall) {
+  for (const auto& ap : hall_.apPositions) {
+    EXPECT_GE(ap.x, 0.0);
+    EXPECT_LE(ap.x, kHallWidth);
+    EXPECT_GE(ap.y, 0.0);
+    EXPECT_LE(ap.y, kHallHeight);
+  }
+}
+
+TEST_F(OfficeHallTest, PillarsDoNotBlockAisleLegs) {
+  // Every expected grid leg that is not explicitly severed by a
+  // partition must be present: pillars sit off the aisles.
+  int missing = 0;
+  for (int r = 0; r < kHallRows; ++r)
+    for (int c = 0; c + 1 < kHallColumns; ++c)
+      if (!hall_.graph.adjacent(r * kHallColumns + c,
+                                r * kHallColumns + c + 1))
+        ++missing;
+  EXPECT_EQ(missing, 0);  // All horizontal legs walkable.
+}
+
+TEST_F(OfficeHallTest, DeterministicConstruction) {
+  const OfficeHall again = makeOfficeHall();
+  EXPECT_EQ(again.plan.locationCount(), hall_.plan.locationCount());
+  EXPECT_EQ(again.graph.edgeCount(), hall_.graph.edgeCount());
+  for (std::size_t i = 0; i < hall_.apPositions.size(); ++i)
+    EXPECT_EQ(again.apPositions[i], hall_.apPositions[i]);
+}
+
+}  // namespace
+}  // namespace moloc::env

@@ -1,0 +1,140 @@
+#include "core/online_motion_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::core {
+namespace {
+
+/// The 3-location corridor used by the batch-builder tests: map RLM
+/// 0 -> 1 is (90 deg, 4 m).
+class OnlineDbTest : public ::testing::Test {
+ protected:
+  OnlineDbTest() {
+    plan_.addReferenceLocation({2.0, 2.0});
+    plan_.addReferenceLocation({6.0, 2.0});
+    plan_.addReferenceLocation({10.0, 2.0});
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+};
+
+TEST_F(OnlineDbTest, RejectsUndersizedReservoir) {
+  BuilderConfig config;
+  config.minSamplesPerPair = 5;
+  EXPECT_THROW(OnlineMotionDatabase(plan_, config, 4),
+               std::invalid_argument);
+}
+
+TEST_F(OnlineDbTest, EntryAppearsAfterMinSamples) {
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  OnlineMotionDatabase online(plan_, config);
+  EXPECT_TRUE(online.addObservation(0, 1, 90.0, 4.0));
+  EXPECT_TRUE(online.addObservation(0, 1, 91.0, 4.1));
+  EXPECT_FALSE(online.database().hasEntry(0, 1));  // Below minimum.
+  EXPECT_TRUE(online.addObservation(0, 1, 89.0, 3.9));
+  ASSERT_TRUE(online.database().hasEntry(0, 1));
+  EXPECT_NEAR(online.database().entry(0, 1)->muDirectionDeg, 90.0, 1.0);
+  // Mirror written through.
+  ASSERT_TRUE(online.database().hasEntry(1, 0));
+  EXPECT_NEAR(online.database().entry(1, 0)->muDirectionDeg, 270.0, 1.0);
+}
+
+TEST_F(OnlineDbTest, CoarseFilterRejectsAtIntake) {
+  OnlineMotionDatabase online(plan_);
+  EXPECT_FALSE(online.addObservation(0, 1, 180.0, 4.0));  // 90 deg off.
+  EXPECT_FALSE(online.addObservation(0, 1, 90.0, 9.0));   // 5 m off.
+  EXPECT_EQ(online.counters().rejectedCoarse, 2u);
+  EXPECT_EQ(online.counters().accepted, 0u);
+  EXPECT_EQ(online.trackedPairs(), 0u);
+}
+
+TEST_F(OnlineDbTest, SelfPairsDropped) {
+  OnlineMotionDatabase online(plan_);
+  EXPECT_FALSE(online.addObservation(1, 1, 0.0, 0.0));
+  EXPECT_EQ(online.counters().droppedSelfPairs, 1u);
+}
+
+TEST_F(OnlineDbTest, ReassemblesOntoSmallerId) {
+  OnlineMotionDatabase online(plan_);
+  for (int i = 0; i < 4; ++i) online.addObservation(1, 0, 270.0, 4.0);
+  ASSERT_TRUE(online.database().hasEntry(0, 1));
+  EXPECT_NEAR(online.database().entry(0, 1)->muDirectionDeg, 90.0,
+              1e-9);
+}
+
+TEST_F(OnlineDbTest, TracksDistributionShift) {
+  // After many samples around one offset, feed a shifted distribution:
+  // with reservoir sampling the entry migrates toward the new regime.
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  OnlineMotionDatabase online(plan_, config, 16);
+  for (int i = 0; i < 16; ++i)
+    online.addObservation(0, 1, 90.0, 3.4 + 0.01 * (i % 3));
+  const double before =
+      online.database().entry(0, 1)->muOffsetMeters;
+  for (int i = 0; i < 600; ++i)
+    online.addObservation(0, 1, 90.0, 4.6 + 0.01 * (i % 3));
+  const double after = online.database().entry(0, 1)->muOffsetMeters;
+  EXPECT_LT(before, 3.6);
+  EXPECT_GT(after, 4.3);
+}
+
+TEST_F(OnlineDbTest, ReservoirBoundsMemory) {
+  BuilderConfig config;
+  OnlineMotionDatabase online(plan_, config, 8);
+  for (int i = 0; i < 1000; ++i)
+    online.addObservation(0, 1, 90.0, 4.0);
+  // The entry's sample count reflects the reservoir, not the stream.
+  EXPECT_LE(online.database().entry(0, 1)->sampleCount, 8);
+  EXPECT_EQ(online.counters().accepted, 1000u);
+}
+
+TEST_F(OnlineDbTest, FineFilterStillApplies) {
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  OnlineMotionDatabase online(plan_, config, 64);
+  for (int i = 0; i < 30; ++i)
+    online.addObservation(0, 1, 90.0, 4.0 + 0.02 * (i % 5 - 2));
+  online.addObservation(0, 1, 90.0, 5.5);  // Coarse-pass, fine-fail.
+  const auto entry = online.database().entry(0, 1);
+  ASSERT_TRUE(entry.has_value());
+  // The outlier was excluded from the fit.
+  EXPECT_NEAR(entry->muOffsetMeters, 4.0, 0.1);
+}
+
+TEST_F(OnlineDbTest, MatchesBatchBuilderOnCleanStream) {
+  // On a stream smaller than the reservoir, online == batch.
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  OnlineMotionDatabase online(plan_, config, 64);
+  MotionDatabaseBuilder batch(plan_, config);
+  for (int i = 0; i < 20; ++i) {
+    const double d = 90.0 + (i % 5 - 2);
+    const double o = 4.0 + 0.05 * (i % 3 - 1);
+    online.addObservation(0, 1, d, o);
+    batch.addObservation(0, 1, d, o);
+  }
+  const auto onlineEntry = online.database().entry(0, 1);
+  const auto batchEntry = batch.build().entry(0, 1);
+  ASSERT_TRUE(onlineEntry && batchEntry);
+  EXPECT_NEAR(onlineEntry->muDirectionDeg, batchEntry->muDirectionDeg,
+              1e-9);
+  EXPECT_NEAR(onlineEntry->muOffsetMeters, batchEntry->muOffsetMeters,
+              1e-9);
+  EXPECT_NEAR(onlineEntry->sigmaOffsetMeters,
+              batchEntry->sigmaOffsetMeters, 1e-9);
+}
+
+TEST_F(OnlineDbTest, ThrowsOnUnknownLocations) {
+  OnlineMotionDatabase online(plan_);
+  EXPECT_THROW(online.addObservation(0, 9, 90.0, 4.0),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace moloc::core

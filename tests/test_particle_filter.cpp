@@ -1,0 +1,142 @@
+#include "baseline/particle_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eval/experiment_world.hpp"
+
+namespace moloc::baseline {
+namespace {
+
+class ParticleFilterTest : public ::testing::Test {
+ protected:
+  ParticleFilterTest() {
+    plan_.addReferenceLocation({2.0, 2.0});
+    plan_.addReferenceLocation({6.0, 2.0});
+    plan_.addReferenceLocation({10.0, 2.0});
+    db_.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+    db_.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+    db_.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  }
+
+  env::FloorPlan plan_{12.0, 4.0};
+  radio::FingerprintDatabase db_;
+};
+
+TEST_F(ParticleFilterTest, RejectsZeroParticles) {
+  ParticleFilterParams params;
+  params.particleCount = 0;
+  EXPECT_THROW(ParticleFilter(plan_, db_, params),
+               std::invalid_argument);
+}
+
+TEST_F(ParticleFilterTest, FirstFixFollowsFingerprint) {
+  ParticleFilter filter(plan_, db_);
+  EXPECT_EQ(filter.update(radio::Fingerprint({-40.0, -70.0}),
+                          std::nullopt),
+            0);
+  EXPECT_EQ(filter.particleCount(), 500u);
+}
+
+TEST_F(ParticleFilterTest, MeanPositionThrowsBeforeFirstUpdate) {
+  ParticleFilter filter(plan_, db_);
+  EXPECT_THROW(filter.meanPosition(), std::logic_error);
+}
+
+TEST_F(ParticleFilterTest, MotionCarriesCloudAlongCorridor) {
+  ParticleFilter filter(plan_, db_);
+  filter.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  // Walk east 4 m with an ambiguous scan: the cloud's motion model
+  // should land it at location 1.
+  const auto fix = filter.update(radio::Fingerprint({-55.0, -55.0}),
+                                 sensors::MotionMeasurement{90.0, 4.0});
+  EXPECT_EQ(fix, 1);
+  EXPECT_NEAR(filter.meanPosition().x, 6.0, 1.5);
+}
+
+TEST_F(ParticleFilterTest, ChainsAcrossSteps) {
+  ParticleFilter filter(plan_, db_);
+  filter.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  filter.update(radio::Fingerprint({-55.0, -55.0}),
+                sensors::MotionMeasurement{90.0, 4.0});
+  const auto fix = filter.update(radio::Fingerprint({-70.0, -40.0}),
+                                 sensors::MotionMeasurement{90.0, 4.0});
+  EXPECT_EQ(fix, 2);
+}
+
+TEST_F(ParticleFilterTest, WallsKillImpossibleParticles) {
+  // A wall between locations 0 and 1: a cloud at 0 told to walk east
+  // cannot cross; the filter must recover from the scan instead of
+  // tunnelling.
+  env::FloorPlan walled(12.0, 4.0);
+  walled.addReferenceLocation({2.0, 2.0});
+  walled.addReferenceLocation({6.0, 2.0});
+  walled.addReferenceLocation({10.0, 2.0});
+  walled.addWall({{4.0, 0.0}, {4.0, 4.0}});
+
+  ParticleFilter filter(walled, db_);
+  filter.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  // Particles attempting to cross the wall die; whatever mass survives
+  // sits east of it, so no estimate can remain at the start location.
+  const auto fix = filter.update(radio::Fingerprint({-70.0, -40.0}),
+                                 sensors::MotionMeasurement{90.0, 4.0});
+  EXPECT_NE(fix, 0);
+  EXPECT_GT(filter.meanPosition().x, 4.0);
+}
+
+TEST_F(ParticleFilterTest, ResetRestarts) {
+  ParticleFilter filter(plan_, db_);
+  filter.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  filter.reset();
+  EXPECT_EQ(filter.particleCount(), 0u);
+  EXPECT_EQ(filter.update(radio::Fingerprint({-70.0, -40.0}),
+                          std::nullopt),
+            2);
+}
+
+TEST_F(ParticleFilterTest, EffectiveSampleSizeBounded) {
+  ParticleFilter filter(plan_, db_);
+  filter.update(radio::Fingerprint({-40.0, -70.0}), std::nullopt);
+  const double ess = filter.effectiveSampleSize();
+  EXPECT_GT(ess, 0.0);
+  EXPECT_LE(ess, static_cast<double>(filter.particleCount()) + 1e-9);
+}
+
+TEST_F(ParticleFilterTest, DeterministicGivenSeed) {
+  ParticleFilter a(plan_, db_, {}, 7);
+  ParticleFilter b(plan_, db_, {}, 7);
+  const radio::Fingerprint scan({-50.0, -60.0});
+  EXPECT_EQ(a.update(scan, std::nullopt), b.update(scan, std::nullopt));
+  const sensors::MotionMeasurement motion{90.0, 4.0};
+  EXPECT_EQ(a.update(scan, motion), b.update(scan, motion));
+}
+
+TEST_F(ParticleFilterTest, TracksWalkInOfficeHall) {
+  // End to end: the filter follows a real simulated walk with decent
+  // accuracy (not necessarily beating MoLoc, but far above random).
+  eval::WorldConfig config;
+  config.trainingTraces = 2;  // Motion DB unused by the filter.
+  config.legsPerTrainingTrace = 3;
+  eval::ExperimentWorld world(config);
+  const auto& user = world.users().front();
+
+  ParticleFilter filter(world.hall().plan, world.fingerprintDb());
+  eval::ErrorStats stats;
+  for (int t = 0; t < 6; ++t) {
+    const auto trace = world.makeTrace(user, 10, world.evalRng());
+    filter.reset();
+    filter.update(trace.initialScan, std::nullopt);
+    for (const auto& interval : trace.intervals) {
+      const auto motion = world.processInterval(interval, user);
+      const auto fix = filter.update(interval.scanAtArrival, motion);
+      stats.add({fix, interval.toTruth,
+                 world.locationDistance(fix, interval.toTruth)});
+    }
+  }
+  EXPECT_GT(stats.accuracy(), 0.35);
+  EXPECT_LT(stats.meanError(), 4.0);
+}
+
+}  // namespace
+}  // namespace moloc::baseline

@@ -1,0 +1,145 @@
+#include "radio/probabilistic_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace moloc::radio {
+namespace {
+
+std::vector<Fingerprint> samplesAround(double a, double b, double spread,
+                                       int count = 8) {
+  std::vector<Fingerprint> samples;
+  for (int i = 0; i < count; ++i) {
+    const double jitter = spread * (i % 3 - 1);
+    samples.emplace_back(std::vector<double>{a + jitter, b - jitter});
+  }
+  return samples;
+}
+
+ProbabilisticFingerprintDatabase threeLocationDb() {
+  ProbabilisticFingerprintDatabase db;
+  db.addLocation(0, samplesAround(-40.0, -70.0, 2.0));
+  db.addLocation(1, samplesAround(-55.0, -55.0, 2.0));
+  db.addLocation(2, samplesAround(-70.0, -40.0, 2.0));
+  return db;
+}
+
+TEST(ProbabilisticDb, BasicProperties) {
+  const auto db = threeLocationDb();
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.apCount(), 2u);
+  EXPECT_TRUE(db.contains(1));
+  EXPECT_FALSE(db.contains(9));
+  EXPECT_EQ(db.locationIds().size(), 3u);
+}
+
+TEST(ProbabilisticDb, RejectsBadInput) {
+  ProbabilisticFingerprintDatabase db;
+  EXPECT_THROW(db.addLocation(0, {}), std::invalid_argument);
+  db.addLocation(0, samplesAround(-40.0, -70.0, 1.0));
+  EXPECT_THROW(db.addLocation(0, samplesAround(-41.0, -71.0, 1.0)),
+               std::invalid_argument);
+  std::vector<Fingerprint> wrongDim{Fingerprint({-40.0})};
+  EXPECT_THROW(db.addLocation(1, wrongDim), std::invalid_argument);
+}
+
+TEST(ProbabilisticDb, MostLikelyPicksNearestModel) {
+  const auto db = threeLocationDb();
+  EXPECT_EQ(db.mostLikely(Fingerprint({-41.0, -69.0})), 0);
+  EXPECT_EQ(db.mostLikely(Fingerprint({-55.5, -54.0})), 1);
+  EXPECT_EQ(db.mostLikely(Fingerprint({-69.0, -41.0})), 2);
+}
+
+TEST(ProbabilisticDb, LogLikelihoodPeaksAtMean) {
+  const auto db = threeLocationDb();
+  const double atMean = db.logLikelihood(Fingerprint({-40.0, -70.0}), 0);
+  const double offMean = db.logLikelihood(Fingerprint({-45.0, -65.0}), 0);
+  EXPECT_GT(atMean, offMean);
+}
+
+TEST(ProbabilisticDb, SigmaFloorPreventsOverconfidence) {
+  ProbabilisticFingerprintDatabase db;
+  // Identical samples: fitted sigma would be 0 without the floor.
+  std::vector<Fingerprint> identical(6, Fingerprint({-50.0, -60.0}));
+  db.addLocation(0, identical);
+  const double logL = db.logLikelihood(Fingerprint({-51.0, -61.0}), 0);
+  EXPECT_TRUE(std::isfinite(logL));
+}
+
+TEST(ProbabilisticDb, WiderSpreadIsMoreForgiving) {
+  ProbabilisticFingerprintDatabase narrow;
+  narrow.addLocation(0, samplesAround(-50.0, -60.0, 1.5));
+  ProbabilisticFingerprintDatabase wide;
+  wide.addLocation(0, samplesAround(-50.0, -60.0, 6.0));
+  const Fingerprint offset({-58.0, -52.0});
+  EXPECT_GT(wide.logLikelihood(offset, 0),
+            narrow.logLikelihood(offset, 0));
+}
+
+TEST(ProbabilisticDb, QueryProbabilitiesNormalized) {
+  const auto db = threeLocationDb();
+  const auto matches = db.query(Fingerprint({-50.0, -60.0}), 3);
+  ASSERT_EQ(matches.size(), 3u);
+  double total = 0.0;
+  for (const auto& m : matches) {
+    EXPECT_GT(m.probability, 0.0);
+    total += m.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Best first.
+  EXPECT_GE(matches[0].probability, matches[1].probability);
+  EXPECT_GE(matches[1].probability, matches[2].probability);
+}
+
+TEST(ProbabilisticDb, QueryTop1AgreesWithMostLikely) {
+  const auto db = threeLocationDb();
+  for (double x : {-42.0, -52.0, -66.0}) {
+    const Fingerprint probe({x, -55.0});
+    EXPECT_EQ(db.query(probe, 1).front().location, db.mostLikely(probe));
+  }
+}
+
+TEST(ProbabilisticDb, QueryExtremeScanStaysFinite) {
+  const auto db = threeLocationDb();
+  const auto matches = db.query(Fingerprint({-200.0, -200.0}), 3);
+  double total = 0.0;
+  for (const auto& m : matches) {
+    EXPECT_TRUE(std::isfinite(m.probability));
+    total += m.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProbabilisticDb, QueryErrors) {
+  const auto db = threeLocationDb();
+  EXPECT_THROW(db.query(Fingerprint({-40.0, -70.0}), 0),
+               std::invalid_argument);
+  const ProbabilisticFingerprintDatabase empty;
+  EXPECT_THROW(empty.query(Fingerprint({-40.0}), 1), std::logic_error);
+  EXPECT_THROW(empty.mostLikely(Fingerprint({-40.0})), std::logic_error);
+  EXPECT_THROW(db.logLikelihood(Fingerprint({-40.0}), 0),
+               std::invalid_argument);
+  EXPECT_THROW(db.logLikelihood(Fingerprint({-40.0, -70.0}), 9),
+               std::out_of_range);
+}
+
+TEST(ProbabilisticDb, FromSurveyCoversAllLocations) {
+  env::FloorPlan plan(20.0, 10.0);
+  plan.addReferenceLocation({2.0, 5.0});
+  plan.addReferenceLocation({18.0, 5.0});
+  const RadioEnvironment radio(
+      plan, {{0, {1.0, 5.0}}, {1, {19.0, 5.0}}}, PropagationParams{});
+  util::Rng rng(5);
+  const auto survey = conductSurvey(radio, SurveyConfig{}, rng);
+  const auto db = ProbabilisticFingerprintDatabase::fromSurvey(survey);
+  EXPECT_EQ(db.size(), 2u);
+  // A fresh scan at location 0 is most likely location 0.
+  util::Rng queryRng(6);
+  EXPECT_EQ(db.mostLikely(radio.scan({2.0, 5.0}, 0.0, queryRng)), 0);
+}
+
+}  // namespace
+}  // namespace moloc::radio

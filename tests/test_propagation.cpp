@@ -1,0 +1,221 @@
+#include "radio/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/floor_plan.hpp"
+
+namespace moloc::radio {
+namespace {
+
+PropagationParams quietParams() {
+  PropagationParams p;
+  p.shadowingSigmaDb = 0.0;
+  p.temporalSigmaDb = 0.0;
+  p.bodyAttenuationDb = 0.0;
+  p.driftSigmaDb = 0.0;
+  return p;
+}
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  env::FloorPlan plan_{40.0, 16.0};
+  AccessPoint ap_{0, {1.0, 8.0}, -35.0};
+};
+
+TEST_F(PropagationTest, RssDecaysWithDistance) {
+  const LogDistanceModel model(quietParams(), plan_);
+  const double near = model.meanRssDbm(ap_, {3.0, 8.0}, 0.0);
+  const double mid = model.meanRssDbm(ap_, {11.0, 8.0}, 0.0);
+  const double far = model.meanRssDbm(ap_, {31.0, 8.0}, 0.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+}
+
+TEST_F(PropagationTest, FollowsLogDistanceLaw) {
+  auto params = quietParams();
+  params.pathLossExponent = 2.0;
+  const LogDistanceModel model(params, plan_);
+  // Doubling the distance at n=2 costs 10*2*log10(2) ~ 6.02 dB.
+  const double at5 = model.meanRssDbm(ap_, {6.0, 8.0}, 0.0);
+  const double at10 = model.meanRssDbm(ap_, {11.0, 8.0}, 0.0);
+  EXPECT_NEAR(at5 - at10, 20.0 * std::log10(2.0), 1e-9);
+}
+
+TEST_F(PropagationTest, ReferencePowerAtOneMeter) {
+  const LogDistanceModel model(quietParams(), plan_);
+  EXPECT_NEAR(model.meanRssDbm(ap_, {2.0, 8.0}, 0.0), ap_.txPowerDbm,
+              1e-9);
+}
+
+TEST_F(PropagationTest, NearFieldClampedAtHalfMeter) {
+  const LogDistanceModel model(quietParams(), plan_);
+  // Closer than 0.5 m evaluates at 0.5 m -- no singularity at d = 0.
+  const double atAp = model.meanRssDbm(ap_, ap_.pos, 0.0);
+  const double atHalf = model.meanRssDbm(ap_, {1.5, 8.0}, 0.0);
+  const double atOne = model.meanRssDbm(ap_, {2.0, 8.0}, 0.0);
+  EXPECT_DOUBLE_EQ(atAp, atHalf);  // Both clamp to the 0.5 m floor.
+  EXPECT_GT(atHalf, atOne);
+  EXPECT_TRUE(std::isfinite(atAp));
+}
+
+TEST_F(PropagationTest, EachWallCrossingAttenuates) {
+  auto params = quietParams();
+  params.wallAttenuationDb = 5.0;
+  env::FloorPlan walled(40.0, 16.0);
+  walled.addWall({{5.0, 0.0}, {5.0, 16.0}});
+  const LogDistanceModel model(params, walled);
+
+  env::FloorPlan open(40.0, 16.0);
+  const LogDistanceModel openModel(params, open);
+
+  const geometry::Vec2 probe{9.0, 8.0};
+  EXPECT_NEAR(openModel.meanRssDbm(ap_, probe, 0.0) -
+                  model.meanRssDbm(ap_, probe, 0.0),
+              5.0, 1e-9);
+}
+
+TEST_F(PropagationTest, BodyBlockingWorstWhenApBehind) {
+  auto params = quietParams();
+  params.bodyAttenuationDb = 6.0;
+  const LogDistanceModel model(params, plan_);
+  const geometry::Vec2 probe{11.0, 8.0};  // AP due west of the probe.
+  const double facingAp = model.meanRssDbm(ap_, probe, 270.0);
+  const double facingAway = model.meanRssDbm(ap_, probe, 90.0);
+  EXPECT_NEAR(facingAp - facingAway, 6.0, 1e-9);
+}
+
+TEST_F(PropagationTest, ShadowingIsDeterministicPerPosition) {
+  auto params = quietParams();
+  params.shadowingSigmaDb = 3.0;
+  const LogDistanceModel model(params, plan_);
+  const geometry::Vec2 probe{10.0, 5.0};
+  EXPECT_EQ(model.shadowingDb(0, probe), model.shadowingDb(0, probe));
+  EXPECT_EQ(model.meanRssDbm(ap_, probe, 0.0),
+            model.meanRssDbm(ap_, probe, 0.0));
+}
+
+TEST_F(PropagationTest, ShadowingVariesAcrossSpaceAndAps) {
+  auto params = quietParams();
+  params.shadowingSigmaDb = 3.0;
+  const LogDistanceModel model(params, plan_);
+  EXPECT_NE(model.shadowingDb(0, {5.0, 5.0}),
+            model.shadowingDb(0, {25.0, 11.0}));
+  EXPECT_NE(model.shadowingDb(0, {5.0, 5.0}),
+            model.shadowingDb(1, {5.0, 5.0}));
+}
+
+TEST_F(PropagationTest, ShadowingIsSpatiallySmooth) {
+  auto params = quietParams();
+  params.shadowingSigmaDb = 3.0;
+  params.shadowingCellMeters = 3.0;
+  const LogDistanceModel model(params, plan_);
+  // Within a fraction of a cell the field barely moves.
+  const double a = model.shadowingDb(0, {10.0, 5.0});
+  const double b = model.shadowingDb(0, {10.1, 5.0});
+  EXPECT_LT(std::abs(a - b), 1.0);
+}
+
+TEST_F(PropagationTest, ShadowingScalesWithSigma) {
+  auto p1 = quietParams();
+  p1.shadowingSigmaDb = 1.0;
+  auto p2 = quietParams();
+  p2.shadowingSigmaDb = 2.0;
+  const LogDistanceModel m1(p1, plan_);
+  const LogDistanceModel m2(p2, plan_);
+  const geometry::Vec2 probe{13.0, 7.0};
+  EXPECT_NEAR(m2.shadowingDb(0, probe), 2.0 * m1.shadowingDb(0, probe),
+              1e-9);
+}
+
+TEST_F(PropagationTest, DifferentSeedsDifferentFields) {
+  auto p1 = quietParams();
+  p1.shadowingSigmaDb = 3.0;
+  auto p2 = p1;
+  p2.shadowingSeed = 0xabcdef;
+  const LogDistanceModel m1(p1, plan_);
+  const LogDistanceModel m2(p2, plan_);
+  EXPECT_NE(m1.shadowingDb(0, {9.0, 9.0}), m2.shadowingDb(0, {9.0, 9.0}));
+}
+
+TEST_F(PropagationTest, DriftOnlyAffectsServingEpoch) {
+  auto params = quietParams();
+  params.driftSigmaDb = 3.0;
+  const LogDistanceModel model(params, plan_);
+  const geometry::Vec2 probe{17.0, 4.0};
+  const double surveyRss =
+      model.meanRssDbm(ap_, probe, 0.0, Epoch::kSurvey);
+  const double servingRss =
+      model.meanRssDbm(ap_, probe, 0.0, Epoch::kServing);
+  EXPECT_NE(surveyRss, servingRss);
+  EXPECT_NEAR(servingRss - surveyRss, model.driftDb(0, probe), 1e-9);
+}
+
+TEST_F(PropagationTest, ZeroDriftMakesEpochsIdentical) {
+  const LogDistanceModel model(quietParams(), plan_);
+  const geometry::Vec2 probe{17.0, 4.0};
+  EXPECT_EQ(model.meanRssDbm(ap_, probe, 0.0, Epoch::kSurvey),
+            model.meanRssDbm(ap_, probe, 0.0, Epoch::kServing));
+}
+
+TEST_F(PropagationTest, DetectionFloorClamps) {
+  auto params = quietParams();
+  params.detectionFloorDbm = -60.0;
+  params.pathLossExponent = 5.0;
+  const LogDistanceModel model(params, plan_);
+  EXPECT_EQ(model.meanRssDbm(ap_, {39.0, 15.0}, 0.0), -60.0);
+}
+
+TEST_F(PropagationTest, TemporalNoiseAveragesToMean) {
+  auto params = quietParams();
+  params.temporalSigmaDb = 4.0;
+  const LogDistanceModel model(params, plan_);
+  util::Rng rng(5);
+  const geometry::Vec2 probe{15.0, 8.0};
+  const double mean = model.meanRssDbm(ap_, probe, 0.0);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    sum += model.sampleRssDbm(ap_, probe, 0.0, rng);
+  EXPECT_NEAR(sum / n, mean, 0.25);
+}
+
+TEST_F(PropagationTest, SampleNeverBelowFloor) {
+  auto params = quietParams();
+  params.temporalSigmaDb = 30.0;
+  params.detectionFloorDbm = -100.0;
+  const LogDistanceModel model(params, plan_);
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_GE(model.sampleRssDbm(ap_, {39.0, 15.0}, 0.0, rng), -100.0);
+}
+
+/// Shadowing field statistics: roughly zero-mean, roughly unit-sigma
+/// (scaled), over many independent positions.
+TEST_F(PropagationTest, ShadowingFieldStatistics) {
+  auto params = quietParams();
+  params.shadowingSigmaDb = 2.0;
+  const LogDistanceModel model(params, plan_);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  int n = 0;
+  for (double x = 1.0; x < 40.0; x += 1.7) {
+    for (double y = 1.0; y < 16.0; y += 1.3) {
+      const double s = model.shadowingDb(0, {x, y});
+      sum += s;
+      sumSq += s * s;
+      ++n;
+    }
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  // Bilinear interpolation shrinks pointwise variance below the lattice
+  // sigma; accept a broad band.
+  EXPECT_GT(std::sqrt(var), 0.8);
+  EXPECT_LT(std::sqrt(var), 2.5);
+}
+
+}  // namespace
+}  // namespace moloc::radio

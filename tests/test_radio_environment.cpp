@@ -1,0 +1,95 @@
+#include "radio/radio_environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::radio {
+namespace {
+
+PropagationParams quietParams() {
+  PropagationParams p;
+  p.shadowingSigmaDb = 0.0;
+  p.temporalSigmaDb = 0.0;
+  p.bodyAttenuationDb = 0.0;
+  p.driftSigmaDb = 0.0;
+  return p;
+}
+
+class RadioEnvironmentTest : public ::testing::Test {
+ protected:
+  env::FloorPlan plan_{20.0, 10.0};
+  std::vector<AccessPoint> aps_{{0, {1.0, 5.0}}, {1, {19.0, 5.0}}};
+};
+
+TEST_F(RadioEnvironmentTest, RejectsNoAps) {
+  EXPECT_THROW(RadioEnvironment(plan_, {}, quietParams()),
+               std::invalid_argument);
+}
+
+TEST_F(RadioEnvironmentTest, ScanHasOneValuePerAp) {
+  const RadioEnvironment radio(plan_, aps_, quietParams());
+  util::Rng rng(1);
+  const auto fp = radio.scan({10.0, 5.0}, 0.0, rng);
+  EXPECT_EQ(fp.size(), 2u);
+  EXPECT_EQ(radio.apCount(), 2u);
+}
+
+TEST_F(RadioEnvironmentTest, ExpectedFingerprintIsDeterministic) {
+  const RadioEnvironment radio(plan_, aps_, quietParams());
+  const auto a = radio.expectedFingerprint({10.0, 5.0}, 0.0);
+  const auto b = radio.expectedFingerprint({10.0, 5.0}, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(RadioEnvironmentTest, NoiselessScanEqualsExpected) {
+  const RadioEnvironment radio(plan_, aps_, quietParams());
+  util::Rng rng(2);
+  const auto scan = radio.scan({7.0, 3.0}, 90.0, rng);
+  const auto expected = radio.expectedFingerprint({7.0, 3.0}, 90.0);
+  for (std::size_t i = 0; i < scan.size(); ++i)
+    EXPECT_DOUBLE_EQ(scan[i], expected[i]);
+}
+
+TEST_F(RadioEnvironmentTest, ProximityOrdersRss) {
+  const RadioEnvironment radio(plan_, aps_, quietParams());
+  const auto nearAp0 = radio.expectedFingerprint({3.0, 5.0}, 0.0);
+  EXPECT_GT(nearAp0[0], nearAp0[1]);
+  const auto nearAp1 = radio.expectedFingerprint({17.0, 5.0}, 0.0);
+  EXPECT_LT(nearAp1[0], nearAp1[1]);
+}
+
+TEST_F(RadioEnvironmentTest, NoisyScansDiffer) {
+  auto params = quietParams();
+  params.temporalSigmaDb = 4.0;
+  const RadioEnvironment radio(plan_, aps_, params);
+  util::Rng rng(3);
+  const auto a = radio.scan({10.0, 5.0}, 0.0, rng);
+  const auto b = radio.scan({10.0, 5.0}, 0.0, rng);
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST_F(RadioEnvironmentTest, EpochSelectsDrift) {
+  auto params = quietParams();
+  params.driftSigmaDb = 4.0;
+  const RadioEnvironment radio(plan_, aps_, params);
+  const auto survey =
+      radio.expectedFingerprint({10.0, 5.0}, 0.0, Epoch::kSurvey);
+  const auto serving =
+      radio.expectedFingerprint({10.0, 5.0}, 0.0, Epoch::kServing);
+  EXPECT_NE(survey[0], serving[0]);
+}
+
+TEST_F(RadioEnvironmentTest, SameSeedSameScan) {
+  auto params = quietParams();
+  params.temporalSigmaDb = 4.0;
+  const RadioEnvironment radio(plan_, aps_, params);
+  util::Rng rngA(7);
+  util::Rng rngB(7);
+  const auto a = radio.scan({4.0, 4.0}, 45.0, rngA);
+  const auto b = radio.scan({4.0, 4.0}, 45.0, rngB);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace moloc::radio

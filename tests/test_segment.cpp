@@ -1,0 +1,94 @@
+#include "geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace moloc::geometry {
+namespace {
+
+TEST(Segment, LengthMidpointPointAt) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 4.0);
+  EXPECT_EQ(s.midpoint(), (Vec2{2.0, 0.0}));
+  EXPECT_EQ(s.pointAt(0.25), (Vec2{1.0, 0.0}));
+}
+
+TEST(Segment, ProperCrossingIntersects) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, ParallelDisjointDoNotIntersect) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {2.0, 1.0}};
+  EXPECT_FALSE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, TouchingEndpointsIntersect) {
+  const Segment a{{0.0, 0.0}, {1.0, 1.0}};
+  const Segment b{{1.0, 1.0}, {2.0, 0.0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, TJunctionIntersects) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, -1.0}, {1.0, 0.0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, CollinearOverlappingIntersect) {
+  const Segment a{{0.0, 0.0}, {3.0, 0.0}};
+  const Segment b{{2.0, 0.0}, {5.0, 0.0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, CollinearDisjointDoNotIntersect) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_FALSE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, NearMissDoesNotIntersect) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.5, 0.001}, {0.5, 1.0}};
+  EXPECT_FALSE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, IntersectionIsSymmetric) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_EQ(segmentsIntersect(a, b), segmentsIntersect(b, a));
+  const Segment c{{5.0, 5.0}, {6.0, 6.0}};
+  EXPECT_EQ(segmentsIntersect(a, c), segmentsIntersect(c, a));
+}
+
+TEST(Segment, CountCrossings) {
+  const std::vector<Segment> walls{
+      {{1.0, -1.0}, {1.0, 1.0}},
+      {{2.0, -1.0}, {2.0, 1.0}},
+      {{3.0, 5.0}, {4.0, 5.0}},  // Far away.
+  };
+  EXPECT_EQ(countCrossings({0.0, 0.0}, {2.5, 0.0}, walls), 2);
+  EXPECT_EQ(countCrossings({0.0, 0.0}, {0.5, 0.0}, walls), 0);
+}
+
+TEST(Segment, DistanceToSegmentInterior) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({2.0, 3.0}, s), 3.0);
+}
+
+TEST(Segment, DistanceToSegmentClampsToEndpoints) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({-3.0, 4.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(distanceToSegment({7.0, 4.0}, s), 5.0);
+}
+
+TEST(Segment, DistanceToDegenerateSegment) {
+  const Segment point{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({4.0, 5.0}, point), 5.0);
+}
+
+}  // namespace
+}  // namespace moloc::geometry

@@ -1,0 +1,108 @@
+#include "radio/site_survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace moloc::radio {
+namespace {
+
+class SiteSurveyTest : public ::testing::Test {
+ protected:
+  SiteSurveyTest() {
+    plan_.addReferenceLocation({2.0, 5.0});
+    plan_.addReferenceLocation({10.0, 5.0});
+    plan_.addReferenceLocation({18.0, 5.0});
+    radio_ = std::make_unique<RadioEnvironment>(
+        plan_, std::vector<AccessPoint>{{0, {1.0, 5.0}}, {1, {19.0, 5.0}}},
+        PropagationParams{});
+  }
+
+  env::FloorPlan plan_{20.0, 10.0};
+  std::unique_ptr<RadioEnvironment> radio_;
+};
+
+TEST_F(SiteSurveyTest, DefaultConfigMatchesPaperProtocol) {
+  const SurveyConfig config;
+  EXPECT_EQ(config.samplesPerLocation, 60);
+  EXPECT_EQ(config.trainPerLocation, 40);
+  EXPECT_EQ(config.motionPerLocation, 10);
+  EXPECT_EQ(config.testPerLocation, 10);
+}
+
+TEST_F(SiteSurveyTest, PartitionSizesRespected) {
+  util::Rng rng(1);
+  const auto data = conductSurvey(*radio_, SurveyConfig{}, rng);
+  ASSERT_EQ(data.samples.size(), 3u);
+  for (const auto& loc : data.samples) {
+    EXPECT_EQ(loc.train.size(), 40u);
+    EXPECT_EQ(loc.motionEstimate.size(), 10u);
+    EXPECT_EQ(loc.test.size(), 10u);
+  }
+}
+
+TEST_F(SiteSurveyTest, RejectsInconsistentSplit) {
+  SurveyConfig config;
+  config.samplesPerLocation = 50;  // 40 + 10 + 10 != 50.
+  util::Rng rng(1);
+  EXPECT_THROW(conductSurvey(*radio_, config, rng),
+               std::invalid_argument);
+}
+
+TEST_F(SiteSurveyTest, RejectsZeroTrainPartition) {
+  SurveyConfig config;
+  config.samplesPerLocation = 20;
+  config.trainPerLocation = 0;
+  config.motionPerLocation = 10;
+  config.testPerLocation = 10;
+  util::Rng rng(1);
+  EXPECT_THROW(conductSurvey(*radio_, config, rng),
+               std::invalid_argument);
+}
+
+TEST_F(SiteSurveyTest, DatabaseHoldsEveryLocation) {
+  util::Rng rng(2);
+  const auto data = conductSurvey(*radio_, SurveyConfig{}, rng);
+  const auto db = data.buildDatabase();
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.apCount(), 2u);
+  for (int id = 0; id < 3; ++id) EXPECT_TRUE(db.contains(id));
+}
+
+TEST_F(SiteSurveyTest, RadioMapSeparatesDistantLocations) {
+  util::Rng rng(3);
+  const auto data = conductSurvey(*radio_, SurveyConfig{}, rng);
+  const auto db = data.buildDatabase();
+  // The location near AP 0 must be closer (in fingerprint space) to a
+  // fresh scan at itself than to the far location's entry.
+  util::Rng queryRng(4);
+  const auto probe = radio_->scan({2.0, 5.0}, 0.0, queryRng);
+  EXPECT_EQ(db.nearest(probe), 0);
+}
+
+TEST_F(SiteSurveyTest, DeterministicGivenSeed) {
+  util::Rng rngA(9);
+  util::Rng rngB(9);
+  const auto dataA = conductSurvey(*radio_, SurveyConfig{}, rngA);
+  const auto dataB = conductSurvey(*radio_, SurveyConfig{}, rngB);
+  EXPECT_EQ(dataA.samples[1].train[0][0], dataB.samples[1].train[0][0]);
+  EXPECT_EQ(dataA.samples[2].test[5][1], dataB.samples[2].test[5][1]);
+}
+
+TEST_F(SiteSurveyTest, SmallCustomSplit) {
+  SurveyConfig config;
+  config.samplesPerLocation = 8;
+  config.trainPerLocation = 4;
+  config.motionPerLocation = 2;
+  config.testPerLocation = 2;
+  util::Rng rng(5);
+  const auto data = conductSurvey(*radio_, config, rng);
+  for (const auto& loc : data.samples) {
+    EXPECT_EQ(loc.train.size(), 4u);
+    EXPECT_EQ(loc.motionEstimate.size(), 2u);
+    EXPECT_EQ(loc.test.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace moloc::radio

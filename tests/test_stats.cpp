@@ -1,0 +1,195 @@
+#include "util/stats.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace moloc::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known sample: mean 5, sum of squared deviations 32, n-1 = 7.
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_EQ(maxValue(xs), 7.0);
+  EXPECT_EQ(minValue(xs), -1.0);
+  EXPECT_EQ(maxValue({}), 0.0);
+  EXPECT_EQ(minValue({}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 2.0);
+}
+
+TEST(Stats, FractionBelow) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fractionBelow(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fractionBelow(xs, 1.0), 0.0);  // strictly below
+  EXPECT_DOUBLE_EQ(fractionBelow(xs, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fractionBelow({}, 1.0), 0.0);
+}
+
+TEST(Stats, EmpiricalCdfIsSortedAndEndsAtOne) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const auto cdf = empiricalCdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative, cdf[i].cumulative);
+  }
+}
+
+TEST(Stats, SampledCdfDownsamples) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto cdf = sampledCdf(xs, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 999.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(Stats, SampledCdfReturnsFullWhenSmall) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(sampledCdf(xs, 10).size(), 2u);
+}
+
+TEST(RunningStats, MatchesBatchStats) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_EQ(rs.min(), 2.0);
+}
+
+TEST(RunningStats, EmptyIsAllZero) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats rs;
+  rs.add(-5.0);
+  rs.add(-1.0);
+  EXPECT_EQ(rs.min(), -5.0);
+  EXPECT_EQ(rs.max(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), -3.0);
+}
+
+TEST(BootstrapCi, DegenerateInputs) {
+  Rng rng(1);
+  const auto empty = bootstrapMeanCi({}, 0.95, 100, rng);
+  EXPECT_EQ(empty.estimate, 0.0);
+  EXPECT_EQ(empty.lower, empty.upper);
+
+  const std::vector<double> one{5.0};
+  const auto single = bootstrapMeanCi(one, 0.95, 100, rng);
+  EXPECT_EQ(single.estimate, 5.0);
+  EXPECT_EQ(single.lower, 5.0);
+  EXPECT_EQ(single.upper, 5.0);
+}
+
+TEST(BootstrapCi, BracketsTheMean) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrapMeanCi(xs, 0.95, 2000, rng);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 10.0, 0.5);
+  // Width roughly 2 * 1.96 * sigma / sqrt(n) ~ 0.55.
+  EXPECT_GT(ci.upper - ci.lower, 0.2);
+  EXPECT_LT(ci.upper - ci.lower, 1.2);
+}
+
+TEST(BootstrapCi, HigherConfidenceIsWider) {
+  Rng rngData(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rngData.normal(0.0, 1.0));
+  Rng rngA(4);
+  Rng rngB(4);
+  const auto narrow = bootstrapMeanCi(xs, 0.5, 2000, rngA);
+  const auto wide = bootstrapMeanCi(xs, 0.99, 2000, rngB);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(BootstrapCi, ConstantSampleHasZeroWidth) {
+  Rng rng(5);
+  const std::vector<double> xs(50, 3.25);
+  const auto ci = bootstrapMeanCi(xs, 0.95, 500, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 3.25);
+  EXPECT_DOUBLE_EQ(ci.upper, 3.25);
+}
+
+/// Property sweep: percentile is monotone in its argument.
+class PercentileMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneNonDecreasing) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  const double p = GetParam();
+  EXPECT_LE(percentile(xs, p), percentile(xs, p + 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotoneTest,
+                         ::testing::Values(0.0, 10.0, 25.0, 40.0, 50.0,
+                                           65.0, 80.0, 90.0));
+
+}  // namespace
+}  // namespace moloc::util

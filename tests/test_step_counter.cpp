@@ -1,0 +1,102 @@
+#include "sensors/step_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace moloc::sensors {
+namespace {
+
+std::vector<double> evenStepTimes(int k, double period, double first) {
+  std::vector<double> times;
+  for (int i = 0; i < k; ++i) times.push_back(first + i * period);
+  return times;
+}
+
+TEST(StepCounter, DscCountsPeaksOnly) {
+  const auto times = evenStepTimes(7, 0.5, 0.2);
+  const auto count = discreteStepCount(times);
+  EXPECT_EQ(count.integralSteps, 7);
+  EXPECT_DOUBLE_EQ(count.decimalSteps, 0.0);
+  EXPECT_DOUBLE_EQ(count.totalSteps(), 7.0);
+}
+
+TEST(StepCounter, DscEmpty) {
+  const auto count = discreteStepCount({});
+  EXPECT_EQ(count.integralSteps, 0);
+  EXPECT_DOUBLE_EQ(count.totalSteps(), 0.0);
+}
+
+TEST(StepCounter, CscRecoversOddTime) {
+  // 5 steps at 0.5 s period, first peak at 0.25 s; the interval lasts
+  // 3.0 s.  Peak span = 2.0 s, period = 0.5, whole steps cover 2.5 s,
+  // odd time = 0.5 s -> one extra decimal step.
+  const auto times = evenStepTimes(5, 0.5, 0.25);
+  const auto count = continuousStepCount(times, 3.0);
+  EXPECT_EQ(count.integralSteps, 5);
+  EXPECT_NEAR(count.decimalSteps, 1.0, 1e-12);
+  EXPECT_NEAR(count.totalSteps(), 6.0, 1e-12);
+}
+
+TEST(StepCounter, CscNoOddTimeWhenIntervalCovered) {
+  const auto times = evenStepTimes(5, 0.5, 0.0);
+  // Whole steps cover 5 * 0.5 = 2.5 s; the interval is exactly that.
+  const auto count = continuousStepCount(times, 2.5);
+  EXPECT_NEAR(count.decimalSteps, 0.0, 1e-12);
+}
+
+TEST(StepCounter, CscClampsNegativeOddTime) {
+  const auto times = evenStepTimes(5, 0.5, 0.0);
+  const auto count = continuousStepCount(times, 1.0);  // Shorter span.
+  EXPECT_GE(count.decimalSteps, 0.0);
+}
+
+TEST(StepCounter, CscDegradesToDscBelowTwoSteps) {
+  const std::vector<double> one{0.4};
+  const auto count = continuousStepCount(one, 3.0);
+  EXPECT_EQ(count.integralSteps, 1);
+  EXPECT_DOUBLE_EQ(count.decimalSteps, 0.0);
+
+  const auto empty = continuousStepCount({}, 3.0);
+  EXPECT_EQ(empty.integralSteps, 0);
+}
+
+TEST(StepCounter, CscHandlesCoincidentPeaks) {
+  // Degenerate zero span must not divide by zero.
+  const std::vector<double> same{1.0, 1.0, 1.0};
+  const auto count = continuousStepCount(same, 3.0);
+  EXPECT_EQ(count.integralSteps, 3);
+  EXPECT_DOUBLE_EQ(count.decimalSteps, 0.0);
+}
+
+TEST(StepCounter, CscAlwaysAtLeastDsc) {
+  // The paper's point: DSC misses the odd time; CSC never counts fewer.
+  for (double first : {0.0, 0.1, 0.3}) {
+    for (double duration : {2.4, 3.0, 3.6}) {
+      const auto times = evenStepTimes(4, 0.55, first);
+      const auto dsc = discreteStepCount(times);
+      const auto csc = continuousStepCount(times, duration);
+      EXPECT_GE(csc.totalSteps(), dsc.totalSteps());
+    }
+  }
+}
+
+/// Parameterized odd-time sweep: CSC recovers fractional steps with the
+/// correct magnitude for any odd time within one period.
+class OddTimeSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OddTimeSweepTest, DecimalMatchesOddTime) {
+  const double period = 0.5;
+  const double oddTime = GetParam();
+  const auto times = evenStepTimes(6, period, 0.0);
+  const double covered = 6 * period;
+  const auto count = continuousStepCount(times, covered + oddTime);
+  EXPECT_NEAR(count.decimalSteps, oddTime / period, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OddTimeSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.25, 0.35,
+                                           0.49));
+
+}  // namespace
+}  // namespace moloc::sensors

@@ -1,0 +1,53 @@
+#include "sensors/step_length.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moloc::sensors {
+namespace {
+
+TEST(StepLength, ScalesWithHeight) {
+  EXPECT_LT(estimateStepLength(1.55, 70.0), estimateStepLength(1.90, 70.0));
+}
+
+TEST(StepLength, ReferenceRatio) {
+  // At the 70 kg reference the estimate is exactly 0.41 x height.
+  EXPECT_NEAR(estimateStepLength(1.70, 70.0), 0.41 * 1.70, 1e-12);
+}
+
+TEST(StepLength, HeavierGaitSlightlyShorter) {
+  EXPECT_LT(estimateStepLength(1.75, 95.0), estimateStepLength(1.75, 70.0));
+  EXPECT_GT(estimateStepLength(1.75, 50.0), estimateStepLength(1.75, 70.0));
+}
+
+TEST(StepLength, PlausibleHumanRange) {
+  for (double h : {1.5, 1.6, 1.7, 1.8, 1.9, 2.0}) {
+    for (double w : {50.0, 70.0, 90.0}) {
+      const double step = estimateStepLength(h, w);
+      EXPECT_GT(step, 0.5);
+      EXPECT_LT(step, 0.95);
+    }
+  }
+}
+
+TEST(StepLength, ClampsAbsurdInputs) {
+  // Crowdsourced profile data can be garbage; the estimate must stay
+  // within the clamped envelope rather than extrapolate.
+  EXPECT_EQ(estimateStepLength(0.3, 70.0),
+            estimateStepLength(kMinHeightMeters, 70.0));
+  EXPECT_EQ(estimateStepLength(4.0, 70.0),
+            estimateStepLength(kMaxHeightMeters, 70.0));
+  EXPECT_EQ(estimateStepLength(1.7, 5.0),
+            estimateStepLength(1.7, kMinWeightKg));
+  EXPECT_EQ(estimateStepLength(1.7, 900.0),
+            estimateStepLength(1.7, kMaxWeightKg));
+}
+
+TEST(StepLength, WeightCorrectionBounded) {
+  // The weight factor never moves the estimate more than 10 %.
+  const double base = 0.41 * 1.75;
+  EXPECT_GE(estimateStepLength(1.75, kMaxWeightKg), base * 0.9 - 1e-12);
+  EXPECT_LE(estimateStepLength(1.75, kMinWeightKg), base * 1.1 + 1e-12);
+}
+
+}  // namespace
+}  // namespace moloc::sensors

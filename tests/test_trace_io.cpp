@@ -1,0 +1,154 @@
+#include "io/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "eval/experiment_world.hpp"
+
+namespace moloc::io {
+namespace {
+
+/// A real simulated trace from a reduced world.
+traj::Trace sampleTrace(int legs = 4) {
+  eval::WorldConfig config;
+  config.trainingTraces = 2;
+  config.legsPerTrainingTrace = 3;
+  static eval::ExperimentWorld world(config);
+  return world.makeTrace(world.users().front(), legs, world.evalRng());
+}
+
+void expectTracesEqual(const traj::Trace& a, const traj::Trace& b) {
+  EXPECT_EQ(a.user.name, b.user.name);
+  EXPECT_EQ(a.user.heightMeters, b.user.heightMeters);
+  EXPECT_EQ(a.user.trueStepLengthMeters, b.user.trueStepLengthMeters);
+  EXPECT_EQ(a.compassBiasDeg, b.compassBiasDeg);
+  EXPECT_EQ(a.startTruth, b.startTruth);
+  ASSERT_EQ(a.initialScan.size(), b.initialScan.size());
+  for (std::size_t i = 0; i < a.initialScan.size(); ++i)
+    EXPECT_EQ(a.initialScan[i], b.initialScan[i]);
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    const auto& ia = a.intervals[i];
+    const auto& ib = b.intervals[i];
+    EXPECT_EQ(ia.fromTruth, ib.fromTruth);
+    EXPECT_EQ(ia.toTruth, ib.toTruth);
+    EXPECT_EQ(ia.trueDirectionDeg, ib.trueDirectionDeg);
+    EXPECT_EQ(ia.trueOffsetMeters, ib.trueOffsetMeters);
+    ASSERT_EQ(ia.imu.size(), ib.imu.size());
+    EXPECT_EQ(ia.imu.sampleRateHz(), ib.imu.sampleRateHz());
+    for (std::size_t s = 0; s < ia.imu.size(); ++s) {
+      EXPECT_EQ(ia.imu[s].t, ib.imu[s].t);
+      EXPECT_EQ(ia.imu[s].accelMagnitude, ib.imu[s].accelMagnitude);
+      EXPECT_EQ(ia.imu[s].compassDeg, ib.imu[s].compassDeg);
+      EXPECT_EQ(ia.imu[s].gyroRateDegPerSec, ib.imu[s].gyroRateDegPerSec);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripsSingleTrace) {
+  const auto trace = sampleTrace();
+  std::stringstream stream;
+  saveTrace(trace, stream);
+  const auto restored = loadTrace(stream);
+  expectTracesEqual(trace, restored);
+}
+
+TEST(TraceIo, RoundTripsZeroLegTrace) {
+  const auto trace = sampleTrace(0);
+  std::stringstream stream;
+  saveTrace(trace, stream);
+  const auto restored = loadTrace(stream);
+  EXPECT_TRUE(restored.intervals.empty());
+  EXPECT_EQ(restored.startTruth, trace.startTruth);
+}
+
+TEST(TraceIo, RoundTripsTraceCollection) {
+  std::vector<traj::Trace> traces{sampleTrace(3), sampleTrace(5),
+                                  sampleTrace(0)};
+  const std::string path = ::testing::TempDir() + "moloc_traces.txt";
+  saveTraces(traces, path);
+  const auto restored = loadTraces(path);
+  ASSERT_EQ(restored.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    expectTracesEqual(traces[i], restored[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayProducesIdenticalLocalization) {
+  // The point of trace persistence: re-running a loaded trace through
+  // the engine gives bit-identical fixes.
+  eval::WorldConfig config;
+  config.trainingTraces = 20;
+  config.legsPerTrainingTrace = 10;
+  eval::ExperimentWorld world(config);
+  const auto& user = world.users().front();
+  const auto trace = world.makeTrace(user, 6, world.evalRng());
+
+  std::stringstream stream;
+  saveTrace(trace, stream);
+  const auto replayed = loadTrace(stream);
+
+  auto engineLive = world.makeEngine();
+  auto engineReplay = world.makeEngine();
+  EXPECT_EQ(engineLive.localize(trace.initialScan, std::nullopt).location,
+            engineReplay.localize(replayed.initialScan, std::nullopt)
+                .location);
+  for (std::size_t i = 0; i < trace.intervals.size(); ++i) {
+    const auto live = engineLive.localize(
+        trace.intervals[i].scanAtArrival,
+        world.processInterval(trace.intervals[i], user));
+    const auto replay = engineReplay.localize(
+        replayed.intervals[i].scanAtArrival,
+        world.processInterval(replayed.intervals[i], replayed.user));
+    EXPECT_EQ(live.location, replay.location);
+    EXPECT_EQ(live.probability, replay.probability);
+  }
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream stream("not-a-trace\n");
+  EXPECT_THROW(loadTrace(stream), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  std::stringstream stream("moloc-trace v1\nuser bob 1.8 80 0.7 1.8\n");
+  EXPECT_THROW(loadTrace(stream), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsScanDimensionMismatch) {
+  std::stringstream stream(
+      "moloc-trace v1\n"
+      "user bob 1.8 80 0.7 1.8\n"
+      "compass_bias 0\n"
+      "start 0\n"
+      "initial_scan -40 -50\n"
+      "interval 0 1 90 4\n"
+      "scan -40\n"  // One RSS value instead of two.
+      "imu 50 0\n");
+  EXPECT_THROW(loadTrace(stream), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadImuHeader) {
+  std::stringstream stream(
+      "moloc-trace v1\n"
+      "user bob 1.8 80 0.7 1.8\n"
+      "compass_bias 0\n"
+      "start 0\n"
+      "initial_scan -40 -50\n"
+      "interval 0 1 90 4\n"
+      "scan -40 -50\n"
+      "imu 0 0\n");  // Zero sample rate.
+  EXPECT_THROW(loadTrace(stream), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(loadTraces("/nonexistent/traces.txt"),
+               std::runtime_error);
+  EXPECT_THROW(saveTraces({}, "/nonexistent/traces.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moloc::io

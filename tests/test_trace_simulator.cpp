@@ -1,0 +1,133 @@
+#include "traj/trace_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "env/office_hall.hpp"
+#include "geometry/angles.hpp"
+#include "sensors/motion_processor.hpp"
+
+namespace moloc::traj {
+namespace {
+
+class TraceSimulatorTest : public ::testing::Test {
+ protected:
+  TraceSimulatorTest() {
+    radio_ = std::make_unique<radio::RadioEnvironment>(
+        hall_.plan,
+        std::vector<radio::AccessPoint>{{0, hall_.apPositions[0]},
+                                        {1, hall_.apPositions[3]}},
+        radio::PropagationParams{});
+    sim_ = std::make_unique<TraceSimulator>(*radio_, hall_.graph);
+  }
+
+  env::OfficeHall hall_ = env::makeOfficeHall();
+  std::unique_ptr<radio::RadioEnvironment> radio_;
+  std::unique_ptr<TraceSimulator> sim_;
+  UserProfile user_ = makeDefaultUsers().front();
+};
+
+TEST_F(TraceSimulatorTest, RejectsEmptyRoute) {
+  util::Rng rng(1);
+  EXPECT_THROW(sim_->simulate(user_, {}, rng), std::invalid_argument);
+}
+
+TEST_F(TraceSimulatorTest, RejectsNonAdjacentLegs) {
+  util::Rng rng(1);
+  EXPECT_THROW(sim_->simulate(user_, {0, 27}, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TraceSimulatorTest, SingleNodeRouteHasOnlyInitialScan) {
+  util::Rng rng(2);
+  const auto trace = sim_->simulate(user_, {5}, rng);
+  EXPECT_EQ(trace.startTruth, 5);
+  EXPECT_EQ(trace.intervals.size(), 0u);
+  EXPECT_EQ(trace.initialScan.size(), 2u);
+}
+
+TEST_F(TraceSimulatorTest, IntervalsMatchRouteLegs) {
+  util::Rng rng(3);
+  const auto trace = sim_->simulate(user_, {0, 1, 2, 3}, rng);
+  ASSERT_EQ(trace.intervals.size(), 3u);
+  EXPECT_EQ(trace.intervals[0].fromTruth, 0);
+  EXPECT_EQ(trace.intervals[0].toTruth, 1);
+  EXPECT_EQ(trace.intervals[2].fromTruth, 2);
+  EXPECT_EQ(trace.intervals[2].toTruth, 3);
+}
+
+TEST_F(TraceSimulatorTest, GroundTruthRlmsMatchGraph) {
+  util::Rng rng(4);
+  const auto trace = sim_->simulate(user_, {0, 1, 8}, rng);
+  const auto leg0 = hall_.graph.groundTruthRlm(0, 1);
+  EXPECT_DOUBLE_EQ(trace.intervals[0].trueDirectionDeg,
+                   leg0->directionDeg);
+  EXPECT_DOUBLE_EQ(trace.intervals[0].trueOffsetMeters,
+                   leg0->offsetMeters);
+}
+
+TEST_F(TraceSimulatorTest, ImuDurationMatchesLegAtUserSpeed) {
+  util::Rng rng(5);
+  const auto trace = sim_->simulate(user_, {0, 1}, rng);
+  const double expected =
+      trace.intervals[0].trueOffsetMeters / user_.speedMps();
+  EXPECT_NEAR(trace.intervals[0].imu.duration(), expected, 0.05);
+}
+
+TEST_F(TraceSimulatorTest, MotionProcessingRecoversLegRlm) {
+  util::Rng rng(6);
+  const auto trace = sim_->simulate(user_, {0, 1, 2, 3}, rng);
+  const sensors::MotionProcessor processor;
+  for (const auto& interval : trace.intervals) {
+    const auto motion = processor.process(
+        interval.imu, user_.estimatedStepLengthMeters());
+    ASSERT_TRUE(motion.has_value());
+    EXPECT_LT(geometry::angularDistDeg(motion->directionDeg,
+                                       interval.trueDirectionDeg),
+              20.0);
+    EXPECT_NEAR(motion->offsetMeters, interval.trueOffsetMeters, 1.5);
+  }
+}
+
+TEST_F(TraceSimulatorTest, ScansHaveApDimension) {
+  util::Rng rng(7);
+  const auto trace = sim_->simulate(user_, {0, 1, 2}, rng);
+  EXPECT_EQ(trace.initialScan.size(), 2u);
+  for (const auto& interval : trace.intervals)
+    EXPECT_EQ(interval.scanAtArrival.size(), 2u);
+}
+
+TEST_F(TraceSimulatorTest, CompassBiasIsPerTrace) {
+  util::Rng rng(8);
+  const auto a = sim_->simulate(user_, {0, 1}, rng);
+  const auto b = sim_->simulate(user_, {0, 1}, rng);
+  EXPECT_NE(a.compassBiasDeg, b.compassBiasDeg);
+}
+
+TEST_F(TraceSimulatorTest, Deterministic) {
+  util::Rng rngA(9);
+  util::Rng rngB(9);
+  const auto a = sim_->simulate(user_, {0, 1, 2}, rngA);
+  const auto b = sim_->simulate(user_, {0, 1, 2}, rngB);
+  EXPECT_EQ(a.compassBiasDeg, b.compassBiasDeg);
+  EXPECT_EQ(a.initialScan[0], b.initialScan[0]);
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  EXPECT_EQ(a.intervals[1].imu.size(), b.intervals[1].imu.size());
+  EXPECT_EQ(a.intervals[1].scanAtArrival[1],
+            b.intervals[1].scanAtArrival[1]);
+}
+
+TEST_F(TraceSimulatorTest, FasterUserProducesShorterTraces) {
+  util::Rng rngA(10);
+  util::Rng rngB(10);
+  UserProfile fast = user_;
+  fast.cadenceHz = 2.1;
+  fast.trueStepLengthMeters = 0.8;
+  const auto slow = sim_->simulate(user_, {0, 1}, rngA);
+  const auto quick = sim_->simulate(fast, {0, 1}, rngB);
+  EXPECT_GT(slow.intervals[0].imu.size(), quick.intervals[0].imu.size());
+}
+
+}  // namespace
+}  // namespace moloc::traj

@@ -1,0 +1,117 @@
+#include "traj/trajectory_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "env/office_hall.hpp"
+
+namespace moloc::traj {
+namespace {
+
+class TrajectoryTest : public ::testing::Test {
+ protected:
+  env::OfficeHall hall_ = env::makeOfficeHall();
+};
+
+TEST_F(TrajectoryTest, WalkHasRequestedLegs) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(1);
+  const auto walk = gen.randomWalk(0, 15, rng);
+  EXPECT_EQ(walk.size(), 16u);
+  EXPECT_EQ(walk.front(), 0);
+}
+
+TEST_F(TrajectoryTest, ConsecutiveNodesAreAdjacent) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(2);
+  const auto walk = gen.randomWalk(5, 40, rng);
+  for (std::size_t i = 1; i < walk.size(); ++i)
+    EXPECT_TRUE(hall_.graph.adjacent(walk[i - 1], walk[i]))
+        << "leg " << i << ": " << walk[i - 1] << " -> " << walk[i];
+}
+
+TEST_F(TrajectoryTest, ZeroLegsIsJustStart) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(3);
+  const auto walk = gen.randomWalk(9, 0, rng);
+  EXPECT_EQ(walk, (std::vector<env::LocationId>{9}));
+}
+
+TEST_F(TrajectoryTest, RandomStartCoversManyNodes) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(4);
+  std::set<env::LocationId> starts;
+  for (int i = 0; i < 300; ++i) starts.insert(gen.randomWalk(3, rng)[0]);
+  EXPECT_GT(starts.size(), 20u);  // Of 28 locations.
+}
+
+TEST_F(TrajectoryTest, LongWalkCoversWholeHall) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(5);
+  std::set<env::LocationId> visited;
+  const auto walk = gen.randomWalk(0, 600, rng);
+  for (const auto node : walk) visited.insert(node);
+  EXPECT_EQ(visited.size(), hall_.graph.nodeCount());
+}
+
+TEST_F(TrajectoryTest, UturnsAreRare) {
+  TrajectoryParams params;
+  params.uturnProbability = 0.1;
+  const TrajectoryGenerator gen(hall_.graph, params);
+  util::Rng rng(6);
+  int uturns = 0;
+  int decisions = 0;
+  const auto walk = gen.randomWalk(0, 2000, rng);
+  for (std::size_t i = 2; i < walk.size(); ++i) {
+    ++decisions;
+    if (walk[i] == walk[i - 2]) ++uturns;
+  }
+  EXPECT_LT(static_cast<double>(uturns) / decisions, 0.15);
+}
+
+TEST_F(TrajectoryTest, DeadEndForcesUturn) {
+  // A 2-node path graph: from the far end the only move is back.
+  env::FloorPlan plan(10.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  const auto graph = env::WalkGraph::build(plan, 4.5);
+  TrajectoryParams params;
+  params.uturnProbability = 0.0;
+  const TrajectoryGenerator gen(graph, params);
+  util::Rng rng(7);
+  const auto walk = gen.randomWalk(0, 4, rng);
+  EXPECT_EQ(walk, (std::vector<env::LocationId>{0, 1, 0, 1, 0}));
+}
+
+TEST_F(TrajectoryTest, ThrowsOnBadStart) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rng(8);
+  EXPECT_THROW(gen.randomWalk(99, 3, rng), std::out_of_range);
+}
+
+TEST_F(TrajectoryTest, ThrowsOnIsolatedStart) {
+  env::FloorPlan plan(10.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});  // No neighbours.
+  const auto graph = env::WalkGraph::build(plan, 1.0);
+  const TrajectoryGenerator gen(graph);
+  util::Rng rng(9);
+  EXPECT_THROW(gen.randomWalk(0, 1, rng), std::runtime_error);
+}
+
+TEST_F(TrajectoryTest, ThrowsOnEmptyGraph) {
+  const env::FloorPlan plan(10.0, 4.0);
+  const auto graph = env::WalkGraph::build(plan, 1.0);
+  EXPECT_THROW(TrajectoryGenerator{graph}, std::invalid_argument);
+}
+
+TEST_F(TrajectoryTest, Deterministic) {
+  const TrajectoryGenerator gen(hall_.graph);
+  util::Rng rngA(11);
+  util::Rng rngB(11);
+  EXPECT_EQ(gen.randomWalk(0, 30, rngA), gen.randomWalk(0, 30, rngB));
+}
+
+}  // namespace
+}  // namespace moloc::traj

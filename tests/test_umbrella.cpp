@@ -1,0 +1,40 @@
+// The umbrella header must pull in the whole public API and compile
+// standalone (this translation unit includes nothing else first).
+
+#include "moloc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, WholeApiReachable) {
+  // Touch one symbol per component so a missing include in moloc.hpp
+  // breaks this file.
+  moloc::util::Rng rng(1);
+  const moloc::geometry::Vec2 v{1.0, 2.0};
+  EXPECT_GT(v.norm(), 0.0);
+
+  const auto hall = moloc::env::makeOfficeHall();
+  EXPECT_EQ(hall.plan.locationCount(), 28u);
+  const auto corridor = moloc::env::makeCorridorBuilding();
+  EXPECT_TRUE(corridor.graph.isConnected());
+
+  moloc::radio::Fingerprint fp({-50.0});
+  EXPECT_EQ(fp.size(), 1u);
+
+  moloc::sensors::StepDetector detector;
+  moloc::traj::UserProfile user;
+  EXPECT_GT(user.speedMps(), 0.0);
+
+  moloc::core::MotionDatabase motion(2);
+  EXPECT_EQ(motion.locationCount(), 2u);
+
+  moloc::eval::ErrorStats stats;
+  EXPECT_TRUE(stats.empty());
+
+  EXPECT_GE(moloc::sensors::estimateStepLength(1.7, 70.0), 0.5);
+  EXPECT_EQ(moloc::geometry::reverseHeadingDeg(0.0), 180.0);
+  (void)rng();
+}
+
+}  // namespace

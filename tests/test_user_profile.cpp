@@ -1,0 +1,94 @@
+#include "traj/user_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sensors/step_length.hpp"
+
+namespace moloc::traj {
+namespace {
+
+TEST(UserProfile, SpeedIsCadenceTimesStepLength) {
+  UserProfile user;
+  user.trueStepLengthMeters = 0.7;
+  user.cadenceHz = 2.0;
+  EXPECT_DOUBLE_EQ(user.speedMps(), 1.4);
+}
+
+TEST(UserProfile, EstimatedStepLengthUsesAnthropometry) {
+  UserProfile user;
+  user.heightMeters = 1.80;
+  user.weightKg = 70.0;
+  EXPECT_DOUBLE_EQ(user.estimatedStepLengthMeters(),
+                   sensors::estimateStepLength(1.80, 70.0));
+}
+
+TEST(DefaultUsers, FourDiverseUsers) {
+  const auto users = makeDefaultUsers();
+  ASSERT_EQ(users.size(), 4u);  // The paper's cohort size.
+  std::set<std::string> names;
+  for (const auto& u : users) names.insert(u.name);
+  EXPECT_EQ(names.size(), 4u);
+
+  // Heights and speeds genuinely differ ("diverse height and walking
+  // speed").
+  double minHeight = 10.0, maxHeight = 0.0;
+  double minSpeed = 10.0, maxSpeed = 0.0;
+  for (const auto& u : users) {
+    minHeight = std::min(minHeight, u.heightMeters);
+    maxHeight = std::max(maxHeight, u.heightMeters);
+    minSpeed = std::min(minSpeed, u.speedMps());
+    maxSpeed = std::max(maxSpeed, u.speedMps());
+  }
+  EXPECT_GT(maxHeight - minHeight, 0.15);
+  EXPECT_GT(maxSpeed - minSpeed, 0.05);
+}
+
+TEST(DefaultUsers, TrueStepLengthNearEstimate) {
+  // The gap between the true gait and the height-derived estimate is
+  // the offset error source; it must be small (a few percent).
+  for (const auto& u : makeDefaultUsers()) {
+    const double ratio =
+        u.trueStepLengthMeters / u.estimatedStepLengthMeters();
+    EXPECT_GT(ratio, 0.93) << u.name;
+    EXPECT_LT(ratio, 1.07) << u.name;
+  }
+}
+
+TEST(DefaultUsers, PlausibleWalkingSpeeds) {
+  for (const auto& u : makeDefaultUsers()) {
+    EXPECT_GT(u.speedMps(), 0.9) << u.name;
+    EXPECT_LT(u.speedMps(), 1.6) << u.name;
+  }
+}
+
+TEST(RandomUser, WithinDocumentedRanges) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = makeRandomUser(rng, "u" + std::to_string(i));
+    EXPECT_GE(u.heightMeters, 1.50);
+    EXPECT_LE(u.heightMeters, 1.95);
+    EXPECT_GE(u.weightKg, 48.0);
+    EXPECT_LE(u.weightKg, 100.0);
+    EXPECT_GE(u.cadenceHz, 1.5);
+    EXPECT_LE(u.cadenceHz, 2.1);
+    const double ratio =
+        u.trueStepLengthMeters / u.estimatedStepLengthMeters();
+    EXPECT_GE(ratio, 0.96);
+    EXPECT_LE(ratio, 1.04);
+  }
+}
+
+TEST(RandomUser, Deterministic) {
+  util::Rng rngA(9);
+  util::Rng rngB(9);
+  const auto a = makeRandomUser(rngA, "x");
+  const auto b = makeRandomUser(rngB, "x");
+  EXPECT_EQ(a.heightMeters, b.heightMeters);
+  EXPECT_EQ(a.trueStepLengthMeters, b.trueStepLengthMeters);
+}
+
+}  // namespace
+}  // namespace moloc::traj

@@ -1,0 +1,52 @@
+#include "geometry/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moloc::geometry {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW of a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);  // a is CW of b
+  EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndSquaredNorm) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.squaredNorm(), 25.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroStaysZero) {
+  const Vec2 z{};
+  EXPECT_EQ(z.normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace moloc::geometry

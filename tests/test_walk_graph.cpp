@@ -1,0 +1,144 @@
+#include "env/walk_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/angles.hpp"
+
+namespace moloc::env {
+namespace {
+
+/// A 3x1 corridor: 0 -- 1 -- 2, spacing 4 m.
+FloorPlan corridorPlan() {
+  FloorPlan plan(12.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  plan.addReferenceLocation({10.0, 2.0});
+  return plan;
+}
+
+TEST(WalkGraph, AdjacencyRespectsDistanceCutoff) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_TRUE(graph.adjacent(0, 1));
+  EXPECT_TRUE(graph.adjacent(1, 2));
+  EXPECT_FALSE(graph.adjacent(0, 2));  // 8 m apart, over the cutoff.
+  EXPECT_EQ(graph.edgeCount(), 2u);
+}
+
+TEST(WalkGraph, AdjacencyIsSymmetric) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_EQ(graph.adjacent(0, 1), graph.adjacent(1, 0));
+  EXPECT_EQ(graph.adjacent(0, 2), graph.adjacent(2, 0));
+}
+
+TEST(WalkGraph, SelfIsNeverAdjacent) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_FALSE(graph.adjacent(1, 1));
+}
+
+TEST(WalkGraph, WallSeversGeometricallyCloseLeg) {
+  auto plan = corridorPlan();
+  plan.addWall({{4.0, 0.0}, {4.0, 4.0}});  // Between locations 0 and 1.
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_FALSE(graph.adjacent(0, 1));
+  EXPECT_TRUE(graph.adjacent(1, 2));
+}
+
+TEST(WalkGraph, EdgeLengthAndHeading) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_DOUBLE_EQ(graph.edgeLength(0, 1).value(), 4.0);
+  const auto rlm = graph.groundTruthRlm(0, 1);
+  ASSERT_TRUE(rlm.has_value());
+  EXPECT_NEAR(rlm->directionDeg, 90.0, 1e-9);  // East.
+  EXPECT_DOUBLE_EQ(rlm->offsetMeters, 4.0);
+
+  const auto reverse = graph.groundTruthRlm(1, 0);
+  ASSERT_TRUE(reverse.has_value());
+  EXPECT_NEAR(reverse->directionDeg, 270.0, 1e-9);  // West.
+}
+
+TEST(WalkGraph, RlmOfNonAdjacentIsNullopt) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_FALSE(graph.groundTruthRlm(0, 2).has_value());
+  EXPECT_FALSE(graph.edgeLength(0, 2).has_value());
+}
+
+TEST(WalkGraph, ShortestPathChainsLegs) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  const auto path = graph.shortestPath(0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<LocationId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(path->length, 8.0);
+}
+
+TEST(WalkGraph, ShortestPathToSelfIsTrivial) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  const auto path = graph.shortestPath(1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<LocationId>{1}));
+  EXPECT_DOUBLE_EQ(path->length, 0.0);
+}
+
+TEST(WalkGraph, DisconnectedComponentsHaveNoPath) {
+  auto plan = corridorPlan();
+  plan.addWall({{4.0, 0.0}, {4.0, 4.0}});  // Severs 0 from {1, 2}.
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_FALSE(graph.shortestPath(0, 2).has_value());
+  EXPECT_TRUE(std::isinf(graph.walkableDistance(0, 2)));
+  EXPECT_FALSE(graph.isConnected());
+}
+
+TEST(WalkGraph, ConnectedCorridor) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_TRUE(graph.isConnected());
+}
+
+TEST(WalkGraph, DetourAroundPartition) {
+  // A 2x2 grid where the direct top edge is walled off:
+  //   0 --x-- 1
+  //   |       |
+  //   2 ----- 3
+  FloorPlan plan(10.0, 10.0);
+  plan.addReferenceLocation({2.0, 6.0});  // 0
+  plan.addReferenceLocation({6.0, 6.0});  // 1
+  plan.addReferenceLocation({2.0, 2.0});  // 2
+  plan.addReferenceLocation({6.0, 2.0});  // 3
+  plan.addWall({{4.0, 5.0}, {4.0, 7.0}});
+  const auto graph = WalkGraph::build(plan, 4.5);
+
+  EXPECT_FALSE(graph.adjacent(0, 1));
+  const auto path = graph.shortestPath(0, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<LocationId>{0, 2, 3, 1}));
+  EXPECT_DOUBLE_EQ(path->length, 12.0);
+  // Walkable distance strictly exceeds the straight-line distance —
+  // the consistency principle the paper's Sec. IV.A states.
+  EXPECT_GT(graph.walkableDistance(0, 1), 4.0);
+}
+
+TEST(WalkGraph, ThrowsOnBadIds) {
+  const auto plan = corridorPlan();
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_THROW(graph.neighbors(3), std::out_of_range);
+  EXPECT_THROW(graph.neighbors(-1), std::out_of_range);
+  EXPECT_THROW(graph.shortestPath(0, 9), std::out_of_range);
+}
+
+TEST(WalkGraph, EmptyGraphIsConnected) {
+  const FloorPlan plan(5.0, 5.0);
+  const auto graph = WalkGraph::build(plan, 4.5);
+  EXPECT_EQ(graph.nodeCount(), 0u);
+  EXPECT_TRUE(graph.isConnected());
+}
+
+}  // namespace
+}  // namespace moloc::env

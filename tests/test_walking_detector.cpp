@@ -1,0 +1,67 @@
+#include "sensors/walking_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/accelerometer_model.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::sensors {
+namespace {
+
+TEST(WalkingDetector, DetectsSyntheticWalking) {
+  AccelerometerModel model;
+  util::Rng rng(1);
+  const auto samples = model.walkingSamples(150, 1.8, rng);
+  const WalkingDetector detector;
+  EXPECT_TRUE(detector.isWalking(samples));
+}
+
+TEST(WalkingDetector, RejectsIdle) {
+  AccelerometerModel model;
+  util::Rng rng(2);
+  const auto samples = model.idleSamples(150, rng);
+  const WalkingDetector detector;
+  EXPECT_FALSE(detector.isWalking(samples));
+}
+
+TEST(WalkingDetector, RejectsTooFewSamples) {
+  const WalkingDetector detector;
+  const std::vector<double> few{9.8, 15.0, 5.0};
+  EXPECT_FALSE(detector.isWalking(few));
+}
+
+TEST(WalkingDetector, WindowVarianceOfConstantIsZero) {
+  const std::vector<double> flat(50, 9.81);
+  EXPECT_DOUBLE_EQ(WalkingDetector::windowVariance(flat), 0.0);
+}
+
+TEST(WalkingDetector, WindowVarianceOfTinyWindow) {
+  EXPECT_DOUBLE_EQ(WalkingDetector::windowVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(WalkingDetector::windowVariance({{9.8}}), 0.0);
+}
+
+TEST(WalkingDetector, ThresholdSeparates) {
+  WalkingDetectorParams params;
+  params.varianceThreshold = 1e9;  // Impossibly high.
+  const WalkingDetector strict(params);
+  AccelerometerModel model;
+  util::Rng rng(3);
+  EXPECT_FALSE(strict.isWalking(model.walkingSamples(150, 1.8, rng)));
+}
+
+/// Across plausible cadences, synthetic walking always clears the
+/// default threshold.
+class WalkingCadenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WalkingCadenceTest, AlwaysDetected) {
+  AccelerometerModel model;
+  util::Rng rng(4);
+  const auto samples = model.walkingSamples(200, GetParam(), rng);
+  EXPECT_TRUE(WalkingDetector{}.isWalking(samples));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WalkingCadenceTest,
+                         ::testing::Values(1.4, 1.6, 1.8, 2.0, 2.2));
+
+}  // namespace
+}  // namespace moloc::sensors

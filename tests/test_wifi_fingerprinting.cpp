@@ -1,0 +1,54 @@
+#include "baseline/wifi_fingerprinting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moloc::baseline {
+namespace {
+
+radio::FingerprintDatabase smallDb() {
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-40.0, -70.0}));
+  db.addLocation(1, radio::Fingerprint({-55.0, -55.0}));
+  db.addLocation(2, radio::Fingerprint({-70.0, -40.0}));
+  return db;
+}
+
+TEST(WifiFingerprinting, ReturnsNearestLocation) {
+  const auto db = smallDb();
+  const WifiFingerprinting wifi(db);
+  EXPECT_EQ(wifi.localize(radio::Fingerprint({-41.0, -69.0})), 0);
+  EXPECT_EQ(wifi.localize(radio::Fingerprint({-56.0, -56.0})), 1);
+  EXPECT_EQ(wifi.localize(radio::Fingerprint({-68.0, -42.0})), 2);
+}
+
+TEST(WifiFingerprinting, IsStateless) {
+  const auto db = smallDb();
+  const WifiFingerprinting wifi(db);
+  const radio::Fingerprint probe({-41.0, -69.0});
+  const auto first = wifi.localize(probe);
+  wifi.localize(radio::Fingerprint({-70.0, -40.0}));
+  EXPECT_EQ(wifi.localize(probe), first);
+}
+
+TEST(WifiFingerprinting, MatchesDatabaseNearest) {
+  const auto db = smallDb();
+  const WifiFingerprinting wifi(db);
+  for (double x : {-40.0, -50.0, -60.0, -72.0}) {
+    const radio::Fingerprint probe({x, -55.0});
+    EXPECT_EQ(wifi.localize(probe), db.nearest(probe));
+  }
+}
+
+TEST(WifiFingerprinting, TwinsConfuseIt) {
+  // The paper's core observation: with near-identical fingerprints the
+  // baseline flips between twins on sample noise.
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-50.0, -60.0}));
+  db.addLocation(1, radio::Fingerprint({-50.1, -60.1}));
+  const WifiFingerprinting wifi(db);
+  EXPECT_EQ(wifi.localize(radio::Fingerprint({-49.9, -59.9})), 0);
+  EXPECT_EQ(wifi.localize(radio::Fingerprint({-50.2, -60.2})), 1);
+}
+
+}  // namespace
+}  // namespace moloc::baseline
