@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csc_dsc.dir/ablation_csc_dsc.cpp.o"
+  "CMakeFiles/ablation_csc_dsc.dir/ablation_csc_dsc.cpp.o.d"
+  "ablation_csc_dsc"
+  "ablation_csc_dsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csc_dsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

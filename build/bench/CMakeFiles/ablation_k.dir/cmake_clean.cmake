@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_k.dir/ablation_k.cpp.o"
+  "CMakeFiles/ablation_k.dir/ablation_k.cpp.o.d"
+  "ablation_k"
+  "ablation_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

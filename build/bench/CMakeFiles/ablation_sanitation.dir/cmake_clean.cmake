@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sanitation.dir/ablation_sanitation.cpp.o"
+  "CMakeFiles/ablation_sanitation.dir/ablation_sanitation.cpp.o.d"
+  "ablation_sanitation"
+  "ablation_sanitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sanitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_comparators.dir/ext_comparators.cpp.o"
+  "CMakeFiles/ext_comparators.dir/ext_comparators.cpp.o.d"
+  "ext_comparators"
+  "ext_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

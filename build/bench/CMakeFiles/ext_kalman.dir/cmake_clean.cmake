@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kalman.dir/ext_kalman.cpp.o"
+  "CMakeFiles/ext_kalman.dir/ext_kalman.cpp.o.d"
+  "ext_kalman"
+  "ext_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

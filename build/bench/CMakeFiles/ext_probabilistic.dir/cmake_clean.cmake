@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_probabilistic.dir/ext_probabilistic.cpp.o"
+  "CMakeFiles/ext_probabilistic.dir/ext_probabilistic.cpp.o.d"
+  "ext_probabilistic"
+  "ext_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

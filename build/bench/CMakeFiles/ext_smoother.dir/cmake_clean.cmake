@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smoother.dir/ext_smoother.cpp.o"
+  "CMakeFiles/ext_smoother.dir/ext_smoother.cpp.o.d"
+  "ext_smoother"
+  "ext_smoother.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_steps.dir/fig4_steps.cpp.o"
+  "CMakeFiles/fig4_steps.dir/fig4_steps.cpp.o.d"
+  "fig4_steps"
+  "fig4_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_motion_db.dir/fig6_motion_db.cpp.o"
+  "CMakeFiles/fig6_motion_db.dir/fig6_motion_db.cpp.o.d"
+  "fig6_motion_db"
+  "fig6_motion_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_motion_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

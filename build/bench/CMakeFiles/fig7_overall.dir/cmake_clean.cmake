@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overall.dir/fig7_overall.cpp.o"
+  "CMakeFiles/fig7_overall.dir/fig7_overall.cpp.o.d"
+  "fig7_overall"
+  "fig7_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

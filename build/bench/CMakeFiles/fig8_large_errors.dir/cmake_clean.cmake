@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_large_errors.dir/fig8_large_errors.cpp.o"
+  "CMakeFiles/fig8_large_errors.dir/fig8_large_errors.cpp.o.d"
+  "fig8_large_errors"
+  "fig8_large_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_large_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

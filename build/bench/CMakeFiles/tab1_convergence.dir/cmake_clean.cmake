@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_convergence.dir/tab1_convergence.cpp.o"
+  "CMakeFiles/tab1_convergence.dir/tab1_convergence.cpp.o.d"
+  "tab1_convergence"
+  "tab1_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twin_analysis.dir/twin_analysis.cpp.o"
+  "CMakeFiles/twin_analysis.dir/twin_analysis.cpp.o.d"
+  "twin_analysis"
+  "twin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

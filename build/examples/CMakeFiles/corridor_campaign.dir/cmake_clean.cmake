@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_campaign.dir/corridor_campaign.cpp.o"
+  "CMakeFiles/corridor_campaign.dir/corridor_campaign.cpp.o.d"
+  "corridor_campaign"
+  "corridor_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

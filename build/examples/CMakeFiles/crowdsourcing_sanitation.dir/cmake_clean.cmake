@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsourcing_sanitation.dir/crowdsourcing_sanitation.cpp.o"
+  "CMakeFiles/crowdsourcing_sanitation.dir/crowdsourcing_sanitation.cpp.o.d"
+  "crowdsourcing_sanitation"
+  "crowdsourcing_sanitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsourcing_sanitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crowdsourcing_sanitation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdsourcing_sanitation.
+# This may be replaced when dependencies are built.

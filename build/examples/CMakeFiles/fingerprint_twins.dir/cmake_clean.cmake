@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_twins.dir/fingerprint_twins.cpp.o"
+  "CMakeFiles/fingerprint_twins.dir/fingerprint_twins.cpp.o.d"
+  "fingerprint_twins"
+  "fingerprint_twins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_twins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

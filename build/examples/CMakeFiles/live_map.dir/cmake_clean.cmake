@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_map.dir/live_map.cpp.o"
+  "CMakeFiles/live_map.dir/live_map.cpp.o.d"
+  "live_map"
+  "live_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

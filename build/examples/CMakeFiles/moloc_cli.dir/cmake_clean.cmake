@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moloc_cli.dir/moloc_cli.cpp.o"
+  "CMakeFiles/moloc_cli.dir/moloc_cli.cpp.o.d"
+  "moloc_cli"
+  "moloc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

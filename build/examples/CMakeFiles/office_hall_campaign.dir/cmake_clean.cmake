@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_hall_campaign.dir/office_hall_campaign.cpp.o"
+  "CMakeFiles/office_hall_campaign.dir/office_hall_campaign.cpp.o.d"
+  "office_hall_campaign"
+  "office_hall_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_hall_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dead_reckoning.cpp" "src/CMakeFiles/moloc.dir/baseline/dead_reckoning.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/baseline/dead_reckoning.cpp.o.d"
+  "/root/repo/src/baseline/hmm_localizer.cpp" "src/CMakeFiles/moloc.dir/baseline/hmm_localizer.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/baseline/hmm_localizer.cpp.o.d"
+  "/root/repo/src/baseline/knn_averaging.cpp" "src/CMakeFiles/moloc.dir/baseline/knn_averaging.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/baseline/knn_averaging.cpp.o.d"
+  "/root/repo/src/baseline/particle_filter.cpp" "src/CMakeFiles/moloc.dir/baseline/particle_filter.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/baseline/particle_filter.cpp.o.d"
+  "/root/repo/src/baseline/wifi_fingerprinting.cpp" "src/CMakeFiles/moloc.dir/baseline/wifi_fingerprinting.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/baseline/wifi_fingerprinting.cpp.o.d"
+  "/root/repo/src/core/candidate_estimator.cpp" "src/CMakeFiles/moloc.dir/core/candidate_estimator.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/candidate_estimator.cpp.o.d"
+  "/root/repo/src/core/construction_methods.cpp" "src/CMakeFiles/moloc.dir/core/construction_methods.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/construction_methods.cpp.o.d"
+  "/root/repo/src/core/localization_session.cpp" "src/CMakeFiles/moloc.dir/core/localization_session.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/localization_session.cpp.o.d"
+  "/root/repo/src/core/moloc_engine.cpp" "src/CMakeFiles/moloc.dir/core/moloc_engine.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/moloc_engine.cpp.o.d"
+  "/root/repo/src/core/motion_database.cpp" "src/CMakeFiles/moloc.dir/core/motion_database.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/motion_database.cpp.o.d"
+  "/root/repo/src/core/motion_database_builder.cpp" "src/CMakeFiles/moloc.dir/core/motion_database_builder.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/motion_database_builder.cpp.o.d"
+  "/root/repo/src/core/motion_matcher.cpp" "src/CMakeFiles/moloc.dir/core/motion_matcher.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/motion_matcher.cpp.o.d"
+  "/root/repo/src/core/online_motion_database.cpp" "src/CMakeFiles/moloc.dir/core/online_motion_database.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/online_motion_database.cpp.o.d"
+  "/root/repo/src/core/trace_smoother.cpp" "src/CMakeFiles/moloc.dir/core/trace_smoother.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/core/trace_smoother.cpp.o.d"
+  "/root/repo/src/env/corridor_building.cpp" "src/CMakeFiles/moloc.dir/env/corridor_building.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/env/corridor_building.cpp.o.d"
+  "/root/repo/src/env/floor_plan.cpp" "src/CMakeFiles/moloc.dir/env/floor_plan.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/env/floor_plan.cpp.o.d"
+  "/root/repo/src/env/office_hall.cpp" "src/CMakeFiles/moloc.dir/env/office_hall.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/env/office_hall.cpp.o.d"
+  "/root/repo/src/env/walk_graph.cpp" "src/CMakeFiles/moloc.dir/env/walk_graph.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/env/walk_graph.cpp.o.d"
+  "/root/repo/src/eval/ambiguity.cpp" "src/CMakeFiles/moloc.dir/eval/ambiguity.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/eval/ambiguity.cpp.o.d"
+  "/root/repo/src/eval/ascii_map.cpp" "src/CMakeFiles/moloc.dir/eval/ascii_map.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/eval/ascii_map.cpp.o.d"
+  "/root/repo/src/eval/convergence.cpp" "src/CMakeFiles/moloc.dir/eval/convergence.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/eval/convergence.cpp.o.d"
+  "/root/repo/src/eval/error_stats.cpp" "src/CMakeFiles/moloc.dir/eval/error_stats.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/eval/error_stats.cpp.o.d"
+  "/root/repo/src/eval/experiment_world.cpp" "src/CMakeFiles/moloc.dir/eval/experiment_world.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/eval/experiment_world.cpp.o.d"
+  "/root/repo/src/geometry/angles.cpp" "src/CMakeFiles/moloc.dir/geometry/angles.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/geometry/angles.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/CMakeFiles/moloc.dir/geometry/segment.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/geometry/segment.cpp.o.d"
+  "/root/repo/src/geometry/vec2.cpp" "src/CMakeFiles/moloc.dir/geometry/vec2.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/geometry/vec2.cpp.o.d"
+  "/root/repo/src/io/serialization.cpp" "src/CMakeFiles/moloc.dir/io/serialization.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/io/serialization.cpp.o.d"
+  "/root/repo/src/io/trace_io.cpp" "src/CMakeFiles/moloc.dir/io/trace_io.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/io/trace_io.cpp.o.d"
+  "/root/repo/src/radio/access_point.cpp" "src/CMakeFiles/moloc.dir/radio/access_point.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/access_point.cpp.o.d"
+  "/root/repo/src/radio/fingerprint.cpp" "src/CMakeFiles/moloc.dir/radio/fingerprint.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/fingerprint.cpp.o.d"
+  "/root/repo/src/radio/fingerprint_database.cpp" "src/CMakeFiles/moloc.dir/radio/fingerprint_database.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/fingerprint_database.cpp.o.d"
+  "/root/repo/src/radio/probabilistic_database.cpp" "src/CMakeFiles/moloc.dir/radio/probabilistic_database.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/probabilistic_database.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/CMakeFiles/moloc.dir/radio/propagation.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/propagation.cpp.o.d"
+  "/root/repo/src/radio/radio_environment.cpp" "src/CMakeFiles/moloc.dir/radio/radio_environment.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/radio_environment.cpp.o.d"
+  "/root/repo/src/radio/site_survey.cpp" "src/CMakeFiles/moloc.dir/radio/site_survey.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/radio/site_survey.cpp.o.d"
+  "/root/repo/src/sensors/accelerometer_model.cpp" "src/CMakeFiles/moloc.dir/sensors/accelerometer_model.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/accelerometer_model.cpp.o.d"
+  "/root/repo/src/sensors/compass_calibrator.cpp" "src/CMakeFiles/moloc.dir/sensors/compass_calibrator.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/compass_calibrator.cpp.o.d"
+  "/root/repo/src/sensors/compass_model.cpp" "src/CMakeFiles/moloc.dir/sensors/compass_model.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/compass_model.cpp.o.d"
+  "/root/repo/src/sensors/gyroscope_model.cpp" "src/CMakeFiles/moloc.dir/sensors/gyroscope_model.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/gyroscope_model.cpp.o.d"
+  "/root/repo/src/sensors/heading_filter.cpp" "src/CMakeFiles/moloc.dir/sensors/heading_filter.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/heading_filter.cpp.o.d"
+  "/root/repo/src/sensors/imu_trace.cpp" "src/CMakeFiles/moloc.dir/sensors/imu_trace.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/imu_trace.cpp.o.d"
+  "/root/repo/src/sensors/motion_processor.cpp" "src/CMakeFiles/moloc.dir/sensors/motion_processor.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/motion_processor.cpp.o.d"
+  "/root/repo/src/sensors/step_counter.cpp" "src/CMakeFiles/moloc.dir/sensors/step_counter.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/step_counter.cpp.o.d"
+  "/root/repo/src/sensors/step_detector.cpp" "src/CMakeFiles/moloc.dir/sensors/step_detector.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/step_detector.cpp.o.d"
+  "/root/repo/src/sensors/step_length.cpp" "src/CMakeFiles/moloc.dir/sensors/step_length.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/step_length.cpp.o.d"
+  "/root/repo/src/sensors/walking_detector.cpp" "src/CMakeFiles/moloc.dir/sensors/walking_detector.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/sensors/walking_detector.cpp.o.d"
+  "/root/repo/src/traj/trace_simulator.cpp" "src/CMakeFiles/moloc.dir/traj/trace_simulator.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/traj/trace_simulator.cpp.o.d"
+  "/root/repo/src/traj/trajectory_generator.cpp" "src/CMakeFiles/moloc.dir/traj/trajectory_generator.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/traj/trajectory_generator.cpp.o.d"
+  "/root/repo/src/traj/user_profile.cpp" "src/CMakeFiles/moloc.dir/traj/user_profile.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/traj/user_profile.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/moloc.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/moloc.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/moloc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/moloc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/moloc.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for moloc.
+# This may be replaced when dependencies are built.

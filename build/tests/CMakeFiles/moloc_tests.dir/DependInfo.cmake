@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerometer_model.cpp" "tests/CMakeFiles/moloc_tests.dir/test_accelerometer_model.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_accelerometer_model.cpp.o.d"
+  "/root/repo/tests/test_ambiguity.cpp" "tests/CMakeFiles/moloc_tests.dir/test_ambiguity.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_ambiguity.cpp.o.d"
+  "/root/repo/tests/test_angles.cpp" "tests/CMakeFiles/moloc_tests.dir/test_angles.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_angles.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/moloc_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_ascii_map.cpp" "tests/CMakeFiles/moloc_tests.dir/test_ascii_map.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_ascii_map.cpp.o.d"
+  "/root/repo/tests/test_candidate_estimator.cpp" "tests/CMakeFiles/moloc_tests.dir/test_candidate_estimator.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_candidate_estimator.cpp.o.d"
+  "/root/repo/tests/test_compass_calibrator.cpp" "tests/CMakeFiles/moloc_tests.dir/test_compass_calibrator.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_compass_calibrator.cpp.o.d"
+  "/root/repo/tests/test_compass_distortion.cpp" "tests/CMakeFiles/moloc_tests.dir/test_compass_distortion.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_compass_distortion.cpp.o.d"
+  "/root/repo/tests/test_compass_model.cpp" "tests/CMakeFiles/moloc_tests.dir/test_compass_model.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_compass_model.cpp.o.d"
+  "/root/repo/tests/test_construction_methods.cpp" "tests/CMakeFiles/moloc_tests.dir/test_construction_methods.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_construction_methods.cpp.o.d"
+  "/root/repo/tests/test_convergence.cpp" "tests/CMakeFiles/moloc_tests.dir/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_convergence.cpp.o.d"
+  "/root/repo/tests/test_corridor_building.cpp" "tests/CMakeFiles/moloc_tests.dir/test_corridor_building.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_corridor_building.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/moloc_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dead_reckoning.cpp" "tests/CMakeFiles/moloc_tests.dir/test_dead_reckoning.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_dead_reckoning.cpp.o.d"
+  "/root/repo/tests/test_engine_probabilistic.cpp" "tests/CMakeFiles/moloc_tests.dir/test_engine_probabilistic.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_engine_probabilistic.cpp.o.d"
+  "/root/repo/tests/test_error_stats.cpp" "tests/CMakeFiles/moloc_tests.dir/test_error_stats.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_error_stats.cpp.o.d"
+  "/root/repo/tests/test_experiment_world.cpp" "tests/CMakeFiles/moloc_tests.dir/test_experiment_world.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_experiment_world.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/moloc_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fingerprint.cpp" "tests/CMakeFiles/moloc_tests.dir/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/test_fingerprint_database.cpp" "tests/CMakeFiles/moloc_tests.dir/test_fingerprint_database.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_fingerprint_database.cpp.o.d"
+  "/root/repo/tests/test_floor_plan.cpp" "tests/CMakeFiles/moloc_tests.dir/test_floor_plan.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_floor_plan.cpp.o.d"
+  "/root/repo/tests/test_gyroscope_model.cpp" "tests/CMakeFiles/moloc_tests.dir/test_gyroscope_model.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_gyroscope_model.cpp.o.d"
+  "/root/repo/tests/test_heading_filter.cpp" "tests/CMakeFiles/moloc_tests.dir/test_heading_filter.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_heading_filter.cpp.o.d"
+  "/root/repo/tests/test_hmm_localizer.cpp" "tests/CMakeFiles/moloc_tests.dir/test_hmm_localizer.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_hmm_localizer.cpp.o.d"
+  "/root/repo/tests/test_imu_trace.cpp" "tests/CMakeFiles/moloc_tests.dir/test_imu_trace.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_imu_trace.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/moloc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_knn_averaging.cpp" "tests/CMakeFiles/moloc_tests.dir/test_knn_averaging.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_knn_averaging.cpp.o.d"
+  "/root/repo/tests/test_localization_session.cpp" "tests/CMakeFiles/moloc_tests.dir/test_localization_session.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_localization_session.cpp.o.d"
+  "/root/repo/tests/test_moloc_engine.cpp" "tests/CMakeFiles/moloc_tests.dir/test_moloc_engine.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_moloc_engine.cpp.o.d"
+  "/root/repo/tests/test_motion_database.cpp" "tests/CMakeFiles/moloc_tests.dir/test_motion_database.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_motion_database.cpp.o.d"
+  "/root/repo/tests/test_motion_database_builder.cpp" "tests/CMakeFiles/moloc_tests.dir/test_motion_database_builder.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_motion_database_builder.cpp.o.d"
+  "/root/repo/tests/test_motion_matcher.cpp" "tests/CMakeFiles/moloc_tests.dir/test_motion_matcher.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_motion_matcher.cpp.o.d"
+  "/root/repo/tests/test_motion_processor.cpp" "tests/CMakeFiles/moloc_tests.dir/test_motion_processor.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_motion_processor.cpp.o.d"
+  "/root/repo/tests/test_office_hall.cpp" "tests/CMakeFiles/moloc_tests.dir/test_office_hall.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_office_hall.cpp.o.d"
+  "/root/repo/tests/test_online_motion_database.cpp" "tests/CMakeFiles/moloc_tests.dir/test_online_motion_database.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_online_motion_database.cpp.o.d"
+  "/root/repo/tests/test_particle_filter.cpp" "tests/CMakeFiles/moloc_tests.dir/test_particle_filter.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_particle_filter.cpp.o.d"
+  "/root/repo/tests/test_pauses.cpp" "tests/CMakeFiles/moloc_tests.dir/test_pauses.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_pauses.cpp.o.d"
+  "/root/repo/tests/test_probabilistic_database.cpp" "tests/CMakeFiles/moloc_tests.dir/test_probabilistic_database.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_probabilistic_database.cpp.o.d"
+  "/root/repo/tests/test_propagation.cpp" "tests/CMakeFiles/moloc_tests.dir/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_propagation.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/moloc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_radio_environment.cpp" "tests/CMakeFiles/moloc_tests.dir/test_radio_environment.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_radio_environment.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/moloc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_segment.cpp" "tests/CMakeFiles/moloc_tests.dir/test_segment.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_segment.cpp.o.d"
+  "/root/repo/tests/test_serialization.cpp" "tests/CMakeFiles/moloc_tests.dir/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_serialization.cpp.o.d"
+  "/root/repo/tests/test_site_survey.cpp" "tests/CMakeFiles/moloc_tests.dir/test_site_survey.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_site_survey.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/moloc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_step_counter.cpp" "tests/CMakeFiles/moloc_tests.dir/test_step_counter.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_step_counter.cpp.o.d"
+  "/root/repo/tests/test_step_detector.cpp" "tests/CMakeFiles/moloc_tests.dir/test_step_detector.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_step_detector.cpp.o.d"
+  "/root/repo/tests/test_step_length.cpp" "tests/CMakeFiles/moloc_tests.dir/test_step_length.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_step_length.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/moloc_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_trace_simulator.cpp" "tests/CMakeFiles/moloc_tests.dir/test_trace_simulator.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_trace_simulator.cpp.o.d"
+  "/root/repo/tests/test_trace_smoother.cpp" "tests/CMakeFiles/moloc_tests.dir/test_trace_smoother.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_trace_smoother.cpp.o.d"
+  "/root/repo/tests/test_trajectory_generator.cpp" "tests/CMakeFiles/moloc_tests.dir/test_trajectory_generator.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_trajectory_generator.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/moloc_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_user_profile.cpp" "tests/CMakeFiles/moloc_tests.dir/test_user_profile.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_user_profile.cpp.o.d"
+  "/root/repo/tests/test_vec2.cpp" "tests/CMakeFiles/moloc_tests.dir/test_vec2.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_vec2.cpp.o.d"
+  "/root/repo/tests/test_walk_graph.cpp" "tests/CMakeFiles/moloc_tests.dir/test_walk_graph.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_walk_graph.cpp.o.d"
+  "/root/repo/tests/test_walking_detector.cpp" "tests/CMakeFiles/moloc_tests.dir/test_walking_detector.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_walking_detector.cpp.o.d"
+  "/root/repo/tests/test_wifi_fingerprinting.cpp" "tests/CMakeFiles/moloc_tests.dir/test_wifi_fingerprinting.cpp.o" "gcc" "tests/CMakeFiles/moloc_tests.dir/test_wifi_fingerprinting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
