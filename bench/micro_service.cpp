@@ -1,0 +1,155 @@
+// Throughput benchmark of the concurrent serving layer: aggregate
+// queries/sec of LocalizationService::localizeBatch over the paper's
+// office-hall world, swept across thread-pool sizes.  Each query is
+// the full phone-side round (motion processing over a 3 s IMU trace +
+// one engine round), so the numbers reflect the deployed hot path.
+//
+// Also cross-checks the service's determinism contract: every thread
+// count must reproduce the single-thread results bitwise.
+//
+// Output: paper-style rows on stdout and
+// bench_results/micro_service.csv (threads,queries,seconds,qps,speedup).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sensors/accelerometer_model.hpp"
+#include "sensors/compass_model.hpp"
+#include "service/localization_service.hpp"
+
+namespace {
+
+using namespace moloc;
+
+constexpr std::size_t kSessions = 64;
+constexpr std::size_t kRounds = 20;
+constexpr std::size_t kImuSamples = 150;  // 3 s at 50 Hz.
+
+/// One session's pre-generated scan sequence (first round has an empty
+/// IMU trace — the first fix of a walk).
+struct SessionWorkload {
+  std::vector<radio::Fingerprint> scans;
+  std::vector<sensors::ImuTrace> imu;
+};
+
+std::vector<SessionWorkload> makeWorkload(const eval::ExperimentWorld& world) {
+  std::vector<SessionWorkload> sessions(kSessions);
+  sensors::AccelerometerModel accel;
+  sensors::CompassModel compass;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    util::Rng rng(1000 + s);
+    auto& session = sessions[s];
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const double x = rng.uniform(2.0, 38.0);
+      const double y = rng.uniform(2.0, 14.0);
+      const double heading = rng.uniform(0.0, 360.0);
+      session.scans.push_back(world.radio().scan({x, y}, heading, rng));
+      sensors::ImuTrace trace(50.0);
+      if (r > 0) {
+        const auto accelSeries =
+            accel.walkingSamples(kImuSamples, 1.8, rng);
+        const auto compassSeries =
+            compass.readings(heading, 0.0, kImuSamples, rng);
+        for (std::size_t i = 0; i < kImuSamples; ++i)
+          trace.append({i / 50.0, accelSeries[i], compassSeries[i]});
+      }
+      session.imu.push_back(std::move(trace));
+    }
+  }
+  return sessions;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<core::LocationEstimate> estimates;  // Round-major.
+};
+
+RunResult runAtThreadCount(const eval::ExperimentWorld& world,
+                           const std::vector<SessionWorkload>& workload,
+                           std::size_t threads) {
+  service::ServiceConfig config;
+  config.threadCount = threads;
+  config.shardCount = 32;
+  config.engine = world.config().moloc;
+  config.motion = world.config().motionProc;
+  service::LocalizationService svc(world.fingerprintDb(),
+                                   world.motionDb(), config);
+
+  RunResult result;
+  result.estimates.reserve(kSessions * kRounds);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    std::vector<service::ScanRequest> batch;
+    batch.reserve(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s)
+      batch.push_back({static_cast<service::SessionId>(s),
+                       workload[s].scans[r], workload[s].imu[r]});
+    auto estimates = svc.localizeBatch(batch);
+    for (auto& e : estimates) result.estimates.push_back(std::move(e));
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+bool bitwiseEqual(const std::vector<core::LocationEstimate>& a,
+                  const std::vector<core::LocationEstimate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].location != b[i].location ||
+        a[i].probability != b[i].probability ||
+        a[i].candidates.size() != b[i].candidates.size())
+      return false;
+    for (std::size_t c = 0; c < a[i].candidates.size(); ++c)
+      if (a[i].candidates[c].location != b[i].candidates[c].location ||
+          a[i].candidates[c].probability != b[i].candidates[c].probability)
+        return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  eval::ExperimentWorld world{eval::WorldConfig{}};
+  const auto workload = makeWorkload(world);
+  const std::size_t queries = kSessions * kRounds;
+
+  std::printf("LocalizationService throughput (%zu sessions x %zu rounds"
+              " = %zu queries; hardware_concurrency=%u)\n",
+              kSessions, kRounds, queries,
+              std::thread::hardware_concurrency());
+
+  util::CsvWriter csv(moloc::bench::resultsDir() + "/micro_service.csv",
+                      {"threads", "queries", "seconds", "qps",
+                       "speedup_vs_1"});
+
+  RunResult baseline;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    auto run = runAtThreadCount(world, workload, threads);
+    if (threads == 1) {
+      baseline = run;
+    } else if (!bitwiseEqual(run.estimates, baseline.estimates)) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread results differ from serial\n",
+                   threads);
+      return EXIT_FAILURE;
+    }
+    const double qps = static_cast<double>(queries) / run.seconds;
+    const double speedup =
+        baseline.seconds > 0.0 ? baseline.seconds / run.seconds : 0.0;
+    std::printf("  threads=%2zu  %8.0f queries/sec  (%.3f s, %.2fx)\n",
+                threads, qps, run.seconds, speedup);
+    csv.cell(threads).cell(queries).cell(run.seconds).cell(qps)
+        .cell(speedup).endRow();
+  }
+  std::printf("  determinism: all thread counts bitwise-identical to"
+              " serial\n");
+  return EXIT_SUCCESS;
+}

@@ -1,6 +1,7 @@
 #include "core/candidate_estimator.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace moloc::core {
 
@@ -16,21 +17,36 @@ std::size_t checkK(std::size_t k) {
 
 CandidateEstimator::CandidateEstimator(
     const radio::FingerprintDatabase& db, std::size_t k)
-    : query_([&db](const radio::Fingerprint& fp, std::size_t kk) {
-        return db.query(fp, kk);
+    : query_([&db](const radio::Fingerprint& fp, std::size_t kk,
+                   std::vector<Candidate>& out) {
+        db.queryInto(fp, kk, out);
       }),
       k_(checkK(k)) {}
 
 CandidateEstimator::CandidateEstimator(
     const radio::ProbabilisticFingerprintDatabase& db, std::size_t k)
-    : query_([&db](const radio::Fingerprint& fp, std::size_t kk) {
-        return db.query(fp, kk);
+    : query_([&db](const radio::Fingerprint& fp, std::size_t kk,
+                   std::vector<Candidate>& out) {
+        db.queryInto(fp, kk, out);
       }),
       k_(checkK(k)) {}
 
+CandidateEstimator::CandidateEstimator(QueryFn backend, std::size_t k)
+    : query_(std::move(backend)), k_(checkK(k)) {
+  if (!query_)
+    throw std::invalid_argument("CandidateEstimator: null backend");
+}
+
 std::vector<Candidate> CandidateEstimator::estimate(
     const radio::Fingerprint& query) const {
-  return query_(query, k_);
+  std::vector<Candidate> out;
+  estimateInto(query, out);
+  return out;
+}
+
+void CandidateEstimator::estimateInto(const radio::Fingerprint& query,
+                                      std::vector<Candidate>& out) const {
+  query_(query, k_, out);
 }
 
 }  // namespace moloc::core

@@ -20,9 +20,15 @@ using Candidate = radio::Match;
 /// matcher (Eq. 3's k-nearest by Euclidean dissimilarity with Eq. 4's
 /// inverse-dissimilarity probabilities) and the Horus-style
 /// probabilistic radio map (k most likely with softmax posteriors).
-/// The engine is agnostic to the choice.
+/// The engine is agnostic to the choice; a custom backend can be
+/// plugged in via the QueryFn constructor.
 class CandidateEstimator {
  public:
+  /// A backend fills `out` (clearing it first) with at most k
+  /// candidates, best first, probabilities normalized over the set.
+  using QueryFn = std::function<void(const radio::Fingerprint&,
+                                     std::size_t, std::vector<Candidate>&)>;
+
   /// Deterministic backend (the paper's Eq. 3-4).
   /// `k` must be >= 1 (throws std::invalid_argument); the database
   /// must outlive the estimator.
@@ -32,15 +38,22 @@ class CandidateEstimator {
   CandidateEstimator(const radio::ProbabilisticFingerprintDatabase& db,
                      std::size_t k);
 
+  /// Custom backend.  Whatever `backend` captures must outlive the
+  /// estimator.
+  CandidateEstimator(QueryFn backend, std::size_t k);
+
   std::size_t k() const { return k_; }
 
   /// The k candidates for a query fingerprint, best first.
   std::vector<Candidate> estimate(const radio::Fingerprint& query) const;
 
+  /// Allocation-free variant: fills `out` (clearing it first) so the
+  /// serving hot path can reuse one scratch buffer across rounds.
+  void estimateInto(const radio::Fingerprint& query,
+                    std::vector<Candidate>& out) const;
+
  private:
-  std::function<std::vector<Candidate>(const radio::Fingerprint&,
-                                       std::size_t)>
-      query_;
+  QueryFn query_;
   std::size_t k_;
 };
 

@@ -27,10 +27,22 @@ MoLocEngine::MoLocEngine(
       matcher_(motion, config.matcher),
       config_(config) {}
 
+MoLocEngine::MoLocEngine(CandidateEstimator estimator,
+                         const MotionDatabase& motion, MoLocConfig config)
+    : estimator_(std::move(estimator)),
+      matcher_(motion, config.matcher),
+      config_(config) {}
+
 LocationEstimate MoLocEngine::localize(
     const radio::Fingerprint& query,
     const std::optional<sensors::MotionMeasurement>& motion) {
-  const auto candidates = estimator_.estimate(query);
+  estimator_.estimateInto(query, candidateScratch_);
+  const auto& candidates = candidateScratch_;
+
+  // A candidate source that yields nothing means there is no basis for
+  // a fix this round; report "no fix" and keep the retained set so a
+  // transient outage does not erase history.
+  if (candidates.empty()) return LocationEstimate{};
 
   std::vector<WeightedCandidate> scored;
   scored.reserve(candidates.size());
@@ -65,14 +77,27 @@ LocationEstimate MoLocEngine::localize(
     for (const auto& c : scored) total += c.probability;
   }
 
-  // Eq. 7 normalizer N.
-  for (auto& c : scored) c.probability /= total;
+  if (total <= 0.0) {
+    // Even the fingerprint term carries no mass (all candidate
+    // probabilities underflowed to zero); dividing would produce NaN
+    // posteriors.  A uniform posterior over the candidate set is the
+    // honest maximum-entropy answer.
+    const double uniform = 1.0 / static_cast<double>(scored.size());
+    for (auto& c : scored) c.probability = uniform;
+  } else {
+    // Eq. 7 normalizer N.
+    for (auto& c : scored) c.probability /= total;
+  }
 
   return finalize(std::move(scored));
 }
 
 LocationEstimate MoLocEngine::finalize(
     std::vector<WeightedCandidate> scored) {
+  // Defensive twin of the localize() guard: an empty scored set must
+  // yield the "no fix" estimate, never scored.front() UB.
+  if (scored.empty()) return LocationEstimate{};
+
   std::sort(scored.begin(), scored.end(),
             [](const WeightedCandidate& a, const WeightedCandidate& b) {
               return a.probability > b.probability;

@@ -19,10 +19,18 @@ struct MoLocConfig {
 
 /// The engine's answer for one query: the top-ranked location plus the
 /// full candidate set retained for the next round.
+///
+/// A default-constructed estimate is the well-defined "no fix" answer
+/// (empty candidate set, zero probability) the engine returns when the
+/// candidate source yields nothing; check hasFix() before consuming
+/// `location`.
 struct LocationEstimate {
   env::LocationId location = 0;
   double probability = 0.0;
   std::vector<WeightedCandidate> candidates;
+
+  /// True when the engine produced a ranked answer this round.
+  bool hasFix() const { return !candidates.empty(); }
 
   /// Shannon entropy of the posterior, normalized to [0, 1] by the
   /// maximum log(k): 0 = certain, 1 = uniform over the candidates.
@@ -55,6 +63,12 @@ class MoLocEngine {
   MoLocEngine(const radio::ProbabilisticFingerprintDatabase& fingerprints,
               const MotionDatabase& motion, MoLocConfig config = {});
 
+  /// Variant with an explicit candidate source (e.g. a custom
+  /// CandidateEstimator backend); `config.candidateCount` is ignored in
+  /// favour of the estimator's own k.
+  MoLocEngine(CandidateEstimator estimator, const MotionDatabase& motion,
+              MoLocConfig config = {});
+
   const MoLocConfig& config() const { return config_; }
 
   /// True once at least one fix has been produced since construction or
@@ -83,6 +97,9 @@ class MoLocEngine {
   MotionMatcher matcher_;
   MoLocConfig config_;
   std::vector<WeightedCandidate> previous_;
+  /// Reused across localize() rounds so the per-query candidate list
+  /// does not allocate on the serving hot path.
+  std::vector<Candidate> candidateScratch_;
 };
 
 }  // namespace moloc::core

@@ -17,6 +17,23 @@ double gaussianWindowProbability(double x, double halfWidth, double mu,
   return 0.5 * (std::erf(upper) - std::erf(lower));
 }
 
+double circularGaussianWindowProbability(double deviationDeg,
+                                         double halfWidthDeg,
+                                         double sigmaDeg) {
+  if (sigmaDeg <= 0.0)
+    return std::abs(deviationDeg) <= halfWidthDeg ? 1.0 : 0.0;
+  // The deviation lives on the circle (-180, 180]; a wide window
+  // (alpha near 360) centred off zero would otherwise spill past the
+  // antipode and claim probability mass that does not exist on the
+  // circle.  Clamp the integration bounds to [-180, 180].
+  const double lowerDeg = std::max(deviationDeg - halfWidthDeg, -180.0);
+  const double upperDeg = std::min(deviationDeg + halfWidthDeg, 180.0);
+  if (lowerDeg >= upperDeg) return 0.0;
+  const double invSqrt2Sigma = 1.0 / (sigmaDeg * std::sqrt(2.0));
+  return 0.5 * (std::erf(upperDeg * invSqrt2Sigma) -
+                std::erf(lowerDeg * invSqrt2Sigma));
+}
+
 MotionMatcher::MotionMatcher(const MotionDatabase& db,
                              MotionMatcherParams params)
     : db_(db), params_(params) {}
@@ -24,11 +41,12 @@ MotionMatcher::MotionMatcher(const MotionDatabase& db,
 double MotionMatcher::directionFactor(const RlmStats& stats,
                                       double directionDeg) const {
   // Integrate the wrapped deviation from the stored circular mean over
-  // a window of width alpha centred on the measurement.
+  // a window of width alpha centred on the measurement, clamped to the
+  // circle so the factor never exceeds valid circular probability mass.
   const double deviation =
       geometry::signedAngularDiffDeg(stats.muDirectionDeg, directionDeg);
-  return gaussianWindowProbability(deviation, params_.alphaDeg / 2.0, 0.0,
-                                   stats.sigmaDirectionDeg);
+  return circularGaussianWindowProbability(deviation, params_.alphaDeg / 2.0,
+                                           stats.sigmaDirectionDeg);
 }
 
 double MotionMatcher::offsetFactor(const RlmStats& stats,
@@ -44,8 +62,10 @@ double MotionMatcher::pairProbability(
   if (i == j) {
     if (!params_.allowStationary) return params_.unreachableFloor;
     // Staying put: any direction is equally (un)informative; the offset
-    // should be near zero up to sensor noise.
-    const double directionFactorStationary = params_.alphaDeg / 360.0;
+    // should be near zero up to sensor noise.  Capped at 1: an alpha
+    // wider than the circle still covers at most the whole circle.
+    const double directionFactorStationary =
+        std::min(params_.alphaDeg / 360.0, 1.0);
     const double offsetFactorStationary = gaussianWindowProbability(
         motion.offsetMeters, params_.betaMeters / 2.0, 0.0,
         params_.stationarySigmaMeters);

@@ -73,4 +73,14 @@ class MotionMatcher {
 double gaussianWindowProbability(double x, double halfWidth, double mu,
                                  double sigma);
 
+/// The circular-direction building block of Eq. 5: the mass of a
+/// zero-mean N(0, sigma) deviation inside the window
+/// [deviation - halfWidth, deviation + halfWidth] with the bounds
+/// clamped to the circle's extent [-180, 180], so a window wider than
+/// the circle cannot claim mass beyond the antipode.  `deviationDeg`
+/// must already be wrapped into (-180, 180].
+double circularGaussianWindowProbability(double deviationDeg,
+                                         double halfWidthDeg,
+                                         double sigmaDeg);
+
 }  // namespace moloc::core

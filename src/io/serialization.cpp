@@ -18,6 +18,26 @@ constexpr char kMotionHeader[] = "moloc-motion-db v1";
                            ": " + what);
 }
 
+/// Saves the caller's formatting state and restores it on scope exit,
+/// so the precision-17 we need for bit-exact double round-trips never
+/// leaks into a caller-owned stream.
+class ScopedStreamFormat {
+ public:
+  explicit ScopedStreamFormat(std::ostream& out)
+      : out_(out), precision_(out.precision()), flags_(out.flags()) {}
+  ~ScopedStreamFormat() {
+    out_.precision(precision_);
+    out_.flags(flags_);
+  }
+  ScopedStreamFormat(const ScopedStreamFormat&) = delete;
+  ScopedStreamFormat& operator=(const ScopedStreamFormat&) = delete;
+
+ private:
+  std::ostream& out_;
+  std::streamsize precision_;
+  std::ios_base::fmtflags flags_;
+};
+
 /// Reads one non-empty line; returns false at EOF.
 bool nextLine(std::istream& in, std::string& line, int& lineNo) {
   while (std::getline(in, line)) {
@@ -47,9 +67,12 @@ std::ifstream openForRead(const std::string& path) {
 
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
                              std::ostream& out) {
+  const ScopedStreamFormat guard(out);
   out << kFingerprintHeader << '\n';
   out << "aps " << db.apCount() << '\n';
   out.precision(17);
+  // With the database's id index this loop is O(n * aps); before the
+  // index each entry(id) re-scanned the whole database.
   for (const env::LocationId id : db.locationIds()) {
     const auto& fp = db.entry(id);
     out << "location " << id;
@@ -97,6 +120,7 @@ radio::FingerprintDatabase loadFingerprintDatabase(std::istream& in) {
 
 void saveMotionDatabase(const core::MotionDatabase& db,
                         std::ostream& out) {
+  const ScopedStreamFormat guard(out);
   out << kMotionHeader << '\n';
   out << "locations " << db.locationCount() << '\n';
   out.precision(17);
@@ -154,6 +178,7 @@ core::MotionDatabase loadMotionDatabase(std::istream& in) {
 void saveProbabilisticDatabase(
     const radio::ProbabilisticFingerprintDatabase& db,
     std::ostream& out) {
+  const ScopedStreamFormat guard(out);
   out << "moloc-probabilistic-db v1\n";
   out << "aps " << db.apCount() << '\n';
   out.precision(17);

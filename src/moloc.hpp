@@ -81,3 +81,7 @@
 // Persistence.
 #include "io/serialization.hpp"
 #include "io/trace_io.hpp"
+
+// Concurrent serving layer.
+#include "service/localization_service.hpp"
+#include "service/thread_pool.hpp"

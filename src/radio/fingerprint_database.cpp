@@ -39,6 +39,7 @@ void FingerprintDatabase::addLocation(env::LocationId id,
     throw std::invalid_argument("FingerprintDatabase: duplicate location " +
                                 std::to_string(id));
   entries_.push_back({id, std::move(radioMapEntry)});
+  indexById_.emplace(id, entries_.size() - 1);
 }
 
 std::size_t FingerprintDatabase::apCount() const {
@@ -46,15 +47,15 @@ std::size_t FingerprintDatabase::apCount() const {
 }
 
 const Fingerprint& FingerprintDatabase::entry(env::LocationId id) const {
-  for (const auto& e : entries_)
-    if (e.id == id) return e.fingerprint;
-  throw std::out_of_range("FingerprintDatabase: unknown location " +
-                          std::to_string(id));
+  const auto it = indexById_.find(id);
+  if (it == indexById_.end())
+    throw std::out_of_range("FingerprintDatabase: unknown location " +
+                            std::to_string(id));
+  return entries_[it->second].fingerprint;
 }
 
 bool FingerprintDatabase::contains(env::LocationId id) const {
-  return std::any_of(entries_.begin(), entries_.end(),
-                     [id](const Entry& e) { return e.id == id; });
+  return indexById_.find(id) != indexById_.end();
 }
 
 std::vector<env::LocationId> FingerprintDatabase::locationIds() const {
@@ -84,6 +85,13 @@ env::LocationId FingerprintDatabase::nearest(const Fingerprint& query) const {
 
 std::vector<Match> FingerprintDatabase::query(const Fingerprint& query,
                                               std::size_t k) const {
+  std::vector<Match> matches;
+  queryInto(query, k, matches);
+  return matches;
+}
+
+void FingerprintDatabase::queryInto(const Fingerprint& query, std::size_t k,
+                                    std::vector<Match>& out) const {
   if (k == 0)
     throw std::invalid_argument("FingerprintDatabase: k must be >= 1");
   if (entries_.empty())
@@ -92,26 +100,24 @@ std::vector<Match> FingerprintDatabase::query(const Fingerprint& query,
     throw std::invalid_argument(
         "FingerprintDatabase: non-finite query RSS");
 
-  std::vector<Match> matches;
-  matches.reserve(entries_.size());
+  out.clear();
+  out.reserve(entries_.size());
   for (const auto& e : entries_)
-    matches.push_back({e.id, dissimilarity(query, e.fingerprint), 0.0});
+    out.push_back({e.id, dissimilarity(query, e.fingerprint), 0.0});
 
-  const std::size_t kept = std::min(k, matches.size());
-  std::partial_sort(matches.begin(),
-                    matches.begin() + static_cast<long>(kept), matches.end(),
-                    [](const Match& a, const Match& b) {
+  const std::size_t kept = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + static_cast<long>(kept),
+                    out.end(), [](const Match& a, const Match& b) {
                       return a.dissimilarity < b.dissimilarity;
                     });
-  matches.resize(kept);
+  out.resize(kept);
 
   double invSum = 0.0;
-  for (const auto& m : matches)
+  for (const auto& m : out)
     invSum += 1.0 / std::max(m.dissimilarity, kMinDissimilarity);
-  for (auto& m : matches)
+  for (auto& m : out)
     m.probability =
         (1.0 / std::max(m.dissimilarity, kMinDissimilarity)) / invSum;
-  return matches;
 }
 
 FingerprintDatabase FingerprintDatabase::truncatedTo(std::size_t n) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "env/floor_plan.hpp"
@@ -55,6 +56,13 @@ class FingerprintDatabase {
   /// k matches when the database is smaller.  k must be >= 1.
   std::vector<Match> query(const Fingerprint& query, std::size_t k) const;
 
+  /// Allocation-free variant of query(): fills `out` (clearing it
+  /// first) so a caller on the serving hot path can reuse one scratch
+  /// buffer across rounds instead of allocating a size-n vector per
+  /// call.  `out` is left unspecified if an exception is thrown.
+  void queryInto(const Fingerprint& query, std::size_t k,
+                 std::vector<Match>& out) const;
+
   /// A copy of this database restricted to the first `n` APs — how the
   /// paper derives its 4- and 5-AP configurations from the 6-AP survey.
   FingerprintDatabase truncatedTo(std::size_t n) const;
@@ -65,6 +73,11 @@ class FingerprintDatabase {
     Fingerprint fingerprint;
   };
   std::vector<Entry> entries_;
+  /// id -> position in entries_, so entry()/contains() are O(1) and DB
+  /// construction is amortized O(n) instead of the O(n^2) of scanning
+  /// entries_ per lookup.  Positions stay valid because entries_ is
+  /// append-only.
+  std::unordered_map<env::LocationId, std::size_t> indexById_;
 };
 
 }  // namespace moloc::radio

@@ -104,35 +104,40 @@ env::LocationId ProbabilisticFingerprintDatabase::mostLikely(
 
 std::vector<Match> ProbabilisticFingerprintDatabase::query(
     const Fingerprint& scan, std::size_t k) const {
+  std::vector<Match> matches;
+  queryInto(scan, k, matches);
+  return matches;
+}
+
+void ProbabilisticFingerprintDatabase::queryInto(
+    const Fingerprint& scan, std::size_t k, std::vector<Match>& out) const {
   if (k == 0)
     throw std::invalid_argument(
         "ProbabilisticFingerprintDatabase: k must be >= 1");
   if (entries_.empty())
     throw std::logic_error("ProbabilisticFingerprintDatabase: empty");
 
-  std::vector<Match> matches;
-  matches.reserve(entries_.size());
+  out.clear();
+  out.reserve(entries_.size());
   for (const auto& e : entries_)
-    matches.push_back({e.id, -logLikelihood(scan, e.id), 0.0});
+    out.push_back({e.id, -logLikelihood(scan, e.id), 0.0});
 
-  const std::size_t kept = std::min(k, matches.size());
-  std::partial_sort(matches.begin(),
-                    matches.begin() + static_cast<long>(kept),
-                    matches.end(), [](const Match& a, const Match& b) {
+  const std::size_t kept = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + static_cast<long>(kept),
+                    out.end(), [](const Match& a, const Match& b) {
                       return a.dissimilarity < b.dissimilarity;
                     });
-  matches.resize(kept);
+  out.resize(kept);
 
   // Posterior over the kept set (uniform prior): softmax of the
   // log-likelihoods, computed with the max subtracted for stability.
-  const double maxLogL = -matches.front().dissimilarity;
+  const double maxLogL = -out.front().dissimilarity;
   double total = 0.0;
-  for (auto& m : matches) {
+  for (auto& m : out) {
     m.probability = std::exp(-m.dissimilarity - maxLogL);
     total += m.probability;
   }
-  for (auto& m : matches) m.probability /= total;
-  return matches;
+  for (auto& m : out) m.probability /= total;
 }
 
 std::span<const double> ProbabilisticFingerprintDatabase::mu(

@@ -55,6 +55,12 @@ class ProbabilisticFingerprintDatabase {
   /// log-likelihood for diagnostic symmetry.
   std::vector<Match> query(const Fingerprint& scan, std::size_t k) const;
 
+  /// Allocation-free variant of query(): fills `out` (clearing it
+  /// first) so hot-path callers can reuse one scratch buffer; same
+  /// contract as FingerprintDatabase::queryInto.
+  void queryInto(const Fingerprint& scan, std::size_t k,
+                 std::vector<Match>& out) const;
+
   /// Builds the map from a survey's training partitions.
   static ProbabilisticFingerprintDatabase fromSurvey(
       const SurveyData& survey);

@@ -1,0 +1,160 @@
+#include "service/localization_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace moloc::service {
+
+namespace {
+
+std::size_t resolveThreadCount(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+std::size_t checkShardCount(std::size_t shardCount) {
+  if (shardCount == 0)
+    throw std::invalid_argument(
+        "LocalizationService: shard count must be >= 1");
+  return shardCount;
+}
+
+}  // namespace
+
+LocalizationService::LocalizationService(
+    radio::FingerprintDatabase fingerprints, core::MotionDatabase motion,
+    ServiceConfig config)
+    : config_(config),
+      fingerprints_(std::move(fingerprints)),
+      motion_(std::move(motion)),
+      shards_(checkShardCount(config.shardCount)),
+      pool_(resolveThreadCount(config.threadCount)) {}
+
+LocalizationService::Shard& LocalizationService::shardFor(SessionId id) {
+  return shards_[static_cast<std::size_t>(id) % shards_.size()];
+}
+
+const LocalizationService::Shard& LocalizationService::shardFor(
+    SessionId id) const {
+  return shards_[static_cast<std::size_t>(id) % shards_.size()];
+}
+
+std::shared_ptr<LocalizationService::SessionSlot>
+LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
+  auto& shard = shardFor(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
+    it = shard.sessions
+             .emplace(id, std::make_shared<SessionSlot>(
+                              fingerprints_, motion_, stepLengthMeters,
+                              config_.engine, config_.motion))
+             .first;
+  }
+  return it->second;
+}
+
+void LocalizationService::openSession(SessionId id,
+                                      double stepLengthMeters) {
+  auto& shard = shardFor(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.sessions.count(id) > 0)
+    throw std::invalid_argument("LocalizationService: session " +
+                                std::to_string(id) + " already exists");
+  shard.sessions.emplace(
+      id, std::make_shared<SessionSlot>(fingerprints_, motion_,
+                                        stepLengthMeters, config_.engine,
+                                        config_.motion));
+}
+
+core::LocationEstimate LocalizationService::submitScan(
+    SessionId id, const radio::Fingerprint& scan,
+    const sensors::ImuTrace& imuSinceLastScan) {
+  const auto slot = findOrCreate(id, config_.defaultStepLengthMeters);
+  const std::lock_guard<std::mutex> lock(slot->mu);
+  return slot->session.onScan(scan, imuSinceLastScan);
+}
+
+std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
+    const std::vector<ScanRequest>& batch) {
+  std::vector<core::LocationEstimate> results(batch.size());
+  if (batch.empty()) return results;
+
+  // Group request indices by session, preserving each session's
+  // request order.  One task per session keeps a session's scans
+  // strictly ordered while distinct sessions run in parallel — which
+  // is also why the batch result cannot depend on thread scheduling.
+  std::unordered_map<SessionId, std::vector<std::size_t>> bySession;
+  std::vector<SessionId> order;  // First-appearance order, for tasks.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto [it, inserted] = bySession.try_emplace(batch[i].session);
+    if (inserted) order.push_back(batch[i].session);
+    it->second.push_back(i);
+  }
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(order.size());
+  for (const SessionId id : order) {
+    const auto* indices = &bySession.at(id);
+    pending.push_back(pool_.submit([this, id, indices, &batch, &results] {
+      const auto slot = findOrCreate(id, config_.defaultStepLengthMeters);
+      const std::lock_guard<std::mutex> lock(slot->mu);
+      for (const std::size_t i : *indices)
+        results[i] = slot->session.onScan(batch[i].scan, batch[i].imu);
+    }));
+  }
+
+  // Settle the whole batch before rethrowing, so no task is left
+  // touching `batch`/`results` after this frame unwinds.
+  std::exception_ptr firstFailure;
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!firstFailure) firstFailure = std::current_exception();
+    }
+  }
+  if (firstFailure) std::rethrow_exception(firstFailure);
+  return results;
+}
+
+void LocalizationService::resetSession(SessionId id) {
+  std::shared_ptr<SessionSlot> slot;
+  {
+    auto& shard = shardFor(id);
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end()) return;
+    slot = it->second;
+  }
+  const std::lock_guard<std::mutex> lock(slot->mu);
+  slot->session.reset();
+}
+
+bool LocalizationService::endSession(SessionId id) {
+  auto& shard = shardFor(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.sessions.erase(id) > 0;
+}
+
+bool LocalizationService::hasSession(SessionId id) const {
+  const auto& shard = shardFor(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.sessions.count(id) > 0;
+}
+
+std::size_t LocalizationService::sessionCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.sessions.size();
+  }
+  return total;
+}
+
+}  // namespace moloc::service

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/localization_session.hpp"
+#include "core/motion_database.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "sensors/imu_trace.hpp"
+#include "service/thread_pool.hpp"
+
+namespace moloc::service {
+
+/// Identifies one tracked user across scans.
+using SessionId = std::uint64_t;
+
+/// Server-side tunables of the LocalizationService.
+struct ServiceConfig {
+  /// Worker threads for localizeBatch(); 0 selects the hardware
+  /// concurrency (at least 1).
+  std::size_t threadCount = 0;
+  /// Shards of the session map; more shards = less lock contention on
+  /// session lookup.  Must be >= 1 (throws std::invalid_argument).
+  std::size_t shardCount = 16;
+  /// Step length assigned to sessions auto-created by submitScan();
+  /// openSession() can override per user.
+  double defaultStepLengthMeters = 0.72;
+  core::MoLocConfig engine;
+  sensors::MotionProcessorParams motion;
+};
+
+/// One unit of batch work: a scan for one session, plus the IMU
+/// recording since that session's previous scan (empty for a first
+/// fix).
+struct ScanRequest {
+  SessionId session = 0;
+  radio::Fingerprint scan;
+  sensors::ImuTrace imu;
+};
+
+/// The concurrent serving layer: owns one immutable copy of the radio
+/// map and the motion database, and manages any number of independent
+/// per-user LocalizationSessions keyed by SessionId.
+///
+/// Concurrency model:
+///   - The two databases are written only in the constructor and read
+///     everywhere after — shared freely across threads without locks.
+///   - The session map is sharded; each shard's mutex guards only
+///     lookup/insert/erase, never localization work.
+///   - Each session carries its own mutex, so concurrent scans for the
+///     *same* session serialize (a session is a stateful Bayesian
+///     filter; its scans must apply in order) while scans for
+///     different sessions proceed in parallel.
+///
+/// Determinism: a session's estimate depends only on that session's
+/// scan sequence, so localizeBatch() over the thread pool returns
+/// results bitwise-identical to running each session serially,
+/// regardless of thread count or scheduling.
+class LocalizationService {
+ public:
+  /// Takes ownership of one immutable copy of each database.
+  LocalizationService(radio::FingerprintDatabase fingerprints,
+                      core::MotionDatabase motion,
+                      ServiceConfig config = {});
+
+  LocalizationService(const LocalizationService&) = delete;
+  LocalizationService& operator=(const LocalizationService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  const radio::FingerprintDatabase& fingerprints() const {
+    return fingerprints_;
+  }
+  const core::MotionDatabase& motion() const { return motion_; }
+  std::size_t threadCount() const { return pool_.size(); }
+
+  /// Creates the session for `id` with an explicit step length.
+  /// Throws std::invalid_argument if the session already exists or the
+  /// step length is not positive.
+  void openSession(SessionId id, double stepLengthMeters);
+
+  /// One synchronous localization round for `id`, creating the session
+  /// on first use (with the default step length).  Thread-safe; calls
+  /// for the same id serialize in arrival order.
+  core::LocationEstimate submitScan(
+      SessionId id, const radio::Fingerprint& scan,
+      const sensors::ImuTrace& imuSinceLastScan);
+
+  /// Localizes a batch over the thread pool and returns the estimates
+  /// in request order.  Requests for the same session are applied in
+  /// their order within `batch`; distinct sessions run in parallel.
+  /// If any request throws (e.g. a mismatched scan dimensionality),
+  /// the first failure in batch order is rethrown after the whole
+  /// batch has settled.
+  std::vector<core::LocationEstimate> localizeBatch(
+      const std::vector<ScanRequest>& batch);
+
+  /// Forgets the retained candidate set of `id` (start of a new walk).
+  /// No-op for unknown sessions.
+  void resetSession(SessionId id);
+
+  /// Destroys the session for `id`; returns whether it existed.
+  bool endSession(SessionId id);
+
+  bool hasSession(SessionId id) const;
+  std::size_t sessionCount() const;
+
+ private:
+  /// A session plus the mutex serializing its scans.
+  struct SessionSlot {
+    SessionSlot(const radio::FingerprintDatabase& fingerprints,
+                const core::MotionDatabase& motion,
+                double stepLengthMeters, const core::MoLocConfig& engine,
+                const sensors::MotionProcessorParams& motionParams)
+        : session(fingerprints, motion, stepLengthMeters, engine,
+                  motionParams) {}
+    std::mutex mu;
+    core::LocalizationSession session;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, std::shared_ptr<SessionSlot>> sessions;
+  };
+
+  Shard& shardFor(SessionId id);
+  const Shard& shardFor(SessionId id) const;
+
+  /// The slot for `id`, created with `stepLengthMeters` if absent.
+  std::shared_ptr<SessionSlot> findOrCreate(SessionId id,
+                                            double stepLengthMeters);
+
+  ServiceConfig config_;
+  radio::FingerprintDatabase fingerprints_;
+  core::MotionDatabase motion_;
+  std::vector<Shard> shards_;
+  ThreadPool pool_;
+};
+
+}  // namespace moloc::service

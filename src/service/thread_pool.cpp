@@ -1,0 +1,65 @@
+#include "service/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace moloc::service {
+
+ThreadPool::ThreadPool(std::size_t threadCount) {
+  if (threadCount == 0)
+    throw std::invalid_argument("ThreadPool: thread count must be >= 1");
+  workers_.reserve(threadCount);
+  for (std::size_t i = 0; i < threadCount; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wakeWorker_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(packaged));
+  }
+  wakeWorker_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  allIdle_.wait(lock,
+                [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wakeWorker_.wait(
+          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();  // Exceptions land in the task's future.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) allIdle_.notify_all();
+    }
+  }
+}
+
+}  // namespace moloc::service

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moloc::service {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue —
+/// the dispatch substrate of the LocalizationService.
+///
+/// Tasks are type-erased void() callables; submit() returns a future
+/// that becomes ready when the task has run (exceptions thrown by the
+/// task are captured into the future).  The destructor drains every
+/// task already submitted, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `threadCount` workers; must be >= 1 (throws
+  /// std::invalid_argument).
+  explicit ThreadPool(std::size_t threadCount);
+
+  /// Drains the queue, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.  Throws std::runtime_error if the pool is
+  /// shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable wakeWorker_;
+  std::condition_variable allIdle_;
+  std::size_t running_ = 0;  ///< Tasks currently executing.
+  bool stopping_ = false;
+};
+
+}  // namespace moloc::service

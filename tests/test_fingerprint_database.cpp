@@ -162,5 +162,63 @@ TEST_P(QueryNormalizationTest, ProbabilitiesSumToOne) {
 INSTANTIATE_TEST_SUITE_P(Sweep, QueryNormalizationTest,
                          ::testing::Values(1, 2, 3, 5, 8, 10, 15));
 
+TEST(FingerprintDatabase, IndexedLookupAtScale) {
+  // The id->index map must preserve the exact lookup semantics for
+  // arbitrary, non-contiguous, out-of-order ids.
+  FingerprintDatabase db;
+  for (int i = 0; i < 500; ++i) {
+    const env::LocationId id = (i * 37) % 1000;  // 37 coprime to 1000.
+    db.addLocation(id, Fingerprint({-40.0 - i * 0.1, -70.0 + i * 0.05}));
+  }
+  EXPECT_EQ(db.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const env::LocationId id = (i * 37) % 1000;
+    ASSERT_TRUE(db.contains(id));
+    EXPECT_DOUBLE_EQ(db.entry(id)[0], -40.0 - i * 0.1);
+  }
+  EXPECT_FALSE(db.contains(1));  // 1 is not a multiple of 37 mod 1000.
+  EXPECT_THROW(db.entry(1), std::out_of_range);
+  // Duplicate rejection still works against the index.
+  EXPECT_THROW(db.addLocation(37, Fingerprint({-1.0, -1.0})),
+               std::invalid_argument);
+}
+
+TEST(FingerprintDatabase, IndexSurvivesCopyAndTruncation) {
+  const auto db = threeLocationDb();
+  const FingerprintDatabase copy = db;
+  EXPECT_DOUBLE_EQ(copy.entry(1)[0], -55.0);
+  EXPECT_THROW(copy.entry(9), std::out_of_range);
+
+  const auto truncated = db.truncatedTo(1);
+  EXPECT_EQ(truncated.apCount(), 1u);
+  EXPECT_TRUE(truncated.contains(2));
+  EXPECT_DOUBLE_EQ(truncated.entry(2)[0], -70.0);
+}
+
+TEST(FingerprintDatabase, QueryIntoMatchesQueryAndReusesBuffer) {
+  const auto db = threeLocationDb();
+  const Fingerprint probe({-52.0, -61.0});
+  const auto fresh = db.query(probe, 2);
+
+  std::vector<Match> scratch;
+  db.queryInto(probe, 2, scratch);
+  ASSERT_EQ(scratch.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(scratch[i].location, fresh[i].location);
+    EXPECT_DOUBLE_EQ(scratch[i].dissimilarity, fresh[i].dissimilarity);
+    EXPECT_DOUBLE_EQ(scratch[i].probability, fresh[i].probability);
+  }
+
+  // Second call reuses the buffer and must fully replace its contents.
+  const Fingerprint other({-70.0, -41.0});
+  db.queryInto(other, 3, scratch);
+  const auto expected = db.query(other, 3);
+  ASSERT_EQ(scratch.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(scratch[i].location, expected[i].location);
+    EXPECT_DOUBLE_EQ(scratch[i].probability, expected[i].probability);
+  }
+}
+
 }  // namespace
 }  // namespace moloc::radio

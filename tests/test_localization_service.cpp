@@ -1,0 +1,266 @@
+#include "service/localization_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/localization_session.hpp"
+#include "sensors/accelerometer_model.hpp"
+#include "sensors/compass_model.hpp"
+#include "util/rng.hpp"
+
+namespace moloc::service {
+namespace {
+
+/// The Fig. 1 twin world of test_moloc_engine, reused as the service's
+/// shared immutable state.
+radio::FingerprintDatabase twinFingerprints() {
+  radio::FingerprintDatabase db;
+  db.addLocation(0, radio::Fingerprint({-50.0, -60.0}));
+  db.addLocation(1, radio::Fingerprint({-55.0, -57.0}));
+  db.addLocation(2, radio::Fingerprint({-50.1, -60.1}));
+  db.addLocation(3, radio::Fingerprint({-55.1, -57.1}));
+  db.addLocation(4, radio::Fingerprint({-70.0, -40.0}));
+  return db;
+}
+
+core::MotionDatabase twinMotion() {
+  core::MotionDatabase db(5);
+  db.setEntryWithMirror(0, 1, {90.0, 4.0, 4.0, 0.3, 20});
+  db.setEntryWithMirror(2, 3, {90.0, 4.0, 4.0, 0.3, 20});
+  db.setEntryWithMirror(1, 4, {117.0, 4.0, 8.9, 0.4, 20});
+  db.setEntryWithMirror(3, 4, {63.0, 4.0, 8.9, 0.4, 20});
+  return db;
+}
+
+/// A deterministic walking IMU trace (3 s at 50 Hz, heading east).
+sensors::ImuTrace walkingTrace(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sensors::AccelerometerModel accel;
+  sensors::CompassModel compass;
+  const auto accelSeries = accel.walkingSamples(150, 1.8, rng);
+  const auto compassSeries = compass.readings(90.0, 0.0, 150, rng);
+  sensors::ImuTrace trace(50.0);
+  for (std::size_t i = 0; i < 150; ++i)
+    trace.append({i / 50.0, accelSeries[i], compassSeries[i]});
+  return trace;
+}
+
+/// One session's scan sequence: a first fix at the twin, then a walk
+/// east (which disambiguates the twin pair), with a per-seed RSS
+/// perturbation so sessions differ.
+struct Walk {
+  std::vector<radio::Fingerprint> scans;
+  std::vector<sensors::ImuTrace> imu;
+};
+
+Walk makeWalk(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Walk walk;
+  const double jitter = rng.uniform(-0.4, 0.4);
+  walk.scans.push_back(radio::Fingerprint({-50.0 + jitter, -60.0}));
+  walk.imu.push_back(sensors::ImuTrace(50.0));  // First fix: no IMU.
+  walk.scans.push_back(radio::Fingerprint({-55.0 + jitter, -57.0}));
+  walk.imu.push_back(walkingTrace(seed * 7 + 1));
+  walk.scans.push_back(radio::Fingerprint({-70.0 + jitter, -40.0}));
+  walk.imu.push_back(walkingTrace(seed * 7 + 2));
+  return walk;
+}
+
+bool estimatesBitwiseEqual(const core::LocationEstimate& a,
+                           const core::LocationEstimate& b) {
+  if (a.location != b.location || a.probability != b.probability ||
+      a.candidates.size() != b.candidates.size())
+    return false;
+  for (std::size_t i = 0; i < a.candidates.size(); ++i)
+    if (a.candidates[i].location != b.candidates[i].location ||
+        a.candidates[i].probability != b.candidates[i].probability)
+      return false;
+  return true;
+}
+
+ServiceConfig testConfig(std::size_t threads) {
+  ServiceConfig config;
+  config.threadCount = threads;
+  config.shardCount = 4;
+  config.engine = core::MoLocConfig{5, {}};
+  return config;
+}
+
+TEST(LocalizationService, SubmitScanMatchesStandaloneSession) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(2));
+  core::LocalizationSession serial(svc.fingerprints(), svc.motion(),
+                                   svc.config().defaultStepLengthMeters,
+                                   svc.config().engine,
+                                   svc.config().motion);
+  const auto walk = makeWalk(3);
+  for (std::size_t r = 0; r < walk.scans.size(); ++r) {
+    const auto fromService =
+        svc.submitScan(7, walk.scans[r], walk.imu[r]);
+    const auto fromSerial = serial.onScan(walk.scans[r], walk.imu[r]);
+    EXPECT_TRUE(estimatesBitwiseEqual(fromService, fromSerial))
+        << "round " << r;
+  }
+  EXPECT_TRUE(svc.hasSession(7));
+  EXPECT_EQ(svc.sessionCount(), 1u);
+}
+
+TEST(LocalizationService, BatchIsBitwiseIdenticalToSerialExecution) {
+  constexpr std::size_t kSessions = 8;
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(4));
+
+  // Serial reference: one standalone session per user, scans in order.
+  std::vector<Walk> walks;
+  std::vector<std::vector<core::LocationEstimate>> serial(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    walks.push_back(makeWalk(100 + s));
+    core::LocalizationSession session(
+        svc.fingerprints(), svc.motion(),
+        svc.config().defaultStepLengthMeters, svc.config().engine,
+        svc.config().motion);
+    for (std::size_t r = 0; r < walks[s].scans.size(); ++r)
+      serial[s].push_back(
+          session.onScan(walks[s].scans[r], walks[s].imu[r]));
+  }
+
+  // Concurrent: one batch per round across all sessions.
+  for (std::size_t r = 0; r < walks.front().scans.size(); ++r) {
+    std::vector<ScanRequest> batch;
+    for (std::size_t s = 0; s < kSessions; ++s)
+      batch.push_back({static_cast<SessionId>(s), walks[s].scans[r],
+                       walks[s].imu[r]});
+    const auto estimates = svc.localizeBatch(batch);
+    ASSERT_EQ(estimates.size(), kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s)
+      EXPECT_TRUE(estimatesBitwiseEqual(estimates[s], serial[s][r]))
+          << "session " << s << " round " << r;
+  }
+  EXPECT_EQ(svc.sessionCount(), kSessions);
+}
+
+TEST(LocalizationService, SameSessionRequestsInOneBatchApplyInOrder) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(4));
+  const auto walk = makeWalk(11);
+  std::vector<ScanRequest> batch;
+  for (std::size_t r = 0; r < walk.scans.size(); ++r)
+    batch.push_back({42, walk.scans[r], walk.imu[r]});
+  const auto fromBatch = svc.localizeBatch(batch);
+
+  LocalizationService reference(twinFingerprints(), twinMotion(),
+                                testConfig(1));
+  for (std::size_t r = 0; r < walk.scans.size(); ++r)
+    EXPECT_TRUE(estimatesBitwiseEqual(
+        fromBatch[r],
+        reference.submitScan(42, walk.scans[r], walk.imu[r])))
+        << "round " << r;
+}
+
+TEST(LocalizationService, ThreadCountDoesNotChangeResults) {
+  const auto walk = makeWalk(23);
+  std::vector<ScanRequest> batch;
+  for (std::size_t s = 0; s < 6; ++s)
+    batch.push_back({static_cast<SessionId>(s), walk.scans[0],
+                     walk.imu[0]});
+  LocalizationService one(twinFingerprints(), twinMotion(),
+                          testConfig(1));
+  LocalizationService four(twinFingerprints(), twinMotion(),
+                           testConfig(4));
+  const auto a = one.localizeBatch(batch);
+  const auto b = four.localizeBatch(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(estimatesBitwiseEqual(a[i], b[i])) << "request " << i;
+}
+
+TEST(LocalizationService, ConcurrentSubmitScansAreSafe) {
+  // The ThreadSanitizer smoke test: external threads hammer submitScan
+  // on overlapping sessions while a batch runs on the pool.
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(4));
+  const auto walk = makeWalk(5);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&svc, &walk, &failures, t] {
+      for (int i = 0; i < 25; ++i) {
+        // Sessions 0 and 1 are contended; 10+t is private to the thread.
+        const SessionId id =
+            (i % 3 == 0) ? static_cast<SessionId>(i % 2)
+                         : static_cast<SessionId>(10 + t);
+        const auto estimate =
+            svc.submitScan(id, walk.scans[0], walk.imu[0]);
+        if (!estimate.hasFix()) ++failures;
+      }
+    });
+  }
+  std::vector<ScanRequest> batch;
+  for (std::size_t s = 20; s < 28; ++s)
+    batch.push_back({static_cast<SessionId>(s), walk.scans[0],
+                     walk.imu[0]});
+  for (int i = 0; i < 10; ++i) (void)svc.localizeBatch(batch);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(svc.sessionCount(), 2u + 4u + 8u);
+}
+
+TEST(LocalizationService, OpenSessionRejectsDuplicatesAndBadStepLength) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(1));
+  svc.openSession(1, 0.8);
+  EXPECT_THROW(svc.openSession(1, 0.7), std::invalid_argument);
+  EXPECT_THROW(svc.openSession(2, 0.0), std::invalid_argument);
+  EXPECT_FALSE(svc.hasSession(2));
+}
+
+TEST(LocalizationService, EndSessionDiscardsState) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(1));
+  const auto walk = makeWalk(9);
+  (void)svc.submitScan(5, walk.scans[0], walk.imu[0]);
+  EXPECT_TRUE(svc.endSession(5));
+  EXPECT_FALSE(svc.hasSession(5));
+  EXPECT_FALSE(svc.endSession(5));
+  EXPECT_EQ(svc.sessionCount(), 0u);
+}
+
+TEST(LocalizationService, ResetSessionForgetsWalkHistory) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(1));
+  const auto walk = makeWalk(13);
+  const auto first = svc.submitScan(3, walk.scans[0], walk.imu[0]);
+  (void)svc.submitScan(3, walk.scans[1], walk.imu[1]);
+  svc.resetSession(3);
+  // After reset the same first scan must reproduce the first fix.
+  const auto again = svc.submitScan(3, walk.scans[0], walk.imu[0]);
+  EXPECT_TRUE(estimatesBitwiseEqual(first, again));
+  svc.resetSession(999);  // Unknown session: no-op, no throw.
+}
+
+TEST(LocalizationService, BatchPropagatesRequestErrors) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(2));
+  const auto walk = makeWalk(17);
+  std::vector<ScanRequest> batch;
+  batch.push_back({1, walk.scans[0], walk.imu[0]});
+  batch.push_back(
+      {2, radio::Fingerprint({std::nan(""), -60.0}), walk.imu[0]});
+  EXPECT_THROW(svc.localizeBatch(batch), std::invalid_argument);
+}
+
+TEST(LocalizationService, RejectsZeroShards) {
+  ServiceConfig config = testConfig(1);
+  config.shardCount = 0;
+  EXPECT_THROW(LocalizationService(twinFingerprints(), twinMotion(),
+                                   config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moloc::service

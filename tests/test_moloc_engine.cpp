@@ -245,5 +245,70 @@ TEST_P(EngineKSweepTest, TwinResolutionRobustToK) {
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineKSweepTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(EngineDegenerateCandidates, EmptyCandidateSourceYieldsNoFix) {
+  // Regression: finalize() dereferenced scored.front() without an
+  // empty-set guard.  A candidate source that yields nothing must
+  // produce the well-defined "no fix" estimate, not UB.
+  TwinWorld world;
+  int calls = 0;
+  CandidateEstimator empty(
+      [&world, &calls](const radio::Fingerprint& fp, std::size_t k,
+                       std::vector<Candidate>& out) {
+        ++calls;
+        if (calls == 1)
+          world.fingerprints_.queryInto(fp, k, out);
+        else
+          out.clear();
+      },
+      5);
+  MoLocEngine engine(std::move(empty), world.motion_, MoLocConfig{5, {}});
+
+  const auto first =
+      engine.localize(radio::Fingerprint({-50.0, -60.0}), std::nullopt);
+  EXPECT_TRUE(first.hasFix());
+  const auto retainedBefore = engine.retainedCandidates().size();
+
+  const auto noFix =
+      engine.localize(radio::Fingerprint({-50.0, -60.0}),
+                      sensors::MotionMeasurement{90.0, 4.0});
+  EXPECT_FALSE(noFix.hasFix());
+  EXPECT_EQ(noFix.location, 0);
+  EXPECT_EQ(noFix.probability, 0.0);
+  EXPECT_TRUE(noFix.candidates.empty());
+  EXPECT_EQ(noFix.normalizedEntropy(), 0.0);
+  // A transient outage must not erase the retained candidate set.
+  EXPECT_EQ(engine.retainedCandidates().size(), retainedBefore);
+  EXPECT_TRUE(engine.hasHistory());
+}
+
+TEST(EngineDegenerateCandidates, AllZeroProbabilitiesYieldUniformNotNaN) {
+  // Regression: with a zero total after the fingerprint-only fallback,
+  // the Eq. 7 normalization divided by zero and produced NaN
+  // posteriors.
+  TwinWorld world;
+  CandidateEstimator zeros(
+      [](const radio::Fingerprint&, std::size_t,
+         std::vector<Candidate>& out) {
+        out.clear();
+        out.push_back({0, 1.0, 0.0});
+        out.push_back({1, 2.0, 0.0});
+        out.push_back({2, 3.0, 0.0});
+      },
+      3);
+  MoLocEngine engine(std::move(zeros), world.motion_, MoLocConfig{3, {}});
+  const auto fix =
+      engine.localize(radio::Fingerprint({-50.0, -60.0}), std::nullopt);
+  ASSERT_TRUE(fix.hasFix());
+  ASSERT_EQ(fix.candidates.size(), 3u);
+  double total = 0.0;
+  for (const auto& c : fix.candidates) {
+    EXPECT_FALSE(std::isnan(c.probability));
+    EXPECT_DOUBLE_EQ(c.probability, 1.0 / 3.0);
+    total += c.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(fix.probability));
+}
+
 }  // namespace
 }  // namespace moloc::core

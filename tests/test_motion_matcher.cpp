@@ -172,5 +172,71 @@ TEST_P(WindowWidthTest, WiderAlphaMoreMass) {
 INSTANTIATE_TEST_SUITE_P(Sweep, WindowWidthTest,
                          ::testing::Values(5.0, 10.0, 20.0, 30.0, 45.0));
 
+TEST(CircularGaussianWindow, MatchesUnwrappedWhenInsideCircle) {
+  // A window wholly inside [-180, 180] must behave exactly like the
+  // plain Gaussian window around a zero mean.
+  for (double deviation : {-90.0, -10.0, 0.0, 25.0, 120.0}) {
+    EXPECT_DOUBLE_EQ(
+        circularGaussianWindowProbability(deviation, 30.0, 40.0),
+        gaussianWindowProbability(deviation, 30.0, 0.0, 40.0));
+  }
+}
+
+TEST(CircularGaussianWindow, ClampsSpilloverAtTheAntipode) {
+  // Regression: with alpha near 360 the unwrapped window spilled past
+  // +-180 and claimed probability mass that does not exist on the
+  // circle.  A window [150, 190] must integrate only [150, 180] —
+  // identical to an in-circle window centred at 165 with half-width 15.
+  EXPECT_DOUBLE_EQ(circularGaussianWindowProbability(170.0, 20.0, 50.0),
+                   gaussianWindowProbability(165.0, 15.0, 0.0, 50.0));
+  EXPECT_DOUBLE_EQ(circularGaussianWindowProbability(-170.0, 20.0, 50.0),
+                   gaussianWindowProbability(-165.0, 15.0, 0.0, 50.0));
+  // The clamped value is strictly less than the unwrapped one.
+  EXPECT_LT(circularGaussianWindowProbability(170.0, 20.0, 50.0),
+            gaussianWindowProbability(170.0, 20.0, 0.0, 50.0));
+}
+
+TEST(CircularGaussianWindow, NeverExceedsCircularMass) {
+  // For any measurement, the direction factor may claim at most the
+  // total mass the Gaussian places on the circle.
+  const double circleMass =
+      gaussianWindowProbability(0.0, 180.0, 0.0, 100.0);
+  for (double deviation = -180.0; deviation <= 180.0; deviation += 15.0) {
+    EXPECT_LE(
+        circularGaussianWindowProbability(deviation, 180.0, 100.0),
+        circleMass + 1e-15)
+        << "deviation " << deviation;
+  }
+}
+
+TEST(CircularGaussianWindow, DegenerateSigmaIsIndicator) {
+  EXPECT_EQ(circularGaussianWindowProbability(10.0, 20.0, 0.0), 1.0);
+  EXPECT_EQ(circularGaussianWindowProbability(50.0, 20.0, 0.0), 0.0);
+}
+
+TEST(MotionMatcherCircular, DirectionFactorClampsWideAlpha) {
+  MotionDatabase db(2);
+  db.setEntry(0, 1, {0.0, 50.0, 4.0, 0.3, 10});
+  MotionMatcherParams params;
+  params.alphaDeg = 40.0;
+  const MotionMatcher matcher(db, params);
+  const RlmStats stats{0.0, 50.0, 4.0, 0.3, 10};
+  // Deviation 170 with half-width 20: window clamps at the antipode.
+  EXPECT_DOUBLE_EQ(matcher.directionFactor(stats, 170.0),
+                   gaussianWindowProbability(165.0, 15.0, 0.0, 50.0));
+}
+
+TEST(MotionMatcherCircular, StationaryDirectionFactorCapsAtOne) {
+  // An alpha wider than the circle covers at most the whole circle, so
+  // the stationary self-transition probability stays a probability.
+  MotionDatabase db(2);
+  MotionMatcherParams params;
+  params.alphaDeg = 400.0;
+  params.stationarySigmaMeters = 0.5;
+  const MotionMatcher matcher(db, params);
+  const double p = matcher.pairProbability(0, 0, {90.0, 0.0});
+  EXPECT_LE(p, 1.0);
+}
+
 }  // namespace
 }  // namespace moloc::core

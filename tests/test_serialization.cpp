@@ -294,5 +294,49 @@ TEST(Serialization, RealWorldDatabaseRoundTrips) {
                   restored.entry(i, j)->muDirectionDeg);
 }
 
+TEST(Serialization, SaveRestoresCallerStreamFormatting) {
+  // Regression: the save functions set precision(17) on the caller's
+  // stream and never restored it, permanently mutating how every later
+  // double printed.
+  std::stringstream out;
+  out.precision(3);
+  out.setf(std::ios::fixed, std::ios::floatfield);
+  const auto precisionBefore = out.precision();
+  const auto flagsBefore = out.flags();
+
+  saveFingerprintDatabase(sampleFingerprintDb(), out);
+  EXPECT_EQ(out.precision(), precisionBefore);
+  EXPECT_EQ(out.flags(), flagsBefore);
+
+  saveMotionDatabase(sampleMotionDb(), out);
+  EXPECT_EQ(out.precision(), precisionBefore);
+  EXPECT_EQ(out.flags(), flagsBefore);
+
+  // The caller's formatting still applies after a save.
+  std::stringstream probe;
+  probe.precision(3);
+  probe.setf(std::ios::fixed, std::ios::floatfield);
+  saveFingerprintDatabase(sampleFingerprintDb(), probe);
+  probe.str("");
+  probe << 1.23456789;
+  EXPECT_EQ(probe.str(), "1.235");
+}
+
+TEST(Serialization, RoundTripExactDespiteCallerFormatting) {
+  // Caller formatting (low precision, fixed) must not leak INTO the
+  // save either: doubles still round-trip bit-exactly.
+  const auto original = sampleFingerprintDb();
+  std::stringstream stream;
+  stream.precision(2);
+  stream.setf(std::ios::fixed, std::ios::floatfield);
+  saveFingerprintDatabase(original, stream);
+  const auto restored = loadFingerprintDatabase(stream);
+  for (const auto id : original.locationIds()) {
+    const auto& a = original.entry(id);
+    const auto& b = restored.entry(id);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
 }  // namespace
 }  // namespace moloc::io
