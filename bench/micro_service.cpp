@@ -7,17 +7,28 @@
 // Also cross-checks the service's determinism contract: every thread
 // count must reproduce the single-thread results bitwise.
 //
-// Output: paper-style rows on stdout and
-// bench_results/micro_service.csv (threads,queries,seconds,qps,speedup).
+// Each run carries its own private MetricsRegistry, so the per-scan
+// latency percentiles come from the same instrumentation production
+// scrapes (see docs/observability.md) — which doubles as an
+// end-to-end check that the observability layer measures what the
+// benchmark measures.
+//
+// Output: paper-style rows plus a p50/p95/p99 latency table on
+// stdout, bench_results/micro_service.csv (threads,queries,seconds,
+// qps,speedup,p50_ms,p95_ms,p99_ms), and the final run's registry
+// rendered to bench_results/micro_service_metrics.prom.
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "sensors/accelerometer_model.hpp"
 #include "sensors/compass_model.hpp"
 #include "service/localization_service.hpp"
@@ -27,8 +38,20 @@ namespace {
 using namespace moloc;
 
 constexpr std::size_t kSessions = 64;
-constexpr std::size_t kRounds = 20;
 constexpr std::size_t kImuSamples = 150;  // 3 s at 50 Hz.
+
+/// Rounds per session; MOLOC_BENCH_ROUNDS overrides the default for
+/// longer (less scheduler-noise-prone) measurements, e.g. when
+/// comparing MOLOC_METRICS=ON vs OFF builds.
+std::size_t roundsPerSession() {
+  static const std::size_t rounds = [] {
+    if (const char* env = std::getenv("MOLOC_BENCH_ROUNDS"))
+      if (const long parsed = std::atol(env); parsed > 0)
+        return static_cast<std::size_t>(parsed);
+    return std::size_t{20};
+  }();
+  return rounds;
+}
 
 /// One session's pre-generated scan sequence (first round has an empty
 /// IMU trace — the first fix of a walk).
@@ -44,7 +67,7 @@ std::vector<SessionWorkload> makeWorkload(const eval::ExperimentWorld& world) {
   for (std::size_t s = 0; s < kSessions; ++s) {
     util::Rng rng(1000 + s);
     auto& session = sessions[s];
-    for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t r = 0; r < roundsPerSession(); ++r) {
       const double x = rng.uniform(2.0, 38.0);
       const double y = rng.uniform(2.0, 14.0);
       const double heading = rng.uniform(0.0, 360.0);
@@ -67,23 +90,32 @@ std::vector<SessionWorkload> makeWorkload(const eval::ExperimentWorld& world) {
 struct RunResult {
   double seconds = 0.0;
   std::vector<core::LocationEstimate> estimates;  // Round-major.
+  // Per-scan latency percentiles from the service's own histogram
+  // (milliseconds); negative when the build has metrics compiled out.
+  double p50Ms = -1.0;
+  double p95Ms = -1.0;
+  double p99Ms = -1.0;
+  std::string promText;  ///< Rendered registry snapshot.
 };
 
 RunResult runAtThreadCount(const eval::ExperimentWorld& world,
                            const std::vector<SessionWorkload>& workload,
                            std::size_t threads) {
+  // A registry per run isolates each sweep point's series.
+  obs::MetricsRegistry registry;
   service::ServiceConfig config;
   config.threadCount = threads;
   config.shardCount = 32;
   config.engine = world.config().moloc;
   config.motion = world.config().motionProc;
+  config.metrics = &registry;
   service::LocalizationService svc(world.fingerprintDb(),
                                    world.motionDb(), config);
 
   RunResult result;
-  result.estimates.reserve(kSessions * kRounds);
+  result.estimates.reserve(kSessions * roundsPerSession());
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t r = 0; r < kRounds; ++r) {
+  for (std::size_t r = 0; r < roundsPerSession(); ++r) {
     std::vector<service::ScanRequest> batch;
     batch.reserve(kSessions);
     for (std::size_t s = 0; s < kSessions; ++s)
@@ -95,6 +127,14 @@ RunResult runAtThreadCount(const eval::ExperimentWorld& world,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+
+  if (const obs::Histogram* latency = registry.findHistogram(
+          "moloc_service_scan_latency_seconds")) {
+    result.p50Ms = latency->quantile(0.50) * 1e3;
+    result.p95Ms = latency->quantile(0.95) * 1e3;
+    result.p99Ms = latency->quantile(0.99) * 1e3;
+  }
+  result.promText = obs::renderPrometheus(registry);
   return result;
 }
 
@@ -119,17 +159,25 @@ bool bitwiseEqual(const std::vector<core::LocationEstimate>& a,
 int main() {
   eval::ExperimentWorld world{eval::WorldConfig{}};
   const auto workload = makeWorkload(world);
-  const std::size_t queries = kSessions * kRounds;
+  const std::size_t queries = kSessions * roundsPerSession();
 
   std::printf("LocalizationService throughput (%zu sessions x %zu rounds"
               " = %zu queries; hardware_concurrency=%u)\n",
-              kSessions, kRounds, queries,
+              kSessions, roundsPerSession(), queries,
               std::thread::hardware_concurrency());
+  if (!MOLOC_METRICS_ENABLED)
+    std::printf("  note: built with MOLOC_METRICS=OFF — latency"
+                " percentiles unavailable\n");
 
   util::CsvWriter csv(moloc::bench::resultsDir() + "/micro_service.csv",
                       {"threads", "queries", "seconds", "qps",
-                       "speedup_vs_1"});
+                       "speedup_vs_1", "p50_ms", "p95_ms", "p99_ms"});
 
+  struct Row {
+    std::size_t threads;
+    RunResult run;
+  };
+  std::vector<Row> rows;
   RunResult baseline;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     auto run = runAtThreadCount(world, workload, threads);
@@ -147,9 +195,35 @@ int main() {
     std::printf("  threads=%2zu  %8.0f queries/sec  (%.3f s, %.2fx)\n",
                 threads, qps, run.seconds, speedup);
     csv.cell(threads).cell(queries).cell(run.seconds).cell(qps)
-        .cell(speedup).endRow();
+        .cell(speedup).cell(run.p50Ms).cell(run.p95Ms).cell(run.p99Ms)
+        .endRow();
+    rows.push_back({threads, std::move(run)});
   }
   std::printf("  determinism: all thread counts bitwise-identical to"
               " serial\n");
+
+  if (!rows.empty() && rows.front().run.p50Ms >= 0.0) {
+    std::printf("\nPer-scan latency from moloc_service_scan_latency_"
+                "seconds (ms):\n");
+    std::printf("  %7s  %8s  %8s  %8s\n", "threads", "p50", "p95",
+                "p99");
+    for (const auto& row : rows)
+      std::printf("  %7zu  %8.3f  %8.3f  %8.3f\n", row.threads,
+                  row.run.p50Ms, row.run.p95Ms, row.run.p99Ms);
+  }
+
+  const std::string promPath =
+      moloc::bench::resultsDir() + "/micro_service_metrics.prom";
+  // The last sweep point's full registry (service + pool + engine
+  // series), as a production scrape would see it.
+  if (!rows.empty() && !rows.back().run.promText.empty()) {
+    std::FILE* file = std::fopen(promPath.c_str(), "w");
+    if (file) {
+      std::fputs(rows.back().run.promText.c_str(), file);
+      std::fclose(file);
+      std::printf("\nregistry snapshot (threads=%zu run): %s\n",
+                  rows.back().threads, promPath.c_str());
+    }
+  }
   return EXIT_SUCCESS;
 }

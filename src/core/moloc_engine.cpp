@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace moloc::core {
 
@@ -18,26 +19,70 @@ MoLocEngine::MoLocEngine(const radio::FingerprintDatabase& fingerprints,
                          const MotionDatabase& motion, MoLocConfig config)
     : estimator_(fingerprints, config.candidateCount),
       matcher_(motion, config.matcher),
-      config_(config) {}
+      config_(config) {
+  initMetrics();
+}
 
 MoLocEngine::MoLocEngine(
     const radio::ProbabilisticFingerprintDatabase& fingerprints,
     const MotionDatabase& motion, MoLocConfig config)
     : estimator_(fingerprints, config.candidateCount),
       matcher_(motion, config.matcher),
-      config_(config) {}
+      config_(config) {
+  initMetrics();
+}
 
 MoLocEngine::MoLocEngine(CandidateEstimator estimator,
                          const MotionDatabase& motion, MoLocConfig config)
     : estimator_(std::move(estimator)),
       matcher_(motion, config.matcher),
-      config_(config) {}
+      config_(config) {
+  initMetrics();
+}
+
+void MoLocEngine::initMetrics() {
+#if MOLOC_METRICS_ENABLED
+  obs::MetricsRegistry* registry = config_.metrics;
+  if (!registry) return;
+  const std::string stageHelp =
+      "Wall time of one engine pipeline stage per localization round";
+  auto stageBounds = [] {
+    return obs::Histogram::exponentialBuckets(1e-6, 2.0, 20);
+  };
+  stageFingerprint_ =
+      &registry->histogram("moloc_engine_stage_seconds", stageHelp,
+                           stageBounds(), {{"stage", "fingerprint"}});
+  stageMotion_ =
+      &registry->histogram("moloc_engine_stage_seconds", stageHelp,
+                           stageBounds(), {{"stage", "motion"}});
+  stageFusion_ =
+      &registry->histogram("moloc_engine_stage_seconds", stageHelp,
+                           stageBounds(), {{"stage", "fusion"}});
+  candidateSetSize_ = &registry->histogram(
+      "moloc_engine_candidates",
+      "Candidate-set size the estimator yielded per round",
+      obs::Histogram::linearBuckets(1.0, 1.0, 32));
+#endif
+}
 
 LocationEstimate MoLocEngine::localize(
     const radio::Fingerprint& query,
     const std::optional<sensors::MotionMeasurement>& motion) {
+#if MOLOC_METRICS_ENABLED
+  // Stage boundaries share one timestamp each (4 tick reads per round
+  // instead of three timers' 6), which is what keeps per-stage timing
+  // cheap enough to leave enabled in serving builds.
+  const bool timed = stageFingerprint_ != nullptr;
+  const std::uint64_t t0 = timed ? obs::detail::ticksNow() : 0;
+#endif
   estimator_.estimateInto(query, candidateScratch_);
   const auto& candidates = candidateScratch_;
+#if MOLOC_METRICS_ENABLED
+  const std::uint64_t t1 = timed ? obs::detail::ticksNow() : 0;
+  if (timed) stageFingerprint_->observe(obs::detail::ticksToSeconds(t0, t1));
+  if (candidateSetSize_)
+    candidateSetSize_->observe(static_cast<double>(candidates.size()));
+#endif
 
   // A candidate source that yields nothing means there is no basis for
   // a fix this round; report "no fix" and keep the retained set so a
@@ -55,6 +100,9 @@ LocationEstimate MoLocEngine::localize(
                             std::isfinite(motion->offsetMeters);
   const bool useMotion = motionUsable && !previous_.empty();
   double total = 0.0;
+  // The motion stage covers candidate scoring even on fingerprint-only
+  // rounds (the loop then degenerates to a copy), so its count matches
+  // the fusion stage one-to-one.
   for (const auto& candidate : candidates) {
     double weight = candidate.probability;
     if (useMotion) {
@@ -65,6 +113,10 @@ LocationEstimate MoLocEngine::localize(
     scored.push_back({candidate.location, weight});
     total += weight;
   }
+#if MOLOC_METRICS_ENABLED
+  const std::uint64_t t2 = timed ? obs::detail::ticksNow() : 0;
+  if (timed) stageMotion_->observe(obs::detail::ticksToSeconds(t1, t2));
+#endif
 
   if (total <= 0.0) {
     // Every candidate's motion mass vanished (can only happen with a
@@ -89,7 +141,13 @@ LocationEstimate MoLocEngine::localize(
     for (auto& c : scored) c.probability /= total;
   }
 
-  return finalize(std::move(scored));
+  LocationEstimate estimate = finalize(std::move(scored));
+#if MOLOC_METRICS_ENABLED
+  if (timed)
+    stageFusion_->observe(
+        obs::detail::ticksToSeconds(t2, obs::detail::ticksNow()));
+#endif
+  return estimate;
 }
 
 LocationEstimate MoLocEngine::finalize(

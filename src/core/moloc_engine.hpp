@@ -6,6 +6,7 @@
 #include "core/candidate_estimator.hpp"
 #include "core/motion_database.hpp"
 #include "core/motion_matcher.hpp"
+#include "obs/metrics.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "sensors/motion_processor.hpp"
 
@@ -15,6 +16,12 @@ namespace moloc::core {
 struct MoLocConfig {
   std::size_t candidateCount = 12;  ///< k, the candidate set size.
   MotionMatcherParams matcher;
+  /// Optional observability sink: a non-null registry receives the
+  /// per-stage timers (`moloc_engine_stage_seconds{stage=...}`) and
+  /// the candidate-set size distribution (`moloc_engine_candidates`).
+  /// Metrics never influence estimates; the field is inert when the
+  /// build sets MOLOC_METRICS=OFF.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The engine's answer for one query: the top-ranked location plus the
@@ -93,6 +100,10 @@ class MoLocEngine {
  private:
   LocationEstimate finalize(std::vector<WeightedCandidate> scored);
 
+  /// Registers the Eq. 1-7 pipeline instruments when config_.metrics
+  /// is set (called from every constructor).
+  void initMetrics();
+
   CandidateEstimator estimator_;
   MotionMatcher matcher_;
   MoLocConfig config_;
@@ -100,6 +111,13 @@ class MoLocEngine {
   /// Reused across localize() rounds so the per-query candidate list
   /// does not allocate on the serving hot path.
   std::vector<Candidate> candidateScratch_;
+
+#if MOLOC_METRICS_ENABLED
+  obs::Histogram* stageFingerprint_ = nullptr;  ///< Eq. 3-4 matching.
+  obs::Histogram* stageMotion_ = nullptr;       ///< Eq. 5-6 scoring.
+  obs::Histogram* stageFusion_ = nullptr;       ///< Eq. 7 + ranking.
+  obs::Histogram* candidateSetSize_ = nullptr;
+#endif
 };
 
 }  // namespace moloc::core

@@ -38,6 +38,21 @@ void MotionDatabase::setEntryWithMirror(env::LocationId i,
   setEntry(j, i, mirrored);
 }
 
+bool MotionDatabase::clearEntry(env::LocationId i, env::LocationId j) {
+  checkIds(i, j);
+  auto& entry = entries_[index(i, j)];
+  const bool existed = entry.has_value();
+  entry.reset();
+  return existed;
+}
+
+bool MotionDatabase::clearEntryWithMirror(env::LocationId i,
+                                          env::LocationId j) {
+  const bool forward = clearEntry(i, j);
+  const bool backward = clearEntry(j, i);
+  return forward || backward;
+}
+
 bool MotionDatabase::hasEntry(env::LocationId i, env::LocationId j) const {
   checkIds(i, j);
   return entries_[index(i, j)].has_value();

@@ -34,8 +34,38 @@ RlmStats fitGaussians(const std::vector<double>& directions,
 }  // namespace
 
 MotionDatabaseBuilder::MotionDatabaseBuilder(const env::FloorPlan& plan,
-                                             BuilderConfig config)
-    : plan_(plan), config_(config) {}
+                                             BuilderConfig config,
+                                             obs::MetricsRegistry* metrics)
+    : plan_(plan), config_(config) {
+#if MOLOC_METRICS_ENABLED
+  if (metrics) {
+    const obs::Labels source{{"source", "batch"}};
+    metrics_.observations = &metrics->counter(
+        "moloc_intake_observations_total",
+        "Crowdsourced RLM observations offered to the intake", source);
+    metrics_.selfPairs = &metrics->counter(
+        "moloc_intake_self_pairs_total",
+        "Observations dropped because start == end", source);
+    // The batch sanitation verdicts are per-build(), not monotone, so
+    // they surface as gauges describing the most recent build.
+    metrics_.rejectedCoarse = &metrics->gauge(
+        "moloc_builder_rejected_coarse",
+        "Samples the coarse filter rejected in the last build()");
+    metrics_.rejectedFine = &metrics->gauge(
+        "moloc_builder_rejected_fine",
+        "Samples the fine filter rejected in the last build()");
+    metrics_.underMinSamples = &metrics->gauge(
+        "moloc_builder_under_min_samples",
+        "Pairs dropped for too few surviving samples in the last "
+        "build()");
+    metrics_.pairsStored = &metrics->gauge(
+        "moloc_builder_pairs_stored",
+        "Undirected pairs stored by the last build()");
+  }
+#else
+  (void)metrics;
+#endif
+}
 
 void MotionDatabaseBuilder::addObservation(env::LocationId estimatedStart,
                                            env::LocationId estimatedEnd,
@@ -50,8 +80,14 @@ void MotionDatabaseBuilder::addObservation(env::LocationId estimatedStart,
         "MotionDatabaseBuilder: non-finite or negative measurement");
 
   ++observations_;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.observations) metrics_.observations->inc();
+#endif
   if (estimatedStart == estimatedEnd) {
     ++droppedSelfPairs_;
+#if MOLOC_METRICS_ENABLED
+    if (metrics_.selfPairs) metrics_.selfPairs->inc();
+#endif
     return;
   }
 
@@ -160,6 +196,17 @@ MotionDatabase MotionDatabaseBuilder::build(BuilderReport& report) const {
     db.setEntryWithMirror(i, j, stats);
     ++report.pairsStored;
   }
+
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.rejectedCoarse) {
+    metrics_.rejectedCoarse->set(
+        static_cast<double>(report.rejectedCoarse));
+    metrics_.rejectedFine->set(static_cast<double>(report.rejectedFine));
+    metrics_.underMinSamples->set(
+        static_cast<double>(report.underMinSamples));
+    metrics_.pairsStored->set(static_cast<double>(report.pairsStored));
+  }
+#endif
   return db;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/motion_database.hpp"
 #include "env/floor_plan.hpp"
+#include "obs/metrics.hpp"
 
 namespace moloc::core {
 
@@ -50,8 +51,13 @@ struct BuilderReport {
 /// and stores each surviving pair with its mirror entry.
 class MotionDatabaseBuilder {
  public:
+  /// A non-null `metrics` registry receives the intake counters as
+  /// `moloc_intake_*{source="batch"}` series and the latest build()'s
+  /// report as `moloc_builder_*` gauges (see docs/observability.md);
+  /// inert when the build sets MOLOC_METRICS=OFF.
   MotionDatabaseBuilder(const env::FloorPlan& plan,
-                        BuilderConfig config = {});
+                        BuilderConfig config = {},
+                        obs::MetricsRegistry* metrics = nullptr);
 
   const BuilderConfig& config() const { return config_; }
 
@@ -88,6 +94,18 @@ class MotionDatabaseBuilder {
   std::map<PairKey, std::vector<RawRlm>> raw_;
   std::size_t observations_ = 0;
   std::size_t droppedSelfPairs_ = 0;
+
+#if MOLOC_METRICS_ENABLED
+  struct Metrics {
+    obs::Counter* observations = nullptr;
+    obs::Counter* selfPairs = nullptr;
+    obs::Gauge* rejectedCoarse = nullptr;
+    obs::Gauge* rejectedFine = nullptr;
+    obs::Gauge* underMinSamples = nullptr;
+    obs::Gauge* pairsStored = nullptr;
+  };
+  Metrics metrics_;
+#endif
 };
 
 }  // namespace moloc::core

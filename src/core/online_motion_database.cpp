@@ -12,7 +12,8 @@ namespace moloc::core {
 OnlineMotionDatabase::OnlineMotionDatabase(const env::FloorPlan& plan,
                                            BuilderConfig config,
                                            std::size_t reservoirCapacity,
-                                           std::uint64_t seed)
+                                           std::uint64_t seed,
+                                           obs::MetricsRegistry* metrics)
     : plan_(plan),
       config_(config),
       capacity_(reservoirCapacity),
@@ -23,22 +24,61 @@ OnlineMotionDatabase::OnlineMotionDatabase(const env::FloorPlan& plan,
     throw std::invalid_argument(
         "OnlineMotionDatabase: reservoir smaller than the per-pair "
         "sample minimum");
+#if MOLOC_METRICS_ENABLED
+  if (metrics) {
+    const obs::Labels source{{"source", "online"}};
+    metrics_.observations = &metrics->counter(
+        "moloc_intake_observations_total",
+        "Crowdsourced RLM observations offered to the intake", source);
+    metrics_.accepted = &metrics->counter(
+        "moloc_intake_accepted_total",
+        "Observations accepted into a reservoir", source);
+    metrics_.rejectedCoarse = &metrics->counter(
+        "moloc_intake_rejected_total",
+        "Observations or samples rejected by a sanitation filter",
+        {{"source", "online"}, {"filter", "coarse"}});
+    metrics_.rejectedFine = &metrics->counter(
+        "moloc_intake_rejected_total",
+        "Observations or samples rejected by a sanitation filter",
+        {{"source", "online"}, {"filter", "fine"}});
+    metrics_.selfPairs = &metrics->counter(
+        "moloc_intake_self_pairs_total",
+        "Observations dropped because start == end", source);
+    metrics_.staleInvalidated = &metrics->counter(
+        "moloc_intake_stale_invalidated_total",
+        "Published pair entries removed after a refit fell below the "
+        "per-pair sample minimum",
+        source);
+  }
+#else
+  (void)metrics;
+#endif
 }
 
 bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
                                           env::LocationId estimatedEnd,
                                           double directionDeg,
                                           double offsetMeters) {
-  const auto& startLoc = plan_.location(estimatedStart);
-  const auto& endLoc = plan_.location(estimatedEnd);
+  // Validate the measurement before the location lookups: a corrupt
+  // (direction, offset) must report invalid_argument even when the
+  // ids are bad too, so callers can tell poisoned measurements from
+  // stale/unknown location ids.
   if (!std::isfinite(directionDeg) || !std::isfinite(offsetMeters) ||
       offsetMeters < 0.0)
     throw std::invalid_argument(
         "OnlineMotionDatabase: non-finite or negative measurement");
+  const auto& startLoc = plan_.location(estimatedStart);
+  const auto& endLoc = plan_.location(estimatedEnd);
   ++counters_.observations;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.observations) metrics_.observations->inc();
+#endif
 
   if (estimatedStart == estimatedEnd) {
     ++counters_.droppedSelfPairs;
+#if MOLOC_METRICS_ENABLED
+    if (metrics_.selfPairs) metrics_.selfPairs->inc();
+#endif
     return false;
   }
 
@@ -65,6 +105,9 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
                           config_.coarseOffsetThresholdMeters;
     if (!directionOk || !offsetOk) {
       ++counters_.rejectedCoarse;
+#if MOLOC_METRICS_ENABLED
+      if (metrics_.rejectedCoarse) metrics_.rejectedCoarse->inc();
+#endif
       return false;
     }
   }
@@ -74,13 +117,20 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
   if (reservoir.samples.size() < capacity_) {
     reservoir.samples.push_back({d, offsetMeters});
   } else {
-    // Uniform reservoir sampling: replace a random slot with
-    // probability capacity / seen.
-    const auto slot = static_cast<std::size_t>(rng_.uniformInt(
-        0, static_cast<int>(reservoir.seen) - 1));
-    if (slot < capacity_) reservoir.samples[slot] = {d, offsetMeters};
+    // Uniform reservoir sampling (Algorithm R): keep the newcomer with
+    // probability capacity / seen.  The slot draw is a full-width
+    // 64-bit index — `seen` outgrows int long before a busy pair's
+    // stream ends, and truncating it would first skew the draw and
+    // then (past 2^63) hand uniformInt a negative bound.
+    const std::uint64_t slot = rng_.uniformIndex(reservoir.seen);
+    if (slot < capacity_)
+      reservoir.samples[static_cast<std::size_t>(slot)] = {d,
+                                                           offsetMeters};
   }
   ++counters_.accepted;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.accepted) metrics_.accepted->inc();
+#endif
 
   refit({i, j}, reservoir);
   return true;
@@ -89,8 +139,12 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
 void OnlineMotionDatabase::refit(const PairKey& key,
                                  const Reservoir& reservoir) {
   if (static_cast<int>(reservoir.samples.size()) <
-      config_.minSamplesPerPair)
+      config_.minSamplesPerPair) {
+    // Reservoirs only grow, so a published entry cannot regress to
+    // this branch — but keep the invariant locally enforced anyway.
+    invalidateStaleEntry(key);
     return;
+  }
 
   auto fit = [](const std::vector<double>& directions,
                 const std::vector<double>& offsets) {
@@ -136,9 +190,23 @@ void OnlineMotionDatabase::refit(const PairKey& key,
         keptOffsets.push_back(offsets[s]);
       }
     }
+    const std::size_t excluded =
+        directions.size() - keptDirections.size();
+    if (excluded > 0) {
+      counters_.rejectedFine += excluded;
+#if MOLOC_METRICS_ENABLED
+      if (metrics_.rejectedFine)
+        metrics_.rejectedFine->inc(static_cast<double>(excluded));
+#endif
+    }
     if (static_cast<int>(keptDirections.size()) <
-        config_.minSamplesPerPair)
+        config_.minSamplesPerPair) {
+      // The fine filter no longer supports this pair.  Keeping the
+      // previously published Gaussian would let the database disagree
+      // with the reservoir forever, so withdraw it instead.
+      invalidateStaleEntry(key);
       return;
+    }
     stats = fit(keptDirections, keptOffsets);
   }
 
@@ -147,6 +215,30 @@ void OnlineMotionDatabase::refit(const PairKey& key,
   stats.sigmaOffsetMeters =
       std::max(stats.sigmaOffsetMeters, config_.minOffsetSigmaMeters);
   db_.setEntryWithMirror(key.first, key.second, stats);
+}
+
+void OnlineMotionDatabase::invalidateStaleEntry(const PairKey& key) {
+  if (!db_.hasEntry(key.first, key.second)) return;
+  db_.clearEntryWithMirror(key.first, key.second);
+  ++counters_.staleInvalidations;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.staleInvalidated) metrics_.staleInvalidated->inc();
+#endif
+}
+
+std::vector<OnlineMotionDatabase::ReservoirSample>
+OnlineMotionDatabase::reservoirSamples(env::LocationId i,
+                                       env::LocationId j) const {
+  (void)plan_.location(i);  // Validate ids like the write path does.
+  (void)plan_.location(j);
+  const PairKey key = i <= j ? PairKey{i, j} : PairKey{j, i};
+  const auto it = reservoirs_.find(key);
+  std::vector<ReservoirSample> samples;
+  if (it == reservoirs_.end()) return samples;
+  samples.reserve(it->second.samples.size());
+  for (const auto& s : it->second.samples)
+    samples.push_back({s.directionDeg, s.offsetMeters});
+  return samples;
 }
 
 }  // namespace moloc::core

@@ -8,6 +8,7 @@
 #include "core/motion_database.hpp"
 #include "core/motion_database_builder.hpp"
 #include "env/floor_plan.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace moloc::core {
@@ -23,17 +24,33 @@ namespace moloc::core {
 /// and written through to the queryable database with its mirror.
 /// The coarse map filter runs at intake, so poisoned or mislocated
 /// observations are rejected before they consume reservoir space.
+///
+/// Coherence invariant: the published database never disagrees with
+/// the reservoirs.  When a refit's fine filter leaves a pair with
+/// fewer than `minSamplesPerPair` survivors, any previously published
+/// entry for that pair is *invalidated* (removed together with its
+/// mirror) rather than silently kept stale; the event is counted in
+/// `Counters::staleInvalidations` and, when a registry is attached,
+/// in `moloc_intake_stale_invalidated_total`.
 class OnlineMotionDatabase {
  public:
   /// `reservoirCapacity` bounds per-pair memory; must be >= the
   /// config's minSamplesPerPair (throws std::invalid_argument).
+  /// A non-null `metrics` registry receives the intake counters as
+  /// `moloc_intake_*{source="online"}` series (see
+  /// docs/observability.md); instrumentation is inert when the build
+  /// sets MOLOC_METRICS=OFF.
   OnlineMotionDatabase(const env::FloorPlan& plan,
                        BuilderConfig config = {},
                        std::size_t reservoirCapacity = 64,
-                       std::uint64_t seed = 0x0b5e55edULL);
+                       std::uint64_t seed = 0x0b5e55edULL,
+                       obs::MetricsRegistry* metrics = nullptr);
 
   /// Feeds one crowdsourced RLM.  Returns true when the observation
   /// was accepted (passed the coarse filter and was not a self-pair).
+  /// Non-finite or negative measurements throw std::invalid_argument
+  /// before anything else is validated or counted; unknown location
+  /// ids throw std::out_of_range.
   bool addObservation(env::LocationId estimatedStart,
                       env::LocationId estimatedEnd, double directionDeg,
                       double offsetMeters);
@@ -44,17 +61,41 @@ class OnlineMotionDatabase {
 
   const BuilderConfig& config() const { return config_; }
 
-  /// Intake counters (coarse rejections, self-pairs, acceptances).
+  /// Intake counters (coarse rejections, self-pairs, acceptances,
+  /// fine-filter exclusions, stale-entry invalidations).
   struct Counters {
     std::size_t observations = 0;
     std::size_t accepted = 0;
     std::size_t rejectedCoarse = 0;
     std::size_t droppedSelfPairs = 0;
+    /// Samples excluded by the fine filter, summed over refits (a
+    /// reservoir sample surviving several refits before being evicted
+    /// is counted once per refit that excluded it) — a rate signal
+    /// for how noisy the accepted stream is, not a distinct-sample
+    /// count.
+    std::size_t rejectedFine = 0;
+    /// Published entries removed because a refit's fine filter left
+    /// the pair below minSamplesPerPair.
+    std::size_t staleInvalidations = 0;
   };
   const Counters& counters() const { return counters_; }
 
   /// Number of pairs currently holding at least one sample.
   std::size_t trackedPairs() const { return reservoirs_.size(); }
+
+  /// One raw sample as currently retained for a pair.
+  struct ReservoirSample {
+    double directionDeg = 0.0;
+    double offsetMeters = 0.0;
+  };
+
+  /// Diagnostics / test hook: the reservoir contents for a pair (the
+  /// order is storage order, not arrival order).  The pair is looked
+  /// up under its canonical smaller-ID-first key, so (i, j) and
+  /// (j, i) return the same samples.  Empty when the pair is
+  /// untracked; throws std::out_of_range on bad ids.
+  std::vector<ReservoirSample> reservoirSamples(
+      env::LocationId i, env::LocationId j) const;
 
  private:
   struct RawRlm {
@@ -63,11 +104,14 @@ class OnlineMotionDatabase {
   };
   struct Reservoir {
     std::vector<RawRlm> samples;
-    std::size_t seen = 0;  ///< Total accepted, including evicted.
+    std::uint64_t seen = 0;  ///< Total accepted, including evicted.
   };
   using PairKey = std::pair<env::LocationId, env::LocationId>;
 
   void refit(const PairKey& key, const Reservoir& reservoir);
+
+  /// Drops the published entry (and mirror) for `key` if one exists.
+  void invalidateStaleEntry(const PairKey& key);
 
   const env::FloorPlan& plan_;
   BuilderConfig config_;
@@ -76,6 +120,18 @@ class OnlineMotionDatabase {
   std::map<PairKey, Reservoir> reservoirs_;
   MotionDatabase db_;
   Counters counters_;
+
+#if MOLOC_METRICS_ENABLED
+  struct Metrics {
+    obs::Counter* observations = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejectedCoarse = nullptr;
+    obs::Counter* rejectedFine = nullptr;
+    obs::Counter* selfPairs = nullptr;
+    obs::Counter* staleInvalidated = nullptr;
+  };
+  Metrics metrics_;
+#endif
 };
 
 }  // namespace moloc::core

@@ -1,0 +1,113 @@
+#include "obs/prometheus.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace moloc::obs {
+
+namespace {
+
+/// Label values may contain anything; the format requires escaping
+/// backslash, double-quote, and newline.
+std::string escapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string formatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+/// `{a="1",b="2"}`, with `extra` appended last (used for `le`); empty
+/// string when there are no labels at all.
+std::string labelBlock(const Labels& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+const char* typeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string renderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& family : registry.snapshot()) {
+    if (!family.help.empty())
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " +
+           typeName(family.kind) + "\n";
+    for (const auto& series : family.series) {
+      if (family.kind != MetricKind::kHistogram) {
+        out += family.name + labelBlock(series.labels, "") + " " +
+               formatValue(series.value) + "\n";
+        continue;
+      }
+      const auto& hist = series.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < hist.upperBounds.size(); ++b) {
+        cumulative += hist.bucketCounts[b];
+        out += family.name + "_bucket" +
+               labelBlock(series.labels,
+                          "le=\"" + formatValue(hist.upperBounds[b]) +
+                              "\"") +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += family.name + "_bucket" +
+             labelBlock(series.labels, "le=\"+Inf\"") + " " +
+             std::to_string(hist.count) + "\n";
+      out += family.name + "_sum" + labelBlock(series.labels, "") + " " +
+             formatValue(hist.sum) + "\n";
+      out += family.name + "_count" + labelBlock(series.labels, "") +
+             " " + std::to_string(hist.count) + "\n";
+    }
+  }
+  return out;
+}
+
+void writePrometheusFile(const MetricsRegistry& registry,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("writePrometheusFile: cannot open " + path);
+  file << renderPrometheus(registry);
+  if (!file)
+    throw std::runtime_error("writePrometheusFile: write failed for " +
+                             path);
+}
+
+}  // namespace moloc::obs

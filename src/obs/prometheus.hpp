@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace moloc::obs {
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per family, one
+/// `name{labels} value` line per series, histograms expanded into
+/// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
+/// Families appear sorted by name, series by label set, so the output
+/// is deterministic and diffable.
+std::string renderPrometheus(const MetricsRegistry& registry);
+
+/// Writes renderPrometheus() to `path` (throws std::runtime_error on
+/// I/O failure) — how benches and jobs dump a scrape-equivalent
+/// snapshot without running an HTTP endpoint.
+void writePrometheusFile(const MetricsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace moloc::obs

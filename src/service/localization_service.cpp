@@ -33,7 +33,36 @@ LocalizationService::LocalizationService(
       fingerprints_(std::move(fingerprints)),
       motion_(std::move(motion)),
       shards_(checkShardCount(config.shardCount)),
-      pool_(resolveThreadCount(config.threadCount)) {}
+      pool_(resolveThreadCount(config.threadCount), config.metrics) {
+  // Sessions inherit the service's registry unless the caller wired
+  // the engine to its own.
+  if (!config_.engine.metrics) config_.engine.metrics = config_.metrics;
+#if MOLOC_METRICS_ENABLED
+  if (config_.metrics) {
+    auto& registry = *config_.metrics;
+    metrics_.scanLatency = &registry.histogram(
+        "moloc_service_scan_latency_seconds",
+        "Wall time of one localization round (motion processing + "
+        "engine), including session-lock wait",
+        obs::Histogram::exponentialBuckets(1e-5, 2.0, 20));
+    metrics_.batchSize = &registry.histogram(
+        "moloc_service_batch_size",
+        "Requests per localizeBatch() call",
+        obs::Histogram::exponentialBuckets(1.0, 2.0, 14));
+    metrics_.sessionsActive = &registry.gauge(
+        "moloc_service_sessions_active", "Sessions currently tracked");
+    metrics_.scansTotal = &registry.counter(
+        "moloc_service_scans_total", "Localization rounds served");
+    metrics_.scansNoFix = &registry.counter(
+        "moloc_service_scans_nofix_total",
+        "Rounds that produced no fix (empty candidate set)");
+    metrics_.batchRequestsFailed = &registry.counter(
+        "moloc_service_batch_requests_failed_total",
+        "Batch requests that failed or were skipped after a failure "
+        "in their session");
+  }
+#endif
+}
 
 LocalizationService::Shard& LocalizationService::shardFor(SessionId id) {
   return shards_[static_cast<std::size_t>(id) % shards_.size()];
@@ -55,6 +84,9 @@ LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
                               fingerprints_, motion_, stepLengthMeters,
                               config_.engine, config_.motion))
              .first;
+#if MOLOC_METRICS_ENABLED
+    if (metrics_.sessionsActive) metrics_.sessionsActive->inc();
+#endif
   }
   return it->second;
 }
@@ -70,6 +102,24 @@ void LocalizationService::openSession(SessionId id,
       id, std::make_shared<SessionSlot>(fingerprints_, motion_,
                                         stepLengthMeters, config_.engine,
                                         config_.motion));
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.sessionsActive) metrics_.sessionsActive->inc();
+#endif
+}
+
+core::LocationEstimate LocalizationService::localizeLocked(
+    core::LocalizationSession& session, const radio::Fingerprint& scan,
+    const sensors::ImuTrace& imu) {
+#if MOLOC_METRICS_ENABLED
+  obs::ScopedTimer timer(metrics_.scanLatency);
+#endif
+  core::LocationEstimate estimate = session.onScan(scan, imu);
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.scansTotal) metrics_.scansTotal->inc();
+  if (metrics_.scansNoFix && !estimate.hasFix())
+    metrics_.scansNoFix->inc();
+#endif
+  return estimate;
 }
 
 core::LocationEstimate LocalizationService::submitScan(
@@ -77,13 +127,17 @@ core::LocationEstimate LocalizationService::submitScan(
     const sensors::ImuTrace& imuSinceLastScan) {
   const auto slot = findOrCreate(id, config_.defaultStepLengthMeters);
   const std::lock_guard<std::mutex> lock(slot->mu);
-  return slot->session.onScan(scan, imuSinceLastScan);
+  return localizeLocked(slot->session, scan, imuSinceLastScan);
 }
 
 std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
     const std::vector<ScanRequest>& batch) {
   std::vector<core::LocationEstimate> results(batch.size());
   if (batch.empty()) return results;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.batchSize)
+    metrics_.batchSize->observe(static_cast<double>(batch.size()));
+#endif
 
   // Group request indices by session, preserving each session's
   // request order.  One task per session keeps a session's scans
@@ -97,26 +151,66 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
     it->second.push_back(i);
   }
 
+  // Failure bookkeeping shared by the tasks: tasks record failures
+  // here instead of letting them escape through their futures, so the
+  // failure rethrown below is deterministically the first *in batch
+  // order* rather than whichever future happened to be inspected
+  // first.
+  std::mutex failureMu;
+  std::size_t firstFailedIndex = batch.size();
+  std::exception_ptr firstFailure;
+  const auto recordFailure = [&](std::size_t index,
+                                 std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock(failureMu);
+    if (index < firstFailedIndex) {
+      firstFailedIndex = index;
+      firstFailure = std::move(error);
+    }
+  };
+
   std::vector<std::future<void>> pending;
   pending.reserve(order.size());
   for (const SessionId id : order) {
     const auto* indices = &bySession.at(id);
-    pending.push_back(pool_.submit([this, id, indices, &batch, &results] {
-      const auto slot = findOrCreate(id, config_.defaultStepLengthMeters);
-      const std::lock_guard<std::mutex> lock(slot->mu);
-      for (const std::size_t i : *indices)
-        results[i] = slot->session.onScan(batch[i].scan, batch[i].imu);
+    pending.push_back(pool_.submit([this, id, indices, &batch, &results,
+                                    &recordFailure] {
+      std::size_t position = 0;
+      try {
+        const auto slot =
+            findOrCreate(id, config_.defaultStepLengthMeters);
+        const std::lock_guard<std::mutex> lock(slot->mu);
+        for (; position < indices->size(); ++position) {
+          const std::size_t i = (*indices)[position];
+          results[i] =
+              localizeLocked(slot->session, batch[i].scan, batch[i].imu);
+        }
+      } catch (...) {
+        // A session is a stateful Bayesian filter: once one of its
+        // scans fails, applying the later ones would fuse motion
+        // across a gap.  Skip the session's remaining requests (their
+        // estimates stay default "no fix") and let other sessions
+        // proceed.
+        recordFailure((*indices)[std::min(position,
+                                          indices->size() - 1)],
+                      std::current_exception());
+#if MOLOC_METRICS_ENABLED
+        if (metrics_.batchRequestsFailed)
+          metrics_.batchRequestsFailed->inc(
+              static_cast<double>(indices->size() - position));
+#endif
+      }
     }));
   }
 
   // Settle the whole batch before rethrowing, so no task is left
-  // touching `batch`/`results` after this frame unwinds.
-  std::exception_ptr firstFailure;
+  // touching `batch`/`results` after this frame unwinds.  Tasks catch
+  // their own failures, so these futures normally deliver no
+  // exception.
   for (auto& future : pending) {
     try {
       future.get();
     } catch (...) {
-      if (!firstFailure) firstFailure = std::current_exception();
+      recordFailure(batch.size() - 1, std::current_exception());
     }
   }
   if (firstFailure) std::rethrow_exception(firstFailure);
@@ -139,7 +233,11 @@ void LocalizationService::resetSession(SessionId id) {
 bool LocalizationService::endSession(SessionId id) {
   auto& shard = shardFor(id);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.sessions.erase(id) > 0;
+  const bool erased = shard.sessions.erase(id) > 0;
+#if MOLOC_METRICS_ENABLED
+  if (erased && metrics_.sessionsActive) metrics_.sessionsActive->dec();
+#endif
+  return erased;
 }
 
 bool LocalizationService::hasSession(SessionId id) const {

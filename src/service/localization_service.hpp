@@ -9,6 +9,7 @@
 
 #include "core/localization_session.hpp"
 #include "core/motion_database.hpp"
+#include "obs/metrics.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "sensors/imu_trace.hpp"
 #include "service/thread_pool.hpp"
@@ -31,6 +32,13 @@ struct ServiceConfig {
   double defaultStepLengthMeters = 0.72;
   core::MoLocConfig engine;
   sensors::MotionProcessorParams motion;
+  /// Registry receiving the service/pool/engine instruments (see
+  /// docs/observability.md).  Defaults to the process-wide registry so
+  /// a plain service is observable out of the box; point it at a
+  /// private registry to isolate one service's series (as the tests
+  /// and bench do), or set nullptr to opt out at runtime.  Inert when
+  /// the build sets MOLOC_METRICS=OFF.
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
 };
 
 /// One unit of batch work: a scan for one session, plus the IMU
@@ -92,9 +100,18 @@ class LocalizationService {
   /// Localizes a batch over the thread pool and returns the estimates
   /// in request order.  Requests for the same session are applied in
   /// their order within `batch`; distinct sessions run in parallel.
-  /// If any request throws (e.g. a mismatched scan dimensionality),
-  /// the first failure in batch order is rethrown after the whole
-  /// batch has settled.
+  ///
+  /// Failure semantics (enforced; see docs/serving.md): when a request
+  /// throws (e.g. a NaN scan), that session's *remaining* requests in
+  /// the batch are skipped — a stateful session must never apply scans
+  /// across a gap — and their estimates stay "no fix".  Requests of
+  /// that session *before* the failure remain applied, and every other
+  /// session is processed normally.  After the whole batch has
+  /// settled, the failure with the smallest batch index is rethrown.
+  /// Because already-applied scans are not rolled back, callers must
+  /// not blindly resubmit a failed batch (that would double-apply the
+  /// successful scans); resubmit only the failed session's tail, or
+  /// resetSession() it first.
   std::vector<core::LocationEstimate> localizeBatch(
       const std::vector<ScanRequest>& batch);
 
@@ -133,10 +150,29 @@ class LocalizationService {
   std::shared_ptr<SessionSlot> findOrCreate(SessionId id,
                                             double stepLengthMeters);
 
+  /// One timed localization round on an already-locked slot; updates
+  /// the scan counters.
+  core::LocationEstimate localizeLocked(core::LocalizationSession& session,
+                                        const radio::Fingerprint& scan,
+                                        const sensors::ImuTrace& imu);
+
   ServiceConfig config_;
   radio::FingerprintDatabase fingerprints_;
   core::MotionDatabase motion_;
   std::vector<Shard> shards_;
+
+#if MOLOC_METRICS_ENABLED
+  struct Metrics {
+    obs::Histogram* scanLatency = nullptr;
+    obs::Histogram* batchSize = nullptr;
+    obs::Gauge* sessionsActive = nullptr;
+    obs::Counter* scansTotal = nullptr;
+    obs::Counter* scansNoFix = nullptr;
+    obs::Counter* batchRequestsFailed = nullptr;
+  };
+  Metrics metrics_;
+#endif
+
   ThreadPool pool_;
 };
 

@@ -1,13 +1,28 @@
 #include "service/thread_pool.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
 namespace moloc::service {
 
-ThreadPool::ThreadPool(std::size_t threadCount) {
+ThreadPool::ThreadPool(std::size_t threadCount,
+                       obs::MetricsRegistry* metrics) {
   if (threadCount == 0)
     throw std::invalid_argument("ThreadPool: thread count must be >= 1");
+#if MOLOC_METRICS_ENABLED
+  if (metrics) {
+    queueDepth_ = &metrics->gauge("moloc_pool_queue_depth",
+                                  "Tasks queued but not yet running");
+    tasksTotal_ = &metrics->counter("moloc_pool_tasks_total",
+                                    "Tasks executed by the pool");
+    busySeconds_ =
+        &metrics->counter("moloc_pool_busy_seconds_total",
+                          "Wall time workers spent executing tasks");
+  }
+#else
+  (void)metrics;
+#endif
   workers_.reserve(threadCount);
   for (std::size_t i = 0; i < threadCount; ++i)
     workers_.emplace_back([this] { workerLoop(); });
@@ -30,6 +45,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     if (stopping_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(packaged));
+    // set() under the queue lock (a relaxed store, vs two CAS adds for
+    // inc/dec outside it) serializes depth updates with the queue
+    // itself, so the gauge always ends at the true depth.
+#if MOLOC_METRICS_ENABLED
+    if (queueDepth_)
+      queueDepth_->set(static_cast<double>(queue_.size()));
+#endif
   }
   wakeWorker_.notify_one();
   return future;
@@ -52,8 +74,21 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++running_;
+#if MOLOC_METRICS_ENABLED
+      if (queueDepth_)
+        queueDepth_->set(static_cast<double>(queue_.size()));
+#endif
     }
+#if MOLOC_METRICS_ENABLED
+    const std::uint64_t taskStart = obs::detail::ticksNow();
+#endif
     task();  // Exceptions land in the task's future.
+#if MOLOC_METRICS_ENABLED
+    if (busySeconds_)
+      busySeconds_->inc(
+          obs::detail::ticksToSeconds(taskStart, obs::detail::ticksNow()));
+    if (tasksTotal_) tasksTotal_->inc();
+#endif
     {
       const std::lock_guard<std::mutex> lock(mu_);
       --running_;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace moloc::service {
 
 /// A fixed-size pool of worker threads draining a FIFO task queue —
@@ -21,8 +23,12 @@ namespace moloc::service {
 class ThreadPool {
  public:
   /// Spawns `threadCount` workers; must be >= 1 (throws
-  /// std::invalid_argument).
-  explicit ThreadPool(std::size_t threadCount);
+  /// std::invalid_argument).  A non-null `metrics` registry receives
+  /// `moloc_pool_queue_depth`, `moloc_pool_tasks_total`, and
+  /// `moloc_pool_busy_seconds_total`; inert when the build sets
+  /// MOLOC_METRICS=OFF.
+  explicit ThreadPool(std::size_t threadCount,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Drains the queue, then joins.
   ~ThreadPool();
@@ -49,6 +55,12 @@ class ThreadPool {
   std::condition_variable allIdle_;
   std::size_t running_ = 0;  ///< Tasks currently executing.
   bool stopping_ = false;
+
+#if MOLOC_METRICS_ENABLED
+  obs::Gauge* queueDepth_ = nullptr;
+  obs::Counter* tasksTotal_ = nullptr;
+  obs::Counter* busySeconds_ = nullptr;
+#endif
 };
 
 }  // namespace moloc::service

@@ -1,5 +1,7 @@
 #include "util/rng.hpp"
 
+#include <stdexcept>
+
 namespace moloc::util {
 
 namespace {
@@ -43,6 +45,26 @@ double Rng::uniform(double lo, double hi) {
 
 int Rng::uniformInt(int lo, int hi) {
   return std::uniform_int_distribution<int>(lo, hi)(*this);
+}
+
+std::uint64_t Rng::uniformIndex(std::uint64_t bound) {
+  if (bound == 0)
+    throw std::invalid_argument("Rng::uniformIndex: bound must be > 0");
+  // Lemire 2019: map a 64-bit draw onto [0, bound) via the high word of
+  // a 128-bit product, rejecting the small biased fringe.
+  std::uint64_t x = (*this)();
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      product = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
 }
 
 double Rng::normal(double mean, double stddev) {

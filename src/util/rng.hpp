@@ -31,6 +31,13 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   int uniformInt(int lo, int hi);
 
+  /// Uniform 64-bit index in [0, bound), unbiased (Lemire's
+  /// multiply-and-reject method).  `bound` must be > 0 (throws
+  /// std::invalid_argument).  Use this instead of uniformInt for
+  /// counters that can exceed 2^31 — e.g. reservoir-sampling slot
+  /// draws over long crowdsourcing streams.
+  std::uint64_t uniformIndex(std::uint64_t bound);
+
   /// Normal deviate with the given mean and standard deviation.
   double normal(double mean, double stddev);
 

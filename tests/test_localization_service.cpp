@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/localization_session.hpp"
+#include "obs/metrics.hpp"
 #include "sensors/accelerometer_model.hpp"
 #include "sensors/compass_model.hpp"
 #include "util/rng.hpp"
@@ -253,6 +255,137 @@ TEST(LocalizationService, BatchPropagatesRequestErrors) {
       {2, radio::Fingerprint({std::nan(""), -60.0}), walk.imu[0]});
   EXPECT_THROW(svc.localizeBatch(batch), std::invalid_argument);
 }
+
+TEST(LocalizationService, BatchSkipsFailedSessionsRemainingRequests) {
+  // Regression for the batch failure semantics: a failing request
+  // must (a) keep that session's *earlier* requests in the batch
+  // applied, (b) skip that session's *later* requests — a stateful
+  // filter must not apply scans across a gap — and (c) leave other
+  // sessions untouched.  Verified by replaying the surviving prefix
+  // on a reference service and comparing the next estimate bitwise.
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(4));
+  const auto walk = makeWalk(31);
+  const radio::Fingerprint poisoned({std::nan(""), -60.0});
+
+  std::vector<ScanRequest> batch;
+  batch.push_back({1, walk.scans[0], walk.imu[0]});  // A: applied.
+  batch.push_back({1, poisoned, walk.imu[1]});       // A: fails.
+  batch.push_back({1, walk.scans[1], walk.imu[1]});  // A: skipped.
+  batch.push_back({2, walk.scans[0], walk.imu[0]});  // B: applied.
+  EXPECT_THROW(svc.localizeBatch(batch), std::invalid_argument);
+
+  // Reference sessions that applied exactly the surviving prefix.
+  LocalizationService reference(twinFingerprints(), twinMotion(),
+                                testConfig(1));
+  (void)reference.submitScan(1, walk.scans[0], walk.imu[0]);
+  (void)reference.submitScan(2, walk.scans[0], walk.imu[0]);
+
+  // If session 1 had also applied walk.scans[1] (the request after
+  // its failure), this follow-up scan would fuse different motion
+  // history and diverge from the reference.
+  EXPECT_TRUE(estimatesBitwiseEqual(
+      svc.submitScan(1, walk.scans[1], walk.imu[1]),
+      reference.submitScan(1, walk.scans[1], walk.imu[1])));
+  EXPECT_TRUE(estimatesBitwiseEqual(
+      svc.submitScan(2, walk.scans[1], walk.imu[1]),
+      reference.submitScan(2, walk.scans[1], walk.imu[1])));
+}
+
+TEST(LocalizationService, BatchRethrowsEarliestFailureInBatchOrder) {
+  // Two sessions fail with distinguishable errors; the service must
+  // deterministically surface the one at the smaller batch index, not
+  // whichever future settles first.
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(4));
+  const auto walk = makeWalk(37);
+  std::vector<ScanRequest> batch;
+  batch.push_back({100, radio::Fingerprint({-50.0}), walk.imu[0]});
+  batch.push_back(
+      {200, radio::Fingerprint({std::nan(""), -60.0}), walk.imu[0]});
+  try {
+    (void)svc.localizeBatch(batch);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dimensions differ"),
+              std::string::npos)
+        << "rethrew the later failure: " << e.what();
+  }
+}
+
+#if MOLOC_METRICS_ENABLED
+TEST(LocalizationService, ServiceMetricsTrackScansSessionsAndBatches) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config = testConfig(2);
+  config.metrics = &registry;
+  LocalizationService svc(twinFingerprints(), twinMotion(), config);
+  const auto walk = makeWalk(41);
+
+  (void)svc.submitScan(1, walk.scans[0], walk.imu[0]);
+  (void)svc.submitScan(1, walk.scans[1], walk.imu[1]);
+  std::vector<ScanRequest> batch;
+  batch.push_back({2, walk.scans[0], walk.imu[0]});
+  batch.push_back({3, walk.scans[0], walk.imu[0]});
+  (void)svc.localizeBatch(batch);
+
+  EXPECT_DOUBLE_EQ(
+      registry.findCounter("moloc_service_scans_total")->value(), 4.0);
+  obs::Histogram* latency =
+      registry.findHistogram("moloc_service_scan_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 4u);
+  obs::Histogram* batchSize =
+      registry.findHistogram("moloc_service_batch_size");
+  ASSERT_NE(batchSize, nullptr);
+  EXPECT_EQ(batchSize->count(), 1u);
+  EXPECT_DOUBLE_EQ(batchSize->sum(), 2.0);
+
+  obs::Gauge* active =
+      registry.findGauge("moloc_service_sessions_active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value(), 3.0);
+  EXPECT_TRUE(svc.endSession(2));
+  EXPECT_DOUBLE_EQ(active->value(), 2.0);
+
+  // The pool and engine instruments land in the same registry.
+  EXPECT_NE(registry.findGauge("moloc_pool_queue_depth"), nullptr);
+  EXPECT_GE(
+      registry.findCounter("moloc_pool_tasks_total")->value(), 2.0);
+  obs::Histogram* fingerprintStage = registry.findHistogram(
+      "moloc_engine_stage_seconds", {{"stage", "fingerprint"}});
+  ASSERT_NE(fingerprintStage, nullptr);
+  EXPECT_EQ(fingerprintStage->count(), 4u);
+}
+
+TEST(LocalizationService, FailedBatchRequestsCounted) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config = testConfig(2);
+  config.metrics = &registry;
+  LocalizationService svc(twinFingerprints(), twinMotion(), config);
+  const auto walk = makeWalk(43);
+  std::vector<ScanRequest> batch;
+  batch.push_back({1, walk.scans[0], walk.imu[0]});
+  batch.push_back(
+      {1, radio::Fingerprint({std::nan(""), -60.0}), walk.imu[1]});
+  batch.push_back({1, walk.scans[1], walk.imu[1]});  // Skipped.
+  EXPECT_THROW(svc.localizeBatch(batch), std::invalid_argument);
+  // The failing request plus the skipped tail: 2 of 3.
+  EXPECT_DOUBLE_EQ(
+      registry
+          .findCounter("moloc_service_batch_requests_failed_total")
+          ->value(),
+      2.0);
+}
+
+TEST(LocalizationService, NullRegistryDisablesMetricsAtRuntime) {
+  ServiceConfig config = testConfig(1);
+  config.metrics = nullptr;
+  LocalizationService svc(twinFingerprints(), twinMotion(), config);
+  const auto walk = makeWalk(47);
+  const auto estimate = svc.submitScan(1, walk.scans[0], walk.imu[0]);
+  EXPECT_TRUE(estimate.hasFix());  // Works, just unobserved.
+}
+#endif
 
 TEST(LocalizationService, RejectsZeroShards) {
   ServiceConfig config = testConfig(1);

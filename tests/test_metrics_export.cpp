@@ -1,0 +1,142 @@
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace moloc::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Prometheus, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(renderPrometheus(registry), "");
+}
+
+TEST(Prometheus, CounterAndGaugeLines) {
+  MetricsRegistry registry;
+  registry.counter("moloc_events_total", "Events seen").inc(42.0);
+  registry.gauge("moloc_depth", "Queue depth").set(-3.0);
+
+  const std::string text = renderPrometheus(registry);
+  EXPECT_TRUE(contains(text, "# HELP moloc_depth Queue depth\n"));
+  EXPECT_TRUE(contains(text, "# TYPE moloc_depth gauge\n"));
+  EXPECT_TRUE(contains(text, "moloc_depth -3\n"));
+  EXPECT_TRUE(contains(text,
+                       "# HELP moloc_events_total Events seen\n"));
+  EXPECT_TRUE(contains(text, "# TYPE moloc_events_total counter\n"));
+  EXPECT_TRUE(contains(text, "moloc_events_total 42\n"));
+  // Families render sorted by name.
+  EXPECT_LT(text.find("moloc_depth"), text.find("moloc_events_total"));
+}
+
+TEST(Prometheus, LabeledSeriesShareOneHeader) {
+  MetricsRegistry registry;
+  registry.counter("moloc_stage_total", "Per-stage", {{"stage", "a"}})
+      .inc();
+  registry.counter("moloc_stage_total", "Per-stage", {{"stage", "b"}})
+      .inc(2.0);
+
+  const std::string text = renderPrometheus(registry);
+  // One HELP/TYPE pair for the family, one sample line per series.
+  std::size_t helpCount = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# HELP", pos)) != std::string::npos) {
+    ++helpCount;
+    ++pos;
+  }
+  EXPECT_EQ(helpCount, 1u);
+  EXPECT_TRUE(contains(text, "moloc_stage_total{stage=\"a\"} 1\n"));
+  EXPECT_TRUE(contains(text, "moloc_stage_total{stage=\"b\"} 2\n"));
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .counter("moloc_weird_total", "Escaping",
+               {{"path", "a\\b\"c\nd"}})
+      .inc();
+  const std::string text = renderPrometheus(registry);
+  EXPECT_TRUE(contains(
+      text, "moloc_weird_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+}
+
+TEST(Prometheus, HistogramCumulativeBucketsSumAndCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("moloc_lat_seconds", "Latency",
+                                    {0.5, 1.0, 2.0});
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(0.75);
+  h.observe(5.0);  // Overflow.
+
+  const std::string text = renderPrometheus(registry);
+  EXPECT_TRUE(contains(text, "# TYPE moloc_lat_seconds histogram\n"));
+  // Buckets are cumulative.
+  EXPECT_TRUE(contains(text, "moloc_lat_seconds_bucket{le=\"0.5\"} 1\n"));
+  EXPECT_TRUE(contains(text, "moloc_lat_seconds_bucket{le=\"1\"} 3\n"));
+  EXPECT_TRUE(contains(text, "moloc_lat_seconds_bucket{le=\"2\"} 3\n"));
+  EXPECT_TRUE(
+      contains(text, "moloc_lat_seconds_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(contains(text, "moloc_lat_seconds_sum 6.75\n"));
+  EXPECT_TRUE(contains(text, "moloc_lat_seconds_count 4\n"));
+}
+
+TEST(Prometheus, LabeledHistogramPutsLeLast) {
+  MetricsRegistry registry;
+  registry
+      .histogram("moloc_stage_seconds", "Stage", {1.0},
+                 {{"stage", "fusion"}})
+      .observe(0.5);
+  const std::string text = renderPrometheus(registry);
+  EXPECT_TRUE(contains(
+      text, "moloc_stage_seconds_bucket{stage=\"fusion\",le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text,
+                       "moloc_stage_seconds_sum{stage=\"fusion\"} 0.5\n"));
+  EXPECT_TRUE(contains(text,
+                       "moloc_stage_seconds_count{stage=\"fusion\"} 1\n"));
+}
+
+TEST(Prometheus, ValueFormattingRoundTripsDoubles) {
+  MetricsRegistry registry;
+  registry.gauge("moloc_pi", "").set(3.141592653589793);
+  const std::string text = renderPrometheus(registry);
+  // %.17g must preserve the double exactly; no HELP line when help is
+  // empty.
+  EXPECT_TRUE(contains(text, "moloc_pi 3.1415926535897931\n"));
+  EXPECT_FALSE(contains(text, "# HELP moloc_pi"));
+}
+
+TEST(Prometheus, WritesFile) {
+  MetricsRegistry registry;
+  registry.counter("moloc_file_total", "File test").inc(7.0);
+  const std::string path =
+      ::testing::TempDir() + "moloc_prometheus_test.prom";
+  writePrometheusFile(registry, path);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), renderPrometheus(registry));
+  std::remove(path.c_str());
+}
+
+TEST(Prometheus, WriteToBadPathThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(
+      writePrometheusFile(registry, "/nonexistent-dir/metrics.prom"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moloc::obs

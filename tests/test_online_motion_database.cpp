@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "geometry/angles.hpp"
+#include "obs/metrics.hpp"
 
 namespace moloc::core {
 namespace {
@@ -135,6 +140,158 @@ TEST_F(OnlineDbTest, ThrowsOnUnknownLocations) {
   EXPECT_THROW(online.addObservation(0, 9, 90.0, 4.0),
                std::out_of_range);
 }
+
+TEST_F(OnlineDbTest, MeasurementValidatedBeforeLocationLookup) {
+  // Regression: a corrupt measurement must report invalid_argument
+  // even when the location ids are bad too — the old code resolved
+  // the ids first and masked the poisoned measurement as out_of_range.
+  OnlineMotionDatabase online(plan_);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(online.addObservation(0, 9, nan, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(online.addObservation(7, 9, 90.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      online.addObservation(0, 9, 90.0,
+                            std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  // Nothing was counted as offered intake.
+  EXPECT_EQ(online.counters().observations, 0u);
+}
+
+TEST_F(OnlineDbTest, StaleEntryInvalidatedWhenFineFilterDropsPair) {
+  // Regression for the stale-publication bug: once a pair is
+  // published, a later refit whose fine filter leaves fewer than
+  // minSamplesPerPair survivors must withdraw the entry (plus mirror)
+  // instead of silently serving the outdated Gaussian.
+  //
+  // Construction: capacity 6 holds the whole stream (no eviction, so
+  // the arithmetic below is exact).  Three samples at offset 4.0
+  // publish the pair.  Three more at 6.9 (coarse-legal: |6.9-4| <= 3)
+  // then make the reservoir perfectly bimodal: mean 5.45, sample
+  // stddev 1.588, fine limit 0.9 * 1.588 = 1.43 < |4.0 - 5.45| — the
+  // filter drops *every* sample and the pair loses support.
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  config.fineSigmaMultiplier = 0.9;
+  OnlineMotionDatabase online(plan_, config, 6);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(online.addObservation(0, 1, 90.0, 4.0));
+  ASSERT_TRUE(online.database().hasEntry(0, 1));
+  ASSERT_TRUE(online.database().hasEntry(1, 0));
+
+  online.addObservation(0, 1, 90.0, 6.9);
+  online.addObservation(0, 1, 90.0, 6.9);
+  EXPECT_TRUE(online.database().hasEntry(0, 1));  // Still supported.
+  online.addObservation(0, 1, 90.0, 6.9);
+
+  EXPECT_FALSE(online.database().hasEntry(0, 1));
+  EXPECT_FALSE(online.database().hasEntry(1, 0));  // Mirror withdrawn.
+  EXPECT_EQ(online.counters().staleInvalidations, 1u);
+  EXPECT_GT(online.counters().rejectedFine, 0u);
+  // The reservoir itself keeps its samples; a later consistent stream
+  // can re-publish the pair.
+  EXPECT_EQ(online.reservoirSamples(0, 1).size(), 6u);
+}
+
+TEST_F(OnlineDbTest, ReservoirSamplesAccessor) {
+  BuilderConfig config;
+  OnlineMotionDatabase online(plan_, config, 8);
+  EXPECT_TRUE(online.reservoirSamples(0, 1).empty());  // Untracked.
+  online.addObservation(0, 1, 90.0, 4.0);
+  online.addObservation(1, 0, 270.0, 4.1);  // Reassembled onto (0, 1).
+  const auto forward = online.reservoirSamples(0, 1);
+  const auto backward = online.reservoirSamples(1, 0);
+  ASSERT_EQ(forward.size(), 2u);
+  ASSERT_EQ(backward.size(), 2u);  // Same canonical pair.
+  EXPECT_DOUBLE_EQ(forward[0].directionDeg, 90.0);
+  EXPECT_DOUBLE_EQ(forward[1].directionDeg, 90.0);  // Mirrored in.
+  EXPECT_DOUBLE_EQ(forward[1].offsetMeters, 4.1);
+  EXPECT_THROW(online.reservoirSamples(0, 9), std::out_of_range);
+}
+
+TEST_F(OnlineDbTest, ReservoirRetentionIsUniform) {
+  // Statistical regression for the int-truncated slot draw: run many
+  // independent streams of n items through a capacity-C reservoir and
+  // count, per stream position, how often that item survives.  Under
+  // correct Algorithm R every position survives with probability C/n,
+  // so the 48 per-position counts follow a multinomial whose
+  // chi-squared statistic (df = 47) stays below 110 except with
+  // probability ~1e-6.  Fixed seeds make the test deterministic.
+  constexpr int kStreamLength = 48;
+  constexpr std::size_t kCapacity = 8;
+  constexpr int kTrials = 600;
+  BuilderConfig config;
+  config.enableFineFilter = false;  // Keep every coarse-legal sample.
+  std::vector<int> survivals(kStreamLength, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OnlineMotionDatabase online(plan_, config, kCapacity,
+                                static_cast<std::uint64_t>(trial) + 1);
+    // Encode the stream position in the offset (all coarse-legal:
+    // within 1 m of the 4 m map offset).
+    for (int k = 0; k < kStreamLength; ++k)
+      ASSERT_TRUE(online.addObservation(0, 1, 90.0, 3.0 + 0.02 * k));
+    for (const auto& sample : online.reservoirSamples(0, 1)) {
+      const int k =
+          static_cast<int>(std::lround((sample.offsetMeters - 3.0) / 0.02));
+      ASSERT_GE(k, 0);
+      ASSERT_LT(k, kStreamLength);
+      ++survivals[k];
+    }
+  }
+  const double expected =
+      static_cast<double>(kTrials) * kCapacity / kStreamLength;
+  double chiSquared = 0.0;
+  for (const int observed : survivals) {
+    const double diff = observed - expected;
+    chiSquared += diff * diff / expected;
+  }
+  EXPECT_LT(chiSquared, 110.0)
+      << "reservoir retention deviates from uniform";
+  // Sanity: late positions must survive at all (the truncation bug
+  // family tends to bias or break the tail of long streams).
+  EXPECT_GT(survivals[kStreamLength - 1], 0);
+}
+
+#if MOLOC_METRICS_ENABLED
+TEST_F(OnlineDbTest, IntakeCountersMirroredToRegistry) {
+  obs::MetricsRegistry registry;
+  BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  config.fineSigmaMultiplier = 0.9;
+  OnlineMotionDatabase online(plan_, config, 6, 0x0b5e55edULL,
+                              &registry);
+  online.addObservation(1, 1, 0.0, 0.0);       // Self-pair.
+  online.addObservation(0, 1, 180.0, 4.0);     // Coarse reject.
+  for (int i = 0; i < 3; ++i) online.addObservation(0, 1, 90.0, 4.0);
+  for (int i = 0; i < 3; ++i) online.addObservation(0, 1, 90.0, 6.9);
+
+  const obs::Labels online_{{"source", "online"}};
+  const auto counterValue = [&](const char* name, obs::Labels labels) {
+    obs::Counter* c = registry.findCounter(name, labels);
+    return c ? c->value() : -1.0;
+  };
+  EXPECT_DOUBLE_EQ(
+      counterValue("moloc_intake_observations_total", online_),
+      static_cast<double>(online.counters().observations));
+  EXPECT_DOUBLE_EQ(counterValue("moloc_intake_accepted_total", online_),
+                   static_cast<double>(online.counters().accepted));
+  EXPECT_DOUBLE_EQ(
+      counterValue("moloc_intake_rejected_total",
+                   {{"source", "online"}, {"filter", "coarse"}}),
+      static_cast<double>(online.counters().rejectedCoarse));
+  EXPECT_DOUBLE_EQ(
+      counterValue("moloc_intake_rejected_total",
+                   {{"source", "online"}, {"filter", "fine"}}),
+      static_cast<double>(online.counters().rejectedFine));
+  EXPECT_DOUBLE_EQ(
+      counterValue("moloc_intake_self_pairs_total", online_),
+      static_cast<double>(online.counters().droppedSelfPairs));
+  EXPECT_DOUBLE_EQ(
+      counterValue("moloc_intake_stale_invalidated_total", online_),
+      1.0);
+}
+#endif
 
 }  // namespace
 }  // namespace moloc::core

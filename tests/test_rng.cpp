@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace moloc::util {
@@ -78,6 +80,44 @@ TEST(Rng, ChanceFrequencyMatchesProbability) {
   for (int i = 0; i < n; ++i)
     if (rng.chance(0.3)) ++hits;
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, UniformIndexStaysBelowBound) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_LT(rng.uniformIndex(7), 7u);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(rng.uniformIndex(1), 0u);
+}
+
+TEST(Rng, UniformIndexZeroBoundThrows) {
+  Rng rng(23);
+  EXPECT_THROW(rng.uniformIndex(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexRoughlyUniform) {
+  Rng rng(29);
+  const std::uint64_t bound = 5;
+  const int n = 50000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.uniformIndex(bound)];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c), n / 5.0, n / 5.0 * 0.05);
+}
+
+TEST(Rng, UniformIndexHandlesBoundsBeyond32Bits) {
+  // The motivating bug: reservoir `seen` counters were squeezed
+  // through int before drawing a slot.  Verify draws against a bound
+  // past 2^32 stay in range and actually reach the upper region.
+  Rng rng(31);
+  const std::uint64_t bound = (1ULL << 33) + 12345;
+  bool sawHigh = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.uniformIndex(bound);
+    EXPECT_LT(x, bound);
+    sawHigh = sawHigh || x > (1ULL << 32);
+  }
+  EXPECT_TRUE(sawHigh);
 }
 
 TEST(Rng, SplitProducesIndependentStream) {

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace moloc::service {
 namespace {
@@ -66,6 +70,38 @@ TEST(ThreadPool, TasksObserveEachOthersWrites) {
   for (int i = 0; i < 200; ++i)
     EXPECT_EQ(slots[static_cast<std::size_t>(i)], i);
 }
+
+#if MOLOC_METRICS_ENABLED
+TEST(ThreadPool, MetricsCountTasksAndDrainQueueDepth) {
+  obs::MetricsRegistry registry;
+  {
+    ThreadPool pool(2, &registry);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 40; ++i)
+      futures.push_back(pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }));
+    for (auto& f : futures) f.get();
+    pool.wait();
+    EXPECT_DOUBLE_EQ(
+        registry.findCounter("moloc_pool_tasks_total")->value(), 40.0);
+    EXPECT_DOUBLE_EQ(
+        registry.findGauge("moloc_pool_queue_depth")->value(), 0.0);
+    EXPECT_GT(
+        registry.findCounter("moloc_pool_busy_seconds_total")->value(),
+        0.0);
+  }
+}
+
+TEST(ThreadPool, NullRegistryRunsUninstrumented) {
+  ThreadPool pool(2, nullptr);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    (void)pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+#endif
 
 }  // namespace
 }  // namespace moloc::service
