@@ -1,0 +1,214 @@
+// Micro-benchmark of the durable state subsystem (src/store):
+//
+//   1. WAL append throughput under each fsync policy.  every_record is
+//      bounded by device sync latency, every_n amortizes it over a
+//      window, none measures the pure write() + CRC path.  Record
+//      counts are scaled per policy so each run takes comparable wall
+//      time.
+//   2. Recovery time vs WAL length: a log of N accepted observations
+//      is replayed through the normal OnlineMotionDatabase intake (the
+//      bit-identical path store::recover uses), with and without a
+//      checkpoint covering the full log — the difference is what a
+//      checkpoint buys at restart.
+//
+// Output: tables on stdout plus bench_results/micro_store_append.csv
+// (policy,records,seconds,records_per_sec,mb_per_sec,fsyncs) and
+// bench_results/micro_store_recovery.csv
+// (wal_records,checkpointed,seconds,records_per_sec).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/online_motion_database.hpp"
+#include "env/floor_plan.hpp"
+#include "store/state_store.hpp"
+#include "store/wal.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace moloc;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string scratchDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("moloc_micro_store_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// A corridor with three reference locations; every benchmark record
+/// is an accepted observation on it.
+env::FloorPlan benchPlan() {
+  env::FloorPlan plan(12.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  plan.addReferenceLocation({10.0, 2.0});
+  return plan;
+}
+
+struct AppendRow {
+  std::string policy;
+  std::uint64_t records = 0;
+  double seconds = 0.0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t bytes = 0;
+};
+
+AppendRow benchAppend(const std::string& name, store::WalConfig config,
+                      std::uint64_t records) {
+  const std::string dir = scratchDir("append_" + name);
+  AppendRow row;
+  row.policy = name;
+  row.records = records;
+  {
+    store::WalWriter writer(dir, config);
+    const auto start = Clock::now();
+    for (std::uint64_t k = 0; k < records; ++k)
+      writer.append(static_cast<env::LocationId>(k % 2),
+                    static_cast<env::LocationId>(1 + k % 2),
+                    88.0 + 0.2 * static_cast<double>(k % 9),
+                    3.7 + 0.02 * static_cast<double>(k % 11));
+    writer.sync();
+    row.seconds = secondsSince(start);
+    row.fsyncs = writer.stats().fsyncs;
+    row.bytes = writer.stats().bytes;
+  }
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+struct RecoveryRow {
+  std::uint64_t walRecords = 0;
+  bool checkpointed = false;
+  double seconds = 0.0;
+  std::uint64_t replayed = 0;
+};
+
+/// Builds a store holding `records` accepted observations, optionally
+/// checkpointing at the end, then times a cold recover().
+RecoveryRow benchRecovery(const env::FloorPlan& plan,
+                          std::uint64_t records, bool checkpointed) {
+  const std::string dir = scratchDir(
+      "recover_" + std::to_string(records) +
+      (checkpointed ? "_ckpt" : "_wal"));
+  {
+    core::OnlineMotionDatabase db(plan, {}, /*reservoirCapacity=*/64,
+                                  /*seed=*/7);
+    store::StoreConfig config;
+    config.wal.fsync = store::FsyncPolicy::kNone;
+    store::StateStore store(dir, config);
+    db.setSink(&store);
+    for (std::uint64_t k = 0; k < records; ++k)
+      db.addObservation(static_cast<env::LocationId>(k % 2),
+                        static_cast<env::LocationId>(1 + k % 2),
+                        88.0 + 0.2 * static_cast<double>(k % 9),
+                        3.7 + 0.02 * static_cast<double>(k % 11));
+    if (checkpointed) store.checkpointNow(db);
+  }
+
+  RecoveryRow row;
+  row.walRecords = records;
+  row.checkpointed = checkpointed;
+  core::OnlineMotionDatabase db(plan, {}, 64, 7);
+  const auto start = Clock::now();
+  const auto result = store::recover(dir, db);
+  row.seconds = secondsSince(start);
+  row.replayed = result.replayedRecords;
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== micro_store: WAL append throughput ==\n");
+  std::printf("%-14s %10s %10s %14s %10s %8s\n", "policy", "records",
+              "seconds", "records/s", "MB/s", "fsyncs");
+
+  std::vector<AppendRow> appendRows;
+  {
+    store::WalConfig everyRecord;
+    everyRecord.fsync = store::FsyncPolicy::kEveryRecord;
+    appendRows.push_back(benchAppend("every_record", everyRecord, 500));
+
+    store::WalConfig everyN;
+    everyN.fsync = store::FsyncPolicy::kEveryN;
+    everyN.fsyncEveryN = 64;
+    appendRows.push_back(benchAppend("every_n_64", everyN, 20000));
+
+    store::WalConfig none;
+    none.fsync = store::FsyncPolicy::kNone;
+    appendRows.push_back(benchAppend("none", none, 200000));
+  }
+  for (const auto& row : appendRows) {
+    const double rps = static_cast<double>(row.records) / row.seconds;
+    const double mbps = static_cast<double>(row.bytes) / row.seconds /
+                        (1024.0 * 1024.0);
+    std::printf("%-14s %10llu %10.4f %14.0f %10.2f %8llu\n",
+                row.policy.c_str(),
+                static_cast<unsigned long long>(row.records), row.seconds,
+                rps, mbps, static_cast<unsigned long long>(row.fsyncs));
+  }
+
+  std::printf("\n== micro_store: recovery time vs WAL length ==\n");
+  std::printf("%-12s %12s %10s %14s\n", "wal_records", "checkpointed",
+              "seconds", "replayed/s");
+  const auto plan = benchPlan();
+  std::vector<RecoveryRow> recoveryRows;
+  for (const std::uint64_t records : {1000ull, 5000ull, 20000ull,
+                                      50000ull}) {
+    recoveryRows.push_back(benchRecovery(plan, records, false));
+    recoveryRows.push_back(benchRecovery(plan, records, true));
+  }
+  for (const auto& row : recoveryRows) {
+    const double rps =
+        row.replayed == 0
+            ? 0.0
+            : static_cast<double>(row.replayed) / row.seconds;
+    std::printf("%-12llu %12s %10.4f %14.0f\n",
+                static_cast<unsigned long long>(row.walRecords),
+                row.checkpointed ? "yes" : "no", row.seconds, rps);
+  }
+
+  {
+    util::CsvWriter csv(bench::resultsDir() + "/micro_store_append.csv",
+                        {"policy", "records", "seconds",
+                         "records_per_sec", "mb_per_sec", "fsyncs"});
+    for (const auto& row : appendRows)
+      csv.cell(row.policy)
+          .cell(row.records)
+          .cell(row.seconds)
+          .cell(static_cast<double>(row.records) / row.seconds)
+          .cell(static_cast<double>(row.bytes) / row.seconds /
+                (1024.0 * 1024.0))
+          .cell(row.fsyncs)
+          .endRow();
+  }
+  {
+    util::CsvWriter csv(
+        bench::resultsDir() + "/micro_store_recovery.csv",
+        {"wal_records", "checkpointed", "seconds", "records_per_sec"});
+    for (const auto& row : recoveryRows)
+      csv.cell(row.walRecords)
+          .cell(row.checkpointed ? 1 : 0)
+          .cell(row.seconds)
+          .cell(row.replayed == 0
+                    ? 0.0
+                    : static_cast<double>(row.replayed) / row.seconds)
+          .endRow();
+  }
+  std::printf("\nCSV: %s/micro_store_append.csv, "
+              "%s/micro_store_recovery.csv\n",
+              bench::resultsDir().c_str(), bench::resultsDir().c_str());
+  return 0;
+}

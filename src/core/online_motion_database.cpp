@@ -112,6 +112,14 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
     }
   }
 
+  // Write-ahead hook: log the observation (with its original, pre-
+  // reassembly arguments) before any state mutates.  A sink that
+  // throws — disk full, I/O error — aborts the update here, so the
+  // database never holds an observation its log is missing.
+  if (sink_)
+    sink_->onAccepted(estimatedStart, estimatedEnd, directionDeg,
+                      offsetMeters);
+
   auto& reservoir = reservoirs_[{i, j}];
   ++reservoir.seen;
   if (reservoir.samples.size() < capacity_) {
@@ -224,6 +232,104 @@ void OnlineMotionDatabase::invalidateStaleEntry(const PairKey& key) {
 #if MOLOC_METRICS_ENABLED
   if (metrics_.staleInvalidated) metrics_.staleInvalidated->inc();
 #endif
+}
+
+OnlineMotionDatabase::ReservoirStats
+OnlineMotionDatabase::reservoirStats() const {
+  ReservoirStats stats;
+  stats.capacity = capacity_;
+  stats.trackedPairs = reservoirs_.size();
+  for (const auto& [key, reservoir] : reservoirs_) {
+    stats.totalSamples += reservoir.samples.size();
+    stats.totalSeen += reservoir.seen;
+    if (reservoir.samples.size() >= capacity_) ++stats.pairsAtCapacity;
+  }
+  return stats;
+}
+
+OnlineMotionDatabase::Snapshot OnlineMotionDatabase::snapshot() const {
+  Snapshot snap;
+  snap.config = config_;
+  snap.capacity = capacity_;
+  snap.locationCount = plan_.locationCount();
+  snap.rngState = rng_.state();
+  snap.counters = counters_;
+  snap.reservoirs.reserve(reservoirs_.size());
+  for (const auto& [key, reservoir] : reservoirs_) {
+    Snapshot::PairState pair;
+    pair.i = key.first;
+    pair.j = key.second;
+    pair.seen = reservoir.seen;
+    pair.samples.reserve(reservoir.samples.size());
+    for (const auto& s : reservoir.samples)
+      pair.samples.push_back({s.directionDeg, s.offsetMeters});
+    snap.reservoirs.push_back(std::move(pair));
+  }
+  const auto n = static_cast<env::LocationId>(db_.locationCount());
+  for (env::LocationId i = 0; i < n; ++i)
+    for (env::LocationId j = 0; j < n; ++j)
+      if (const auto entry = db_.entry(i, j))
+        snap.entries.push_back({i, j, *entry});
+  return snap;
+}
+
+void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
+  if (snapshot.locationCount != plan_.locationCount())
+    throw std::invalid_argument(
+        "OnlineMotionDatabase::restore: snapshot covers " +
+        std::to_string(snapshot.locationCount) +
+        " locations, plan has " +
+        std::to_string(plan_.locationCount()));
+  if (snapshot.capacity <
+      static_cast<std::size_t>(
+          std::max(snapshot.config.minSamplesPerPair, 1)))
+    throw std::invalid_argument(
+        "OnlineMotionDatabase::restore: snapshot capacity below the "
+        "per-pair sample minimum");
+
+  // Validate and build into locals first, so a malformed snapshot
+  // leaves the live database untouched.
+  std::map<PairKey, Reservoir> reservoirs;
+  for (const auto& pair : snapshot.reservoirs) {
+    if (!plan_.isValid(pair.i) || !plan_.isValid(pair.j) ||
+        pair.i >= pair.j)
+      throw std::invalid_argument(
+          "OnlineMotionDatabase::restore: invalid reservoir pair key");
+    if (pair.samples.size() > snapshot.capacity)
+      throw std::invalid_argument(
+          "OnlineMotionDatabase::restore: reservoir larger than "
+          "capacity");
+    if (pair.seen < pair.samples.size())
+      throw std::invalid_argument(
+          "OnlineMotionDatabase::restore: seen-count below retained "
+          "samples");
+    Reservoir reservoir;
+    reservoir.seen = pair.seen;
+    reservoir.samples.reserve(pair.samples.size());
+    for (const auto& s : pair.samples)
+      reservoir.samples.push_back({s.directionDeg, s.offsetMeters});
+    if (!reservoirs.emplace(PairKey{pair.i, pair.j},
+                            std::move(reservoir))
+             .second)
+      throw std::invalid_argument(
+          "OnlineMotionDatabase::restore: duplicate reservoir pair");
+  }
+  MotionDatabase db(snapshot.locationCount);
+  for (const auto& entry : snapshot.entries) {
+    if (db.hasEntry(entry.i, entry.j))
+      throw std::invalid_argument(
+          "OnlineMotionDatabase::restore: duplicate published entry");
+    db.setEntry(entry.i, entry.j, entry.stats);  // Throws on bad ids.
+  }
+  util::Rng rng(0);
+  rng.setState(snapshot.rngState);  // Throws on the all-zero state.
+
+  config_ = snapshot.config;
+  capacity_ = snapshot.capacity;
+  rng_ = rng;
+  reservoirs_ = std::move(reservoirs);
+  db_ = std::move(db);
+  counters_ = snapshot.counters;
 }
 
 std::vector<OnlineMotionDatabase::ReservoirSample>

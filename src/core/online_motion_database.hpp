@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -12,6 +13,23 @@
 #include "util/rng.hpp"
 
 namespace moloc::core {
+
+/// Write-ahead hook of the intake: receives every observation that
+/// passed the sanitation filters, with the *original* call arguments
+/// (pre-reassembly), before the reservoir mutates.  Feeding the same
+/// arguments back through addObservation replays the update exactly —
+/// which is how store::recover rebuilds the database from a log.
+///
+/// An exception thrown by onAccepted propagates out of addObservation
+/// and aborts the update (write-ahead discipline: an observation that
+/// could not be logged is never applied).
+class ObservationSink {
+ public:
+  virtual ~ObservationSink() = default;
+  virtual void onAccepted(env::LocationId estimatedStart,
+                          env::LocationId estimatedEnd,
+                          double directionDeg, double offsetMeters) = 0;
+};
 
 /// An incrementally-updated motion database for deployments where
 /// crowdsourcing never stops (the paper's batch builder assumes a
@@ -97,6 +115,62 @@ class OnlineMotionDatabase {
   std::vector<ReservoirSample> reservoirSamples(
       env::LocationId i, env::LocationId j) const;
 
+  /// Aggregate reservoir occupancy — what checkpoint sizing and the
+  /// durability metrics need, without walking pairs through the
+  /// test-only reservoirSamples hook.
+  struct ReservoirStats {
+    std::size_t trackedPairs = 0;    ///< Pairs holding >= 1 sample.
+    std::size_t pairsAtCapacity = 0; ///< Pairs whose reservoir is full.
+    std::size_t totalSamples = 0;    ///< Samples currently retained.
+    std::uint64_t totalSeen = 0;     ///< Accepted ever, incl. evicted.
+    std::size_t capacity = 0;        ///< Per-pair sample bound.
+  };
+  ReservoirStats reservoirStats() const;
+
+  std::size_t reservoirCapacity() const { return capacity_; }
+
+  /// Attaches (or detaches, with nullptr) the write-ahead hook.  The
+  /// sink must outlive this database or be detached first.
+  void setSink(ObservationSink* sink) { sink_ = sink; }
+  ObservationSink* sink() const { return sink_; }
+
+  /// Everything addObservation's behaviour depends on, frozen as plain
+  /// data: the sanitation config, the per-pair reservoirs (with their
+  /// eviction counters), the published entries, the intake counters,
+  /// and the RNG state.  restore() of a snapshot followed by the same
+  /// addObservation calls is bit-identical to never having paused —
+  /// the contract store::recover builds on.
+  struct Snapshot {
+    BuilderConfig config;
+    std::size_t capacity = 0;
+    std::size_t locationCount = 0;
+    std::array<std::uint64_t, 4> rngState{};
+    Counters counters;
+    struct PairState {
+      env::LocationId i = 0;
+      env::LocationId j = 0;
+      std::uint64_t seen = 0;
+      std::vector<ReservoirSample> samples;  ///< Storage order.
+    };
+    std::vector<PairState> reservoirs;  ///< Canonical-key order.
+    struct Entry {
+      env::LocationId i = 0;
+      env::LocationId j = 0;
+      RlmStats stats;
+    };
+    std::vector<Entry> entries;  ///< All directed published entries.
+  };
+
+  Snapshot snapshot() const;
+
+  /// Replaces the full intake state with `snapshot`.  Throws
+  /// std::invalid_argument when the snapshot does not fit this
+  /// database's floor plan (location count mismatch), its capacity is
+  /// below the config's per-pair minimum, a pair key is invalid or
+  /// duplicated, or a reservoir exceeds the capacity.  On throw the
+  /// database is unchanged.
+  void restore(const Snapshot& snapshot);
+
  private:
   struct RawRlm {
     double directionDeg;
@@ -120,6 +194,7 @@ class OnlineMotionDatabase {
   std::map<PairKey, Reservoir> reservoirs_;
   MotionDatabase db_;
   Counters counters_;
+  ObservationSink* sink_ = nullptr;
 
 #if MOLOC_METRICS_ENABLED
   struct Metrics {

@@ -1,5 +1,8 @@
 #include "io/serialization.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -38,21 +41,32 @@ class ScopedStreamFormat {
   std::ios_base::fmtflags flags_;
 };
 
-/// Reads one non-empty line; returns false at EOF.
+/// Reads one non-empty line; returns false at a clean EOF.  A final
+/// line missing its trailing '\n' fails with the line number: every
+/// saver ends the file with a newline, so a missing one means the file
+/// was truncated mid-write and the last record cannot be trusted.
 bool nextLine(std::istream& in, std::string& line, int& lineNo) {
   while (std::getline(in, line)) {
     ++lineNo;
+    if (in.eof())
+      fail(lineNo, "missing trailing newline (file truncated?)");
     if (!line.empty()) return true;
   }
   return false;
 }
 
-std::ofstream openForWrite(const std::string& path) {
-  std::ofstream out(path);
-  if (!out)
-    throw std::runtime_error("moloc::io: cannot open for writing: " +
-                             path);
-  return out;
+/// Header check distinguishing "not this format at all" from "this
+/// format, another version" — the latter names the found version so an
+/// operator knows an upgrade (not a corrupt file) is the problem.
+void checkHeader(const std::string& line, int lineNo,
+                 const std::string& name, const std::string& version) {
+  if (line == name + " " + version) return;
+  if (line.size() > name.size() + 1 &&
+      line.compare(0, name.size() + 1, name + " ") == 0)
+    fail(lineNo, "unsupported " + name + " version '" +
+                     line.substr(name.size() + 1) + "' (expected '" +
+                     version + "')");
+  fail(lineNo, "expected header '" + name + " " + version + "'");
 }
 
 std::ifstream openForRead(const std::string& path) {
@@ -61,6 +75,34 @@ std::ifstream openForRead(const std::string& path) {
     throw std::runtime_error("moloc::io: cannot open for reading: " +
                              path);
   return in;
+}
+
+/// Crash-safe path save: streams through `body` into `path`.tmp,
+/// flushes, and renames onto `path`, so a crash (or a full disk) at
+/// any point leaves either the old file or the new one — never a torn
+/// half-written database.  Failures throw std::runtime_error naming
+/// the path and remove the temporary.
+template <typename SaveBody>
+void atomicSave(const std::string& path, SaveBody&& body) {
+  const std::string tmpPath = path + ".tmp";
+  {
+    std::ofstream out(tmpPath);
+    if (!out)
+      throw std::runtime_error("moloc::io: cannot open for writing: " +
+                               tmpPath);
+    body(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmpPath.c_str());
+      throw std::runtime_error("moloc::io: write failed: " + tmpPath);
+    }
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmpPath.c_str());
+    throw std::runtime_error("moloc::io: cannot rename '" + tmpPath +
+                             "' onto '" + path + "': " + reason);
+  }
 }
 
 }  // namespace
@@ -84,9 +126,10 @@ void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
 radio::FingerprintDatabase loadFingerprintDatabase(std::istream& in) {
   int lineNo = 0;
   std::string line;
-  if (!nextLine(in, line, lineNo) || line != kFingerprintHeader)
+  if (!nextLine(in, line, lineNo))
     fail(lineNo, "expected header '" + std::string(kFingerprintHeader) +
                      "'");
+  checkHeader(line, lineNo, "moloc-fingerprint-db", "v1");
 
   if (!nextLine(in, line, lineNo)) fail(lineNo, "missing 'aps' line");
   std::istringstream apsLine(line);
@@ -140,9 +183,10 @@ void saveMotionDatabase(const core::MotionDatabase& db,
 core::MotionDatabase loadMotionDatabase(std::istream& in) {
   int lineNo = 0;
   std::string line;
-  if (!nextLine(in, line, lineNo) || line != kMotionHeader)
+  if (!nextLine(in, line, lineNo))
     fail(lineNo,
          "expected header '" + std::string(kMotionHeader) + "'");
+  checkHeader(line, lineNo, "moloc-motion-db", "v1");
 
   if (!nextLine(in, line, lineNo))
     fail(lineNo, "missing 'locations' line");
@@ -167,6 +211,9 @@ core::MotionDatabase loadMotionDatabase(std::istream& in) {
     std::string extra;
     if (row >> extra) fail(lineNo, "trailing data");
     try {
+      if (db.hasEntry(i, j))
+        fail(lineNo, "duplicate entry for pair (" + std::to_string(i) +
+                         ", " + std::to_string(j) + ")");
       db.setEntry(i, j, stats);
     } catch (const std::out_of_range& e) {
       fail(lineNo, e.what());
@@ -195,8 +242,9 @@ radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
     std::istream& in) {
   int lineNo = 0;
   std::string line;
-  if (!nextLine(in, line, lineNo) || line != "moloc-probabilistic-db v1")
+  if (!nextLine(in, line, lineNo))
     fail(lineNo, "expected header 'moloc-probabilistic-db v1'");
+  checkHeader(line, lineNo, "moloc-probabilistic-db", "v1");
 
   if (!nextLine(in, line, lineNo)) fail(lineNo, "missing 'aps' line");
   std::istringstream apsLine(line);
@@ -243,8 +291,8 @@ radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
 
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
                              const std::string& path) {
-  auto out = openForWrite(path);
-  saveFingerprintDatabase(db, out);
+  atomicSave(path,
+             [&](std::ostream& out) { saveFingerprintDatabase(db, out); });
 }
 
 radio::FingerprintDatabase loadFingerprintDatabase(
@@ -255,8 +303,8 @@ radio::FingerprintDatabase loadFingerprintDatabase(
 
 void saveMotionDatabase(const core::MotionDatabase& db,
                         const std::string& path) {
-  auto out = openForWrite(path);
-  saveMotionDatabase(db, out);
+  atomicSave(path,
+             [&](std::ostream& out) { saveMotionDatabase(db, out); });
 }
 
 core::MotionDatabase loadMotionDatabase(const std::string& path) {

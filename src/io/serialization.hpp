@@ -44,8 +44,11 @@ void saveProbabilisticDatabase(
 radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
     std::istream& in);
 
-/// File-path conveniences; throw std::runtime_error when the file
-/// cannot be opened.
+/// File-path conveniences.  Saves are crash-safe: they stream into
+/// `<path>.tmp`, flush, and rename onto `path`, so a crash or a full
+/// disk leaves either the previous file or the complete new one —
+/// never a torn half-write.  All failures throw std::runtime_error
+/// naming the path.
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
                              const std::string& path);
 radio::FingerprintDatabase loadFingerprintDatabase(

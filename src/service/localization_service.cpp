@@ -7,6 +7,9 @@
 #include <thread>
 #include <utility>
 
+#include "core/online_motion_database.hpp"
+#include "store/state_store.hpp"
+
 namespace moloc::service {
 
 namespace {
@@ -60,6 +63,15 @@ LocalizationService::LocalizationService(
         "moloc_service_batch_requests_failed_total",
         "Batch requests that failed or were skipped after a failure "
         "in their session");
+    metrics_.observationsReported = &registry.counter(
+        "moloc_service_observations_reported_total",
+        "Crowdsourced observations fed through reportObservation()");
+    metrics_.backgroundCheckpoints = &registry.counter(
+        "moloc_service_background_checkpoints_total",
+        "Background checkpoints triggered by the intake record count");
+    metrics_.checkpointFailures = &registry.counter(
+        "moloc_service_checkpoint_failures_total",
+        "Background checkpoints that failed with an exception");
   }
 #endif
 }
@@ -244,6 +256,86 @@ bool LocalizationService::hasSession(SessionId id) const {
   const auto& shard = shardFor(id);
   const std::lock_guard<std::mutex> lock(shard.mu);
   return shard.sessions.count(id) > 0;
+}
+
+void LocalizationService::attachIntake(core::OnlineMotionDatabase* db,
+                                       store::StateStore* store,
+                                       std::uint64_t checkpointEveryRecords) {
+  if (db == nullptr)
+    throw std::invalid_argument(
+        "LocalizationService::attachIntake: db must be non-null");
+  if (checkpointEveryRecords > 0 && store == nullptr)
+    throw std::invalid_argument(
+        "LocalizationService::attachIntake: a checkpoint trigger "
+        "requires a store");
+  const std::lock_guard<std::mutex> lock(intakeMu_);
+  intakeDb_ = db;
+  intakeStore_ = store;
+  checkpointEveryRecords_ = checkpointEveryRecords;
+  if (store != nullptr) db->setSink(store);
+}
+
+bool LocalizationService::reportObservation(env::LocationId estimatedStart,
+                                            env::LocationId estimatedEnd,
+                                            double directionDeg,
+                                            double offsetMeters) {
+  const std::lock_guard<std::mutex> lock(intakeMu_);
+  if (intakeDb_ == nullptr)
+    throw std::logic_error(
+        "LocalizationService::reportObservation: no intake attached "
+        "(call attachIntake first)");
+  const bool accepted = intakeDb_->addObservation(
+      estimatedStart, estimatedEnd, directionDeg, offsetMeters);
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.observationsReported) metrics_.observationsReported->inc();
+#endif
+  maybeCheckpointLocked();
+  return accepted;
+}
+
+void LocalizationService::maybeCheckpointLocked() {
+  if (intakeStore_ == nullptr || checkpointEveryRecords_ == 0) return;
+  if (intakeStore_->recordsSinceCheckpoint() < checkpointEveryRecords_)
+    return;
+  // One checkpoint at a time: a second trigger while one is being
+  // written would snapshot redundantly and contend on the store.
+  if (checkpointInFlight_.exchange(true)) return;
+
+  // Snapshot and WAL position are captured here, under intakeMu_, so
+  // they are mutually consistent; only the (slow) serialize-and-publish
+  // runs on the pool.
+  auto snapshot = std::make_shared<core::OnlineMotionDatabase::Snapshot>(
+      intakeDb_->snapshot());
+  const std::uint64_t throughSeq = intakeStore_->lastSeq();
+  store::StateStore* store = intakeStore_;
+  pool_.submit([this, store, snapshot, throughSeq] {
+    try {
+      store->checkpoint(*snapshot, throughSeq);
+#if MOLOC_METRICS_ENABLED
+      if (metrics_.backgroundCheckpoints)
+        metrics_.backgroundCheckpoints->inc();
+    } catch (...) {
+      // Durability degraded but serving is unaffected: the WAL still
+      // holds everything.  Surface via metrics rather than tearing
+      // down a worker.
+      if (metrics_.checkpointFailures) metrics_.checkpointFailures->inc();
+    }
+#else
+    } catch (...) {
+    }
+#endif
+    {
+      const std::lock_guard<std::mutex> done(checkpointWaitMu_);
+      checkpointInFlight_.store(false);
+    }
+    checkpointCv_.notify_all();
+  });
+}
+
+void LocalizationService::waitForCheckpoint() {
+  std::unique_lock<std::mutex> lock(checkpointWaitMu_);
+  checkpointCv_.wait(lock,
+                     [this] { return !checkpointInFlight_.load(); });
 }
 
 std::size_t LocalizationService::sessionCount() const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -13,6 +15,13 @@
 #include "radio/fingerprint_database.hpp"
 #include "sensors/imu_trace.hpp"
 #include "service/thread_pool.hpp"
+
+namespace moloc::core {
+class OnlineMotionDatabase;
+}
+namespace moloc::store {
+class StateStore;
+}
 
 namespace moloc::service {
 
@@ -125,7 +134,48 @@ class LocalizationService {
   bool hasSession(SessionId id) const;
   std::size_t sessionCount() const;
 
+  // ---- Crowdsourcing intake with durability -------------------------
+  //
+  // The serving databases above are immutable; the *intake* side is a
+  // separate OnlineMotionDatabase that accumulates crowdsourced
+  // observations for the next published generation.  The service
+  // serializes intake (the WAL order must match the database's update
+  // order) and, when a StateStore is attached, triggers background
+  // checkpoints so recovery replays a bounded WAL tail.
+
+  /// Wires the intake.  `db` must be non-null and outlive the service
+  /// (as must `store`).  When `store` is non-null it is attached as
+  /// `db`'s sink, so every accepted observation is durably logged
+  /// before it mutates the reservoirs; `checkpointEveryRecords` > 0
+  /// (requires a store) publishes a checkpoint on the thread pool
+  /// whenever that many records accumulate past the newest checkpoint.
+  /// Throws std::invalid_argument on a null db or on a trigger without
+  /// a store.
+  void attachIntake(core::OnlineMotionDatabase* db,
+                    store::StateStore* store = nullptr,
+                    std::uint64_t checkpointEveryRecords = 0);
+
+  /// Feeds one crowdsourced observation through the attached intake
+  /// database (sanitation filters, WAL, reservoirs).  Returns whether
+  /// the observation was accepted.  Thread-safe: calls serialize on the
+  /// intake mutex.  Throws std::logic_error when no intake is attached;
+  /// propagates the database's validation errors and the store's
+  /// StoreError (in which case the observation was not applied).
+  bool reportObservation(env::LocationId estimatedStart,
+                         env::LocationId estimatedEnd, double directionDeg,
+                         double offsetMeters);
+
+  /// Blocks until no background checkpoint is in flight (shutdown and
+  /// test hook).  Does not prevent a later report from starting a new
+  /// one.
+  void waitForCheckpoint();
+
  private:
+  /// Starts a background checkpoint when the trigger fires and none is
+  /// already running.  Caller holds intakeMu_ — the snapshot and its
+  /// WAL position are captured under the same lock that serializes
+  /// reportObservation, which is what makes them consistent.
+  void maybeCheckpointLocked();
   /// A session plus the mutex serializing its scans.
   struct SessionSlot {
     SessionSlot(const radio::FingerprintDatabase& fingerprints,
@@ -169,9 +219,23 @@ class LocalizationService {
     obs::Counter* scansTotal = nullptr;
     obs::Counter* scansNoFix = nullptr;
     obs::Counter* batchRequestsFailed = nullptr;
+    obs::Counter* observationsReported = nullptr;
+    obs::Counter* backgroundCheckpoints = nullptr;
+    obs::Counter* checkpointFailures = nullptr;
   };
   Metrics metrics_;
 #endif
+
+  // Intake state.  Declared before pool_ on purpose: the pool is the
+  // last member, so its destructor joins any in-flight background
+  // checkpoint while everything the task touches is still alive.
+  std::mutex intakeMu_;
+  core::OnlineMotionDatabase* intakeDb_ = nullptr;
+  store::StateStore* intakeStore_ = nullptr;
+  std::uint64_t checkpointEveryRecords_ = 0;
+  std::mutex checkpointWaitMu_;
+  std::condition_variable checkpointCv_;
+  std::atomic<bool> checkpointInFlight_{false};
 
   ThreadPool pool_;
 };

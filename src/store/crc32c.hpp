@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace moloc::store {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the
+/// checksum guarding every WAL record frame and checkpoint file.
+/// Chosen over plain CRC-32 for its better error-detection properties
+/// on short records and because it is the de-facto standard for
+/// storage framing (iSCSI, ext4, leveldb), so on-disk files stay
+/// checkable by standard tools.
+///
+/// crc32c(data, n) computes the checksum of one buffer; the
+/// (crc, data, n) overload continues a running checksum, so large
+/// checkpoints can be checksummed in pieces without concatenation.
+/// Both are pure functions of the bytes — no global state.
+std::uint32_t crc32c(const void* data, std::size_t length);
+std::uint32_t crc32c(std::uint32_t crc, const void* data,
+                     std::size_t length);
+
+}  // namespace moloc::store

@@ -1,0 +1,79 @@
+#include "store/fault_injection.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace moloc::store::testing {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FaultFile: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+FaultFile::FaultFile(std::string path) : path_(std::move(path)) {
+  struct stat st;
+  if (::stat(path_.c_str(), &st) != 0) fail("cannot stat", path_);
+}
+
+std::uint64_t FaultFile::size() const {
+  struct stat st;
+  if (::stat(path_.c_str(), &st) != 0) fail("cannot stat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void FaultFile::truncateTo(std::uint64_t newSize) const {
+  if (newSize > size())
+    throw std::runtime_error(
+        "FaultFile: truncateTo would grow '" + path_ +
+        "' (faults only destroy data)");
+  if (::truncate(path_.c_str(), static_cast<off_t>(newSize)) != 0)
+    fail("cannot truncate", path_);
+}
+
+void FaultFile::chopBytes(std::uint64_t n) const {
+  const std::uint64_t current = size();
+  if (n > current)
+    throw std::runtime_error("FaultFile: chopBytes(" + std::to_string(n) +
+                             ") exceeds size of '" + path_ + "'");
+  truncateTo(current - n);
+}
+
+void FaultFile::flipByte(std::uint64_t offset, std::uint8_t mask) const {
+  if (mask == 0)
+    throw std::runtime_error(
+        "FaultFile: a zero mask would not damage '" + path_ + "'");
+  if (offset >= size())
+    throw std::runtime_error("FaultFile: offset " + std::to_string(offset) +
+                             " is past the end of '" + path_ + "'");
+  const int fd = ::open(path_.c_str(), O_RDWR);
+  if (fd < 0) fail("cannot open", path_);
+  unsigned char byte = 0;
+  if (::pread(fd, &byte, 1, static_cast<off_t>(offset)) != 1) {
+    ::close(fd);
+    fail("cannot read byte from", path_);
+  }
+  byte ^= mask;
+  if (::pwrite(fd, &byte, 1, static_cast<off_t>(offset)) != 1) {
+    ::close(fd);
+    fail("cannot write byte to", path_);
+  }
+  ::close(fd);
+}
+
+void FaultFile::flipBit(std::uint64_t offset, unsigned bit) const {
+  if (bit > 7)
+    throw std::runtime_error("FaultFile: bit index " + std::to_string(bit) +
+                             " out of range (0..7)");
+  flipByte(offset, static_cast<std::uint8_t>(1u << bit));
+}
+
+}  // namespace moloc::store::testing

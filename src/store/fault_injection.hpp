@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace moloc::store::testing {
+
+/// Test-only fault injector: mutates files the way real crashes and
+/// media errors do, so the recovery tests can exercise every damage
+/// class without an actual kill -9.
+///
+///   truncateTo / chopBytes — a torn write: the tail of the file never
+///     reached the platter.
+///   flipByte / flipBit — latent media corruption: a record that was
+///     acknowledged but no longer reads back as written.
+///
+/// All methods throw std::runtime_error (naming the path) on I/O
+/// failure or out-of-range offsets.
+class FaultFile {
+ public:
+  explicit FaultFile(std::string path);
+
+  std::uint64_t size() const;
+
+  /// Truncates the file to exactly `newSize` bytes (must be <= size()).
+  void truncateTo(std::uint64_t newSize) const;
+
+  /// Removes the last `n` bytes (n <= size()).
+  void chopBytes(std::uint64_t n) const;
+
+  /// XORs the byte at `offset` with `mask` (default flips every bit;
+  /// mask 0 is rejected — it would be a no-op masquerading as damage).
+  void flipByte(std::uint64_t offset, std::uint8_t mask = 0xff) const;
+
+  /// Flips a single bit: bit `bit` (0..7) of the byte at `offset`.
+  void flipBit(std::uint64_t offset, unsigned bit) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace moloc::store::testing

@@ -1,0 +1,99 @@
+#include "store/posix_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "store/format.hpp"
+
+namespace moloc::store::detail {
+
+namespace {
+
+std::string errnoMessage(const std::string& what,
+                         const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = std::move(buffer).str();
+  return true;
+}
+
+void writeAll(int fd, const char* data, std::size_t size,
+              const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StoreError(errnoMessage("write failed on", path));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0)
+    throw StoreError(errnoMessage("fsync failed on", path));
+}
+
+void fsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0)
+    throw StoreError(errnoMessage("cannot open directory", dir));
+  const int rc = ::fsync(fd);
+  const int savedErrno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = savedErrno;
+    throw StoreError(errnoMessage("fsync failed on directory", dir));
+  }
+}
+
+void atomicWriteFile(const std::string& path,
+                     const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0)
+    throw StoreError(errnoMessage("cannot open for writing", tmp));
+  try {
+    writeAll(fd, contents.data(), contents.size(), tmp);
+    fsyncFd(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw StoreError(errnoMessage("close failed on", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw StoreError(errnoMessage("rename failed onto", path));
+  }
+  const auto slash = path.find_last_of('/');
+  fsyncDirectory(slash == std::string::npos ? "."
+                                            : path.substr(0, slash));
+}
+
+void removeFileDurably(const std::string& path, const std::string& dir) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    throw StoreError(errnoMessage("cannot remove", path));
+  fsyncDirectory(dir);
+}
+
+}  // namespace moloc::store::detail

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+namespace moloc::store::detail {
+
+/// POSIX plumbing shared by the WAL and checkpoint writers.  All
+/// failures surface as StoreError naming the path.
+
+/// Reads a whole file into `out`; returns false when the file cannot
+/// be opened (the caller decides whether that is an error).
+bool readFile(const std::string& path, std::string& out);
+
+/// Loop-until-complete write on an open descriptor.
+void writeAll(int fd, const char* data, std::size_t size,
+              const std::string& path);
+
+void fsyncFd(int fd, const std::string& path);
+
+/// fsyncs the directory itself, making renames/creates/unlinks under
+/// it durable (a renamed file is not crash-safe until its directory
+/// entry is).
+void fsyncDirectory(const std::string& dir);
+
+/// The full atomic-publish sequence: write `contents` to `path`.tmp,
+/// fsync it, rename onto `path`, fsync the directory.  A crash at any
+/// point leaves either the old file or the new one — never a torn
+/// mixture.  The stray .tmp a crash can leave is ignored by readers
+/// and overwritten by the next write.
+void atomicWriteFile(const std::string& path, const std::string& contents);
+
+/// unlink + directory fsync.  Missing files are not an error.
+void removeFileDurably(const std::string& path, const std::string& dir);
+
+}  // namespace moloc::store::detail

@@ -1,0 +1,409 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "store/crc32c.hpp"
+#include "store/posix_file.hpp"
+
+namespace moloc::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'L', 'O', 'C', 'W', 'A', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 4 + 8;
+constexpr std::uint8_t kObservationType = 1;
+// type + seq + start + end + direction + offset.
+constexpr std::uint32_t kObservationPayloadBytes = 1 + 8 + 4 + 4 + 8 + 8;
+constexpr std::size_t kFrameOverhead = 4 + 4;  // length + crc32c.
+/// Parsing sanity bound; real v1 payloads are 33 bytes, but the frame
+/// format is length-prefixed so future record types can grow.
+constexpr std::uint32_t kMaxPayloadBytes = 4096;
+
+std::string errnoMessage(const std::string& what,
+                         const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+std::string segmentFileName(std::uint64_t index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "wal-%016llu.log",
+                static_cast<unsigned long long>(index));
+  return buffer;
+}
+
+bool parseSegmentIndex(const std::string& name, std::uint64_t& index) {
+  if (name.size() != 24 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(20, 4, ".log") != 0)
+    return false;
+  index = 0;
+  for (int i = 4; i < 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return true;
+}
+
+/// True when a complete, CRC-valid v1 observation frame starts at any
+/// offset in [from, end of buffer) — the probe distinguishing a
+/// damaged *tail* (nothing valid follows; crash fallout) from damage
+/// *inside* the log (valid acknowledged records follow; corruption).
+/// Scanning every byte offset is O(n * record) but runs only when a
+/// record already failed its checksum.
+bool validRecordAfter(const std::string& buffer, std::size_t from) {
+  if (buffer.size() < kFrameOverhead + kObservationPayloadBytes)
+    return false;
+  const std::size_t lastStart =
+      buffer.size() - kFrameOverhead - kObservationPayloadBytes;
+  for (std::size_t o = from; o <= lastStart; ++o) {
+    detail::Cursor frame(buffer.data() + o, kFrameOverhead);
+    const std::uint32_t length = frame.readU32();
+    if (length != kObservationPayloadBytes) continue;
+    if (o + kFrameOverhead + length > buffer.size()) continue;
+    const std::uint32_t storedCrc = frame.readU32();
+    const unsigned char* payload =
+        reinterpret_cast<const unsigned char*>(buffer.data()) + o +
+        kFrameOverhead;
+    if (payload[0] != kObservationType) continue;
+    if (crc32c(payload, length) == storedCrc) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+WalWriter::WalWriter(std::string dir, WalConfig config,
+                     std::uint64_t nextSeq, std::uint64_t segmentIndex)
+    : dir_(std::move(dir)),
+      config_(config),
+      nextSeq_(nextSeq),
+      segmentIndex_(segmentIndex) {
+  if (config_.fsync == FsyncPolicy::kEveryN && config_.fsyncEveryN == 0)
+    throw std::invalid_argument(
+        "WalWriter: fsyncEveryN must be >= 1 under FsyncPolicy::kEveryN");
+  if (nextSeq_ == 0 || segmentIndex_ == 0)
+    throw std::invalid_argument(
+        "WalWriter: sequence numbers and segment indices are 1-based");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw StoreError("cannot create directory '" + dir_ +
+                     "': " + ec.message());
+  openSegment();
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ < 0) return;
+  // Best-effort: never throw from a destructor.  kNone stays honest
+  // and skips the sync even here.
+  if (config_.fsync != FsyncPolicy::kNone && unsyncedRecords_ > 0)
+    ::fsync(fd_);
+  ::close(fd_);
+}
+
+void WalWriter::openSegment() {
+  const std::string path = dir_ + "/" + segmentFileName(segmentIndex_);
+  // O_EXCL: segments are immutable once closed; silently reopening one
+  // (an index-allocation bug, or a leftover file) must fail loudly
+  // rather than append over history.
+  fd_ = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd_ < 0)
+    throw StoreError(errnoMessage("cannot create WAL segment", path));
+
+  std::string header;
+  header.reserve(kHeaderBytes);
+  header.append(kMagic, sizeof kMagic);
+  detail::putU32(header, kVersion);
+  detail::putU64(header, nextSeq_);
+  detail::writeAll(fd_, header.data(), header.size(), path);
+  if (config_.fsync != FsyncPolicy::kNone) {
+    detail::fsyncFd(fd_, path);
+    detail::fsyncDirectory(dir_);
+  }
+
+  active_ = SegmentInfo{segmentIndex_, path, nextSeq_, 0, 0};
+  activeBytes_ = kHeaderBytes;
+  unsyncedRecords_ = 0;
+  ++segmentIndex_;
+  ++stats_.segmentsCreated;
+}
+
+void WalWriter::maybeRotate(std::size_t incomingFrameBytes) {
+  if (active_.records == 0) return;  // Always fit one record.
+  if (activeBytes_ + incomingFrameBytes <= config_.segmentMaxBytes)
+    return;
+  if (config_.fsync != FsyncPolicy::kNone && unsyncedRecords_ > 0)
+    syncActive();
+  ::close(fd_);
+  fd_ = -1;
+  closed_.push_back(active_);
+  openSegment();
+}
+
+std::uint64_t WalWriter::append(env::LocationId estimatedStart,
+                                env::LocationId estimatedEnd,
+                                double directionDeg,
+                                double offsetMeters) {
+  std::string frame;
+  frame.reserve(kFrameOverhead + kObservationPayloadBytes);
+  detail::putU32(frame, kObservationPayloadBytes);
+  detail::putU32(frame, 0);  // CRC backpatched below.
+  detail::putU8(frame, kObservationType);
+  detail::putU64(frame, nextSeq_);
+  detail::putI32(frame, estimatedStart);
+  detail::putI32(frame, estimatedEnd);
+  detail::putF64(frame, directionDeg);
+  detail::putF64(frame, offsetMeters);
+  const std::uint32_t crc =
+      crc32c(frame.data() + kFrameOverhead, kObservationPayloadBytes);
+  frame[4] = static_cast<char>(crc & 0xff);
+  frame[5] = static_cast<char>((crc >> 8) & 0xff);
+  frame[6] = static_cast<char>((crc >> 16) & 0xff);
+  frame[7] = static_cast<char>((crc >> 24) & 0xff);
+
+  maybeRotate(frame.size());
+  detail::writeAll(fd_, frame.data(), frame.size(), active_.path);
+
+  activeBytes_ += frame.size();
+  stats_.bytes += frame.size();
+  ++stats_.records;
+  ++active_.records;
+  active_.lastSeq = nextSeq_;
+  ++unsyncedRecords_;
+  switch (config_.fsync) {
+    case FsyncPolicy::kEveryRecord:
+      syncActive();
+      break;
+    case FsyncPolicy::kEveryN:
+      if (unsyncedRecords_ >= config_.fsyncEveryN) syncActive();
+      break;
+    case FsyncPolicy::kNone:
+      break;
+  }
+  return nextSeq_++;
+}
+
+void WalWriter::sync() {
+  if (unsyncedRecords_ > 0) syncActive();
+}
+
+void WalWriter::syncActive() {
+  detail::fsyncFd(fd_, active_.path);
+  ++stats_.fsyncs;
+  unsyncedRecords_ = 0;
+}
+
+std::vector<SegmentInfo> WalWriter::takeClosedSegments() {
+  return std::exchange(closed_, {});
+}
+
+SegmentInfo WalWriter::activeSegment() const { return active_; }
+
+// ---------------------------------------------------------------------------
+// WalReader
+
+WalReader::WalReader(std::string dir) : dir_(std::move(dir)) {}
+
+namespace {
+
+struct SegmentFile {
+  std::uint64_t index = 0;
+  std::string path;
+};
+
+std::vector<SegmentFile> listSegments(const std::string& dir) {
+  std::vector<SegmentFile> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return files;  // Missing directory reads as an empty log.
+  for (const auto& entry : it) {
+    std::uint64_t index = 0;
+    if (!entry.is_regular_file()) continue;
+    if (!parseSegmentIndex(entry.path().filename().string(), index))
+      continue;
+    files.push_back({index, entry.path().string()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.index < b.index;
+            });
+  return files;
+}
+
+}  // namespace
+
+WalScan WalReader::replay(
+    const std::function<void(const ObservationRecord&)>& fn) const {
+  WalScan out;
+  const auto files = listSegments(dir_);
+  if (files.empty()) return out;
+  out.nextSegmentIndex = files.back().index + 1;
+
+  std::uint64_t prevSeq = 0;
+  bool chainStarted = false;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const bool isLast = f + 1 == files.size();
+    const std::string& path = files[f].path;
+    std::string buffer;
+    if (!detail::readFile(path, buffer))
+      throw StoreError(errnoMessage("cannot open WAL segment", path));
+
+    if (isLast) out.tailPath = path;
+
+    if (buffer.size() < kHeaderBytes) {
+      // Crash during segment creation: tolerable only on the final
+      // segment (writers never leave a headerless file behind a
+      // later one).
+      if (!isLast)
+        throw CorruptionError("truncated segment header in '" + path +
+                              "'");
+      out.tailDamaged = true;
+      out.tailValidBytes = 0;
+      out.tailBytesDropped += buffer.size();
+      break;
+    }
+    detail::Cursor header(buffer.data(), kHeaderBytes);
+    char magic[sizeof kMagic];
+    header.readBytes(magic, sizeof magic);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+      throw CorruptionError("bad segment magic in '" + path + "'");
+    const std::uint32_t version = header.readU32();
+    if (version != kVersion)
+      throw CorruptionError("unsupported WAL segment version " +
+                            std::to_string(version) + " in '" + path +
+                            "'");
+    const std::uint64_t firstSeq = header.readU64();
+    if (chainStarted && firstSeq != prevSeq + 1)
+      throw CorruptionError(
+          "sequence gap: '" + path + "' starts at seq " +
+          std::to_string(firstSeq) + ", expected " +
+          std::to_string(prevSeq + 1) + " (missing or reordered segment)");
+    chainStarted = true;
+
+    SegmentInfo info{files[f].index, path, firstSeq, 0, 0};
+    std::size_t offset = kHeaderBytes;
+    bool stop = false;
+    while (offset < buffer.size()) {
+      // On a bad frame: decide torn tail (tolerate, stop) vs mid-log
+      // corruption (raise).  Only the final segment can carry a torn
+      // tail, and only when no valid record follows the damage.
+      const auto damaged = [&](const std::string& why) {
+        if (!isLast)
+          throw CorruptionError(why + " in '" + path + "' at offset " +
+                                std::to_string(offset) +
+                                " (mid-log corruption)");
+        if (validRecordAfter(buffer, offset + 1))
+          throw CorruptionError(
+              why + " in '" + path + "' at offset " +
+              std::to_string(offset) +
+              ", with valid records after it (mid-log corruption)");
+        out.tailDamaged = true;
+        out.tailValidBytes = offset;
+        out.tailBytesDropped += buffer.size() - offset;
+        stop = true;
+      };
+
+      const std::size_t remaining = buffer.size() - offset;
+      if (remaining < kFrameOverhead) {
+        damaged("truncated record frame");
+        break;
+      }
+      detail::Cursor frame(buffer.data() + offset, remaining);
+      const std::uint32_t length = frame.readU32();
+      const std::uint32_t storedCrc = frame.readU32();
+      if (length > kMaxPayloadBytes) {
+        damaged("implausible record length " + std::to_string(length));
+        break;
+      }
+      if (kFrameOverhead + length > remaining) {
+        damaged("record extends past end of segment");
+        break;
+      }
+      const char* payload = buffer.data() + offset + kFrameOverhead;
+      if (crc32c(payload, length) != storedCrc) {
+        damaged("record checksum mismatch");
+        break;
+      }
+
+      // CRC-valid frame: structural violations past this point cannot
+      // be torn writes and always raise.
+      detail::Cursor body(payload, length);
+      const std::uint8_t type = body.readU8();
+      if (type != kObservationType)
+        throw CorruptionError("unknown record type " +
+                              std::to_string(type) + " in '" + path +
+                              "' at offset " + std::to_string(offset));
+      if (length != kObservationPayloadBytes)
+        throw CorruptionError("bad observation record size in '" + path +
+                              "' at offset " + std::to_string(offset));
+      ObservationRecord record;
+      record.seq = body.readU64();
+      record.estimatedStart = body.readI32();
+      record.estimatedEnd = body.readI32();
+      record.directionDeg = body.readF64();
+      record.offsetMeters = body.readF64();
+      if (record.seq <= prevSeq)
+        throw CorruptionError(
+            "sequence regression (seq " + std::to_string(record.seq) +
+            " after " + std::to_string(prevSeq) + ") in '" + path + "'");
+
+      if (fn) fn(record);
+      prevSeq = record.seq;
+      info.lastSeq = record.seq;
+      ++info.records;
+      ++out.records;
+      offset += kFrameOverhead + length;
+    }
+    if (isLast && !out.tailDamaged) out.tailValidBytes = buffer.size();
+    out.segments.push_back(info);
+    if (stop) break;
+  }
+  out.lastSeq = prevSeq;
+  return out;
+}
+
+WalScan WalReader::scan() const { return replay(nullptr); }
+
+WalScan WalReader::repair() const {
+  WalScan first = scan();
+  if (!first.tailDamaged) return first;
+  if (first.tailValidBytes == 0) {
+    // Even the header was torn: the file holds nothing; remove it so a
+    // later segment never sits behind an unparseable one.
+    const auto slash = first.tailPath.find_last_of('/');
+    detail::removeFileDurably(
+        first.tailPath,
+        slash == std::string::npos ? "." : first.tailPath.substr(0, slash));
+  } else {
+    if (::truncate(first.tailPath.c_str(),
+                   static_cast<off_t>(first.tailValidBytes)) != 0)
+      throw StoreError(
+          errnoMessage("cannot truncate damaged tail of", first.tailPath));
+    const int fd = ::open(first.tailPath.c_str(), O_WRONLY);
+    if (fd < 0)
+      throw StoreError(errnoMessage("cannot reopen", first.tailPath));
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+      throw StoreError(errnoMessage("fsync failed on", first.tailPath));
+  }
+  WalScan repaired = scan();
+  // Never reuse an index the damaged file may have burned.
+  repaired.nextSegmentIndex =
+      std::max(repaired.nextSegmentIndex, first.nextSegmentIndex);
+  repaired.tailBytesDropped = first.tailBytesDropped;
+  return repaired;
+}
+
+}  // namespace moloc::store

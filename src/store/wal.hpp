@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "env/floor_plan.hpp"
+#include "store/format.hpp"
+
+namespace moloc::store {
+
+/// When appended records reach the disk platter.
+///
+///   kEveryRecord — fsync after every append.  A crash loses nothing
+///     that was acknowledged; throughput is bounded by device sync
+///     latency (~ms on disks, ~100 us on good NVMe).
+///   kEveryN — fsync once per `fsyncEveryN` appends (and on rotation
+///     and explicit sync()).  A crash loses at most the last window.
+///   kNone — never fsync; the OS page cache decides.  A crash loses
+///     whatever had not been written back (typically up to ~30 s);
+///     process-only death (SIGKILL) still loses nothing, because the
+///     records were write()n.
+///
+/// All three keep the *prefix property*: whatever survives is a clean
+/// prefix of the appended stream (plus at most one torn record, which
+/// recovery detects and drops).  See docs/persistence.md.
+enum class FsyncPolicy { kEveryRecord, kEveryN, kNone };
+
+struct WalConfig {
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  /// Appends per fsync under kEveryN; must be >= 1 (throws
+  /// std::invalid_argument).
+  std::uint64_t fsyncEveryN = 64;
+  /// Rotate to a fresh segment file once the active one reaches this
+  /// size.  Small segments make checkpoint-time truncation reclaim
+  /// space sooner; large segments amortize file creation.
+  std::uint64_t segmentMaxBytes = 16ull * 1024 * 1024;
+};
+
+/// One durably logged intake event: the original (pre-reassembly)
+/// arguments of an accepted OnlineMotionDatabase::addObservation call.
+/// Replaying these through the normal intake reproduces the database
+/// bit-identically — the WAL stores inputs, not derived state.
+struct ObservationRecord {
+  std::uint64_t seq = 0;  ///< 1-based, strictly increasing, log-wide.
+  env::LocationId estimatedStart = 0;
+  env::LocationId estimatedEnd = 0;
+  double directionDeg = 0.0;
+  double offsetMeters = 0.0;
+};
+
+/// One WAL segment file as found on disk.
+struct SegmentInfo {
+  std::uint64_t index = 0;  ///< From the file name, 1-based.
+  std::string path;
+  std::uint64_t firstSeq = 0;  ///< From the header (next seq at creation).
+  std::uint64_t lastSeq = 0;   ///< Highest valid record; 0 when empty.
+  std::uint64_t records = 0;   ///< Valid records in the segment.
+};
+
+/// What a full scan of a WAL directory found.
+struct WalScan {
+  std::vector<SegmentInfo> segments;  ///< Sorted by index.
+  std::uint64_t records = 0;          ///< Valid records, all segments.
+  std::uint64_t lastSeq = 0;          ///< 0 when the log is empty.
+  std::uint64_t nextSegmentIndex = 1;
+  /// Damaged-tail bookkeeping (only ever the final segment):
+  bool tailDamaged = false;
+  std::uint64_t tailBytesDropped = 0;
+  /// Valid-data length of the final segment — where a repair
+  /// truncates.  0 when even the header is unusable (repair deletes).
+  std::uint64_t tailValidBytes = 0;
+  std::string tailPath;  ///< Path of the final segment file.
+};
+
+/// Append side of the log.  Always starts a *fresh* segment — existing
+/// segments are never reopened, so a previously torn tail can never be
+/// appended over.  Not thread-safe; StateStore serializes access.
+class WalWriter {
+ public:
+  /// Opens `dir`/wal-<index>.log and writes its header.  `nextSeq` is
+  /// the sequence number the first append will get (continue a log by
+  /// passing scan.lastSeq + 1 and scan.nextSegmentIndex).  Throws
+  /// StoreError when the directory or segment cannot be created.
+  WalWriter(std::string dir, WalConfig config, std::uint64_t nextSeq = 1,
+            std::uint64_t segmentIndex = 1);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record, assigns it the next sequence number (returned)
+  /// and applies the fsync policy.  Rotates beforehand when the active
+  /// segment is full.  Throws StoreError on any I/O failure — in which
+  /// case the record must be considered not logged.
+  std::uint64_t append(env::LocationId estimatedStart,
+                       env::LocationId estimatedEnd, double directionDeg,
+                       double offsetMeters);
+
+  /// Forces an fsync of the active segment regardless of policy (the
+  /// barrier checkpoints use before declaring a sequence durable).
+  void sync();
+
+  std::uint64_t lastSeq() const { return nextSeq_ - 1; }
+
+  struct Stats {
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;  ///< Payload frames; excludes headers.
+    std::uint64_t fsyncs = 0;
+    std::uint64_t segmentsCreated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Segments closed by rotation since the last call — the compaction
+  /// feed: a checkpoint through seq S may delete every closed segment
+  /// with lastSeq <= S.
+  std::vector<SegmentInfo> takeClosedSegments();
+
+  SegmentInfo activeSegment() const;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  void openSegment();
+  void maybeRotate(std::size_t incomingFrameBytes);
+  void syncActive();
+
+  std::string dir_;
+  WalConfig config_;
+  std::uint64_t nextSeq_;
+  std::uint64_t segmentIndex_;  ///< Index the *next* openSegment uses.
+  int fd_ = -1;
+  SegmentInfo active_;
+  std::uint64_t activeBytes_ = 0;
+  std::uint64_t unsyncedRecords_ = 0;
+  std::vector<SegmentInfo> closed_;
+  Stats stats_;
+};
+
+/// Read side: scans and replays a WAL directory.
+///
+/// Damage semantics (the contract tests/test_wal.cpp pins):
+///   - A *torn tail* — the final segment ending in a truncated or
+///     bit-flipped record with no valid record after it — is expected
+///     crash fallout: replay stops there, reports it in WalScan, and
+///     the records before it are all delivered.
+///   - *Mid-log* damage — a bad record in a non-final segment, or one
+///     followed by still-valid records in the final segment — cannot
+///     come from a torn write and raises CorruptionError instead of
+///     silently dropping acknowledged data.
+class WalReader {
+ public:
+  /// A missing directory reads as an empty log.
+  explicit WalReader(std::string dir);
+
+  /// Parses every segment in index order, calling `fn` for each valid
+  /// record.  Records arrive in strictly increasing seq order (a seq
+  /// regression raises CorruptionError).
+  WalScan replay(
+      const std::function<void(const ObservationRecord&)>& fn) const;
+
+  /// replay() without a consumer.
+  WalScan scan() const;
+
+  /// scan(), then truncates a damaged final-segment tail to its last
+  /// valid byte (deleting the segment entirely when even its header is
+  /// torn) so the next writer leaves no damage behind it.  Returns the
+  /// post-repair scan.
+  WalScan repair() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace moloc::store

@@ -79,4 +79,15 @@ bool Rng::chance(double p) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::setState(const std::array<std::uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0)
+    throw std::invalid_argument(
+        "Rng::setState: the all-zero state is xoshiro's fixed point");
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+}
+
 }  // namespace moloc::util

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <random>
 
@@ -47,6 +48,18 @@ class Rng {
   /// Spawns an independent child generator; used to hand subsystems their
   /// own streams so that adding draws in one does not perturb another.
   Rng split();
+
+  /// The raw four-word engine state, so checkpoints can freeze a
+  /// generator mid-stream and resume it bit-identically (a reseed
+  /// would replay a different eviction sequence).  Every draw above is
+  /// a pure function of this state, so state()/setState() round-trips
+  /// exactly.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores a previously captured state.  The all-zero word vector
+  /// is xoshiro's fixed point (the stream would be constant) and
+  /// throws std::invalid_argument.
+  void setState(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t state_[4];

@@ -4,13 +4,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/localization_session.hpp"
+#include "core/online_motion_database.hpp"
 #include "obs/metrics.hpp"
+#include "store/state_store.hpp"
 #include "sensors/accelerometer_model.hpp"
 #include "sensors/compass_model.hpp"
 #include "util/rng.hpp"
@@ -393,6 +396,89 @@ TEST(LocalizationService, RejectsZeroShards) {
   EXPECT_THROW(LocalizationService(twinFingerprints(), twinMotion(),
                                    config),
                std::invalid_argument);
+}
+
+/// The corridor plan the intake tests feed observations against.
+env::FloorPlan intakePlan() {
+  env::FloorPlan plan(12.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  plan.addReferenceLocation({10.0, 2.0});
+  return plan;
+}
+
+std::string freshStoreDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "moloc_svc_store_" +
+                          tag + "_" +
+                          std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(LocalizationService, ReportObservationRequiresAttachedIntake) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(1));
+  EXPECT_THROW(svc.reportObservation(0, 1, 90.0, 4.0),
+               std::logic_error);
+  EXPECT_THROW(svc.attachIntake(nullptr), std::invalid_argument);
+
+  const auto plan = intakePlan();
+  core::OnlineMotionDatabase db(plan);
+  // A checkpoint trigger without a store to checkpoint into.
+  EXPECT_THROW(svc.attachIntake(&db, nullptr, 10),
+               std::invalid_argument);
+}
+
+TEST(LocalizationService, ReportObservationFeedsTheAttachedDatabase) {
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(2));
+  const auto plan = intakePlan();
+  core::OnlineMotionDatabase db(plan);
+  svc.attachIntake(&db);
+
+  EXPECT_TRUE(svc.reportObservation(0, 1, 90.0, 4.0));
+  EXPECT_FALSE(svc.reportObservation(0, 1, 180.0, 4.0));  // Coarse.
+  EXPECT_EQ(db.counters().observations, 2u);
+  EXPECT_EQ(db.counters().accepted, 1u);
+}
+
+TEST(LocalizationService, BackgroundCheckpointTriggersByRecordCount) {
+  const std::string dir = freshStoreDir("bg");
+  const auto plan = intakePlan();
+  core::OnlineMotionDatabase db(plan, {}, /*reservoirCapacity=*/4);
+  store::StoreConfig storeConfig;
+  storeConfig.wal.fsync = store::FsyncPolicy::kNone;
+  store::StateStore store(dir, storeConfig);
+
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(2));
+  svc.attachIntake(&db, &store, /*checkpointEveryRecords=*/10);
+  EXPECT_EQ(db.sink(), &store);  // attachIntake wires the WAL hook.
+
+  for (int k = 0; k < 30; ++k)
+    svc.reportObservation(k % 2, 1 + k % 2, 88.0 + 0.2 * (k % 9),
+                          3.7 + 0.02 * (k % 11));
+  svc.waitForCheckpoint();
+  EXPECT_GE(store.lastCheckpointSeq(), 10u);
+  EXPECT_EQ(store.lastSeq(), db.counters().accepted);
+
+  // The durable state reconstructs the live database bit-identically.
+  db.setSink(nullptr);
+  core::OnlineMotionDatabase recovered(plan, {}, 4);
+  const auto result = store::recover(dir, recovered);
+  EXPECT_TRUE(result.checkpointLoaded);
+  const auto a = db.snapshot();
+  const auto b = recovered.snapshot();
+  EXPECT_EQ(a.rngState, b.rngState);
+  EXPECT_EQ(a.counters.accepted, b.counters.accepted);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t e = 0; e < a.entries.size(); ++e) {
+    EXPECT_EQ(a.entries[e].stats.muDirectionDeg,
+              b.entries[e].stats.muDirectionDeg);
+    EXPECT_EQ(a.entries[e].stats.sigmaOffsetMeters,
+              b.entries[e].stats.sigmaOffsetMeters);
+  }
 }
 
 }  // namespace

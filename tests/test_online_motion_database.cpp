@@ -293,5 +293,102 @@ TEST_F(OnlineDbTest, IntakeCountersMirroredToRegistry) {
 }
 #endif
 
+TEST_F(OnlineDbTest, ReservoirStatsAggregateOccupancy) {
+  OnlineMotionDatabase online(plan_, {}, /*reservoirCapacity=*/3);
+  const auto empty = online.reservoirStats();
+  EXPECT_EQ(empty.trackedPairs, 0u);
+  EXPECT_EQ(empty.totalSamples, 0u);
+  EXPECT_EQ(empty.totalSeen, 0u);
+  EXPECT_EQ(empty.capacity, 3u);
+
+  // Pair (0,1): 5 accepted -> full reservoir, 5 seen.
+  for (int k = 0; k < 5; ++k) online.addObservation(0, 1, 90.0, 4.0);
+  // Pair (1,2): 2 accepted -> below capacity.
+  online.addObservation(1, 2, 90.0, 4.0);
+  online.addObservation(1, 2, 91.0, 4.1);
+  // Rejections must not show up anywhere.
+  online.addObservation(0, 1, 180.0, 4.0);
+
+  const auto stats = online.reservoirStats();
+  EXPECT_EQ(stats.trackedPairs, 2u);
+  EXPECT_EQ(stats.pairsAtCapacity, 1u);
+  EXPECT_EQ(stats.totalSamples, 5u);  // 3 retained + 2 retained.
+  EXPECT_EQ(stats.totalSeen, 7u);     // Accepted ever, incl. evicted.
+  EXPECT_EQ(stats.capacity, 3u);
+}
+
+/// Records every onAccepted call; optionally throws to exercise the
+/// write-ahead abort path.
+class RecordingSink : public ObservationSink {
+ public:
+  struct Call {
+    env::LocationId start, end;
+    double directionDeg, offsetMeters;
+  };
+  std::vector<Call> calls;
+  bool throwNext = false;
+
+  void onAccepted(env::LocationId estimatedStart,
+                  env::LocationId estimatedEnd, double directionDeg,
+                  double offsetMeters) override {
+    if (throwNext) throw std::runtime_error("sink full");
+    calls.push_back(
+        {estimatedStart, estimatedEnd, directionDeg, offsetMeters});
+  }
+};
+
+TEST_F(OnlineDbTest, SinkReceivesOriginalArgsOnAcceptOnly) {
+  OnlineMotionDatabase online(plan_);
+  RecordingSink sink;
+  online.setSink(&sink);
+  EXPECT_EQ(online.sink(), &sink);
+
+  // Accepted, in reversed (1, 0) orientation: the sink must see the
+  // ORIGINAL arguments, not the canonical reassembly.
+  EXPECT_TRUE(online.addObservation(1, 0, 270.0, 4.0));
+  // Coarse-rejected and self-pair: never logged.
+  EXPECT_FALSE(online.addObservation(0, 1, 180.0, 4.0));
+  EXPECT_FALSE(online.addObservation(1, 1, 90.0, 0.0));
+
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].start, 1);
+  EXPECT_EQ(sink.calls[0].end, 0);
+  EXPECT_EQ(sink.calls[0].directionDeg, 270.0);
+  EXPECT_EQ(sink.calls[0].offsetMeters, 4.0);
+
+  online.setSink(nullptr);
+  EXPECT_TRUE(online.addObservation(0, 1, 90.0, 4.0));
+  EXPECT_EQ(sink.calls.size(), 1u);  // Detached: no further calls.
+}
+
+TEST_F(OnlineDbTest, SinkFailureAbortsTheUpdate) {
+  OnlineMotionDatabase online(plan_);
+  RecordingSink sink;
+  online.setSink(&sink);
+  online.addObservation(0, 1, 90.0, 4.0);
+  const auto before = online.snapshot();
+
+  // Write-ahead discipline: an observation that could not be logged is
+  // never applied — reservoirs, counters, and RNG all stay put.
+  sink.throwNext = true;
+  EXPECT_THROW(online.addObservation(0, 1, 91.0, 4.1),
+               std::runtime_error);
+  const auto after = online.snapshot();
+  EXPECT_EQ(after.counters.accepted, before.counters.accepted);
+  EXPECT_EQ(after.rngState, before.rngState);
+  ASSERT_EQ(after.reservoirs.size(), 1u);
+  EXPECT_EQ(after.reservoirs[0].seen, before.reservoirs[0].seen);
+  EXPECT_EQ(after.reservoirs[0].samples.size(),
+            before.reservoirs[0].samples.size());
+
+  // The failed call is still counted as presented.
+  EXPECT_EQ(after.counters.observations,
+            before.counters.observations + 1);
+
+  sink.throwNext = false;
+  EXPECT_TRUE(online.addObservation(0, 1, 91.0, 4.1));
+  EXPECT_EQ(online.counters().accepted, 2u);
+}
+
 }  // namespace
 }  // namespace moloc::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -287,11 +289,14 @@ TEST(Serialization, RealWorldDatabaseRoundTrips) {
   saveMotionDatabase(db, stream);
   const auto restored = loadMotionDatabase(stream);
   EXPECT_EQ(restored.entryCount(), db.entryCount());
-  for (env::LocationId i = 0; i < 28; ++i)
-    for (env::LocationId j = 0; j < 28; ++j)
-      if (db.hasEntry(i, j))
+  for (env::LocationId i = 0; i < 28; ++i) {
+    for (env::LocationId j = 0; j < 28; ++j) {
+      if (db.hasEntry(i, j)) {
         EXPECT_EQ(db.entry(i, j)->muDirectionDeg,
                   restored.entry(i, j)->muDirectionDeg);
+      }
+    }
+  }
 }
 
 TEST(Serialization, SaveRestoresCallerStreamFormatting) {
@@ -335,6 +340,78 @@ TEST(Serialization, RoundTripExactDespiteCallerFormatting) {
     const auto& a = original.entry(id);
     const auto& b = restored.entry(id);
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Serialization, MissingTrailingNewlineThrowsWithLineNumber) {
+  // Every saver ends the file with '\n'; a missing one means the last
+  // record may be torn, so the loader must refuse it — with the line.
+  std::stringstream stream(
+      "moloc-motion-db v1\nlocations 2\nentry 0 1 90 3 4 0.2 7");
+  try {
+    loadMotionDatabase(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("newline"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialization, MotionRejectsDuplicateEntries) {
+  std::stringstream stream(
+      "moloc-motion-db v1\nlocations 2\n"
+      "entry 0 1 90 3 4 0.2 7\n"
+      "entry 0 1 91 3 4 0.2 8\n");
+  try {
+    loadMotionDatabase(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate entry"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialization, VersionMismatchNamesTheFoundVersion) {
+  std::stringstream stream("moloc-motion-db v2\nlocations 2\n");
+  try {
+    loadMotionDatabase(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 'v2'"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 'v1'"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialization, PathSaveIsAtomicAndLeavesNoTemporary) {
+  const std::string path =
+      ::testing::TempDir() + "moloc_atomic_save_test.txt";
+  std::remove(path.c_str());
+  // Pre-existing content a torn save must never destroy.
+  {
+    std::ofstream prior(path);
+    prior << "previous generation\n";
+  }
+  saveMotionDatabase(sampleMotionDb(), path);
+  const auto restored = loadMotionDatabase(path);
+  EXPECT_EQ(restored.entryCount(), sampleMotionDb().entryCount());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "temporary file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, FailedPathSaveNamesThePath) {
+  const std::string path = ::testing::TempDir() +
+                           "moloc_no_such_dir_xyz/db.txt";
+  try {
+    saveMotionDatabase(sampleMotionDb(), path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
   }
 }
 
