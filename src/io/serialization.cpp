@@ -1,5 +1,8 @@
 #include "io/serialization.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -77,11 +80,48 @@ std::ifstream openForRead(const std::string& path) {
   return in;
 }
 
+/// fsyncs an already-written file — ofstream cannot express this, and
+/// without it a power loss can let the rename survive while the data
+/// blocks do not (delayed allocation), replacing the old database with
+/// an empty or partial file.
+void fsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0)
+    throw std::runtime_error("moloc::io: cannot reopen for fsync: " +
+                             path + ": " + std::strerror(errno));
+  const int rc = ::fsync(fd);
+  const int savedErrno = errno;
+  ::close(fd);
+  if (rc != 0)
+    throw std::runtime_error("moloc::io: fsync failed: " + path + ": " +
+                             std::strerror(savedErrno));
+}
+
+/// fsyncs the directory holding `path`, making the rename itself
+/// durable (a renamed file is not crash-safe until its directory entry
+/// is).
+void fsyncParentDirectory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0)
+    throw std::runtime_error("moloc::io: cannot open directory: " + dir +
+                             ": " + std::strerror(errno));
+  const int rc = ::fsync(fd);
+  const int savedErrno = errno;
+  ::close(fd);
+  if (rc != 0)
+    throw std::runtime_error("moloc::io: fsync failed on directory: " +
+                             dir + ": " + std::strerror(savedErrno));
+}
+
 /// Crash-safe path save: streams through `body` into `path`.tmp,
-/// flushes, and renames onto `path`, so a crash (or a full disk) at
-/// any point leaves either the old file or the new one — never a torn
-/// half-written database.  Failures throw std::runtime_error naming
-/// the path and remove the temporary.
+/// flushes and fsyncs it, renames onto `path`, then fsyncs the
+/// directory — so a crash or power loss at any point leaves either the
+/// old file or the new one, never a torn half-written database.
+/// Failures throw std::runtime_error naming the path and remove the
+/// temporary.
 template <typename SaveBody>
 void atomicSave(const std::string& path, SaveBody&& body) {
   const std::string tmpPath = path + ".tmp";
@@ -97,12 +137,19 @@ void atomicSave(const std::string& path, SaveBody&& body) {
       throw std::runtime_error("moloc::io: write failed: " + tmpPath);
     }
   }
+  try {
+    fsyncFile(tmpPath);
+  } catch (...) {
+    std::remove(tmpPath.c_str());
+    throw;
+  }
   if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
     const std::string reason = std::strerror(errno);
     std::remove(tmpPath.c_str());
     throw std::runtime_error("moloc::io: cannot rename '" + tmpPath +
                              "' onto '" + path + "': " + reason);
   }
+  fsyncParentDirectory(path);
 }
 
 }  // namespace

@@ -45,10 +45,10 @@ radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
     std::istream& in);
 
 /// File-path conveniences.  Saves are crash-safe: they stream into
-/// `<path>.tmp`, flush, and rename onto `path`, so a crash or a full
-/// disk leaves either the previous file or the complete new one —
-/// never a torn half-write.  All failures throw std::runtime_error
-/// naming the path.
+/// `<path>.tmp`, flush and fsync it, rename onto `path`, and fsync the
+/// directory, so a crash, power loss, or full disk leaves either the
+/// previous file or the complete new one — never a torn half-write.
+/// All failures throw std::runtime_error naming the path.
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
                              const std::string& path);
 radio::FingerprintDatabase loadFingerprintDatabase(

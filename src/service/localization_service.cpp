@@ -308,28 +308,43 @@ void LocalizationService::maybeCheckpointLocked() {
       intakeDb_->snapshot());
   const std::uint64_t throughSeq = intakeStore_->lastSeq();
   store::StateStore* store = intakeStore_;
-  pool_.submit([this, store, snapshot, throughSeq] {
-    try {
-      store->checkpoint(*snapshot, throughSeq);
+  try {
+    pool_.submit([this, store, snapshot, throughSeq] {
+      try {
+        store->checkpoint(*snapshot, throughSeq);
 #if MOLOC_METRICS_ENABLED
-      if (metrics_.backgroundCheckpoints)
-        metrics_.backgroundCheckpoints->inc();
-    } catch (...) {
-      // Durability degraded but serving is unaffected: the WAL still
-      // holds everything.  Surface via metrics rather than tearing
-      // down a worker.
-      if (metrics_.checkpointFailures) metrics_.checkpointFailures->inc();
-    }
+        if (metrics_.backgroundCheckpoints)
+          metrics_.backgroundCheckpoints->inc();
+      } catch (...) {
+        // Durability degraded but serving is unaffected: the WAL still
+        // holds everything.  Surface via metrics rather than tearing
+        // down a worker.
+        if (metrics_.checkpointFailures)
+          metrics_.checkpointFailures->inc();
+      }
 #else
-    } catch (...) {
-    }
+      } catch (...) {
+      }
 #endif
+      {
+        const std::lock_guard<std::mutex> done(checkpointWaitMu_);
+        checkpointInFlight_.store(false);
+      }
+      checkpointCv_.notify_all();
+    });
+  } catch (...) {
+    // submit itself failed (pool shutting down): without this reset the
+    // flag would latch true forever, permanently disabling background
+    // checkpoints and hanging waitForCheckpoint().
     {
       const std::lock_guard<std::mutex> done(checkpointWaitMu_);
       checkpointInFlight_.store(false);
     }
     checkpointCv_.notify_all();
-  });
+#if MOLOC_METRICS_ENABLED
+    if (metrics_.checkpointFailures) metrics_.checkpointFailures->inc();
+#endif
+  }
 }
 
 void LocalizationService::waitForCheckpoint() {

@@ -16,15 +16,22 @@ StateStore::StateStore(std::string dir, StoreConfig config)
   // truncated away before it becomes a non-final segment (where damage
   // would read as mid-log corruption forever after).
   const WalScan scan = WalReader(dir_).repair();
-  wal_ = std::make_unique<WalWriter>(dir_, config_.wal, scan.lastSeq + 1,
+  std::uint64_t lastKnownSeq = scan.lastSeq;
+  if (const auto newest = loadNewestCheckpoint(dir_)) {
+    lastCheckpointSeq_ = newest->data.throughSeq;
+    // A checkpoint's throughSeq is a second durable lower bound on the
+    // sequence stream (segment headers are the first): even if every
+    // WAL segment is gone, the writer must not reissue sequence
+    // numbers the checkpoint already covers — recovery would skip them
+    // as already applied.
+    lastKnownSeq = std::max(lastKnownSeq, lastCheckpointSeq_);
+  }
+  wal_ = std::make_unique<WalWriter>(dir_, config_.wal, lastKnownSeq + 1,
                                      scan.nextSegmentIndex);
   // Every pre-existing segment is closed by construction (the writer
   // just opened a fresh one) and thus compaction-eligible.
   closed_ = scan.segments;
   reported_ = wal_->stats();
-
-  if (const auto newest = loadNewestCheckpoint(dir_))
-    lastCheckpointSeq_ = newest->data.throughSeq;
 
 #if MOLOC_METRICS_ENABLED
   if (auto* reg = config_.metrics) {
@@ -52,8 +59,8 @@ StateStore::StateStore(std::string dir, StoreConfig config)
                     "Records appended after the newest checkpoint");
     metrics_.segments->set(static_cast<double>(closed_.size() + 1));
     metrics_.sinceCheckpoint->set(static_cast<double>(
-        scan.lastSeq > lastCheckpointSeq_
-            ? scan.lastSeq - lastCheckpointSeq_
+        lastKnownSeq > lastCheckpointSeq_
+            ? lastKnownSeq - lastCheckpointSeq_
             : 0));
   }
 #endif
@@ -90,6 +97,12 @@ CheckpointInfo StateStore::checkpoint(
     std::uint64_t throughSeq,
     const std::optional<radio::FingerprintDatabase>& fingerprints) {
   const auto start = std::chrono::steady_clock::now();
+  // Serializes concurrent checkpoint() calls: two at once would write
+  // the same '<path>.tmp' (O_TRUNC) and could interleave, publishing a
+  // corrupt file.  A dedicated mutex (always taken before mu_, never
+  // while holding it) keeps appends flowing during the slow
+  // serialize-and-publish below.
+  std::lock_guard<std::mutex> checkpointLock(checkpointMu_);
   {
     // The checkpoint must not claim a sequence the log has not durably
     // reached; sync before publishing.

@@ -103,6 +103,10 @@ class StateStore final : public core::ObservationSink {
 
  private:
   mutable std::mutex mu_;
+  /// Serializes whole checkpoint() calls (the publish step runs
+  /// outside mu_, and two concurrent publishes share a .tmp path).
+  /// Lock order: checkpointMu_ before mu_, never the reverse.
+  std::mutex checkpointMu_;
   std::string dir_;
   StoreConfig config_;
   std::unique_ptr<WalWriter> wal_;

@@ -284,12 +284,23 @@ WalScan WalReader::replay(
                             std::to_string(version) + " in '" + path +
                             "'");
     const std::uint64_t firstSeq = header.readU64();
+    if (firstSeq == 0)
+      throw CorruptionError("bad segment header firstSeq 0 in '" + path +
+                            "' (sequence numbers are 1-based)");
     if (chainStarted && firstSeq != prevSeq + 1)
       throw CorruptionError(
           "sequence gap: '" + path + "' starts at seq " +
           std::to_string(firstSeq) + ", expected " +
           std::to_string(prevSeq + 1) + " (missing or reordered segment)");
     chainStarted = true;
+    // The header pins a sequence lower bound even when no record
+    // follows: a segment starting at firstSeq means seqs 1..firstSeq-1
+    // were already assigned (and possibly checkpoint-compacted away).
+    // Without this, a restart behind a record-free active segment would
+    // report lastSeq = 0 and the next writer would reissue
+    // checkpoint-covered sequence numbers — which recovery then skips
+    // as already applied, silently losing acknowledged records.
+    prevSeq = std::max(prevSeq, firstSeq - 1);
 
     SegmentInfo info{files[f].index, path, firstSeq, 0, 0};
     std::size_t offset = kHeaderBytes;

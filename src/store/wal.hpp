@@ -63,7 +63,12 @@ struct SegmentInfo {
 struct WalScan {
   std::vector<SegmentInfo> segments;  ///< Sorted by index.
   std::uint64_t records = 0;          ///< Valid records, all segments.
-  std::uint64_t lastSeq = 0;          ///< 0 when the log is empty.
+  /// Highest sequence number the log accounts for: the max of every
+  /// record seq and every segment header's firstSeq - 1 (a record-free
+  /// segment still pins the stream — its header proves the earlier
+  /// seqs existed before compaction removed them).  0 when the log is
+  /// empty.  Seed a continuing WalWriter with lastSeq + 1.
+  std::uint64_t lastSeq = 0;
   std::uint64_t nextSegmentIndex = 1;
   /// Damaged-tail bookkeeping (only ever the final segment):
   bool tailDamaged = false;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/online_motion_database.hpp"
@@ -339,6 +340,124 @@ TEST_F(StateStoreTest, CompactionDeletesCoveredSegmentsOnly) {
   const RecoveryResult result = recover(dir, recovered);
   EXPECT_TRUE(result.checkpointLoaded);
   expectIdenticalState(db, recovered);
+}
+
+/// The scenario behind the sequence-lower-bound rule: checkpoint
+/// compaction leaves only a record-free active segment, the process
+/// restarts cleanly, and the reopened store must continue the sequence
+/// — not restart at 1 and reissue checkpoint-covered seqs that
+/// recovery would then silently skip.
+TEST_F(StateStoreTest, RestartBehindRecordFreeSegmentContinuesSequence) {
+  const std::string dir = freshDir("reissue");
+  auto db = makeDb();
+  StoreConfig config;
+  config.wal.fsync = FsyncPolicy::kNone;
+
+  const auto stream = mixedStream(80);
+  std::uint64_t checkpointSeq = 0;
+  {
+    StateStore store(dir, config);
+    db.setSink(&store);
+    for (int k = 0; k < 50; ++k)
+      db.addObservation(stream[k].start, stream[k].end,
+                        stream[k].directionDeg, stream[k].offsetMeters);
+    db.setSink(nullptr);
+    checkpointSeq = store.lastSeq();
+  }
+  {
+    // Restart #1: the reopened store starts a fresh segment; the
+    // checkpoint then compacts away every record-bearing one, leaving
+    // only the record-free active segment.
+    StateStore store(dir, config);
+    ASSERT_EQ(store.lastSeq(), checkpointSeq);
+    store.checkpoint(db.snapshot(), checkpointSeq);
+  }
+  {
+    // Restart #2: only an empty segment (header firstSeq =
+    // checkpointSeq + 1) plus the checkpoint file remain on disk.
+    StateStore store(dir, config);
+    EXPECT_EQ(store.lastSeq(), checkpointSeq);
+    db.setSink(&store);
+    for (int k = 50; k < 80; ++k)
+      db.addObservation(stream[k].start, stream[k].end,
+                        stream[k].directionDeg, stream[k].offsetMeters);
+    db.setSink(nullptr);
+    EXPECT_GT(store.lastSeq(), checkpointSeq);
+  }
+
+  auto recovered = makeDb(999);
+  const RecoveryResult result = recover(dir, recovered);
+  EXPECT_TRUE(result.checkpointLoaded);
+  EXPECT_EQ(result.checkpointSeq, checkpointSeq);
+  // The post-checkpoint records were assigned fresh seqs and replay;
+  // none may be skipped as checkpoint-covered.
+  EXPECT_GT(result.replayedRecords, 0u);
+  EXPECT_EQ(result.skippedRecords, 0u);
+  expectIdenticalState(db, recovered);
+}
+
+/// Belt-and-braces: even with every WAL segment gone (so no header can
+/// pin the sequence), the newest checkpoint's throughSeq must seed the
+/// writer past the seqs it covers.
+TEST_F(StateStoreTest, CheckpointSeqSeedsWriterWhenWalIsGone) {
+  const std::string dir = freshDir("walgone");
+  auto db = makeDb();
+  StoreConfig config;
+  config.wal.fsync = FsyncPolicy::kNone;
+  std::uint64_t checkpointSeq = 0;
+  {
+    StateStore store(dir, config);
+    db.setSink(&store);
+    for (const auto& o : mixedStream(40))
+      db.addObservation(o.start, o.end, o.directionDeg, o.offsetMeters);
+    store.checkpointNow(db);
+    db.setSink(nullptr);
+    checkpointSeq = store.lastCheckpointSeq();
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".log")
+      std::filesystem::remove(entry.path());
+
+  {
+    StateStore store(dir, config);
+    EXPECT_EQ(store.lastSeq(), checkpointSeq);
+    db.setSink(&store);
+    for (int k = 0; k < 10; ++k)
+      db.addObservation(0, 1, 89.0 + 0.1 * k, 4.0);
+    db.setSink(nullptr);
+  }
+  auto recovered = makeDb(999);
+  const RecoveryResult result = recover(dir, recovered);
+  EXPECT_TRUE(result.checkpointLoaded);
+  EXPECT_EQ(result.skippedRecords, 0u);
+  expectIdenticalState(db, recovered);
+}
+
+TEST_F(StateStoreTest, ConcurrentCheckpointsPublishAValidFile) {
+  const std::string dir = freshDir("ckpt_race");
+  auto db = makeDb();
+  StoreConfig config;
+  config.wal.fsync = FsyncPolicy::kNone;
+  StateStore store(dir, config);
+  db.setSink(&store);
+  for (const auto& o : mixedStream(60))
+    db.addObservation(o.start, o.end, o.directionDeg, o.offsetMeters);
+  db.setSink(nullptr);
+
+  // Same snapshot, same throughSeq, four threads: the publishes share
+  // a .tmp path and must be serialized, or the file interleaves.
+  const auto snapshot = db.snapshot();
+  const std::uint64_t throughSeq = store.lastSeq();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back(
+        [&] { store.checkpoint(snapshot, throughSeq); });
+  for (auto& thread : threads) thread.join();
+
+  const auto loaded = loadNewestCheckpoint(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->data.throughSeq, throughSeq);
+  EXPECT_EQ(loaded->skippedInvalid, 0u);
 }
 
 TEST_F(StateStoreTest, MissingCheckpointWithCompactedWalRaises) {

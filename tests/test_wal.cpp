@@ -79,6 +79,50 @@ TEST(Wal, EmptyDirectoryScansEmpty) {
   EXPECT_TRUE(scan.segments.empty());
 }
 
+TEST(Wal, RecordFreeSegmentHeaderPinsSequenceLowerBound) {
+  const std::string dir = freshDir("emptyseq");
+  // A header-only segment starting at seq 8 — exactly what checkpoint
+  // compaction leaves behind once every record-bearing segment is
+  // covered and deleted.
+  { WalWriter writer(dir, {FsyncPolicy::kNone}, /*nextSeq=*/8,
+                     /*segmentIndex=*/3); }
+
+  const WalScan scan = WalReader(dir).scan();
+  EXPECT_EQ(scan.records, 0u);
+  ASSERT_EQ(scan.segments.size(), 1u);
+  EXPECT_EQ(scan.segments[0].firstSeq, 8u);
+  EXPECT_EQ(scan.segments[0].records, 0u);
+  // The header proves seqs 1..7 were assigned before compaction; a
+  // continuing writer seeded from lastSeq must not reissue them (a
+  // reissued seq <= a checkpoint's throughSeq is silently skipped by
+  // recovery — permanent data loss).
+  EXPECT_EQ(scan.lastSeq, 7u);
+
+  {
+    WalWriter writer(dir, {FsyncPolicy::kNone}, scan.lastSeq + 1,
+                     scan.nextSegmentIndex);
+    EXPECT_EQ(writer.append(0, 1, 90.0, 4.0), 8u);
+  }
+  WalScan after;
+  const auto records = replayAll(dir, &after);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 8u);
+  EXPECT_EQ(after.lastSeq, 8u);
+}
+
+TEST(Wal, ZeroFirstSeqHeaderRaisesCorruption) {
+  const std::string dir = freshDir("zeroseq");
+  { WalWriter writer(dir, {FsyncPolicy::kNone}); }
+  const WalScan scan = WalReader(dir).scan();
+  ASSERT_EQ(scan.segments.size(), 1u);
+  // Zero the header's firstSeq field (bytes 12..19): sequence numbers
+  // are 1-based, so a zero can only come from corruption.
+  std::string bytes = readFileBytes(scan.segments[0].path);
+  for (std::size_t b = 12; b < 20; ++b) bytes[b] = '\0';
+  writeFileBytes(scan.segments[0].path, bytes);
+  EXPECT_THROW(WalReader(dir).scan(), CorruptionError);
+}
+
 TEST(Wal, AppendReplayRoundTripIsBitExact) {
   const std::string dir = freshDir("roundtrip");
   std::vector<ObservationRecord> written;
