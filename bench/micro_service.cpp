@@ -15,8 +15,10 @@
 //
 // Output: paper-style rows plus a p50/p95/p99 latency table on
 // stdout, bench_results/micro_service.csv (threads,queries,seconds,
-// qps,speedup,p50_ms,p95_ms,p99_ms), and the final run's registry
-// rendered to bench_results/micro_service_metrics.prom.
+// qps,speedup,p50_ms,p95_ms,p99_ms), the machine-readable sweep as
+// bench_results/BENCH_micro_service.json (schema in
+// docs/performance.md), and the final run's registry rendered to
+// bench_results/micro_service_metrics.prom.
 
 #include <chrono>
 #include <cmath>
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "kernel/fingerprint_kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "sensors/accelerometer_model.hpp"
@@ -44,12 +47,7 @@ constexpr std::size_t kImuSamples = 150;  // 3 s at 50 Hz.
 /// longer (less scheduler-noise-prone) measurements, e.g. when
 /// comparing MOLOC_METRICS=ON vs OFF builds.
 std::size_t roundsPerSession() {
-  static const std::size_t rounds = [] {
-    if (const char* env = std::getenv("MOLOC_BENCH_ROUNDS"))
-      if (const long parsed = std::atol(env); parsed > 0)
-        return static_cast<std::size_t>(parsed);
-    return std::size_t{20};
-  }();
+  static const std::size_t rounds = moloc::bench::envRounds(20);
   return rounds;
 }
 
@@ -201,6 +199,49 @@ int main() {
   }
   std::printf("  determinism: all thread counts bitwise-identical to"
               " serial\n");
+
+  // Machine-readable sweep snapshot for the perf trajectory.
+  {
+    bench::JsonWriter json;
+    json.beginObject()
+        .field("bench", "micro_service")
+        .field("schema_version", 1.0);
+    json.beginObject("config")
+        .field("sessions", static_cast<double>(kSessions))
+        .field("rounds", static_cast<double>(roundsPerSession()))
+        .field("queries", static_cast<double>(queries))
+        .field("shards", 32.0)
+        .field("simd_compiled", static_cast<bool>(MOLOC_SIMD_ENABLED))
+        .field("simd_active",
+               kernel::simdLevelName(kernel::activeSimdLevel()))
+        .field("metrics_compiled",
+               static_cast<bool>(MOLOC_METRICS_ENABLED))
+        .field("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()))
+        .endObject();
+    json.beginArray("sweep");
+    for (const auto& row : rows) {
+      const double qps =
+          static_cast<double>(queries) / row.run.seconds;
+      json.beginObject()
+          .field("threads", static_cast<double>(row.threads))
+          .field("seconds", row.run.seconds)
+          .field("qps", qps)
+          .field("speedup_vs_1", baseline.seconds > 0.0
+                                     ? baseline.seconds / row.run.seconds
+                                     : 0.0)
+          .field("p50_ms", row.run.p50Ms)
+          .field("p95_ms", row.run.p95Ms)
+          .field("p99_ms", row.run.p99Ms)
+          .endObject();
+    }
+    json.endArray();
+    json.field("determinism_bitwise", true).endObject();
+    const std::string jsonPath =
+        moloc::bench::resultsDir() + "/BENCH_micro_service.json";
+    if (json.writeTo(jsonPath))
+      std::printf("  perf trajectory: %s\n", jsonPath.c_str());
+  }
 
   if (!rows.empty() && rows.front().run.p50Ms >= 0.0) {
     std::printf("\nPer-scan latency from moloc_service_scan_latency_"

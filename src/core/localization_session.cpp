@@ -1,5 +1,6 @@
 #include "core/localization_session.hpp"
 
+#include <exception>
 #include <stdexcept>
 
 namespace moloc::core {
@@ -39,6 +40,17 @@ LocationEstimate LocalizationSession::onScan(
                     : processor_.process(imuSinceLastScan,
                                          stepLengthMeters_);
   return engine_.localize(scan, lastMotion_);
+}
+
+LocationEstimate LocalizationSession::onScanWithCandidates(
+    std::span<const Candidate> candidates, std::exception_ptr scanError,
+    const sensors::ImuTrace& imuSinceLastScan) {
+  lastMotion_ = imuSinceLastScan.empty()
+                    ? std::nullopt
+                    : processor_.process(imuSinceLastScan,
+                                         stepLengthMeters_);
+  if (scanError) std::rethrow_exception(scanError);
+  return engine_.localizeWithCandidates(candidates, lastMotion_);
 }
 
 }  // namespace moloc::core

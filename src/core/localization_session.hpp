@@ -1,5 +1,8 @@
 #pragma once
 
+#include <exception>
+#include <span>
+
 #include "core/moloc_engine.hpp"
 #include "sensors/imu_trace.hpp"
 #include "sensors/motion_processor.hpp"
@@ -38,6 +41,18 @@ class LocalizationSession {
   /// degrades to a fingerprint-only update automatically.
   LocationEstimate onScan(const radio::Fingerprint& scan,
                           const sensors::ImuTrace& imuSinceLastScan);
+
+  /// Variant of onScan() for a caller that already matched the scan
+  /// against the radio map (the serving layer's batched fingerprint
+  /// kernel): `candidates` must be exactly what this session's engine
+  /// would compute for the scan, and the estimate is then
+  /// bitwise-identical to onScan().  `scanError`, when non-null, is the
+  /// exception the scan's precomputed match raised; it is rethrown
+  /// after motion processing — the same point at which onScan() would
+  /// have raised it — so failure ordering matches the unbatched path.
+  LocationEstimate onScanWithCandidates(
+      std::span<const Candidate> candidates, std::exception_ptr scanError,
+      const sensors::ImuTrace& imuSinceLastScan);
 
   /// Starts a new walk (forgets retained candidates).
   void reset() { engine_.reset(); }

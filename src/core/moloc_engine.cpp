@@ -69,17 +69,33 @@ LocationEstimate MoLocEngine::localize(
     const radio::Fingerprint& query,
     const std::optional<sensors::MotionMeasurement>& motion) {
 #if MOLOC_METRICS_ENABLED
-  // Stage boundaries share one timestamp each (4 tick reads per round
-  // instead of three timers' 6), which is what keeps per-stage timing
-  // cheap enough to leave enabled in serving builds.
+  // Stage boundaries share timestamps where they can (5 tick reads per
+  // round instead of three timers' 6), which is what keeps per-stage
+  // timing cheap enough to leave enabled in serving builds.
   const bool timed = stageFingerprint_ != nullptr;
   const std::uint64_t t0 = timed ? obs::detail::ticksNow() : 0;
 #endif
   estimator_.estimateInto(query, candidateScratch_);
-  const auto& candidates = candidateScratch_;
 #if MOLOC_METRICS_ENABLED
+  if (timed)
+    stageFingerprint_->observe(
+        obs::detail::ticksToSeconds(t0, obs::detail::ticksNow()));
+#endif
+  return fuse(candidateScratch_, motion);
+}
+
+LocationEstimate MoLocEngine::localizeWithCandidates(
+    std::span<const Candidate> candidates,
+    const std::optional<sensors::MotionMeasurement>& motion) {
+  return fuse(candidates, motion);
+}
+
+LocationEstimate MoLocEngine::fuse(
+    std::span<const Candidate> candidates,
+    const std::optional<sensors::MotionMeasurement>& motion) {
+#if MOLOC_METRICS_ENABLED
+  const bool timed = stageMotion_ != nullptr;
   const std::uint64_t t1 = timed ? obs::detail::ticksNow() : 0;
-  if (timed) stageFingerprint_->observe(obs::detail::ticksToSeconds(t0, t1));
   if (candidateSetSize_)
     candidateSetSize_->observe(static_cast<double>(candidates.size()));
 #endif
@@ -99,18 +115,26 @@ LocationEstimate MoLocEngine::localize(
                             std::isfinite(motion->directionDeg) &&
                             std::isfinite(motion->offsetMeters);
   const bool useMotion = motionUsable && !previous_.empty();
+  if (useMotion) {
+    // Eq. 6 for the whole candidate set in one call, so the matcher's
+    // batch-invariant work (adjacency sync, prior-mass sum, stationary
+    // factor) runs once per round instead of once per candidate.
+    motionIdScratch_.clear();
+    motionIdScratch_.reserve(candidates.size());
+    for (const auto& candidate : candidates)
+      motionIdScratch_.push_back(candidate.location);
+    matcher_.scoreCandidates(previous_, motionIdScratch_, *motion,
+                             motionScoreScratch_);
+  }
   double total = 0.0;
   // The motion stage covers candidate scoring even on fingerprint-only
   // rounds (the loop then degenerates to a copy), so its count matches
   // the fusion stage one-to-one.
-  for (const auto& candidate : candidates) {
-    double weight = candidate.probability;
-    if (useMotion) {
-      // Eq. 7 numerator: P(x=j|F) * P_{L',j}(d, o).
-      weight *= matcher_.setProbability(previous_, candidate.location,
-                                        *motion);
-    }
-    scored.push_back({candidate.location, weight});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double weight = candidates[i].probability;
+    // Eq. 7 numerator: P(x=j|F) * P_{L',j}(d, o).
+    if (useMotion) weight *= motionScoreScratch_[i];
+    scored.push_back({candidates[i].location, weight});
     total += weight;
   }
 #if MOLOC_METRICS_ENABLED

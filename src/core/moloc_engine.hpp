@@ -92,12 +92,30 @@ class MoLocEngine {
       const radio::Fingerprint& query,
       const std::optional<sensors::MotionMeasurement>& motion);
 
+  /// Variant of localize() for a caller that already ran candidate
+  /// estimation — e.g. the serving layer, which batches every scan in a
+  /// localizeBatch() into one fingerprint-kernel invocation.
+  /// `candidates` must be exactly what this engine's estimator would
+  /// yield for the query; given that, the estimate is bitwise-identical
+  /// to localize().  The fingerprint stage timer is not observed here
+  /// (that work happened in the caller); the candidate-set size and the
+  /// motion/fusion stages are.
+  LocationEstimate localizeWithCandidates(
+      std::span<const Candidate> candidates,
+      const std::optional<sensors::MotionMeasurement>& motion);
+
   /// The retained candidate set (posterior of the last fix).
   std::span<const WeightedCandidate> retainedCandidates() const {
     return previous_;
   }
 
  private:
+  /// Shared back half of localize()/localizeWithCandidates(): motion
+  /// scoring (Eq. 5-6 via the matcher's batch path), Eq. 7 fusion, and
+  /// ranking for one already-estimated candidate set.
+  LocationEstimate fuse(std::span<const Candidate> candidates,
+                        const std::optional<sensors::MotionMeasurement>& motion);
+
   LocationEstimate finalize(std::vector<WeightedCandidate> scored);
 
   /// Registers the Eq. 1-7 pipeline instruments when config_.metrics
@@ -111,6 +129,10 @@ class MoLocEngine {
   /// Reused across localize() rounds so the per-query candidate list
   /// does not allocate on the serving hot path.
   std::vector<Candidate> candidateScratch_;
+  /// Scratch for the batched Eq. 6 call (candidate ids in, scores out);
+  /// reused across rounds for the same reason.
+  std::vector<env::LocationId> motionIdScratch_;
+  std::vector<double> motionScoreScratch_;
 
 #if MOLOC_METRICS_ENABLED
   obs::Histogram* stageFingerprint_ = nullptr;  ///< Eq. 3-4 matching.

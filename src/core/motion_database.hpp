@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -60,12 +61,33 @@ class MotionDatabase {
   /// Number of populated directed entries.
   std::size_t entryCount() const;
 
+  /// Calls fn(i, j, stats) for every populated directed entry, in
+  /// row-major (i, then j) order — how kernel::MotionAdjacency builds
+  /// its CSR index without n^2 entry() copies.
+  template <typename Fn>
+  void forEachEntry(Fn&& fn) const {
+    for (std::size_t idx = 0; idx < entries_.size(); ++idx)
+      if (entries_[idx])
+        fn(static_cast<env::LocationId>(idx / n_),
+           static_cast<env::LocationId>(idx % n_), *entries_[idx]);
+  }
+
+  /// A monotone stamp identifying this database's current contents:
+  /// every mutation (setEntry, effective clearEntry) assigns a fresh
+  /// process-wide-unique value, so a cached derived index (see
+  /// kernel::MotionAdjacency) can detect staleness even across
+  /// wholesale replacement by move/copy assignment — two distinct
+  /// states never share a stamp.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::size_t index(env::LocationId i, env::LocationId j) const;
   void checkIds(env::LocationId i, env::LocationId j) const;
+  void bumpVersion();
 
   std::size_t n_ = 0;
   std::vector<std::optional<RlmStats>> entries_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace moloc::core

@@ -9,29 +9,19 @@ namespace moloc::core {
 
 double gaussianWindowProbability(double x, double halfWidth, double mu,
                                  double sigma) {
-  if (sigma <= 0.0)
+  if (kernel::degenerateSigma(sigma))
     return std::abs(x - mu) <= halfWidth ? 1.0 : 0.0;
-  const double invSqrt2Sigma = 1.0 / (sigma * std::sqrt(2.0));
-  const double upper = (x + halfWidth - mu) * invSqrt2Sigma;
-  const double lower = (x - halfWidth - mu) * invSqrt2Sigma;
-  return 0.5 * (std::erf(upper) - std::erf(lower));
+  return kernel::windowMass(x, halfWidth, mu,
+                            1.0 / (sigma * kernel::kSqrt2));
 }
 
 double circularGaussianWindowProbability(double deviationDeg,
                                          double halfWidthDeg,
                                          double sigmaDeg) {
-  if (sigmaDeg <= 0.0)
+  if (kernel::degenerateSigma(sigmaDeg))
     return std::abs(deviationDeg) <= halfWidthDeg ? 1.0 : 0.0;
-  // The deviation lives on the circle (-180, 180]; a wide window
-  // (alpha near 360) centred off zero would otherwise spill past the
-  // antipode and claim probability mass that does not exist on the
-  // circle.  Clamp the integration bounds to [-180, 180].
-  const double lowerDeg = std::max(deviationDeg - halfWidthDeg, -180.0);
-  const double upperDeg = std::min(deviationDeg + halfWidthDeg, 180.0);
-  if (lowerDeg >= upperDeg) return 0.0;
-  const double invSqrt2Sigma = 1.0 / (sigmaDeg * std::sqrt(2.0));
-  return 0.5 * (std::erf(upperDeg * invSqrt2Sigma) -
-                std::erf(lowerDeg * invSqrt2Sigma));
+  return kernel::circularWindowMass(deviationDeg, halfWidthDeg,
+                                    1.0 / (sigmaDeg * kernel::kSqrt2));
 }
 
 MotionMatcher::MotionMatcher(const MotionDatabase& db,
@@ -56,21 +46,60 @@ double MotionMatcher::offsetFactor(const RlmStats& stats,
                                    stats.sigmaOffsetMeters);
 }
 
+double MotionMatcher::windowDirectionFactor(const kernel::PairWindow& w,
+                                            double directionDeg) const {
+  const double deviation =
+      geometry::signedAngularDiffDeg(w.muDirectionDeg, directionDeg);
+  if (kernel::degenerateSigma(w.sigmaDirectionDeg))
+    return std::abs(deviation) <= params_.alphaDeg / 2.0 ? 1.0 : 0.0;
+  return kernel::circularWindowMass(deviation, params_.alphaDeg / 2.0,
+                                    w.invSqrt2SigmaDir);
+}
+
+double MotionMatcher::windowOffsetFactor(const kernel::PairWindow& w,
+                                         double offsetMeters) const {
+  if (kernel::degenerateSigma(w.sigmaOffsetMeters))
+    return std::abs(offsetMeters - w.muOffsetMeters) <=
+                   params_.betaMeters / 2.0
+               ? 1.0
+               : 0.0;
+  return kernel::windowMass(offsetMeters, params_.betaMeters / 2.0,
+                            w.muOffsetMeters, w.invSqrt2SigmaOff);
+}
+
+double MotionMatcher::stationaryProbability(
+    const sensors::MotionMeasurement& motion) const {
+  // Staying put: any direction is equally (un)informative; the offset
+  // should be near zero up to sensor noise.  Capped at 1: an alpha
+  // wider than the circle still covers at most the whole circle.
+  const double directionFactorStationary =
+      std::min(params_.alphaDeg / 360.0, 1.0);
+  const double offsetFactorStationary = gaussianWindowProbability(
+      motion.offsetMeters, params_.betaMeters / 2.0, 0.0,
+      params_.stationarySigmaMeters);
+  return std::max(directionFactorStationary * offsetFactorStationary,
+                  params_.unreachableFloor);
+}
+
+const kernel::MotionAdjacency& MotionMatcher::adjacency() const {
+  adj_.syncWith(db_);
+  return adj_;
+}
+
+void MotionMatcher::requireValidPair(env::LocationId i,
+                                     env::LocationId j) const {
+  const std::size_t n = db_.locationCount();
+  if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n ||
+      static_cast<std::size_t>(j) >= n)
+    (void)db_.hasEntry(i, j);  // throws the dense lookup's out_of_range
+}
+
 double MotionMatcher::pairProbability(
     env::LocationId i, env::LocationId j,
     const sensors::MotionMeasurement& motion) const {
   if (i == j) {
     if (!params_.allowStationary) return params_.unreachableFloor;
-    // Staying put: any direction is equally (un)informative; the offset
-    // should be near zero up to sensor noise.  Capped at 1: an alpha
-    // wider than the circle still covers at most the whole circle.
-    const double directionFactorStationary =
-        std::min(params_.alphaDeg / 360.0, 1.0);
-    const double offsetFactorStationary = gaussianWindowProbability(
-        motion.offsetMeters, params_.betaMeters / 2.0, 0.0,
-        params_.stationarySigmaMeters);
-    return std::max(directionFactorStationary * offsetFactorStationary,
-                    params_.unreachableFloor);
+    return stationaryProbability(motion);
   }
 
   const auto stats = db_.entry(i, j);
@@ -80,14 +109,62 @@ double MotionMatcher::pairProbability(
   return std::max(p, params_.unreachableFloor);
 }
 
+double MotionMatcher::scoreOne(std::span<const WeightedCandidate> prev,
+                               env::LocationId j,
+                               const sensors::MotionMeasurement& motion,
+                               double stationaryP, double totalPrior) const {
+  double acc = 0.0;      // mass scored through an explicit model
+  double covered = 0.0;  // prior mass behind those terms
+  for (const auto& candidate : prev) {
+    if (candidate.location == j) {
+      if (params_.allowStationary) {
+        acc += candidate.probability * stationaryP;
+        covered += candidate.probability;
+      }
+      continue;
+    }
+    requireValidPair(candidate.location, j);
+    if (const kernel::PairWindow* w = adj_.find(candidate.location, j)) {
+      const double p = windowDirectionFactor(*w, motion.directionDeg) *
+                       windowOffsetFactor(*w, motion.offsetMeters);
+      acc += candidate.probability * std::max(p, params_.unreachableFloor);
+      covered += candidate.probability;
+    }
+  }
+  // Every unit of prior mass not covered by a stored pair (or the
+  // stationary model) contributes exactly the floor, so one multiply
+  // replaces the dense scan's per-pair floor additions.  When all mass
+  // is covered, `covered` sums the same terms in the same order as
+  // `totalPrior` and the correction is exactly zero.
+  return acc + params_.unreachableFloor * (totalPrior - covered);
+}
+
 double MotionMatcher::setProbability(
     std::span<const WeightedCandidate> previousCandidates,
     env::LocationId j, const sensors::MotionMeasurement& motion) const {
-  double acc = 0.0;
+  adj_.syncWith(db_);
+  double totalPrior = 0.0;
   for (const auto& candidate : previousCandidates)
-    acc += candidate.probability *
-           pairProbability(candidate.location, j, motion);
-  return acc;
+    totalPrior += candidate.probability;
+  return scoreOne(previousCandidates, j, motion,
+                  stationaryProbability(motion), totalPrior);
+}
+
+void MotionMatcher::scoreCandidates(
+    std::span<const WeightedCandidate> previousCandidates,
+    std::span<const env::LocationId> candidates,
+    const sensors::MotionMeasurement& motion,
+    std::vector<double>& out) const {
+  adj_.syncWith(db_);
+  double totalPrior = 0.0;
+  for (const auto& candidate : previousCandidates)
+    totalPrior += candidate.probability;
+  const double stationaryP = stationaryProbability(motion);
+  out.clear();
+  out.reserve(candidates.size());
+  for (const env::LocationId j : candidates)
+    out.push_back(
+        scoreOne(previousCandidates, j, motion, stationaryP, totalPrior));
 }
 
 }  // namespace moloc::core

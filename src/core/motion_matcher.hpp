@@ -1,9 +1,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/candidate_estimator.hpp"
 #include "core/motion_database.hpp"
+#include "kernel/motion_kernel.hpp"
 #include "sensors/motion_processor.hpp"
 
 namespace moloc::core {
@@ -35,6 +37,14 @@ struct MotionMatcherParams {
 
 /// The motion matching unit: evaluates how well a measured (direction,
 /// offset) pair matches the motion database between locations.
+///
+/// Scoring runs on a cached kernel::MotionAdjacency — a CSR view of the
+/// database holding only populated pairs with their window constants
+/// (1/(sigma*sqrt(2))) precomputed.  The cache is synced lazily against
+/// MotionDatabase::version(), so it rebuilds itself after any mutation,
+/// including an OnlineMotionDatabase publishing a refit.  The matcher is
+/// not internally synchronized: concurrent callers must serialize (the
+/// serving layer's per-session locking already does).
 class MotionMatcher {
  public:
   MotionMatcher(const MotionDatabase& db, MotionMatcherParams params = {});
@@ -56,20 +66,68 @@ class MotionMatcher {
       std::span<const WeightedCandidate> previousCandidates,
       env::LocationId j, const sensors::MotionMeasurement& motion) const;
 
+  /// Eq. 6 over a whole candidate set at once: fills `out` (clearing it
+  /// first) with out[c] = setProbability(previousCandidates,
+  /// candidates[c], motion), bitwise-identical to the per-j calls.  The
+  /// work shared across the set — syncing the adjacency cache, summing
+  /// the prior mass, and the stationary probability (which depends only
+  /// on the measurement, not on j) — is done once per batch instead of
+  /// once per candidate.
+  void scoreCandidates(std::span<const WeightedCandidate> previousCandidates,
+                       std::span<const env::LocationId> candidates,
+                       const sensors::MotionMeasurement& motion,
+                       std::vector<double>& out) const;
+
   /// The direction factor D_ij alone; exposed for tests and ablations.
   double directionFactor(const RlmStats& stats, double directionDeg) const;
 
   /// The offset factor O_ij alone; exposed for tests and ablations.
   double offsetFactor(const RlmStats& stats, double offsetMeters) const;
 
+  /// The adjacency cache, synced to the database first; exposed so
+  /// tests can observe rebuild-on-mutation and benchmarks can prebuild.
+  const kernel::MotionAdjacency& adjacency() const;
+
  private:
+  /// setProbability for one j with the batch-invariant inputs supplied
+  /// by the caller.  `stationaryP` is the precomputed i == j
+  /// probability; `totalPrior` the prior mass of `prev`, summed in
+  /// iteration order.
+  double scoreOne(std::span<const WeightedCandidate> prev,
+                  env::LocationId j,
+                  const sensors::MotionMeasurement& motion,
+                  double stationaryP, double totalPrior) const;
+
+  /// The i == j probability: max(stationary direction x offset, floor).
+  double stationaryProbability(
+      const sensors::MotionMeasurement& motion) const;
+
+  /// directionFactor/offsetFactor on a precomputed window —
+  /// bitwise-identical to the RlmStats overloads.
+  double windowDirectionFactor(const kernel::PairWindow& w,
+                               double directionDeg) const;
+  double windowOffsetFactor(const kernel::PairWindow& w,
+                            double offsetMeters) const;
+
+  /// Throws the dense lookup's std::out_of_range when (i, j) is outside
+  /// the database, so the CSR fast path rejects bad ids exactly like
+  /// MotionDatabase::entry did.
+  void requireValidPair(env::LocationId i, env::LocationId j) const;
+
   const MotionDatabase& db_;
   MotionMatcherParams params_;
+  /// Lazily synced CSR view of db_; mutable because const scoring
+  /// methods refresh it on first use after a database mutation.
+  mutable kernel::MotionAdjacency adj_;
 };
 
 /// The probability mass of a N(mu, sigma) variable inside
 /// [x - halfWidth, x + halfWidth]; the building block of Eq. 5.
-/// Degenerate sigma <= 0 returns 1 when |x - mu| <= halfWidth, else 0.
+/// Degenerate sigma (zero, negative, or NaN) returns 1 when
+/// |x - mu| <= halfWidth, else 0 — a NaN sigma previously leaked into
+/// the erf math and poisoned the result.  sigma = +inf is not
+/// degenerate: the erf arguments collapse to 0 and the window honestly
+/// claims no mass.
 double gaussianWindowProbability(double x, double halfWidth, double mu,
                                  double sigma);
 
@@ -78,7 +136,8 @@ double gaussianWindowProbability(double x, double halfWidth, double mu,
 /// [deviation - halfWidth, deviation + halfWidth] with the bounds
 /// clamped to the circle's extent [-180, 180], so a window wider than
 /// the circle cannot claim mass beyond the antipode.  `deviationDeg`
-/// must already be wrapped into (-180, 180].
+/// must already be wrapped into (-180, 180].  Degenerate sigma (zero,
+/// negative, or NaN) is an indicator, as above.
 double circularGaussianWindowProbability(double deviationDeg,
                                          double halfWidthDeg,
                                          double sigmaDeg);

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace moloc::kernel {
+
+/// Rows per interleaved block: storage groups this many rows together,
+/// and the vectorized kernels process one SIMD lane per row in the
+/// block.
+inline constexpr std::size_t kRowBlock = 4;
+
+/// Blocked row-interleaved (AoSoA) storage for the fingerprint radio
+/// map — the data-oriented layout behind the matching hot path.
+///
+/// Rows are grouped into blocks of kRowBlock; within a block the
+/// values are column-major, so column c of the block's four rows is
+/// one contiguous run of kRowBlock doubles:
+///
+///   data[block * kRowBlock * cols + c * kRowBlock + lane]
+///     == element (block * kRowBlock + lane, c)
+///
+/// A squared-distance kernel can then load column c of four rows with
+/// a single vector load instead of four strided scalar loads, while
+/// each row's accumulation still walks columns sequentially — the same
+/// order as a plain per-row scalar loop, which is what keeps results
+/// bitwise-identical across code paths.
+///
+/// The trailing partial block is zero-padded: kernels always process
+/// whole blocks, and the padded rows' outputs (a deterministic, finite
+/// sum of query squares) are simply never read.
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// rows() rounded up to a whole number of blocks — the number of
+  /// distance outputs a kernel writes.
+  std::size_t paddedRows() const {
+    return (rows_ + kRowBlock - 1) / kRowBlock * kRowBlock;
+  }
+
+  const double* data() const { return data_.data(); }
+
+  /// Element access through the interleaved layout (test/debug path;
+  /// the kernels index the raw block layout directly).
+  double at(std::size_t row, std::size_t col) const {
+    return data_[(row / kRowBlock) * kRowBlock * cols_ +
+                 col * kRowBlock + row % kRowBlock];
+  }
+
+  /// Drops all rows and fixes the column count.
+  void reset(std::size_t cols);
+
+  /// Appends one row; `row.size()` must equal cols() (throws
+  /// std::invalid_argument otherwise).
+  void appendRow(std::span<const double> row);
+
+ private:
+  std::vector<double> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Which code path squaredDistances() dispatches to on this machine
+/// and build.
+enum class SimdLevel { scalar, avx2 };
+SimdLevel activeSimdLevel();
+const char* simdLevelName(SimdLevel level);
+
+/// Test hook: forces the scalar path even when the AVX2 path is
+/// compiled in and supported.  Not for concurrent use with running
+/// kernels (tests toggle it single-threaded).
+void setForceScalar(bool force);
+
+/// out[r] = sum_c (query[c] - m[r][c])^2 for every row, accumulated
+/// sequentially over columns per row — the same order as a plain
+/// scalar loop, so every dispatch target returns bitwise-identical
+/// results.  `query` must hold cols() doubles; `out` must hold
+/// paddedRows() doubles (the padded tail's outputs are deterministic
+/// garbage — see FlatMatrix).
+void squaredDistances(const FlatMatrix& m, const double* query,
+                      double* out);
+
+/// The scalar reference the dispatched paths are tested against.
+void squaredDistancesScalar(const FlatMatrix& m, const double* query,
+                            double* out);
+
+/// One top-k candidate: a squared distance and the row it came from.
+struct TopKEntry {
+  double squaredDistance = 0.0;
+  std::size_t row = 0;
+};
+
+/// Selects the k smallest distances (ties broken toward the lower row
+/// index) into `out`, ascending, using a bounded max-heap — O(n log k)
+/// and no n-sized materialization, unlike a full partial_sort.
+/// Returns fewer than k entries when n < k.
+void selectSmallestK(std::span<const double> distances, std::size_t k,
+                     std::vector<TopKEntry>& out);
+
+/// Reusable scratch for a query against a FlatMatrix, so the serving
+/// hot path performs no per-call allocations once warm.
+struct QueryWorkspace {
+  std::vector<double> distances;
+  std::vector<TopKEntry> topk;
+};
+
+}  // namespace moloc::kernel

@@ -1,0 +1,99 @@
+// AVX2 lane-per-row squared-distance kernel.  This translation unit is
+// the only one compiled with -mavx2 (and deliberately without -mfma:
+// an FMA contraction of mul+add would round once instead of twice and
+// break bitwise equality with the scalar path).  Callers reach it only
+// through the runtime dispatch in fingerprint_kernel.cpp, which checks
+// cpuid first, so the binary stays safe on non-AVX2 machines.
+//
+// Layout note: with 4-6 APs per fingerprint the row is far too short
+// to vectorize along, so the kernel assigns one SIMD lane per *row*
+// and walks columns sequentially.  The FlatMatrix interleaved layout
+// makes column c of a block's four rows contiguous, so each step is a
+// single vector load rather than four strided scalar loads, and each
+// lane's accumulation order stays identical to the scalar loop's —
+// which is what makes the result bitwise-identical per row.
+//
+// The main loop carries four blocks (16 rows) at once: a lone
+// accumulator would serialize on vaddpd latency (cols sequential adds
+// back to back), while four independent accumulator chains keep the
+// FP add ports busy.
+
+#if MOLOC_SIMD_ENABLED
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace moloc::kernel::detail {
+
+void squaredDistancesAvx2(const double* data, std::size_t paddedRows,
+                          std::size_t cols, const double* query,
+                          double* out) {
+  const std::size_t blockDoubles = 4 * cols;
+  const std::size_t blocks = paddedRows / 4;
+  std::size_t b = 0;
+  for (; b + 4 <= blocks; b += 4) {
+    const double* b0 = data + b * blockDoubles;
+    const double* b1 = b0 + blockDoubles;
+    const double* b2 = b1 + blockDoubles;
+    const double* b3 = b2 + blockDoubles;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < cols; ++c) {
+      const __m256d q = _mm256_set1_pd(query[c]);
+      const __m256d d0 = _mm256_sub_pd(q, _mm256_loadu_pd(b0 + c * 4));
+      const __m256d d1 = _mm256_sub_pd(q, _mm256_loadu_pd(b1 + c * 4));
+      const __m256d d2 = _mm256_sub_pd(q, _mm256_loadu_pd(b2 + c * 4));
+      const __m256d d3 = _mm256_sub_pd(q, _mm256_loadu_pd(b3 + c * 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+      acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(d2, d2));
+      acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(d3, d3));
+    }
+    _mm256_storeu_pd(out + b * 4, acc0);
+    _mm256_storeu_pd(out + b * 4 + 4, acc1);
+    _mm256_storeu_pd(out + b * 4 + 8, acc2);
+    _mm256_storeu_pd(out + b * 4 + 12, acc3);
+  }
+  for (; b < blocks; ++b) {
+    const double* block = data + b * blockDoubles;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < cols; ++c) {
+      const __m256d q = _mm256_set1_pd(query[c]);
+      const __m256d d = _mm256_sub_pd(q, _mm256_loadu_pd(block + c * 4));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + b * 4, acc);
+  }
+}
+
+std::size_t findBelowAvx2(const double* values, std::size_t begin,
+                          std::size_t end, double threshold) {
+  const __m256d t = _mm256_set1_pd(threshold);
+  std::size_t i = begin;
+  for (; i + 16 <= end; i += 16) {
+    const __m256d c0 =
+        _mm256_cmp_pd(_mm256_loadu_pd(values + i), t, _CMP_LT_OQ);
+    const __m256d c1 =
+        _mm256_cmp_pd(_mm256_loadu_pd(values + i + 4), t, _CMP_LT_OQ);
+    const __m256d c2 =
+        _mm256_cmp_pd(_mm256_loadu_pd(values + i + 8), t, _CMP_LT_OQ);
+    const __m256d c3 =
+        _mm256_cmp_pd(_mm256_loadu_pd(values + i + 12), t, _CMP_LT_OQ);
+    const __m256d any =
+        _mm256_or_pd(_mm256_or_pd(c0, c1), _mm256_or_pd(c2, c3));
+    if (_mm256_movemask_pd(any)) {
+      for (std::size_t j = i;; ++j)
+        if (values[j] < threshold) return j;
+    }
+  }
+  for (; i < end; ++i)
+    if (values[i] < threshold) return i;
+  return end;
+}
+
+}  // namespace moloc::kernel::detail
+
+#endif  // MOLOC_SIMD_ENABLED

@@ -1,0 +1,53 @@
+#include "kernel/motion_kernel.hpp"
+
+#include <algorithm>
+
+namespace moloc::kernel {
+
+PairWindow makeWindow(env::LocationId to, const core::RlmStats& stats) {
+  PairWindow window;
+  window.to = to;
+  window.muDirectionDeg = stats.muDirectionDeg;
+  window.sigmaDirectionDeg = stats.sigmaDirectionDeg;
+  window.muOffsetMeters = stats.muOffsetMeters;
+  window.sigmaOffsetMeters = stats.sigmaOffsetMeters;
+  if (!degenerateSigma(stats.sigmaDirectionDeg))
+    window.invSqrt2SigmaDir = 1.0 / (stats.sigmaDirectionDeg * kSqrt2);
+  if (!degenerateSigma(stats.sigmaOffsetMeters))
+    window.invSqrt2SigmaOff = 1.0 / (stats.sigmaOffsetMeters * kSqrt2);
+  return window;
+}
+
+void MotionAdjacency::rebuild(const core::MotionDatabase& db) {
+  locationCount_ = db.locationCount();
+  edges_.clear();
+  edges_.reserve(db.entryCount());
+  rowStart_.assign(locationCount_ + 1, 0);
+  // forEachEntry walks row-major, so edges_ lands sorted by (from, to)
+  // without a separate sort pass.
+  db.forEachEntry([this](env::LocationId from, env::LocationId to,
+                         const core::RlmStats& stats) {
+    ++rowStart_[static_cast<std::size_t>(from) + 1];
+    edges_.push_back(makeWindow(to, stats));
+  });
+  for (std::size_t row = 0; row < locationCount_; ++row)
+    rowStart_[row + 1] += rowStart_[row];
+  builtVersion_ = db.version();
+  built_ = true;
+}
+
+const PairWindow* findInRow(std::span<const PairWindow> row,
+                            env::LocationId to) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const PairWindow& w, env::LocationId id) { return w.to < id; });
+  if (it == row.end() || it->to != to) return nullptr;
+  return &*it;
+}
+
+const PairWindow* MotionAdjacency::find(env::LocationId i,
+                                        env::LocationId j) const {
+  return findInRow(outEdges(i), j);
+}
+
+}  // namespace moloc::kernel

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/motion_database.hpp"
+#include "env/floor_plan.hpp"
+
+namespace moloc::kernel {
+
+/// sqrt(2), hoisted out of the per-pair Gaussian window math.  The
+/// call std::sqrt(2.0) is correctly rounded, so substituting this
+/// constant for an inline call is bitwise-neutral.
+inline const double kSqrt2 = std::sqrt(2.0);
+
+/// One directed motion-DB entry with its query-time constants
+/// precomputed: the means, the sigmas (kept for the degenerate
+/// sigma <= 0 / non-finite branch), and 1/(sigma*sqrt(2)) so the hot
+/// path runs two erf calls per factor and nothing else.
+struct PairWindow {
+  env::LocationId to = 0;
+  double muDirectionDeg = 0.0;
+  double sigmaDirectionDeg = 0.0;
+  double invSqrt2SigmaDir = 0.0;  ///< 0 when the sigma is degenerate.
+  double muOffsetMeters = 0.0;
+  double sigmaOffsetMeters = 0.0;
+  double invSqrt2SigmaOff = 0.0;  ///< 0 when the sigma is degenerate.
+};
+
+/// True when a sigma cannot parameterize the Gaussian window: zero,
+/// negative, or NaN (a NaN would otherwise poison the erf math).
+/// +inf is finite-path-safe — the erf arguments collapse to 0 and the
+/// window mass is an honest 0 — so it is not treated as degenerate.
+inline bool degenerateSigma(double sigma) {
+  return std::isnan(sigma) || sigma <= 0.0;
+}
+
+/// N(mu, sigma) mass inside [x - halfWidth, x + halfWidth], with the
+/// 1/(sigma*sqrt(2)) factor precomputed.  The arithmetic is exactly
+/// the inline form's, so precomputed and inline callers agree bitwise.
+inline double windowMass(double x, double halfWidth, double mu,
+                         double invSqrt2Sigma) {
+  const double upper = (x + halfWidth - mu) * invSqrt2Sigma;
+  const double lower = (x - halfWidth - mu) * invSqrt2Sigma;
+  return 0.5 * (std::erf(upper) - std::erf(lower));
+}
+
+/// Zero-mean circular window mass with the integration bounds clamped
+/// to the circle's extent [-180, 180] (see
+/// core::circularGaussianWindowProbability).
+inline double circularWindowMass(double deviationDeg, double halfWidthDeg,
+                                 double invSqrt2Sigma) {
+  const double lowerDeg = deviationDeg - halfWidthDeg < -180.0
+                              ? -180.0
+                              : deviationDeg - halfWidthDeg;
+  const double upperDeg = deviationDeg + halfWidthDeg > 180.0
+                              ? 180.0
+                              : deviationDeg + halfWidthDeg;
+  if (lowerDeg >= upperDeg) return 0.0;
+  return 0.5 * (std::erf(upperDeg * invSqrt2Sigma) -
+                std::erf(lowerDeg * invSqrt2Sigma));
+}
+
+/// A CSR-style adjacency view of a MotionDatabase: per source
+/// location, the sorted list of populated out-edges with their
+/// precomputed window constants.  Replaces the dense per-(i,j)
+/// optional<RlmStats> lookup on the Eq. 5-6 hot path — candidate sets
+/// touch only pairs that actually have entries, everything else takes
+/// the closed-form unreachable-floor path.
+///
+/// The view is a cache: it pins the database version it was built
+/// from, and syncWith() rebuilds when the database has been mutated
+/// since (e.g. an OnlineMotionDatabase publishing a refit).
+class MotionAdjacency {
+ public:
+  MotionAdjacency() = default;
+
+  /// Rebuilds the index from `db` and records its version.
+  void rebuild(const core::MotionDatabase& db);
+
+  /// True when this index reflects `db`'s current contents.
+  bool inSyncWith(const core::MotionDatabase& db) const {
+    return built_ && builtVersion_ == db.version();
+  }
+
+  /// Rebuilds only if out of sync.  Not safe to race with itself on
+  /// one instance; callers serialize per instance (see MotionMatcher).
+  void syncWith(const core::MotionDatabase& db) {
+    if (!inSyncWith(db)) rebuild(db);
+  }
+
+  std::uint64_t builtVersion() const { return builtVersion_; }
+  std::size_t locationCount() const { return locationCount_; }
+  std::size_t edgeCount() const { return edges_.size(); }
+
+  /// The populated out-edges of `i`, sorted by destination id.
+  /// `i` must be < locationCount().
+  std::span<const PairWindow> outEdges(env::LocationId i) const {
+    const auto row = static_cast<std::size_t>(i);
+    return {edges_.data() + rowStart_[row],
+            rowStart_[row + 1] - rowStart_[row]};
+  }
+
+  /// The window for the directed pair (i, j), or nullptr when the pair
+  /// has no entry.  Binary search over i's out-edges.
+  const PairWindow* find(env::LocationId i, env::LocationId j) const;
+
+ private:
+  std::vector<std::size_t> rowStart_;  ///< locationCount_ + 1 offsets.
+  std::vector<PairWindow> edges_;      ///< Sorted by (from, to).
+  std::size_t locationCount_ = 0;
+  std::uint64_t builtVersion_ = 0;
+  bool built_ = false;
+};
+
+/// Finds `to` inside one sorted out-edge row (exposed for reuse when a
+/// caller has already resolved the row span).
+const PairWindow* findInRow(std::span<const PairWindow> row,
+                            env::LocationId to);
+
+/// Builds the precomputed window for one RlmStats entry.
+PairWindow makeWindow(env::LocationId to, const core::RlmStats& stats);
+
+}  // namespace moloc::kernel

@@ -22,6 +22,15 @@ bool allFinite(const Fingerprint& fp) {
   return true;
 }
 
+/// Per-thread kernel scratch: queryInto must stay lock-free and
+/// allocation-free on the serving hot path while the database is
+/// shared read-only across worker threads, so the workspace lives per
+/// thread rather than per database.
+kernel::QueryWorkspace& threadWorkspace() {
+  static thread_local kernel::QueryWorkspace workspace;
+  return workspace;
+}
+
 }  // namespace
 
 void FingerprintDatabase::addLocation(env::LocationId id,
@@ -38,6 +47,8 @@ void FingerprintDatabase::addLocation(env::LocationId id,
   if (contains(id))
     throw std::invalid_argument("FingerprintDatabase: duplicate location " +
                                 std::to_string(id));
+  if (entries_.empty()) flat_.reset(radioMapEntry.size());
+  flat_.appendRow(radioMapEntry.values());
   entries_.push_back({id, std::move(radioMapEntry)});
   indexById_.emplace(id, entries_.size() - 1);
 }
@@ -71,16 +82,20 @@ env::LocationId FingerprintDatabase::nearest(const Fingerprint& query) const {
   if (!allFinite(query))
     throw std::invalid_argument(
         "FingerprintDatabase: non-finite query RSS");
-  const Entry* best = &entries_.front();
-  double bestDis = squaredDissimilarity(query, best->fingerprint);
-  for (const auto& e : entries_) {
-    const double dis = squaredDissimilarity(query, e.fingerprint);
-    if (dis < bestDis) {
-      bestDis = dis;
-      best = &e;
-    }
-  }
-  return best->id;
+  if (query.size() != apCount())
+    throw std::invalid_argument(
+        "dissimilarity: fingerprint dimensions differ");
+  auto& ws = threadWorkspace();
+  ws.distances.resize(flat_.paddedRows());
+  kernel::squaredDistances(flat_, query.values().data(),
+                           ws.distances.data());
+  // Strict < keeps the earliest-inserted entry on ties — the same rule
+  // the pre-kernel scan applied (and it evaluates each entry once; the
+  // old loop recomputed the first entry's dissimilarity as its seed).
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < flat_.rows(); ++r)
+    if (ws.distances[r] < ws.distances[best]) best = r;
+  return entries_[best].id;
 }
 
 std::vector<Match> FingerprintDatabase::query(const Fingerprint& query,
@@ -88,6 +103,35 @@ std::vector<Match> FingerprintDatabase::query(const Fingerprint& query,
   std::vector<Match> matches;
   queryInto(query, k, matches);
   return matches;
+}
+
+void FingerprintDatabase::queryPrepared(const Fingerprint& query,
+                                        std::size_t k,
+                                        kernel::QueryWorkspace& ws,
+                                        std::vector<Match>& out) const {
+  ws.distances.resize(flat_.paddedRows());
+  kernel::squaredDistances(flat_, query.values().data(),
+                           ws.distances.data());
+  kernel::selectSmallestK(
+      std::span<const double>(ws.distances.data(), flat_.rows()), k,
+      ws.topk);
+
+  // sqrt only for the k winners (ordering is decided on squared
+  // distances; sqrt is monotone, so the ranking is unchanged), and the
+  // per-entry value is bitwise-identical to dissimilarity(): the same
+  // sum, then one sqrt.
+  out.clear();
+  out.reserve(ws.topk.size());
+  for (const auto& top : ws.topk)
+    out.push_back(
+        {entries_[top.row].id, std::sqrt(top.squaredDistance), 0.0});
+
+  double invSum = 0.0;
+  for (const auto& m : out)
+    invSum += 1.0 / std::max(m.dissimilarity, kMinDissimilarity);
+  for (auto& m : out)
+    m.probability =
+        (1.0 / std::max(m.dissimilarity, kMinDissimilarity)) / invSum;
 }
 
 void FingerprintDatabase::queryInto(const Fingerprint& query, std::size_t k,
@@ -99,25 +143,40 @@ void FingerprintDatabase::queryInto(const Fingerprint& query, std::size_t k,
   if (!allFinite(query))
     throw std::invalid_argument(
         "FingerprintDatabase: non-finite query RSS");
+  if (query.size() != apCount())
+    throw std::invalid_argument(
+        "dissimilarity: fingerprint dimensions differ");
+  auto& ws = threadWorkspace();
+  queryPrepared(query, k, ws, out);
+}
 
-  out.clear();
-  out.reserve(entries_.size());
-  for (const auto& e : entries_)
-    out.push_back({e.id, dissimilarity(query, e.fingerprint), 0.0});
-
-  const std::size_t kept = std::min(k, out.size());
-  std::partial_sort(out.begin(), out.begin() + static_cast<long>(kept),
-                    out.end(), [](const Match& a, const Match& b) {
-                      return a.dissimilarity < b.dissimilarity;
-                    });
-  out.resize(kept);
-
-  double invSum = 0.0;
-  for (const auto& m : out)
-    invSum += 1.0 / std::max(m.dissimilarity, kMinDissimilarity);
-  for (auto& m : out)
-    m.probability =
-        (1.0 / std::max(m.dissimilarity, kMinDissimilarity)) / invSum;
+void FingerprintDatabase::queryBatchInto(
+    std::span<const Fingerprint* const> queries, std::size_t k,
+    std::vector<std::vector<Match>>& out,
+    std::vector<std::exception_ptr>* errors) const {
+  if (k == 0)
+    throw std::invalid_argument("FingerprintDatabase: k must be >= 1");
+  if (entries_.empty())
+    throw std::logic_error("FingerprintDatabase: empty database");
+  out.resize(queries.size());
+  if (errors) errors->assign(queries.size(), nullptr);
+  auto& ws = threadWorkspace();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out[q].clear();
+    try {
+      const Fingerprint& query = *queries[q];
+      if (!allFinite(query))
+        throw std::invalid_argument(
+            "FingerprintDatabase: non-finite query RSS");
+      if (query.size() != apCount())
+        throw std::invalid_argument(
+            "dissimilarity: fingerprint dimensions differ");
+      queryPrepared(query, k, ws, out[q]);
+    } catch (...) {
+      if (!errors) throw;
+      (*errors)[q] = std::current_exception();
+    }
+  }
 }
 
 FingerprintDatabase FingerprintDatabase::truncatedTo(std::size_t n) const {

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "env/floor_plan.hpp"
+#include "kernel/fingerprint_kernel.hpp"
 #include "radio/fingerprint.hpp"
 
 namespace moloc::radio {
@@ -22,6 +25,15 @@ struct Match {
 ///   - `nearest` implements Eq. 2 (the plain WiFi baseline), and
 ///   - `query` implements Eq. 3-4 (the k-nearest candidate set with
 ///     probabilities P(x = l_i | F) = (1/m_i) / sum_j (1/m_j)).
+///
+/// Matching runs on a data-oriented kernel (src/kernel): entries are
+/// mirrored into a contiguous row-major flat matrix (entries x APs,
+/// stride padded to the kernel block) maintained incrementally by
+/// addLocation, squared distances are computed by a blocked kernel
+/// (auto-vectorized scalar, or runtime-dispatched AVX2 when the build
+/// enables MOLOC_SIMD), and the top k are selected with a bounded
+/// max-heap instead of materializing and partial-sorting all matches.
+/// Ties in dissimilarity rank the earlier-inserted entry first.
 class FingerprintDatabase {
  public:
   FingerprintDatabase() = default;
@@ -47,8 +59,9 @@ class FingerprintDatabase {
   /// All stored location ids, in insertion order.
   std::vector<env::LocationId> locationIds() const;
 
-  /// Eq. 2: the single location of least dissimilarity.
-  /// Throws std::logic_error on an empty database.
+  /// Eq. 2: the single location of least dissimilarity (ties keep the
+  /// earliest-inserted entry).  Throws std::logic_error on an empty
+  /// database.
   env::LocationId nearest(const Fingerprint& query) const;
 
   /// Eq. 3-4: the k nearest locations, ascending by dissimilarity, with
@@ -63,21 +76,51 @@ class FingerprintDatabase {
   void queryInto(const Fingerprint& query, std::size_t k,
                  std::vector<Match>& out) const;
 
+  /// Multi-query batch entry point: answers every query in `queries`
+  /// against one shared kernel workspace, filling out[i] with query
+  /// i's matches — bitwise-identical to calling queryInto per query.
+  /// The serving layer uses this to gather a whole localizeBatch's
+  /// scans into one kernel invocation instead of n independent scans.
+  ///
+  /// Error handling is per-query so one poisoned scan cannot sink a
+  /// whole batch: when `errors` is non-null it is resized to match and
+  /// a query that fails validation (e.g. non-finite RSS) gets its
+  /// exception captured in errors[i] with out[i] left empty, while
+  /// every other query is answered.  With a null `errors`, the first
+  /// failure is thrown.  Database-wide preconditions (empty database,
+  /// k == 0) always throw.
+  void queryBatchInto(std::span<const Fingerprint* const> queries,
+                      std::size_t k, std::vector<std::vector<Match>>& out,
+                      std::vector<std::exception_ptr>* errors = nullptr) const;
+
   /// A copy of this database restricted to the first `n` APs — how the
   /// paper derives its 4- and 5-AP configurations from the 6-AP survey.
   FingerprintDatabase truncatedTo(std::size_t n) const;
+
+  /// The kernel-side storage (exposed for tests and benchmarks).
+  const kernel::FlatMatrix& flatMatrix() const { return flat_; }
 
  private:
   struct Entry {
     env::LocationId id;
     Fingerprint fingerprint;
   };
+
+  /// Shared body of queryInto/queryBatchInto: distances + top-k +
+  /// Eq. 4 probabilities for one already-validated query.
+  void queryPrepared(const Fingerprint& query, std::size_t k,
+                     kernel::QueryWorkspace& ws,
+                     std::vector<Match>& out) const;
+
   std::vector<Entry> entries_;
   /// id -> position in entries_, so entry()/contains() are O(1) and DB
   /// construction is amortized O(n) instead of the O(n^2) of scanning
   /// entries_ per lookup.  Positions stay valid because entries_ is
   /// append-only.
   std::unordered_map<env::LocationId, std::size_t> indexById_;
+  /// Row r mirrors entries_[r].fingerprint in the kernel's blocked
+  /// interleaved layout; rebuilt never, appended on every addLocation.
+  kernel::FlatMatrix flat_;
 };
 
 }  // namespace moloc::radio

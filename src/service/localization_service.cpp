@@ -52,6 +52,12 @@ LocalizationService::LocalizationService(
         "moloc_service_batch_size",
         "Requests per localizeBatch() call",
         obs::Histogram::exponentialBuckets(1.0, 2.0, 14));
+    metrics_.batchMatch = &registry.histogram(
+        "moloc_service_batch_match_seconds",
+        "Wall time of the batched fingerprint-kernel invocation that "
+        "matches every scan of a localizeBatch() up front (this work "
+        "no longer appears in the per-round engine fingerprint stage)",
+        obs::Histogram::exponentialBuckets(1e-6, 2.0, 20));
     metrics_.sessionsActive = &registry.gauge(
         "moloc_service_sessions_active", "Sessions currently tracked");
     metrics_.scansTotal = &registry.counter(
@@ -134,6 +140,23 @@ core::LocationEstimate LocalizationService::localizeLocked(
   return estimate;
 }
 
+core::LocationEstimate LocalizationService::localizePreparedLocked(
+    core::LocalizationSession& session,
+    std::span<const core::Candidate> candidates,
+    std::exception_ptr scanError, const sensors::ImuTrace& imu) {
+#if MOLOC_METRICS_ENABLED
+  obs::ScopedTimer timer(metrics_.scanLatency);
+#endif
+  core::LocationEstimate estimate =
+      session.onScanWithCandidates(candidates, scanError, imu);
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.scansTotal) metrics_.scansTotal->inc();
+  if (metrics_.scansNoFix && !estimate.hasFix())
+    metrics_.scansNoFix->inc();
+#endif
+  return estimate;
+}
+
 core::LocationEstimate LocalizationService::submitScan(
     SessionId id, const radio::Fingerprint& scan,
     const sensors::ImuTrace& imuSinceLastScan) {
@@ -150,6 +173,29 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
   if (metrics_.batchSize)
     metrics_.batchSize->observe(static_cast<double>(batch.size()));
 #endif
+
+  // Batched fingerprint matching: every scan in the batch goes through
+  // one fingerprint-kernel invocation up front, instead of each session
+  // task running its own independent query.  Per-request errors are
+  // captured and rethrown inside the owning session's task at the same
+  // point the unbatched query would have thrown, so the documented
+  // failure semantics are unchanged.  The degenerate configurations
+  // (empty radio map, k == 0) keep the unbatched path because their
+  // errors surface per session, not per batch.
+  const bool prepared =
+      !fingerprints_.empty() && config_.engine.candidateCount > 0;
+  std::vector<std::vector<core::Candidate>> batchCandidates;
+  std::vector<std::exception_ptr> batchErrors;
+  if (prepared) {
+#if MOLOC_METRICS_ENABLED
+    obs::ScopedTimer matchTimer(metrics_.batchMatch);
+#endif
+    std::vector<const radio::Fingerprint*> scans;
+    scans.reserve(batch.size());
+    for (const auto& request : batch) scans.push_back(&request.scan);
+    fingerprints_.queryBatchInto(scans, config_.engine.candidateCount,
+                                 batchCandidates, &batchErrors);
+  }
 
   // Group request indices by session, preserving each session's
   // request order.  One task per session keeps a session's scans
@@ -184,8 +230,9 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
   pending.reserve(order.size());
   for (const SessionId id : order) {
     const auto* indices = &bySession.at(id);
-    pending.push_back(pool_.submit([this, id, indices, &batch, &results,
-                                    &recordFailure] {
+    pending.push_back(pool_.submit([this, id, indices, prepared,
+                                    &batchCandidates, &batchErrors, &batch,
+                                    &results, &recordFailure] {
       std::size_t position = 0;
       try {
         const auto slot =
@@ -194,7 +241,12 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
         for (; position < indices->size(); ++position) {
           const std::size_t i = (*indices)[position];
           results[i] =
-              localizeLocked(slot->session, batch[i].scan, batch[i].imu);
+              prepared
+                  ? localizePreparedLocked(slot->session,
+                                           batchCandidates[i],
+                                           batchErrors[i], batch[i].imu)
+                  : localizeLocked(slot->session, batch[i].scan,
+                                   batch[i].imu);
         }
       } catch (...) {
         // A session is a stateful Bayesian filter: once one of its

@@ -4,8 +4,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -206,6 +208,14 @@ class LocalizationService {
                                         const radio::Fingerprint& scan,
                                         const sensors::ImuTrace& imu);
 
+  /// localizeLocked for a scan whose fingerprint match was precomputed
+  /// by the batch kernel path (see localizeBatch); `scanError` carries
+  /// the scan's captured validation failure, if any.
+  core::LocationEstimate localizePreparedLocked(
+      core::LocalizationSession& session,
+      std::span<const core::Candidate> candidates,
+      std::exception_ptr scanError, const sensors::ImuTrace& imu);
+
   ServiceConfig config_;
   radio::FingerprintDatabase fingerprints_;
   core::MotionDatabase motion_;
@@ -215,6 +225,7 @@ class LocalizationService {
   struct Metrics {
     obs::Histogram* scanLatency = nullptr;
     obs::Histogram* batchSize = nullptr;
+    obs::Histogram* batchMatch = nullptr;
     obs::Gauge* sessionsActive = nullptr;
     obs::Counter* scansTotal = nullptr;
     obs::Counter* scansNoFix = nullptr;

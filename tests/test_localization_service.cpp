@@ -354,10 +354,23 @@ TEST(LocalizationService, ServiceMetricsTrackScansSessionsAndBatches) {
   EXPECT_NE(registry.findGauge("moloc_pool_queue_depth"), nullptr);
   EXPECT_GE(
       registry.findCounter("moloc_pool_tasks_total")->value(), 2.0);
+  // The batch rounds run fingerprint matching through the service's
+  // up-front kernel invocation, not the per-round engine stage: the
+  // engine's fingerprint stage counts only the two submitScan rounds,
+  // and the batch's matching time lands in the service-level
+  // batch-match histogram (one observation per batch).
   obs::Histogram* fingerprintStage = registry.findHistogram(
       "moloc_engine_stage_seconds", {{"stage", "fingerprint"}});
   ASSERT_NE(fingerprintStage, nullptr);
-  EXPECT_EQ(fingerprintStage->count(), 4u);
+  EXPECT_EQ(fingerprintStage->count(), 2u);
+  obs::Histogram* batchMatch =
+      registry.findHistogram("moloc_service_batch_match_seconds");
+  ASSERT_NE(batchMatch, nullptr);
+  EXPECT_EQ(batchMatch->count(), 1u);
+  obs::Histogram* motionStage = registry.findHistogram(
+      "moloc_engine_stage_seconds", {{"stage", "motion"}});
+  ASSERT_NE(motionStage, nullptr);
+  EXPECT_EQ(motionStage->count(), 4u);
 }
 
 TEST(LocalizationService, FailedBatchRequestsCounted) {

@@ -1,0 +1,199 @@
+#include "kernel/motion_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/motion_database.hpp"
+#include "core/motion_matcher.hpp"
+#include "core/online_motion_database.hpp"
+#include "env/floor_plan.hpp"
+
+namespace moloc::kernel {
+namespace {
+
+core::RlmStats stats(double muDir, double sigmaDir, double muOff,
+                     double sigmaOff) {
+  return {muDir, sigmaDir, muOff, sigmaOff, 5};
+}
+
+TEST(MotionKernelTest, MakeWindowPrecomputesInverseSigmaConstants) {
+  const auto w = makeWindow(3, stats(90.0, 12.0, 4.0, 0.8));
+  EXPECT_EQ(w.to, 3);
+  EXPECT_EQ(w.muDirectionDeg, 90.0);
+  EXPECT_EQ(w.invSqrt2SigmaDir, 1.0 / (12.0 * kSqrt2));
+  EXPECT_EQ(w.muOffsetMeters, 4.0);
+  EXPECT_EQ(w.invSqrt2SigmaOff, 1.0 / (0.8 * kSqrt2));
+}
+
+TEST(MotionKernelTest, MakeWindowZeroesConstantsForDegenerateSigma) {
+  const auto zero = makeWindow(0, stats(0.0, 0.0, 1.0, -1.0));
+  EXPECT_EQ(zero.invSqrt2SigmaDir, 0.0);
+  EXPECT_EQ(zero.invSqrt2SigmaOff, 0.0);
+  const auto nan = makeWindow(
+      0, stats(0.0, std::numeric_limits<double>::quiet_NaN(), 1.0, 2.0));
+  EXPECT_EQ(nan.invSqrt2SigmaDir, 0.0);
+  EXPECT_NE(nan.invSqrt2SigmaOff, 0.0);
+}
+
+TEST(MotionKernelTest, DegenerateSigmaClassification) {
+  EXPECT_TRUE(degenerateSigma(0.0));
+  EXPECT_TRUE(degenerateSigma(-3.0));
+  EXPECT_TRUE(degenerateSigma(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(degenerateSigma(1e-12));
+  // +inf stays on the erf path, which honestly integrates to ~0 mass.
+  EXPECT_FALSE(degenerateSigma(std::numeric_limits<double>::infinity()));
+}
+
+TEST(MotionKernelTest, WindowMassMatchesInlineGaussianFormBitwise) {
+  for (const double sigma : {0.5, 2.0, 17.0}) {
+    for (const double x : {-3.0, 0.0, 4.25, 90.0}) {
+      const double viaWindow =
+          windowMass(x, 1.5, 2.0, 1.0 / (sigma * kSqrt2));
+      const double viaInline =
+          core::gaussianWindowProbability(x, 1.5, 2.0, sigma);
+      EXPECT_EQ(viaWindow, viaInline) << "sigma=" << sigma << " x=" << x;
+    }
+  }
+}
+
+TEST(MotionKernelTest, GaussianWindowGuardsNonFiniteSigma) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN sigma degrades to the indicator instead of poisoning erf.
+  EXPECT_EQ(core::gaussianWindowProbability(2.0, 1.0, 2.5, nan), 1.0);
+  EXPECT_EQ(core::gaussianWindowProbability(2.0, 1.0, 9.0, nan), 0.0);
+  // +inf sigma: infinitely wide Gaussian, honestly no mass in a window.
+  EXPECT_EQ(core::gaussianWindowProbability(2.0, 1.0, 2.0, inf), 0.0);
+  // Degenerate zero/negative sigmas are indicators.
+  EXPECT_EQ(core::gaussianWindowProbability(2.0, 1.0, 2.5, 0.0), 1.0);
+  EXPECT_EQ(core::gaussianWindowProbability(2.0, 1.0, 9.0, -2.0), 0.0);
+  EXPECT_EQ(core::circularGaussianWindowProbability(10.0, 15.0, nan), 1.0);
+  EXPECT_EQ(core::circularGaussianWindowProbability(40.0, 15.0, nan), 0.0);
+}
+
+TEST(MotionAdjacencyTest, RebuildIndexesExactlyThePopulatedPairs) {
+  core::MotionDatabase db(4);
+  db.setEntry(0, 1, stats(90.0, 10.0, 4.0, 1.0));
+  db.setEntry(0, 3, stats(45.0, 8.0, 6.0, 1.5));
+  db.setEntry(2, 1, stats(270.0, 12.0, 3.0, 0.5));
+
+  MotionAdjacency adj;
+  adj.rebuild(db);
+  EXPECT_TRUE(adj.inSyncWith(db));
+  EXPECT_EQ(adj.builtVersion(), db.version());
+  EXPECT_EQ(adj.locationCount(), 4u);
+  EXPECT_EQ(adj.edgeCount(), db.entryCount());
+
+  const auto row0 = adj.outEdges(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].to, 1);  // Sorted by destination.
+  EXPECT_EQ(row0[1].to, 3);
+  EXPECT_TRUE(adj.outEdges(1).empty());
+  EXPECT_TRUE(adj.outEdges(3).empty());
+
+  const PairWindow* found = adj.find(2, 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->muDirectionDeg, 270.0);
+  EXPECT_EQ(found->invSqrt2SigmaOff, 1.0 / (0.5 * kSqrt2));
+  EXPECT_EQ(adj.find(1, 2), nullptr);
+  EXPECT_EQ(adj.find(3, 0), nullptr);
+}
+
+TEST(MotionAdjacencyTest, VersionTracksEffectiveMutations) {
+  core::MotionDatabase db(3);
+  MotionAdjacency adj;
+  adj.syncWith(db);
+  const auto v0 = adj.builtVersion();
+  EXPECT_TRUE(adj.inSyncWith(db));
+
+  db.setEntry(0, 1, stats(90.0, 10.0, 4.0, 1.0));
+  EXPECT_FALSE(adj.inSyncWith(db));
+  adj.syncWith(db);
+  EXPECT_NE(adj.builtVersion(), v0);
+  EXPECT_EQ(adj.edgeCount(), 1u);
+
+  // A no-op clear leaves the version (and the cache) alone.
+  const auto v1 = adj.builtVersion();
+  EXPECT_FALSE(db.clearEntry(2, 1));
+  EXPECT_TRUE(adj.inSyncWith(db));
+  EXPECT_TRUE(db.clearEntry(0, 1));
+  EXPECT_FALSE(adj.inSyncWith(db));
+  adj.syncWith(db);
+  EXPECT_NE(adj.builtVersion(), v1);
+  EXPECT_EQ(adj.edgeCount(), 0u);
+}
+
+TEST(MotionMatcherKernelTest, ScoreCandidatesMatchesSetProbabilityBitwise) {
+  core::MotionDatabase db(5);
+  db.setEntryWithMirror(0, 1, stats(90.0, 10.0, 4.0, 1.0));
+  db.setEntryWithMirror(1, 2, stats(0.0, 15.0, 5.0, 1.2));
+  db.setEntry(3, 4, stats(180.0, 9.0, 2.5, 0.7));
+  const core::MotionMatcher matcher(db);
+
+  const std::vector<core::WeightedCandidate> prev{
+      {0, 0.4}, {1, 0.3}, {2, 0.2}, {4, 0.1}};
+  const std::vector<env::LocationId> targets{0, 1, 2, 3, 4};
+  const sensors::MotionMeasurement motion{88.0, 4.2};
+
+  std::vector<double> scores;
+  matcher.scoreCandidates(prev, targets, motion, scores);
+  ASSERT_EQ(scores.size(), targets.size());
+  for (std::size_t c = 0; c < targets.size(); ++c)
+    EXPECT_EQ(scores[c],
+              matcher.setProbability(prev, targets[c], motion))
+        << "target=" << targets[c];
+}
+
+TEST(MotionMatcherKernelTest, AdjacencyRebuildsAfterOnlinePublish) {
+  // Regression for the stale-cache hazard: a matcher serving queries
+  // over an OnlineMotionDatabase must pick up entries published by a
+  // later refit, not keep scoring against the adjacency it first built.
+  env::FloorPlan plan(12.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  plan.addReferenceLocation({10.0, 2.0});
+  core::BuilderConfig config;
+  config.minSamplesPerPair = 3;
+  core::OnlineMotionDatabase online(plan, config);
+  const core::MotionMatcher matcher(online.database());
+
+  const std::vector<core::WeightedCandidate> prev{{0, 1.0}};
+  const sensors::MotionMeasurement motion{90.0, 4.0};
+  // First score: no published entries yet, so the pair takes the
+  // unreachable floor.  This also builds (and would otherwise pin) the
+  // adjacency cache.
+  const double before = matcher.setProbability(prev, 1, motion);
+  EXPECT_EQ(before, matcher.params().unreachableFloor);
+  const auto versionBefore = matcher.adjacency().builtVersion();
+
+  EXPECT_TRUE(online.addObservation(0, 1, 90.0, 4.0));
+  EXPECT_TRUE(online.addObservation(0, 1, 91.0, 4.1));
+  EXPECT_TRUE(online.addObservation(0, 1, 89.0, 3.9));
+  ASSERT_TRUE(online.database().hasEntry(0, 1));
+
+  const double after = matcher.setProbability(prev, 1, motion);
+  EXPECT_GT(after, before);
+  EXPECT_NE(matcher.adjacency().builtVersion(), versionBefore);
+  EXPECT_EQ(matcher.adjacency().builtVersion(),
+            online.database().version());
+}
+
+TEST(MotionMatcherKernelTest, DistinctDatabasesNeverShareVersions) {
+  // The version stamp comes from a process-wide counter, so a matcher
+  // cache can never mistake one database's state for another's — even
+  // across move-assignment replacing the database contents.
+  core::MotionDatabase a(2);
+  core::MotionDatabase b(2);
+  EXPECT_NE(a.version(), b.version());
+  MotionAdjacency adj;
+  adj.syncWith(a);
+  EXPECT_FALSE(adj.inSyncWith(b));
+  a = std::move(b);
+  EXPECT_FALSE(adj.inSyncWith(a));
+}
+
+}  // namespace
+}  // namespace moloc::kernel
