@@ -1,0 +1,59 @@
+// Replay driver for toolchains without libFuzzer (the default GCC
+// build): each argument is an input file, or a directory whose files
+// are replayed recursively.  The process exits 0 only if every input
+// was consumed without tripping a harness invariant — the same signal
+// a libFuzzer binary gives, minus the coverage feedback.
+//
+// Under clang -fsanitize=fuzzer this file is not compiled; libFuzzer
+// provides main().
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replayFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open input '%s'\n", path.c_str());
+    return 1;
+  }
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <input-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int a = 1; a < argc; ++a) {
+    const std::filesystem::path arg(argv[a]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (replayFile(entry.path().string()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (replayFile(arg.string()) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::printf("replayed %zu input(s), all clean\n", replayed);
+  return 0;
+}

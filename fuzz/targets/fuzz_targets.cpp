@@ -1,0 +1,259 @@
+#include "targets/fuzz_targets.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/serialization.hpp"
+#include "store/checkpoint.hpp"
+#include "store/format.hpp"
+#include "store/wal.hpp"
+#include "util/csv.hpp"
+
+namespace moloc::fuzz {
+
+namespace {
+
+/// Inputs above this are not interesting for format parsing (every
+/// length field the formats carry fits well inside it) and only slow
+/// the fuzzer down; libFuzzer's -max_len mirrors this bound.
+constexpr std::size_t kMaxInputBytes = 1 << 20;
+
+/// Parser-contract violation: not a rejected input (those are typed
+/// exceptions the harness catches) but a broken invariant — abort so
+/// the fuzzer records the input as a crash.
+[[noreturn]] void invariantFailed(const char* surface, const char* what) {
+  std::fprintf(stderr, "moloc-fuzz[%s]: invariant violated: %s\n", surface,
+               what);
+  std::abort();
+}
+
+/// A per-process scratch directory, emptied before every iteration.
+/// The disk round trip is deliberate: the WAL and checkpoint readers
+/// only consume files, and fuzzing through the real open/read path
+/// also covers the file-level validation (names, sizes, CRC framing).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("moloc-fuzz-" + std::string(tag) + "-" +
+             std::to_string(::getpid())))
+               .string();
+  }
+
+  const std::string& reset() {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    return dir_;
+  }
+
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+void writeBytes(const std::string& path, const std::uint8_t* data,
+                std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (size != 0)
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!out) invariantFailed("scratch", "cannot write scratch input file");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WAL
+
+int runWalReader(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  static ScratchDir scratch("wal");
+  const std::string& dir = scratch.reset();
+  writeBytes(dir + "/wal-0000000000000001.log", data, size);
+
+  const store::WalReader reader(dir);
+  bool scanOk = false;
+  try {
+    std::uint64_t prevSeq = 0;
+    std::uint64_t delivered = 0;
+    const store::WalScan scan =
+        reader.replay([&](const store::ObservationRecord& record) {
+          if (record.seq <= prevSeq)
+            invariantFailed("wal", "delivered sequence did not increase");
+          prevSeq = record.seq;
+          ++delivered;
+        });
+    if (scan.records != delivered)
+      invariantFailed("wal", "scan.records disagrees with callback count");
+    if (delivered != 0 && scan.lastSeq < prevSeq)
+      invariantFailed("wal", "scan.lastSeq below last delivered seq");
+    scanOk = true;
+  } catch (const store::StoreError&) {
+    // Rejected input (CorruptionError or I/O): the documented outcome.
+  }
+
+  if (!scanOk) return 0;
+  // A scan the reader accepted must survive repair: repair only
+  // truncates a torn tail, and the log it leaves behind must scan
+  // clean.  Exceptions past this point are bugs — let them escape.
+  const store::WalScan repaired = reader.repair();
+  if (repaired.tailDamaged)
+    invariantFailed("wal", "repair() left a damaged tail behind");
+  const store::WalScan recheck = reader.scan();
+  if (recheck.tailDamaged || recheck.records != repaired.records)
+    invariantFailed("wal", "post-repair scan disagrees with repair()");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+
+int runCheckpointLoad(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  static ScratchDir scratch("ckpt");
+  const std::string& dir = scratch.reset();
+  // Named seq 1: loadNewestCheckpoint also cross-checks the decoded
+  // throughSeq against the file name.
+  writeBytes(dir + "/checkpoint-00000000000000000001.ckpt", data, size);
+
+  // The loader's contract is catch-and-skip: nothing an input file
+  // contains may throw through it, so no try/catch here.
+  const auto loaded = store::loadNewestCheckpoint(dir);
+  if (!loaded) return 0;
+  if (loaded->data.throughSeq != 1)
+    invariantFailed("checkpoint", "loader accepted a name/seq mismatch");
+
+  // Accepted checkpoints must re-encode and re-decode to the same
+  // structure (decode is total on encode's image).
+  static ScratchDir rewrite("ckpt-rewrite");
+  const std::string& dir2 = rewrite.reset();
+  store::writeCheckpointFile(dir2, loaded->data);
+  const auto reloaded = store::loadNewestCheckpoint(dir2);
+  if (!reloaded)
+    invariantFailed("checkpoint", "re-encoded checkpoint failed to load");
+  const auto& a = loaded->data;
+  const auto& b = reloaded->data;
+  if (a.throughSeq != b.throughSeq ||
+      a.snapshot.reservoirs.size() != b.snapshot.reservoirs.size() ||
+      a.snapshot.entries.size() != b.snapshot.entries.size() ||
+      a.fingerprints.has_value() != b.fingerprints.has_value())
+    invariantFailed("checkpoint", "decode/encode/decode was not stable");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Text serialization
+
+int runSerializationLoad(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Loaders reject with std::runtime_error (line-numbered); any other
+  // escape is a harness crash by design.
+  {
+    std::istringstream in(text);
+    try {
+      const auto db = io::loadFingerprintDatabase(in);
+      std::ostringstream first;
+      io::saveFingerprintDatabase(db, first);
+      std::istringstream again(first.str());
+      std::ostringstream second;
+      io::saveFingerprintDatabase(io::loadFingerprintDatabase(again),
+                                  second);
+      if (first.str() != second.str())
+        invariantFailed("serialization",
+                        "fingerprint save/load is not a fixed point");
+    } catch (const std::runtime_error&) {
+    }
+  }
+  {
+    std::istringstream in(text);
+    try {
+      const auto db = io::loadMotionDatabase(in);
+      // The save path scans the dense n x n matrix; bound the
+      // round-trip check so a legitimately huge accepted header cannot
+      // turn one iteration into seconds of work.
+      if (db.locationCount() <= 64) {
+        std::ostringstream first;
+        io::saveMotionDatabase(db, first);
+        std::istringstream again(first.str());
+        std::ostringstream second;
+        io::saveMotionDatabase(io::loadMotionDatabase(again), second);
+        if (first.str() != second.str())
+          invariantFailed("serialization",
+                          "motion save/load is not a fixed point");
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+  {
+    std::istringstream in(text);
+    try {
+      io::loadProbabilisticDatabase(in);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+namespace {
+
+/// RFC 4180 cell escaping for the round-trip check.  Unlike
+/// CsvWriter::escape this also quotes '\r': an unquoted trailing '\r'
+/// would fuse with the row's '\n' terminator into a CRLF line ending
+/// and silently shorten the cell (the bug the round-trip property
+/// originally caught in the writer).
+std::string escapeCell(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+int runCsvParse(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<std::vector<std::string>> rows;
+  try {
+    rows = util::parseCsv(text);
+  } catch (const std::invalid_argument&) {
+    return 0;  // Rejected input: the documented outcome.
+  }
+
+  // Accepted documents must round-trip: re-serialize the rows and
+  // re-parse; the parser may normalize line endings but never the
+  // cells themselves.
+  std::string rewritten;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) rewritten += ',';
+      rewritten += escapeCell(row[c]);
+    }
+    rewritten += '\n';
+  }
+  const auto reparsed = util::parseCsv(rewritten);
+  if (reparsed != rows)
+    invariantFailed("csv", "parse/serialize/parse changed the rows");
+  return 0;
+}
+
+}  // namespace moloc::fuzz

@@ -1,0 +1,236 @@
+// Regenerates the committed fuzz seed corpus (fuzz/corpus/) from the
+// real encoders, plus the crafted regression inputs that pin previously
+// fixed parser bugs.  Usage:
+//
+//   moloc_make_seed_corpus <corpus-root>
+//
+// The binary seeds must come from the actual writers — hand-maintained
+// hex would drift the moment a format changes — so this tool links the
+// library and round-trips through WalWriter / writeCheckpointFile /
+// the io::save* functions.  Text seeds (CSV, malformed documents) are
+// committed directly and not rewritten here.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/online_motion_database.hpp"
+#include "env/floor_plan.hpp"
+#include "io/serialization.hpp"
+#include "radio/fingerprint_database.hpp"
+#include "radio/probabilistic_database.hpp"
+#include "store/checkpoint.hpp"
+#include "store/crc32c.hpp"
+#include "store/format.hpp"
+#include "store/wal.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using moloc::store::detail::putF64;
+using moloc::store::detail::putI32;
+using moloc::store::detail::putU32;
+using moloc::store::detail::putU64;
+using moloc::store::detail::putU8;
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const fs::path& path, const std::string& bytes) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(),
+              bytes.size());
+}
+
+/// A WAL segment header, byte-compatible with WalWriter::openSegment.
+std::string walHeader(std::uint64_t firstSeq) {
+  std::string out("MOLOCWAL", 8);
+  putU32(out, 1);  // version
+  putU64(out, firstSeq);
+  return out;
+}
+
+/// One framed v1 observation record, byte-compatible with
+/// WalWriter::append.
+std::string walRecord(std::uint64_t seq, std::int32_t start,
+                      std::int32_t end, double directionDeg,
+                      double offsetMeters) {
+  std::string payload;
+  putU8(payload, 1);  // kObservationType
+  putU64(payload, seq);
+  putI32(payload, start);
+  putI32(payload, end);
+  putF64(payload, directionDeg);
+  putF64(payload, offsetMeters);
+  std::string frame;
+  putU32(frame, static_cast<std::uint32_t>(payload.size()));
+  putU32(frame, moloc::store::crc32c(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+fs::path scratchDir(const char* tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("moloc-seed-" + std::string(tag) + "-" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+void makeWalSeeds(const fs::path& root) {
+  // A real three-record segment, via the real writer.
+  const fs::path dir = scratchDir("wal");
+  {
+    moloc::store::WalWriter writer(dir.string(), {});
+    writer.append(0, 1, 90.0, 4.5);
+    writer.append(1, 2, 180.0, 3.25);
+    writer.append(2, 0, 270.0, 5.0);
+  }
+  const std::string segment =
+      readFile(dir / "wal-0000000000000001.log");
+  writeFile(root / "wal/three-records.bin", segment);
+  writeFile(root / "wal/header-only.bin", walHeader(1));
+  // Crash fallout the reader must tolerate: the final record torn
+  // mid-frame.
+  writeFile(root / "wal/torn-tail.bin",
+            segment.substr(0, segment.size() - 7));
+  fs::remove_all(dir);
+
+  // Regressions: inputs that must keep raising CorruptionError (never
+  // crash, never silently pass).  See docs/static_analysis.md.
+  //
+  // A CRC-valid frame with length 0 has no type byte to read — the
+  // structural parse must reject it after the checksum passes.
+  std::string zeroLength = walHeader(1);
+  putU32(zeroLength, 0);
+  putU32(zeroLength, moloc::store::crc32c("", 0));
+  writeFile(root / "regressions/wal/zero-length-record.bin", zeroLength);
+  // An implausible length field followed by a valid record is mid-log
+  // corruption (a torn tail cannot have valid data after it).
+  std::string oversized = walHeader(1);
+  putU32(oversized, 1u << 20);
+  putU32(oversized, 0xdeadbeef);
+  oversized += walRecord(1, 0, 1, 90.0, 4.5);
+  writeFile(root / "regressions/wal/oversized-length-midlog.bin",
+            oversized);
+  // Two valid frames whose sequence numbers go backwards.
+  std::string regression = walHeader(5);
+  regression += walRecord(5, 0, 1, 90.0, 4.5);
+  regression += walRecord(3, 1, 2, 180.0, 3.25);
+  writeFile(root / "regressions/wal/sequence-regression.bin", regression);
+}
+
+void makeCheckpointSeeds(const fs::path& root) {
+  moloc::env::FloorPlan plan(12.0, 4.0);
+  plan.addReferenceLocation({2.0, 2.0});
+  plan.addReferenceLocation({6.0, 2.0});
+  plan.addReferenceLocation({10.0, 2.0});
+  moloc::core::OnlineMotionDatabase db(plan, {}, /*reservoirCapacity=*/4,
+                                       /*seed=*/7);
+  for (int k = 0; k < 40; ++k)
+    db.addObservation(k % 2, 1 + k % 2, 88.0 + 0.2 * (k % 9),
+                      3.7 + 0.02 * (k % 11));
+
+  moloc::store::CheckpointData data;
+  data.throughSeq = 40;
+  data.snapshot = db.snapshot();
+  const fs::path dir = scratchDir("ckpt");
+  std::string path = moloc::store::writeCheckpointFile(dir.string(), data);
+  writeFile(root / "checkpoint/no-fingerprints.bin", readFile(path));
+
+  moloc::radio::FingerprintDatabase radio;
+  radio.addLocation(0, moloc::radio::Fingerprint({-40.0, -70.5, -55.0}));
+  radio.addLocation(1, moloc::radio::Fingerprint({-60.0, -45.5, -80.0}));
+  data.fingerprints = radio;
+  data.throughSeq = 41;
+  path = moloc::store::writeCheckpointFile(dir.string(), data);
+  writeFile(root / "checkpoint/with-fingerprints.bin", readFile(path));
+  fs::remove_all(dir);
+
+  // Regression: a CRC-valid checkpoint whose fingerprint block claims
+  // zero locations but a huge AP count — previously an allocation bomb
+  // (the AP count sized a buffer before any bounds check could fire).
+  std::string body("MOLOCKPT", 8);
+  putU32(body, 1);   // version
+  putU64(body, 1);   // throughSeq (matches the harness's file name)
+  // Snapshot: default config, empty database.
+  putF64(body, 15.0);  // coarseDirectionThresholdDeg
+  putF64(body, 2.0);   // coarseOffsetThresholdMeters
+  putF64(body, 3.0);   // fineSigmaMultiplier
+  putI32(body, 2);     // minSamplesPerPair
+  putF64(body, 1.0);   // minDirectionSigmaDeg
+  putF64(body, 0.05);  // minOffsetSigmaMeters
+  putU8(body, 1);      // enableCoarseFilter
+  putU8(body, 1);      // enableFineFilter
+  putU64(body, 4);     // capacity
+  putU64(body, 0);     // locationCount
+  for (int w = 0; w < 4; ++w) putU64(body, 0x9e3779b97f4a7c15ull + w);
+  for (int c = 0; c < 6; ++c) putU64(body, 0);  // counters
+  putU64(body, 0);  // reservoirs
+  putU64(body, 0);  // entries
+  putU8(body, 1);   // fingerprints present
+  putU64(body, 0);  // location count: zero...
+  putU64(body, 1ull << 40);  // ...but a terabyte-scale AP count
+  putU32(body, moloc::store::crc32c(body.data(), body.size()));
+  writeFile(root / "regressions/checkpoint/ap-count-bomb.bin", body);
+}
+
+void makeSerializationSeeds(const fs::path& root) {
+  {
+    moloc::radio::FingerprintDatabase db;
+    db.addLocation(0, moloc::radio::Fingerprint({-40.5, -70.25, -55.0}));
+    db.addLocation(2, moloc::radio::Fingerprint({-60.125, -45.0, -80.5}));
+    std::ostringstream out;
+    moloc::io::saveFingerprintDatabase(db, out);
+    writeFile(root / "serialization/fingerprint-db.txt", out.str());
+  }
+  {
+    moloc::core::MotionDatabase db(4);
+    db.setEntryWithMirror(0, 1, {90.25, 4.5, 5.7, 0.25, 17});
+    db.setEntryWithMirror(1, 2, {180.0, 3.0, 4.0, 0.125, 9});
+    std::ostringstream out;
+    moloc::io::saveMotionDatabase(db, out);
+    writeFile(root / "serialization/motion-db.txt", out.str());
+  }
+  {
+    moloc::radio::ProbabilisticFingerprintDatabase db;
+    const moloc::radio::Fingerprint samples[] = {
+        moloc::radio::Fingerprint({-40.0, -70.0}),
+        moloc::radio::Fingerprint({-42.0, -68.0}),
+        moloc::radio::Fingerprint({-41.0, -69.0}),
+    };
+    db.addLocation(0, samples);
+    std::ostringstream out;
+    moloc::io::saveProbabilisticDatabase(db, out);
+    writeFile(root / "serialization/probabilistic-db.txt", out.str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  makeWalSeeds(root);
+  makeCheckpointSeeds(root);
+  makeSerializationSeeds(root);
+  return 0;
+}

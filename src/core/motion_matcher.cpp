@@ -82,6 +82,7 @@ double MotionMatcher::stationaryProbability(
 }
 
 const kernel::MotionAdjacency& MotionMatcher::adjacency() const {
+  const util::MutexLock lock(cacheMu_);
   adj_.syncWith(db_);
   return adj_;
 }
@@ -142,6 +143,7 @@ double MotionMatcher::scoreOne(std::span<const WeightedCandidate> prev,
 double MotionMatcher::setProbability(
     std::span<const WeightedCandidate> previousCandidates,
     env::LocationId j, const sensors::MotionMeasurement& motion) const {
+  const util::MutexLock lock(cacheMu_);
   adj_.syncWith(db_);
   double totalPrior = 0.0;
   for (const auto& candidate : previousCandidates)
@@ -155,6 +157,7 @@ void MotionMatcher::scoreCandidates(
     std::span<const env::LocationId> candidates,
     const sensors::MotionMeasurement& motion,
     std::vector<double>& out) const {
+  const util::MutexLock lock(cacheMu_);
   adj_.syncWith(db_);
   double totalPrior = 0.0;
   for (const auto& candidate : previousCandidates)

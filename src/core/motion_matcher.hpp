@@ -7,6 +7,8 @@
 #include "core/motion_database.hpp"
 #include "kernel/motion_kernel.hpp"
 #include "sensors/motion_processor.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moloc::core {
 
@@ -42,9 +44,11 @@ struct MotionMatcherParams {
 /// database holding only populated pairs with their window constants
 /// (1/(sigma*sqrt(2))) precomputed.  The cache is synced lazily against
 /// MotionDatabase::version(), so it rebuilds itself after any mutation,
-/// including an OnlineMotionDatabase publishing a refit.  The matcher is
-/// not internally synchronized: concurrent callers must serialize (the
-/// serving layer's per-session locking already does).
+/// including an OnlineMotionDatabase publishing a refit.  The cache's
+/// sync-and-read is serialized on an internal mutex, so matchers shared
+/// across threads no longer race on the rebuild; the *database* they
+/// score against must still be stable while scoring runs (the serving
+/// layer's per-session locking and immutable serving copies ensure it).
 class MotionMatcher {
  public:
   MotionMatcher(const MotionDatabase& db, MotionMatcherParams params = {});
@@ -96,7 +100,8 @@ class MotionMatcher {
   double scoreOne(std::span<const WeightedCandidate> prev,
                   env::LocationId j,
                   const sensors::MotionMeasurement& motion,
-                  double stationaryP, double totalPrior) const;
+                  double stationaryP, double totalPrior) const
+      MOLOC_REQUIRES(cacheMu_);
 
   /// The i == j probability: max(stationary direction x offset, floor).
   double stationaryProbability(
@@ -116,9 +121,13 @@ class MotionMatcher {
 
   const MotionDatabase& db_;
   MotionMatcherParams params_;
+  /// Serializes the lazy sync-and-read of adj_: without it, two
+  /// threads scoring through one shared matcher after a database
+  /// mutation would rebuild the CSR cache concurrently.
+  mutable util::Mutex cacheMu_;
   /// Lazily synced CSR view of db_; mutable because const scoring
   /// methods refresh it on first use after a database mutation.
-  mutable kernel::MotionAdjacency adj_;
+  mutable kernel::MotionAdjacency adj_ MOLOC_GUARDED_BY(cacheMu_);
 };
 
 /// The probability mass of a N(mu, sigma) variable inside

@@ -69,6 +69,7 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
         "OnlineMotionDatabase: non-finite or negative measurement");
   const auto& startLoc = plan_.location(estimatedStart);
   const auto& endLoc = plan_.location(estimatedEnd);
+  const util::MutexLock lock(mu_);
   ++counters_.observations;
 #if MOLOC_METRICS_ENABLED
   if (metrics_.observations) metrics_.observations->inc();
@@ -236,6 +237,7 @@ void OnlineMotionDatabase::invalidateStaleEntry(const PairKey& key) {
 
 OnlineMotionDatabase::ReservoirStats
 OnlineMotionDatabase::reservoirStats() const {
+  const util::MutexLock lock(mu_);
   ReservoirStats stats;
   stats.capacity = capacity_;
   stats.trackedPairs = reservoirs_.size();
@@ -248,6 +250,7 @@ OnlineMotionDatabase::reservoirStats() const {
 }
 
 OnlineMotionDatabase::Snapshot OnlineMotionDatabase::snapshot() const {
+  const util::MutexLock lock(mu_);
   Snapshot snap;
   snap.config = config_;
   snap.capacity = capacity_;
@@ -324,6 +327,7 @@ void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
   util::Rng rng(0);
   rng.setState(snapshot.rngState);  // Throws on the all-zero state.
 
+  const util::MutexLock lock(mu_);
   config_ = snapshot.config;
   capacity_ = snapshot.capacity;
   rng_ = rng;
@@ -337,6 +341,7 @@ OnlineMotionDatabase::reservoirSamples(env::LocationId i,
                                        env::LocationId j) const {
   (void)plan_.location(i);  // Validate ids like the write path does.
   (void)plan_.location(j);
+  const util::MutexLock lock(mu_);
   const PairKey key = i <= j ? PairKey{i, j} : PairKey{j, i};
   const auto it = reservoirs_.find(key);
   std::vector<ReservoirSample> samples;

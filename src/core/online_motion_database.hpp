@@ -10,7 +10,9 @@
 #include "core/motion_database_builder.hpp"
 #include "env/floor_plan.hpp"
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moloc::core {
 
@@ -50,6 +52,14 @@ class ObservationSink {
 /// mirror) rather than silently kept stale; the event is counted in
 /// `Counters::staleInvalidations` and, when a registry is attached,
 /// in `moloc_intake_stale_invalidated_total`.
+///
+/// Thread safety: every member function is internally serialized on
+/// one intake mutex, so concurrent calls cannot corrupt state.  What
+/// the mutex cannot give is cross-call atomicity: references returned
+/// by database()/counters()/config() escape the lock, and callers that
+/// need the WAL order to match the update order must still serialize
+/// their addObservation calls (LocalizationService does, on its intake
+/// mutex).
 class OnlineMotionDatabase {
  public:
   /// `reservoirCapacity` bounds per-pair memory; must be >= the
@@ -75,9 +85,20 @@ class OnlineMotionDatabase {
 
   /// The current queryable database.  Always coherent: every stored
   /// pair reflects the latest refit of its reservoir.
-  const MotionDatabase& database() const { return db_; }
+  ///
+  /// The returned reference escapes the intake mutex: readers holding
+  /// it across a concurrent addObservation see the database mid-update.
+  /// Serving snapshots the database instead of holding this reference
+  /// while intake runs (see docs/serving.md).
+  const MotionDatabase& database() const {
+    const util::MutexLock lock(mu_);
+    return db_;
+  }
 
-  const BuilderConfig& config() const { return config_; }
+  const BuilderConfig& config() const {
+    const util::MutexLock lock(mu_);
+    return config_;
+  }
 
   /// Intake counters (coarse rejections, self-pairs, acceptances,
   /// fine-filter exclusions, stale-entry invalidations).
@@ -96,10 +117,16 @@ class OnlineMotionDatabase {
     /// the pair below minSamplesPerPair.
     std::size_t staleInvalidations = 0;
   };
-  const Counters& counters() const { return counters_; }
+  const Counters& counters() const {
+    const util::MutexLock lock(mu_);
+    return counters_;
+  }
 
   /// Number of pairs currently holding at least one sample.
-  std::size_t trackedPairs() const { return reservoirs_.size(); }
+  std::size_t trackedPairs() const {
+    const util::MutexLock lock(mu_);
+    return reservoirs_.size();
+  }
 
   /// One raw sample as currently retained for a pair.
   struct ReservoirSample {
@@ -127,12 +154,21 @@ class OnlineMotionDatabase {
   };
   ReservoirStats reservoirStats() const;
 
-  std::size_t reservoirCapacity() const { return capacity_; }
+  std::size_t reservoirCapacity() const {
+    const util::MutexLock lock(mu_);
+    return capacity_;
+  }
 
   /// Attaches (or detaches, with nullptr) the write-ahead hook.  The
   /// sink must outlive this database or be detached first.
-  void setSink(ObservationSink* sink) { sink_ = sink; }
-  ObservationSink* sink() const { return sink_; }
+  void setSink(ObservationSink* sink) {
+    const util::MutexLock lock(mu_);
+    sink_ = sink;
+  }
+  ObservationSink* sink() const {
+    const util::MutexLock lock(mu_);
+    return sink_;
+  }
 
   /// Everything addObservation's behaviour depends on, frozen as plain
   /// data: the sanitation config, the per-pair reservoirs (with their
@@ -182,19 +218,25 @@ class OnlineMotionDatabase {
   };
   using PairKey = std::pair<env::LocationId, env::LocationId>;
 
-  void refit(const PairKey& key, const Reservoir& reservoir);
+  void refit(const PairKey& key, const Reservoir& reservoir)
+      MOLOC_REQUIRES(mu_);
 
   /// Drops the published entry (and mirror) for `key` if one exists.
-  void invalidateStaleEntry(const PairKey& key);
+  void invalidateStaleEntry(const PairKey& key) MOLOC_REQUIRES(mu_);
 
   const env::FloorPlan& plan_;
-  BuilderConfig config_;
-  std::size_t capacity_;
-  util::Rng rng_;
-  std::map<PairKey, Reservoir> reservoirs_;
-  MotionDatabase db_;
-  Counters counters_;
-  ObservationSink* sink_ = nullptr;
+  /// Guards the whole intake state.  addObservation holds it across
+  /// the sink write-ahead call on purpose: the WAL order must match
+  /// the reservoir update order (lock order: this before the sink's
+  /// own mutex — LocalizationService adds intakeMu_ in front).
+  mutable util::Mutex mu_;
+  BuilderConfig config_ MOLOC_GUARDED_BY(mu_);
+  std::size_t capacity_ MOLOC_GUARDED_BY(mu_);
+  util::Rng rng_ MOLOC_GUARDED_BY(mu_);
+  std::map<PairKey, Reservoir> reservoirs_ MOLOC_GUARDED_BY(mu_);
+  MotionDatabase db_ MOLOC_GUARDED_BY(mu_);
+  Counters counters_ MOLOC_GUARDED_BY(mu_);
+  ObservationSink* sink_ MOLOC_GUARDED_BY(mu_) = nullptr;
 
 #if MOLOC_METRICS_ENABLED
   struct Metrics {

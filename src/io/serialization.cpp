@@ -5,12 +5,13 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/posix_error.hpp"
 
 namespace moloc::io {
 
@@ -18,6 +19,11 @@ namespace {
 
 constexpr char kFingerprintHeader[] = "moloc-fingerprint-db v1";
 constexpr char kMotionHeader[] = "moloc-motion-db v1";
+
+/// Upper bound on a motion database's 'locations' header field — the
+/// database is a dense n x n matrix, so the loader must refuse counts
+/// no real floor plan can reach before allocating for them.
+constexpr std::size_t kMaxMotionLocations = 4096;
 
 [[noreturn]] void fail(int line, const std::string& what) {
   throw std::runtime_error("moloc::io: line " + std::to_string(line) +
@@ -88,13 +94,13 @@ void fsyncFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_WRONLY);
   if (fd < 0)
     throw std::runtime_error("moloc::io: cannot reopen for fsync: " +
-                             path + ": " + std::strerror(errno));
+                             path + ": " + util::errnoMessage(errno));
   const int rc = ::fsync(fd);
   const int savedErrno = errno;
   ::close(fd);
   if (rc != 0)
     throw std::runtime_error("moloc::io: fsync failed: " + path + ": " +
-                             std::strerror(savedErrno));
+                             util::errnoMessage(savedErrno));
 }
 
 /// fsyncs the directory holding `path`, making the rename itself
@@ -107,13 +113,13 @@ void fsyncParentDirectory(const std::string& path) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0)
     throw std::runtime_error("moloc::io: cannot open directory: " + dir +
-                             ": " + std::strerror(errno));
+                             ": " + util::errnoMessage(errno));
   const int rc = ::fsync(fd);
   const int savedErrno = errno;
   ::close(fd);
   if (rc != 0)
     throw std::runtime_error("moloc::io: fsync failed on directory: " +
-                             dir + ": " + std::strerror(savedErrno));
+                             dir + ": " + util::errnoMessage(savedErrno));
 }
 
 /// Crash-safe path save: streams through `body` into `path`.tmp,
@@ -144,7 +150,7 @@ void atomicSave(const std::string& path, SaveBody&& body) {
     throw;
   }
   if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
-    const std::string reason = std::strerror(errno);
+    const std::string reason = util::errnoMessage(errno);
     std::remove(tmpPath.c_str());
     throw std::runtime_error("moloc::io: cannot rename '" + tmpPath +
                              "' onto '" + path + "': " + reason);
@@ -242,6 +248,16 @@ core::MotionDatabase loadMotionDatabase(std::istream& in) {
   std::size_t locationCount = 0;
   if (!(head >> keyword >> locationCount) || keyword != "locations")
     fail(lineNo, "expected 'locations <n>'");
+  // MotionDatabase stores a dense n x n matrix, so the count must be
+  // validated before it becomes an allocation: a corrupt 'locations'
+  // line used to reserve n^2 entries sight unseen (found by the
+  // serialization fuzz target; fuzz/corpus/regressions).  The cap is
+  // far above any deployable floor plan — at 4096 locations the dense
+  // matrix alone is ~800 MB and the save format O(n^2).
+  if (locationCount > kMaxMotionLocations)
+    fail(lineNo, "locations " + std::to_string(locationCount) +
+                     " exceeds the supported maximum " +
+                     std::to_string(kMaxMotionLocations));
 
   core::MotionDatabase db(locationCount);
   while (nextLine(in, line, lineNo)) {

@@ -225,7 +225,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& fam = family(name, help, MetricKind::kCounter);
   auto [it, inserted] = fam.counters.try_emplace(key);
   if (inserted) it->second = std::make_unique<Counter>();
@@ -236,7 +236,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help,
                               const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& fam = family(name, help, MetricKind::kGauge);
   auto [it, inserted] = fam.gauges.try_emplace(key);
   if (inserted) it->second = std::make_unique<Gauge>();
@@ -248,7 +248,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upperBounds,
                                       const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& fam = family(name, help, MetricKind::kHistogram);
   if (fam.bounds.empty()) {
     // First registration fixes the family's buckets; Histogram's own
@@ -263,7 +263,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 Counter* MetricsRegistry::findCounter(const std::string& name,
                                       const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto fam = families_.find(name);
   if (fam == families_.end()) return nullptr;
   const auto it = fam->second.counters.find(key);
@@ -273,7 +273,7 @@ Counter* MetricsRegistry::findCounter(const std::string& name,
 Gauge* MetricsRegistry::findGauge(const std::string& name,
                                   const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto fam = families_.find(name);
   if (fam == families_.end()) return nullptr;
   const auto it = fam->second.gauges.find(key);
@@ -283,7 +283,7 @@ Gauge* MetricsRegistry::findGauge(const std::string& name,
 Histogram* MetricsRegistry::findHistogram(const std::string& name,
                                           const Labels& labels) {
   const Labels key = normalizeLabels(labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto fam = families_.find(name);
   if (fam == families_.end()) return nullptr;
   const auto it = fam->second.histograms.find(key);
@@ -292,7 +292,7 @@ Histogram* MetricsRegistry::findHistogram(const std::string& name,
 }
 
 std::vector<FamilySnapshot> MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<FamilySnapshot> families;
   families.reserve(families_.size());
   for (const auto& [name, fam] : families_) {

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 /// MOLOC_METRICS_ENABLED gates the *instrumentation call sites* in the
 /// serving stack (service, pool, engine, intake).  The instruments and
@@ -304,10 +306,10 @@ class MetricsRegistry {
   };
 
   Family& family(const std::string& name, const std::string& help,
-                 MetricKind kind);
+                 MetricKind kind) MOLOC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Family> families_ MOLOC_GUARDED_BY(mu_);
 };
 
 }  // namespace moloc::obs

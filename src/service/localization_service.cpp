@@ -94,7 +94,7 @@ const LocalizationService::Shard& LocalizationService::shardFor(
 std::shared_ptr<LocalizationService::SessionSlot>
 LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
   auto& shard = shardFor(id);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const util::MutexLock lock(shard.mu);
   auto it = shard.sessions.find(id);
   if (it == shard.sessions.end()) {
     it = shard.sessions
@@ -112,7 +112,7 @@ LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
 void LocalizationService::openSession(SessionId id,
                                       double stepLengthMeters) {
   auto& shard = shardFor(id);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const util::MutexLock lock(shard.mu);
   if (shard.sessions.count(id) > 0)
     throw std::invalid_argument("LocalizationService: session " +
                                 std::to_string(id) + " already exists");
@@ -161,7 +161,7 @@ core::LocationEstimate LocalizationService::submitScan(
     SessionId id, const radio::Fingerprint& scan,
     const sensors::ImuTrace& imuSinceLastScan) {
   const auto slot = findOrCreate(id, config_.defaultStepLengthMeters);
-  const std::lock_guard<std::mutex> lock(slot->mu);
+  const util::MutexLock lock(slot->mu);
   return localizeLocked(slot->session, scan, imuSinceLastScan);
 }
 
@@ -214,12 +214,12 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
   // failure rethrown below is deterministically the first *in batch
   // order* rather than whichever future happened to be inspected
   // first.
-  std::mutex failureMu;
+  util::Mutex failureMu;
   std::size_t firstFailedIndex = batch.size();
   std::exception_ptr firstFailure;
   const auto recordFailure = [&](std::size_t index,
                                  std::exception_ptr error) {
-    const std::lock_guard<std::mutex> lock(failureMu);
+    const util::MutexLock lock(failureMu);
     if (index < firstFailedIndex) {
       firstFailedIndex = index;
       firstFailure = std::move(error);
@@ -237,7 +237,7 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
       try {
         const auto slot =
             findOrCreate(id, config_.defaultStepLengthMeters);
-        const std::lock_guard<std::mutex> lock(slot->mu);
+        const util::MutexLock lock(slot->mu);
         for (; position < indices->size(); ++position) {
           const std::size_t i = (*indices)[position];
           results[i] =
@@ -285,18 +285,18 @@ void LocalizationService::resetSession(SessionId id) {
   std::shared_ptr<SessionSlot> slot;
   {
     auto& shard = shardFor(id);
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     const auto it = shard.sessions.find(id);
     if (it == shard.sessions.end()) return;
     slot = it->second;
   }
-  const std::lock_guard<std::mutex> lock(slot->mu);
+  const util::MutexLock lock(slot->mu);
   slot->session.reset();
 }
 
 bool LocalizationService::endSession(SessionId id) {
   auto& shard = shardFor(id);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const util::MutexLock lock(shard.mu);
   const bool erased = shard.sessions.erase(id) > 0;
 #if MOLOC_METRICS_ENABLED
   if (erased && metrics_.sessionsActive) metrics_.sessionsActive->dec();
@@ -306,7 +306,7 @@ bool LocalizationService::endSession(SessionId id) {
 
 bool LocalizationService::hasSession(SessionId id) const {
   const auto& shard = shardFor(id);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const util::MutexLock lock(shard.mu);
   return shard.sessions.count(id) > 0;
 }
 
@@ -320,7 +320,7 @@ void LocalizationService::attachIntake(core::OnlineMotionDatabase* db,
     throw std::invalid_argument(
         "LocalizationService::attachIntake: a checkpoint trigger "
         "requires a store");
-  const std::lock_guard<std::mutex> lock(intakeMu_);
+  const util::MutexLock lock(intakeMu_);
   intakeDb_ = db;
   intakeStore_ = store;
   checkpointEveryRecords_ = checkpointEveryRecords;
@@ -331,7 +331,7 @@ bool LocalizationService::reportObservation(env::LocationId estimatedStart,
                                             env::LocationId estimatedEnd,
                                             double directionDeg,
                                             double offsetMeters) {
-  const std::lock_guard<std::mutex> lock(intakeMu_);
+  const util::MutexLock lock(intakeMu_);
   if (intakeDb_ == nullptr)
     throw std::logic_error(
         "LocalizationService::reportObservation: no intake attached "
@@ -379,20 +379,20 @@ void LocalizationService::maybeCheckpointLocked() {
       }
 #endif
       {
-        const std::lock_guard<std::mutex> done(checkpointWaitMu_);
+        const util::MutexLock done(checkpointWaitMu_);
         checkpointInFlight_.store(false);
       }
-      checkpointCv_.notify_all();
+      checkpointCv_.notifyAll();
     });
   } catch (...) {
     // submit itself failed (pool shutting down): without this reset the
     // flag would latch true forever, permanently disabling background
     // checkpoints and hanging waitForCheckpoint().
     {
-      const std::lock_guard<std::mutex> done(checkpointWaitMu_);
+      const util::MutexLock done(checkpointWaitMu_);
       checkpointInFlight_.store(false);
     }
-    checkpointCv_.notify_all();
+    checkpointCv_.notifyAll();
 #if MOLOC_METRICS_ENABLED
     if (metrics_.checkpointFailures) metrics_.checkpointFailures->inc();
 #endif
@@ -400,15 +400,14 @@ void LocalizationService::maybeCheckpointLocked() {
 }
 
 void LocalizationService::waitForCheckpoint() {
-  std::unique_lock<std::mutex> lock(checkpointWaitMu_);
-  checkpointCv_.wait(lock,
-                     [this] { return !checkpointInFlight_.load(); });
+  const util::MutexLock lock(checkpointWaitMu_);
+  while (checkpointInFlight_.load()) checkpointCv_.wait(checkpointWaitMu_);
 }
 
 std::size_t LocalizationService::sessionCount() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     total += shard.sessions.size();
   }
   return total;

@@ -1,12 +1,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +15,8 @@
 #include "radio/fingerprint_database.hpp"
 #include "sensors/imu_trace.hpp"
 #include "service/thread_pool.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moloc::core {
 class OnlineMotionDatabase;
@@ -177,7 +177,7 @@ class LocalizationService {
   /// already running.  Caller holds intakeMu_ — the snapshot and its
   /// WAL position are captured under the same lock that serializes
   /// reportObservation, which is what makes them consistent.
-  void maybeCheckpointLocked();
+  void maybeCheckpointLocked() MOLOC_REQUIRES(intakeMu_);
   /// A session plus the mutex serializing its scans.
   struct SessionSlot {
     SessionSlot(const radio::FingerprintDatabase& fingerprints,
@@ -186,13 +186,14 @@ class LocalizationService {
                 const sensors::MotionProcessorParams& motionParams)
         : session(fingerprints, motion, stepLengthMeters, engine,
                   motionParams) {}
-    std::mutex mu;
-    core::LocalizationSession session;
+    util::Mutex mu;
+    core::LocalizationSession session MOLOC_GUARDED_BY(mu);
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<SessionId, std::shared_ptr<SessionSlot>> sessions;
+    mutable util::Mutex mu;
+    std::unordered_map<SessionId, std::shared_ptr<SessionSlot>> sessions
+        MOLOC_GUARDED_BY(mu);
   };
 
   Shard& shardFor(SessionId id);
@@ -240,12 +241,16 @@ class LocalizationService {
   // Intake state.  Declared before pool_ on purpose: the pool is the
   // last member, so its destructor joins any in-flight background
   // checkpoint while everything the task touches is still alive.
-  std::mutex intakeMu_;
-  core::OnlineMotionDatabase* intakeDb_ = nullptr;
-  store::StateStore* intakeStore_ = nullptr;
-  std::uint64_t checkpointEveryRecords_ = 0;
-  std::mutex checkpointWaitMu_;
-  std::condition_variable checkpointCv_;
+  util::Mutex intakeMu_;
+  core::OnlineMotionDatabase* intakeDb_ MOLOC_GUARDED_BY(intakeMu_) =
+      nullptr;
+  store::StateStore* intakeStore_ MOLOC_GUARDED_BY(intakeMu_) = nullptr;
+  std::uint64_t checkpointEveryRecords_ MOLOC_GUARDED_BY(intakeMu_) = 0;
+  util::Mutex checkpointWaitMu_;
+  util::CondVar checkpointCv_;
+  /// Atomic rather than guarded: maybeCheckpointLocked() claims the
+  /// in-flight slot with exchange() while holding intakeMu_ only, and
+  /// the pool task clears it under checkpointWaitMu_ for the waiters.
   std::atomic<bool> checkpointInFlight_{false};
 
   ThreadPool pool_;

@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(std::size_t threadCount,
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stopping_ = true;
   }
-  wakeWorker_.notify_all();
+  wakeWorker_.notifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -41,7 +41,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (stopping_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(packaged));
@@ -53,23 +53,21 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       queueDepth_->set(static_cast<double>(queue_.size()));
 #endif
   }
-  wakeWorker_.notify_one();
+  wakeWorker_.notifyOne();
   return future;
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  allIdle_.wait(lock,
-                [this] { return queue_.empty() && running_ == 0; });
+  const util::MutexLock lock(mu_);
+  while (!(queue_.empty() && running_ == 0)) allIdle_.wait(mu_);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wakeWorker_.wait(
-          lock, [this] { return stopping_ || !queue_.empty(); });
+      const util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) wakeWorker_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -90,9 +88,9 @@ void ThreadPool::workerLoop() {
     if (tasksTotal_) tasksTotal_->inc();
 #endif
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       --running_;
-      if (queue_.empty() && running_ == 0) allIdle_.notify_all();
+      if (queue_.empty() && running_ == 0) allIdle_.notifyAll();
     }
   }
 }

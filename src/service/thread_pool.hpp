@@ -1,15 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moloc::service {
 
@@ -49,12 +49,13 @@ class ThreadPool {
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable wakeWorker_;
-  std::condition_variable allIdle_;
-  std::size_t running_ = 0;  ///< Tasks currently executing.
-  bool stopping_ = false;
+  util::Mutex mu_;
+  std::deque<std::packaged_task<void()>> queue_ MOLOC_GUARDED_BY(mu_);
+  util::CondVar wakeWorker_;
+  util::CondVar allIdle_;
+  /// Tasks currently executing.
+  std::size_t running_ MOLOC_GUARDED_BY(mu_) = 0;
+  bool stopping_ MOLOC_GUARDED_BY(mu_) = false;
 
 #if MOLOC_METRICS_ENABLED
   obs::Gauge* queueDepth_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <vector>
 
 #include "store/crc32c.hpp"
@@ -37,7 +38,12 @@ bool parseCheckpointSeq(const std::string& name, std::uint64_t& seq) {
   seq = 0;
   for (int i = 11; i < 31; ++i) {
     if (name[i] < '0' || name[i] > '9') return false;
-    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    const auto digit = static_cast<std::uint64_t>(name[i] - '0');
+    // 20 digits can exceed uint64; a wrapped sequence would silently
+    // mis-order checkpoints, so reject the name instead.
+    if (seq > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return false;
+    seq = seq * 10 + digit;
   }
   return true;
 }
@@ -178,7 +184,17 @@ std::optional<radio::FingerprintDatabase> decodeFingerprints(
   if (in.readU8() == 0) return std::nullopt;
   const std::uint64_t count = checkedCount(in, 4);
   const std::uint64_t apCount = in.readU64();
-  if (count != 0 && apCount > in.remaining() / (8 * count))
+  // The zero-location case must be bounded too: sizing `rss` from an
+  // unvalidated apCount was an allocation bomb when count == 0 (found
+  // by the checkpoint fuzz target; fuzz/corpus/regressions).
+  if (count == 0) {
+    if (apCount != 0)
+      throw CorruptionError(
+          "fingerprint block claims " + std::to_string(apCount) +
+          " APs with no locations");
+    return radio::FingerprintDatabase{};
+  }
+  if (apCount > in.remaining() / (8 * count))
     throw CorruptionError("fingerprint dimensions exceed remaining data");
   radio::FingerprintDatabase db;
   std::vector<double> rss(apCount);

@@ -5,8 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
+
+#include "util/posix_error.hpp"
 
 namespace moloc::store::testing {
 
@@ -14,7 +15,7 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error("FaultFile: " + what + " '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + util::errnoMessage(errno));
 }
 
 }  // namespace

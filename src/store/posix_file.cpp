@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "store/format.hpp"
+#include "util/posix_error.hpp"
 
 namespace moloc::store::detail {
 
@@ -17,7 +18,7 @@ namespace {
 
 std::string errnoMessage(const std::string& what,
                          const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
+  return what + " '" + path + "': " + util::errnoMessage(errno);
 }
 
 }  // namespace

@@ -69,7 +69,7 @@ StateStore::StateStore(std::string dir, StoreConfig config)
 void StateStore::onAccepted(env::LocationId estimatedStart,
                             env::LocationId estimatedEnd,
                             double directionDeg, double offsetMeters) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const std::uint64_t seq =
       wal_->append(estimatedStart, estimatedEnd, directionDeg, offsetMeters);
 #if MOLOC_METRICS_ENABLED
@@ -102,11 +102,11 @@ CheckpointInfo StateStore::checkpoint(
   // corrupt file.  A dedicated mutex (always taken before mu_, never
   // while holding it) keeps appends flowing during the slow
   // serialize-and-publish below.
-  std::lock_guard<std::mutex> checkpointLock(checkpointMu_);
+  const util::MutexLock checkpointLock(checkpointMu_);
   {
     // The checkpoint must not claim a sequence the log has not durably
     // reached; sync before publishing.
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (throughSeq > wal_->lastSeq())
       throw std::invalid_argument(
           "StateStore::checkpoint: throughSeq " +
@@ -126,7 +126,7 @@ CheckpointInfo StateStore::checkpoint(
   info.path = writeCheckpointFile(dir_, data);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto rotated = wal_->takeClosedSegments();
     closed_.insert(closed_.end(), rotated.begin(), rotated.end());
     std::vector<SegmentInfo> kept;
@@ -173,7 +173,7 @@ CheckpointInfo StateStore::checkpointNow(
 }
 
 void StateStore::sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wal_->sync();
 #if MOLOC_METRICS_ENABLED
   if (config_.metrics) {
@@ -186,23 +186,23 @@ void StateStore::sync() {
 }
 
 std::uint64_t StateStore::lastSeq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return wal_->lastSeq();
 }
 
 std::uint64_t StateStore::lastCheckpointSeq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return lastCheckpointSeq_;
 }
 
 std::uint64_t StateStore::recordsSinceCheckpoint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const std::uint64_t last = wal_->lastSeq();
   return last > lastCheckpointSeq_ ? last - lastCheckpointSeq_ : 0;
 }
 
 WalWriter::Stats StateStore::walStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return wal_->stats();
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +11,8 @@
 #include "radio/fingerprint_database.hpp"
 #include "store/checkpoint.hpp"
 #include "store/wal.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moloc::store {
 
@@ -102,19 +103,21 @@ class StateStore final : public core::ObservationSink {
   const std::string& directory() const { return dir_; }
 
  private:
-  mutable std::mutex mu_;
   /// Serializes whole checkpoint() calls (the publish step runs
   /// outside mu_, and two concurrent publishes share a .tmp path).
-  /// Lock order: checkpointMu_ before mu_, never the reverse.
-  std::mutex checkpointMu_;
+  /// Lock order: checkpointMu_ before mu_, never the reverse — declared
+  /// to the analysis via ACQUIRED_AFTER below.
+  util::Mutex checkpointMu_;
+  mutable util::Mutex mu_ MOLOC_ACQUIRED_AFTER(checkpointMu_);
   std::string dir_;
   StoreConfig config_;
-  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WalWriter> wal_ MOLOC_GUARDED_BY(mu_);
   /// Closed segments not yet compacted (pre-existing ones from the
   /// opening scan plus everything rotation closes).
-  std::vector<SegmentInfo> closed_;
-  std::uint64_t lastCheckpointSeq_ = 0;
-  WalWriter::Stats reported_;  ///< Stats already pushed to counters.
+  std::vector<SegmentInfo> closed_ MOLOC_GUARDED_BY(mu_);
+  std::uint64_t lastCheckpointSeq_ MOLOC_GUARDED_BY(mu_) = 0;
+  /// Stats already pushed to counters.
+  WalWriter::Stats reported_ MOLOC_GUARDED_BY(mu_);
 
 #if MOLOC_METRICS_ENABLED
   struct Metrics {

@@ -12,6 +12,7 @@
 
 #include "store/crc32c.hpp"
 #include "store/posix_file.hpp"
+#include "util/posix_error.hpp"
 
 namespace moloc::store {
 
@@ -30,7 +31,7 @@ constexpr std::uint32_t kMaxPayloadBytes = 4096;
 
 std::string errnoMessage(const std::string& what,
                          const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
+  return what + " '" + path + "': " + util::errnoMessage(errno);
 }
 
 std::string segmentFileName(std::uint64_t index) {

@@ -47,8 +47,12 @@ void CsvWriter::writeRow(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::escape(std::string_view value) {
+  // '\r' must be quoted too: left bare at the end of a cell it fuses
+  // with the row's '\n' terminator into a CRLF line ending and the
+  // reader returns a shortened cell (found by the CSV fuzz target's
+  // round-trip property).
   const bool needsQuote =
-      value.find_first_of(",\"\n") != std::string_view::npos;
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
   if (!needsQuote) return std::string(value);
   std::string quoted = "\"";
   for (char c : value) {
@@ -57,6 +61,83 @@ std::string CsvWriter::escape(std::string_view value) {
   }
   quoted += '"';
   return quoted;
+}
+
+namespace {
+
+[[noreturn]] void badCsv(std::size_t offset, const std::string& what) {
+  throw std::invalid_argument("parseCsvRecord: byte " +
+                              std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+bool parseCsvRecord(std::string_view text, std::size_t* pos,
+                    std::vector<std::string>& out) {
+  std::size_t i = *pos;
+  if (i >= text.size()) return false;
+  out.clear();
+
+  std::string cell;
+  bool quoted = false;     // Inside a quoted cell.
+  bool wasQuoted = false;  // Current cell started with a quote.
+  for (;;) {
+    if (i >= text.size()) {
+      if (quoted) badCsv(i, "unterminated quoted cell (truncated?)");
+      out.push_back(std::move(cell));
+      *pos = i;
+      return true;
+    }
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';  // Doubled quote: one literal quote.
+          i += 2;
+        } else {
+          quoted = false;  // Closing quote; separator must follow.
+          ++i;
+        }
+      } else {
+        cell += c;
+        ++i;
+      }
+      continue;
+    }
+    if (c == ',') {
+      out.push_back(std::move(cell));
+      cell.clear();
+      wasQuoted = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || (c == '\r' && i + 1 < text.size() &&
+                      text[i + 1] == '\n')) {
+      out.push_back(std::move(cell));
+      *pos = i + (c == '\r' ? 2 : 1);
+      return true;
+    }
+    if (c == '"') {
+      if (!cell.empty() || wasQuoted)
+        badCsv(i, wasQuoted ? "data after closing quote"
+                            : "quote inside unquoted cell");
+      quoted = true;
+      wasQuoted = true;
+      ++i;
+      continue;
+    }
+    if (wasQuoted) badCsv(i, "data after closing quote");
+    cell += c;
+    ++i;
+  }
+}
+
+std::vector<std::vector<std::string>> parseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t pos = 0;
+  std::vector<std::string> row;
+  while (parseCsvRecord(text, &pos, row)) rows.push_back(row);
+  return rows;
 }
 
 }  // namespace moloc::util

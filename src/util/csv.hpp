@@ -36,4 +36,23 @@ class CsvWriter {
   std::vector<std::string> pending_;
 };
 
+/// Parses one RFC 4180 CSV record starting at `*pos` in `text` and
+/// appends its cells to `out` (which is cleared first).  Returns true
+/// and advances `*pos` past the record's line ending when a record was
+/// read; returns false at end of input without touching `out`.
+///
+/// Accepted grammar (what CsvWriter emits, plus CRLF line endings):
+/// quoted cells may contain separators, doubled quotes, and embedded
+/// newlines.  Malformed input throws std::invalid_argument naming the
+/// byte offset: a stray quote inside an unquoted cell, text after a
+/// closing quote, or an unterminated quoted cell (end of input inside
+/// quotes — a truncation, which must not silently pass as data).
+bool parseCsvRecord(std::string_view text, std::size_t* pos,
+                    std::vector<std::string>& out);
+
+/// Convenience: every record of `text` (e.g. a whole file) as rows.
+/// The writer terminates each row with '\n', so a trailing newline
+/// does not produce an empty final row.
+std::vector<std::vector<std::string>> parseCsv(std::string_view text);
+
 }  // namespace moloc::util

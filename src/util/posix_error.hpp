@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+#include <system_error>
+
+namespace moloc::util {
+
+/// The message for an errno value, via the C++ error-category machinery
+/// instead of ::strerror — strerror formats unknown values into a
+/// static buffer shared across threads (clang-tidy concurrency-mt-unsafe
+/// flags every call), while generic_category().message() is reentrant.
+inline std::string errnoMessage(int err) {
+  return std::generic_category().message(err);
+}
+
+}  // namespace moloc::util

@@ -1,0 +1,70 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros (docs/static_analysis.md).
+//
+// These expand to the capability attributes understood by clang's
+// -Wthread-safety analysis and to nothing elsewhere, so annotated code
+// builds unchanged under GCC. The macro set mirrors the canonical
+// abseil/LLVM thread_annotations.h vocabulary with a MOLOC_ prefix.
+//
+// Annotations are declarations, not synchronization: they let the
+// compiler prove that every access to a MOLOC_GUARDED_BY member happens
+// with the named util::Mutex held, and that lock acquisition respects
+// the declared MOLOC_ACQUIRED_AFTER ordering. The CI static-analysis
+// job builds with -Wthread-safety -Wthread-safety-beta promoted to
+// errors, so a missing lock is a compile failure.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MOLOC_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define MOLOC_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if MOLOC_THREAD_ANNOTATION_(capability)
+#define MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+// Type annotations: a class that is a lockable capability.
+#define MOLOC_CAPABILITY(name) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(capability(name))
+#define MOLOC_SCOPED_CAPABILITY \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// Data annotations: which capability protects a member.
+#define MOLOC_GUARDED_BY(x) MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#define MOLOC_PT_GUARDED_BY(x) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Lock-ordering declarations between capabilities.
+#define MOLOC_ACQUIRED_BEFORE(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define MOLOC_ACQUIRED_AFTER(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// Function annotations: capabilities required, excluded, or transferred.
+#define MOLOC_REQUIRES(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define MOLOC_REQUIRES_SHARED(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+#define MOLOC_EXCLUDES(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+#define MOLOC_ACQUIRE(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define MOLOC_ACQUIRE_SHARED(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+#define MOLOC_RELEASE(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define MOLOC_TRY_ACQUIRE(...) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define MOLOC_ASSERT_CAPABILITY(x) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define MOLOC_RETURN_CAPABILITY(x) \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch. Only the util::Mutex/util::CondVar wrappers themselves
+// may use this (tools/lint.sh enforces it): the wrappers bridge between
+// the annotated world and the unannotated std primitives underneath.
+#define MOLOC_NO_THREAD_SAFETY_ANALYSIS \
+  MOLOC_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

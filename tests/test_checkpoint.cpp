@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,13 +85,15 @@ class CheckpointTest : public ::testing::Test {
   }
 
   /// A database with busy reservoirs: small capacity so eviction (and
-  /// thus the RNG stream) is exercised.
-  core::OnlineMotionDatabase populatedDb(std::uint64_t seed = 7) {
-    core::OnlineMotionDatabase db(plan_, {}, /*reservoirCapacity=*/4,
-                                  seed);
+  /// thus the RNG stream) is exercised.  Built behind a unique_ptr —
+  /// the intake mutex makes the database immovable.
+  std::unique_ptr<core::OnlineMotionDatabase> populatedDb(
+      std::uint64_t seed = 7) {
+    auto db = std::make_unique<core::OnlineMotionDatabase>(
+        plan_, core::BuilderConfig{}, /*reservoirCapacity=*/4, seed);
     for (int k = 0; k < 40; ++k) {
-      db.addObservation(k % 2, 1 + k % 2, 88.0 + 0.2 * (k % 9),
-                        3.7 + 0.02 * (k % 11));
+      db->addObservation(k % 2, 1 + k % 2, 88.0 + 0.2 * (k % 9),
+                         3.7 + 0.02 * (k % 11));
     }
     return db;
   }
@@ -99,7 +102,8 @@ class CheckpointTest : public ::testing::Test {
 };
 
 TEST_F(CheckpointTest, SnapshotRestoreRoundTripsAndStaysInLockstep) {
-  auto original = populatedDb();
+  auto originalPtr = populatedDb();
+  auto& original = *originalPtr;
   core::OnlineMotionDatabase restored(plan_, {}, 4, /*seed=*/999);
   restored.restore(original.snapshot());
   expectIdenticalState(original, restored);
@@ -116,7 +120,8 @@ TEST_F(CheckpointTest, SnapshotRestoreRoundTripsAndStaysInLockstep) {
 
 TEST_F(CheckpointTest, FileRoundTripIsExact) {
   const std::string dir = freshDir("roundtrip");
-  auto db = populatedDb();
+  auto dbPtr = populatedDb();
+  auto& db = *dbPtr;
 
   CheckpointData data;
   data.throughSeq = 42;
@@ -167,7 +172,8 @@ TEST_F(CheckpointTest, EmptyDirectoryLoadsNothing) {
 
 TEST_F(CheckpointTest, CorruptNewestFallsBackToOlder) {
   const std::string dir = freshDir("fallback");
-  auto db = populatedDb();
+  auto dbPtr = populatedDb();
+  auto& db = *dbPtr;
 
   CheckpointData older;
   older.throughSeq = 10;
@@ -240,7 +246,8 @@ TEST_F(CheckpointTest, PruneKeepsNewest) {
 }
 
 TEST_F(CheckpointTest, RestoreValidatesAgainstThisDatabase) {
-  auto db = populatedDb();
+  auto dbPtr = populatedDb();
+  auto& db = *dbPtr;
   const auto good = db.snapshot();
 
   {  // Wrong floor plan size.

@@ -59,5 +59,77 @@ TEST(Csv, ThrowsOnUnwritablePath) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// parseCsv / parseCsvRecord
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(CsvParse, PlainRowsAndCells) {
+  EXPECT_EQ(parseCsv("a,b\nc,d\n"), (Rows{{"a", "b"}, {"c", "d"}}));
+  EXPECT_EQ(parseCsv("one\n"), (Rows{{"one"}}));
+  EXPECT_EQ(parseCsv(""), Rows{});
+  // A missing final newline still yields the last record.
+  EXPECT_EQ(parseCsv("a,b"), (Rows{{"a", "b"}}));
+}
+
+TEST(CsvParse, EmptyCells) {
+  EXPECT_EQ(parseCsv(",\n"), (Rows{{"", ""}}));
+  EXPECT_EQ(parseCsv("a,,b\n"), (Rows{{"a", "", "b"}}));
+  EXPECT_EQ(parseCsv("\n"), (Rows{{""}}));
+}
+
+TEST(CsvParse, QuotedCellsWithSeparatorsQuotesAndNewlines) {
+  EXPECT_EQ(parseCsv("\"hello, world\"\n"), (Rows{{"hello, world"}}));
+  EXPECT_EQ(parseCsv("\"say \"\"hi\"\"\"\n"), (Rows{{"say \"hi\""}}));
+  EXPECT_EQ(parseCsv("\"multi\nline\",x\n"), (Rows{{"multi\nline", "x"}}));
+  EXPECT_EQ(parseCsv("\"\"\n"), (Rows{{""}}));
+}
+
+TEST(CsvParse, CrlfLineEndings) {
+  EXPECT_EQ(parseCsv("a,b\r\nc\r\n"), (Rows{{"a", "b"}, {"c"}}));
+  // A lone '\r' not followed by '\n' is cell data, not a terminator.
+  EXPECT_EQ(parseCsv("a\rb\n"), (Rows{{"a\rb"}}));
+}
+
+TEST(CsvParse, MalformedInputThrowsWithByteOffset) {
+  EXPECT_THROW(parseCsv("\"abc"), std::invalid_argument);    // Truncated.
+  EXPECT_THROW(parseCsv("\"a\"b\n"), std::invalid_argument); // After quote.
+  EXPECT_THROW(parseCsv("ab\"c\n"), std::invalid_argument);  // Stray quote.
+  try {
+    parseCsv("ab\"c\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CsvParse, RecordIteratorAdvancesAndStops) {
+  const std::string text = "a,b\nc\n";
+  std::size_t pos = 0;
+  std::vector<std::string> row;
+  ASSERT_TRUE(parseCsvRecord(text, &pos, row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(parseCsvRecord(text, &pos, row));
+  EXPECT_EQ(row, (std::vector<std::string>{"c"}));
+  EXPECT_FALSE(parseCsvRecord(text, &pos, row));
+}
+
+TEST(CsvParse, WriterOutputRoundTripsIncludingCarriageReturns) {
+  // The writer/parser pair must agree; a cell holding a bare '\r' is
+  // the historical disagreement (the writer left it unquoted and the
+  // parser fused it with the row terminator into CRLF).
+  const std::string path = ::testing::TempDir() + "moloc_csv_rt.csv";
+  {
+    CsvWriter writer(path, {"v"});
+    writer.cell("ends with cr\r").endRow();
+    writer.cell("plain").endRow();
+  }
+  const Rows rows = parseCsv(slurp(path));
+  std::remove(path.c_str());
+  EXPECT_EQ(rows,
+            (Rows{{"v"}, {"ends with cr\r"}, {"plain"}}));
+}
+
 }  // namespace
 }  // namespace moloc::util

@@ -373,6 +373,21 @@ TEST(Serialization, MotionRejectsDuplicateEntries) {
   }
 }
 
+TEST(Serialization, MotionRejectsLocationCountBomb) {
+  // A dense n x n header with a giant n sized a multi-gigabyte matrix
+  // before any entry line was read (found by the serialization fuzz
+  // target; fuzz/corpus/regressions).  The loader now bounds n.
+  std::stringstream stream("moloc-motion-db v1\nlocations 1000000000\n");
+  try {
+    loadMotionDatabase(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("maximum"), std::string::npos) << what;
+  }
+}
+
 TEST(Serialization, VersionMismatchNamesTheFoundVersion) {
   std::stringstream stream("moloc-motion-db v2\nlocations 2\n");
   try {

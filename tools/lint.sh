@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Source-hygiene gate over src/, run in CI next to the clang
+# thread-safety build (see docs/static_analysis.md).  Each rule backs
+# one of the concurrency or determinism invariants the annotations
+# prove:
+#
+#   raw-sync      std::mutex / condition_variable / lock types outside
+#                 src/util/ — locking must go through the annotated
+#                 util::Mutex wrappers or the thread-safety analysis
+#                 cannot see it.
+#   tsa-escape    MOLOC_NO_THREAD_SAFETY_ANALYSIS outside src/util/ —
+#                 the escape hatch exists for the Mutex/CondVar
+#                 wrappers only; anywhere else it silently disables
+#                 the proof.
+#   naked-new     `new` expressions — ownership is unique_ptr/vector
+#                 everywhere in this codebase.
+#   rand          rand()/srand() — a shared-state, non-reproducible
+#                 RNG; simulations use util::Rng streams.
+#   cout          std::cout/std::cerr in the library — the serving
+#                 stack reports through obs:: and typed errors; stray
+#                 stream writes are unsynchronized and invisible to
+#                 operators.
+#
+# A genuine exception gets `// lint:allow(<rule>): <why>` on the same
+# line; the reason is mandatory by convention and reviewed like any
+# other suppression.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# check <rule> <pattern> <path-filter...>
+# Scans the named files with // line comments stripped (so prose about
+# "a new step" or "the mutex" cannot trip a rule) and reports every
+# hit that does not carry a lint:allow for this rule.
+check() {
+  local rule="$1" pattern="$2"
+  shift 2
+  local f hits
+  for f in "$@"; do
+    hits=$(sed 's://.*$::' "$f" |
+           grep -nE "$pattern" |
+           grep -v "lint:allow($rule)" || true)
+    if [ -n "$hits" ]; then
+      echo "lint[$rule]: $f"
+      echo "$hits" | sed 's/^/    /'
+      fail=1
+    fi
+  done
+}
+
+mapfile -t all_src < <(find src -name '*.hpp' -o -name '*.cpp' | sort)
+mapfile -t non_util_src < <(printf '%s\n' "${all_src[@]}" | grep -v '^src/util/')
+
+check raw-sync \
+  'std::(mutex|recursive_mutex|shared_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)' \
+  "${non_util_src[@]}"
+
+check tsa-escape 'MOLOC_NO_THREAD_SAFETY_ANALYSIS' "${non_util_src[@]}"
+
+check naked-new '\bnew +[A-Za-z_:][A-Za-z0-9_:<>]*[ ({[]|\bnew +[A-Za-z_:][A-Za-z0-9_:<>]*$' \
+  "${all_src[@]}"
+
+check rand '\b(std::)?s?rand *\(' "${all_src[@]}"
+
+check cout 'std::(cout|cerr)\b' "${all_src[@]}"
+
+if [ "$fail" -ne 0 ]; then
+  echo
+  echo "lint: violations found. Route locking through util::Mutex,"
+  echo "ownership through smart pointers, randomness through util::Rng,"
+  echo "and operator output through obs:: — or annotate the line with"
+  echo "// lint:allow(<rule>): <reason>."
+  exit 1
+fi
+echo "lint: clean (${#all_src[@]} files)"
