@@ -187,9 +187,14 @@ int main() {
                    threads);
       return EXIT_FAILURE;
     }
-    const double qps = static_cast<double>(queries) / run.seconds;
-    const double speedup =
-        baseline.seconds > 0.0 ? baseline.seconds / run.seconds : 0.0;
+    // Guarded: a sub-resolution run must emit 0, not inf, so the
+    // BENCH_*.json stays schema-clean (finite numbers or null only).
+    const double qps = run.seconds > 0.0
+                           ? static_cast<double>(queries) / run.seconds
+                           : 0.0;
+    const double speedup = baseline.seconds > 0.0 && run.seconds > 0.0
+                               ? baseline.seconds / run.seconds
+                               : 0.0;
     std::printf("  threads=%2zu  %8.0f queries/sec  (%.3f s, %.2fx)\n",
                 threads, qps, run.seconds, speedup);
     csv.cell(threads).cell(queries).cell(run.seconds).cell(qps)
@@ -219,23 +224,50 @@ int main() {
         .field("hardware_concurrency",
                static_cast<double>(std::thread::hardware_concurrency()))
         .endObject();
+    const auto qpsOf = [queries](const RunResult& run) {
+      return run.seconds > 0.0
+                 ? static_cast<double>(queries) / run.seconds
+                 : 0.0;
+    };
+    const auto speedupOf = [&baseline](const RunResult& run) {
+      return baseline.seconds > 0.0 && run.seconds > 0.0
+                 ? baseline.seconds / run.seconds
+                 : 0.0;
+    };
     json.beginArray("sweep");
     for (const auto& row : rows) {
-      const double qps =
-          static_cast<double>(queries) / row.run.seconds;
       json.beginObject()
           .field("threads", static_cast<double>(row.threads))
           .field("seconds", row.run.seconds)
-          .field("qps", qps)
-          .field("speedup_vs_1", baseline.seconds > 0.0
-                                     ? baseline.seconds / row.run.seconds
-                                     : 0.0)
+          .field("qps", qpsOf(row.run))
+          .field("speedup_vs_1", speedupOf(row.run))
           .field("p50_ms", row.run.p50Ms)
           .field("p95_ms", row.run.p95Ms)
           .field("p99_ms", row.run.p99Ms)
           .endObject();
     }
     json.endArray();
+    // Flat scaling summary so CI (and the perf trajectory) can assert
+    // multi-thread speedups without walking the sweep array.
+    {
+      json.beginObject("scaling").field("baseline_threads", 1.0);
+      double maxSpeedup = 0.0;
+      std::size_t maxThreads = 1;
+      for (const auto& row : rows) {
+        const std::string prefix =
+            "threads_" + std::to_string(row.threads);
+        json.field((prefix + "_qps").c_str(), qpsOf(row.run));
+        json.field((prefix + "_speedup_vs_1").c_str(),
+                   speedupOf(row.run));
+        if (speedupOf(row.run) > maxSpeedup) {
+          maxSpeedup = speedupOf(row.run);
+          maxThreads = row.threads;
+        }
+      }
+      json.field("max_speedup", maxSpeedup)
+          .field("max_speedup_threads", static_cast<double>(maxThreads))
+          .endObject();
+    }
     json.field("determinism_bitwise", true).endObject();
     const std::string jsonPath =
         moloc::bench::resultsDir() + "/BENCH_micro_service.json";

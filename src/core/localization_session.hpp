@@ -1,6 +1,7 @@
 #pragma once
 
 #include <exception>
+#include <memory>
 #include <span>
 
 #include "core/moloc_engine.hpp"
@@ -56,6 +57,22 @@ class LocalizationSession {
 
   /// Starts a new walk (forgets retained candidates).
   void reset() { engine_.reset(); }
+
+  /// Adopts a newer motion world (a published WorldSnapshot's
+  /// adjacency) without disturbing the walk in progress.  Serialized by
+  /// the caller against onScan* on the same session — the serving
+  /// layer's per-session slot lock covers both.  Throws on null.
+  void rebindMotion(
+      std::shared_ptr<const kernel::MotionAdjacency> adjacency) {
+    engine_.rebindMotion(std::move(adjacency));
+  }
+
+  /// The motion adjacency the session currently scores against
+  /// (identity comparisons drive snapshot adoption in the service).
+  const std::shared_ptr<const kernel::MotionAdjacency>& motionAdjacency()
+      const {
+    return engine_.motionAdjacency();
+  }
 
   bool hasHistory() const { return engine_.hasHistory(); }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -107,6 +108,22 @@ class MoLocEngine {
   /// The retained candidate set (posterior of the last fix).
   std::span<const WeightedCandidate> retainedCandidates() const {
     return previous_;
+  }
+
+  /// Swaps the motion matcher onto a newer adjacency (a freshly
+  /// published WorldSnapshot's index).  Retained candidates survive —
+  /// the next fix scores them against the new motion world.  Callers
+  /// serialize this with localize() on the same engine (the serving
+  /// layer's per-session lock does).  Throws on null.
+  void rebindMotion(
+      std::shared_ptr<const kernel::MotionAdjacency> adjacency) {
+    matcher_.rebind(std::move(adjacency));
+  }
+
+  /// The adjacency the motion matcher currently scores against.
+  const std::shared_ptr<const kernel::MotionAdjacency>& motionAdjacency()
+      const {
+    return matcher_.adjacencyPtr();
   }
 
  private:

@@ -1,6 +1,5 @@
 #include "core/motion_database.hpp"
 
-#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -8,22 +7,8 @@
 
 namespace moloc::core {
 
-namespace {
-/// Process-wide stamp source for MotionDatabase::version().  A global
-/// counter (rather than a per-instance one) guarantees two different
-/// contents never alias a version, even after move-assigning one
-/// database over another (e.g. OnlineMotionDatabase::restore).
-std::atomic<std::uint64_t> g_versionCounter{0};
-}  // namespace
-
-void MotionDatabase::bumpVersion() {
-  version_ = ++g_versionCounter;
-}
-
 MotionDatabase::MotionDatabase(std::size_t locationCount)
-    : n_(locationCount), entries_(locationCount * locationCount) {
-  bumpVersion();
-}
+    : n_(locationCount), entries_(locationCount * locationCount) {}
 
 std::size_t MotionDatabase::index(env::LocationId i,
                                   env::LocationId j) const {
@@ -42,7 +27,6 @@ void MotionDatabase::setEntry(env::LocationId i, env::LocationId j,
                               RlmStats stats) {
   checkIds(i, j);
   entries_[index(i, j)] = stats;
-  bumpVersion();
 }
 
 void MotionDatabase::setEntryWithMirror(env::LocationId i,
@@ -59,7 +43,6 @@ bool MotionDatabase::clearEntry(env::LocationId i, env::LocationId j) {
   auto& entry = entries_[index(i, j)];
   const bool existed = entry.has_value();
   entry.reset();
-  if (existed) bumpVersion();
   return existed;
 }
 

@@ -72,22 +72,12 @@ class MotionDatabase {
            static_cast<env::LocationId>(idx % n_), *entries_[idx]);
   }
 
-  /// A monotone stamp identifying this database's current contents:
-  /// every mutation (setEntry, effective clearEntry) assigns a fresh
-  /// process-wide-unique value, so a cached derived index (see
-  /// kernel::MotionAdjacency) can detect staleness even across
-  /// wholesale replacement by move/copy assignment — two distinct
-  /// states never share a stamp.
-  std::uint64_t version() const { return version_; }
-
  private:
   std::size_t index(env::LocationId i, env::LocationId j) const;
   void checkIds(env::LocationId i, env::LocationId j) const;
-  void bumpVersion();
 
   std::size_t n_ = 0;
   std::vector<std::optional<RlmStats>> entries_;
-  std::uint64_t version_ = 0;
 };
 
 }  // namespace moloc::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -7,8 +8,6 @@
 #include "core/motion_database.hpp"
 #include "kernel/motion_kernel.hpp"
 #include "sensors/motion_processor.hpp"
-#include "util/mutex.hpp"
-#include "util/thread_annotations.hpp"
 
 namespace moloc::core {
 
@@ -40,18 +39,42 @@ struct MotionMatcherParams {
 /// The motion matching unit: evaluates how well a measured (direction,
 /// offset) pair matches the motion database between locations.
 ///
-/// Scoring runs on a cached kernel::MotionAdjacency — a CSR view of the
+/// Scoring runs on a kernel::MotionAdjacency — a CSR view of the
 /// database holding only populated pairs with their window constants
-/// (1/(sigma*sqrt(2))) precomputed.  The cache is synced lazily against
-/// MotionDatabase::version(), so it rebuilds itself after any mutation,
-/// including an OnlineMotionDatabase publishing a refit.  The cache's
-/// sync-and-read is serialized on an internal mutex, so matchers shared
-/// across threads no longer race on the rebuild; the *database* they
-/// score against must still be stable while scoring runs (the serving
-/// layer's per-session locking and immutable serving copies ensure it).
+/// (1/(sigma*sqrt(2))) precomputed.  The matcher *owns a share of* its
+/// adjacency (shared_ptr<const>) rather than caching one against a
+/// database reference: the index is built eagerly at construction (or
+/// adopted prebuilt from a published core::WorldSnapshot) and is
+/// immutable thereafter, so every scoring method is const, lock-free,
+/// and safe to call from any number of threads concurrently.  Scoring
+/// also stays valid after the source database is destroyed — the
+/// matcher never dereferences it again.
+///
+/// The previous design kept a lazily-synced cache keyed by a
+/// process-wide version stamp; a destroyed database whose address was
+/// reused could alias a stale cache (ABA).  Snapshot ownership removes
+/// the identity comparison entirely.  The cost is that a database
+/// mutation after construction is *not* seen; callers that serve over
+/// an evolving OnlineMotionDatabase adopt each published snapshot via
+/// rebind() (the serving layer does this per session under its slot
+/// lock — see docs/serving.md).
 class MotionMatcher {
  public:
+  /// Builds a private adjacency from `db`'s current contents.  `db` is
+  /// not retained.
   MotionMatcher(const MotionDatabase& db, MotionMatcherParams params = {});
+
+  /// Adopts a prebuilt immutable adjacency (e.g. one owned by a
+  /// published WorldSnapshot).  Throws std::invalid_argument on null.
+  explicit MotionMatcher(
+      std::shared_ptr<const kernel::MotionAdjacency> adjacency,
+      MotionMatcherParams params = {});
+
+  /// Swaps in a newer adjacency (a freshly published snapshot's).  Not
+  /// synchronized with concurrent scoring on *this* matcher — callers
+  /// serialize rebind against their own scoring, which the serving
+  /// layer's per-session lock already does.  Throws on null.
+  void rebind(std::shared_ptr<const kernel::MotionAdjacency> adjacency);
 
   const MotionMatcherParams& params() const { return params_; }
 
@@ -73,10 +96,9 @@ class MotionMatcher {
   /// Eq. 6 over a whole candidate set at once: fills `out` (clearing it
   /// first) with out[c] = setProbability(previousCandidates,
   /// candidates[c], motion), bitwise-identical to the per-j calls.  The
-  /// work shared across the set — syncing the adjacency cache, summing
-  /// the prior mass, and the stationary probability (which depends only
-  /// on the measurement, not on j) — is done once per batch instead of
-  /// once per candidate.
+  /// work shared across the set — summing the prior mass and the
+  /// stationary probability (which depends only on the measurement, not
+  /// on j) — is done once per batch instead of once per candidate.
   void scoreCandidates(std::span<const WeightedCandidate> previousCandidates,
                        std::span<const env::LocationId> candidates,
                        const sensors::MotionMeasurement& motion,
@@ -88,9 +110,16 @@ class MotionMatcher {
   /// The offset factor O_ij alone; exposed for tests and ablations.
   double offsetFactor(const RlmStats& stats, double offsetMeters) const;
 
-  /// The adjacency cache, synced to the database first; exposed so
-  /// tests can observe rebuild-on-mutation and benchmarks can prebuild.
-  const kernel::MotionAdjacency& adjacency() const;
+  /// The adjacency this matcher scores against (immutable once built);
+  /// exposed for tests and so benchmarks can inspect the index.
+  const kernel::MotionAdjacency& adjacency() const { return *adj_; }
+
+  /// The same adjacency as a shareable handle — what a session hands
+  /// to a twin matcher, or a test uses to pin a snapshot's index.
+  const std::shared_ptr<const kernel::MotionAdjacency>& adjacencyPtr()
+      const {
+    return adj_;
+  }
 
  private:
   /// setProbability for one j with the batch-invariant inputs supplied
@@ -100,8 +129,7 @@ class MotionMatcher {
   double scoreOne(std::span<const WeightedCandidate> prev,
                   env::LocationId j,
                   const sensors::MotionMeasurement& motion,
-                  double stationaryP, double totalPrior) const
-      MOLOC_REQUIRES(cacheMu_);
+                  double stationaryP, double totalPrior) const;
 
   /// The i == j probability: max(stationary direction x offset, floor).
   double stationaryProbability(
@@ -114,20 +142,15 @@ class MotionMatcher {
   double windowOffsetFactor(const kernel::PairWindow& w,
                             double offsetMeters) const;
 
-  /// Throws the dense lookup's std::out_of_range when (i, j) is outside
-  /// the database, so the CSR fast path rejects bad ids exactly like
-  /// MotionDatabase::entry did.
+  /// Throws std::out_of_range when (i, j) is outside the adjacency's
+  /// location range, so the CSR fast path rejects bad ids exactly like
+  /// the dense MotionDatabase::entry lookup did.
   void requireValidPair(env::LocationId i, env::LocationId j) const;
 
-  const MotionDatabase& db_;
+  /// Immutable once built; shared so the owning snapshot (and any twin
+  /// matcher) stays alive while this matcher can still score.
+  std::shared_ptr<const kernel::MotionAdjacency> adj_;
   MotionMatcherParams params_;
-  /// Serializes the lazy sync-and-read of adj_: without it, two
-  /// threads scoring through one shared matcher after a database
-  /// mutation would rebuild the CSR cache concurrently.
-  mutable util::Mutex cacheMu_;
-  /// Lazily synced CSR view of db_; mutable because const scoring
-  /// methods refresh it on first use after a database mutation.
-  mutable kernel::MotionAdjacency adj_ MOLOC_GUARDED_BY(cacheMu_);
 };
 
 /// The probability mass of a N(mu, sigma) variable inside

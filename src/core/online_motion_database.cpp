@@ -55,10 +55,9 @@ OnlineMotionDatabase::OnlineMotionDatabase(const env::FloorPlan& plan,
 #endif
 }
 
-bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
-                                          env::LocationId estimatedEnd,
-                                          double directionDeg,
-                                          double offsetMeters) {
+namespace {
+
+void checkMeasurement(double directionDeg, double offsetMeters) {
   // Validate the measurement before the location lookups: a corrupt
   // (direction, offset) must report invalid_argument even when the
   // ids are bad too, so callers can tell poisoned measurements from
@@ -67,30 +66,21 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
       offsetMeters < 0.0)
     throw std::invalid_argument(
         "OnlineMotionDatabase: non-finite or negative measurement");
-  const auto& startLoc = plan_.location(estimatedStart);
-  const auto& endLoc = plan_.location(estimatedEnd);
-  const util::MutexLock lock(mu_);
-  ++counters_.observations;
-#if MOLOC_METRICS_ENABLED
-  if (metrics_.observations) metrics_.observations->inc();
-#endif
+}
 
-  if (estimatedStart == estimatedEnd) {
-    ++counters_.droppedSelfPairs;
-#if MOLOC_METRICS_ENABLED
-    if (metrics_.selfPairs) metrics_.selfPairs->inc();
-#endif
-    return false;
-  }
+}  // namespace
+
+OnlineMotionDatabase::Decision OnlineMotionDatabase::decideLocked(
+    env::LocationId start, env::LocationId end, geometry::Vec2 posStart,
+    geometry::Vec2 posEnd, double directionDeg,
+    double offsetMeters) const {
+  if (start == end) return Decision::kSelfPair;
 
   // Reassemble onto the smaller-ID endpoint.
-  env::LocationId i = estimatedStart;
-  env::LocationId j = estimatedEnd;
   double d = geometry::normalizeDeg(directionDeg);
-  geometry::Vec2 posI = startLoc.pos;
-  geometry::Vec2 posJ = endLoc.pos;
-  if (i > j) {
-    std::swap(i, j);
+  geometry::Vec2 posI = posStart;
+  geometry::Vec2 posJ = posEnd;
+  if (start > end) {
     std::swap(posI, posJ);
     d = geometry::reverseHeadingDeg(d);
   }
@@ -104,23 +94,83 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
         config_.coarseDirectionThresholdDeg;
     const bool offsetOk = std::abs(offsetMeters - mapOffset) <=
                           config_.coarseOffsetThresholdMeters;
-    if (!directionOk || !offsetOk) {
+    if (!directionOk || !offsetOk) return Decision::kRejectedCoarse;
+  }
+  return Decision::kAccepted;
+}
+
+bool OnlineMotionDatabase::classify(env::LocationId estimatedStart,
+                                    env::LocationId estimatedEnd,
+                                    double directionDeg,
+                                    double offsetMeters) {
+  checkMeasurement(directionDeg, offsetMeters);
+  const auto& startLoc = plan_.location(estimatedStart);
+  const auto& endLoc = plan_.location(estimatedEnd);
+  const util::MutexLock lock(mu_);
+  ++counters_.observations;
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.observations) metrics_.observations->inc();
+#endif
+  switch (decideLocked(estimatedStart, estimatedEnd, startLoc.pos,
+                       endLoc.pos, directionDeg, offsetMeters)) {
+    case Decision::kSelfPair:
+      ++counters_.droppedSelfPairs;
+#if MOLOC_METRICS_ENABLED
+      if (metrics_.selfPairs) metrics_.selfPairs->inc();
+#endif
+      return false;
+    case Decision::kRejectedCoarse:
       ++counters_.rejectedCoarse;
 #if MOLOC_METRICS_ENABLED
       if (metrics_.rejectedCoarse) metrics_.rejectedCoarse->inc();
 #endif
       return false;
-    }
+    case Decision::kAccepted:
+      return true;
+  }
+  return false;  // Unreachable; keeps -Wreturn-type quiet.
+}
+
+void OnlineMotionDatabase::applyAccepted(env::LocationId estimatedStart,
+                                         env::LocationId estimatedEnd,
+                                         double directionDeg,
+                                         double offsetMeters) {
+  checkMeasurement(directionDeg, offsetMeters);
+  const auto& startLoc = plan_.location(estimatedStart);
+  const auto& endLoc = plan_.location(estimatedEnd);
+  const util::MutexLock writeLock(writeMu_);
+  ObservationSink* sink = nullptr;
+  {
+    const util::MutexLock lock(mu_);
+    if (decideLocked(estimatedStart, estimatedEnd, startLoc.pos,
+                     endLoc.pos, directionDeg, offsetMeters) !=
+        Decision::kAccepted)
+      throw std::logic_error(
+          "OnlineMotionDatabase::applyAccepted: observation was not "
+          "accepted by classify()");
+    sink = sink_;
   }
 
   // Write-ahead hook: log the observation (with its original, pre-
   // reassembly arguments) before any state mutates.  A sink that
   // throws — disk full, I/O error — aborts the update here, so the
-  // database never holds an observation its log is missing.
-  if (sink_)
-    sink_->onAccepted(estimatedStart, estimatedEnd, directionDeg,
-                      offsetMeters);
+  // database never holds an observation its log is missing.  Only the
+  // write mutex is held across this call: readers and classifying
+  // producers proceed through the state mutex while the log fsyncs.
+  if (sink)
+    sink->onAccepted(estimatedStart, estimatedEnd, directionDeg,
+                     offsetMeters);
 
+  // Reassemble onto the smaller-ID endpoint.
+  env::LocationId i = estimatedStart;
+  env::LocationId j = estimatedEnd;
+  double d = geometry::normalizeDeg(directionDeg);
+  if (i > j) {
+    std::swap(i, j);
+    d = geometry::reverseHeadingDeg(d);
+  }
+
+  const util::MutexLock lock(mu_);
   auto& reservoir = reservoirs_[{i, j}];
   ++reservoir.seen;
   if (reservoir.samples.size() < capacity_) {
@@ -142,6 +192,15 @@ bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
 #endif
 
   refit({i, j}, reservoir);
+}
+
+bool OnlineMotionDatabase::addObservation(env::LocationId estimatedStart,
+                                          env::LocationId estimatedEnd,
+                                          double directionDeg,
+                                          double offsetMeters) {
+  if (!classify(estimatedStart, estimatedEnd, directionDeg, offsetMeters))
+    return false;
+  applyAccepted(estimatedStart, estimatedEnd, directionDeg, offsetMeters);
   return true;
 }
 
@@ -327,6 +386,7 @@ void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
   util::Rng rng(0);
   rng.setState(snapshot.rngState);  // Throws on the all-zero state.
 
+  const util::MutexLock writeLock(writeMu_);
   const util::MutexLock lock(mu_);
   config_ = snapshot.config;
   capacity_ = snapshot.capacity;

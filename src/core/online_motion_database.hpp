@@ -9,6 +9,7 @@
 #include "core/motion_database.hpp"
 #include "core/motion_database_builder.hpp"
 #include "env/floor_plan.hpp"
+#include "geometry/vec2.hpp"
 #include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
@@ -53,13 +54,19 @@ class ObservationSink {
 /// `Counters::staleInvalidations` and, when a registry is attached,
 /// in `moloc_intake_stale_invalidated_total`.
 ///
-/// Thread safety: every member function is internally serialized on
-/// one intake mutex, so concurrent calls cannot corrupt state.  What
-/// the mutex cannot give is cross-call atomicity: references returned
-/// by database()/counters()/config() escape the lock, and callers that
-/// need the WAL order to match the update order must still serialize
-/// their addObservation calls (LocalizationService does, on its intake
-/// mutex).
+/// Thread safety: state lives behind two mutexes.  The outer write
+/// mutex serializes the mutators (applyAccepted / addObservation /
+/// restore) and is held across the sink's write-ahead call, so the
+/// WAL order equals the apply order whenever one thread drives the
+/// mutators — the serving stack funnels every observation through a
+/// single writer thread (service::IntakePipeline).  The inner state
+/// mutex guards the in-memory structures only and is never held
+/// across I/O, so readers (database() / counters() / databaseCopy() /
+/// classify()) cannot stall behind a log fsync.  What the locks
+/// cannot give is cross-call atomicity: references returned by
+/// database()/counters()/config() escape them; serving copies the
+/// database (databaseCopy) into an immutable WorldSnapshot instead of
+/// holding references while intake runs (see docs/serving.md).
 class OnlineMotionDatabase {
  public:
   /// `reservoirCapacity` bounds per-pair memory; must be >= the
@@ -83,6 +90,30 @@ class OnlineMotionDatabase {
                       env::LocationId estimatedEnd, double directionDeg,
                       double offsetMeters);
 
+  /// The admission half of addObservation: validates the measurement
+  /// and ids (throwing exactly like addObservation), counts the offer,
+  /// and runs the self-pair and coarse-filter checks.  Returns whether
+  /// the observation is accepted.  The decision depends only on the
+  /// floor plan and the sanitation config — never on reservoir state —
+  /// so producers may classify concurrently and in any order without
+  /// changing any outcome.  Nothing is logged or applied here: an
+  /// accepted observation must still be handed to applyAccepted (the
+  /// intake pipeline's writer thread does this, in queue order).
+  bool classify(env::LocationId estimatedStart,
+                env::LocationId estimatedEnd, double directionDeg,
+                double offsetMeters);
+
+  /// The apply half: write-ahead logs the observation through the sink
+  /// (under the write mutex only, so readers never wait behind the
+  /// log's fsync), then folds it into its pair's reservoir and refits.
+  /// Call only with observations classify() accepted — re-checked
+  /// here; a rejected observation throws std::logic_error before
+  /// anything is logged.  A sink exception propagates and aborts the
+  /// update (write-ahead discipline), exactly like addObservation.
+  void applyAccepted(env::LocationId estimatedStart,
+                     env::LocationId estimatedEnd, double directionDeg,
+                     double offsetMeters);
+
   /// The current queryable database.  Always coherent: every stored
   /// pair reflects the latest refit of its reservoir.
   ///
@@ -91,6 +122,15 @@ class OnlineMotionDatabase {
   /// Serving snapshots the database instead of holding this reference
   /// while intake runs (see docs/serving.md).
   const MotionDatabase& database() const {
+    const util::MutexLock lock(mu_);
+    return db_;
+  }
+
+  /// A value copy of the current queryable database, taken atomically
+  /// under the state mutex — what the publisher freezes into a
+  /// core::WorldSnapshot.  Never blocks behind sink I/O (the write
+  /// mutex is not taken).
+  MotionDatabase databaseCopy() const {
     const util::MutexLock lock(mu_);
     return db_;
   }
@@ -218,6 +258,18 @@ class OnlineMotionDatabase {
   };
   using PairKey = std::pair<env::LocationId, env::LocationId>;
 
+  /// Outcome of the deterministic admission checks.
+  enum class Decision { kAccepted, kSelfPair, kRejectedCoarse };
+
+  /// The admission checks themselves, with no counting: self-pair,
+  /// then the coarse map filter on the canonicalized (smaller-ID
+  /// first) form.  Pure in the config — classify() and applyAccepted()
+  /// agree by construction.
+  Decision decideLocked(env::LocationId start, env::LocationId end,
+                        geometry::Vec2 posStart, geometry::Vec2 posEnd,
+                        double directionDeg, double offsetMeters) const
+      MOLOC_REQUIRES(mu_);
+
   void refit(const PairKey& key, const Reservoir& reservoir)
       MOLOC_REQUIRES(mu_);
 
@@ -225,11 +277,13 @@ class OnlineMotionDatabase {
   void invalidateStaleEntry(const PairKey& key) MOLOC_REQUIRES(mu_);
 
   const env::FloorPlan& plan_;
-  /// Guards the whole intake state.  addObservation holds it across
-  /// the sink write-ahead call on purpose: the WAL order must match
-  /// the reservoir update order (lock order: this before the sink's
-  /// own mutex — LocalizationService adds intakeMu_ in front).
-  mutable util::Mutex mu_;
+  /// Outer mutex: serializes the mutators and is held across the
+  /// sink's write-ahead call, so the WAL order equals the apply order
+  /// for a single writer (lock order: this, then mu_, then the sink's
+  /// own mutex).  Readers never take it.
+  mutable util::Mutex writeMu_;
+  /// Inner mutex guarding the in-memory state; never held across I/O.
+  mutable util::Mutex mu_ MOLOC_ACQUIRED_AFTER(writeMu_);
   BuilderConfig config_ MOLOC_GUARDED_BY(mu_);
   std::size_t capacity_ MOLOC_GUARDED_BY(mu_);
   util::Rng rng_ MOLOC_GUARDED_BY(mu_);

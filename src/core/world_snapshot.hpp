@@ -1,0 +1,99 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/motion_database.hpp"
+#include "kernel/motion_kernel.hpp"
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::core {
+
+/// One immutable, internally consistent serving world: the radio map,
+/// a motion database frozen at a publish point, and the CSR adjacency
+/// index built from exactly that database.
+///
+/// Snapshots are the unit of the serving stack's epoch/RCU-style read
+/// path (docs/serving.md).  The intake writer thread builds one from
+/// its private OnlineMotionDatabase, then publishes it behind an
+/// atomic shared_ptr; readers load the pointer and score against the
+/// snapshot with no lock and no further coordination.  Nothing in a
+/// published snapshot ever mutates, so a reader pinning an old
+/// generation keeps a bitwise-stable world until it drops its
+/// reference — reclamation is the shared_ptr refcount, no epochs or
+/// grace periods to track.
+///
+/// The fingerprint database is shared (it does not change online), so
+/// a publish copies only the motion side; the adjacency is built once
+/// here and shared by every session that adopts the snapshot, which is
+/// what retired the process-wide version-stamp cache and its ABA bug
+/// (see kernel::MotionAdjacency).
+class WorldSnapshot {
+ public:
+  /// Freezes `motion` (by value — the caller keeps mutating its own
+  /// copy) and builds the adjacency from it.  `fingerprints` may be
+  /// null for motion-only worlds (tests); `generation` is the publish
+  /// sequence number, `intakeRecords` the number of accepted
+  /// observations folded into this world (staleness accounting).
+  WorldSnapshot(std::shared_ptr<const radio::FingerprintDatabase> fingerprints,
+                MotionDatabase motion, std::uint64_t generation,
+                std::uint64_t intakeRecords)
+      : fingerprints_(std::move(fingerprints)),
+        motion_(std::move(motion)),
+        adjacency_(motion_),
+        generation_(generation),
+        intakeRecords_(intakeRecords),
+        publishedAt_(std::chrono::steady_clock::now()) {}
+
+  WorldSnapshot(const WorldSnapshot&) = delete;
+  WorldSnapshot& operator=(const WorldSnapshot&) = delete;
+
+  /// The shared radio map; null when the world was built motion-only.
+  const std::shared_ptr<const radio::FingerprintDatabase>& fingerprints()
+      const {
+    return fingerprints_;
+  }
+
+  /// The frozen motion database (the adjacency's source of truth —
+  /// kept so diagnostics and refits can inspect the dense form).
+  const MotionDatabase& motion() const { return motion_; }
+
+  /// The CSR index sessions score against; built once, immutable.
+  const kernel::MotionAdjacency& adjacency() const { return adjacency_; }
+
+  /// Monotonic publish sequence number (the boot world is 0).
+  std::uint64_t generation() const { return generation_; }
+
+  /// Accepted intake observations folded into this world.
+  std::uint64_t intakeRecords() const { return intakeRecords_; }
+
+  /// When this snapshot was built (steady clock; staleness metrics).
+  std::chrono::steady_clock::time_point publishedAt() const {
+    return publishedAt_;
+  }
+
+  /// The snapshot's adjacency as a handle that *pins the snapshot*:
+  /// an aliasing shared_ptr whose control block owns the whole
+  /// WorldSnapshot.  Sessions hold only this — the motion world they
+  /// score against cannot be reclaimed out from under them even after
+  /// the service publishes ten newer generations.
+  static std::shared_ptr<const kernel::MotionAdjacency> adjacencyOf(
+      std::shared_ptr<const WorldSnapshot> snapshot) {
+    if (!snapshot) return nullptr;
+    const kernel::MotionAdjacency* adjacency = &snapshot->adjacency();
+    return std::shared_ptr<const kernel::MotionAdjacency>(
+        std::move(snapshot), adjacency);
+  }
+
+ private:
+  std::shared_ptr<const radio::FingerprintDatabase> fingerprints_;
+  MotionDatabase motion_;
+  kernel::MotionAdjacency adjacency_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t intakeRecords_ = 0;
+  std::chrono::steady_clock::time_point publishedAt_;
+};
+
+}  // namespace moloc::core

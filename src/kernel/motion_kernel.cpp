@@ -32,8 +32,6 @@ void MotionAdjacency::rebuild(const core::MotionDatabase& db) {
   });
   for (std::size_t row = 0; row < locationCount_; ++row)
     rowStart_[row + 1] += rowStart_[row];
-  builtVersion_ = db.version();
-  built_ = true;
 }
 
 const PairWindow* findInRow(std::span<const PairWindow> row,

@@ -71,28 +71,28 @@ inline double circularWindowMass(double deviationDeg, double halfWidthDeg,
 /// touch only pairs that actually have entries, everything else takes
 /// the closed-form unreachable-floor path.
 ///
-/// The view is a cache: it pins the database version it was built
-/// from, and syncWith() rebuilds when the database has been mutated
-/// since (e.g. an OnlineMotionDatabase publishing a refit).
+/// The index is built once (construction-time or via rebuild()) and
+/// then treated as immutable: it does not track the source database,
+/// so readers scoring through a built adjacency never observe a
+/// mutation mid-query.  The serving stack builds one per published
+/// core::WorldSnapshot and shares it across sessions behind a
+/// shared_ptr<const MotionAdjacency>; anything that wants newer data
+/// builds (or adopts) a new index.  This snapshot-owned design is what
+/// replaced the process-wide version-stamp cache: a stamp compared a
+/// database *address* against a counter, so a destroyed database whose
+/// storage was reused could alias a stale cache (ABA); an owned index
+/// has no identity to confuse.
 class MotionAdjacency {
  public:
   MotionAdjacency() = default;
 
-  /// Rebuilds the index from `db` and records its version.
+  /// Builds the index from `db`'s current contents.
+  explicit MotionAdjacency(const core::MotionDatabase& db) { rebuild(db); }
+
+  /// Rebuilds the index from `db`.  Not thread-safe against readers of
+  /// this instance; build before sharing.
   void rebuild(const core::MotionDatabase& db);
 
-  /// True when this index reflects `db`'s current contents.
-  bool inSyncWith(const core::MotionDatabase& db) const {
-    return built_ && builtVersion_ == db.version();
-  }
-
-  /// Rebuilds only if out of sync.  Not safe to race with itself on
-  /// one instance; callers serialize per instance (see MotionMatcher).
-  void syncWith(const core::MotionDatabase& db) {
-    if (!inSyncWith(db)) rebuild(db);
-  }
-
-  std::uint64_t builtVersion() const { return builtVersion_; }
   std::size_t locationCount() const { return locationCount_; }
   std::size_t edgeCount() const { return edges_.size(); }
 
@@ -112,8 +112,6 @@ class MotionAdjacency {
   std::vector<std::size_t> rowStart_;  ///< locationCount_ + 1 offsets.
   std::vector<PairWindow> edges_;      ///< Sorted by (from, to).
   std::size_t locationCount_ = 0;
-  std::uint64_t builtVersion_ = 0;
-  bool built_ = false;
 };
 
 /// Finds `to` inside one sorted out-edge row (exposed for reuse when a

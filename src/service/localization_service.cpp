@@ -33,10 +33,19 @@ LocalizationService::LocalizationService(
     radio::FingerprintDatabase fingerprints, core::MotionDatabase motion,
     ServiceConfig config)
     : config_(config),
-      fingerprints_(std::move(fingerprints)),
+      fingerprints_(std::make_shared<const radio::FingerprintDatabase>(
+          std::move(fingerprints))),
       motion_(std::move(motion)),
       shards_(checkShardCount(config.shardCount)),
       pool_(resolveThreadCount(config.threadCount), config.metrics) {
+  // The boot world: generation 0 over the construction-time databases.
+  {
+    auto boot = std::make_shared<const core::WorldSnapshot>(
+        fingerprints_, motion_, 0, 0);
+    const util::MutexLock lock(worldMu_);
+    world_ = std::move(boot);
+    worldHint_.store(&world_->adjacency(), std::memory_order_release);
+  }
   // Sessions inherit the service's registry unless the caller wired
   // the engine to its own.
   if (!config_.engine.metrics) config_.engine.metrics = config_.metrics;
@@ -78,8 +87,45 @@ LocalizationService::LocalizationService(
     metrics_.checkpointFailures = &registry.counter(
         "moloc_service_checkpoint_failures_total",
         "Background checkpoints that failed with an exception");
+    metrics_.worldPublishes = &registry.counter(
+        "moloc_service_world_publishes_total",
+        "Immutable WorldSnapshots published by the intake writer");
+    metrics_.worldGeneration = &registry.gauge(
+        "moloc_service_world_generation",
+        "Generation number of the currently serving world");
   }
 #endif
+}
+
+LocalizationService::~LocalizationService() {
+  // Wake checkpoint waiters with a typed error and drain them, so no
+  // thread is left blocked on a condition that can no longer change
+  // (waitForCheckpoint used to hang shutdown if a checkpoint was in
+  // flight when the service died).
+  {
+    const util::MutexLock lock(checkpointWaitMu_);
+    shuttingDown_ = true;
+  }
+  checkpointCv_.notifyAll();
+  {
+    const util::MutexLock lock(checkpointWaitMu_);
+    while (checkpointWaiters_ > 0) checkpointCv_.wait(checkpointWaitMu_);
+  }
+
+  // Stop the intake writer outside intakeMu_ (its hooks take service
+  // locks).  stop() drains the queue — admitted observations are still
+  // logged and applied — and runs a final publish.
+  std::shared_ptr<IntakePipeline> pipeline;
+  {
+    const util::MutexLock lock(intakeMu_);
+    pipeline = std::move(pipeline_);
+  }
+  if (pipeline) pipeline->stop();
+  pipeline.reset();
+
+  // Members now destroy in reverse declaration order; pool_ (declared
+  // last) goes first and joins any in-flight background checkpoint
+  // while everything its task touches is still alive.
 }
 
 LocalizationService::Shard& LocalizationService::shardFor(SessionId id) {
@@ -99,8 +145,10 @@ LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
   if (it == shard.sessions.end()) {
     it = shard.sessions
              .emplace(id, std::make_shared<SessionSlot>(
-                              fingerprints_, motion_, stepLengthMeters,
-                              config_.engine, config_.motion))
+                              *fingerprints_, motion_, stepLengthMeters,
+                              config_.engine, config_.motion,
+                              core::WorldSnapshot::adjacencyOf(
+                                  currentWorld())))
              .first;
 #if MOLOC_METRICS_ENABLED
     if (metrics_.sessionsActive) metrics_.sessionsActive->inc();
@@ -117,12 +165,36 @@ void LocalizationService::openSession(SessionId id,
     throw std::invalid_argument("LocalizationService: session " +
                                 std::to_string(id) + " already exists");
   shard.sessions.emplace(
-      id, std::make_shared<SessionSlot>(fingerprints_, motion_,
-                                        stepLengthMeters, config_.engine,
-                                        config_.motion));
+      id, std::make_shared<SessionSlot>(
+              *fingerprints_, motion_, stepLengthMeters, config_.engine,
+              config_.motion,
+              core::WorldSnapshot::adjacencyOf(currentWorld())));
 #if MOLOC_METRICS_ENABLED
   if (metrics_.sessionsActive) metrics_.sessionsActive->inc();
 #endif
+}
+
+void LocalizationService::adoptWorld(core::LocalizationSession& session) {
+  // Steady state (no publish since this session's last scan): one
+  // atomic load plus one pointer compare — no lock, no refcount
+  // traffic.  The hint is compared, never dereferenced; the session
+  // pins the adjacency it is bound to, so equal addresses always
+  // mean the same live index (a freed one cannot be reused while
+  // the session still holds it).
+  const kernel::MotionAdjacency* hint =
+      worldHint_.load(std::memory_order_acquire);
+  if (hint == nullptr || session.motionAdjacency().get() == hint) return;
+  // The world moved: copy the pinning handle under the brief world
+  // mutex (possibly an even newer one than the hint we read) and
+  // rebind.
+  std::shared_ptr<const core::WorldSnapshot> world;
+  {
+    const util::MutexLock lock(worldMu_);
+    world = world_;
+  }
+  if (world && session.motionAdjacency().get() != &world->adjacency())
+    session.rebindMotion(
+        core::WorldSnapshot::adjacencyOf(std::move(world)));
 }
 
 core::LocationEstimate LocalizationService::localizeLocked(
@@ -131,6 +203,7 @@ core::LocationEstimate LocalizationService::localizeLocked(
 #if MOLOC_METRICS_ENABLED
   obs::ScopedTimer timer(metrics_.scanLatency);
 #endif
+  adoptWorld(session);
   core::LocationEstimate estimate = session.onScan(scan, imu);
 #if MOLOC_METRICS_ENABLED
   if (metrics_.scansTotal) metrics_.scansTotal->inc();
@@ -147,6 +220,7 @@ core::LocationEstimate LocalizationService::localizePreparedLocked(
 #if MOLOC_METRICS_ENABLED
   obs::ScopedTimer timer(metrics_.scanLatency);
 #endif
+  adoptWorld(session);
   core::LocationEstimate estimate =
       session.onScanWithCandidates(candidates, scanError, imu);
 #if MOLOC_METRICS_ENABLED
@@ -183,7 +257,7 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
   // (empty radio map, k == 0) keep the unbatched path because their
   // errors surface per session, not per batch.
   const bool prepared =
-      !fingerprints_.empty() && config_.engine.candidateCount > 0;
+      !fingerprints_->empty() && config_.engine.candidateCount > 0;
   std::vector<std::vector<core::Candidate>> batchCandidates;
   std::vector<std::exception_ptr> batchErrors;
   if (prepared) {
@@ -193,8 +267,8 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
     std::vector<const radio::Fingerprint*> scans;
     scans.reserve(batch.size());
     for (const auto& request : batch) scans.push_back(&request.scan);
-    fingerprints_.queryBatchInto(scans, config_.engine.candidateCount,
-                                 batchCandidates, &batchErrors);
+    fingerprints_->queryBatchInto(scans, config_.engine.candidateCount,
+                                  batchCandidates, &batchErrors);
   }
 
   // Group request indices by session, preserving each session's
@@ -310,9 +384,37 @@ bool LocalizationService::hasSession(SessionId id) const {
   return shard.sessions.count(id) > 0;
 }
 
+void LocalizationService::publishWorld(core::OnlineMotionDatabase& db) {
+  // The accepted-record count folded into this world; totalSeen is
+  // read under the database's state mutex, so this is race-free even
+  // while producers classify concurrently.
+  const std::uint64_t records = db.reservoirStats().totalSeen;
+  const std::uint64_t generation =
+      worldGeneration_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto next = std::make_shared<const core::WorldSnapshot>(
+      fingerprints_, db.databaseCopy(), generation, records);
+  const kernel::MotionAdjacency* hint = &next->adjacency();
+  {
+    // Held only for the handle swap; the retired world is released
+    // outside the lock (its refcount may be the last).
+    const util::MutexLock lock(worldMu_);
+    world_.swap(next);
+  }
+  next.reset();
+  // Publish the identity last: a reader that sees the new hint is
+  // guaranteed to find (at least) this world under worldMu_.
+  worldHint_.store(hint, std::memory_order_release);
+#if MOLOC_METRICS_ENABLED
+  if (metrics_.worldPublishes) metrics_.worldPublishes->inc();
+  if (metrics_.worldGeneration)
+    metrics_.worldGeneration->set(static_cast<double>(generation));
+#endif
+}
+
 void LocalizationService::attachIntake(core::OnlineMotionDatabase* db,
                                        store::StateStore* store,
-                                       std::uint64_t checkpointEveryRecords) {
+                                       std::uint64_t checkpointEveryRecords,
+                                       IntakePolicy policy) {
   if (db == nullptr)
     throw std::invalid_argument(
         "LocalizationService::attachIntake: db must be non-null");
@@ -320,49 +422,104 @@ void LocalizationService::attachIntake(core::OnlineMotionDatabase* db,
     throw std::invalid_argument(
         "LocalizationService::attachIntake: a checkpoint trigger "
         "requires a store");
-  const util::MutexLock lock(intakeMu_);
-  intakeDb_ = db;
-  intakeStore_ = store;
-  checkpointEveryRecords_ = checkpointEveryRecords;
+
+  // Stop a previous pipeline outside intakeMu_ (its writer's hooks
+  // take service state); a racing reportObservation holds its own
+  // shared_ptr and gets ShutdownError from the stopped pipeline.
+  std::shared_ptr<IntakePipeline> previous;
+  {
+    const util::MutexLock lock(intakeMu_);
+    previous = std::move(pipeline_);
+  }
+  if (previous) previous->stop();
+  previous.reset();
+
   if (store != nullptr) db->setSink(store);
+  auto pipeline = std::make_shared<IntakePipeline>(
+      *db, policy,
+      /*publish=*/[this, db](std::uint64_t) { publishWorld(*db); },
+      /*afterApply=*/
+      [this, db, store, checkpointEveryRecords] {
+        maybeCheckpointFromWriter(db, store, checkpointEveryRecords);
+      },
+      config_.metrics);
+  {
+    const util::MutexLock lock(intakeMu_);
+    intakeDb_ = db;
+    pipeline_ = std::move(pipeline);
+  }
+  // Surface the database's current contents (e.g. state recovered
+  // from a checkpoint + WAL replay) to readers right away instead of
+  // waiting for the first cadence publish.
+  publishWorld(*db);
 }
 
 bool LocalizationService::reportObservation(env::LocationId estimatedStart,
                                             env::LocationId estimatedEnd,
                                             double directionDeg,
                                             double offsetMeters) {
-  const util::MutexLock lock(intakeMu_);
-  if (intakeDb_ == nullptr)
+  std::shared_ptr<IntakePipeline> pipeline;
+  {
+    const util::MutexLock lock(intakeMu_);
+    pipeline = pipeline_;
+  }
+  if (!pipeline)
     throw std::logic_error(
         "LocalizationService::reportObservation: no intake attached "
         "(call attachIntake first)");
-  const bool accepted = intakeDb_->addObservation(
-      estimatedStart, estimatedEnd, directionDeg, offsetMeters);
+  const bool accepted = pipeline->submit(estimatedStart, estimatedEnd,
+                                         directionDeg, offsetMeters);
 #if MOLOC_METRICS_ENABLED
   if (metrics_.observationsReported) metrics_.observationsReported->inc();
 #endif
-  maybeCheckpointLocked();
   return accepted;
 }
 
-void LocalizationService::maybeCheckpointLocked() {
-  if (intakeStore_ == nullptr || checkpointEveryRecords_ == 0) return;
-  if (intakeStore_->recordsSinceCheckpoint() < checkpointEveryRecords_)
-    return;
+void LocalizationService::flushIntake() {
+  std::shared_ptr<IntakePipeline> pipeline;
+  {
+    const util::MutexLock lock(intakeMu_);
+    pipeline = pipeline_;
+  }
+  if (!pipeline)
+    throw std::logic_error(
+        "LocalizationService::flushIntake: no intake attached");
+  pipeline->flush();
+}
+
+IntakePipeline::Stats LocalizationService::intakeStats() const {
+  std::shared_ptr<IntakePipeline> pipeline;
+  {
+    const util::MutexLock lock(intakeMu_);
+    pipeline = pipeline_;
+  }
+  if (!pipeline)
+    throw std::logic_error(
+        "LocalizationService::intakeStats: no intake attached");
+  return pipeline->stats();
+}
+
+void LocalizationService::maybeCheckpointFromWriter(
+    core::OnlineMotionDatabase* db, store::StateStore* store,
+    std::uint64_t checkpointEveryRecords) {
+  if (store == nullptr || checkpointEveryRecords == 0) return;
+  if (store->recordsSinceCheckpoint() < checkpointEveryRecords) return;
   // One checkpoint at a time: a second trigger while one is being
   // written would snapshot redundantly and contend on the store.
   if (checkpointInFlight_.exchange(true)) return;
 
-  // Snapshot and WAL position are captured here, under intakeMu_, so
-  // they are mutually consistent; only the (slow) serialize-and-publish
-  // runs on the pool.
+  // Snapshot and WAL position are captured here, on the intake writer
+  // thread between applies.  The writer is the database's sole
+  // mutator, so the pair is mutually consistent without any global
+  // intake lock; only the (slow) serialize-and-publish runs on the
+  // pool.
   auto snapshot = std::make_shared<core::OnlineMotionDatabase::Snapshot>(
-      intakeDb_->snapshot());
-  const std::uint64_t throughSeq = intakeStore_->lastSeq();
-  store::StateStore* store = intakeStore_;
+      db->snapshot());
+  const std::uint64_t throughSeq = store->lastSeq();
   try {
     pool_.submit([this, store, snapshot, throughSeq] {
       try {
+        if (config_.checkpointTestHook) config_.checkpointTestHook();
         store->checkpoint(*snapshot, throughSeq);
 #if MOLOC_METRICS_ENABLED
         if (metrics_.backgroundCheckpoints)
@@ -401,7 +558,19 @@ void LocalizationService::maybeCheckpointLocked() {
 
 void LocalizationService::waitForCheckpoint() {
   const util::MutexLock lock(checkpointWaitMu_);
-  while (checkpointInFlight_.load()) checkpointCv_.wait(checkpointWaitMu_);
+  ++checkpointWaiters_;
+  while (checkpointInFlight_.load()) {
+    if (shuttingDown_) {
+      --checkpointWaiters_;
+      checkpointCv_.notifyAll();  // Unblock the destructor's drain.
+      throw ShutdownError(
+          "LocalizationService::waitForCheckpoint: service shutting "
+          "down");
+    }
+    checkpointCv_.wait(checkpointWaitMu_);
+  }
+  --checkpointWaiters_;
+  checkpointCv_.notifyAll();  // Unblock the destructor's drain.
 }
 
 std::size_t LocalizationService::sessionCount() const {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -11,9 +12,11 @@
 
 #include "core/localization_session.hpp"
 #include "core/motion_database.hpp"
+#include "core/world_snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "sensors/imu_trace.hpp"
+#include "service/intake.hpp"
 #include "service/thread_pool.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -50,6 +53,11 @@ struct ServiceConfig {
   /// and bench do), or set nullptr to opt out at runtime.  Inert when
   /// the build sets MOLOC_METRICS=OFF.
   obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
+  /// Test seam: when set, runs inside every background checkpoint's
+  /// pool task before the store write — lets tests hold a checkpoint
+  /// deterministically in flight (e.g. to race waitForCheckpoint
+  /// against shutdown).  Leave unset in production.
+  std::function<void()> checkpointTestHook;
 };
 
 /// One unit of batch work: a scan for one session, plus the IMU
@@ -61,27 +69,43 @@ struct ScanRequest {
   sensors::ImuTrace imu;
 };
 
-/// The concurrent serving layer: owns one immutable copy of the radio
-/// map and the motion database, and manages any number of independent
-/// per-user LocalizationSessions keyed by SessionId.
+/// The concurrent serving layer: serves lock-free reads over published
+/// immutable WorldSnapshots while a single writer thread folds
+/// crowdsourced observations into the next generation, and manages any
+/// number of independent per-user LocalizationSessions keyed by
+/// SessionId.
 ///
-/// Concurrency model:
-///   - The two databases are written only in the constructor and read
-///     everywhere after — shared freely across threads without locks.
+/// Concurrency model (epoch/RCU-style split; see docs/serving.md):
+///   - The serving world is an immutable core::WorldSnapshot behind an
+///     atomic shared_ptr.  Readers load it with one atomic op and
+///     never take a lock shared with the write side; a reader that
+///     pinned an old generation keeps a bitwise-stable world until its
+///     session drops the reference (reclamation = shared_ptr
+///     refcount).
+///   - Intake mutates a private OnlineMotionDatabase on one writer
+///     thread behind a bounded MPSC queue (service::IntakePipeline)
+///     and publishes a fresh snapshot on a record-count/staleness
+///     cadence.  The localize path provably never touches the intake
+///     or checkpoint mutexes (MOLOC_EXCLUDES below).
 ///   - The session map is sharded; each shard's mutex guards only
 ///     lookup/insert/erase, never localization work.
 ///   - Each session carries its own mutex, so concurrent scans for the
 ///     *same* session serialize (a session is a stateful Bayesian
 ///     filter; its scans must apply in order) while scans for
-///     different sessions proceed in parallel.
+///     different sessions proceed in parallel.  A session adopts the
+///     newest published world at the start of a scan, under that same
+///     per-session lock.
 ///
 /// Determinism: a session's estimate depends only on that session's
-/// scan sequence, so localizeBatch() over the thread pool returns
-/// results bitwise-identical to running each session serially,
-/// regardless of thread count or scheduling.
+/// scan sequence and the worlds it adopted, so localizeBatch() over
+/// the thread pool returns results bitwise-identical to running each
+/// session serially, regardless of thread count or scheduling (worlds
+/// only change when the intake publishes; with no publish in flight,
+/// every interleaving scores the same snapshot).
 class LocalizationService {
  public:
-  /// Takes ownership of one immutable copy of each database.
+  /// Takes ownership of one immutable copy of each database; they form
+  /// the boot world (generation 0).
   LocalizationService(radio::FingerprintDatabase fingerprints,
                       core::MotionDatabase motion,
                       ServiceConfig config = {});
@@ -89,12 +113,31 @@ class LocalizationService {
   LocalizationService(const LocalizationService&) = delete;
   LocalizationService& operator=(const LocalizationService&) = delete;
 
+  /// Wakes any waitForCheckpoint() waiters with ShutdownError and
+  /// drains them, stops the intake writer (admitted observations are
+  /// still applied and covered by a final publish), then joins any
+  /// in-flight background checkpoint via the pool.
+  ~LocalizationService();
+
   const ServiceConfig& config() const { return config_; }
   const radio::FingerprintDatabase& fingerprints() const {
-    return fingerprints_;
+    return *fingerprints_;
   }
+  /// The boot motion database (generation 0).  The *serving* motion
+  /// world evolves past it as intake publishes; see currentWorld().
   const core::MotionDatabase& motion() const { return motion_; }
   std::size_t threadCount() const { return pool_.size(); }
+
+  /// The newest published world.  The returned shared_ptr pins the
+  /// snapshot (and everything a session could score against) for as
+  /// long as the caller holds it.  Takes the brief world mutex to
+  /// copy the handle; the scan path itself only does so when the
+  /// identity hint says the world actually moved (see adoptWorld).
+  std::shared_ptr<const core::WorldSnapshot> currentWorld() const
+      MOLOC_EXCLUDES(worldMu_) {
+    const util::MutexLock lock(worldMu_);
+    return world_;
+  }
 
   /// Creates the session for `id` with an explicit step length.
   /// Throws std::invalid_argument if the session already exists or the
@@ -106,7 +149,8 @@ class LocalizationService {
   /// for the same id serialize in arrival order.
   core::LocationEstimate submitScan(
       SessionId id, const radio::Fingerprint& scan,
-      const sensors::ImuTrace& imuSinceLastScan);
+      const sensors::ImuTrace& imuSinceLastScan)
+      MOLOC_EXCLUDES(intakeMu_, checkpointWaitMu_);
 
   /// Localizes a batch over the thread pool and returns the estimates
   /// in request order.  Requests for the same session are applied in
@@ -124,7 +168,8 @@ class LocalizationService {
   /// successful scans); resubmit only the failed session's tail, or
   /// resetSession() it first.
   std::vector<core::LocationEstimate> localizeBatch(
-      const std::vector<ScanRequest>& batch);
+      const std::vector<ScanRequest>& batch)
+      MOLOC_EXCLUDES(intakeMu_, checkpointWaitMu_);
 
   /// Forgets the retained candidate set of `id` (start of a new walk).
   /// No-op for unknown sessions.
@@ -138,54 +183,95 @@ class LocalizationService {
 
   // ---- Crowdsourcing intake with durability -------------------------
   //
-  // The serving databases above are immutable; the *intake* side is a
-  // separate OnlineMotionDatabase that accumulates crowdsourced
-  // observations for the next published generation.  The service
-  // serializes intake (the WAL order must match the database's update
-  // order) and, when a StateStore is attached, triggers background
-  // checkpoints so recovery replays a bounded WAL tail.
+  // The serving worlds above are immutable; the *intake* side is a
+  // separate OnlineMotionDatabase mutated only by the pipeline's
+  // writer thread, which preserves the WAL write-ahead discipline (the
+  // WAL order, reservoir update order, and RNG draw order are all the
+  // writer's apply order), triggers background checkpoints so recovery
+  // replays a bounded WAL tail, and publishes each new generation of
+  // the serving world.
 
-  /// Wires the intake.  `db` must be non-null and outlive the service
-  /// (as must `store`).  When `store` is non-null it is attached as
-  /// `db`'s sink, so every accepted observation is durably logged
-  /// before it mutates the reservoirs; `checkpointEveryRecords` > 0
-  /// (requires a store) publishes a checkpoint on the thread pool
-  /// whenever that many records accumulate past the newest checkpoint.
-  /// Throws std::invalid_argument on a null db or on a trigger without
-  /// a store.
+  /// Wires the intake and starts its writer thread.  `db` must be
+  /// non-null and outlive the service (as must `store`).  When `store`
+  /// is non-null it is attached as `db`'s sink, so every applied
+  /// observation is durably logged before it mutates the reservoirs;
+  /// `checkpointEveryRecords` > 0 (requires a store) publishes a
+  /// checkpoint on the thread pool whenever that many records
+  /// accumulate past the newest checkpoint.  `policy` sets the queue
+  /// bound and the publish cadence.  The database's current contents
+  /// (e.g. recovered state) are published immediately.  Re-attaching
+  /// stops and drains the previous pipeline first.  Throws
+  /// std::invalid_argument on a null db or on a trigger without a
+  /// store.
   void attachIntake(core::OnlineMotionDatabase* db,
                     store::StateStore* store = nullptr,
-                    std::uint64_t checkpointEveryRecords = 0);
+                    std::uint64_t checkpointEveryRecords = 0,
+                    IntakePolicy policy = {});
 
-  /// Feeds one crowdsourced observation through the attached intake
-  /// database (sanitation filters, WAL, reservoirs).  Returns whether
-  /// the observation was accepted.  Thread-safe: calls serialize on the
-  /// intake mutex.  Throws std::logic_error when no intake is attached;
-  /// propagates the database's validation errors and the store's
-  /// StoreError (in which case the observation was not applied).
+  /// Feeds one crowdsourced observation into the intake pipeline.
+  /// The sanitation verdict is computed synchronously (returns whether
+  /// the observation was accepted); an accepted observation is
+  /// *admitted* — durably logged and applied slightly later by the
+  /// writer thread, in admission order.  flushIntake() is the barrier
+  /// that makes admissions durable and published.  Throws
+  /// std::logic_error when no intake is attached, the database's
+  /// validation errors, BackpressureError when the queue is full (the
+  /// observation is not admitted), and ShutdownError during shutdown.
   bool reportObservation(env::LocationId estimatedStart,
                          env::LocationId estimatedEnd, double directionDeg,
                          double offsetMeters);
 
+  /// Blocks until every observation admitted before this call has been
+  /// applied and the world containing them published (durability and
+  /// visibility barrier; tests and orderly shutdown).  Throws
+  /// std::logic_error when no intake is attached and ShutdownError if
+  /// the pipeline stops mid-wait.
+  void flushIntake();
+
+  /// Counters of the intake pipeline (admissions, applies, publishes,
+  /// backpressure rejections).  Throws std::logic_error when no intake
+  /// is attached.
+  IntakePipeline::Stats intakeStats() const;
+
   /// Blocks until no background checkpoint is in flight (shutdown and
   /// test hook).  Does not prevent a later report from starting a new
-  /// one.
+  /// one.  Throws ShutdownError instead of hanging when the service is
+  /// destroyed while waiting.
   void waitForCheckpoint();
 
  private:
   /// Starts a background checkpoint when the trigger fires and none is
-  /// already running.  Caller holds intakeMu_ — the snapshot and its
-  /// WAL position are captured under the same lock that serializes
-  /// reportObservation, which is what makes them consistent.
-  void maybeCheckpointLocked() MOLOC_REQUIRES(intakeMu_);
+  /// already running.  Runs on the intake writer thread between
+  /// applies — the writer is the database's sole mutator, so the
+  /// snapshot and its WAL position are mutually consistent without any
+  /// global intake lock.
+  void maybeCheckpointFromWriter(core::OnlineMotionDatabase* db,
+                                 store::StateStore* store,
+                                 std::uint64_t checkpointEveryRecords);
+
+  /// Freezes `db` into a new WorldSnapshot and publishes it (release
+  /// store).  Runs on the intake writer thread, and once at attach.
+  void publishWorld(core::OnlineMotionDatabase& db);
+
+  /// Adopts the newest published world into `session` if it is still
+  /// scoring an older generation.  Caller holds the session's slot
+  /// lock; the load is lock-free.
+  void adoptWorld(core::LocalizationSession& session);
   /// A session plus the mutex serializing its scans.
   struct SessionSlot {
     SessionSlot(const radio::FingerprintDatabase& fingerprints,
                 const core::MotionDatabase& motion,
                 double stepLengthMeters, const core::MoLocConfig& engine,
-                const sensors::MotionProcessorParams& motionParams)
+                const sensors::MotionProcessorParams& motionParams,
+                std::shared_ptr<const kernel::MotionAdjacency> worldAdjacency)
         : session(fingerprints, motion, stepLengthMeters, engine,
-                  motionParams) {}
+                  motionParams) {
+      // Adopt the serving world up front so the first scan does not
+      // pay a rebind.  Safe without the lock: constructors run before
+      // the slot is visible to any other thread (and are outside the
+      // thread-safety analysis).
+      if (worldAdjacency) session.rebindMotion(std::move(worldAdjacency));
+    }
     util::Mutex mu;
     core::LocalizationSession session MOLOC_GUARDED_BY(mu);
   };
@@ -218,8 +304,29 @@ class LocalizationService {
       std::exception_ptr scanError, const sensors::ImuTrace& imu);
 
   ServiceConfig config_;
-  radio::FingerprintDatabase fingerprints_;
+  /// Shared, never mutated after construction: every published
+  /// WorldSnapshot holds a reference instead of a copy.
+  std::shared_ptr<const radio::FingerprintDatabase> fingerprints_;
+  /// The boot motion database (what motion() returns); the serving
+  /// world evolves past it via published snapshots.
   core::MotionDatabase motion_;
+  /// The serving world.  The pinning handle lives under worldMu_ —
+  /// held only for the pointer copy, never across scoring — while
+  /// worldHint_ carries the published adjacency's identity so the
+  /// steady-state scan path can detect "world unchanged" with one
+  /// atomic load and no lock.  The hint is only ever *compared*,
+  /// never dereferenced: a session pins the adjacency it is bound
+  /// to, so a matching address always means the same live object
+  /// (no ABA), and a stale mismatch just takes the slow path.
+  /// (libstdc++'s std::atomic<shared_ptr> is a spinlock whose load
+  /// unlocks relaxed — both slower here and a TSan report.)
+  /// Never null after construction.
+  mutable util::Mutex worldMu_;
+  std::shared_ptr<const core::WorldSnapshot> world_
+      MOLOC_GUARDED_BY(worldMu_);
+  std::atomic<const kernel::MotionAdjacency*> worldHint_{nullptr};
+  /// Publish sequence; the boot world is generation 0.
+  std::atomic<std::uint64_t> worldGeneration_{0};
   std::vector<Shard> shards_;
 
 #if MOLOC_METRICS_ENABLED
@@ -234,6 +341,8 @@ class LocalizationService {
     obs::Counter* observationsReported = nullptr;
     obs::Counter* backgroundCheckpoints = nullptr;
     obs::Counter* checkpointFailures = nullptr;
+    obs::Counter* worldPublishes = nullptr;
+    obs::Gauge* worldGeneration = nullptr;
   };
   Metrics metrics_;
 #endif
@@ -241,16 +350,24 @@ class LocalizationService {
   // Intake state.  Declared before pool_ on purpose: the pool is the
   // last member, so its destructor joins any in-flight background
   // checkpoint while everything the task touches is still alive.
-  util::Mutex intakeMu_;
+  mutable util::Mutex intakeMu_;
   core::OnlineMotionDatabase* intakeDb_ MOLOC_GUARDED_BY(intakeMu_) =
       nullptr;
-  store::StateStore* intakeStore_ MOLOC_GUARDED_BY(intakeMu_) = nullptr;
-  std::uint64_t checkpointEveryRecords_ MOLOC_GUARDED_BY(intakeMu_) = 0;
+  /// Shared so reportObservation can hand a submit to a pipeline that
+  /// a concurrent re-attach is replacing (a stopped pipeline throws
+  /// ShutdownError; it is never destroyed mid-call).
+  std::shared_ptr<IntakePipeline> pipeline_ MOLOC_GUARDED_BY(intakeMu_);
   util::Mutex checkpointWaitMu_;
   util::CondVar checkpointCv_;
-  /// Atomic rather than guarded: maybeCheckpointLocked() claims the
-  /// in-flight slot with exchange() while holding intakeMu_ only, and
-  /// the pool task clears it under checkpointWaitMu_ for the waiters.
+  /// Set by the destructor (under checkpointWaitMu_) before it wakes
+  /// and drains the checkpoint waiters.
+  bool shuttingDown_ MOLOC_GUARDED_BY(checkpointWaitMu_) = false;
+  /// Threads currently blocked in waitForCheckpoint(); the destructor
+  /// drains this to zero before tearing anything down.
+  int checkpointWaiters_ MOLOC_GUARDED_BY(checkpointWaitMu_) = 0;
+  /// Atomic rather than guarded: maybeCheckpointFromWriter() claims
+  /// the in-flight slot with exchange() on the writer thread, and the
+  /// pool task clears it under checkpointWaitMu_ for the waiters.
   std::atomic<bool> checkpointInFlight_{false};
 
   ThreadPool pool_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -60,6 +61,19 @@ class CondVar {
     std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
     cv_.wait(ul);
     ul.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  /// wait() with a relative deadline; returns false on timeout.  The
+  /// mutex is held again either way when the call returns — timeouts
+  /// only bound the sleep, they don't change the locking contract.
+  /// The intake writer thread uses this to bound snapshot staleness:
+  /// it must wake and publish even when no new observation arrives.
+  bool waitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      MOLOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(ul, timeout);
+    ul.release();  // Ownership stays with the caller's MutexLock.
+    return status == std::cv_status::no_timeout;
   }
 
   void notifyOne() { cv_.notify_one(); }

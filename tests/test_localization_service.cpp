@@ -444,16 +444,21 @@ TEST(LocalizationService, ReportObservationRequiresAttachedIntake) {
 }
 
 TEST(LocalizationService, ReportObservationFeedsTheAttachedDatabase) {
-  LocalizationService svc(twinFingerprints(), twinMotion(),
-                          testConfig(2));
+  // The database must outlive the service: the service's intake writer
+  // thread keeps applying admitted observations until detach/shutdown.
   const auto plan = intakePlan();
   core::OnlineMotionDatabase db(plan);
+  LocalizationService svc(twinFingerprints(), twinMotion(),
+                          testConfig(2));
   svc.attachIntake(&db);
 
   EXPECT_TRUE(svc.reportObservation(0, 1, 90.0, 4.0));
   EXPECT_FALSE(svc.reportObservation(0, 1, 180.0, 4.0));  // Coarse.
+  // reportObservation == admission; flushIntake is the apply barrier.
+  svc.flushIntake();
   EXPECT_EQ(db.counters().observations, 2u);
   EXPECT_EQ(db.counters().accepted, 1u);
+  EXPECT_EQ(svc.intakeStats().applied, 1u);
 }
 
 TEST(LocalizationService, BackgroundCheckpointTriggersByRecordCount) {
@@ -472,6 +477,7 @@ TEST(LocalizationService, BackgroundCheckpointTriggersByRecordCount) {
   for (int k = 0; k < 30; ++k)
     svc.reportObservation(k % 2, 1 + k % 2, 88.0 + 0.2 * (k % 9),
                           3.7 + 0.02 * (k % 11));
+  svc.flushIntake();  // All admitted observations applied + logged.
   svc.waitForCheckpoint();
   EXPECT_GE(store.lastCheckpointSeq(), 10u);
   EXPECT_EQ(store.lastSeq(), db.counters().accepted);
@@ -492,6 +498,66 @@ TEST(LocalizationService, BackgroundCheckpointTriggersByRecordCount) {
     EXPECT_EQ(a.entries[e].stats.sigmaOffsetMeters,
               b.entries[e].stats.sigmaOffsetMeters);
   }
+}
+
+TEST(LocalizationService, DestructionWakesCheckpointWaiters) {
+  // Regression: waitForCheckpoint used to block on a bare condition
+  // that nothing signalled once the service started dying, so a waiter
+  // racing ~LocalizationService hung forever.  Now the destructor
+  // raises ShutdownError in every waiter and drains them before any
+  // member is torn down.  The checkpointTestHook holds a checkpoint
+  // deterministically in flight while we stage the race.
+  const std::string dir = freshStoreDir("shutdown");
+  const auto plan = intakePlan();
+  core::OnlineMotionDatabase db(plan, {}, /*reservoirCapacity=*/4);
+  store::StoreConfig storeConfig;
+  storeConfig.wal.fsync = store::FsyncPolicy::kNone;
+  store::StateStore store(dir, storeConfig);
+
+  std::atomic<bool> hookEntered{false};
+  std::atomic<bool> hookRelease{false};
+  ServiceConfig config = testConfig(2);
+  config.checkpointTestHook = [&] {
+    hookEntered.store(true);
+    while (!hookRelease.load()) std::this_thread::yield();
+  };
+
+  auto svc = std::make_unique<LocalizationService>(
+      twinFingerprints(), twinMotion(), config);
+  svc->attachIntake(&db, &store, /*checkpointEveryRecords=*/1);
+  ASSERT_TRUE(svc->reportObservation(0, 1, 90.0, 4.0));
+  svc->flushIntake();
+  while (!hookEntered.load()) std::this_thread::yield();
+  // A checkpoint is now provably in flight and pinned there.
+
+  // The waiter must not touch the unique_ptr itself (reset() below
+  // writes its pointer word); the service object is what survives
+  // until the destructor has drained every waiter.
+  LocalizationService* const service = svc.get();
+  std::atomic<bool> waiterStarted{false};
+  std::atomic<bool> sawShutdownError{false};
+  std::thread waiter([&] {
+    waiterStarted.store(true);
+    try {
+      service->waitForCheckpoint();
+    } catch (const ShutdownError&) {
+      sawShutdownError.store(true);
+    }
+  });
+  while (!waiterStarted.load()) std::this_thread::yield();
+
+  // Release the pinned checkpoint only after the destructor has
+  // drained the waiter — proving the wake-up does not depend on the
+  // checkpoint ever completing.
+  std::thread releaser([&] {
+    while (!sawShutdownError.load()) std::this_thread::yield();
+    hookRelease.store(true);
+  });
+
+  svc.reset();  // Must not hang.
+  waiter.join();
+  releaser.join();
+  EXPECT_TRUE(sawShutdownError.load());
 }
 
 }  // namespace

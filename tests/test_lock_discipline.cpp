@@ -1,12 +1,14 @@
 // Lock-discipline stress: every lock the thread-safety annotations
 // prove statically (see src/util/thread_annotations.hpp and
 // docs/static_analysis.md) exercised together dynamically — serving
-// batches on the pool, crowdsourced intake through the WAL, and
+// batches on the pool, crowdsourced intake through the MPSC queue into
+// the single writer thread (WAL + reservoir + snapshot publishes), and
 // checkpoint waiters, all concurrently.  The suite name joins the
 // ThreadSanitizer CI job's filter, where this test is the cross-
-// subsystem deadlock/race probe: intakeMu_ → database mu_ → store mu_
-// on the intake path, checkpointMu_ → store mu_ on the checkpoint
-// path, shard/slot locks on the serving path.
+// subsystem deadlock/race probe: producers touch only the intake
+// queue lock and the database's inner mu_ (classify); the writer owns
+// writeMu_ → store mu_; serving readers take only shard/slot locks
+// plus acquire-loads of the published WorldSnapshot.
 
 #include <gtest/gtest.h>
 
@@ -107,17 +109,33 @@ TEST(LockDiscipline, ServingIntakeAndCheckpointWaitersOverlap) {
   threads.emplace_back([&svc] {
     for (int i = 0; i < kRounds; ++i) svc.waitForCheckpoint();
   });
+  // Snapshot readers: pin published worlds while the writer keeps
+  // publishing new ones; generations must be monotone per reader and
+  // a pinned world must stay internally consistent.
+  threads.emplace_back([&svc, &failures] {
+    std::uint64_t lastGeneration = 0;
+    for (int i = 0; i < 4 * kRounds; ++i) {
+      const auto world = svc.currentWorld();
+      if (!world || world->generation() < lastGeneration ||
+          world->adjacency().locationCount() !=
+              world->motion().locationCount())
+        failures.fetch_add(1);
+      if (world) lastGeneration = world->generation();
+    }
+  });
   for (auto& thread : threads) thread.join();
 
+  svc.flushIntake();  // Everything admitted is applied + published.
   svc.waitForCheckpoint();
   EXPECT_EQ(0, failures.load());
-  // Intake threads * rounds observations were offered; every accepted
-  // one must have reached the WAL (the write-ahead ordering addObservation
-  // holds its lock across).
+  // Intake threads * rounds observations were offered (classified at
+  // admission); every accepted one must have reached the WAL — the
+  // writer thread logs before it applies, in queue order.
   EXPECT_EQ(db.counters().observations,
             static_cast<std::uint64_t>(2 * kRounds));
   EXPECT_EQ(store.lastSeq(), db.counters().accepted);
   EXPECT_GT(store.lastCheckpointSeq(), 0u);
+  EXPECT_GE(svc.intakeStats().publishes, 1u);
 }
 
 }  // namespace

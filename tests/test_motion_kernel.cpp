@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/motion_database.hpp"
@@ -82,8 +84,6 @@ TEST(MotionAdjacencyTest, RebuildIndexesExactlyThePopulatedPairs) {
 
   MotionAdjacency adj;
   adj.rebuild(db);
-  EXPECT_TRUE(adj.inSyncWith(db));
-  EXPECT_EQ(adj.builtVersion(), db.version());
   EXPECT_EQ(adj.locationCount(), 4u);
   EXPECT_EQ(adj.edgeCount(), db.entryCount());
 
@@ -102,27 +102,27 @@ TEST(MotionAdjacencyTest, RebuildIndexesExactlyThePopulatedPairs) {
   EXPECT_EQ(adj.find(3, 0), nullptr);
 }
 
-TEST(MotionAdjacencyTest, VersionTracksEffectiveMutations) {
+TEST(MotionAdjacencyTest, IndexIsFrozenUntilExplicitRebuild) {
+  // The index has no link back to its source database: mutations after
+  // a build are invisible until a caller explicitly rebuilds.  This is
+  // the contract the snapshot publication path relies on.
   core::MotionDatabase db(3);
-  MotionAdjacency adj;
-  adj.syncWith(db);
-  const auto v0 = adj.builtVersion();
-  EXPECT_TRUE(adj.inSyncWith(db));
+  MotionAdjacency adj(db);
+  EXPECT_EQ(adj.locationCount(), 3u);
+  EXPECT_EQ(adj.edgeCount(), 0u);
 
   db.setEntry(0, 1, stats(90.0, 10.0, 4.0, 1.0));
-  EXPECT_FALSE(adj.inSyncWith(db));
-  adj.syncWith(db);
-  EXPECT_NE(adj.builtVersion(), v0);
-  EXPECT_EQ(adj.edgeCount(), 1u);
+  EXPECT_EQ(adj.edgeCount(), 0u);
+  EXPECT_EQ(adj.find(0, 1), nullptr);
 
-  // A no-op clear leaves the version (and the cache) alone.
-  const auto v1 = adj.builtVersion();
-  EXPECT_FALSE(db.clearEntry(2, 1));
-  EXPECT_TRUE(adj.inSyncWith(db));
+  adj.rebuild(db);
+  EXPECT_EQ(adj.edgeCount(), 1u);
+  ASSERT_NE(adj.find(0, 1), nullptr);
+  EXPECT_EQ(adj.find(0, 1)->muDirectionDeg, 90.0);
+
   EXPECT_TRUE(db.clearEntry(0, 1));
-  EXPECT_FALSE(adj.inSyncWith(db));
-  adj.syncWith(db);
-  EXPECT_NE(adj.builtVersion(), v1);
+  EXPECT_EQ(adj.edgeCount(), 1u);  // Still the frozen view.
+  adj.rebuild(db);
   EXPECT_EQ(adj.edgeCount(), 0u);
 }
 
@@ -147,10 +147,12 @@ TEST(MotionMatcherKernelTest, ScoreCandidatesMatchesSetProbabilityBitwise) {
         << "target=" << targets[c];
 }
 
-TEST(MotionMatcherKernelTest, AdjacencyRebuildsAfterOnlinePublish) {
-  // Regression for the stale-cache hazard: a matcher serving queries
-  // over an OnlineMotionDatabase must pick up entries published by a
-  // later refit, not keep scoring against the adjacency it first built.
+TEST(MotionMatcherKernelTest, RebindAdoptsNewerPublishedWorld) {
+  // The serving contract after the snapshot refactor: a matcher is a
+  // frozen view of the world it was built (or last rebound) against.
+  // Entries published to the online database later stay invisible —
+  // and the frozen scores stay bitwise-stable — until the caller
+  // rebinds to a newer snapshot's index.
   env::FloorPlan plan(12.0, 4.0);
   plan.addReferenceLocation({2.0, 2.0});
   plan.addReferenceLocation({6.0, 2.0});
@@ -158,41 +160,63 @@ TEST(MotionMatcherKernelTest, AdjacencyRebuildsAfterOnlinePublish) {
   core::BuilderConfig config;
   config.minSamplesPerPair = 3;
   core::OnlineMotionDatabase online(plan, config);
-  const core::MotionMatcher matcher(online.database());
+  core::MotionMatcher matcher(online.database());
 
   const std::vector<core::WeightedCandidate> prev{{0, 1.0}};
   const sensors::MotionMeasurement motion{90.0, 4.0};
-  // First score: no published entries yet, so the pair takes the
-  // unreachable floor.  This also builds (and would otherwise pin) the
-  // adjacency cache.
+  // No published entries yet: the pair takes the unreachable floor.
   const double before = matcher.setProbability(prev, 1, motion);
   EXPECT_EQ(before, matcher.params().unreachableFloor);
-  const auto versionBefore = matcher.adjacency().builtVersion();
 
   EXPECT_TRUE(online.addObservation(0, 1, 90.0, 4.0));
   EXPECT_TRUE(online.addObservation(0, 1, 91.0, 4.1));
   EXPECT_TRUE(online.addObservation(0, 1, 89.0, 3.9));
   ASSERT_TRUE(online.database().hasEntry(0, 1));
 
-  const double after = matcher.setProbability(prev, 1, motion);
-  EXPECT_GT(after, before);
-  EXPECT_NE(matcher.adjacency().builtVersion(), versionBefore);
-  EXPECT_EQ(matcher.adjacency().builtVersion(),
-            online.database().version());
+  // Still the frozen world: late entries do not bleed into readers.
+  EXPECT_EQ(matcher.setProbability(prev, 1, motion), before);
+
+  // Publish: freeze the database into a fresh shared index and rebind.
+  const auto published =
+      std::make_shared<const MotionAdjacency>(online.databaseCopy());
+  matcher.rebind(published);
+  EXPECT_EQ(matcher.adjacencyPtr().get(), published.get());
+  EXPECT_GT(matcher.setProbability(prev, 1, motion), before);
 }
 
-TEST(MotionMatcherKernelTest, DistinctDatabasesNeverShareVersions) {
-  // The version stamp comes from a process-wide counter, so a matcher
-  // cache can never mistake one database's state for another's — even
-  // across move-assignment replacing the database contents.
-  core::MotionDatabase a(2);
-  core::MotionDatabase b(2);
-  EXPECT_NE(a.version(), b.version());
-  MotionAdjacency adj;
-  adj.syncWith(a);
-  EXPECT_FALSE(adj.inSyncWith(b));
-  a = std::move(b);
-  EXPECT_FALSE(adj.inSyncWith(a));
+TEST(MotionMatcherKernelTest, SurvivesDatabaseDestroyAndStorageReuse) {
+  // Regression for the ABA hazard of the retired version-stamp cache:
+  // it keyed staleness on the database's *address*, so destroying a
+  // database and reusing its storage for a new one could alias a stale
+  // adjacency onto the newcomer.  A matcher now owns its index
+  // outright — it neither rereads the dead database nor confuses the
+  // replacement living at the same address.
+  std::optional<core::MotionDatabase> db;
+  db.emplace(2);
+  db->setEntry(0, 1, stats(90.0, 10.0, 4.0, 1.0));
+  const core::MotionMatcher matcher(*db);
+
+  const std::vector<core::WeightedCandidate> prev{{0, 1.0}};
+  const sensors::MotionMeasurement motion{90.0, 4.0};
+  const double before = matcher.setProbability(prev, 1, motion);
+  EXPECT_GT(before, matcher.params().unreachableFloor);
+
+  // Destroy and construct a new, *empty* database in the same storage
+  // — the exact shape that used to alias the stale cache.
+  db.emplace(2);
+  EXPECT_EQ(db->entryCount(), 0u);
+  EXPECT_EQ(matcher.setProbability(prev, 1, motion), before);
+  EXPECT_EQ(matcher.adjacency().edgeCount(), 1u);
+
+  // A matcher built from the reused storage sees the new (empty) world.
+  const core::MotionMatcher fresh(*db);
+  EXPECT_EQ(fresh.setProbability(prev, 1, motion),
+            fresh.params().unreachableFloor);
+
+  // Fully destroyed: the original matcher never dereferences its
+  // source, so scoring stays valid and bitwise-stable.
+  db.reset();
+  EXPECT_EQ(matcher.setProbability(prev, 1, motion), before);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Schema gate for the BENCH_*.json perf-trajectory snapshots.
+
+The bench binaries emit machine-readable sweeps under bench_results/
+(schema in docs/performance.md) via bench::JsonWriter, which serializes
+non-finite doubles as null so the document always parses.  This checker
+is the other half of that contract: a snapshot that *parses* but leaked
+a non-finite value into a field the trajectory tooling aggregates
+(qps, seconds, speedups, latency summaries) is still a broken data
+point — typically a divide-by-zero from a zero-duration smoke run —
+and must fail CI instead of silently polluting the trajectory.
+
+Checks, per file:
+  1. The raw text contains no bare NaN/Infinity tokens (JsonWriter
+     never emits them; their presence means hand-edited or corrupt
+     output) and parses as strict JSON.
+  2. The required envelope is present: "bench" (string) and
+     "schema_version" (finite number).
+  3. No *required numeric field*, at any nesting depth, is null or
+     non-numeric.  Required numeric fields are the aggregatable
+     measurements: seconds, qps, threads, queries, samples,
+     schema_version, ops_per_sec, every *_ns latency statistic, every
+     *_qps / speedup* / *_speedup* scaling figure, and max_speedup*.
+     (Percentile fields like p50_ms stay optional: a MOLOC_METRICS=OFF
+     build reports them as -1, and a missing histogram may null them.)
+
+Usage: check_bench_json.py [FILE...]
+Defaults to bench_results/BENCH_*.json; exits non-zero when no
+snapshot is found, so a silently-skipped bench cannot look green.
+"""
+
+import glob
+import json
+import math
+import re
+import sys
+
+REQUIRED_ENVELOPE = ("bench", "schema_version")
+
+REQUIRED_NUMERIC = [
+    re.compile(p)
+    for p in (
+        r"^(seconds|qps|threads|queries|samples|schema_version)$",
+        r"^ops_per_sec$",
+        r"_ns$",
+        r"_qps$",
+        r"^speedup",
+        r"_speedup",
+        r"^max_speedup",
+    )
+]
+
+NONFINITE_TOKEN = re.compile(r"(?<![\w\"])(NaN|-?Infinity)(?![\w\"])")
+
+
+def is_required_numeric(key):
+    return any(p.search(key) for p in REQUIRED_NUMERIC)
+
+
+def walk(node, path, errors):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if is_required_numeric(key):
+                if value is None:
+                    errors.append(
+                        f"{child}: null (a non-finite value leaked into a "
+                        "required numeric field)"
+                    )
+                elif isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    errors.append(
+                        f"{child}: expected a number, got "
+                        f"{type(value).__name__}"
+                    )
+                elif not math.isfinite(value):
+                    errors.append(f"{child}: non-finite value {value!r}")
+            walk(value, child, errors)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            walk(value, f"{path}[{index}]", errors)
+
+
+def check_file(name):
+    errors = []
+    try:
+        with open(name, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+
+    match = NONFINITE_TOKEN.search(text)
+    if match:
+        errors.append(f"bare {match.group(0)} token (invalid JSON)")
+
+    def reject_constant(token):
+        raise ValueError(f"non-finite constant {token}")
+
+    try:
+        document = json.loads(text, parse_constant=reject_constant)
+    except ValueError as exc:
+        errors.append(f"parse error: {exc}")
+        return errors
+
+    if not isinstance(document, dict):
+        errors.append("top level is not an object")
+        return errors
+    for key in REQUIRED_ENVELOPE:
+        if key not in document:
+            errors.append(f"missing required field '{key}'")
+    if "bench" in document and not isinstance(document["bench"], str):
+        errors.append("'bench' must be a string")
+
+    walk(document, "", errors)
+    return errors
+
+
+def main(argv):
+    files = argv[1:] or sorted(glob.glob("bench_results/BENCH_*.json"))
+    if not files:
+        print(
+            "check_bench_json: no BENCH_*.json snapshots found "
+            "(did the bench binaries run?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    status = 0
+    for name in files:
+        errors = check_file(name)
+        if errors:
+            status = 1
+            print(f"check_bench_json: FAIL {name}", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+        else:
+            print(f"check_bench_json: ok {name}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,6 +20,15 @@
 #                 stack reports through obs:: and typed errors; stray
 #                 stream writes are unsynchronized and invisible to
 #                 operators.
+#   online-mutation
+#                 addObservation/applyAccepted calls on an
+#                 OnlineMotionDatabase from src/core or src/service
+#                 outside the database itself and the intake writer
+#                 (service/intake.*) — the serving stack's WAL-order
+#                 and publish guarantees hold only while the pipeline's
+#                 single writer thread is the sole mutator
+#                 (docs/serving.md).  Offline paths (eval, store
+#                 recovery) are out of scope: they run before serving.
 #
 # A genuine exception gets `// lint:allow(<rule>): <why>` on the same
 # line; the reason is mandatory by convention and reviewed like any
@@ -65,6 +74,13 @@ check naked-new '\bnew +[A-Za-z_:][A-Za-z0-9_:<>]*[ ({[]|\bnew +[A-Za-z_:][A-Za-
 check rand '\b(std::)?s?rand *\(' "${all_src[@]}"
 
 check cout 'std::(cout|cerr)\b' "${all_src[@]}"
+
+mapfile -t writer_scope < <(printf '%s\n' "${all_src[@]}" |
+  grep -E '^src/(core|service)/' |
+  grep -vE '^src/(core/online_motion_database|service/intake)\.')
+
+check online-mutation '(\.|->) *(addObservation|applyAccepted) *\(' \
+  "${writer_scope[@]}"
 
 if [ "$fail" -ne 0 ]; then
   echo
