@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "io/serialization.hpp"
+#include "net/wire.hpp"
 #include "store/checkpoint.hpp"
 #include "store/format.hpp"
 #include "store/wal.hpp"
@@ -253,6 +254,80 @@ int runCsvParse(const std::uint8_t* data, std::size_t size) {
   const auto reparsed = util::parseCsv(rewritten);
   if (reparsed != rows)
     invariantFailed("csv", "parse/serialize/parse changed the rows");
+  return 0;
+}
+
+namespace {
+
+/// Decode + canonical re-encode of one CRC-valid frame's payload.
+/// Returns the re-encoded *frame*; the caller compares payloads.
+std::string reencodeWireFrame(const net::Frame& frame) {
+  using net::MsgType;
+  switch (frame.type) {
+    case MsgType::kLocalize:
+      return encodeLocalizeRequest(
+          net::decodeLocalizeRequest(frame.payload));
+    case MsgType::kLocalizeBatch:
+      return encodeLocalizeBatchRequest(
+          net::decodeLocalizeBatchRequest(frame.payload));
+    case MsgType::kReportObservation:
+      return encodeReportObservationRequest(
+          net::decodeReportObservationRequest(frame.payload));
+    case MsgType::kFlush:
+      return encodeFlushRequest(net::decodeFlushRequest(frame.payload));
+    case MsgType::kStats:
+      return encodeStatsRequest(net::decodeStatsRequest(frame.payload));
+    case MsgType::kLocalizeResponse:
+      return encodeLocalizeResponse(
+          net::decodeLocalizeResponse(frame.payload));
+    case MsgType::kLocalizeBatchResponse:
+      return encodeLocalizeBatchResponse(
+          net::decodeLocalizeBatchResponse(frame.payload));
+    case MsgType::kReportObservationResponse:
+      return encodeReportObservationResponse(
+          net::decodeReportObservationResponse(frame.payload));
+    case MsgType::kFlushResponse:
+      return encodeFlushResponse(net::decodeFlushResponse(frame.payload));
+    case MsgType::kStatsResponse:
+      return encodeStatsResponse(net::decodeStatsResponse(frame.payload));
+  }
+  invariantFailed("wire", "assembler yielded an unknown message type");
+}
+
+}  // namespace
+
+int runWireDecode(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+
+  // Feed in small chunks with draining between them, so the fuzzer
+  // also explores the assembler's buffering/compaction paths, not just
+  // one-shot parses.
+  net::FrameAssembler assembler;
+  const char* bytes = reinterpret_cast<const char*>(data);
+  constexpr std::size_t kChunk = 7;
+  net::Frame frame;
+  for (std::size_t offset = 0; offset < size; offset += kChunk) {
+    assembler.feed(bytes + offset,
+                   offset + kChunk <= size ? kChunk : size - offset);
+    try {
+      while (assembler.next(frame)) {
+        try {
+          const std::string reframed = reencodeWireFrame(frame);
+          const std::string_view payload(
+              reframed.data() + net::kHeaderBytes,
+              reframed.size() - net::kHeaderBytes - net::kTrailerBytes);
+          if (payload != frame.payload)
+            invariantFailed("wire",
+                            "decode/encode changed an accepted payload");
+        } catch (const net::ProtocolError&) {
+          // Malformed payload inside a CRC-valid frame: a documented
+          // per-message rejection; the stream itself stays in sync.
+        }
+      }
+    } catch (const net::ProtocolError&) {
+      return 0;  // Framing damage: the connection would be dropped.
+    }
+  }
   return 0;
 }
 

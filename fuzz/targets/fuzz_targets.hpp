@@ -43,4 +43,12 @@ int runSerializationLoad(const std::uint8_t* data, std::size_t size);
 /// RFC 4180 re-serialization to identical rows.
 int runCsvParse(const std::uint8_t* data, std::size_t size);
 
+/// net::FrameAssembler + the message decoders over one connection's
+/// byte stream, fed in small chunks to exercise reassembly.  Framing
+/// and payload rejections must be net::ProtocolError; every accepted
+/// payload must re-encode to the identical bytes (the encoding is
+/// canonical — fixed little-endian fields and raw f64 bits leave no
+/// slack).
+int runWireDecode(const std::uint8_t* data, std::size_t size);
+
 }  // namespace moloc::fuzz

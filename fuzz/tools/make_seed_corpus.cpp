@@ -22,6 +22,7 @@
 #include "core/online_motion_database.hpp"
 #include "env/floor_plan.hpp"
 #include "io/serialization.hpp"
+#include "net/wire.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "radio/probabilistic_database.hpp"
 #include "store/checkpoint.hpp"
@@ -223,6 +224,98 @@ void makeSerializationSeeds(const fs::path& root) {
 
 }  // namespace
 
+/// Wire-protocol seeds: one of each message through the real
+/// encoders, a pipelined stream, and regressions for the frame-level
+/// damage modes the decoder must keep rejecting without crashing.
+void makeWireSeeds(const fs::path& root) {
+  using namespace moloc::net;
+
+  WireScan scan;
+  scan.sessionId = 42;
+  scan.scan = moloc::radio::Fingerprint({-50.0, -60.0, -71.5});
+  scan.imu = moloc::sensors::ImuTrace(50.0);
+  for (int i = 0; i < 4; ++i)
+    scan.imu.append({i / 50.0, 9.81 + 0.25 * i, 90.0 + i, -1.5 * i});
+
+  LocalizeRequest localize;
+  localize.tag = 1;
+  localize.scan = scan;
+  writeFile(root / "wire/localize.bin", encodeLocalizeRequest(localize));
+
+  LocalizeBatchRequest batch;
+  batch.tag = 2;
+  batch.scans = {scan, scan};
+  writeFile(root / "wire/localize-batch.bin",
+            encodeLocalizeBatchRequest(batch));
+
+  ReportObservationRequest report;
+  report.tag = 3;
+  report.start = 0;
+  report.end = 1;
+  report.directionDeg = 90.0;
+  report.offsetMeters = 4.0;
+  writeFile(root / "wire/report-observation.bin",
+            encodeReportObservationRequest(report));
+
+  LocalizeResponse okResponse;
+  okResponse.tag = 4;
+  okResponse.estimate.location = 3;
+  okResponse.estimate.probability = 0.75;
+  okResponse.estimate.candidates = {{3, 0.75}, {1, 0.25}};
+  writeFile(root / "wire/localize-response.bin",
+            encodeLocalizeResponse(okResponse));
+
+  FlushResponse errResponse;
+  errResponse.tag = 5;
+  errResponse.status = Status::kShuttingDown;
+  errResponse.message = "drain in progress";
+  writeFile(root / "wire/flush-response-error.bin",
+            encodeFlushResponse(errResponse));
+
+  // A pipelined stream: three frames back to back, as a real
+  // connection produces.
+  StatsRequest stats;
+  stats.tag = 6;
+  writeFile(root / "wire/pipelined-stream.bin",
+            encodeFlushRequest({7}) + encodeStatsRequest(stats) +
+                encodeReportObservationRequest(report));
+
+  // Regressions: every frame-level damage mode must stay a typed
+  // rejection, never a crash or over-read.
+  std::string badCrc = encodeStatsRequest({8});
+  badCrc[badCrc.size() - 1] ^= 0x01;
+  writeFile(root / "regressions/wire/bad-crc.bin", badCrc);
+
+  std::string badMagic = encodeFlushRequest({9});
+  badMagic[0] ^= 0x01;
+  writeFile(root / "regressions/wire/bad-magic.bin", badMagic);
+
+  // A CRC-valid frame whose payload claims 2^32-1 batch scans: the
+  // count must be rejected arithmetically before any allocation.
+  std::string hostileCount;
+  putU64(hostileCount, 10);
+  putU32(hostileCount, 0xFFFFFFFFu);
+  writeFile(root / "regressions/wire/hostile-count.bin",
+            encodeFrame(MsgType::kLocalizeBatch, hostileCount));
+
+  // A CRC-valid Localize whose IMU sample rate is negative: domain
+  // validation must surface as a malformed-payload rejection.
+  std::string badRate;
+  putU64(badRate, 11);   // tag
+  putU64(badRate, 1);    // sessionId
+  putU32(badRate, 0);    // apCount
+  putF64(badRate, -50.0);
+  putU32(badRate, 0);    // sampleCount
+  writeFile(root / "regressions/wire/negative-sample-rate.bin",
+            encodeFrame(MsgType::kLocalize, badRate));
+
+  // A torn tail: a valid frame cut mid-payload (a peer that died
+  // mid-send); the assembler must keep waiting, not misparse.
+  const std::string torn = encodeLocalizeRequest(localize);
+  writeFile(root / "regressions/wire/torn-frame.bin",
+            torn.substr(0, torn.size() - 9));
+}
+
 int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
@@ -232,5 +325,6 @@ int main(int argc, char** argv) {
   makeWalSeeds(root);
   makeCheckpointSeeds(root);
   makeSerializationSeeds(root);
+  makeWireSeeds(root);
   return 0;
 }

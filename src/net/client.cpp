@@ -1,0 +1,114 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/socket.hpp"
+#include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
+
+namespace moloc::net {
+
+namespace {
+
+/// The response to `tag` must carry `expected`; anything else means
+/// the stream lost sync with our pipelining.
+void expectType(const Frame& frame, MsgType expected) {
+  if (frame.type != expected)
+    throw ProtocolError(
+        WireFault::kBadType,
+        "unexpected response type " +
+            std::to_string(static_cast<unsigned>(frame.type)));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(connectTo(host, port)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(std::string_view frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = util::retryEintr([&] {
+      return ::send(fd_, frame.data() + sent, frame.size() - sent,
+                    MSG_NOSIGNAL);
+    });
+    if (n <= 0)
+      throw NetError("send failed: " + util::errnoMessage(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::recvFrame() {
+  Frame frame;
+  while (!assembler_.next(frame)) {
+    char buf[16384];
+    const ssize_t n =
+        util::retryEintr([&] { return ::recv(fd_, buf, sizeof buf, 0); });
+    if (n == 0) throw NetError("connection closed by server");
+    if (n < 0)
+      throw NetError("recv failed: " + util::errnoMessage(errno));
+    assembler_.feed(buf, static_cast<std::size_t>(n));
+  }
+  return frame;
+}
+
+LocalizeResponse Client::localize(std::uint64_t tag,
+                                  std::uint64_t sessionId,
+                                  const radio::Fingerprint& scan,
+                                  const sensors::ImuTrace& imu) {
+  LocalizeRequest request;
+  request.tag = tag;
+  request.scan = {sessionId, scan, imu};
+  send(encodeLocalizeRequest(request));
+  const Frame frame = recvFrame();
+  expectType(frame, MsgType::kLocalizeResponse);
+  return decodeLocalizeResponse(frame.payload);
+}
+
+LocalizeBatchResponse Client::localizeBatch(
+    const LocalizeBatchRequest& request) {
+  send(encodeLocalizeBatchRequest(request));
+  const Frame frame = recvFrame();
+  expectType(frame, MsgType::kLocalizeBatchResponse);
+  return decodeLocalizeBatchResponse(frame.payload);
+}
+
+ReportObservationResponse Client::reportObservation(
+    std::uint64_t tag, std::int32_t start, std::int32_t end,
+    double directionDeg, double offsetMeters) {
+  ReportObservationRequest request;
+  request.tag = tag;
+  request.start = start;
+  request.end = end;
+  request.directionDeg = directionDeg;
+  request.offsetMeters = offsetMeters;
+  send(encodeReportObservationRequest(request));
+  const Frame frame = recvFrame();
+  expectType(frame, MsgType::kReportObservationResponse);
+  return decodeReportObservationResponse(frame.payload);
+}
+
+FlushResponse Client::flush(std::uint64_t tag) {
+  send(encodeFlushRequest(FlushRequest{tag}));
+  const Frame frame = recvFrame();
+  expectType(frame, MsgType::kFlushResponse);
+  return decodeFlushResponse(frame.payload);
+}
+
+StatsResponse Client::stats(std::uint64_t tag) {
+  send(encodeStatsRequest(StatsRequest{tag}));
+  const Frame frame = recvFrame();
+  expectType(frame, MsgType::kStatsResponse);
+  return decodeStatsResponse(frame.payload);
+}
+
+void Client::shutdownWrites() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace moloc::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.hpp"
+
+namespace moloc::net {
+
+/// A blocking molocd client over one TCP connection — the building
+/// block of moloc_loadgen and the loopback tests.
+///
+/// Two usage styles:
+///   - Synchronous helpers (localize(), reportObservation(), ...):
+///     one request, wait for its response.
+///   - Pipelined: send any number of frames with send(), then collect
+///     responses with recvFrame(); the server answers in request
+///     order and echoes each request's tag.
+///
+/// Not thread-safe; use one Client per thread (molocd gives every
+/// connection its own session affinity anyway).
+class Client {
+ public:
+  /// Connects immediately.  Throws NetError on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one already-encoded frame (use the wire.hpp encoders).
+  void send(std::string_view frame);
+
+  /// Blocks until one complete frame arrives.  Throws NetError when
+  /// the server closes the connection first and ProtocolError on a
+  /// malformed response stream.
+  Frame recvFrame();
+
+  LocalizeResponse localize(std::uint64_t tag, std::uint64_t sessionId,
+                            const radio::Fingerprint& scan,
+                            const sensors::ImuTrace& imu);
+  LocalizeBatchResponse localizeBatch(const LocalizeBatchRequest& request);
+  ReportObservationResponse reportObservation(std::uint64_t tag,
+                                              std::int32_t start,
+                                              std::int32_t end,
+                                              double directionDeg,
+                                              double offsetMeters);
+  FlushResponse flush(std::uint64_t tag);
+  StatsResponse stats(std::uint64_t tag);
+
+  /// Half-closes the write side (the server sees a clean EOF and
+  /// drains what it owes us); recvFrame() keeps working.
+  void shutdownWrites();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  FrameAssembler assembler_;
+};
+
+}  // namespace moloc::net

@@ -1,0 +1,165 @@
+// molocd: the MoLoc network serving daemon.
+//
+// Stands up an ExperimentWorld (the paper's office hall, fully
+// determined by --seed), wraps it in a LocalizationService with the
+// crowdsourcing intake attached, and serves the binary wire protocol
+// (src/net/wire.hpp) over TCP until SIGTERM/SIGINT — at which point it
+// drains gracefully: stop accepting, answer every request already
+// received, flush the intake durably, exit 0.
+//
+// A load generator built from the same --seed produces bit-identical
+// worlds, which is what lets moloc_loadgen verify network-served
+// estimates byte-for-byte against in-process results.
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/online_motion_database.hpp"
+#include "eval/experiment_world.hpp"
+#include "net/server.hpp"
+#include "service/intake.hpp"
+#include "service/localization_service.hpp"
+#include "store/state_store.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+// Signal handlers may only touch this pointer; requestStop() is
+// async-signal-safe (atomic store + pipe write).
+moloc::net::Server* g_server = nullptr;
+
+void handleStopSignal(int) {
+  if (g_server != nullptr) g_server->requestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace moloc;
+
+  util::ArgParser args(
+      "molocd: MoLoc localization daemon serving the binary wire "
+      "protocol over TCP (see docs/serving.md)");
+  args.addOption("host", "127.0.0.1", "IPv4 address to bind");
+  args.addOption("port", "0", "TCP port (0 picks an ephemeral port)");
+  args.addOption("net-threads", "2", "request worker threads");
+  args.addOption("threads", "0",
+                 "service batch threads (0 = hardware concurrency)");
+  args.addOption("shards", "16", "session map shards");
+  args.addOption("seed", "42", "world seed (loadgen must match)");
+  args.addOption("ap-count", "6", "access points in the world (4-6)");
+  args.addOption("wal-dir", "",
+                 "durable store directory for the intake WAL "
+                 "(empty = in-memory intake only)");
+  args.addOption("checkpoint-every", "0",
+                 "background checkpoint cadence in records "
+                 "(0 = off; requires --wal-dir)");
+  args.addOption("port-file", "",
+                 "write the bound port to this file once listening");
+  args.addSwitch("no-intake",
+                 "serve localization only; ReportObservation/Flush "
+                 "answer BAD_REQUEST");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "molocd: %s\n%s", e.what(),
+                 args.usage().c_str());
+    return 2;
+  }
+
+  // A dead client between poll() and send() must surface as EPIPE on
+  // that one socket (handled as a clean disconnect), never as a
+  // process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    eval::WorldConfig worldConfig;
+    worldConfig.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    worldConfig.apCount = args.getInt("ap-count");
+    const eval::ExperimentWorld world(worldConfig);
+
+    // Declared before the service: attachIntake requires the database
+    // and store to outlive it (the intake writer joins in the
+    // service's destructor).
+    std::unique_ptr<store::StateStore> stateStore;
+    std::unique_ptr<core::OnlineMotionDatabase> intakeDb;
+
+    service::ServiceConfig serviceConfig;
+    serviceConfig.threadCount =
+        static_cast<std::size_t>(args.getInt("threads"));
+    serviceConfig.shardCount =
+        static_cast<std::size_t>(args.getInt("shards"));
+    service::LocalizationService service(world.fingerprintDb(),
+                                         world.motionDb(), serviceConfig);
+
+    if (!args.getSwitch("no-intake")) {
+      intakeDb = std::make_unique<core::OnlineMotionDatabase>(
+          world.hall().plan);
+      const std::string walDir = args.getString("wal-dir");
+      if (!walDir.empty())
+        stateStore = std::make_unique<store::StateStore>(walDir);
+      service.attachIntake(
+          intakeDb.get(), stateStore.get(),
+          static_cast<std::uint64_t>(args.getInt("checkpoint-every")));
+    }
+
+    net::ServerConfig netConfig;
+    netConfig.host = args.getString("host");
+    netConfig.port = static_cast<std::uint16_t>(args.getInt("port"));
+    netConfig.workerThreads =
+        static_cast<std::size_t>(args.getInt("net-threads"));
+    netConfig.drainHook = [&service] {
+      // Part of the SIGTERM contract: every observation admitted
+      // before the drain is durably applied and published.  A service
+      // without intake (or one already shutting down) has nothing to
+      // flush.
+      try {
+        service.flushIntake();
+      } catch (const std::logic_error&) {
+      } catch (const service::ShutdownError&) {
+      }
+    };
+    net::Server server(service, netConfig);
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("molocd: serving %s:%u (seed %llu, %d APs, intake %s)\n",
+                netConfig.host.c_str(), unsigned{server.port()},
+                static_cast<unsigned long long>(worldConfig.seed),
+                worldConfig.apCount,
+                args.getSwitch("no-intake") ? "off" : "on");
+    std::fflush(stdout);
+    const std::string portFile = args.getString("port-file");
+    if (!portFile.empty()) {
+      std::FILE* f = std::fopen(portFile.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "molocd: cannot write port file '%s'\n",
+                     portFile.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%u\n", unsigned{server.port()});
+      std::fclose(f);
+    }
+
+    server.waitUntilStopped();
+    g_server = nullptr;
+
+    const net::ServerStats stats = server.stats();
+    std::printf(
+        "molocd: drained (served %llu requests, %llu connections, "
+        "%llu clean disconnects, %llu overloads, %llu protocol "
+        "errors)\n",
+        static_cast<unsigned long long>(stats.requestsServed),
+        static_cast<unsigned long long>(stats.connectionsAccepted),
+        static_cast<unsigned long long>(stats.cleanDisconnects),
+        static_cast<unsigned long long>(stats.overloadRejections),
+        static_cast<unsigned long long>(stats.protocolErrors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "molocd: fatal: %s\n", e.what());
+    return 1;
+  }
+}

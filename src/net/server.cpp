@@ -1,0 +1,519 @@
+#include "net/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "service/intake.hpp"
+#include "service/localization_service.hpp"
+#include "store/format.hpp"
+#include "util/retry_eintr.hpp"
+
+namespace moloc::net {
+
+namespace {
+
+/// Best-effort tag for an error reply when the payload itself failed
+/// to decode: every message begins with the u64 tag, so echo it when
+/// at least that much arrived.
+std::uint64_t peekTag(const std::string& payload) {
+  if (payload.size() < 8) return 0;
+  store::detail::Cursor cursor(payload.data(), payload.size());
+  return cursor.readU64();
+}
+
+std::size_t resolveWorkers(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+Server::Server(service::LocalizationService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  const Listener listener = listenOn(config_.host, config_.port);
+  listenFd_ = listener.fd;
+  port_ = listener.port;
+  if (::pipe2(wakePipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(listenFd_);
+    throw NetError("cannot create wakeup pipe");
+  }
+  workers_ = std::make_unique<service::ThreadPool>(
+      resolveWorkers(config_.workerThreads));
+  loop_ = std::thread([this] { loop(); });
+}
+
+Server::~Server() {
+  requestStop();
+  waitUntilStopped();
+  // The loop closed every connection socket and the listener; only the
+  // wake pipe remains.
+  ::close(wakePipe_[0]);
+  ::close(wakePipe_[1]);
+}
+
+void Server::requestStop() {
+  // Async-signal-safe: an atomic store plus a pipe write, retried only
+  // on EINTR (a plain loop, still signal-safe).  EAGAIN on a full pipe
+  // is fine — a wakeup token is already pending.
+  stopRequested_.store(true, std::memory_order_release);
+  const char token = 's';
+  [[maybe_unused]] const ssize_t rc =
+      util::retryEintr([&] { return ::write(wakePipe_[1], &token, 1); });
+}
+
+void Server::waitUntilStopped() {
+  if (loop_.joinable()) loop_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requestsServed = requestsServed_.load(std::memory_order_relaxed);
+  s.connectionsAccepted =
+      connectionsAccepted_.load(std::memory_order_relaxed);
+  s.cleanDisconnects = cleanDisconnects_.load(std::memory_order_relaxed);
+  s.overloadRejections =
+      overloadRejections_.load(std::memory_order_relaxed);
+  s.protocolErrors = protocolErrors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::wakeLoop() {
+  const char token = 'w';
+  [[maybe_unused]] const ssize_t rc =
+      util::retryEintr([&] { return ::write(wakePipe_[1], &token, 1); });
+}
+
+void Server::loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  bool listenerOpen = true;
+  for (;;) {
+    const bool stopping = stopRequested_.load(std::memory_order_acquire);
+    if (stopping && listenerOpen) {
+      // Adopt connections the kernel already completed into the accept
+      // backlog: a peer that connected (and possibly sent requests)
+      // before the stop is in-flight work, and closing the listener
+      // over its head would RST it unanswered.  New connect attempts
+      // after the close are refused, which is the drain contract.
+      acceptReady();
+      ::close(listenFd_);
+      listenFd_ = -1;
+      listenerOpen = false;
+    }
+
+    // Reap: a connection leaves once it is fully idle — every decoded
+    // request answered and every response byte flushed (or the socket
+    // died).  During drain this is exactly "no in-flight work left",
+    // where in-flight includes requests the kernel has already
+    // delivered but the loop has not read yet: a client that pipelined
+    // a burst just before SIGTERM still gets every answer, so the
+    // final read below is the drain's cutoff point, not the stop flag.
+    std::vector<std::pair<int, bool>> toClose;  // fd, cleanDisconnect
+    for (const auto& [fd, conn] : connections_) {
+      if (conn->dead) {
+        toClose.emplace_back(fd, true);
+        continue;
+      }
+      bool idle = false;
+      {
+        const util::MutexLock lock(conn->mu);
+        idle = conn->pending.empty() && !conn->processing &&
+               conn->outbuf.empty();
+      }
+      if (!idle) continue;
+      if (conn->inputClosed) {
+        toClose.emplace_back(fd, true);
+        continue;
+      }
+      if (!stopping) continue;
+      readReady(conn);  // Drain cutoff: pull what is already delivered.
+      if (conn->dead) {
+        toClose.emplace_back(fd, true);
+        continue;
+      }
+      {
+        const util::MutexLock lock(conn->mu);
+        idle = conn->pending.empty() && !conn->processing &&
+               conn->outbuf.empty();
+      }
+      // A part-received frame (buffered bytes) means the peer is mid-
+      // send; give it the next poll rounds to finish.
+      if (idle && conn->assembler.buffered() == 0)
+        toClose.emplace_back(fd, conn->inputClosed);
+    }
+    for (const auto& [fd, clean] : toClose) closeConnection(fd, clean);
+
+    if (stopping && connections_.empty()) break;
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wakePipe_[0], POLLIN, 0});
+    if (listenerOpen && connections_.size() < config_.maxConnections)
+      fds.push_back({listenFd_, POLLIN, 0});
+    const std::size_t firstConnIndex = fds.size();
+    for (const auto& [fd, conn] : connections_) {
+      short events = 0;
+      bool wantWrite = false;
+      bool paused = false;
+      {
+        const util::MutexLock lock(conn->mu);
+        wantWrite = !conn->outbuf.empty();
+        // Flow control with hysteresis: pause reads past the pipelining
+        // or write-queue bound, resume below half.
+        const std::size_t lowRequests = config_.maxPipelinedRequests / 2;
+        const std::size_t lowBytes = config_.maxWriteQueueBytes / 2;
+        if (conn->pausedReads)
+          paused = conn->pending.size() > lowRequests ||
+                   conn->outbuf.size() > lowBytes;
+        else
+          paused = conn->pending.size() >= config_.maxPipelinedRequests ||
+                   conn->outbuf.size() >= config_.maxWriteQueueBytes;
+      }
+      conn->pausedReads = paused;
+      // Reads stay enabled during drain: requests already delivered
+      // (or mid-frame) are still served; the reap pass above decides
+      // when a connection has truly gone quiet.
+      if (!conn->inputClosed && !conn->dead && !paused) events |= POLLIN;
+      if (wantWrite && !conn->dead) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    const int ready = util::retryEintr(
+        [&] { return ::poll(fds.data(), fds.size(), 100); });
+    if (ready < 0) continue;  // transient poll failure; re-evaluate
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (util::retryEintr([&] {
+               return ::read(wakePipe_[0], drain, sizeof drain);
+             }) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < firstConnIndex; ++i)
+      if ((fds[i].revents & POLLIN) != 0) acceptReady();
+    for (std::size_t i = firstConnIndex; i < fds.size(); ++i) {
+      const auto& conn = polled[i - firstConnIndex];
+      const short revents = fds[i].revents;
+      if (conn->dead) continue;
+      if ((revents & POLLOUT) != 0) writeReady(conn);
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          (fds[i].events & POLLIN) != 0)
+        readReady(conn);
+    }
+  }
+
+  // Every in-flight response is flushed and every socket closed; make
+  // admitted observations durable and published before reporting
+  // ourselves stopped.
+  if (config_.drainHook) config_.drainHook();
+  loopExited_.store(true, std::memory_order_release);
+}
+
+void Server::acceptReady() {
+  for (;;) {
+    if (connections_.size() >= config_.maxConnections) return;
+    const int fd = util::retryEintr([&] {
+      return ::accept4(listenFd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    });
+    if (fd < 0) return;  // EAGAIN or transient accept failure
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace(fd, std::make_shared<Connection>(fd));
+    connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::readReady(const std::shared_ptr<Connection>& conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = util::retryEintr(
+        [&] { return ::recv(conn->fd, buf, sizeof buf, 0); });
+    if (n > 0) {
+      conn->assembler.feed(buf, static_cast<std::size_t>(n));
+      try {
+        Frame frame;
+        while (conn->assembler.next(frame)) {
+          if ((static_cast<std::uint8_t>(frame.type) & 0x80u) != 0)
+            throw ProtocolError(WireFault::kBadType,
+                                "response-typed frame from client");
+          {
+            const util::MutexLock lock(conn->mu);
+            conn->pending.push_back(std::move(frame));
+          }
+          scheduleProcessing(conn);
+        }
+      } catch (const ProtocolError&) {
+        // Framing-level damage desynchronizes the byte stream; there
+        // is no safe resync point, so count it and drop the peer.
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        conn->dead = true;
+        return;
+      }
+      // Honor flow control mid-burst: stop pulling more bytes once
+      // this read filled the pipeline bound.
+      bool paused = false;
+      {
+        const util::MutexLock lock(conn->mu);
+        paused = conn->pending.size() >= config_.maxPipelinedRequests;
+      }
+      if (paused) return;
+      continue;
+    }
+    if (n == 0) {  // orderly peer shutdown
+      conn->inputClosed = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    // ECONNRESET and friends: the peer vanished — a clean disconnect
+    // by this server's contract, never a reason to crash.
+    conn->dead = true;
+    return;
+  }
+}
+
+void Server::writeReady(const std::shared_ptr<Connection>& conn) {
+  std::string chunk;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->outbuf.empty()) return;
+    chunk.swap(conn->outbuf);
+  }
+  std::size_t sent = 0;
+  while (sent < chunk.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE
+    // (molocd additionally ignores SIGPIPE process-wide).
+    const ssize_t n = util::retryEintr([&] {
+      return ::send(conn->fd, chunk.data() + sent, chunk.size() - sent,
+                    MSG_NOSIGNAL);
+    });
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE / ECONNRESET: clean disconnect, drop the rest.
+    conn->dead = true;
+    return;
+  }
+  if (sent < chunk.size()) {
+    const util::MutexLock lock(conn->mu);
+    // Workers may have appended while we were sending; keep order.
+    conn->outbuf.insert(0, chunk, sent, chunk.size() - sent);
+  }
+}
+
+void Server::scheduleProcessing(const std::shared_ptr<Connection>& conn) {
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->processing || conn->pending.empty()) return;
+    conn->processing = true;
+  }
+  workers_->submit([this, conn] { processPending(conn); });
+}
+
+void Server::processPending(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Frame frame;
+    {
+      const util::MutexLock lock(conn->mu);
+      if (conn->pending.empty()) {
+        conn->processing = false;
+        break;
+      }
+      frame = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    std::string response = handleFrame(frame);
+    {
+      const util::MutexLock lock(conn->mu);
+      conn->outbuf += response;
+    }
+    wakeLoop();  // a response is ready; enable POLLOUT
+  }
+  wakeLoop();  // re-evaluate flow control / reap conditions
+}
+
+namespace {
+
+struct Failure {
+  Status status = Status::kInternalError;
+  std::string message;
+  bool protocolFault = false;
+  bool overload = false;
+};
+
+Failure classifyFailure(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const ProtocolError& e) {
+    return {Status::kBadRequest, e.what(), true, false};
+  } catch (const service::BackpressureError& e) {
+    return {Status::kOverloaded, e.what(), false, true};
+  } catch (const service::ShutdownError& e) {
+    return {Status::kShuttingDown, e.what(), false, false};
+  } catch (const std::logic_error& e) {
+    // std::invalid_argument (bad scan, unknown location) and the
+    // "no intake attached" logic_error both mean the request itself
+    // was unserviceable.
+    return {Status::kBadRequest, e.what(), false, false};
+  } catch (const std::exception& e) {
+    return {Status::kInternalError, e.what(), false, false};
+  }
+}
+
+}  // namespace
+
+std::string Server::handleFrame(const Frame& frame) {
+  requestsServed_.fetch_add(1, std::memory_order_relaxed);
+  switch (frame.type) {
+    case MsgType::kLocalize:
+      return handleLocalize(frame);
+    case MsgType::kLocalizeBatch:
+      return handleLocalizeBatch(frame);
+    case MsgType::kReportObservation:
+      return handleReportObservation(frame);
+    case MsgType::kFlush:
+      return handleFlush(frame);
+    case MsgType::kStats:
+      return handleStats(frame);
+    default: {  // unreachable: readReady rejects response-typed frames
+      FlushResponse resp;
+      resp.tag = peekTag(frame.payload);
+      resp.status = Status::kBadRequest;
+      resp.message = "unexpected message type";
+      return encodeFlushResponse(resp);
+    }
+  }
+}
+
+std::string Server::handleLocalize(const Frame& frame) {
+  LocalizeResponse resp;
+  resp.tag = peekTag(frame.payload);
+  try {
+    const LocalizeRequest req = decodeLocalizeRequest(frame.payload);
+    resp.tag = req.tag;
+    resp.estimate = service_.submitScan(req.scan.sessionId, req.scan.scan,
+                                        req.scan.imu);
+  } catch (...) {
+    const Failure f = classifyFailure(std::current_exception());
+    resp.status = f.status;
+    resp.message = f.message;
+    if (f.protocolFault)
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (f.overload)
+      overloadRejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return encodeLocalizeResponse(resp);
+}
+
+std::string Server::handleLocalizeBatch(const Frame& frame) {
+  LocalizeBatchResponse resp;
+  resp.tag = peekTag(frame.payload);
+  try {
+    const LocalizeBatchRequest req =
+        decodeLocalizeBatchRequest(frame.payload);
+    resp.tag = req.tag;
+    std::vector<service::ScanRequest> batch;
+    batch.reserve(req.scans.size());
+    for (const auto& scan : req.scans)
+      batch.push_back({scan.sessionId, scan.scan, scan.imu});
+    resp.estimates = service_.localizeBatch(batch);
+  } catch (...) {
+    const Failure f = classifyFailure(std::current_exception());
+    resp.status = f.status;
+    resp.message = f.message;
+    resp.estimates.clear();
+    if (f.protocolFault)
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (f.overload)
+      overloadRejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return encodeLocalizeBatchResponse(resp);
+}
+
+std::string Server::handleReportObservation(const Frame& frame) {
+  ReportObservationResponse resp;
+  resp.tag = peekTag(frame.payload);
+  try {
+    const ReportObservationRequest req =
+        decodeReportObservationRequest(frame.payload);
+    resp.tag = req.tag;
+    resp.accepted = service_.reportObservation(
+        req.start, req.end, req.directionDeg, req.offsetMeters);
+  } catch (...) {
+    const Failure f = classifyFailure(std::current_exception());
+    resp.status = f.status;
+    resp.message = f.message;
+    if (f.protocolFault)
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (f.overload)
+      overloadRejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return encodeReportObservationResponse(resp);
+}
+
+std::string Server::handleFlush(const Frame& frame) {
+  FlushResponse resp;
+  resp.tag = peekTag(frame.payload);
+  try {
+    const FlushRequest req = decodeFlushRequest(frame.payload);
+    resp.tag = req.tag;
+    service_.flushIntake();
+  } catch (...) {
+    const Failure f = classifyFailure(std::current_exception());
+    resp.status = f.status;
+    resp.message = f.message;
+    if (f.protocolFault)
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return encodeFlushResponse(resp);
+}
+
+std::string Server::handleStats(const Frame& frame) {
+  StatsResponse resp;
+  resp.tag = peekTag(frame.payload);
+  try {
+    const StatsRequest req = decodeStatsRequest(frame.payload);
+    resp.tag = req.tag;
+    resp.stats = stats();
+    resp.stats.sessions = service_.sessionCount();
+    resp.stats.worldGeneration = service_.currentWorld()->generation();
+    try {
+      resp.stats.intakeApplied = service_.intakeStats().applied;
+    } catch (const std::logic_error&) {
+      resp.stats.intakeApplied = 0;  // no intake attached
+    }
+  } catch (...) {
+    const Failure f = classifyFailure(std::current_exception());
+    resp.status = f.status;
+    resp.message = f.message;
+    if (f.protocolFault)
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return encodeStatsResponse(resp);
+}
+
+void Server::closeConnection(int fd, bool clean) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (clean) cleanDisconnects_.fetch_add(1, std::memory_order_relaxed);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace moloc::net

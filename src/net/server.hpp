@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire.hpp"
+#include "service/thread_pool.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace moloc::service {
+class LocalizationService;
+}
+
+namespace moloc::net {
+
+/// Tunables of the molocd serving loop.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  std::uint16_t port = 0;
+  /// Request-processing workers; 0 selects hardware concurrency (at
+  /// least 1).  Distinct from the service's internal batch pool.
+  std::size_t workerThreads = 0;
+  std::size_t maxConnections = 4096;
+  /// Per-connection bound on decoded-but-unanswered requests; past it
+  /// the server stops reading that socket (TCP backpressure) until the
+  /// worker drains below half.
+  std::size_t maxPipelinedRequests = 128;
+  /// Per-connection bound on buffered response bytes; past it the
+  /// server likewise pauses reads until the peer consumes responses.
+  std::size_t maxWriteQueueBytes = 4u << 20;
+  /// Runs on the event-loop thread during graceful drain, after every
+  /// in-flight response has been flushed and before the loop exits.
+  /// molocd points this at LocalizationService::flushIntake so a
+  /// SIGTERM durably lands every admitted observation.
+  std::function<void()> drainHook;
+};
+
+/// The molocd TCP front end: one poll()-based event-loop thread owning
+/// every socket, plus a worker pool that executes requests against the
+/// LocalizationService and hands encoded responses back to the loop.
+///
+/// Concurrency model:
+///   - Only the event-loop thread touches file descriptors and the
+///     connection map; workers never do socket I/O.
+///   - Each connection carries a mutex guarding its decoded-request
+///     queue and response buffer — the only state shared between the
+///     loop and the workers.  At most one worker processes a given
+///     connection at a time (the `processing` flag), so requests on
+///     one connection are answered strictly in arrival order — which
+///     preserves the service's per-session apply order and keeps
+///     network-served results bitwise-identical to in-process calls.
+///   - Overload maps to wire statuses, never to dropped connections:
+///     intake backpressure → kOverloaded, drain → kShuttingDown.
+///   - A peer hanging up (EOF, EPIPE, ECONNRESET) is a *clean
+///     disconnect*: counted, resources reclaimed, never fatal.
+///     Malformed bytes count as protocol errors; framing-level damage
+///     desynchronizes the stream, so those connections are dropped.
+///
+/// Graceful drain (requestStop(), typically from SIGTERM): the
+/// listener closes, every request already delivered to this host —
+/// including bytes still sitting in a socket's kernel buffer — is
+/// processed and its response flushed, each connection closes once a
+/// final read finds it quiet, the drain hook runs (molocd:
+/// flushIntake), and only then does the loop exit.
+class Server {
+ public:
+  /// Binds and starts serving immediately.  `service` must outlive
+  /// the server.  Throws NetError when the address cannot be bound.
+  explicit Server(service::LocalizationService& service,
+                  ServerConfig config = {});
+
+  /// requestStop() + waitUntilStopped().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually-bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Begins graceful drain.  Async-signal-safe (an atomic store plus
+  /// one pipe write) so a SIGTERM handler may call it directly.
+  /// Idempotent.
+  void requestStop();
+
+  /// Blocks until the event loop has fully drained and exited.
+  void waitUntilStopped();
+
+  bool stopped() const { return loopExited_.load(std::memory_order_acquire); }
+
+  /// Point-in-time server counters (the Stats request returns these
+  /// plus the service-side fields).
+  ServerStats stats() const;
+
+ private:
+  /// Per-connection state.  Owned by the loop thread's map; workers
+  /// hold a shared_ptr while processing, so teardown is safe in
+  /// either order.
+  struct Connection {
+    explicit Connection(int fdIn) : fd(fdIn) {}
+    /// Loop-thread-only: the socket and its frame reassembly state.
+    int fd;
+    FrameAssembler assembler;
+    bool inputClosed = false;  ///< Peer EOF seen; no more reads.
+    bool dead = false;         ///< Socket failed; reap without flushing.
+    bool pausedReads = false;  ///< Flow control engaged last poll round.
+
+    util::Mutex mu;
+    std::deque<Frame> pending MOLOC_GUARDED_BY(mu);
+    /// Encoded responses not yet written to the socket.
+    std::string outbuf MOLOC_GUARDED_BY(mu);
+    /// A worker task is (or is about to be) draining `pending`.
+    bool processing MOLOC_GUARDED_BY(mu) = false;
+  };
+
+  void loop();
+  void acceptReady();
+  void readReady(const std::shared_ptr<Connection>& conn);
+  void writeReady(const std::shared_ptr<Connection>& conn);
+  /// Schedules a worker to drain `conn->pending` unless one already is.
+  void scheduleProcessing(const std::shared_ptr<Connection>& conn);
+  /// Worker-side: drains the pending queue, appending responses.
+  void processPending(const std::shared_ptr<Connection>& conn);
+  /// Executes one decoded request; returns the encoded response frame.
+  std::string handleFrame(const Frame& frame);
+  std::string handleLocalize(const Frame& frame);
+  std::string handleLocalizeBatch(const Frame& frame);
+  std::string handleReportObservation(const Frame& frame);
+  std::string handleFlush(const Frame& frame);
+  std::string handleStats(const Frame& frame);
+  /// Nudges the poll loop (worker produced output / finished a drain).
+  void wakeLoop();
+  /// Closes and forgets `conn`; `clean` selects which counter ticks.
+  void closeConnection(int fd, bool clean);
+
+  service::LocalizationService& service_;
+  ServerConfig config_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  int wakePipe_[2] = {-1, -1};
+
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<bool> loopExited_{false};
+
+  std::atomic<std::uint64_t> requestsServed_{0};
+  std::atomic<std::uint64_t> connectionsAccepted_{0};
+  std::atomic<std::uint64_t> cleanDisconnects_{0};
+  std::atomic<std::uint64_t> overloadRejections_{0};
+  std::atomic<std::uint64_t> protocolErrors_{0};
+
+  /// Loop-thread-only.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Declared before the loop thread: workers must outlive nothing the
+  /// loop still needs, and the destructor joins loop_ first, then the
+  /// pool drains remaining tasks while connections_ entries are kept
+  /// alive by the tasks' shared_ptrs.
+  std::unique_ptr<service::ThreadPool> workers_;
+  std::thread loop_;
+};
+
+}  // namespace moloc::net

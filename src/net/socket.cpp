@@ -1,0 +1,90 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
+
+namespace moloc::net {
+
+namespace {
+
+sockaddr_in parseAddress(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw NetError("invalid IPv4 address '" + host + "'");
+  return addr;
+}
+
+[[noreturn]] void failErrno(const std::string& what) {
+  throw NetError(what + ": " + util::errnoMessage(errno));
+}
+
+}  // namespace
+
+Listener listenOn(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = parseAddress(host, port);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) failErrno("cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    errno = savedErrno;
+    failErrno("cannot bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    errno = savedErrno;
+    failErrno("cannot listen on " + host + ":" + std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    errno = savedErrno;
+    failErrno("cannot read bound address");
+  }
+  return Listener{fd, ntohs(bound.sin_port)};
+}
+
+int connectTo(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = parseAddress(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) failErrno("cannot create socket");
+  if (util::retryEintr([&] {
+        return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr));
+      }) != 0) {
+    const int savedErrno = errno;
+    ::close(fd);
+    errno = savedErrno;
+    failErrno("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    failErrno("cannot set O_NONBLOCK");
+}
+
+}  // namespace moloc::net

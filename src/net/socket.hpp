@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace moloc::net {
+
+/// A socket-layer failure (bind, connect, unexpected I/O error).
+/// Protocol damage is ProtocolError; a peer hanging up mid-stream is
+/// neither — the server counts it as a clean disconnect.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what)
+      : std::runtime_error("moloc::net: " + what) {}
+};
+
+/// An open TCP listener.  `port` is the actually-bound port (useful
+/// when the requested port was 0 = ephemeral).
+struct Listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+/// Binds and listens on host:port (IPv4 dotted quad; port 0 picks an
+/// ephemeral port).  The returned fd is non-blocking and CLOEXEC.
+/// Throws NetError on failure.
+Listener listenOn(const std::string& host, std::uint16_t port);
+
+/// Blocking TCP connect to host:port.  The returned fd is blocking
+/// (clients use simple blocking I/O) with TCP_NODELAY set.  Throws
+/// NetError on failure.
+int connectTo(const std::string& host, std::uint16_t port);
+
+/// Puts `fd` into non-blocking mode.  Throws NetError on failure.
+void setNonBlocking(int fd);
+
+}  // namespace moloc::net

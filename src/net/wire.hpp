@@ -1,0 +1,246 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/moloc_engine.hpp"
+#include "radio/fingerprint.hpp"
+#include "sensors/imu_trace.hpp"
+
+namespace moloc::net {
+
+/// The molocd binary wire protocol: a stream of length-prefixed,
+/// CRC32C-checksummed frames, reusing the little-endian primitives and
+/// framing discipline of the WAL (src/store/wal.cpp).
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///        0     4  magic        "MLOC" (0x434F4C4D)
+///        4     1  version      kWireVersion
+///        5     1  type         MsgType
+///        6     2  reserved     must be 0
+///        8     4  payload len  <= kMaxPayloadBytes
+///       12     n  payload      message body (see below)
+///   12 + n     4  crc32c       over bytes [4, 12 + n) — everything
+///                              after the magic
+///
+/// Responses echo the request's 64-bit tag, so a client may pipeline
+/// any number of requests per connection and match replies by tag
+/// (the server answers in request order regardless).
+
+inline constexpr std::uint32_t kMagic = 0x434F4C4Du;  // "MLOC" on the wire
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::size_t kTrailerBytes = 4;
+/// Sanity bound on one frame's payload; a longer length field is
+/// protocol damage, not a large message (a full LocalizeBatch of 64
+/// walking-trace scans is ~300 KiB).
+inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
+
+/// Message discriminator.  Responses are the request type | 0x80.
+enum class MsgType : std::uint8_t {
+  kLocalize = 1,
+  kLocalizeBatch = 2,
+  kReportObservation = 3,
+  kFlush = 4,
+  kStats = 5,
+  kLocalizeResponse = 0x81,
+  kLocalizeBatchResponse = 0x82,
+  kReportObservationResponse = 0x83,
+  kFlushResponse = 0x84,
+  kStatsResponse = 0x85,
+};
+
+/// Whether `raw` names a defined MsgType.
+bool isKnownMsgType(std::uint8_t raw);
+
+/// Per-response status.  kOverloaded maps service::BackpressureError —
+/// the connection stays up and the client may retry after backoff;
+/// kShuttingDown maps service::ShutdownError during drain.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,
+  kBadRequest = 2,
+  kShuttingDown = 3,
+  kInternalError = 4,
+};
+
+/// What exactly a malformed frame got wrong; decoding never crashes or
+/// over-reads — every damage mode surfaces as one of these.
+enum class WireFault : std::uint8_t {
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversizedPayload,
+  kBadCrc,
+  kMalformedPayload,
+};
+
+/// A frame or payload that violates the protocol.  The server answers
+/// the peer with kBadRequest where possible and counts it; it never
+/// tears the process down.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(WireFault fault, const std::string& what)
+      : std::runtime_error("moloc::net: " + what), fault_(fault) {}
+  WireFault fault() const { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+/// One decoded frame: the validated type plus its raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kLocalize;
+  std::string payload;
+};
+
+/// Incremental frame decoder for one connection's byte stream.  Feed
+/// whatever the socket produced; next() yields complete frames in
+/// order.  The header is validated as soon as its 12 bytes are
+/// available (bad magic/version/type/length fail fast, before the
+/// payload arrives); the CRC is checked once the full frame is
+/// buffered.  After a ProtocolError the stream is unsynchronized and
+/// the connection must be dropped.
+class FrameAssembler {
+ public:
+  void feed(const char* data, std::size_t size);
+  /// True when a complete, CRC-valid frame was moved into `out`.
+  /// Throws ProtocolError on any malformed input.
+  bool next(Frame& out);
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Encodes a complete frame (header + payload + CRC trailer) around an
+/// already-encoded payload.
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+// ---- Request messages -------------------------------------------------
+
+/// One scan for one session (mirrors service::ScanRequest).
+struct WireScan {
+  std::uint64_t sessionId = 0;
+  radio::Fingerprint scan;
+  sensors::ImuTrace imu;
+};
+
+struct LocalizeRequest {
+  std::uint64_t tag = 0;
+  WireScan scan;
+};
+
+struct LocalizeBatchRequest {
+  std::uint64_t tag = 0;
+  std::vector<WireScan> scans;
+};
+
+struct ReportObservationRequest {
+  std::uint64_t tag = 0;
+  std::int32_t start = 0;
+  std::int32_t end = 0;
+  double directionDeg = 0.0;
+  double offsetMeters = 0.0;
+};
+
+struct FlushRequest {
+  std::uint64_t tag = 0;
+};
+
+struct StatsRequest {
+  std::uint64_t tag = 0;
+};
+
+std::string encodeLocalizeRequest(const LocalizeRequest& msg);
+std::string encodeLocalizeBatchRequest(const LocalizeBatchRequest& msg);
+std::string encodeReportObservationRequest(
+    const ReportObservationRequest& msg);
+std::string encodeFlushRequest(const FlushRequest& msg);
+std::string encodeStatsRequest(const StatsRequest& msg);
+
+LocalizeRequest decodeLocalizeRequest(std::string_view payload);
+LocalizeBatchRequest decodeLocalizeBatchRequest(std::string_view payload);
+ReportObservationRequest decodeReportObservationRequest(
+    std::string_view payload);
+FlushRequest decodeFlushRequest(std::string_view payload);
+StatsRequest decodeStatsRequest(std::string_view payload);
+
+// ---- Response messages ------------------------------------------------
+//
+// Every response starts with the echoed tag and a Status byte.  On
+// kOk the typed body follows; on any other status a UTF-8 error
+// message (u32 length + bytes) follows instead.
+
+struct LocalizeResponse {
+  std::uint64_t tag = 0;
+  Status status = Status::kOk;
+  core::LocationEstimate estimate;
+  std::string message;
+};
+
+struct LocalizeBatchResponse {
+  std::uint64_t tag = 0;
+  Status status = Status::kOk;
+  std::vector<core::LocationEstimate> estimates;
+  std::string message;
+};
+
+struct ReportObservationResponse {
+  std::uint64_t tag = 0;
+  Status status = Status::kOk;
+  /// The sanitation verdict (false = rejected by validation, with
+  /// status still kOk — rejection is a normal answer, not an error).
+  bool accepted = false;
+  std::string message;
+};
+
+struct FlushResponse {
+  std::uint64_t tag = 0;
+  Status status = Status::kOk;
+  std::string message;
+};
+
+/// Server-side counters for StatsResponse.
+struct ServerStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t worldGeneration = 0;
+  std::uint64_t intakeApplied = 0;
+  std::uint64_t requestsServed = 0;
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t cleanDisconnects = 0;
+  std::uint64_t overloadRejections = 0;
+  std::uint64_t protocolErrors = 0;
+};
+
+struct StatsResponse {
+  std::uint64_t tag = 0;
+  Status status = Status::kOk;
+  ServerStats stats;
+  std::string message;
+};
+
+std::string encodeLocalizeResponse(const LocalizeResponse& msg);
+std::string encodeLocalizeBatchResponse(const LocalizeBatchResponse& msg);
+std::string encodeReportObservationResponse(
+    const ReportObservationResponse& msg);
+std::string encodeFlushResponse(const FlushResponse& msg);
+std::string encodeStatsResponse(const StatsResponse& msg);
+
+LocalizeResponse decodeLocalizeResponse(std::string_view payload);
+LocalizeBatchResponse decodeLocalizeBatchResponse(std::string_view payload);
+ReportObservationResponse decodeReportObservationResponse(
+    std::string_view payload);
+FlushResponse decodeFlushResponse(std::string_view payload);
+StatsResponse decodeStatsResponse(std::string_view payload);
+
+}  // namespace moloc::net

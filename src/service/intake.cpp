@@ -197,7 +197,12 @@ void IntakePipeline::flush() {
   readyCv_.notifyOne();  // The writer may be idle-sleeping on a clean
                          // world; wake it to publish for us.
   while (applied_ + applyFailures_ < target || dirtySincePublish_ > 0) {
-    if (writerExited_) {
+    // A stop in progress is terminal for this wait even though the
+    // writer may still be draining: the barrier below could otherwise
+    // block until the writer's final apply — or forever, if the writer
+    // is wedged in a slow sink while the destructor joins it.  Callers
+    // racing shutdown get the typed error promptly instead.
+    if (stopping_ || writerExited_) {
       --flushWaiters_;
       throw ShutdownError(
           "IntakePipeline::flush: pipeline stopped with work pending");
@@ -213,6 +218,10 @@ void IntakePipeline::stop() {
     stopping_ = true;
   }
   readyCv_.notifyAll();
+  // Wake flush() waiters *before* the join: they treat stopping_ as
+  // terminal, and the join below can take arbitrarily long (the writer
+  // finishes its in-flight apply first).
+  drainedCv_.notifyAll();
   if (writer_.joinable()) writer_.join();
   drainedCv_.notifyAll();  // Unhang any flush() that raced the stop.
 }

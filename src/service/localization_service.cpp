@@ -118,6 +118,7 @@ LocalizationService::~LocalizationService() {
   std::shared_ptr<IntakePipeline> pipeline;
   {
     const util::MutexLock lock(intakeMu_);
+    intakeShutdown_ = true;
     pipeline = std::move(pipeline_);
   }
   if (pipeline) pipeline->stop();
@@ -479,6 +480,13 @@ void LocalizationService::flushIntake() {
   std::shared_ptr<IntakePipeline> pipeline;
   {
     const util::MutexLock lock(intakeMu_);
+    // Distinguish "never attached" (a caller bug, logic_error) from
+    // "detached by the destructor" (a benign shutdown race that must
+    // surface as the same typed error a stopping pipeline throws —
+    // previously this fell through to the misleading logic_error).
+    if (!pipeline_ && intakeShutdown_)
+      throw ShutdownError(
+          "LocalizationService::flushIntake: service shutting down");
     pipeline = pipeline_;
   }
   if (!pipeline)

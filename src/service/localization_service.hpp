@@ -357,6 +357,10 @@ class LocalizationService {
   /// a concurrent re-attach is replacing (a stopped pipeline throws
   /// ShutdownError; it is never destroyed mid-call).
   std::shared_ptr<IntakePipeline> pipeline_ MOLOC_GUARDED_BY(intakeMu_);
+  /// Set by the destructor as it detaches the pipeline: tells
+  /// flushIntake() arriving after that point to throw the typed
+  /// ShutdownError rather than "no intake attached".
+  bool intakeShutdown_ MOLOC_GUARDED_BY(intakeMu_) = false;
   util::Mutex checkpointWaitMu_;
   util::CondVar checkpointCv_;
   /// Set by the destructor (under checkpointWaitMu_) before it wakes

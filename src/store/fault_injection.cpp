@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
 
 namespace moloc::store::testing {
 
@@ -36,7 +37,9 @@ void FaultFile::truncateTo(std::uint64_t newSize) const {
     throw std::runtime_error(
         "FaultFile: truncateTo would grow '" + path_ +
         "' (faults only destroy data)");
-  if (::truncate(path_.c_str(), static_cast<off_t>(newSize)) != 0)
+  if (util::retryEintr([&] {
+        return ::truncate(path_.c_str(), static_cast<off_t>(newSize));
+      }) != 0)
     fail("cannot truncate", path_);
 }
 
@@ -55,15 +58,20 @@ void FaultFile::flipByte(std::uint64_t offset, std::uint8_t mask) const {
   if (offset >= size())
     throw std::runtime_error("FaultFile: offset " + std::to_string(offset) +
                              " is past the end of '" + path_ + "'");
-  const int fd = ::open(path_.c_str(), O_RDWR);
+  const int fd =
+      util::retryEintr([&] { return ::open(path_.c_str(), O_RDWR); });
   if (fd < 0) fail("cannot open", path_);
   unsigned char byte = 0;
-  if (::pread(fd, &byte, 1, static_cast<off_t>(offset)) != 1) {
+  if (util::retryEintr([&] {
+        return ::pread(fd, &byte, 1, static_cast<off_t>(offset));
+      }) != 1) {
     ::close(fd);
     fail("cannot read byte from", path_);
   }
   byte ^= mask;
-  if (::pwrite(fd, &byte, 1, static_cast<off_t>(offset)) != 1) {
+  if (util::retryEintr([&] {
+        return ::pwrite(fd, &byte, 1, static_cast<off_t>(offset));
+      }) != 1) {
     ::close(fd);
     fail("cannot write byte to", path_);
   }

@@ -11,6 +11,7 @@
 
 #include "store/format.hpp"
 #include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
 
 namespace moloc::store::detail {
 
@@ -35,26 +36,25 @@ bool readFile(const std::string& path, std::string& out) {
 void writeAll(int fd, const char* data, std::size_t size,
               const std::string& path) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw StoreError(errnoMessage("write failed on", path));
-    }
+    const ssize_t n =
+        util::retryEintr([&] { return ::write(fd, data, size); });
+    if (n < 0) throw StoreError(errnoMessage("write failed on", path));
     data += n;
     size -= static_cast<std::size_t>(n);
   }
 }
 
 void fsyncFd(int fd, const std::string& path) {
-  if (::fsync(fd) != 0)
+  if (util::retryEintr([&] { return ::fsync(fd); }) != 0)
     throw StoreError(errnoMessage("fsync failed on", path));
 }
 
 void fsyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = util::retryEintr(
+      [&] { return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); });
   if (fd < 0)
     throw StoreError(errnoMessage("cannot open directory", dir));
-  const int rc = ::fsync(fd);
+  const int rc = util::retryEintr([&] { return ::fsync(fd); });
   const int savedErrno = errno;
   ::close(fd);
   if (rc != 0) {
@@ -66,8 +66,8 @@ void fsyncDirectory(const std::string& dir) {
 void atomicWriteFile(const std::string& path,
                      const std::string& contents) {
   const std::string tmp = path + ".tmp";
-  const int fd =
-      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  const int fd = util::retryEintr(
+      [&] { return ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644); });
   if (fd < 0)
     throw StoreError(errnoMessage("cannot open for writing", tmp));
   try {

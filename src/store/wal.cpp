@@ -13,6 +13,7 @@
 #include "store/crc32c.hpp"
 #include "store/posix_file.hpp"
 #include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
 
 namespace moloc::store {
 
@@ -109,7 +110,7 @@ WalWriter::~WalWriter() {
   // Best-effort: never throw from a destructor.  kNone stays honest
   // and skips the sync even here.
   if (config_.fsync != FsyncPolicy::kNone && unsyncedRecords_ > 0)
-    ::fsync(fd_);
+    util::retryEintr([&] { return ::fsync(fd_); });
   ::close(fd_);
 }
 
@@ -118,7 +119,8 @@ void WalWriter::openSegment() {
   // O_EXCL: segments are immutable once closed; silently reopening one
   // (an index-allocation bug, or a leftover file) must fail loudly
   // rather than append over history.
-  fd_ = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  fd_ = util::retryEintr(
+      [&] { return ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644); });
   if (fd_ < 0)
     throw StoreError(errnoMessage("cannot create WAL segment", path));
 
@@ -398,14 +400,17 @@ WalScan WalReader::repair() const {
         first.tailPath,
         slash == std::string::npos ? "." : first.tailPath.substr(0, slash));
   } else {
-    if (::truncate(first.tailPath.c_str(),
-                   static_cast<off_t>(first.tailValidBytes)) != 0)
+    if (util::retryEintr([&] {
+          return ::truncate(first.tailPath.c_str(),
+                            static_cast<off_t>(first.tailValidBytes));
+        }) != 0)
       throw StoreError(
           errnoMessage("cannot truncate damaged tail of", first.tailPath));
-    const int fd = ::open(first.tailPath.c_str(), O_WRONLY);
+    const int fd = util::retryEintr(
+        [&] { return ::open(first.tailPath.c_str(), O_WRONLY); });
     if (fd < 0)
       throw StoreError(errnoMessage("cannot reopen", first.tailPath));
-    const int rc = ::fsync(fd);
+    const int rc = util::retryEintr([&] { return ::fsync(fd); });
     ::close(fd);
     if (rc != 0)
       throw StoreError(errnoMessage("fsync failed on", first.tailPath));

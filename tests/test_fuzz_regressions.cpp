@@ -68,6 +68,10 @@ TEST(FuzzRegressions, CsvCorpusReplaysClean) {
   EXPECT_GE(replaySurface("csv", runCsvParse), 8u);
 }
 
+TEST(FuzzRegressions, WireCorpusReplaysClean) {
+  EXPECT_GE(replaySurface("wire", runWireDecode), 10u);
+}
+
 // The harness must also accept the empty input (libFuzzer always
 // starts there).
 TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
@@ -76,6 +80,7 @@ TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
   EXPECT_EQ(0, runCheckpointLoad(&dummy, 0));
   EXPECT_EQ(0, runSerializationLoad(&dummy, 0));
   EXPECT_EQ(0, runCsvParse(&dummy, 0));
+  EXPECT_EQ(0, runWireDecode(&dummy, 0));
 }
 
 }  // namespace

@@ -560,5 +560,77 @@ TEST(LocalizationService, DestructionWakesCheckpointWaiters) {
   EXPECT_TRUE(sawShutdownError.load());
 }
 
+/// Write-ahead sink that parks the intake writer inside an apply until
+/// released — the deterministic way to hold "admitted but not yet
+/// applied" work in flight while a shutdown races a flush.
+class BlockingSink : public core::ObservationSink {
+ public:
+  BlockingSink(std::atomic<bool>& entered, std::atomic<bool>& release)
+      : entered_(entered), release_(release) {}
+  void onAccepted(env::LocationId, env::LocationId, double,
+                  double) override {
+    entered_.store(true);
+    while (!release_.load()) std::this_thread::yield();
+  }
+
+ private:
+  std::atomic<bool>& entered_;
+  std::atomic<bool>& release_;
+};
+
+TEST(LocalizationService, FlushRacingShutdownThrowsPromptly) {
+  // Regression: a flushIntake() waiter whose work could never finish
+  // kept sleeping on the drain condition when the pipeline stopped
+  // underneath it — stop() only signalled after joining the writer,
+  // and the wait loop did not treat stopping_ as terminal.  Now the
+  // waiter gets ShutdownError promptly, *before* the writer has
+  // drained (proven here by releasing the pinned apply only after the
+  // flusher has already seen the error).
+  const auto plan = intakePlan();
+  core::OnlineMotionDatabase db(plan);
+
+  std::atomic<bool> sinkEntered{false};
+  std::atomic<bool> sinkRelease{false};
+  BlockingSink sink(sinkEntered, sinkRelease);
+
+  auto svc = std::make_unique<LocalizationService>(
+      twinFingerprints(), twinMotion(), testConfig(2));
+  svc->attachIntake(&db);
+  db.setSink(&sink);  // After attachIntake: it owns the sink slot.
+
+  ASSERT_TRUE(svc->reportObservation(0, 1, 90.0, 4.0));
+  while (!sinkEntered.load()) std::this_thread::yield();
+  // The writer is now provably mid-apply and pinned there, with the
+  // admitted observation not yet counted as applied.
+
+  LocalizationService* const service = svc.get();
+  std::atomic<bool> flusherStarted{false};
+  std::atomic<bool> sawShutdownError{false};
+  std::thread flusher([&] {
+    flusherStarted.store(true);
+    try {
+      service->flushIntake();
+      ADD_FAILURE() << "flushIntake returned despite pending work "
+                       "across a shutdown";
+    } catch (const ShutdownError&) {
+      sawShutdownError.store(true);
+    }
+  });
+  while (!flusherStarted.load()) std::this_thread::yield();
+
+  // Release the pinned apply only after the flusher has been thrown
+  // out — the prompt wake-up must not depend on the writer finishing.
+  std::thread releaser([&] {
+    while (!sawShutdownError.load()) std::this_thread::yield();
+    sinkRelease.store(true);
+  });
+
+  svc.reset();  // Must not hang.
+  flusher.join();
+  releaser.join();
+  EXPECT_TRUE(sawShutdownError.load());
+  db.setSink(nullptr);
+}
+
 }  // namespace
 }  // namespace moloc::service

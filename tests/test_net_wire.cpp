@@ -1,0 +1,482 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace moloc::net {
+namespace {
+
+// ---- Raw little-endian builders (independent of the encoder under
+// test, so a framing bug cannot hide behind its own inverse). --------
+
+void rawU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void rawU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void rawU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// A 12-byte header with every field chosen by the test.
+std::string rawHeader(std::uint32_t magic, std::uint8_t version,
+                      std::uint8_t type, std::uint32_t payloadLen) {
+  std::string h;
+  rawU32(h, magic);
+  rawU8(h, version);
+  rawU8(h, type);
+  rawU8(h, 0);
+  rawU8(h, 0);
+  rawU32(h, payloadLen);
+  return h;
+}
+
+WireFault faultOf(const std::string& bytes) {
+  FrameAssembler assembler;
+  assembler.feed(bytes.data(), bytes.size());
+  Frame frame;
+  try {
+    while (assembler.next(frame)) {
+    }
+  } catch (const ProtocolError& e) {
+    return e.fault();
+  }
+  ADD_FAILURE() << "expected a ProtocolError";
+  return WireFault::kBadMagic;
+}
+
+WireScan sampleScan(std::uint64_t sessionId) {
+  WireScan s;
+  s.sessionId = sessionId;
+  s.scan = radio::Fingerprint({-48.5, -61.25, -70.0});
+  s.imu = sensors::ImuTrace(50.0);
+  for (int i = 0; i < 5; ++i) {
+    sensors::ImuSample sample;
+    sample.t = 0.02 * i;
+    sample.accelMagnitude = 9.81 + 0.3 * i;
+    sample.compassDeg = 87.0 + i;
+    sample.gyroRateDegPerSec = -2.5 * i;
+    s.imu.append(sample);
+  }
+  return s;
+}
+
+void expectScanEq(const WireScan& a, const WireScan& b) {
+  EXPECT_EQ(a.sessionId, b.sessionId);
+  const auto aRss = a.scan.values();
+  const auto bRss = b.scan.values();
+  ASSERT_EQ(aRss.size(), bRss.size());
+  for (std::size_t i = 0; i < aRss.size(); ++i) EXPECT_EQ(aRss[i], bRss[i]);
+  EXPECT_EQ(a.imu.sampleRateHz(), b.imu.sampleRateHz());
+  ASSERT_EQ(a.imu.samples().size(), b.imu.samples().size());
+  for (std::size_t i = 0; i < a.imu.samples().size(); ++i) {
+    EXPECT_EQ(a.imu.samples()[i].t, b.imu.samples()[i].t);
+    EXPECT_EQ(a.imu.samples()[i].accelMagnitude,
+              b.imu.samples()[i].accelMagnitude);
+    EXPECT_EQ(a.imu.samples()[i].compassDeg, b.imu.samples()[i].compassDeg);
+    EXPECT_EQ(a.imu.samples()[i].gyroRateDegPerSec,
+              b.imu.samples()[i].gyroRateDegPerSec);
+  }
+}
+
+core::LocationEstimate sampleEstimate() {
+  core::LocationEstimate e;
+  e.location = 3;
+  e.probability = 0.625;
+  e.candidates.push_back({3, 0.625});
+  e.candidates.push_back({7, 0.25});
+  e.candidates.push_back({1, 0.125});
+  return e;
+}
+
+/// Frame → assembler → payload, asserting exactly one frame comes out.
+Frame decodeOne(const std::string& frame) {
+  FrameAssembler assembler;
+  assembler.feed(frame.data(), frame.size());
+  Frame out;
+  EXPECT_TRUE(assembler.next(out));
+  EXPECT_EQ(assembler.buffered(), 0u);
+  Frame extra;
+  EXPECT_FALSE(assembler.next(extra));
+  return out;
+}
+
+// ---- Round trips ------------------------------------------------------
+
+TEST(NetWire, LocalizeRequestRoundTrips) {
+  LocalizeRequest msg;
+  msg.tag = 0x1122334455667788ull;
+  msg.scan = sampleScan(42);
+  const Frame frame = decodeOne(encodeLocalizeRequest(msg));
+  EXPECT_EQ(frame.type, MsgType::kLocalize);
+  const LocalizeRequest back = decodeLocalizeRequest(frame.payload);
+  EXPECT_EQ(back.tag, msg.tag);
+  expectScanEq(back.scan, msg.scan);
+}
+
+TEST(NetWire, LocalizeBatchRequestRoundTrips) {
+  LocalizeBatchRequest msg;
+  msg.tag = 7;
+  msg.scans.push_back(sampleScan(1));
+  msg.scans.push_back(sampleScan(2));
+  const Frame frame = decodeOne(encodeLocalizeBatchRequest(msg));
+  EXPECT_EQ(frame.type, MsgType::kLocalizeBatch);
+  const LocalizeBatchRequest back =
+      decodeLocalizeBatchRequest(frame.payload);
+  EXPECT_EQ(back.tag, msg.tag);
+  ASSERT_EQ(back.scans.size(), 2u);
+  expectScanEq(back.scans[0], msg.scans[0]);
+  expectScanEq(back.scans[1], msg.scans[1]);
+}
+
+TEST(NetWire, ReportObservationRequestRoundTrips) {
+  ReportObservationRequest msg;
+  msg.tag = 9;
+  msg.start = 4;
+  msg.end = 5;
+  msg.directionDeg = 91.5;
+  msg.offsetMeters = 3.75;
+  const Frame frame = decodeOne(encodeReportObservationRequest(msg));
+  EXPECT_EQ(frame.type, MsgType::kReportObservation);
+  const ReportObservationRequest back =
+      decodeReportObservationRequest(frame.payload);
+  EXPECT_EQ(back.tag, msg.tag);
+  EXPECT_EQ(back.start, msg.start);
+  EXPECT_EQ(back.end, msg.end);
+  EXPECT_EQ(back.directionDeg, msg.directionDeg);
+  EXPECT_EQ(back.offsetMeters, msg.offsetMeters);
+}
+
+TEST(NetWire, FlushAndStatsRequestsRoundTrip) {
+  const Frame flush = decodeOne(encodeFlushRequest({11}));
+  EXPECT_EQ(flush.type, MsgType::kFlush);
+  EXPECT_EQ(decodeFlushRequest(flush.payload).tag, 11u);
+
+  const Frame stats = decodeOne(encodeStatsRequest({12}));
+  EXPECT_EQ(stats.type, MsgType::kStats);
+  EXPECT_EQ(decodeStatsRequest(stats.payload).tag, 12u);
+}
+
+TEST(NetWire, LocalizeResponseRoundTripsOkAndError) {
+  LocalizeResponse ok;
+  ok.tag = 21;
+  ok.estimate = sampleEstimate();
+  const Frame okFrame = decodeOne(encodeLocalizeResponse(ok));
+  EXPECT_EQ(okFrame.type, MsgType::kLocalizeResponse);
+  const LocalizeResponse okBack = decodeLocalizeResponse(okFrame.payload);
+  EXPECT_EQ(okBack.tag, 21u);
+  EXPECT_EQ(okBack.status, Status::kOk);
+  EXPECT_EQ(okBack.estimate.location, ok.estimate.location);
+  EXPECT_EQ(okBack.estimate.probability, ok.estimate.probability);
+  ASSERT_EQ(okBack.estimate.candidates.size(), 3u);
+  EXPECT_EQ(okBack.estimate.candidates[1].location, 7);
+  EXPECT_EQ(okBack.estimate.candidates[1].probability, 0.25);
+
+  LocalizeResponse err;
+  err.tag = 22;
+  err.status = Status::kOverloaded;
+  err.message = "intake queue full";
+  const LocalizeResponse errBack =
+      decodeLocalizeResponse(decodeOne(encodeLocalizeResponse(err)).payload);
+  EXPECT_EQ(errBack.status, Status::kOverloaded);
+  EXPECT_EQ(errBack.message, "intake queue full");
+  EXPECT_TRUE(errBack.estimate.candidates.empty());
+}
+
+TEST(NetWire, LocalizeBatchResponseRoundTrips) {
+  LocalizeBatchResponse msg;
+  msg.tag = 31;
+  msg.estimates.push_back(sampleEstimate());
+  msg.estimates.push_back(core::LocationEstimate{});
+  const LocalizeBatchResponse back = decodeLocalizeBatchResponse(
+      decodeOne(encodeLocalizeBatchResponse(msg)).payload);
+  EXPECT_EQ(back.tag, 31u);
+  ASSERT_EQ(back.estimates.size(), 2u);
+  EXPECT_EQ(back.estimates[0].location, 3);
+  EXPECT_EQ(back.estimates[1].location, core::LocationEstimate{}.location);
+}
+
+TEST(NetWire, ReportObservationResponseCarriesTheVerdict) {
+  ReportObservationResponse msg;
+  msg.tag = 41;
+  msg.accepted = true;
+  const ReportObservationResponse back = decodeReportObservationResponse(
+      decodeOne(encodeReportObservationResponse(msg)).payload);
+  EXPECT_EQ(back.tag, 41u);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_TRUE(back.accepted);
+
+  msg.status = Status::kShuttingDown;
+  msg.message = "drain in progress";
+  const ReportObservationResponse drained = decodeReportObservationResponse(
+      decodeOne(encodeReportObservationResponse(msg)).payload);
+  EXPECT_EQ(drained.status, Status::kShuttingDown);
+  EXPECT_EQ(drained.message, "drain in progress");
+}
+
+TEST(NetWire, FlushAndStatsResponsesRoundTrip) {
+  FlushResponse flush;
+  flush.tag = 51;
+  EXPECT_EQ(decodeFlushResponse(
+                decodeOne(encodeFlushResponse(flush)).payload)
+                .status,
+            Status::kOk);
+
+  StatsResponse stats;
+  stats.tag = 52;
+  stats.stats.sessions = 3;
+  stats.stats.worldGeneration = 4;
+  stats.stats.intakeApplied = 5;
+  stats.stats.requestsServed = 6;
+  stats.stats.connectionsAccepted = 7;
+  stats.stats.cleanDisconnects = 8;
+  stats.stats.overloadRejections = 9;
+  stats.stats.protocolErrors = 10;
+  const StatsResponse back =
+      decodeStatsResponse(decodeOne(encodeStatsResponse(stats)).payload);
+  EXPECT_EQ(back.tag, 52u);
+  EXPECT_EQ(back.stats.sessions, 3u);
+  EXPECT_EQ(back.stats.worldGeneration, 4u);
+  EXPECT_EQ(back.stats.intakeApplied, 5u);
+  EXPECT_EQ(back.stats.requestsServed, 6u);
+  EXPECT_EQ(back.stats.connectionsAccepted, 7u);
+  EXPECT_EQ(back.stats.cleanDisconnects, 8u);
+  EXPECT_EQ(back.stats.overloadRejections, 9u);
+  EXPECT_EQ(back.stats.protocolErrors, 10u);
+}
+
+// ---- Assembler behaviour ----------------------------------------------
+
+TEST(NetWire, AssemblerReassemblesByteByByte) {
+  LocalizeRequest msg;
+  msg.tag = 77;
+  msg.scan = sampleScan(5);
+  const std::string frame = encodeLocalizeRequest(msg);
+
+  FrameAssembler assembler;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    assembler.feed(frame.data() + i, 1);
+    EXPECT_FALSE(assembler.next(out))
+        << "frame surfaced after only " << (i + 1) << " bytes";
+  }
+  assembler.feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_TRUE(assembler.next(out));
+  EXPECT_EQ(out.type, MsgType::kLocalize);
+  EXPECT_EQ(decodeLocalizeRequest(out.payload).tag, 77u);
+}
+
+TEST(NetWire, AssemblerYieldsPipelinedFramesInOrder) {
+  std::string stream;
+  for (std::uint64_t tag = 0; tag < 32; ++tag)
+    stream += encodeFlushRequest({tag});
+  // Feed in awkward 7-byte slices spanning frame boundaries.
+  FrameAssembler assembler;
+  std::vector<std::uint64_t> tags;
+  Frame out;
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    assembler.feed(stream.data() + i, std::min<std::size_t>(7, stream.size() - i));
+    while (assembler.next(out)) tags.push_back(decodeFlushRequest(out.payload).tag);
+  }
+  ASSERT_EQ(tags.size(), 32u);
+  for (std::uint64_t tag = 0; tag < 32; ++tag) EXPECT_EQ(tags[tag], tag);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(NetWire, HeaderFaultsFailFastBeforeThePayloadArrives) {
+  // Only 12 header bytes are fed in each case — a correct fail-fast
+  // decoder must not wait for payload or CRC to reject these.
+  EXPECT_EQ(faultOf(rawHeader(0xDEADBEEF, kWireVersion, 1, 0)),
+            WireFault::kBadMagic);
+  EXPECT_EQ(faultOf(rawHeader(kMagic, 9, 1, 0)), WireFault::kBadVersion);
+  EXPECT_EQ(faultOf(rawHeader(kMagic, kWireVersion, 0, 0)),
+            WireFault::kBadType);
+  EXPECT_EQ(faultOf(rawHeader(kMagic, kWireVersion, 0x7F, 0)),
+            WireFault::kBadType);
+  EXPECT_EQ(faultOf(rawHeader(kMagic, kWireVersion, 1,
+                              static_cast<std::uint32_t>(kMaxPayloadBytes) + 1)),
+            WireFault::kOversizedPayload);
+}
+
+TEST(NetWire, EveryCorruptedBitIsRejectedOrLeftIncomplete) {
+  const std::string frame = encodeFlushRequest({0xABCDEF0123456789ull});
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      FrameAssembler assembler;
+      assembler.feed(damaged.data(), damaged.size());
+      Frame out;
+      bool rejected = false;
+      bool complete = false;
+      try {
+        complete = assembler.next(out);
+      } catch (const ProtocolError&) {
+        rejected = true;
+      }
+      // A flip may grow the length field (frame now looks incomplete:
+      // no output, no error yet) — but it must never pass the CRC.
+      EXPECT_TRUE(rejected || !complete)
+          << "bit " << bit << " of byte " << byte
+          << " flipped and the frame still decoded";
+    }
+  }
+}
+
+TEST(NetWire, CorruptPayloadByteFailsTheCrc) {
+  std::string frame = encodeStatsRequest({99});
+  frame[kHeaderBytes] = static_cast<char>(frame[kHeaderBytes] ^ 0x40);
+  EXPECT_EQ(faultOf(frame), WireFault::kBadCrc);
+}
+
+TEST(NetWire, CorruptReservedBytesFailTheCrc) {
+  // The reserved bytes are covered by the CRC even though the header
+  // parser skips them — damage there must not slip through.
+  std::string frame = encodeFlushRequest({1});
+  frame[6] = 0x01;
+  EXPECT_EQ(faultOf(frame), WireFault::kBadCrc);
+}
+
+TEST(NetWire, CorruptTrailerFailsTheCrc) {
+  std::string frame = encodeFlushRequest({1});
+  frame[frame.size() - 1] = static_cast<char>(frame[frame.size() - 1] ^ 0x01);
+  EXPECT_EQ(faultOf(frame), WireFault::kBadCrc);
+}
+
+TEST(NetWire, EncodeFrameRejectsOversizedPayloads) {
+  const std::string huge(kMaxPayloadBytes + 1, 'x');
+  try {
+    encodeFrame(MsgType::kFlush, huge);
+    FAIL() << "oversized payload was framed";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kOversizedPayload);
+  }
+}
+
+// ---- Payload torture --------------------------------------------------
+
+TEST(NetWire, TrailingGarbageAfterTheBodyIsMalformed) {
+  std::string payload;
+  rawU64(payload, 5);
+  payload.push_back('\0');  // One byte past the flush body.
+  try {
+    decodeFlushRequest(payload);
+    FAIL() << "trailing garbage decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+}
+
+TEST(NetWire, TruncatedBodiesAreMalformedAtEveryLength) {
+  LocalizeRequest msg;
+  msg.tag = 13;
+  msg.scan = sampleScan(6);
+  // Encode through the public encoder, then strip the framing to get
+  // the canonical payload bytes.
+  const std::string payload = decodeOne(encodeLocalizeRequest(msg)).payload;
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    try {
+      decodeLocalizeRequest(std::string_view(payload.data(), len));
+      FAIL() << "truncated payload of " << len << " bytes decoded";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+    }
+  }
+  EXPECT_EQ(decodeLocalizeRequest(payload).tag, 13u);
+}
+
+TEST(NetWire, HostileCountFieldsAreRejectedWithoutAllocation) {
+  // A batch claiming 2^32-1 scans in a 16-byte payload must be thrown
+  // out by arithmetic, not by an allocator.
+  std::string batch;
+  rawU64(batch, 1);
+  rawU32(batch, 0xFFFFFFFFu);
+  try {
+    decodeLocalizeBatchRequest(batch);
+    FAIL() << "hostile scan count decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+
+  // Same for a scan's AP count inside a Localize payload.
+  std::string localize;
+  rawU64(localize, 1);   // tag
+  rawU64(localize, 2);   // sessionId
+  rawU32(localize, 0x40000000u);
+  try {
+    decodeLocalizeRequest(localize);
+    FAIL() << "hostile AP count decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+
+  // And for an error message's string length in a response.
+  std::string response;
+  rawU64(response, 1);
+  rawU8(response, static_cast<std::uint8_t>(Status::kInternalError));
+  rawU32(response, 0xFFFFFF00u);
+  try {
+    decodeFlushResponse(response);
+    FAIL() << "hostile message length decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+}
+
+TEST(NetWire, UnknownStatusByteIsMalformed) {
+  std::string payload;
+  rawU64(payload, 1);
+  rawU8(payload, 250);
+  try {
+    decodeFlushResponse(payload);
+    FAIL() << "unknown status decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+}
+
+TEST(NetWire, HostileImuSampleRateIsMalformedNotFatal) {
+  // A non-positive sample rate violates the ImuTrace domain; the
+  // decoder must translate that rejection into kMalformedPayload
+  // rather than leaking std::invalid_argument to the server loop.
+  std::string payload;
+  rawU64(payload, 1);  // tag
+  rawU64(payload, 2);  // sessionId
+  rawU32(payload, 0);  // apCount
+  std::string rate(8, '\0');
+  const double bad = -50.0;
+  std::memcpy(rate.data(), &bad, 8);
+  payload += rate;
+  rawU32(payload, 0);  // sampleCount
+  try {
+    decodeLocalizeRequest(payload);
+    FAIL() << "negative sample rate decoded";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
+  }
+}
+
+TEST(NetWire, IsKnownMsgTypeMatchesTheEnum) {
+  int known = 0;
+  for (int raw = 0; raw < 256; ++raw)
+    if (isKnownMsgType(static_cast<std::uint8_t>(raw))) ++known;
+  EXPECT_EQ(known, 10);
+  EXPECT_TRUE(isKnownMsgType(0x01));
+  EXPECT_TRUE(isKnownMsgType(0x85));
+  EXPECT_FALSE(isKnownMsgType(0x00));
+  EXPECT_FALSE(isKnownMsgType(0x06));
+  EXPECT_FALSE(isKnownMsgType(0x80));
+  EXPECT_FALSE(isKnownMsgType(0x86));
+}
+
+}  // namespace
+}  // namespace moloc::net

@@ -20,7 +20,10 @@ Checks, per file:
      non-numeric.  Required numeric fields are the aggregatable
      measurements: seconds, qps, threads, queries, samples,
      schema_version, ops_per_sec, every *_ns latency statistic, every
-     *_qps / speedup* / *_speedup* scaling figure, and max_speedup*.
+     *_qps / speedup* / *_speedup* scaling figure, max_speedup*, and —
+     for the network-serving snapshot (BENCH_micro_net.json) — the load
+     shape (users, connections, requests_per_user) and every *_errors
+     counter, whose absence-as-null would hide a failed run.
      (Percentile fields like p50_ms stay optional: a MOLOC_METRICS=OFF
      build reports them as -1, and a missing histogram may null them.)
 
@@ -47,6 +50,8 @@ REQUIRED_NUMERIC = [
         r"^speedup",
         r"_speedup",
         r"^max_speedup",
+        r"^(users|connections|requests_per_user)$",
+        r"_errors$",
     )
 ]
 

@@ -20,6 +20,15 @@
 #                 stack reports through obs:: and typed errors; stray
 #                 stream writes are unsynchronized and invisible to
 #                 operators.
+#   raw-eintr     bare ::read/::write/::fsync/... syscalls in
+#                 src/store and src/net without util::retryEintr — an
+#                 interruptible POSIX call on the durability or
+#                 serving path that does not retry EINTR turns any
+#                 signal (SIGTERM drain included) into a spurious I/O
+#                 failure.  ::close and ::poll are exempt: close must
+#                 not be retried (the fd is gone either way, and a
+#                 retry can close a recycled descriptor), and the poll
+#                 loop handles EINTR as an ordinary wakeup.
 #   online-mutation
 #                 addObservation/applyAccepted calls on an
 #                 OnlineMotionDatabase from src/core or src/service
@@ -74,6 +83,30 @@ check naked-new '\bnew +[A-Za-z_:][A-Za-z0-9_:<>]*[ ({[]|\bnew +[A-Za-z_:][A-Za-
 check rand '\b(std::)?s?rand *\(' "${all_src[@]}"
 
 check cout 'std::(cout|cerr)\b' "${all_src[@]}"
+
+# raw-eintr needs a two-line window — the wrapper idiom regularly
+# splits `util::retryEintr(` and `[&] { return ::call(...` across
+# adjacent lines — so it gets its own scanner instead of check().
+raw_eintr_pattern='(^|[^A-Za-z0-9_:])::(read|write|fsync|fdatasync|recv|recvmsg|send|sendmsg|accept4?|open|openat|truncate|ftruncate|pread|pwrite|connect)\('
+mapfile -t eintr_scope < <(printf '%s\n' "${all_src[@]}" |
+  grep -E '^src/(store|net)/')
+for f in "${eintr_scope[@]}"; do
+  hits=$(awk -v pat="$raw_eintr_pattern" '
+    {
+      raw = $0
+      line = $0
+      sub(/\/\/.*$/, "", line)
+      if (line ~ pat && line !~ /retryEintr/ && prev !~ /retryEintr/ &&
+          raw !~ /lint:allow\(raw-eintr\)/)
+        printf "%d:%s\n", NR, line
+      prev = line
+    }' "$f")
+  if [ -n "$hits" ]; then
+    echo "lint[raw-eintr]: $f"
+    echo "$hits" | sed 's/^/    /'
+    fail=1
+  fi
+done
 
 mapfile -t writer_scope < <(printf '%s\n' "${all_src[@]}" |
   grep -E '^src/(core|service)/' |
