@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
                  "(0 = off; requires --wal-dir)");
   args.addOption("port-file", "",
                  "write the bound port to this file once listening");
+  args.addOption("drain-timeout-ms", "5000",
+                 "force-close connections still busy this long after "
+                 "SIGTERM/SIGINT (0 = wait indefinitely)");
   args.addSwitch("no-intake",
                  "serve localization only; ReportObservation/Flush "
                  "answer BAD_REQUEST");
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
     netConfig.port = static_cast<std::uint16_t>(args.getInt("port"));
     netConfig.workerThreads =
         static_cast<std::size_t>(args.getInt("net-threads"));
+    netConfig.drainTimeoutMs =
+        static_cast<std::size_t>(args.getInt("drain-timeout-ms"));
     netConfig.drainHook = [&service] {
       // Part of the SIGTERM contract: every observation admitted
       // before the drain is durably applied and published.  A service

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -49,9 +50,18 @@ Server::Server(service::LocalizationService& service, ServerConfig config)
     ::close(listenFd_);
     throw NetError("cannot create wakeup pipe");
   }
-  workers_ = std::make_unique<service::ThreadPool>(
-      resolveWorkers(config_.workerThreads));
-  loop_ = std::thread([this] { loop(); });
+  try {
+    workers_ = std::make_unique<service::ThreadPool>(
+        resolveWorkers(config_.workerThreads));
+    loop_ = std::thread([this] { loop(); });
+  } catch (...) {
+    // Pool construction or thread spawn failed before the loop took
+    // ownership of any socket; nothing else will close these.
+    ::close(listenFd_);
+    ::close(wakePipe_[0]);
+    ::close(wakePipe_[1]);
+    throw;
+  }
 }
 
 Server::~Server() {
@@ -99,9 +109,13 @@ void Server::loop() {
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Connection>> polled;
   bool listenerOpen = true;
+  std::chrono::steady_clock::time_point drainDeadline{};
   for (;;) {
     const bool stopping = stopRequested_.load(std::memory_order_acquire);
     if (stopping && listenerOpen) {
+      if (config_.drainTimeoutMs > 0)
+        drainDeadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.drainTimeoutMs);
       // Adopt connections the kernel already completed into the accept
       // backlog: a peer that connected (and possibly sent requests)
       // before the stop is in-flight work, and closing the listener
@@ -123,7 +137,7 @@ void Server::loop() {
     std::vector<std::pair<int, bool>> toClose;  // fd, cleanDisconnect
     for (const auto& [fd, conn] : connections_) {
       if (conn->dead) {
-        toClose.emplace_back(fd, true);
+        toClose.emplace_back(fd, !conn->dirtyDeath);
         continue;
       }
       bool idle = false;
@@ -140,7 +154,7 @@ void Server::loop() {
       if (!stopping) continue;
       readReady(conn);  // Drain cutoff: pull what is already delivered.
       if (conn->dead) {
-        toClose.emplace_back(fd, true);
+        toClose.emplace_back(fd, !conn->dirtyDeath);
         continue;
       }
       {
@@ -154,6 +168,17 @@ void Server::loop() {
         toClose.emplace_back(fd, conn->inputClosed);
     }
     for (const auto& [fd, clean] : toClose) closeConnection(fd, clean);
+
+    // The drain must terminate even against a peer that stalls
+    // mid-frame or never reads its responses: past the deadline the
+    // stragglers are cut off (counted as non-clean — we hung up).
+    if (stopping && config_.drainTimeoutMs > 0 &&
+        std::chrono::steady_clock::now() >= drainDeadline) {
+      std::vector<int> remaining;
+      remaining.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) remaining.push_back(fd);
+      for (const int fd : remaining) closeConnection(fd, false);
+    }
 
     if (stopping && connections_.empty()) break;
 
@@ -259,8 +284,10 @@ void Server::readReady(const std::shared_ptr<Connection>& conn) {
         }
       } catch (const ProtocolError&) {
         // Framing-level damage desynchronizes the byte stream; there
-        // is no safe resync point, so count it and drop the peer.
+        // is no safe resync point, so count it and drop the peer —
+        // dirty, so it is not double-counted as a clean disconnect.
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        conn->dirtyDeath = true;
         conn->dead = true;
         return;
       }
@@ -338,7 +365,24 @@ void Server::processPending(const std::shared_ptr<Connection>& conn) {
       frame = std::move(conn->pending.front());
       conn->pending.pop_front();
     }
-    std::string response = handleFrame(frame);
+    std::string response;
+    try {
+      response = handleFrame(frame);
+    } catch (...) {
+      // Handlers answer their own failures, so anything escaping here
+      // is a server-side defect.  Contain it on the worker: reset the
+      // processing flag so the connection cannot wedge with requests
+      // it will never answer, and kill it dirty rather than leave the
+      // peer waiting on a response that will never come.
+      {
+        const util::MutexLock lock(conn->mu);
+        conn->processing = false;
+      }
+      conn->dirtyDeath = true;
+      conn->dead = true;
+      wakeLoop();
+      return;
+    }
     {
       const util::MutexLock lock(conn->mu);
       conn->outbuf += response;
@@ -373,6 +417,35 @@ Failure classifyFailure(const std::exception_ptr& ep) {
     return {Status::kBadRequest, e.what(), false, false};
   } catch (const std::exception& e) {
     return {Status::kInternalError, e.what(), false, false};
+  }
+}
+
+/// Encoding a response can itself fail: a <=1 MiB LocalizeBatch of
+/// minimal scans yields estimates whose encoding legitimately exceeds
+/// kMaxPayloadBytes (each estimate encodes larger than its scan).
+/// That must stay a *response* — strip the body and answer
+/// kInternalError, which is guaranteed to frame — never an exception
+/// escaping into the worker pool.
+std::string encodeBounded(LocalizeResponse&& resp) {
+  try {
+    return encodeLocalizeResponse(resp);
+  } catch (const ProtocolError&) {
+    resp.estimate = core::LocationEstimate{};
+    resp.status = Status::kInternalError;
+    resp.message = "encoded response exceeds the frame bound";
+    return encodeLocalizeResponse(resp);
+  }
+}
+
+std::string encodeBounded(LocalizeBatchResponse&& resp) {
+  try {
+    return encodeLocalizeBatchResponse(resp);
+  } catch (const ProtocolError&) {
+    resp.estimates.clear();
+    resp.status = Status::kInternalError;
+    resp.message =
+        "encoded batch response exceeds the frame bound; split the batch";
+    return encodeLocalizeBatchResponse(resp);
   }
 }
 
@@ -418,7 +491,7 @@ std::string Server::handleLocalize(const Frame& frame) {
     if (f.overload)
       overloadRejections_.fetch_add(1, std::memory_order_relaxed);
   }
-  return encodeLocalizeResponse(resp);
+  return encodeBounded(std::move(resp));
 }
 
 std::string Server::handleLocalizeBatch(const Frame& frame) {
@@ -443,7 +516,7 @@ std::string Server::handleLocalizeBatch(const Frame& frame) {
     if (f.overload)
       overloadRejections_.fetch_add(1, std::memory_order_relaxed);
   }
-  return encodeLocalizeBatchResponse(resp);
+  return encodeBounded(std::move(resp));
 }
 
 std::string Server::handleReportObservation(const Frame& frame) {

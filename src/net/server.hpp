@@ -37,6 +37,12 @@ struct ServerConfig {
   /// Per-connection bound on buffered response bytes; past it the
   /// server likewise pauses reads until the peer consumes responses.
   std::size_t maxWriteQueueBytes = 4u << 20;
+  /// Upper bound on the graceful drain, measured from when the loop
+  /// observes the stop request.  Connections still busy at the
+  /// deadline — a peer stalled mid-frame or one that never reads its
+  /// responses — are force-closed, so a single slow or hostile client
+  /// cannot block shutdown indefinitely.  0 waits forever.
+  std::size_t drainTimeoutMs = 5000;
   /// Runs on the event-loop thread during graceful drain, after every
   /// in-flight response has been flushed and before the loop exits.
   /// molocd points this at LocalizationService::flushIntake so a
@@ -70,7 +76,9 @@ struct ServerConfig {
 /// including bytes still sitting in a socket's kernel buffer — is
 /// processed and its response flushed, each connection closes once a
 /// final read finds it quiet, the drain hook runs (molocd:
-/// flushIntake), and only then does the loop exit.
+/// flushIntake), and only then does the loop exit.  The drain is
+/// bounded by ServerConfig::drainTimeoutMs: past the deadline,
+/// connections that still refuse to go quiet are force-closed.
 class Server {
  public:
   /// Binds and starts serving immediately.  `service` must outlive
@@ -111,8 +119,18 @@ class Server {
     int fd;
     FrameAssembler assembler;
     bool inputClosed = false;  ///< Peer EOF seen; no more reads.
-    bool dead = false;         ///< Socket failed; reap without flushing.
     bool pausedReads = false;  ///< Flow control engaged last poll round.
+
+    /// Socket failed or the stream desynchronized; reap without
+    /// flushing.  Atomic (unlike the loop-only fields above) because a
+    /// worker containing an escaped handler failure sets it off the
+    /// loop thread.
+    std::atomic<bool> dead{false};
+    /// Why `dead`: set for protocol errors and server-side defects —
+    /// reaped as a counted *non-clean* drop — and left false when the
+    /// peer merely vanished (EPIPE/ECONNRESET, the contract's clean
+    /// disconnect).  Written before `dead`, read after it.
+    std::atomic<bool> dirtyDeath{false};
 
     util::Mutex mu;
     std::deque<Frame> pending MOLOC_GUARDED_BY(mu);

@@ -220,8 +220,12 @@ bool FrameAssembler::next(Frame& out) {
   if (!isKnownMsgType(rawType))
     throw ProtocolError(WireFault::kBadType, "unknown message type " +
                                                  std::to_string(rawType));
-  header.readU8();
-  header.readU8();
+  // The spec reserves these two bytes as zero; enforcing that here
+  // keeps any future use of them unambiguous (a v1 sender can never
+  // have put meaning into them).
+  if (header.readU8() != 0 || header.readU8() != 0)
+    throw ProtocolError(WireFault::kMalformedPayload,
+                        "nonzero reserved header bytes");
   const std::uint32_t payloadLen = header.readU32();
   if (payloadLen > kMaxPayloadBytes)
     throw ProtocolError(WireFault::kOversizedPayload,

@@ -24,7 +24,7 @@ namespace moloc::net {
 ///        0     4  magic        "MLOC" (0x434F4C4D)
 ///        4     1  version      kWireVersion
 ///        5     1  type         MsgType
-///        6     2  reserved     must be 0
+///        6     2  reserved     must be 0 (receivers reject nonzero)
 ///        8     4  payload len  <= kMaxPayloadBytes
 ///       12     n  payload      message body (see below)
 ///   12 + n     4  crc32c       over bytes [4, 12 + n) — everything

@@ -333,6 +333,79 @@ TEST(NetServer, DrainAnswersEveryPipelinedRequestBeforeClosing) {
   EXPECT_EQ(server.stats().requestsServed, kBurst);
 }
 
+TEST(NetServer, OversizedBatchResponseIsAnErrorNotAWedgedConnection) {
+  // Each served estimate encodes larger than the minimal scan that
+  // produced it, so a batch that fits the 1 MiB request bound can
+  // yield a response that does not.  The failed encode must come back
+  // as a kInternalError *response* — never wedge the connection (a
+  // worker exception would leave `processing` set forever) or block
+  // the drain.
+  service::LocalizationService served(twinFingerprints(), twinMotion(),
+                                      testConfig(2));
+  service::LocalizationService reference(twinFingerprints(), twinMotion(),
+                                         testConfig(1));
+  Server server(served, loopbackConfig());
+  Client client("127.0.0.1", server.port());
+
+  // Learn the per-estimate encoded size from one in-process first fix
+  // (same world, same scan), then size the batch so its response
+  // provably overflows while the request still frames.
+  const radio::Fingerprint scan({-50.0, -60.0});
+  const sensors::ImuTrace noImu(50.0);
+  const auto fix = reference.submitScan(1, scan, noImu);
+  ASSERT_GE(fix.candidates.size(), 3u);  // twin world: k=5 over 5 locations
+  const std::size_t perEstimate = 4 + 8 + 4 + 12 * fix.candidates.size();
+  const std::size_t count = kMaxPayloadBytes / perEstimate + 100;
+  const std::size_t perScan = 8 + 4 + 2 * 8 + 8 + 4;  // 2 APs, no IMU
+  ASSERT_LE(8 + 4 + count * perScan, kMaxPayloadBytes);
+
+  LocalizeBatchRequest request;
+  request.tag = 1;
+  request.scans.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WireScan s;
+    s.sessionId = i + 1;  // Distinct sessions: every estimate is a first fix.
+    s.scan = scan;
+    s.imu = noImu;
+    request.scans.push_back(std::move(s));
+  }
+
+  const LocalizeBatchResponse response = client.localizeBatch(request);
+  EXPECT_EQ(response.status, Status::kInternalError);
+  EXPECT_FALSE(response.message.empty());
+  EXPECT_TRUE(response.estimates.empty());
+
+  // The connection survived and the server still drains cleanly.
+  EXPECT_EQ(client.stats(2).status, Status::kOk);
+  server.requestStop();
+  server.waitUntilStopped();
+  EXPECT_TRUE(server.stopped());
+}
+
+TEST(NetServer, DrainDeadlineForceClosesAStalledMidFramePeer) {
+  service::LocalizationService served(twinFingerprints(), twinMotion(),
+                                      testConfig(1));
+  ServerConfig config = loopbackConfig();
+  config.drainTimeoutMs = 200;
+  Server server(served, config);
+  Client client("127.0.0.1", server.port());
+
+  // A frame that never finishes: only half the header arrives.  The
+  // peer looks permanently "mid-send" to the reap pass.
+  const std::string frame = encodeFlushRequest({1});
+  client.send(std::string_view(frame.data(), 6));
+  awaitDelivered(client);
+
+  server.requestStop();
+  // Without the deadline the loop would wait forever for the rest of
+  // the frame; with it the straggler is cut and the drain completes.
+  server.waitUntilStopped();
+  EXPECT_TRUE(server.stopped());
+  EXPECT_THROW(client.recvFrame(), NetError);
+  // Force-closing is our hang-up, not a peer one: never counted clean.
+  EXPECT_EQ(server.stats().cleanDisconnects, 0u);
+}
+
 TEST(NetServer, DrainRunsTheDrainHookAfterFlushingResponses) {
   service::LocalizationService served(twinFingerprints(), twinMotion(),
                                       testConfig(1));
@@ -395,6 +468,12 @@ TEST(NetServer, MalformedBytesCountAndDropTheConnection) {
   // The server itself is unharmed.
   Client third("127.0.0.1", server.port());
   EXPECT_EQ(third.stats(1).status, Status::kOk);
+
+  // Taxonomy: a protocol-error drop is *not* a clean disconnect — the
+  // two counters partition disconnect causes, they never double-count.
+  // (The stats round trip above guarantees the loop has long since
+  // reaped both dropped connections.)
+  EXPECT_EQ(server.stats().cleanDisconnects, 0u);
 }
 
 TEST(NetServer, PeerHangupIsACleanCountedDisconnect) {

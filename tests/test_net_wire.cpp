@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "store/crc32c.hpp"
+
 namespace moloc::net {
 namespace {
 
@@ -338,12 +340,27 @@ TEST(NetWire, CorruptPayloadByteFailsTheCrc) {
   EXPECT_EQ(faultOf(frame), WireFault::kBadCrc);
 }
 
-TEST(NetWire, CorruptReservedBytesFailTheCrc) {
-  // The reserved bytes are covered by the CRC even though the header
-  // parser skips them — damage there must not slip through.
+TEST(NetWire, NonzeroReservedBytesAreRejectedFailFast) {
+  // The spec says the reserved bytes must be 0 and receivers enforce
+  // it, so future use of those bytes can never be ambiguous.  Only 12
+  // header bytes are fed: rejection must not wait for payload or CRC.
+  for (const std::size_t byte : {std::size_t{6}, std::size_t{7}}) {
+    std::string header = rawHeader(kMagic, kWireVersion, 1, 0);
+    header[byte] = 0x01;
+    EXPECT_EQ(faultOf(header), WireFault::kMalformedPayload)
+        << "reserved byte at offset " << byte;
+  }
+
+  // A full frame with a nonzero reserved byte (CRC recomputed to
+  // match) is equally rejected — the check is not just CRC fallout.
   std::string frame = encodeFlushRequest({1});
-  frame[6] = 0x01;
-  EXPECT_EQ(faultOf(frame), WireFault::kBadCrc);
+  frame[7] = 0x01;
+  const std::uint32_t crc = store::crc32c(
+      frame.data() + 4, frame.size() - 4 - kTrailerBytes);
+  for (int i = 0; i < 4; ++i)
+    frame[frame.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  EXPECT_EQ(faultOf(frame), WireFault::kMalformedPayload);
 }
 
 TEST(NetWire, CorruptTrailerFailsTheCrc) {
