@@ -1,11 +1,13 @@
 // moloc_loadgen: trace-replay load generator for molocd.
 //
-// Builds the same seeded ExperimentWorld as the daemon, simulates a
-// cohort of walking users with traj::TraceSimulator, and replays every
-// user's scan sequence over real TCP connections using the binary wire
-// protocol — thousands of concurrent sessions multiplexed over a
-// handful of pipelined connections, exactly the shape of a production
-// deployment.
+// Builds the same seeded world as the daemon — the office-hall
+// ExperimentWorld by default, or with --venue the same generated
+// campus venue (worldgen::GeneratedVenue; spec and --venue-seed must
+// match the daemon's) — simulates a cohort of walking users, and
+// replays every user's scan sequence over real TCP connections using
+// the binary wire protocol — thousands of concurrent sessions
+// multiplexed over a handful of pipelined connections, exactly the
+// shape of a production deployment.
 //
 // Phases:
 //   1. Measured localize phase: every user's walk replayed end to end;
@@ -36,6 +38,8 @@
 #include "service/localization_service.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
+#include "worldgen/generated_venue.hpp"
+#include "worldgen/venue_spec.hpp"
 
 namespace {
 
@@ -55,6 +59,14 @@ struct UserScript {
   std::uint64_t sessionId = 0;
   std::vector<radio::Fingerprint> scans;
   std::vector<sensors::ImuTrace> imus;  ///< Parallel; [0] is empty.
+};
+
+/// One ground-truth relative-location observation for phase 2.
+struct ObservationTruth {
+  env::LocationId from = 0;
+  env::LocationId to = 0;
+  double directionDeg = 0.0;
+  double offsetMeters = 0.0;
 };
 
 struct CompletedRequest {
@@ -168,6 +180,11 @@ int main(int argc, char** argv) {
   args.addOption("legs", "4", "walk legs per user (requests = legs+1)");
   args.addOption("seed", "42", "world seed (must match the daemon)");
   args.addOption("ap-count", "6", "world AP count (must match)");
+  args.addOption("venue", "",
+                 "replay against a generated campus venue instead of "
+                 "the office hall (must match the daemon's --venue)");
+  args.addOption("venue-seed", "42",
+                 "venue generation seed (must match the daemon)");
   args.addOption("observations", "64",
                  "ground-truth observations to report in phase 2");
   args.addOption("out", "", "output JSON path (default bench_results/)");
@@ -216,31 +233,83 @@ int main(int argc, char** argv) {
   eval::WorldConfig worldConfig;
   worldConfig.seed = static_cast<std::uint64_t>(args.getInt("seed"));
   worldConfig.apCount = args.getInt("ap-count");
-  std::printf("moloc_loadgen: building world (seed %llu, %d APs)...\n",
-              static_cast<unsigned long long>(worldConfig.seed),
-              worldConfig.apCount);
-  const eval::ExperimentWorld world(worldConfig);
+  std::unique_ptr<eval::ExperimentWorld> world;
+  std::unique_ptr<worldgen::GeneratedVenue> venue;
+  const std::string venueText = args.getString("venue");
+  if (!venueText.empty()) {
+    worldgen::VenueSpec spec = worldgen::parseVenueSpec(venueText);
+    spec.seed = static_cast<std::uint64_t>(args.getInt("venue-seed"));
+    std::printf("moloc_loadgen: generating venue %s (seed %llu)...\n",
+                worldgen::describeVenueSpec(spec).c_str(),
+                static_cast<unsigned long long>(spec.seed));
+    venue = std::make_unique<worldgen::GeneratedVenue>(spec);
+  } else {
+    std::printf("moloc_loadgen: building world (seed %llu, %d APs)...\n",
+                static_cast<unsigned long long>(worldConfig.seed),
+                worldConfig.apCount);
+    world = std::make_unique<eval::ExperimentWorld>(worldConfig);
+  }
 
   // ---- Script generation: one deterministic walk per user ----------
   std::printf("moloc_loadgen: scripting %zu users x %d legs...\n", users,
               legs);
   std::vector<UserScript> scripts(users);
-  std::vector<traj::Trace> traces;
-  traces.reserve(users);
-  for (std::size_t u = 0; u < users; ++u) {
-    const auto& profile = world.users()[u % world.users().size()];
-    // Per-user stream derived from the master seed: identical between
-    // runs and independent of user count ordering.
-    util::Rng rng(worldConfig.seed * 1000003ULL + u);
-    traces.push_back(world.makeTrace(profile, legs, rng));
-    const traj::Trace& trace = traces.back();
-    UserScript& script = scripts[u];
-    script.sessionId = u + 1;
-    script.scans.push_back(trace.initialScan);
-    script.imus.emplace_back();
-    for (const auto& interval : trace.intervals) {
-      script.scans.push_back(interval.scanAtArrival);
-      script.imus.push_back(interval.imu);
+  std::vector<std::vector<ObservationTruth>> truths(users);
+  if (venue) {
+    // Venue mode: random walks over the venue's walk graph, scans
+    // drawn from the serving-epoch radio model, fingerprint-only
+    // rounds (empty IMU).  Steps stay on one floor — stair and bridge
+    // legs have no straight-line geometry, which the intake's
+    // map-consistency filter would reject.
+    const env::WalkGraph& graph = venue->site().graph;
+    for (std::size_t u = 0; u < users; ++u) {
+      util::Rng rng(venue->spec().seed * 1000003ULL + 0x70000000ULL + u);
+      UserScript& script = scripts[u];
+      script.sessionId = u + 1;
+      env::LocationId loc = static_cast<env::LocationId>(
+          rng.uniformIndex(venue->locationCount()));
+      script.scans.push_back(venue->scanAt(loc, 0.0, rng));
+      script.imus.emplace_back();
+      for (int leg = 0; leg < legs; ++leg) {
+        const auto neighbors = graph.neighbors(loc);
+        env::LocationId next = loc;
+        double stepHeading = 0.0;
+        double stepLength = 0.0;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const auto& edge =
+              neighbors[static_cast<std::size_t>(rng.uniformIndex(
+                  static_cast<std::uint64_t>(neighbors.size())))];
+          if (&venue->floorOf(edge.to) != &venue->floorOf(loc)) continue;
+          next = edge.to;
+          stepHeading = edge.headingDeg;
+          stepLength = edge.length;
+          break;
+        }
+        if (next != loc)
+          truths[u].push_back({loc, next, stepHeading, stepLength});
+        loc = next;
+        script.scans.push_back(venue->scanAt(loc, stepHeading, rng));
+        script.imus.emplace_back();
+      }
+    }
+  } else {
+    for (std::size_t u = 0; u < users; ++u) {
+      const auto& profile = world->users()[u % world->users().size()];
+      // Per-user stream derived from the master seed: identical
+      // between runs and independent of user count ordering.
+      util::Rng rng(worldConfig.seed * 1000003ULL + u);
+      const traj::Trace trace = world->makeTrace(profile, legs, rng);
+      UserScript& script = scripts[u];
+      script.sessionId = u + 1;
+      script.scans.push_back(trace.initialScan);
+      script.imus.emplace_back();
+      for (const auto& interval : trace.intervals) {
+        script.scans.push_back(interval.scanAtArrival);
+        script.imus.push_back(interval.imu);
+        truths[u].push_back({interval.fromTruth, interval.toTruth,
+                             interval.trueDirectionDeg,
+                             interval.trueOffsetMeters});
+      }
     }
   }
 
@@ -339,17 +408,18 @@ int main(int argc, char** argv) {
   try {
     net::Client control(host, port);
     if (serverHasIntake) {
+      std::size_t available = 0;
+      for (const auto& userTruths : truths) available += userTruths.size();
       const std::size_t toReport = std::min<std::size_t>(
           static_cast<std::size_t>(args.getInt("observations")),
-          traces[0].intervals.size() * users);
+          available);
       std::size_t reported = 0;
       for (std::size_t u = 0; u < users && reported < toReport; ++u) {
-        for (const auto& interval : traces[u].intervals) {
+        for (const auto& truth : truths[u]) {
           if (reported >= toReport) break;
           const auto response = control.reportObservation(
-              makeTag(u, 9000 + reported), interval.fromTruth,
-              interval.toTruth, interval.trueDirectionDeg,
-              interval.trueOffsetMeters);
+              makeTag(u, 9000 + reported), truth.from, truth.to,
+              truth.directionDeg, truth.offsetMeters);
           ++reported;
           ++observationsReported;
           if (response.status == net::Status::kOk && response.accepted)
@@ -383,15 +453,18 @@ int main(int argc, char** argv) {
     std::printf("moloc_loadgen: verifying against in-process service"
                 "...\n");
     // Mirror the daemon's construction exactly: same databases, same
-    // default engine config, and the same (empty) intake database —
+    // default engine config (venue mode includes the same tiered-index
+    // shard boundaries), and the same (empty) intake database —
     // attaching intake publishes generation 1, which the sessions
     // adopt, so skipping it would verify against the wrong world.
-    core::OnlineMotionDatabase verifyDb(world.hall().plan);
+    core::OnlineMotionDatabase verifyDb(venue ? venue->site().plan
+                                              : world->hall().plan);
     service::ServiceConfig verifyConfig;
     verifyConfig.threadCount = 1;
-    service::LocalizationService reference(world.fingerprintDb(),
-                                           world.motionDb(),
-                                           verifyConfig);
+    if (venue) verifyConfig.indexShardStarts = venue->shardStarts();
+    service::LocalizationService reference(
+        venue ? venue->fingerprints() : world->fingerprintDb(),
+        venue ? venue->motion() : world->motionDb(), verifyConfig);
     if (serverHasIntake) reference.attachIntake(&verifyDb);
     for (std::size_t u = 0; u < users; ++u) {
       for (std::size_t r = 0; r < roundCount; ++r) {
@@ -431,6 +504,9 @@ int main(int argc, char** argv) {
       .field("requests_per_user", static_cast<double>(roundCount))
       .field("seed", static_cast<double>(worldConfig.seed))
       .field("ap_count", static_cast<double>(worldConfig.apCount))
+      .field("venue", venueText)
+      .field("venue_locations",
+             venue ? static_cast<double>(venue->locationCount()) : 0.0)
       .field("smoke", smoke)
       .endObject()
       .beginObject("totals")

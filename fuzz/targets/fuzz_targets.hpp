@@ -51,4 +51,11 @@ int runCsvParse(const std::uint8_t* data, std::size_t size);
 /// slack).
 int runWireDecode(const std::uint8_t* data, std::size_t size);
 
+/// index::decodeSignatureBlock over one serialized quantized-signature
+/// block (the tiered index's bit-sliced slab format).  Rejections must
+/// be SignatureCodecError; every accepted block must re-encode to the
+/// identical bytes (canonical form) and its buckets must round-trip
+/// through the thermometer plane packers the index builds shards with.
+int runSignatureCodec(const std::uint8_t* data, std::size_t size);
+
 }  // namespace moloc::fuzz

@@ -18,9 +18,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/online_motion_database.hpp"
 #include "env/floor_plan.hpp"
+#include "index/signature_codec.hpp"
 #include "io/serialization.hpp"
 #include "net/wire.hpp"
 #include "radio/fingerprint_database.hpp"
@@ -222,6 +224,56 @@ void makeSerializationSeeds(const fs::path& root) {
   }
 }
 
+void makeSignatureSeeds(const fs::path& root) {
+  using moloc::index::encodeSignatureBlock;
+  const auto asString = [](const std::vector<std::uint8_t>& bytes) {
+    return std::string(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size());
+  };
+
+  // A full 64-entry block at the index's default 8-bucket quantizer,
+  // mixing unheard (bucket 0) with the whole heard range.
+  std::vector<std::uint8_t> full(64);
+  for (std::size_t e = 0; e < full.size(); ++e)
+    full[e] = static_cast<std::uint8_t>((e * 5) % 8);
+  writeFile(root / "signature/full-block-8-buckets.bin",
+            asString(encodeSignatureBlock(full, 8)));
+
+  // A partial tail block (the last block of a shard) at the minimum
+  // and maximum bucket counts.
+  const std::vector<std::uint8_t> tail{1, 0, 1, 0, 1};
+  writeFile(root / "signature/tail-block-2-buckets.bin",
+            asString(encodeSignatureBlock(tail, 2)));
+  const std::vector<std::uint8_t> wide{15, 0, 7, 3, 11, 1, 14};
+  writeFile(root / "signature/tail-block-16-buckets.bin",
+            asString(encodeSignatureBlock(wide, 16)));
+
+  // An all-unheard block: every plane word zero (the sparse-visibility
+  // common case the prefilter's presence plane keys on).
+  writeFile(root / "signature/all-unheard.bin",
+            asString(encodeSignatureBlock(
+                std::vector<std::uint8_t>(64, 0), 8)));
+
+  // Regressions: malformed blocks decode must keep rejecting with
+  // SignatureCodecError, never crash or accept.
+  //
+  // A stray bit past entryCount in the presence plane.
+  std::vector<std::uint8_t> stray = encodeSignatureBlock(tail, 2);
+  stray[2] |= 0x20;  // Bit 5; entryCount is 5.
+  writeFile(root / "regressions/signature/stray-bit-past-entries.bin",
+            asString(stray));
+  // A thermometer violation: a deep-plane bit without its prefix.
+  std::vector<std::uint8_t> nonMonotone = encodeSignatureBlock(full, 8);
+  nonMonotone[2 + 6 * 8] |= 0x1;  // Plane 6 bit for an entry in bucket 0.
+  writeFile(root / "regressions/signature/non-monotone-planes.bin",
+            asString(nonMonotone));
+  // A header whose plane payload is truncated.
+  const std::vector<std::uint8_t> whole = encodeSignatureBlock(full, 8);
+  const std::vector<std::uint8_t> torn(whole.begin(), whole.end() - 11);
+  writeFile(root / "regressions/signature/torn-planes.bin",
+            asString(torn));
+}
+
 }  // namespace
 
 /// Wire-protocol seeds: one of each message through the real
@@ -326,5 +378,6 @@ int main(int argc, char** argv) {
   makeCheckpointSeeds(root);
   makeSerializationSeeds(root);
   makeWireSeeds(root);
+  makeSignatureSeeds(root);
   return 0;
 }

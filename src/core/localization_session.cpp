@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <stdexcept>
+#include <utility>
 
 namespace moloc::core {
 
@@ -29,6 +30,14 @@ LocalizationSession::LocalizationSession(
     const MotionDatabase& motion, double stepLengthMeters,
     MoLocConfig config, sensors::MotionProcessorParams motionParams)
     : engine_(fingerprints, motion, config),
+      processor_(motionParams),
+      stepLengthMeters_(checkStepLength(stepLengthMeters)) {}
+
+LocalizationSession::LocalizationSession(
+    CandidateEstimator estimator, const MotionDatabase& motion,
+    double stepLengthMeters, MoLocConfig config,
+    sensors::MotionProcessorParams motionParams)
+    : engine_(std::move(estimator), motion, config),
       processor_(motionParams),
       stepLengthMeters_(checkStepLength(stepLengthMeters)) {}
 

@@ -36,6 +36,15 @@ class LocalizationSession {
       MoLocConfig config = {},
       sensors::MotionProcessorParams motionParams = {});
 
+  /// Variant with an explicit candidate source (e.g. the tiered-index
+  /// backend); `config.candidateCount` is ignored in favour of the
+  /// estimator's own k.  Whatever the estimator captures must outlive
+  /// the session.
+  LocalizationSession(CandidateEstimator estimator,
+                      const MotionDatabase& motion,
+                      double stepLengthMeters, MoLocConfig config = {},
+                      sensors::MotionProcessorParams motionParams = {});
+
   /// One localization round: the scan just taken and the IMU recording
   /// covering the interval since the last round (pass an empty trace
   /// for the first fix).  Standing still or undetectable walking

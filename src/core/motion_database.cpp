@@ -8,11 +8,11 @@
 namespace moloc::core {
 
 MotionDatabase::MotionDatabase(std::size_t locationCount)
-    : n_(locationCount), entries_(locationCount * locationCount) {}
+    : n_(locationCount) {}
 
-std::size_t MotionDatabase::index(env::LocationId i,
-                                  env::LocationId j) const {
-  return static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j);
+std::uint64_t MotionDatabase::index(env::LocationId i,
+                                    env::LocationId j) const {
+  return static_cast<std::uint64_t>(i) * n_ + static_cast<std::uint64_t>(j);
 }
 
 void MotionDatabase::checkIds(env::LocationId i, env::LocationId j) const {
@@ -40,10 +40,7 @@ void MotionDatabase::setEntryWithMirror(env::LocationId i,
 
 bool MotionDatabase::clearEntry(env::LocationId i, env::LocationId j) {
   checkIds(i, j);
-  auto& entry = entries_[index(i, j)];
-  const bool existed = entry.has_value();
-  entry.reset();
-  return existed;
+  return entries_.erase(index(i, j)) > 0;
 }
 
 bool MotionDatabase::clearEntryWithMirror(env::LocationId i,
@@ -55,20 +52,15 @@ bool MotionDatabase::clearEntryWithMirror(env::LocationId i,
 
 bool MotionDatabase::hasEntry(env::LocationId i, env::LocationId j) const {
   checkIds(i, j);
-  return entries_[index(i, j)].has_value();
+  return entries_.find(index(i, j)) != entries_.end();
 }
 
 std::optional<RlmStats> MotionDatabase::entry(env::LocationId i,
                                               env::LocationId j) const {
   checkIds(i, j);
-  return entries_[index(i, j)];
-}
-
-std::size_t MotionDatabase::entryCount() const {
-  std::size_t count = 0;
-  for (const auto& e : entries_)
-    if (e.has_value()) ++count;
-  return count;
+  const auto it = entries_.find(index(i, j));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace moloc::core

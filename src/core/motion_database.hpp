@@ -2,8 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <vector>
 
 #include "env/floor_plan.hpp"
 
@@ -27,6 +27,10 @@ struct RlmStats {
 /// Entries are optional — most pairs are not adjacent and never receive
 /// crowdsourced measurements; the localization engine treats a missing
 /// entry as "no known walkable leg".
+///
+/// Storage is sparse (keyed by the row-major pair index): real venues
+/// have O(n) walkable legs, and a dense n^2 table is intractable at the
+/// 10k–100k locations the worldgen venues reach.
 class MotionDatabase {
  public:
   MotionDatabase() = default;
@@ -59,25 +63,25 @@ class MotionDatabase {
   std::optional<RlmStats> entry(env::LocationId i, env::LocationId j) const;
 
   /// Number of populated directed entries.
-  std::size_t entryCount() const;
+  std::size_t entryCount() const { return entries_.size(); }
 
   /// Calls fn(i, j, stats) for every populated directed entry, in
   /// row-major (i, then j) order — how kernel::MotionAdjacency builds
-  /// its CSR index without n^2 entry() copies.
+  /// its CSR index without n^2 entry() copies.  The ordered map key is
+  /// the row-major pair index, so in-order iteration is exactly that.
   template <typename Fn>
   void forEachEntry(Fn&& fn) const {
-    for (std::size_t idx = 0; idx < entries_.size(); ++idx)
-      if (entries_[idx])
-        fn(static_cast<env::LocationId>(idx / n_),
-           static_cast<env::LocationId>(idx % n_), *entries_[idx]);
+    for (const auto& [idx, stats] : entries_)
+      fn(static_cast<env::LocationId>(idx / n_),
+         static_cast<env::LocationId>(idx % n_), stats);
   }
 
  private:
-  std::size_t index(env::LocationId i, env::LocationId j) const;
+  std::uint64_t index(env::LocationId i, env::LocationId j) const;
   void checkIds(env::LocationId i, env::LocationId j) const;
 
   std::size_t n_ = 0;
-  std::vector<std::optional<RlmStats>> entries_;
+  std::map<std::uint64_t, RlmStats> entries_;
 };
 
 }  // namespace moloc::core

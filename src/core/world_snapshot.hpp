@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/motion_database.hpp"
+#include "index/tiered_index.hpp"
 #include "kernel/motion_kernel.hpp"
 #include "radio/fingerprint_database.hpp"
 
@@ -37,10 +38,16 @@ class WorldSnapshot {
   /// null for motion-only worlds (tests); `generation` is the publish
   /// sequence number, `intakeRecords` the number of accepted
   /// observations folded into this world (staleness accounting).
+  /// `tieredIndex`, when non-null, is the prefilter built over
+  /// `fingerprints` (shared across snapshots like the radio map itself
+  /// — both are immutable online, so a publish copies neither).
   WorldSnapshot(std::shared_ptr<const radio::FingerprintDatabase> fingerprints,
                 MotionDatabase motion, std::uint64_t generation,
-                std::uint64_t intakeRecords)
+                std::uint64_t intakeRecords,
+                std::shared_ptr<const index::TieredIndex> tieredIndex =
+                    nullptr)
       : fingerprints_(std::move(fingerprints)),
+        tieredIndex_(std::move(tieredIndex)),
         motion_(std::move(motion)),
         adjacency_(motion_),
         generation_(generation),
@@ -54,6 +61,14 @@ class WorldSnapshot {
   const std::shared_ptr<const radio::FingerprintDatabase>& fingerprints()
       const {
     return fingerprints_;
+  }
+
+  /// The tiered candidate index over fingerprints(), when the serving
+  /// layer built one; null otherwise.  Built once before the snapshot
+  /// is published, never mutated after — the same immutability
+  /// contract as the adjacency.
+  const std::shared_ptr<const index::TieredIndex>& tieredIndex() const {
+    return tieredIndex_;
   }
 
   /// The frozen motion database (the adjacency's source of truth —
@@ -89,6 +104,7 @@ class WorldSnapshot {
 
  private:
   std::shared_ptr<const radio::FingerprintDatabase> fingerprints_;
+  std::shared_ptr<const index::TieredIndex> tieredIndex_;
   MotionDatabase motion_;
   kernel::MotionAdjacency adjacency_;
   std::uint64_t generation_ = 0;

@@ -30,6 +30,34 @@ WalkGraph WalkGraph::build(const FloorPlan& plan, double maxAdjacencyDist) {
   return graph;
 }
 
+WalkGraph WalkGraph::fromEdges(std::size_t nodeCount,
+                               std::span<const UndirectedEdge> edges) {
+  WalkGraph graph;
+  graph.adjacency_.resize(nodeCount);
+  for (const auto& edge : edges) {
+    if (edge.a < 0 || edge.b < 0 ||
+        static_cast<std::size_t>(edge.a) >= nodeCount ||
+        static_cast<std::size_t>(edge.b) >= nodeCount)
+      throw std::invalid_argument(
+          "WalkGraph::fromEdges: edge (" + std::to_string(edge.a) + ", " +
+          std::to_string(edge.b) + ") outside " +
+          std::to_string(nodeCount) + " nodes");
+    if (edge.a == edge.b)
+      throw std::invalid_argument("WalkGraph::fromEdges: self-loop at " +
+                                  std::to_string(edge.a));
+    if (!(edge.length > 0.0))
+      throw std::invalid_argument(
+          "WalkGraph::fromEdges: non-positive length on edge (" +
+          std::to_string(edge.a) + ", " + std::to_string(edge.b) + ")");
+    graph.adjacency_[static_cast<std::size_t>(edge.a)].push_back(
+        {edge.b, edge.length, edge.headingDeg});
+    graph.adjacency_[static_cast<std::size_t>(edge.b)].push_back(
+        {edge.a, edge.length,
+         geometry::reverseHeadingDeg(edge.headingDeg)});
+  }
+  return graph;
+}
+
 std::span<const WalkEdge> WalkGraph::neighbors(LocationId id) const {
   checkId(id);
   return adjacency_[static_cast<std::size_t>(id)];

@@ -28,6 +28,16 @@ struct WalkPath {
   double length = 0.0;            ///< Total walkable length, metres.
 };
 
+/// One undirected walkable leg for WalkGraph::fromEdges.  `headingDeg`
+/// is the compass heading of the a -> b direction; the reverse edge
+/// gets the 180-degree-reversed heading.
+struct UndirectedEdge {
+  LocationId a = 0;
+  LocationId b = 0;
+  double length = 0.0;
+  double headingDeg = 0.0;
+};
+
 /// The walkable-aisle graph over a floor plan's reference locations.
 ///
 /// Two locations are adjacent iff they are within `maxAdjacencyDist` of
@@ -40,7 +50,19 @@ struct WalkPath {
 class WalkGraph {
  public:
   /// Builds the graph from the plan's reference locations.
+  ///
+  /// All-pairs construction is O(n^2) and only suitable for paper-scale
+  /// plans; large generated venues build their edge list analytically
+  /// and use fromEdges instead.
   static WalkGraph build(const FloorPlan& plan, double maxAdjacencyDist);
+
+  /// Builds the graph from an explicit undirected edge list over
+  /// `nodeCount` locations (ids 0..nodeCount-1).  Each edge adds both
+  /// directed legs, the reverse with reverseHeadingDeg.  Throws
+  /// std::invalid_argument on out-of-range ids, self-loops, or
+  /// non-positive lengths.
+  static WalkGraph fromEdges(std::size_t nodeCount,
+                             std::span<const UndirectedEdge> edges);
 
   std::size_t nodeCount() const { return adjacency_.size(); }
 

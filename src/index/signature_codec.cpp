@@ -1,0 +1,149 @@
+#include "index/signature_codec.hpp"
+
+#include <cmath>
+
+namespace moloc::index {
+
+namespace {
+
+std::uint64_t entryMask(std::size_t entryCount) {
+  return entryCount >= kBlockEntries
+             ? ~std::uint64_t{0}
+             : (std::uint64_t{1} << entryCount) - 1;
+}
+
+}  // namespace
+
+void validateQuantizer(const QuantizerConfig& config) {
+  if (!std::isfinite(config.floorDbm))
+    throw std::invalid_argument("QuantizerConfig: non-finite floorDbm");
+  if (!(config.bucketWidthDb > 0.0) ||
+      !std::isfinite(config.bucketWidthDb))
+    throw std::invalid_argument(
+        "QuantizerConfig: bucketWidthDb must be positive and finite");
+  if (config.bucketCount < 2 || config.bucketCount > kMaxBucketCount)
+    throw std::invalid_argument(
+        "QuantizerConfig: bucketCount must be in [2, " +
+        std::to_string(kMaxBucketCount) + "], got " +
+        std::to_string(config.bucketCount));
+}
+
+std::uint8_t quantizeRss(double rssDbm, const QuantizerConfig& config) {
+  // NaN compares false, landing in bucket 0 alongside "not heard" —
+  // the callers validate finiteness before trusting a reading, but the
+  // quantizer itself must be total for the fuzz surface.
+  if (!(rssDbm > config.floorDbm)) return 0;
+  const double above = (rssDbm - config.floorDbm) / config.bucketWidthDb;
+  const double bucket = 1.0 + std::floor(above);
+  const double top = static_cast<double>(config.bucketCount - 1);
+  return static_cast<std::uint8_t>(bucket < top ? bucket : top);
+}
+
+void packThermometerPlanes(std::span<const std::uint8_t> buckets,
+                           int bucketCount,
+                           std::span<std::uint64_t> planes) {
+  if (bucketCount < 2 || bucketCount > kMaxBucketCount)
+    throw std::invalid_argument("packThermometerPlanes: bad bucketCount");
+  if (buckets.size() > kBlockEntries)
+    throw std::invalid_argument(
+        "packThermometerPlanes: more than kBlockEntries buckets");
+  if (planes.size() != static_cast<std::size_t>(bucketCount - 1))
+    throw std::invalid_argument(
+        "packThermometerPlanes: planes span must hold bucketCount - 1 "
+        "words");
+  for (auto& plane : planes) plane = 0;
+  for (std::size_t e = 0; e < buckets.size(); ++e) {
+    if (buckets[e] >= bucketCount)
+      throw std::invalid_argument(
+          "packThermometerPlanes: bucket value out of range");
+    for (int t = 0; t < buckets[e]; ++t)
+      planes[static_cast<std::size_t>(t)] |= std::uint64_t{1} << e;
+  }
+}
+
+void unpackThermometerPlanes(std::span<const std::uint64_t> planes,
+                             int bucketCount, std::size_t entryCount,
+                             std::span<std::uint8_t> buckets) {
+  if (bucketCount < 2 || bucketCount > kMaxBucketCount)
+    throw std::invalid_argument("unpackThermometerPlanes: bad bucketCount");
+  if (planes.size() != static_cast<std::size_t>(bucketCount - 1))
+    throw std::invalid_argument(
+        "unpackThermometerPlanes: planes span must hold bucketCount - 1 "
+        "words");
+  if (entryCount > kBlockEntries || buckets.size() != entryCount)
+    throw std::invalid_argument(
+        "unpackThermometerPlanes: bad entry count");
+  for (std::size_t t = 0; t + 1 < planes.size(); ++t)
+    if ((planes[t + 1] & ~planes[t]) != 0)
+      throw std::invalid_argument(
+          "unpackThermometerPlanes: non-thermometer planes");
+  for (std::size_t e = 0; e < entryCount; ++e) {
+    std::uint8_t bucket = 0;
+    for (const std::uint64_t plane : planes)
+      bucket += static_cast<std::uint8_t>((plane >> e) & 1u);
+    buckets[e] = bucket;
+  }
+}
+
+std::vector<std::uint8_t> encodeSignatureBlock(
+    std::span<const std::uint8_t> buckets, int bucketCount) {
+  std::vector<std::uint64_t> planes(
+      bucketCount >= 2 ? static_cast<std::size_t>(bucketCount - 1) : 0);
+  packThermometerPlanes(buckets, bucketCount, planes);
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(2 + planes.size() * 8);
+  bytes.push_back(static_cast<std::uint8_t>(bucketCount));
+  bytes.push_back(static_cast<std::uint8_t>(buckets.size()));
+  for (const std::uint64_t plane : planes)
+    for (int byte = 0; byte < 8; ++byte)
+      bytes.push_back(static_cast<std::uint8_t>(plane >> (8 * byte)));
+  return bytes;
+}
+
+DecodedSignatureBlock decodeSignatureBlock(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 2) throw SignatureCodecError("truncated header");
+  const int bucketCount = bytes[0];
+  const std::size_t entryCount = bytes[1];
+  if (bucketCount < 2 || bucketCount > kMaxBucketCount)
+    throw SignatureCodecError("bucketCount " +
+                              std::to_string(bucketCount) +
+                              " outside [2, " +
+                              std::to_string(kMaxBucketCount) + "]");
+  if (entryCount > kBlockEntries)
+    throw SignatureCodecError("entryCount " + std::to_string(entryCount) +
+                              " exceeds " +
+                              std::to_string(kBlockEntries));
+  const std::size_t planeCount = static_cast<std::size_t>(bucketCount - 1);
+  if (bytes.size() != 2 + planeCount * 8)
+    throw SignatureCodecError(
+        "size " + std::to_string(bytes.size()) + " != expected " +
+        std::to_string(2 + planeCount * 8));
+
+  std::vector<std::uint64_t> planes(planeCount);
+  for (std::size_t t = 0; t < planeCount; ++t) {
+    std::uint64_t plane = 0;
+    for (int byte = 0; byte < 8; ++byte)
+      plane |= std::uint64_t{bytes[2 + t * 8 + byte]} << (8 * byte);
+    planes[t] = plane;
+  }
+
+  const std::uint64_t mask = entryMask(entryCount);
+  for (std::size_t t = 0; t < planeCount; ++t)
+    if ((planes[t] & ~mask) != 0)
+      throw SignatureCodecError("bit set past entryCount in plane " +
+                                std::to_string(t));
+  for (std::size_t t = 0; t + 1 < planeCount; ++t)
+    if ((planes[t + 1] & ~planes[t]) != 0)
+      throw SignatureCodecError(
+          "non-thermometer planes (plane " + std::to_string(t + 1) +
+          " not a subset of plane " + std::to_string(t) + ")");
+
+  DecodedSignatureBlock block;
+  block.bucketCount = bucketCount;
+  block.buckets.resize(entryCount);
+  unpackThermometerPlanes(planes, bucketCount, entryCount, block.buckets);
+  return block;
+}
+
+}  // namespace moloc::index

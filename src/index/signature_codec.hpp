@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace moloc::index {
+
+/// Maps an RSS reading to a few-bit bucket for the prefilter tier.
+///
+/// Bucket 0 is reserved for "not heard" (readings at or below the
+/// detection floor), which makes AP absence first-class in the index:
+/// the lowest thermometer plane of the bucket code *is* the presence
+/// plane, so a location that does not hear an AP differs from every
+/// location that does in at least that plane.
+struct QuantizerConfig {
+  /// Readings at or below this are "not heard" (bucket 0).  Matches
+  /// radio::PropagationParams::detectionFloorDbm by default.
+  double floorDbm = -100.0;
+  /// Width in dB of each heard bucket above the floor.
+  double bucketWidthDb = 8.0;
+  /// Total buckets including bucket 0; the signature stores
+  /// bucketCount - 1 thermometer planes per AP.  Must be in
+  /// [2, kMaxBucketCount].
+  int bucketCount = 8;
+};
+
+/// Entries per bit-sliced block: one machine word of candidates.
+inline constexpr std::size_t kBlockEntries = 64;
+
+/// Upper bound on QuantizerConfig::bucketCount (15 planes per AP).
+inline constexpr int kMaxBucketCount = 16;
+
+/// Throws std::invalid_argument when the config is unusable
+/// (non-finite floor, non-positive width, bucketCount out of range).
+void validateQuantizer(const QuantizerConfig& config);
+
+/// The bucket of one RSS reading: 0 when not heard, else
+/// 1 + floor((rss - floor) / width) clamped to bucketCount - 1.
+///
+/// The quantizer's contract with the prefilter: for any two readings
+/// with buckets qa, qb, |rssA - rssB| > (|qa - qb| - 1) * width — so a
+/// bucket-space L1 distance is, up to one bucket of slack per AP, a
+/// lower bound on the dB-space L1 distance.
+std::uint8_t quantizeRss(double rssDbm, const QuantizerConfig& config);
+
+/// Packs up to kBlockEntries bucket values (each < bucketCount) into
+/// bucketCount - 1 thermometer bit planes: bit e of planes[t] is set
+/// iff buckets[e] > t.  Plane 0 is the presence plane.  planes must
+/// have exactly bucketCount - 1 words.  Throws std::invalid_argument
+/// on bad sizes or out-of-range bucket values.
+void packThermometerPlanes(std::span<const std::uint8_t> buckets,
+                           int bucketCount,
+                           std::span<std::uint64_t> planes);
+
+/// Inverse of packThermometerPlanes for the first `entryCount` entries.
+/// Throws std::invalid_argument on bad sizes or non-thermometer planes
+/// (a set bit in plane t+1 without the bit in plane t).
+void unpackThermometerPlanes(std::span<const std::uint64_t> planes,
+                             int bucketCount, std::size_t entryCount,
+                             std::span<std::uint8_t> buckets);
+
+/// A malformed serialized signature block (the typed rejection the
+/// fuzz harness expects; anything else escaping decode is a bug).
+class SignatureCodecError : public std::runtime_error {
+ public:
+  explicit SignatureCodecError(const std::string& what)
+      : std::runtime_error("SignatureCodec: " + what) {}
+};
+
+/// Decoded form of one serialized signature block.
+struct DecodedSignatureBlock {
+  int bucketCount = 0;
+  std::vector<std::uint8_t> buckets;  ///< One bucket per entry.
+};
+
+/// Serializes one block of bucket values:
+///   byte 0: bucketCount, byte 1: entryCount,
+///   then (bucketCount - 1) little-endian u64 thermometer planes.
+/// This is the canonical on-the-wire/in-slab bit-slicing; the index
+/// builds its shard slabs through packThermometerPlanes, so the fuzzed
+/// decode path exercises the same bit layout queries scan.  Throws
+/// std::invalid_argument on invalid buckets or bucketCount.
+std::vector<std::uint8_t> encodeSignatureBlock(
+    std::span<const std::uint8_t> buckets, int bucketCount);
+
+/// Parses a serialized signature block, validating size, header
+/// ranges, thermometer monotonicity, and that no bit is set past
+/// entryCount.  Throws SignatureCodecError on any violation; a decoded
+/// block re-encodes to byte-identical input (canonical form).
+DecodedSignatureBlock decodeSignatureBlock(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace moloc::index

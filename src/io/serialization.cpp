@@ -220,17 +220,15 @@ void saveMotionDatabase(const core::MotionDatabase& db,
   out << kMotionHeader << '\n';
   out << "locations " << db.locationCount() << '\n';
   out.precision(17);
-  const auto n = static_cast<env::LocationId>(db.locationCount());
-  for (env::LocationId i = 0; i < n; ++i) {
-    for (env::LocationId j = 0; j < n; ++j) {
-      const auto entry = db.entry(i, j);
-      if (!entry) continue;
-      out << "entry " << i << ' ' << j << ' ' << entry->muDirectionDeg
-          << ' ' << entry->sigmaDirectionDeg << ' '
-          << entry->muOffsetMeters << ' ' << entry->sigmaOffsetMeters
-          << ' ' << entry->sampleCount << '\n';
-    }
-  }
+  // forEachEntry iterates in row-major (i, then j) order, so the file
+  // layout is identical to the historical dense double loop.
+  db.forEachEntry([&out](env::LocationId i, env::LocationId j,
+                         const core::RlmStats& entry) {
+    out << "entry " << i << ' ' << j << ' ' << entry.muDirectionDeg
+        << ' ' << entry.sigmaDirectionDeg << ' ' << entry.muOffsetMeters
+        << ' ' << entry.sigmaOffsetMeters << ' ' << entry.sampleCount
+        << '\n';
+  });
 }
 
 core::MotionDatabase loadMotionDatabase(std::istream& in) {
@@ -248,12 +246,12 @@ core::MotionDatabase loadMotionDatabase(std::istream& in) {
   std::size_t locationCount = 0;
   if (!(head >> keyword >> locationCount) || keyword != "locations")
     fail(lineNo, "expected 'locations <n>'");
-  // MotionDatabase stores a dense n x n matrix, so the count must be
-  // validated before it becomes an allocation: a corrupt 'locations'
-  // line used to reserve n^2 entries sight unseen (found by the
-  // serialization fuzz target; fuzz/corpus/regressions).  The cap is
-  // far above any deployable floor plan — at 4096 locations the dense
-  // matrix alone is ~800 MB and the save format O(n^2).
+  // The count must be validated before it is trusted: a corrupt
+  // 'locations' line used to reserve n^2 dense entries sight unseen
+  // (found by the serialization fuzz target; fuzz/corpus/regressions).
+  // MotionDatabase is sparse now, but the cap keeps a corrupt header
+  // from legitimizing an absurd id space in this text format, which
+  // stays O(entries) and is meant for paper-scale worlds.
   if (locationCount > kMaxMotionLocations)
     fail(lineNo, "locations " + std::to_string(locationCount) +
                      " exceeds the supported maximum " +

@@ -1,13 +1,15 @@
 // molocd: the MoLoc network serving daemon.
 //
-// Stands up an ExperimentWorld (the paper's office hall, fully
-// determined by --seed), wraps it in a LocalizationService with the
-// crowdsourcing intake attached, and serves the binary wire protocol
-// (src/net/wire.hpp) over TCP until SIGTERM/SIGINT — at which point it
-// drains gracefully: stop accepting, answer every request already
-// received, flush the intake durably, exit 0.
+// Stands up a world — by default the paper's office hall
+// (ExperimentWorld, fully determined by --seed), or with --venue a
+// generated campus-scale venue (worldgen::GeneratedVenue, determined
+// by the spec plus --venue-seed) — wraps it in a LocalizationService
+// with the crowdsourcing intake attached, and serves the binary wire
+// protocol (src/net/wire.hpp) over TCP until SIGTERM/SIGINT — at
+// which point it drains gracefully: stop accepting, answer every
+// request already received, flush the intake durably, exit 0.
 //
-// A load generator built from the same --seed produces bit-identical
+// A load generator built from the same seed(s) produces bit-identical
 // worlds, which is what lets moloc_loadgen verify network-served
 // estimates byte-for-byte against in-process results.
 
@@ -23,6 +25,8 @@
 #include "service/localization_service.hpp"
 #include "store/state_store.hpp"
 #include "util/args.hpp"
+#include "worldgen/generated_venue.hpp"
+#include "worldgen/venue_spec.hpp"
 
 namespace {
 
@@ -50,6 +54,12 @@ int main(int argc, char** argv) {
   args.addOption("shards", "16", "session map shards");
   args.addOption("seed", "42", "world seed (loadgen must match)");
   args.addOption("ap-count", "6", "access points in the world (4-6)");
+  args.addOption("venue", "",
+                 "serve a generated campus venue instead of the office "
+                 "hall: campus-{1k,4k,16k,64k} or a key=value list "
+                 "(see worldgen::parseVenueSpec)");
+  args.addOption("venue-seed", "42",
+                 "venue generation seed (loadgen must match)");
   args.addOption("wal-dir", "",
                  "durable store directory for the intake WAL "
                  "(empty = in-memory intake only)");
@@ -78,10 +88,22 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   try {
+    // The serving world: office hall by default, generated venue with
+    // --venue.  Both outlive the service (the intake references their
+    // floor plans).
+    std::unique_ptr<eval::ExperimentWorld> world;
+    std::unique_ptr<worldgen::GeneratedVenue> venue;
     eval::WorldConfig worldConfig;
     worldConfig.seed = static_cast<std::uint64_t>(args.getInt("seed"));
     worldConfig.apCount = args.getInt("ap-count");
-    const eval::ExperimentWorld world(worldConfig);
+    const std::string venueSpecText = args.getString("venue");
+    if (!venueSpecText.empty()) {
+      worldgen::VenueSpec spec = worldgen::parseVenueSpec(venueSpecText);
+      spec.seed = static_cast<std::uint64_t>(args.getInt("venue-seed"));
+      venue = std::make_unique<worldgen::GeneratedVenue>(spec);
+    } else {
+      world = std::make_unique<eval::ExperimentWorld>(worldConfig);
+    }
 
     // Declared before the service: attachIntake requires the database
     // and store to outlive it (the intake writer joins in the
@@ -94,12 +116,17 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.getInt("threads"));
     serviceConfig.shardCount =
         static_cast<std::size_t>(args.getInt("shards"));
-    service::LocalizationService service(world.fingerprintDb(),
-                                         world.motionDb(), serviceConfig);
+    // A generated venue hands the index its natural per-floor shard
+    // boundaries; IndexMode::kAuto then builds the tiered index for
+    // campus-scale maps and skips it for the small office hall.
+    if (venue) serviceConfig.indexShardStarts = venue->shardStarts();
+    service::LocalizationService service(
+        venue ? venue->fingerprints() : world->fingerprintDb(),
+        venue ? venue->motion() : world->motionDb(), serviceConfig);
 
     if (!args.getSwitch("no-intake")) {
       intakeDb = std::make_unique<core::OnlineMotionDatabase>(
-          world.hall().plan);
+          venue ? venue->site().plan : world->hall().plan);
       const std::string walDir = args.getString("wal-dir");
       if (!walDir.empty())
         stateStore = std::make_unique<store::StateStore>(walDir);
@@ -131,11 +158,23 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handleStopSignal);
     std::signal(SIGINT, handleStopSignal);
 
-    std::printf("molocd: serving %s:%u (seed %llu, %d APs, intake %s)\n",
-                netConfig.host.c_str(), unsigned{server.port()},
-                static_cast<unsigned long long>(worldConfig.seed),
-                worldConfig.apCount,
-                args.getSwitch("no-intake") ? "off" : "on");
+    if (venue)
+      std::printf(
+          "molocd: serving %s:%u (venue %s, seed %llu, %zu locations, "
+          "%zu APs, index %s, intake %s)\n",
+          netConfig.host.c_str(), unsigned{server.port()},
+          worldgen::describeVenueSpec(venue->spec()).c_str(),
+          static_cast<unsigned long long>(venue->spec().seed),
+          venue->locationCount(), venue->apCount(),
+          service.tieredIndex() ? "on" : "off",
+          args.getSwitch("no-intake") ? "off" : "on");
+    else
+      std::printf(
+          "molocd: serving %s:%u (seed %llu, %d APs, intake %s)\n",
+          netConfig.host.c_str(), unsigned{server.port()},
+          static_cast<unsigned long long>(worldConfig.seed),
+          worldConfig.apCount,
+          args.getSwitch("no-intake") ? "off" : "on");
     std::fflush(stdout);
     const std::string portFile = args.getString("port-file");
     if (!portFile.empty()) {

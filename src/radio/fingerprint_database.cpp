@@ -8,13 +8,6 @@
 namespace moloc::radio {
 
 namespace {
-/// Floor for Eq. 4's 1/m weights.  Besides guarding the division when a
-/// query exactly matches a stored fingerprint, the floor encodes a
-/// physical fact: dissimilarities below ~half a dB are measurement
-/// coincidence, not information, and must not let the fingerprint term
-/// overrule the motion term (a 1e-9 floor would make an exact match
-/// ~10^9 times "more likely" than a twin 0.1 dB away).
-constexpr double kMinDissimilarity = 0.5;
 
 bool allFinite(const Fingerprint& fp) {
   for (std::size_t i = 0; i < fp.size(); ++i)

@@ -12,6 +12,16 @@
 
 namespace moloc::radio {
 
+/// Floor for Eq. 4's 1/m weights.  Besides guarding the division when a
+/// query exactly matches a stored fingerprint, the floor encodes a
+/// physical fact: dissimilarities below ~half a dB are measurement
+/// coincidence, not information, and must not let the fingerprint term
+/// overrule the motion term (a 1e-9 floor would make an exact match
+/// ~10^9 times "more likely" than a twin 0.1 dB away).  Exported so
+/// alternative matching backends (index::TieredIndex) reproduce Eq. 4
+/// bitwise.
+inline constexpr double kMinDissimilarity = 0.5;
+
 /// One fingerprint-matching result: a candidate location, its
 /// dissimilarity m_i = phi(F, F_i), and its probability from Eq. 4.
 struct Match {

@@ -27,7 +27,47 @@ std::size_t checkShardCount(std::size_t shardCount) {
   return shardCount;
 }
 
+/// Resolves the configured IndexMode against the actual radio map; an
+/// empty map or k == 0 never gets an index (those configurations keep
+/// the unprepared per-session path and its per-session errors).
+bool wantTieredIndex(const ServiceConfig& config,
+                     const radio::FingerprintDatabase& fingerprints) {
+  if (fingerprints.empty() || config.engine.candidateCount == 0)
+    return false;
+  switch (config.indexMode) {
+    case IndexMode::kOn:
+      return true;
+    case IndexMode::kOff:
+      return false;
+    case IndexMode::kAuto:
+      break;
+  }
+  return fingerprints.size() >= config.indexAutoThreshold;
+}
+
 }  // namespace
+
+core::LocalizationSession LocalizationService::makeSession(
+    const radio::FingerprintDatabase& fingerprints,
+    const index::TieredIndex* index, const core::MotionDatabase& motion,
+    double stepLengthMeters, const core::MoLocConfig& engine,
+    const sensors::MotionProcessorParams& motionParams) {
+  if (index == nullptr)
+    return core::LocalizationSession(fingerprints, motion,
+                                     stepLengthMeters, engine,
+                                     motionParams);
+  // Index-backed candidate estimation: same contract as the radio-map
+  // backend (TieredIndex::queryInto mirrors queryInto's validation and
+  // — given full shortlist recall — its exact matches).
+  return core::LocalizationSession(
+      core::CandidateEstimator(
+          [index](const radio::Fingerprint& query, std::size_t k,
+                  std::vector<core::Candidate>& out) {
+            index->queryInto(query, k, out);
+          },
+          engine.candidateCount),
+      motion, stepLengthMeters, engine, motionParams);
+}
 
 LocalizationService::LocalizationService(
     radio::FingerprintDatabase fingerprints, core::MotionDatabase motion,
@@ -38,10 +78,16 @@ LocalizationService::LocalizationService(
       motion_(std::move(motion)),
       shards_(checkShardCount(config.shardCount)),
       pool_(resolveThreadCount(config.threadCount), config.metrics) {
+  // The tiered index (when the policy wants one) is built exactly once,
+  // here: the radio map never changes online, so every published
+  // WorldSnapshot and every session backend shares this one object.
+  if (wantTieredIndex(config_, *fingerprints_))
+    index_ = std::make_shared<const index::TieredIndex>(
+        fingerprints_, config_.index, config_.indexShardStarts);
   // The boot world: generation 0 over the construction-time databases.
   {
     auto boot = std::make_shared<const core::WorldSnapshot>(
-        fingerprints_, motion_, 0, 0);
+        fingerprints_, motion_, 0, 0, index_);
     const util::MutexLock lock(worldMu_);
     world_ = std::move(boot);
     worldHint_.store(&world_->adjacency(), std::memory_order_release);
@@ -146,8 +192,9 @@ LocalizationService::findOrCreate(SessionId id, double stepLengthMeters) {
   if (it == shard.sessions.end()) {
     it = shard.sessions
              .emplace(id, std::make_shared<SessionSlot>(
-                              *fingerprints_, motion_, stepLengthMeters,
-                              config_.engine, config_.motion,
+                              *fingerprints_, index_.get(), motion_,
+                              stepLengthMeters, config_.engine,
+                              config_.motion,
                               core::WorldSnapshot::adjacencyOf(
                                   currentWorld())))
              .first;
@@ -167,8 +214,8 @@ void LocalizationService::openSession(SessionId id,
                                 std::to_string(id) + " already exists");
   shard.sessions.emplace(
       id, std::make_shared<SessionSlot>(
-              *fingerprints_, motion_, stepLengthMeters, config_.engine,
-              config_.motion,
+              *fingerprints_, index_.get(), motion_, stepLengthMeters,
+              config_.engine, config_.motion,
               core::WorldSnapshot::adjacencyOf(currentWorld())));
 #if MOLOC_METRICS_ENABLED
   if (metrics_.sessionsActive) metrics_.sessionsActive->inc();
@@ -268,8 +315,15 @@ std::vector<core::LocationEstimate> LocalizationService::localizeBatch(
     std::vector<const radio::Fingerprint*> scans;
     scans.reserve(batch.size());
     for (const auto& request : batch) scans.push_back(&request.scan);
-    fingerprints_->queryBatchInto(scans, config_.engine.candidateCount,
-                                  batchCandidates, &batchErrors);
+    // The tiered index, when built, fronts the batched match too —
+    // same validation and (given full shortlist recall) the same
+    // bitwise matches as the exact kernel scan.
+    if (index_)
+      index_->queryBatchInto(scans, config_.engine.candidateCount,
+                             batchCandidates, &batchErrors);
+    else
+      fingerprints_->queryBatchInto(scans, config_.engine.candidateCount,
+                                    batchCandidates, &batchErrors);
   }
 
   // Group request indices by session, preserving each session's
@@ -393,7 +447,7 @@ void LocalizationService::publishWorld(core::OnlineMotionDatabase& db) {
   const std::uint64_t generation =
       worldGeneration_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto next = std::make_shared<const core::WorldSnapshot>(
-      fingerprints_, db.databaseCopy(), generation, records);
+      fingerprints_, db.databaseCopy(), generation, records, index_);
   const kernel::MotionAdjacency* hint = &next->adjacency();
   {
     // Held only for the handle swap; the retired world is released

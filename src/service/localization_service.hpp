@@ -13,6 +13,7 @@
 #include "core/localization_session.hpp"
 #include "core/motion_database.hpp"
 #include "core/world_snapshot.hpp"
+#include "index/tiered_index.hpp"
 #include "obs/metrics.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "sensors/imu_trace.hpp"
@@ -33,6 +34,17 @@ namespace moloc::service {
 /// Identifies one tracked user across scans.
 using SessionId = std::uint64_t;
 
+/// Whether the service fronts the radio map with the tiered candidate
+/// index (index::TieredIndex) on the localize path.
+enum class IndexMode {
+  /// Build the index when the radio map has at least
+  /// ServiceConfig::indexAutoThreshold entries — small maps scan
+  /// faster exactly than through a prefilter.
+  kAuto,
+  kOn,
+  kOff,
+};
+
 /// Server-side tunables of the LocalizationService.
 struct ServiceConfig {
   /// Worker threads for localizeBatch(); 0 selects the hardware
@@ -46,6 +58,16 @@ struct ServiceConfig {
   double defaultStepLengthMeters = 0.72;
   core::MoLocConfig engine;
   sensors::MotionProcessorParams motion;
+  /// Tiered-index policy for the localize path (docs/scaling.md).  The
+  /// index is built once at construction — the radio map never changes
+  /// online — and shared by every published WorldSnapshot.
+  IndexMode indexMode = IndexMode::kAuto;
+  /// kAuto builds the index at or above this many radio-map entries.
+  std::size_t indexAutoThreshold = 4096;
+  index::IndexConfig index;
+  /// Natural shard boundaries for the index (e.g. a generated venue's
+  /// per-floor starts); empty lets the index split uniformly.
+  std::vector<std::size_t> indexShardStarts;
   /// Registry receiving the service/pool/engine instruments (see
   /// docs/observability.md).  Defaults to the process-wide registry so
   /// a plain service is observable out of the box; point it at a
@@ -127,6 +149,14 @@ class LocalizationService {
   /// world evolves past it as intake publishes; see currentWorld().
   const core::MotionDatabase& motion() const { return motion_; }
   std::size_t threadCount() const { return pool_.size(); }
+
+  /// The tiered candidate index fronting the radio map, or null when
+  /// the configured IndexMode resolved to off (small map under kAuto,
+  /// or kOff).  Built once at construction, immutable, shared by every
+  /// published WorldSnapshot.
+  const std::shared_ptr<const index::TieredIndex>& tieredIndex() const {
+    return index_;
+  }
 
   /// The newest published world.  The returned shared_ptr pins the
   /// snapshot (and everything a session could score against) for as
@@ -257,15 +287,27 @@ class LocalizationService {
   /// scoring an older generation.  Caller holds the session's slot
   /// lock; the load is lock-free.
   void adoptWorld(core::LocalizationSession& session);
+  /// The session for a new slot: index-backed candidate estimation
+  /// when the service built a tiered index, the plain radio-map
+  /// backend otherwise.  The captured index pointer stays valid for
+  /// the session's life (index_ is declared before shards_, so it
+  /// outlives every slot).
+  static core::LocalizationSession makeSession(
+      const radio::FingerprintDatabase& fingerprints,
+      const index::TieredIndex* index, const core::MotionDatabase& motion,
+      double stepLengthMeters, const core::MoLocConfig& engine,
+      const sensors::MotionProcessorParams& motionParams);
+
   /// A session plus the mutex serializing its scans.
   struct SessionSlot {
     SessionSlot(const radio::FingerprintDatabase& fingerprints,
+                const index::TieredIndex* index,
                 const core::MotionDatabase& motion,
                 double stepLengthMeters, const core::MoLocConfig& engine,
                 const sensors::MotionProcessorParams& motionParams,
                 std::shared_ptr<const kernel::MotionAdjacency> worldAdjacency)
-        : session(fingerprints, motion, stepLengthMeters, engine,
-                  motionParams) {
+        : session(makeSession(fingerprints, index, motion,
+                              stepLengthMeters, engine, motionParams)) {
       // Adopt the serving world up front so the first scan does not
       // pay a rebind.  Safe without the lock: constructors run before
       // the slot is visible to any other thread (and are outside the
@@ -307,6 +349,12 @@ class LocalizationService {
   /// Shared, never mutated after construction: every published
   /// WorldSnapshot holds a reference instead of a copy.
   std::shared_ptr<const radio::FingerprintDatabase> fingerprints_;
+  /// The tiered candidate index over fingerprints_, or null (see
+  /// IndexMode).  Built once here, before the boot world; published
+  /// snapshots and session backends share it, never copy it.
+  /// Declared before shards_ so it outlives every session that
+  /// captured its address.
+  std::shared_ptr<const index::TieredIndex> index_;
   /// The boot motion database (what motion() returns); the serving
   /// world evolves past it via published snapshots.
   core::MotionDatabase motion_;

@@ -1,0 +1,181 @@
+#include "worldgen/venue_spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moloc::worldgen {
+
+namespace {
+
+VenueSpec presetCampus1k() {
+  VenueSpec spec;
+  spec.buildings = 1;
+  spec.floorsPerBuilding = 2;
+  spec.gridCols = 16;
+  spec.gridRows = 32;
+  return spec;  // 1 * 2 * 16 * 32 = 1024 locations, 24 APs.
+}
+
+VenueSpec presetCampus4k() {
+  VenueSpec spec;
+  spec.buildings = 2;
+  spec.floorsPerBuilding = 2;
+  spec.gridCols = 32;
+  spec.gridRows = 32;
+  return spec;  // 2 * 2 * 32 * 32 = 4096 locations, 48 APs.
+}
+
+// The larger presets hold AP density at roughly one AP per ~770 m^2
+// of floor (typical enterprise WiFi) instead of reusing the default
+// 12 per floor: a 192 m-square floor covered by 12 APs leaves most
+// locations hearing only 2-3 of them, which starves both tiers of
+// signal — the paper's dissimilarity has almost nothing to compare
+// and the prefilter's shard lower bounds collapse toward zero.
+
+VenueSpec presetCampus16k() {
+  VenueSpec spec;
+  spec.buildings = 2;
+  spec.floorsPerBuilding = 4;
+  spec.gridCols = 32;
+  spec.gridRows = 64;
+  spec.apsPerFloor = 24;  // 96 m x 192 m floor.
+  return spec;  // 2 * 4 * 32 * 64 = 16384 locations, 192 APs.
+}
+
+VenueSpec presetCampus64k() {
+  VenueSpec spec;
+  spec.buildings = 4;
+  spec.floorsPerBuilding = 4;
+  spec.gridCols = 64;
+  spec.gridRows = 64;
+  spec.apsPerFloor = 48;  // 192 m x 192 m floor.
+  return spec;  // 4 * 4 * 64 * 64 = 65536 locations, 768 APs.
+}
+
+double parseDouble(std::string_view key, std::string_view value) {
+  try {
+    return std::stod(std::string(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("VenueSpec: bad value '" +
+                                std::string(value) + "' for key '" +
+                                std::string(key) + "'");
+  }
+}
+
+int parseInt(std::string_view key, std::string_view value) {
+  const double d = parseDouble(key, value);
+  if (d != std::floor(d))
+    throw std::invalid_argument("VenueSpec: key '" + std::string(key) +
+                                "' expects an integer");
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+std::size_t locationCount(const VenueSpec& spec) {
+  return static_cast<std::size_t>(spec.buildings) *
+         static_cast<std::size_t>(spec.floorsPerBuilding) *
+         static_cast<std::size_t>(spec.gridCols) *
+         static_cast<std::size_t>(spec.gridRows);
+}
+
+std::size_t apCount(const VenueSpec& spec) {
+  return static_cast<std::size_t>(spec.buildings) *
+         static_cast<std::size_t>(spec.floorsPerBuilding) *
+         static_cast<std::size_t>(spec.apsPerFloor);
+}
+
+void validateVenueSpec(const VenueSpec& spec) {
+  if (spec.buildings < 1 || spec.floorsPerBuilding < 1 ||
+      spec.gridCols < 2 || spec.gridRows < 2)
+    throw std::invalid_argument(
+        "VenueSpec: need >= 1 building/floor and a grid of at least "
+        "2x2");
+  if (!(spec.spacingMeters > 0.0) || !std::isfinite(spec.spacingMeters))
+    throw std::invalid_argument(
+        "VenueSpec: spacingMeters must be positive and finite");
+  if (spec.apsPerFloor < 1)
+    throw std::invalid_argument("VenueSpec: apsPerFloor must be >= 1");
+  if (!(spec.apVisibilityRadiusMeters > 0.0) ||
+      !std::isfinite(spec.apVisibilityRadiusMeters))
+    throw std::invalid_argument(
+        "VenueSpec: apVisibilityRadiusMeters must be positive and "
+        "finite");
+  if (spec.trainSamples < 1)
+    throw std::invalid_argument("VenueSpec: trainSamples must be >= 1");
+  if (locationCount(spec) > kMaxVenueLocations)
+    throw std::invalid_argument(
+        "VenueSpec: " + std::to_string(locationCount(spec)) +
+        " locations exceeds the supported maximum " +
+        std::to_string(kMaxVenueLocations));
+}
+
+VenueSpec parseVenueSpec(std::string_view spec) {
+  if (spec == "campus-1k") return presetCampus1k();
+  if (spec == "campus-4k") return presetCampus4k();
+  if (spec == "campus-16k") return presetCampus16k();
+  if (spec == "campus-64k") return presetCampus64k();
+  if (spec.find('=') == std::string_view::npos)
+    throw std::invalid_argument(
+        "VenueSpec: unknown preset '" + std::string(spec) +
+        "' (expected campus-{1k,4k,16k,64k} or a key=value list)");
+
+  VenueSpec out;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("VenueSpec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "buildings") {
+      out.buildings = parseInt(key, value);
+    } else if (key == "floors") {
+      out.floorsPerBuilding = parseInt(key, value);
+    } else if (key == "cols") {
+      out.gridCols = parseInt(key, value);
+    } else if (key == "rows") {
+      out.gridRows = parseInt(key, value);
+    } else if (key == "spacing") {
+      out.spacingMeters = parseDouble(key, value);
+    } else if (key == "aps-per-floor") {
+      out.apsPerFloor = parseInt(key, value);
+    } else if (key == "ap-radius") {
+      out.apVisibilityRadiusMeters = parseDouble(key, value);
+    } else if (key == "train-samples") {
+      out.trainSamples = parseInt(key, value);
+    } else {
+      throw std::invalid_argument("VenueSpec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  validateVenueSpec(out);
+  return out;
+}
+
+VenueSpec venueSpecForLocations(std::size_t locations) {
+  for (const VenueSpec& preset :
+       {presetCampus1k(), presetCampus4k(), presetCampus16k(),
+        presetCampus64k()})
+    if (locationCount(preset) == locations) return preset;
+  throw std::invalid_argument(
+      "venueSpecForLocations: no preset with exactly " +
+      std::to_string(locations) +
+      " locations (supported: 1024, 4096, 16384, 65536)");
+}
+
+std::string describeVenueSpec(const VenueSpec& spec) {
+  return "buildings=" + std::to_string(spec.buildings) +
+         ",floors=" + std::to_string(spec.floorsPerBuilding) +
+         ",cols=" + std::to_string(spec.gridCols) +
+         ",rows=" + std::to_string(spec.gridRows) +
+         ",aps-per-floor=" + std::to_string(spec.apsPerFloor);
+}
+
+}  // namespace moloc::worldgen

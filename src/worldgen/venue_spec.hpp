@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "radio/propagation.hpp"
+
+namespace moloc::worldgen {
+
+/// Parameters of a generated campus venue: `buildings` identical
+/// multi-floor buildings, each floor a `gridCols` x `gridRows` lattice
+/// of reference locations `spacingMeters` apart, with `apsPerFloor`
+/// access points per floor.  Fully determined by the spec (seed
+/// included) — two processes constructing the same spec get
+/// bit-identical venues, which is what lets moloc_loadgen verify a
+/// remote molocd against an in-process service.
+struct VenueSpec {
+  int buildings = 1;
+  int floorsPerBuilding = 2;
+  int gridCols = 16;
+  int gridRows = 32;
+  double spacingMeters = 3.0;
+  int apsPerFloor = 12;
+  /// A location hears only its own floor's APs within this radius —
+  /// the sparse-visibility model (everything else reports the
+  /// detection floor).
+  double apVisibilityRadiusMeters = 60.0;
+  /// Survey samples averaged into each radio-map entry (cycling the
+  /// four cardinal facings).  The paper uses 60 at 28 locations; the
+  /// default keeps a 64k-location build fast while still averaging
+  /// every orientation.
+  int trainSamples = 4;
+  std::uint64_t seed = 42;
+  radio::PropagationParams propagation;
+};
+
+/// Reference locations the spec will generate.
+std::size_t locationCount(const VenueSpec& spec);
+
+/// Total access points the spec will generate.
+std::size_t apCount(const VenueSpec& spec);
+
+/// Throws std::invalid_argument when the spec is not generatable
+/// (non-positive dimensions, bad radius/spacing, too many locations).
+void validateVenueSpec(const VenueSpec& spec);
+
+/// Upper bound on locationCount() — worldgen targets the 10k-100k
+/// range; the cap only exists to turn typos into errors.
+inline constexpr std::size_t kMaxVenueLocations = 1u << 20;
+
+/// Parses a venue spec string: either a named preset
+/// ("campus-1k" | "campus-4k" | "campus-16k" | "campus-64k") or a
+/// comma-separated key=value list over the defaults (keys: buildings,
+/// floors, cols, rows, spacing, aps-per-floor, ap-radius,
+/// train-samples).  The seed is set separately (--venue-seed).
+/// Throws std::invalid_argument on unknown presets or keys.
+VenueSpec parseVenueSpec(std::string_view spec);
+
+/// The preset whose locationCount() is exactly `locations` (the bench
+/// sweep's sizes); throws std::invalid_argument for unsupported sizes.
+VenueSpec venueSpecForLocations(std::size_t locations);
+
+/// Canonical "key=value,..." form of `spec` (diagnostics and bench
+/// JSON).
+std::string describeVenueSpec(const VenueSpec& spec);
+
+}  // namespace moloc::worldgen

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <stdexcept>
@@ -273,6 +274,91 @@ TEST(FingerprintDatabaseKernelTest, QueryBatchIsolatesPerQueryErrors) {
   // Without an error sink, the first failure propagates.
   EXPECT_THROW(db.queryBatchInto(pointers, 3, batch),
                std::invalid_argument);
+}
+
+TEST(SelectSmallestKTest, KAtLeastNReturnsEverythingSorted) {
+  util::Rng rng(41);
+  for (const std::size_t n : {1u, 2u, 7u, 33u}) {
+    std::vector<double> distances(n);
+    for (auto& d : distances)
+      d = static_cast<double>(rng.uniformInt(0, 4));
+    for (const std::size_t k : {n, n + 1, 10 * n}) {
+      std::vector<TopKEntry> out;
+      selectSmallestK(distances, k, out);
+      ASSERT_EQ(out.size(), n) << "n=" << n << " k=" << k;
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        EXPECT_LE(out[i - 1].squaredDistance, out[i].squaredDistance);
+        // Equal distances keep ascending row order (lower row wins).
+        if (out[i - 1].squaredDistance == out[i].squaredDistance) {
+          EXPECT_LT(out[i - 1].row, out[i].row);
+        }
+      }
+    }
+  }
+}
+
+// Shortlist-sized inputs straddling the kernel's block boundary: the
+// tiered index hands the kernel matrices of arbitrary small sizes, so
+// every size around a multiple of kRowBlock must stay bitwise-exact
+// (including the zero-padded tail never leaking into real outputs).
+TEST(FingerprintKernelTest, BlockStraddlingSizesMatchPlainLoopBitwise) {
+  util::Rng rng(43);
+  const std::size_t cols = 6;
+  const std::vector<double> query = randomRow(rng, cols);
+  for (const std::size_t rows : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 63u,
+                                 64u, 65u, 95u, 96u, 97u}) {
+    FlatMatrix m;
+    m.reset(cols);
+    std::vector<std::vector<double>> raw;
+    for (std::size_t r = 0; r < rows; ++r) {
+      raw.push_back(randomRow(rng, cols));
+      m.appendRow(raw.back());
+    }
+    std::vector<double> out(m.paddedRows());
+    squaredDistances(m, query.data(), out.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double expected = rowSquaredDistance(raw[r], query);
+      EXPECT_EQ(std::memcmp(&out[r], &expected, sizeof(double)), 0)
+          << "rows=" << rows << " r=" << r;
+    }
+  }
+}
+
+// The 64k-location venue pushes FlatMatrix well past every prior use;
+// the interleaved layout and the kernel must stay exact at that scale.
+TEST(FlatMatrixTest, HandlesSixtyFourKRows) {
+  util::Rng rng(47);
+  const std::size_t rows = (1u << 16) + 3;
+  const std::size_t cols = 8;
+  FlatMatrix m;
+  m.reset(cols);
+  std::vector<double> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c)
+      row[c] = static_cast<double>(r * cols + c);
+    m.appendRow(row);
+  }
+  ASSERT_EQ(m.rows(), rows);
+  EXPECT_EQ(m.paddedRows(), ((rows + kRowBlock - 1) / kRowBlock) *
+                                kRowBlock);
+  // Spot-check the layout at the far end and across a block seam.
+  for (const std::size_t r :
+       {std::size_t{0}, rows / 2, rows - 5, rows - 1})
+    for (std::size_t c = 0; c < cols; ++c)
+      ASSERT_EQ(m.at(r, c), static_cast<double>(r * cols + c));
+
+  const std::vector<double> query = randomRow(rng, cols);
+  std::vector<double> out(m.paddedRows());
+  squaredDistances(m, query.data(), out.data());
+  for (const std::size_t r :
+       {std::size_t{0}, std::size_t{1}, rows / 3, rows - 2, rows - 1}) {
+    std::vector<double> expectRow(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      expectRow[c] = static_cast<double>(r * cols + c);
+    const double expected = rowSquaredDistance(expectRow, query);
+    EXPECT_EQ(std::memcmp(&out[r], &expected, sizeof(double)), 0)
+        << "r=" << r;
+  }
 }
 
 TEST(FingerprintDatabaseKernelTest, NearestIsArgminWithEarliestTieWin) {

@@ -72,6 +72,10 @@ TEST(FuzzRegressions, WireCorpusReplaysClean) {
   EXPECT_GE(replaySurface("wire", runWireDecode), 10u);
 }
 
+TEST(FuzzRegressions, SignatureCorpusReplaysClean) {
+  EXPECT_GE(replaySurface("signature", runSignatureCodec), 7u);
+}
+
 // The harness must also accept the empty input (libFuzzer always
 // starts there).
 TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
@@ -81,6 +85,7 @@ TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
   EXPECT_EQ(0, runSerializationLoad(&dummy, 0));
   EXPECT_EQ(0, runCsvParse(&dummy, 0));
   EXPECT_EQ(0, runWireDecode(&dummy, 0));
+  EXPECT_EQ(0, runSignatureCodec(&dummy, 0));
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+#include "index/signature_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moloc::index {
+namespace {
+
+TEST(QuantizerTest, ValidatesConfig) {
+  QuantizerConfig config;
+  EXPECT_NO_THROW(validateQuantizer(config));
+
+  config.bucketCount = 1;
+  EXPECT_THROW(validateQuantizer(config), std::invalid_argument);
+  config.bucketCount = kMaxBucketCount + 1;
+  EXPECT_THROW(validateQuantizer(config), std::invalid_argument);
+
+  config = QuantizerConfig{};
+  config.bucketWidthDb = 0.0;
+  EXPECT_THROW(validateQuantizer(config), std::invalid_argument);
+  config.bucketWidthDb = -1.0;
+  EXPECT_THROW(validateQuantizer(config), std::invalid_argument);
+
+  config = QuantizerConfig{};
+  config.floorDbm = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validateQuantizer(config), std::invalid_argument);
+}
+
+TEST(QuantizerTest, FloorAndBelowIsNotHeard) {
+  const QuantizerConfig config;  // floor -100, width 8, 8 buckets.
+  EXPECT_EQ(quantizeRss(-100.0, config), 0);
+  EXPECT_EQ(quantizeRss(-150.0, config), 0);
+  EXPECT_EQ(quantizeRss(-std::numeric_limits<double>::infinity(), config),
+            0);
+  // NaN must map somewhere total rather than poison the index; it maps
+  // to "not heard".
+  EXPECT_EQ(quantizeRss(std::numeric_limits<double>::quiet_NaN(), config),
+            0);
+  // Just above the floor is the first heard bucket.
+  EXPECT_EQ(quantizeRss(-99.9, config), 1);
+}
+
+TEST(QuantizerTest, BucketsAreMonotoneAndClamped) {
+  const QuantizerConfig config;
+  std::uint8_t prev = 0;
+  for (double rss = -120.0; rss <= 0.0; rss += 0.25) {
+    const std::uint8_t bucket = quantizeRss(rss, config);
+    EXPECT_GE(bucket, prev) << "rss " << rss;
+    EXPECT_LT(bucket, config.bucketCount);
+    prev = bucket;
+  }
+  // Strong signals clamp to the top bucket.
+  EXPECT_EQ(quantizeRss(0.0, config), config.bucketCount - 1);
+  EXPECT_EQ(quantizeRss(-35.0, config), config.bucketCount - 1);
+}
+
+// The contract the prefilter's lower bound rests on: bucket distance
+// (minus one bucket of slack) never exceeds the dB distance / width.
+TEST(QuantizerTest, BucketDistanceLowerBoundsDbDistance) {
+  const QuantizerConfig config;
+  util::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double a = rng.uniform(-130.0, -20.0);
+    const double b = rng.uniform(-130.0, -20.0);
+    const int qa = quantizeRss(a, config);
+    const int qb = quantizeRss(b, config);
+    const int gap = qa > qb ? qa - qb : qb - qa;
+    if (gap <= 1) continue;  // The slack covers adjacent buckets.
+    // Both heard (gap > 1 implies at least one heard; if the other is
+    // unheard its reading is <= floor so the dB gap is even larger).
+    EXPECT_GT(std::abs(a - b),
+              (gap - 1) * config.bucketWidthDb - 1e-9)
+        << a << " vs " << b;
+  }
+}
+
+TEST(ThermometerPlanesTest, PackUnpackRoundTrips) {
+  const int bucketCount = 8;
+  util::Rng rng(11);
+  std::vector<std::uint8_t> buckets(kBlockEntries);
+  for (auto& b : buckets)
+    b = static_cast<std::uint8_t>(rng.uniformInt(0, bucketCount - 1));
+
+  std::vector<std::uint64_t> planes(bucketCount - 1);
+  packThermometerPlanes(buckets, bucketCount, planes);
+
+  // Thermometer property: plane t+1 is a subset of plane t.
+  for (std::size_t t = 1; t < planes.size(); ++t)
+    EXPECT_EQ(planes[t] & ~planes[t - 1], 0u);
+
+  std::vector<std::uint8_t> decoded(kBlockEntries);
+  unpackThermometerPlanes(planes, bucketCount, kBlockEntries, decoded);
+  EXPECT_EQ(decoded, buckets);
+}
+
+TEST(ThermometerPlanesTest, PartialBlockLeavesHighBitsClear) {
+  const int bucketCount = 4;
+  const std::vector<std::uint8_t> buckets{3, 0, 2, 1, 3};
+  std::vector<std::uint64_t> planes(bucketCount - 1);
+  packThermometerPlanes(buckets, bucketCount, planes);
+  for (const std::uint64_t plane : planes)
+    EXPECT_EQ(plane >> buckets.size(), 0u);
+
+  std::vector<std::uint8_t> decoded(buckets.size());
+  unpackThermometerPlanes(planes, bucketCount, buckets.size(), decoded);
+  EXPECT_EQ(decoded, buckets);
+}
+
+TEST(ThermometerPlanesTest, RejectsBadInput) {
+  std::vector<std::uint64_t> planes(7);
+  const std::vector<std::uint8_t> tooMany(kBlockEntries + 1, 0);
+  EXPECT_THROW(packThermometerPlanes(tooMany, 8, planes),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> outOfRange{8};
+  EXPECT_THROW(packThermometerPlanes(outOfRange, 8, planes),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> fine{1};
+  std::vector<std::uint64_t> wrongPlaneCount(6);
+  EXPECT_THROW(packThermometerPlanes(fine, 8, wrongPlaneCount),
+               std::invalid_argument);
+
+  // Non-thermometer planes: bit set in plane 1 but not plane 0.
+  std::vector<std::uint64_t> broken{0x0, 0x1, 0x0};
+  std::vector<std::uint8_t> out(1);
+  EXPECT_THROW(unpackThermometerPlanes(broken, 4, 1, out),
+               std::invalid_argument);
+}
+
+TEST(SignatureBlockTest, EncodeDecodeRoundTripsCanonically) {
+  util::Rng rng(23);
+  for (const int bucketCount : {2, 4, 8, kMaxBucketCount}) {
+    for (const std::size_t entries :
+         {std::size_t{1}, std::size_t{5}, kBlockEntries}) {
+      std::vector<std::uint8_t> buckets(entries);
+      for (auto& b : buckets)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0, bucketCount - 1));
+      const std::vector<std::uint8_t> bytes =
+          encodeSignatureBlock(buckets, bucketCount);
+      EXPECT_EQ(bytes.size(),
+                2 + static_cast<std::size_t>(bucketCount - 1) * 8);
+
+      const DecodedSignatureBlock decoded = decodeSignatureBlock(bytes);
+      EXPECT_EQ(decoded.bucketCount, bucketCount);
+      EXPECT_EQ(decoded.buckets, buckets);
+
+      // Canonical form: re-encoding reproduces the bytes exactly.
+      EXPECT_EQ(encodeSignatureBlock(decoded.buckets, decoded.bucketCount),
+                bytes);
+    }
+  }
+}
+
+TEST(SignatureBlockTest, DecodeRejectsMalformedInput) {
+  const std::vector<std::uint8_t> buckets{3, 1, 0, 2};
+  std::vector<std::uint8_t> bytes = encodeSignatureBlock(buckets, 4);
+
+  // Truncated and oversized payloads.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + cut);
+    EXPECT_THROW(decodeSignatureBlock(truncated), SignatureCodecError);
+  }
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decodeSignatureBlock(padded), SignatureCodecError);
+
+  // Header out of range.
+  std::vector<std::uint8_t> badCount = bytes;
+  badCount[0] = 1;
+  EXPECT_THROW(decodeSignatureBlock(badCount), SignatureCodecError);
+  badCount[0] = kMaxBucketCount + 1;
+  EXPECT_THROW(decodeSignatureBlock(badCount), SignatureCodecError);
+  std::vector<std::uint8_t> badEntries = bytes;
+  badEntries[1] = 0;
+  EXPECT_THROW(decodeSignatureBlock(badEntries), SignatureCodecError);
+  badEntries[1] = kBlockEntries + 1;
+  EXPECT_THROW(decodeSignatureBlock(badEntries), SignatureCodecError);
+
+  // A set bit past entryCount.
+  std::vector<std::uint8_t> strayBit = bytes;
+  strayBit[2] |= 0x10;  // Bit 4 of plane 0; entryCount is 4.
+  EXPECT_THROW(decodeSignatureBlock(strayBit), SignatureCodecError);
+
+  // Thermometer violation: plane 2 bit without the plane 1 bit.
+  std::vector<std::uint8_t> nonMonotone = bytes;
+  // Entry 2 has bucket 0: all planes clear.  Set its bit in the last
+  // plane only.
+  nonMonotone[2 + 2 * 8] |= 0x4;
+  EXPECT_THROW(decodeSignatureBlock(nonMonotone), SignatureCodecError);
+}
+
+}  // namespace
+}  // namespace moloc::index

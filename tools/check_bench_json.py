@@ -23,7 +23,11 @@ Checks, per file:
      *_qps / speedup* / *_speedup* scaling figure, max_speedup*, and —
      for the network-serving snapshot (BENCH_micro_net.json) — the load
      shape (users, connections, requests_per_user) and every *_errors
-     counter, whose absence-as-null would hide a failed run.
+     counter, whose absence-as-null would hide a failed run.  The
+     index-scaling snapshot (BENCH_micro_scale.json) adds the venue
+     shape (locations, ap_count, shard_count), the prefilter quality
+     figures (recall, every *_mean, index_build_seconds), and the
+     *_ratio scaling summary.
      (Percentile fields like p50_ms stay optional: a MOLOC_METRICS=OFF
      build reports them as -1, and a missing histogram may null them.)
 
@@ -52,6 +56,10 @@ REQUIRED_NUMERIC = [
         r"^max_speedup",
         r"^(users|connections|requests_per_user)$",
         r"_errors$",
+        r"^(locations|ap_count|shard_count|recall)$",
+        r"^index_build_seconds$",
+        r"_mean$",
+        r"_ratio$",
     )
 ]
 
