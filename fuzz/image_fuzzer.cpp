@@ -1,0 +1,6 @@
+#include "targets/fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return moloc::fuzz::runImageLoad(data, size);
+}

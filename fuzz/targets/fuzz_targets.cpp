@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "core/world_snapshot.hpp"
+#include "image/image_loader.hpp"
+#include "image/image_writer.hpp"
 #include "index/signature_codec.hpp"
 #include "io/serialization.hpp"
 #include "net/wire.hpp"
@@ -369,6 +372,129 @@ int runSignatureCodec(const std::uint8_t* data, std::size_t size) {
   if (unpacked != decoded.buckets)
     invariantFailed("signature",
                     "thermometer plane pack/unpack changed the buckets");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Venue images
+
+namespace {
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) invariantFailed("image", "cannot read back a written image");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Exercises an accepted image the way serving would: the meta must
+/// agree with the views, every fingerprinted id must resolve to a CSR
+/// row, every row must be walkable edge by edge, and a probe query
+/// must complete through the database (and the embedded index, when
+/// present).  The backing buffer is exactly input-sized, so any
+/// over-read here is an ASan stop, not silence.
+void exerciseLoadedImage(const image::VenueImage& img) {
+  const auto& db = img.fingerprints();
+  const auto& adjacency = img.adjacency();
+  if (db == nullptr || adjacency == nullptr)
+    invariantFailed("image", "accepted image is missing a core view");
+  if (db->size() != img.meta().locationCount ||
+      db->apCount() != img.meta().apCount ||
+      adjacency->locationCount() != img.meta().adjacencyLocationCount)
+    invariantFailed("image", "meta disagrees with the loaded views");
+  if (img.meta().hasIndex != (img.tieredIndex() != nullptr))
+    invariantFailed("image", "meta.hasIndex disagrees with the loader");
+
+  for (std::size_t row = 0; row < db->size(); ++row) {
+    const env::LocationId id = db->idAt(row);
+    if (static_cast<std::size_t>(id) >= adjacency->locationCount())
+      invariantFailed("image",
+                      "fingerprinted id outside the adjacency "
+                      "(the serving invariant)");
+  }
+  std::uint64_t edges = 0;
+  std::int64_t touched = 0;  // Forces a read of every edge's bytes.
+  for (std::size_t row = 0; row < adjacency->locationCount(); ++row) {
+    const auto span =
+        adjacency->outEdges(static_cast<env::LocationId>(row));
+    edges += span.size();
+    for (const kernel::PairWindow& edge : span) touched += edge.to;
+  }
+  (void)touched;
+  if (edges != img.meta().edgeCount)
+    invariantFailed("image", "CSR walk disagrees with meta.edgeCount");
+
+  if (!db->empty()) {
+    std::vector<radio::Match> out;
+    db->queryInto(db->entryAt(0), 4, out);
+    if (img.tieredIndex() != nullptr) {
+      std::vector<radio::Match> tiered;
+      img.tieredIndex()->queryInto(db->entryAt(0), 4, tiered);
+    }
+  }
+}
+
+}  // namespace
+
+int runImageLoad(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return 0;
+
+  // Full verification first: everything it accepts, the bulk mode must
+  // accept too (bulk only *skips* CRC work, it never adds a check).
+  bool fullAccepted = false;
+  try {
+    const image::VenueImage img =
+        image::VenueImage::fromBuffer({data, size},
+                                      image::VerifyMode::kFull);
+    fullAccepted = true;
+    exerciseLoadedImage(img);
+  } catch (const image::ImageError&) {
+    // Rejected input: the documented outcome for format damage.
+  } catch (const store::StoreError&) {
+    invariantFailed("image",
+                    "I/O-class error from a pure in-memory parse");
+  }
+
+  try {
+    const image::VenueImage img = image::VenueImage::fromBuffer(
+        {data, size}, image::VerifyMode::kBulkUnverified);
+    exerciseLoadedImage(img);
+
+    if (fullAccepted) {
+      // CRC-clean images must reach a byte-stable fixed point after
+      // one pass through the real writer: the input's section order
+      // and padding may be non-canonical, but write(load(x)) is, so a
+      // second round trip must reproduce it exactly.  This also runs
+      // the mmap open path over writer output (fromBuffer above covers
+      // the heap path).
+      static ScratchDir scratch("image");
+      const std::string dir = scratch.reset();
+      const core::WorldSnapshot world(
+          img.fingerprints(), img.adjacency(), img.meta().generation,
+          img.meta().intakeRecords, img.tieredIndex());
+      image::writeVenueImage(dir + "/a.img", world, {/*fsync=*/false});
+      const image::VenueImage reloaded =
+          image::VenueImage::open(dir + "/a.img");
+      exerciseLoadedImage(reloaded);
+      const core::WorldSnapshot world2(
+          reloaded.fingerprints(), reloaded.adjacency(),
+          reloaded.meta().generation, reloaded.meta().intakeRecords,
+          reloaded.tieredIndex());
+      image::writeVenueImage(dir + "/b.img", world2, {/*fsync=*/false});
+      if (readWholeFile(dir + "/a.img") != readWholeFile(dir + "/b.img"))
+        invariantFailed("image",
+                        "rewrite of an accepted image is not a fixed "
+                        "point");
+    }
+  } catch (const image::ImageError&) {
+    if (fullAccepted)
+      invariantFailed("image",
+                      "full verification accepted what bulk rejected");
+  } catch (const store::StoreError&) {
+    invariantFailed("image",
+                    "I/O-class error from a pure in-memory parse");
+  }
   return 0;
 }
 

@@ -58,4 +58,15 @@ int runWireDecode(const std::uint8_t* data, std::size_t size);
 /// through the thermometer plane packers the index builds shards with.
 int runSignatureCodec(const std::uint8_t* data, std::size_t size);
 
+/// image::VenueImage::fromBuffer over one venue-image file's bytes, in
+/// both verify modes.  Any format damage — hostile section offsets,
+/// lengths, overlaps, truncations, CRC flips — must be a typed
+/// image::ImageError, never an I/O-class error, a crash, or a read
+/// outside the buffer (the backing copy is exactly input-sized, so
+/// ASan sees any over-read).  Accepted images must be servable (meta
+/// consistent with the views, every CSR row walkable, a probe query
+/// answered) and, when they pass full CRC verification, must reach a
+/// byte-stable fixed point after one rewrite through the real writer.
+int runImageLoad(const std::uint8_t* data, std::size_t size);
+
 }  // namespace moloc::fuzz

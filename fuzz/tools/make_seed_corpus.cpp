@@ -14,15 +14,21 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/online_motion_database.hpp"
+#include "core/world_snapshot.hpp"
 #include "env/floor_plan.hpp"
+#include "image/format.hpp"
+#include "image/image_writer.hpp"
 #include "index/signature_codec.hpp"
+#include "index/tiered_index.hpp"
 #include "io/serialization.hpp"
 #include "net/wire.hpp"
 #include "radio/fingerprint_database.hpp"
@@ -274,6 +280,124 @@ void makeSignatureSeeds(const fs::path& root) {
             asString(torn));
 }
 
+/// Venue-image seeds: real images through the real writer (with and
+/// without an embedded index), plus regressions for every section-
+/// table damage mode the loader must keep rejecting with a typed
+/// ImageError — hostile offsets, overlaps, misalignment, duplicate
+/// ids, CRC flips, truncation, layout-tag and count damage.
+void makeImageSeeds(const fs::path& root) {
+  namespace image = moloc::image;
+
+  // A small world, built exactly the way serving does: 12
+  // fingerprinted locations x 4 APs, a corridor motion database, and
+  // a tiered index sharded small enough to produce several shards.
+  auto db = std::make_shared<moloc::radio::FingerprintDatabase>();
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> rss(4);
+    for (int a = 0; a < 4; ++a)
+      rss[static_cast<std::size_t>(a)] = -40.0 - 3.0 * i - 1.5 * a;
+    db->addLocation(i, moloc::radio::Fingerprint(rss));
+  }
+  moloc::core::MotionDatabase motion(12);
+  for (int i = 0; i + 1 < 12; ++i)
+    motion.setEntryWithMirror(i, i + 1,
+                              {90.0, 4.0, 5.0 + 0.25 * i, 0.3, 20});
+  moloc::index::IndexConfig indexConfig;
+  indexConfig.maxShardEntries = 4;
+  const auto index = std::make_shared<const moloc::index::TieredIndex>(
+      db, indexConfig);
+
+  const fs::path dir = scratchDir("image");
+  fs::create_directories(dir);
+  {
+    const moloc::core::WorldSnapshot world(db, motion, /*generation=*/7,
+                                           /*intakeRecords=*/21, index);
+    image::writeVenueImage((dir / "a.img").string(), world,
+                           {/*fsync=*/false});
+  }
+  const std::string withIndex = readFile(dir / "a.img");
+  writeFile(root / "image/with-index.img", withIndex);
+  {
+    const moloc::core::WorldSnapshot world(db, motion, /*generation=*/7,
+                                           /*intakeRecords=*/21, nullptr);
+    image::writeVenueImage((dir / "b.img").string(), world,
+                           {/*fsync=*/false});
+  }
+  writeFile(root / "image/no-index.img", readFile(dir / "b.img"));
+  fs::remove_all(dir);
+
+  // Byte-patching helpers.  The format is host-layout by design (the
+  // header's layout tag pins it), so direct memcpy patches are exactly
+  // what a hostile or bit-rotted file looks like on this host.
+  const auto peekU32 = [](const std::string& bytes, std::size_t at) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + at, sizeof(v));
+    return v;
+  };
+  const auto pokeU32 = [](std::string& bytes, std::size_t at,
+                          std::uint32_t v) {
+    std::memcpy(bytes.data() + at, &v, sizeof(v));
+  };
+  const auto pokeU64 = [](std::string& bytes, std::size_t at,
+                          std::uint64_t v) {
+    std::memcpy(bytes.data() + at, &v, sizeof(v));
+  };
+  // Re-seals FileHeader::tableCrc after a table patch, so the input
+  // reaches the *structural* validation it targets instead of dying at
+  // the table checksum.
+  const auto resealTable = [&](std::string& bytes) {
+    const std::uint32_t sections = peekU32(bytes, 24);
+    pokeU32(bytes, 28,
+            moloc::store::crc32c(
+                bytes.data() + sizeof(image::FileHeader),
+                sections * sizeof(image::SectionEntry)));
+  };
+  const auto entryAt = [](std::size_t i) {
+    return sizeof(image::FileHeader) + i * sizeof(image::SectionEntry);
+  };
+
+  // A truncation (here: mid-table) must be a typed rejection.
+  writeFile(root / "regressions/image/truncated-table.img",
+            withIndex.substr(0, 48));
+  // A flipped byte in a section body must fail that section's CRC.
+  std::string bodyFlip = withIndex;
+  bodyFlip[bodyFlip.size() - 1] ^= 0x40;
+  writeFile(root / "regressions/image/body-crc-flip.img", bodyFlip);
+  // A hostile offset far past the file, with the table re-sealed so
+  // the bounds check (not the checksum) must reject it.
+  std::string hostileOffset = withIndex;
+  pokeU64(hostileOffset, entryAt(0) + 8, 1ull << 60);
+  resealTable(hostileOffset);
+  writeFile(root / "regressions/image/hostile-offset.img", hostileOffset);
+  // Two sections claiming overlapping byte ranges.
+  std::string overlap = withIndex;
+  std::uint64_t firstOffset = 0;
+  std::memcpy(&firstOffset, withIndex.data() + entryAt(0) + 8,
+              sizeof(firstOffset));
+  pokeU64(overlap, entryAt(1) + 8, firstOffset);
+  resealTable(overlap);
+  writeFile(root / "regressions/image/overlapping-sections.img", overlap);
+  // An offset off the 64-byte alignment grid.
+  std::string misaligned = withIndex;
+  pokeU64(misaligned, entryAt(0) + 8, firstOffset + 8);
+  resealTable(misaligned);
+  writeFile(root / "regressions/image/misaligned-offset.img", misaligned);
+  // The same section id twice.
+  std::string duplicate = withIndex;
+  pokeU32(duplicate, entryAt(1), peekU32(withIndex, entryAt(0)));
+  resealTable(duplicate);
+  writeFile(root / "regressions/image/duplicate-section.img", duplicate);
+  // A foreign layout tag (other endianness/ABI): rejected by value.
+  std::string foreignLayout = withIndex;
+  foreignLayout[12] ^= 0x03;
+  writeFile(root / "regressions/image/foreign-layout-tag.img",
+            foreignLayout);
+  // A zero section count inside an otherwise intact header.
+  std::string zeroSections = withIndex;
+  pokeU32(zeroSections, 24, 0);
+  writeFile(root / "regressions/image/zero-sections.img", zeroSections);
+}
+
 }  // namespace
 
 /// Wire-protocol seeds: one of each message through the real
@@ -379,5 +503,6 @@ int main(int argc, char** argv) {
   makeSerializationSeeds(root);
   makeWireSeeds(root);
   makeSignatureSeeds(root);
+  makeImageSeeds(root);
   return 0;
 }

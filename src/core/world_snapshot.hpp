@@ -54,6 +54,29 @@ class WorldSnapshot {
         intakeRecords_(intakeRecords),
         publishedAt_(std::chrono::steady_clock::now()) {}
 
+  /// An image-backed boot world (src/image): adopts a prebuilt
+  /// adjacency — typically a non-owning view into an mmap'd venue
+  /// image, kept alive by whatever `adjacency`'s control block owns —
+  /// instead of freezing a motion database and rebuilding the CSR.
+  /// motion() is empty for such a world (the dense form lives only in
+  /// the store's WAL/checkpoint lineage); sessions only ever score
+  /// through adjacency(), so serving semantics are unchanged.
+  /// `adjacency` must be non-null (throws std::invalid_argument).
+  WorldSnapshot(std::shared_ptr<const radio::FingerprintDatabase> fingerprints,
+                std::shared_ptr<const kernel::MotionAdjacency> adjacency,
+                std::uint64_t generation, std::uint64_t intakeRecords,
+                std::shared_ptr<const index::TieredIndex> tieredIndex =
+                    nullptr)
+      : fingerprints_(std::move(fingerprints)),
+        tieredIndex_(std::move(tieredIndex)),
+        adoptedAdjacency_(std::move(adjacency)),
+        generation_(generation),
+        intakeRecords_(intakeRecords),
+        publishedAt_(std::chrono::steady_clock::now()) {
+    if (!adoptedAdjacency_)
+      throw std::invalid_argument("WorldSnapshot: null adjacency");
+  }
+
   WorldSnapshot(const WorldSnapshot&) = delete;
   WorldSnapshot& operator=(const WorldSnapshot&) = delete;
 
@@ -73,10 +96,14 @@ class WorldSnapshot {
 
   /// The frozen motion database (the adjacency's source of truth —
   /// kept so diagnostics and refits can inspect the dense form).
+  /// Empty for an image-backed world, whose adjacency was adopted
+  /// rather than derived here.
   const MotionDatabase& motion() const { return motion_; }
 
   /// The CSR index sessions score against; built once, immutable.
-  const kernel::MotionAdjacency& adjacency() const { return adjacency_; }
+  const kernel::MotionAdjacency& adjacency() const {
+    return adoptedAdjacency_ ? *adoptedAdjacency_ : adjacency_;
+  }
 
   /// Monotonic publish sequence number (the boot world is 0).
   std::uint64_t generation() const { return generation_; }
@@ -107,6 +134,9 @@ class WorldSnapshot {
   std::shared_ptr<const index::TieredIndex> tieredIndex_;
   MotionDatabase motion_;
   kernel::MotionAdjacency adjacency_;
+  /// Set only by the image-backed constructor; shadows adjacency_ and
+  /// pins the mapping the view points into.
+  std::shared_ptr<const kernel::MotionAdjacency> adoptedAdjacency_;
   std::uint64_t generation_ = 0;
   std::uint64_t intakeRecords_ = 0;
   std::chrono::steady_clock::time_point publishedAt_;

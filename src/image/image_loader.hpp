@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "image/format.hpp"
+#include "index/tiered_index.hpp"
+#include "kernel/motion_kernel.hpp"
+#include "radio/fingerprint_database.hpp"
+
+namespace moloc::image {
+
+/// How the image's bytes get into the address space.
+enum class LoadMode {
+  /// mmap the file read-only: load cost is independent of venue size
+  /// (pages fault in lazily from the page cache).  The default.
+  kMmap,
+  /// read() the whole file into one heap buffer: for platforms or
+  /// filesystems where mmap is unavailable, and for the bitwise
+  /// mmap-vs-fallback identity tests.  Every downstream view is built
+  /// over the identical bytes, so behavior is bitwise the same.
+  kReadFallback,
+};
+
+/// How much of the file the loader checksums before serving it.
+/// Structural validation (header, table CRC, section bounds, overlap
+/// and alignment checks, row-start monotonicity, shard geometry, id
+/// ranges) ALWAYS runs in every mode — memory safety never depends on
+/// this knob.
+enum class VerifyMode {
+  /// CRC every section.  The default; detects any bit flip, at the
+  /// cost of touching every byte (so load time grows with the image).
+  kFull,
+  /// CRC the metadata-sized sections only (meta, ids, row starts,
+  /// shard table, active-AP tables, bucket ranges) and skip the bulk
+  /// arrays (RSS values, flat matrix, edges, slabs).  This is the
+  /// millisecond cold-attach path for images the same host just wrote
+  /// and published atomically; bulk content is still bounds-safe,
+  /// merely not re-checksummed.
+  kBulkUnverified,
+};
+
+struct LoadOptions {
+  LoadMode mode = LoadMode::kMmap;
+  VerifyMode verify = VerifyMode::kFull;
+};
+
+/// A loaded venue image: the mapping plus zero-copy serving structures
+/// built over it.  All accessors hand out shared_ptrs whose control
+/// blocks pin the mapping, so a caller can drop the VenueImage and
+/// keep any piece alive independently — the bytes cannot be unmapped
+/// out from under a view.
+///
+/// Construction performs no parsing or allocation proportional to the
+/// bulk data: the FlatMatrix, per-entry fingerprints, CSR adjacency,
+/// and index slabs are views into the mapping.  The only O(n) work is
+/// the small per-row tables (id hash, row spans) — bytes, not
+/// megabytes, per location.
+class VenueImage {
+ public:
+  /// Opens and fully validates `path`.  Throws ImageError for any
+  /// format damage and store::StoreError for I/O failures.
+  static VenueImage open(const std::string& path, LoadOptions options = {});
+
+  /// Parses an in-memory buffer (copies it): the fuzz surface and the
+  /// fault-injection tests go through here and through open()'s
+  /// fallback path with identical semantics.
+  static VenueImage fromBuffer(std::span<const std::uint8_t> bytes,
+                               VerifyMode verify = VerifyMode::kFull);
+
+  const ImageMeta& meta() const { return meta_; }
+  std::size_t locationCount() const { return meta_.locationCount; }
+  std::size_t apCount() const { return meta_.apCount; }
+  bool hasIndex() const { return index_ != nullptr; }
+  /// Whether the bytes are an actual mmap (false on the fallback).
+  bool mapped() const { return mapped_; }
+
+  const std::shared_ptr<const radio::FingerprintDatabase>& fingerprints()
+      const {
+    return fingerprints_;
+  }
+  const std::shared_ptr<const kernel::MotionAdjacency>& adjacency() const {
+    return adjacency_;
+  }
+  /// Null when the image was written without an index.
+  const std::shared_ptr<const index::TieredIndex>& tieredIndex() const {
+    return index_;
+  }
+
+ private:
+  struct Core;
+
+  VenueImage() = default;
+  static VenueImage load(std::shared_ptr<Core> core, VerifyMode verify);
+
+  std::shared_ptr<const Core> core_;
+  std::shared_ptr<const radio::FingerprintDatabase> fingerprints_;
+  std::shared_ptr<const kernel::MotionAdjacency> adjacency_;
+  std::shared_ptr<const index::TieredIndex> index_;
+  ImageMeta meta_;
+  bool mapped_ = false;
+};
+
+}  // namespace moloc::image

@@ -4,9 +4,14 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
+
+#include "service/thread_pool.hpp"
 
 namespace moloc::index {
 
@@ -72,8 +77,8 @@ TieredIndex::TieredIndex(
 
   locIds_ = db_->locationIds();
   rowValues_.reserve(n);
-  for (const env::LocationId id : locIds_)
-    rowValues_.push_back(db_->entry(id).values());
+  for (std::size_t r = 0; r < n; ++r)
+    rowValues_.push_back(db_->entryAt(r).values());
 
   // Segment boundaries: caller-provided natural volumes (per
   // building/floor), else one segment; each capped at maxShardEntries.
@@ -88,17 +93,46 @@ TieredIndex::TieredIndex(
           "TieredIndex: shardStarts must be strictly increasing and "
           "inside the database");
 
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
   for (std::size_t i = 0; i < starts.size() && n > 0; ++i) {
     const std::size_t segmentEnd =
         i + 1 < starts.size() ? starts[i + 1] : n;
     for (std::size_t begin = starts[i]; begin < segmentEnd;
          begin += config_.maxShardEntries)
-      buildShard(begin,
-                 std::min(begin + config_.maxShardEntries, segmentEnd));
+      ranges.emplace_back(
+          begin, std::min(begin + config_.maxShardEntries, segmentEnd));
+  }
+
+  // Shards are built independently — each task quantizes and packs
+  // only its own row range into its own slot — so the fan-out over the
+  // thread pool produces planes bitwise-identical to the serial loop
+  // at any worker count (the parallel/serial identity test holds the
+  // proof).
+  std::size_t workers =
+      config_.buildThreads != 0
+          ? config_.buildThreads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, ranges.size());
+  shards_.resize(ranges.size());
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < ranges.size(); ++s)
+      shards_[s] = buildShard(ranges[s].first, ranges[s].second);
+  } else {
+    service::ThreadPool pool(workers);
+    std::vector<std::future<void>> built;
+    built.reserve(ranges.size());
+    for (std::size_t s = 0; s < ranges.size(); ++s)
+      built.push_back(pool.submit([this, &ranges, s] {
+        shards_[s] = buildShard(ranges[s].first, ranges[s].second);
+      }));
+    // get() rethrows the first failed shard's exception; the pool
+    // destructor then drains the rest before `ranges` unwinds.
+    for (auto& b : built) b.get();
   }
 }
 
-void TieredIndex::buildShard(std::size_t rowBegin, std::size_t rowEnd) {
+TieredIndex::Shard TieredIndex::buildShard(std::size_t rowBegin,
+                                           std::size_t rowEnd) const {
   const std::size_t count = rowEnd - rowBegin;
   const std::size_t apCount = db_->apCount();
   const int bucketCount = config_.quantizer.bucketCount;
@@ -128,16 +162,17 @@ void TieredIndex::buildShard(std::size_t rowBegin, std::size_t rowEnd) {
       maxBucket = std::max(maxBucket, b);
     }
     if (maxBucket == 0) continue;
-    shard.activeAps.push_back(static_cast<std::uint32_t>(c));
-    shard.minBucket.push_back(minBucket);
-    shard.maxBucket.push_back(maxBucket);
+    shard.activeApStorage.push_back(static_cast<std::uint32_t>(c));
+    shard.minBucketStorage.push_back(minBucket);
+    shard.maxBucketStorage.push_back(maxBucket);
   }
 
-  shard.slab.assign(shard.activeAps.size() * planeCount * shard.words, 0);
+  shard.slabStorage.assign(
+      shard.activeApStorage.size() * planeCount * shard.words, 0);
   std::array<std::uint8_t, kBlockEntries> blockBuckets{};
   std::vector<std::uint64_t> planes(planeCount);
-  for (std::size_t a = 0; a < shard.activeAps.size(); ++a) {
-    const std::size_t c = shard.activeAps[a];
+  for (std::size_t a = 0; a < shard.activeApStorage.size(); ++a) {
+    const std::size_t c = shard.activeApStorage[a];
     for (std::size_t w = 0; w < shard.words; ++w) {
       const std::size_t blockCount =
           std::min(kBlockEntries, count - w * kBlockEntries);
@@ -147,14 +182,100 @@ void TieredIndex::buildShard(std::size_t rowBegin, std::size_t rowEnd) {
       packThermometerPlanes({blockBuckets.data(), blockCount},
                             bucketCount, planes);
       for (std::size_t t = 0; t < planeCount; ++t)
-        shard.slab[(a * planeCount + t) * shard.words + w] = planes[t];
+        shard.slabStorage[(a * planeCount + t) * shard.words + w] =
+            planes[t];
     }
   }
+
+  // The scan path reads only the spans; point them at the storage just
+  // built (the heap buffers stay put across the Shard's moves).
+  shard.activeAps = shard.activeApStorage;
+  shard.minBucket = shard.minBucketStorage;
+  shard.maxBucket = shard.maxBucketStorage;
+  shard.slab = shard.slabStorage;
 
   const std::size_t maxDistance = shard.activeAps.size() * planeCount;
   shard.counterDepth =
       maxDistance == 0 ? 0 : static_cast<int>(std::bit_width(maxDistance));
-  shards_.push_back(std::move(shard));
+  return shard;
+}
+
+TieredIndex TieredIndex::fromImageViews(
+    std::shared_ptr<const radio::FingerprintDatabase> database,
+    IndexConfig config, std::span<const ShardView> shards) {
+  TieredIndex index;
+  index.db_ = std::move(database);
+  index.config_ = config;
+  if (!index.db_)
+    throw std::invalid_argument("TieredIndex: null database");
+  validateQuantizer(index.config_.quantizer);
+  if (index.config_.maxShardEntries == 0)
+    throw std::invalid_argument(
+        "TieredIndex: maxShardEntries must be >= 1");
+
+  const std::size_t n = index.db_->size();
+  const std::size_t apCount = index.db_->apCount();
+  const int bucketCount = index.config_.quantizer.bucketCount;
+  const std::size_t planeCount = static_cast<std::size_t>(bucketCount - 1);
+  if (apCount * planeCount > std::numeric_limits<std::uint16_t>::max())
+    throw std::invalid_argument(
+        "TieredIndex: apCount * (bucketCount - 1) exceeds the scan "
+        "counter range");
+  if (n == 0 && !shards.empty())
+    throw std::invalid_argument(
+        "TieredIndex: shard views over an empty database");
+
+  index.locIds_ = index.db_->locationIds();
+  index.rowValues_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r)
+    index.rowValues_.push_back(index.db_->entryAt(r).values());
+
+  index.shards_.reserve(shards.size());
+  std::size_t nextRow = 0;
+  for (const ShardView& v : shards) {
+    if (v.rowBegin != nextRow || v.rowEnd <= v.rowBegin || v.rowEnd > n)
+      throw std::invalid_argument(
+          "TieredIndex: shard views must partition the rows in order");
+    nextRow = v.rowEnd;
+    const std::size_t count = v.rowEnd - v.rowBegin;
+    const std::size_t words = (count + kBlockEntries - 1) / kBlockEntries;
+    if (v.minBucket.size() != v.activeAps.size() ||
+        v.maxBucket.size() != v.activeAps.size())
+      throw std::invalid_argument(
+          "TieredIndex: shard bucket ranges must match activeAps");
+    for (std::size_t a = 0; a < v.activeAps.size(); ++a) {
+      if (v.activeAps[a] >= apCount ||
+          (a > 0 && v.activeAps[a] <= v.activeAps[a - 1]))
+        throw std::invalid_argument(
+            "TieredIndex: shard activeAps must be strictly increasing "
+            "and within the AP count");
+      if (v.maxBucket[a] == 0 || v.maxBucket[a] >= bucketCount ||
+          v.minBucket[a] > v.maxBucket[a])
+        throw std::invalid_argument(
+            "TieredIndex: shard bucket range out of bounds");
+    }
+    if (v.slab.size() != v.activeAps.size() * planeCount * words)
+      throw std::invalid_argument(
+          "TieredIndex: shard slab size mismatch");
+
+    Shard shard;
+    shard.rowBegin = v.rowBegin;
+    shard.rowEnd = v.rowEnd;
+    shard.words = words;
+    shard.activeAps = v.activeAps;
+    shard.minBucket = v.minBucket;
+    shard.maxBucket = v.maxBucket;
+    shard.slab = v.slab;
+    const std::size_t maxDistance = v.activeAps.size() * planeCount;
+    shard.counterDepth =
+        maxDistance == 0 ? 0
+                         : static_cast<int>(std::bit_width(maxDistance));
+    index.shards_.push_back(std::move(shard));
+  }
+  if (nextRow != n)
+    throw std::invalid_argument(
+        "TieredIndex: shard views must cover every row");
+  return index;
 }
 
 ShardInfo TieredIndex::shardInfo(std::size_t shard) const {
@@ -163,6 +284,15 @@ ShardInfo TieredIndex::shardInfo(std::size_t shard) const {
                             std::to_string(shard));
   const Shard& s = shards_[shard];
   return {s.rowBegin, s.rowEnd, s.activeAps.size()};
+}
+
+ShardView TieredIndex::shardView(std::size_t shard) const {
+  if (shard >= shards_.size())
+    throw std::out_of_range("TieredIndex: bad shard index " +
+                            std::to_string(shard));
+  const Shard& s = shards_[shard];
+  return {s.rowBegin, s.rowEnd, s.activeAps, s.minBucket, s.maxBucket,
+          s.slab};
 }
 
 void TieredIndex::scanShard(const Shard& shard,

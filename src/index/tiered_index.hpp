@@ -21,6 +21,14 @@ struct IndexConfig {
   /// scan, large enough to amortize the per-shard bound check.
   std::size_t maxShardEntries = 4096;
 
+  /// Worker threads for construction-time slab building.  Shards are
+  /// independent (each task quantizes and packs only its own row
+  /// range), so the built planes are bitwise-identical at any thread
+  /// count.  0 selects the hardware concurrency; the build stays
+  /// serial whenever it resolves to 1 thread or there is only one
+  /// shard.  Has no effect on queries.
+  std::size_t buildThreads = 0;
+
   /// The prefilter shortlists at least this many candidates (when the
   /// map has them) regardless of k, absorbing quantization noise in
   /// the bucket-space ranking before the exact kernel re-ranks.
@@ -55,6 +63,26 @@ struct ShardInfo {
   std::size_t rowBegin = 0;
   std::size_t rowEnd = 0;
   std::size_t activeApCount = 0;
+};
+
+/// One shard's raw storage, as spans: what the venue-image writer
+/// serializes (TieredIndex::shardView) and what the image loader hands
+/// back to TieredIndex::fromImageViews to reconstruct the index
+/// without rebuilding a single plane.  Spans passed to fromImageViews
+/// must outlive the index (the loader pins the mapping).
+struct ShardView {
+  std::size_t rowBegin = 0;
+  std::size_t rowEnd = 0;
+  /// Column indices of APs heard by at least one entry, strictly
+  /// increasing.
+  std::span<const std::uint32_t> activeAps;
+  /// Per active AP: the shard-wide bucket range (1 <= max < B,
+  /// min <= max).
+  std::span<const std::uint8_t> minBucket;
+  std::span<const std::uint8_t> maxBucket;
+  /// Thermometer planes, plane-major: slab[(a*(B-1) + t)*words + w]
+  /// with words = ceil((rowEnd - rowBegin) / 64).
+  std::span<const std::uint64_t> slab;
 };
 
 /// The tiered candidate index of ROADMAP item 2: a coarse bit-sliced
@@ -99,10 +127,35 @@ class TieredIndex {
       IndexConfig config = {},
       std::span<const std::size_t> shardStarts = {});
 
+  /// Zero-copy reconstruction from a venue image (src/image): adopts
+  /// the already-built shard slabs as non-owning views instead of
+  /// quantizing and packing planes — queries are bitwise-identical to
+  /// the originally built index.  `database` is typically the image's
+  /// own view database; the spans in `shards` must outlive the index.
+  /// Validates the cheap structural invariants (shards partition the
+  /// rows, activeAps strictly increasing and in range, bucket ranges
+  /// sane, slab sizes exact) and throws std::invalid_argument on any
+  /// violation; slab *content* integrity is the image's CRC contract.
+  static TieredIndex fromImageViews(
+      std::shared_ptr<const radio::FingerprintDatabase> database,
+      IndexConfig config, std::span<const ShardView> shards);
+
+  /// An index is shared immutably behind shared_ptr by every snapshot
+  /// and session; copying one (and dangling a view shard's spans) is
+  /// never intended.
+  TieredIndex(const TieredIndex&) = delete;
+  TieredIndex& operator=(const TieredIndex&) = delete;
+  TieredIndex(TieredIndex&&) = default;
+  TieredIndex& operator=(TieredIndex&&) = default;
+
   const IndexConfig& config() const { return config_; }
   std::size_t entryCount() const { return rowValues_.size(); }
   std::size_t shardCount() const { return shards_.size(); }
   ShardInfo shardInfo(std::size_t shard) const;
+
+  /// The raw storage of one shard, for the venue-image writer and
+  /// white-box tests.  Spans are valid while the index lives.
+  ShardView shardView(std::size_t shard) const;
   const std::shared_ptr<const radio::FingerprintDatabase>& database()
       const {
     return db_;
@@ -130,19 +183,28 @@ class TieredIndex {
       std::vector<std::exception_ptr>* errors = nullptr) const;
 
  private:
+  /// One shard: the scan path reads only the spans, which point either
+  /// at the *Storage vectors (built here) or into an mmap'd venue
+  /// image (fromImageViews) — the heap buffers behind the vectors are
+  /// address-stable across Shard moves, so the spans survive shards_
+  /// growth and TieredIndex moves.
   struct Shard {
     std::size_t rowBegin = 0;
     std::size_t rowEnd = 0;
     std::size_t words = 0;  ///< ceil(entries / 64).
+    std::vector<std::uint32_t> activeApStorage;
+    std::vector<std::uint8_t> minBucketStorage;
+    std::vector<std::uint8_t> maxBucketStorage;
+    std::vector<std::uint64_t> slabStorage;
     /// Column indices of APs heard by at least one entry.
-    std::vector<std::uint32_t> activeAps;
+    std::span<const std::uint32_t> activeAps;
     /// Per active AP: bucket range across the shard's entries, for
     /// the query-time lower bound.
-    std::vector<std::uint8_t> minBucket;
-    std::vector<std::uint8_t> maxBucket;
+    std::span<const std::uint8_t> minBucket;
+    std::span<const std::uint8_t> maxBucket;
     /// Thermometer planes, plane-major:
     /// slab[(a * (B-1) + t) * words + w].
-    std::vector<std::uint64_t> slab;
+    std::span<const std::uint64_t> slab;
     /// Bits per vertical scan counter: bit_width(activeAps * (B-1)).
     int counterDepth = 0;
   };
@@ -150,7 +212,10 @@ class TieredIndex {
   struct ScanWorkspace;
   static ScanWorkspace& threadWorkspace();
 
-  void buildShard(std::size_t rowBegin, std::size_t rowEnd);
+  /// Used by fromImageViews, which fills the members itself.
+  TieredIndex() = default;
+
+  Shard buildShard(std::size_t rowBegin, std::size_t rowEnd) const;
   void queryPrepared(const radio::Fingerprint& query, std::size_t k,
                      ScanWorkspace& ws, std::vector<radio::Match>& out,
                      QueryStats* stats) const;

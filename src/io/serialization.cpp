@@ -20,10 +20,13 @@ namespace {
 constexpr char kFingerprintHeader[] = "moloc-fingerprint-db v1";
 constexpr char kMotionHeader[] = "moloc-motion-db v1";
 
-/// Upper bound on a motion database's 'locations' header field — the
-/// database is a dense n x n matrix, so the loader must refuse counts
-/// no real floor plan can reach before allocating for them.
-constexpr std::size_t kMaxMotionLocations = 4096;
+/// Upper bound on a motion database's 'locations' header field.  The
+/// loader must refuse counts no real venue can reach before trusting
+/// them; storage is sparse (O(entries)), so the cap only bounds the id
+/// space, and it must admit the worldgen campus venues (up to 64k
+/// locations) that the cold-start benches round-trip through this
+/// format.
+constexpr std::size_t kMaxMotionLocations = 1u << 20;
 
 [[noreturn]] void fail(int line, const std::string& what) {
   throw std::runtime_error("moloc::io: line " + std::to_string(line) +
@@ -251,7 +254,7 @@ core::MotionDatabase loadMotionDatabase(std::istream& in) {
   // (found by the serialization fuzz target; fuzz/corpus/regressions).
   // MotionDatabase is sparse now, but the cap keeps a corrupt header
   // from legitimizing an absurd id space in this text format, which
-  // stays O(entries) and is meant for paper-scale worlds.
+  // stays O(entries).
   if (locationCount > kMaxMotionLocations)
     fail(lineNo, "locations " + std::to_string(locationCount) +
                      " exceeds the supported maximum " +

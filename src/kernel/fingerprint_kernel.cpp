@@ -40,13 +40,29 @@ std::size_t findBelowAvx2(const double* values, std::size_t begin,
 }  // namespace detail
 #endif
 
+FlatMatrix FlatMatrix::view(const double* data, std::size_t rows,
+                            std::size_t cols) {
+  if (rows > 0 && data == nullptr)
+    throw std::invalid_argument("FlatMatrix: null view data");
+  FlatMatrix m;
+  m.borrowed_ = data;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  return m;
+}
+
 void FlatMatrix::reset(std::size_t cols) {
+  if (borrowed_ != nullptr)
+    throw std::logic_error("FlatMatrix: cannot reset an immutable view");
   data_.clear();
   rows_ = 0;
   cols_ = cols;
 }
 
 void FlatMatrix::appendRow(std::span<const double> row) {
+  if (borrowed_ != nullptr)
+    throw std::logic_error(
+        "FlatMatrix: cannot append to an immutable view");
   if (row.size() != cols_)
     throw std::invalid_argument("FlatMatrix: row length mismatch");
   // Entering a new block allocates it whole and zero-filled, so the

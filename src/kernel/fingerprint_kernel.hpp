@@ -34,9 +34,21 @@ class FlatMatrix {
  public:
   FlatMatrix() = default;
 
+  /// A non-owning view over an externally owned blocked buffer — the
+  /// zero-copy path of the mmap venue image (src/image).  `data` must
+  /// hold paddedRows * cols doubles in exactly the layout described
+  /// above (including the zero-padded trailing block) and must outlive
+  /// the matrix and every copy of it.  A view is immutable: reset()
+  /// and appendRow() throw std::logic_error.
+  static FlatMatrix view(const double* data, std::size_t rows,
+                         std::size_t cols);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }
+
+  /// True when this matrix borrows external storage (see view()).
+  bool isView() const { return borrowed_ != nullptr; }
 
   /// rows() rounded up to a whole number of blocks — the number of
   /// distance outputs a kernel writes.
@@ -44,24 +56,31 @@ class FlatMatrix {
     return (rows_ + kRowBlock - 1) / kRowBlock * kRowBlock;
   }
 
-  const double* data() const { return data_.data(); }
+  const double* data() const {
+    return borrowed_ != nullptr ? borrowed_ : data_.data();
+  }
 
   /// Element access through the interleaved layout (test/debug path;
   /// the kernels index the raw block layout directly).
   double at(std::size_t row, std::size_t col) const {
-    return data_[(row / kRowBlock) * kRowBlock * cols_ +
-                 col * kRowBlock + row % kRowBlock];
+    return data()[(row / kRowBlock) * kRowBlock * cols_ +
+                  col * kRowBlock + row % kRowBlock];
   }
 
-  /// Drops all rows and fixes the column count.
+  /// Drops all rows and fixes the column count.  Throws
+  /// std::logic_error on a view.
   void reset(std::size_t cols);
 
   /// Appends one row; `row.size()` must equal cols() (throws
-  /// std::invalid_argument otherwise).
+  /// std::invalid_argument otherwise, std::logic_error on a view).
   void appendRow(std::span<const double> row);
 
  private:
   std::vector<double> data_;
+  /// Set iff this matrix is a view; owning matrices read data_ so the
+  /// default copy/move semantics stay correct (a copied view stays a
+  /// shallow view, a copied owner re-points at its own buffer).
+  const double* borrowed_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
 };

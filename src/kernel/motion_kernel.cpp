@@ -1,6 +1,7 @@
 #include "kernel/motion_kernel.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace moloc::kernel {
 
@@ -18,7 +19,24 @@ PairWindow makeWindow(env::LocationId to, const core::RlmStats& stats) {
   return window;
 }
 
+MotionAdjacency MotionAdjacency::view(
+    std::span<const std::size_t> rowStart,
+    std::span<const PairWindow> edges) {
+  if (rowStart.empty())
+    throw std::invalid_argument(
+        "MotionAdjacency: view rowStart must hold at least one offset");
+  MotionAdjacency adjacency;
+  adjacency.borrowedRowStart_ = rowStart.data();
+  adjacency.borrowedEdges_ = edges.data();
+  adjacency.borrowedEdgeCount_ = edges.size();
+  adjacency.locationCount_ = rowStart.size() - 1;
+  return adjacency;
+}
+
 void MotionAdjacency::rebuild(const core::MotionDatabase& db) {
+  if (borrowedRowStart_ != nullptr)
+    throw std::logic_error(
+        "MotionAdjacency: cannot rebuild an immutable view");
   locationCount_ = db.locationCount();
   edges_.clear();
   edges_.reserve(db.entryCount());

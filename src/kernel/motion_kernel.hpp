@@ -89,19 +89,51 @@ class MotionAdjacency {
   /// Builds the index from `db`'s current contents.
   explicit MotionAdjacency(const core::MotionDatabase& db) { rebuild(db); }
 
+  /// A non-owning view over externally owned CSR arrays — the
+  /// zero-copy path of the mmap venue image (src/image).  `rowStart`
+  /// must hold locationCount + 1 monotonically non-decreasing offsets
+  /// starting at 0 and ending at edges.size(), and `edges` must be
+  /// sorted by (from, to); both must outlive the adjacency and every
+  /// copy of it.  The caller (the image loader) validates those
+  /// invariants — this factory only checks the shape.  A view is
+  /// immutable: rebuild() throws std::logic_error.
+  static MotionAdjacency view(std::span<const std::size_t> rowStart,
+                              std::span<const PairWindow> edges);
+
   /// Rebuilds the index from `db`.  Not thread-safe against readers of
-  /// this instance; build before sharing.
+  /// this instance; build before sharing.  Throws std::logic_error on
+  /// a view.
   void rebuild(const core::MotionDatabase& db);
 
   std::size_t locationCount() const { return locationCount_; }
-  std::size_t edgeCount() const { return edges_.size(); }
+  std::size_t edgeCount() const {
+    return isView() ? borrowedEdgeCount_ : edges_.size();
+  }
+
+  /// True when this adjacency borrows external storage (see view()).
+  bool isView() const { return borrowedRowStart_ != nullptr; }
+
+  /// The row-start offsets (locationCount() + 1 entries) and the edge
+  /// array they index — exposed for the venue-image writer.
+  std::span<const std::size_t> rowStarts() const {
+    if (borrowedRowStart_ != nullptr)
+      return {borrowedRowStart_, locationCount_ + 1};
+    return {rowStart_.data(), rowStart_.size()};
+  }
+  std::span<const PairWindow> edges() const {
+    return isView() ? std::span<const PairWindow>{borrowedEdges_,
+                                                  borrowedEdgeCount_}
+                    : std::span<const PairWindow>{edges_};
+  }
 
   /// The populated out-edges of `i`, sorted by destination id.
   /// `i` must be < locationCount().
   std::span<const PairWindow> outEdges(env::LocationId i) const {
     const auto row = static_cast<std::size_t>(i);
-    return {edges_.data() + rowStart_[row],
-            rowStart_[row + 1] - rowStart_[row]};
+    const std::size_t* rs =
+        isView() ? borrowedRowStart_ : rowStart_.data();
+    const PairWindow* ed = isView() ? borrowedEdges_ : edges_.data();
+    return {ed + rs[row], rs[row + 1] - rs[row]};
   }
 
   /// The window for the directed pair (i, j), or nullptr when the pair
@@ -111,6 +143,12 @@ class MotionAdjacency {
  private:
   std::vector<std::size_t> rowStart_;  ///< locationCount_ + 1 offsets.
   std::vector<PairWindow> edges_;      ///< Sorted by (from, to).
+  /// Set iff this adjacency is a view; owning instances read the
+  /// vectors so default copy/move stay correct (a copied view stays a
+  /// shallow view, a copied owner re-points at its own buffers).
+  const std::size_t* borrowedRowStart_ = nullptr;
+  const PairWindow* borrowedEdges_ = nullptr;
+  std::size_t borrowedEdgeCount_ = 0;
   std::size_t locationCount_ = 0;
 };
 

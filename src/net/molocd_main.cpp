@@ -20,6 +20,8 @@
 
 #include "core/online_motion_database.hpp"
 #include "eval/experiment_world.hpp"
+#include "image/image_loader.hpp"
+#include "image/image_writer.hpp"
 #include "net/server.hpp"
 #include "service/intake.hpp"
 #include "service/localization_service.hpp"
@@ -60,6 +62,18 @@ int main(int argc, char** argv) {
                  "(see worldgen::parseVenueSpec)");
   args.addOption("venue-seed", "42",
                  "venue generation seed (loadgen must match)");
+  args.addOption("image", "",
+                 "serve from a venue image (src/image) instead of "
+                 "building a world; implies --no-intake (an image "
+                 "carries no reservoir state to fold observations "
+                 "into)");
+  args.addOption("image-verify", "full",
+                 "image CRC policy: 'full' checksums every section, "
+                 "'bulk' skips the large arrays for millisecond "
+                 "cold attach (structure is always validated)");
+  args.addOption("save-image", "",
+                 "write the boot world (built or loaded) to this "
+                 "venue image and exit without serving");
   args.addOption("wal-dir", "",
                  "durable store directory for the intake WAL "
                  "(empty = in-memory intake only)");
@@ -93,11 +107,27 @@ int main(int argc, char** argv) {
     // floor plans).
     std::unique_ptr<eval::ExperimentWorld> world;
     std::unique_ptr<worldgen::GeneratedVenue> venue;
+    std::unique_ptr<image::VenueImage> venueImage;
     eval::WorldConfig worldConfig;
     worldConfig.seed = static_cast<std::uint64_t>(args.getInt("seed"));
     worldConfig.apCount = args.getInt("ap-count");
     const std::string venueSpecText = args.getString("venue");
-    if (!venueSpecText.empty()) {
+    const std::string imagePath = args.getString("image");
+    if (!imagePath.empty()) {
+      if (!venueSpecText.empty())
+        throw std::invalid_argument(
+            "--image and --venue are mutually exclusive");
+      const std::string verify = args.getString("image-verify");
+      if (verify != "full" && verify != "bulk")
+        throw std::invalid_argument(
+            "--image-verify must be 'full' or 'bulk'");
+      image::LoadOptions loadOptions;
+      loadOptions.verify = verify == "bulk"
+                               ? image::VerifyMode::kBulkUnverified
+                               : image::VerifyMode::kFull;
+      venueImage = std::make_unique<image::VenueImage>(
+          image::VenueImage::open(imagePath, loadOptions));
+    } else if (!venueSpecText.empty()) {
       worldgen::VenueSpec spec = worldgen::parseVenueSpec(venueSpecText);
       spec.seed = static_cast<std::uint64_t>(args.getInt("venue-seed"));
       venue = std::make_unique<worldgen::GeneratedVenue>(spec);
@@ -120,11 +150,33 @@ int main(int argc, char** argv) {
     // boundaries; IndexMode::kAuto then builds the tiered index for
     // campus-scale maps and skips it for the small office hall.
     if (venue) serviceConfig.indexShardStarts = venue->shardStarts();
-    service::LocalizationService service(
-        venue ? venue->fingerprints() : world->fingerprintDb(),
-        venue ? venue->motion() : world->motionDb(), serviceConfig);
+    auto makeService = [&]() -> service::LocalizationService {
+      if (venueImage)
+        return service::LocalizationService(
+            venueImage->fingerprints(), venueImage->adjacency(),
+            venueImage->tieredIndex(), venueImage->meta().generation,
+            venueImage->meta().intakeRecords, serviceConfig);
+      return service::LocalizationService(
+          venue ? venue->fingerprints() : world->fingerprintDb(),
+          venue ? venue->motion() : world->motionDb(), serviceConfig);
+    };
+    service::LocalizationService service = makeService();
 
-    if (!args.getSwitch("no-intake")) {
+    const std::string saveImagePath = args.getString("save-image");
+    if (!saveImagePath.empty()) {
+      const image::ImageWriteInfo info =
+          image::writeVenueImage(saveImagePath, *service.currentWorld());
+      std::printf(
+          "molocd: wrote venue image %s (%llu bytes, %zu sections, "
+          "%zu locations, index %s)\n",
+          saveImagePath.c_str(),
+          static_cast<unsigned long long>(info.bytes), info.sections,
+          service.fingerprints().size(),
+          service.tieredIndex() ? "embedded" : "none");
+      return 0;
+    }
+
+    if (!args.getSwitch("no-intake") && !venueImage) {
       intakeDb = std::make_unique<core::OnlineMotionDatabase>(
           venue ? venue->site().plan : world->hall().plan);
       const std::string walDir = args.getString("wal-dir");
@@ -158,7 +210,17 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handleStopSignal);
     std::signal(SIGINT, handleStopSignal);
 
-    if (venue)
+    if (venueImage)
+      std::printf(
+          "molocd: serving %s:%u (image %s, generation %llu, "
+          "%zu locations, %zu APs, index %s, intake off)\n",
+          netConfig.host.c_str(), unsigned{server.port()},
+          imagePath.c_str(),
+          static_cast<unsigned long long>(
+              venueImage->meta().generation),
+          venueImage->locationCount(), venueImage->apCount(),
+          service.tieredIndex() ? "on" : "off");
+    else if (venue)
       std::printf(
           "molocd: serving %s:%u (venue %s, seed %llu, %zu locations, "
           "%zu APs, index %s, intake %s)\n",

@@ -5,10 +5,18 @@
 
 namespace moloc::radio {
 
+double& Fingerprint::operator[](std::size_t i) {
+  if (isView())
+    throw std::logic_error("Fingerprint: cannot mutate an immutable view");
+  return rss_[i];
+}
+
 Fingerprint Fingerprint::truncated(std::size_t n) const {
-  if (n >= rss_.size()) return *this;
-  return Fingerprint(std::vector<double>(rss_.begin(),
-                                         rss_.begin() + static_cast<long>(n)));
+  const std::span<const double> v = values();
+  if (n >= v.size() && !isView()) return *this;
+  const std::size_t keep = n < v.size() ? n : v.size();
+  return Fingerprint(std::vector<double>(v.begin(),
+                                         v.begin() + static_cast<long>(keep)));
 }
 
 double squaredDissimilarity(const Fingerprint& a, const Fingerprint& b) {

@@ -26,6 +26,32 @@ kernel::QueryWorkspace& threadWorkspace() {
 
 }  // namespace
 
+FingerprintDatabase FingerprintDatabase::fromImageView(
+    std::span<const env::LocationId> ids, std::size_t apCount,
+    const double* rowMajorValues, kernel::FlatMatrix blockedFlat) {
+  if (!ids.empty() && (apCount == 0 || rowMajorValues == nullptr))
+    throw std::invalid_argument(
+        "FingerprintDatabase: view needs apCount >= 1 and values");
+  if (blockedFlat.rows() != ids.size() ||
+      (!ids.empty() && blockedFlat.cols() != apCount))
+    throw std::invalid_argument(
+        "FingerprintDatabase: view flat-matrix shape mismatch");
+  FingerprintDatabase db;
+  db.entries_.reserve(ids.size());
+  db.indexById_.reserve(ids.size());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    db.entries_.push_back(
+        {ids[r], Fingerprint::view({rowMajorValues + r * apCount,
+                                    apCount})});
+    if (!db.indexById_.emplace(ids[r], r).second)
+      throw std::invalid_argument(
+          "FingerprintDatabase: duplicate location " +
+          std::to_string(ids[r]));
+  }
+  db.flat_ = std::move(blockedFlat);
+  return db;
+}
+
 void FingerprintDatabase::addLocation(env::LocationId id,
                                       Fingerprint radioMapEntry) {
   if (radioMapEntry.empty())

@@ -48,6 +48,19 @@ class FingerprintDatabase {
  public:
   FingerprintDatabase() = default;
 
+  /// Zero-copy construction from a venue image (src/image): entry r
+  /// becomes a Fingerprint::view over row r of `rowMajorValues`
+  /// (ids.size() x apCount doubles, row-major) and the kernel mirror
+  /// adopts `blockedFlat` (a FlatMatrix::view over the image's blocked
+  /// section) instead of re-packing it.  Both buffers must outlive the
+  /// database — the image loader pins the mapping for it.  Only the
+  /// shape and id uniqueness are validated here; value-level integrity
+  /// is the image's CRC contract.  Throws std::invalid_argument on a
+  /// shape mismatch or duplicate id.
+  static FingerprintDatabase fromImageView(
+      std::span<const env::LocationId> ids, std::size_t apCount,
+      const double* rowMajorValues, kernel::FlatMatrix blockedFlat);
+
   /// Registers the radio-map entry for a location.  Entries must share
   /// one AP dimensionality; ids may arrive in any order but must be
   /// unique.  Throws std::invalid_argument on violations.
@@ -62,6 +75,15 @@ class FingerprintDatabase {
   /// The stored radio-map entry for `id`; throws std::out_of_range when
   /// the id was never added.
   const Fingerprint& entry(env::LocationId id) const;
+
+  /// The entry at insertion position `row` (row order matches
+  /// flatMatrix() rows); exposed for the venue-image writer and the
+  /// tiered index so per-row walks skip the id hash.  `row` must be
+  /// < size().
+  const Fingerprint& entryAt(std::size_t row) const {
+    return entries_[row].fingerprint;
+  }
+  env::LocationId idAt(std::size_t row) const { return entries_[row].id; }
 
   /// True iff `id` has a radio-map entry.
   bool contains(env::LocationId id) const;

@@ -85,12 +85,47 @@ LocalizationService::LocalizationService(
     index_ = std::make_shared<const index::TieredIndex>(
         fingerprints_, config_.index, config_.indexShardStarts);
   // The boot world: generation 0 over the construction-time databases.
+  finishConstruction(std::make_shared<const core::WorldSnapshot>(
+      fingerprints_, motion_, 0, 0, index_));
+}
+
+LocalizationService::LocalizationService(
+    std::shared_ptr<const radio::FingerprintDatabase> fingerprints,
+    std::shared_ptr<const kernel::MotionAdjacency> adjacency,
+    std::shared_ptr<const index::TieredIndex> index,
+    std::uint64_t generation, std::uint64_t intakeRecords,
+    ServiceConfig config)
+    : config_(config),
+      fingerprints_(std::move(fingerprints)),
+      index_(std::move(index)),
+      shards_(checkShardCount(config.shardCount)),
+      pool_(resolveThreadCount(config.threadCount), config.metrics) {
+  if (!fingerprints_)
+    throw std::invalid_argument(
+        "LocalizationService: null fingerprint database");
+  // The image ships a prebuilt index when the world had one; when it
+  // did not, the service's own policy still applies (e.g. a campus
+  // image written before indexing existed, loaded by a serving binary
+  // that wants the prefilter).
+  if (!index_ && wantTieredIndex(config_, *fingerprints_))
+    index_ = std::make_shared<const index::TieredIndex>(
+        fingerprints_, config_.index, config_.indexShardStarts);
+  // The boot world adopts the image's adjacency views and provenance;
+  // motion_ stays empty (sessions rebind to the world's adjacency at
+  // construction, so the empty boot database never scores a scan).
+  finishConstruction(std::make_shared<const core::WorldSnapshot>(
+      fingerprints_, std::move(adjacency), generation, intakeRecords,
+      index_));
+}
+
+void LocalizationService::finishConstruction(
+    std::shared_ptr<const core::WorldSnapshot> boot) {
   {
-    auto boot = std::make_shared<const core::WorldSnapshot>(
-        fingerprints_, motion_, 0, 0, index_);
     const util::MutexLock lock(worldMu_);
     world_ = std::move(boot);
     worldHint_.store(&world_->adjacency(), std::memory_order_release);
+    worldGeneration_.store(world_->generation(),
+                           std::memory_order_relaxed);
   }
   // Sessions inherit the service's registry unless the caller wired
   // the engine to its own.

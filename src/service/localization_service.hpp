@@ -132,6 +132,23 @@ class LocalizationService {
                       core::MotionDatabase motion,
                       ServiceConfig config = {});
 
+  /// Image-backed construction (src/image): adopts the shared serving
+  /// structures a loaded venue image hands out — typically zero-copy
+  /// views pinned to an mmap — instead of copying databases and
+  /// rebuilding the adjacency/index.  `fingerprints` and `adjacency`
+  /// must be non-null (throws std::invalid_argument); `index` may be
+  /// null, in which case the configured IndexMode decides whether to
+  /// build one over `fingerprints` here.  The boot world carries the
+  /// image's generation/intakeRecords provenance; motion() is empty
+  /// for such a service (sessions only ever score through the world's
+  /// adjacency, which every new session adopts at construction).
+  LocalizationService(
+      std::shared_ptr<const radio::FingerprintDatabase> fingerprints,
+      std::shared_ptr<const kernel::MotionAdjacency> adjacency,
+      std::shared_ptr<const index::TieredIndex> index,
+      std::uint64_t generation, std::uint64_t intakeRecords,
+      ServiceConfig config = {});
+
   LocalizationService(const LocalizationService&) = delete;
   LocalizationService& operator=(const LocalizationService&) = delete;
 
@@ -282,6 +299,11 @@ class LocalizationService {
   /// Freezes `db` into a new WorldSnapshot and publishes it (release
   /// store).  Runs on the intake writer thread, and once at attach.
   void publishWorld(core::OnlineMotionDatabase& db);
+
+  /// Shared constructor tail: publishes `boot` as the serving world,
+  /// inherits the metrics registry into the engine config, and
+  /// registers the service instruments.
+  void finishConstruction(std::shared_ptr<const core::WorldSnapshot> boot);
 
   /// Adopts the newest published world into `session` if it is still
   /// scoring an older generation.  Caller holds the session's slot

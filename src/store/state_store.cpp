@@ -1,5 +1,7 @@
 #include "store/state_store.hpp"
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <utility>
 
@@ -64,6 +66,24 @@ StateStore::StateStore(std::string dir, StoreConfig config)
             : 0));
   }
 #endif
+}
+
+bool StateStore::hasImage() const {
+  struct stat st{};
+  return ::stat(imagePath().c_str(), &st) == 0;
+}
+
+image::ImageWriteInfo StateStore::saveImage(
+    const core::WorldSnapshot& world) {
+  // No store lock: writeVenueImage streams to its own .tmp and
+  // rename-publishes, so it cannot tear against WAL appends or a
+  // concurrent checkpoint (which use different files in the same
+  // directory).
+  return image::writeVenueImage(imagePath(), world);
+}
+
+image::VenueImage StateStore::openImage(image::LoadOptions options) const {
+  return image::VenueImage::open(imagePath(), options);
 }
 
 void StateStore::onAccepted(env::LocationId estimatedStart,

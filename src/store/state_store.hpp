@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/online_motion_database.hpp"
+#include "image/image_loader.hpp"
+#include "image/image_writer.hpp"
 #include "obs/metrics.hpp"
 #include "radio/fingerprint_database.hpp"
 #include "store/checkpoint.hpp"
@@ -101,6 +103,34 @@ class StateStore final : public core::ObservationSink {
   WalWriter::Stats walStats() const;
 
   const std::string& directory() const { return dir_; }
+
+  // ---- Venue image (src/image) --------------------------------------
+  //
+  // The store can keep one venue image alongside its checkpoint/WAL
+  // lineage.  The image is a *serving-world cache*, not part of the
+  // durability contract: the checkpoint + WAL remain the source of
+  // truth, recovery still replays the WAL tail on top of the newest
+  // checkpoint exactly as before, and a missing/damaged image only
+  // costs the rebuild it would have skipped.  The intended boot:
+  // openImage() to mmap the serving structures in milliseconds, then
+  // recover() into a fresh OnlineMotionDatabase so the intake side
+  // continues from the durable lineage.
+
+  /// The fixed image path inside this store's directory.
+  std::string imagePath() const { return dir_ + "/venue.img"; }
+
+  /// True when imagePath() exists (no validation; openImage validates).
+  bool hasImage() const;
+
+  /// Atomically publishes `world` as this store's venue image
+  /// (tmp+fsync+rename, like a checkpoint).  Thread-safe against
+  /// concurrent WAL appends and checkpoints — the image file is
+  /// independent of both.  Throws image::ImageError / StoreError.
+  image::ImageWriteInfo saveImage(const core::WorldSnapshot& world);
+
+  /// Opens and validates this store's venue image.  Throws
+  /// image::ImageError on damage and StoreError when absent.
+  image::VenueImage openImage(image::LoadOptions options = {}) const;
 
  private:
   /// Serializes whole checkpoint() calls (the publish step runs

@@ -76,6 +76,10 @@ TEST(FuzzRegressions, SignatureCorpusReplaysClean) {
   EXPECT_GE(replaySurface("signature", runSignatureCodec), 7u);
 }
 
+TEST(FuzzRegressions, ImageCorpusReplaysClean) {
+  EXPECT_GE(replaySurface("image", runImageLoad), 8u);
+}
+
 // The harness must also accept the empty input (libFuzzer always
 // starts there).
 TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
@@ -86,6 +90,7 @@ TEST(FuzzRegressions, EmptyInputIsCleanEverywhere) {
   EXPECT_EQ(0, runCsvParse(&dummy, 0));
   EXPECT_EQ(0, runWireDecode(&dummy, 0));
   EXPECT_EQ(0, runSignatureCodec(&dummy, 0));
+  EXPECT_EQ(0, runImageLoad(&dummy, 0));
 }
 
 }  // namespace

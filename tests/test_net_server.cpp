@@ -9,12 +9,15 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/online_motion_database.hpp"
+#include "image/image_loader.hpp"
+#include "image/image_writer.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
 #include "sensors/accelerometer_model.hpp"
@@ -159,6 +162,51 @@ TEST(NetServer, LoopbackLocalizeIsBitwiseIdenticalToInProcess) {
   }
   EXPECT_EQ(served.sessionCount(), 3u);
   EXPECT_EQ(server.stats().requestsServed, 9u);
+}
+
+// The tentpole acceptance test for src/image: a service booted from a
+// venue image (zero-copy mmap views all the way down) must answer the
+// wire protocol bitwise-identically to a service built fresh from the
+// same databases.
+TEST(NetServer, ImageLoadedWorldServesBitwiseIdenticalToFreshlyBuilt) {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "moloc_net_image_" +
+                          std::to_string(counter.fetch_add(1));
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/venue.img";
+
+  // Force the tiered index on so the image embeds signature planes and
+  // the served localize path exercises them.
+  service::ServiceConfig config = testConfig(2);
+  config.indexMode = service::IndexMode::kOn;
+  service::LocalizationService reference(twinFingerprints(), twinMotion(),
+                                         config);
+  ASSERT_NE(reference.tieredIndex(), nullptr);
+  image::writeVenueImage(path, *reference.currentWorld());
+
+  const image::VenueImage venueImage = image::VenueImage::open(path);
+  ASSERT_TRUE(venueImage.hasIndex());
+  service::LocalizationService served(
+      venueImage.fingerprints(), venueImage.adjacency(),
+      venueImage.tieredIndex(), venueImage.meta().generation,
+      venueImage.meta().intakeRecords, config);
+  Server server(served, loopbackConfig());
+  Client client("127.0.0.1", server.port());
+
+  for (std::uint64_t user = 1; user <= 3; ++user) {
+    const Walk walk = makeWalk(user + 20);
+    for (std::size_t r = 0; r < walk.scans.size(); ++r) {
+      const std::uint64_t tag = user * 100 + r;
+      const LocalizeResponse response =
+          client.localize(tag, user, walk.scans[r], walk.imu[r]);
+      ASSERT_EQ(response.status, Status::kOk) << response.message;
+      const auto expected =
+          reference.submitScan(user, walk.scans[r], walk.imu[r]);
+      EXPECT_TRUE(estimatesBitwiseEqual(response.estimate, expected))
+          << "user " << user << " round " << r;
+    }
+  }
+  EXPECT_EQ(served.sessionCount(), 3u);
 }
 
 TEST(NetServer, LocalizeBatchMatchesAndPreservesOrder) {
