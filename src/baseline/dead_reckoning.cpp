@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::baseline {
 
@@ -20,7 +21,7 @@ void DeadReckoning::initialize(const radio::Fingerprint& initialScan) {
 env::LocationId DeadReckoning::update(
     const sensors::MotionMeasurement& motion) {
   if (!initialized_)
-    throw std::logic_error("DeadReckoning: update before initialize");
+    throw util::StateError("DeadReckoning: update before initialize");
   position_ = position_ + geometry::headingToUnitVec(motion.directionDeg) *
                               motion.offsetMeters;
   return nearestReference();
@@ -28,7 +29,7 @@ env::LocationId DeadReckoning::update(
 
 geometry::Vec2 DeadReckoning::position() const {
   if (!initialized_)
-    throw std::logic_error("DeadReckoning: position before initialize");
+    throw util::StateError("DeadReckoning: position before initialize");
   return position_;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::baseline {
 
 HmmLocalizer::HmmLocalizer(const radio::FingerprintDatabase& db,
@@ -12,7 +14,7 @@ HmmLocalizer::HmmLocalizer(const radio::FingerprintDatabase& db,
     : db_(db), graph_(graph), params_(params), n_(graph.nodeCount()) {
   for (std::size_t i = 0; i < n_; ++i)
     if (!db_.contains(static_cast<env::LocationId>(i)))
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "HmmLocalizer: database misses a graph node");
 
   // Precompute pairwise walkable distances (Dijkstra from each node).

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::baseline {
 
 KnnAveraging::KnnAveraging(const env::FloorPlan& plan,
@@ -10,7 +12,7 @@ KnnAveraging::KnnAveraging(const env::FloorPlan& plan,
                            std::size_t k)
     : plan_(plan), db_(db), k_(k) {
   if (k == 0)
-    throw std::invalid_argument("KnnAveraging: k must be >= 1");
+    throw util::ConfigError("KnnAveraging: k must be >= 1");
 }
 
 geometry::Vec2 KnnAveraging::position(

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::baseline {
 
@@ -15,7 +16,7 @@ ParticleFilter::ParticleFilter(const env::FloorPlan& plan,
                                std::uint64_t seed)
     : plan_(plan), db_(db), params_(params), rng_(seed) {
   if (params_.particleCount == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ParticleFilter: particle count must be >= 1");
 }
 
@@ -155,7 +156,7 @@ env::LocationId ParticleFilter::update(
     const radio::Fingerprint& scan,
     const std::optional<sensors::MotionMeasurement>& motion) {
   if (db_.empty())
-    throw std::logic_error("ParticleFilter: empty fingerprint database");
+    throw util::StateError("ParticleFilter: empty fingerprint database");
 
   if (particles_.empty()) {
     initializeFromScan(scan);
@@ -169,7 +170,7 @@ env::LocationId ParticleFilter::update(
 
 geometry::Vec2 ParticleFilter::meanPosition() const {
   if (particles_.empty())
-    throw std::logic_error("ParticleFilter: no particles yet");
+    throw util::StateError("ParticleFilter: no particles yet");
   geometry::Vec2 mean{};
   double totalWeight = 0.0;
   for (const auto& particle : particles_) {

@@ -3,13 +3,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace moloc::core {
 
 namespace {
 
 std::size_t checkK(std::size_t k) {
   if (k == 0)
-    throw std::invalid_argument("CandidateEstimator: k must be >= 1");
+    throw util::ConfigError("CandidateEstimator: k must be >= 1");
   return k;
 }
 
@@ -34,7 +36,7 @@ CandidateEstimator::CandidateEstimator(
 CandidateEstimator::CandidateEstimator(QueryFn backend, std::size_t k)
     : query_(std::move(backend)), k_(checkK(k)) {
   if (!query_)
-    throw std::invalid_argument("CandidateEstimator: null backend");
+    throw util::ConfigError("CandidateEstimator: null backend");
 }
 
 std::vector<Candidate> CandidateEstimator::estimate(

@@ -4,13 +4,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace moloc::core {
 
 namespace {
 
 double checkStepLength(double stepLengthMeters) {
   if (stepLengthMeters <= 0.0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "LocalizationSession: step length must be positive");
   return stepLengthMeters;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace moloc::core {
@@ -76,7 +77,7 @@ void MotionDatabaseBuilder::addObservation(env::LocationId estimatedStart,
   (void)plan_.location(estimatedEnd);
   if (!std::isfinite(directionDeg) || !std::isfinite(offsetMeters) ||
       offsetMeters < 0.0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "MotionDatabaseBuilder: non-finite or negative measurement");
 
   ++observations_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::core {
 
@@ -37,13 +38,13 @@ MotionMatcher::MotionMatcher(
     MotionMatcherParams params)
     : adj_(std::move(adjacency)), params_(params) {
   if (!adj_)
-    throw std::invalid_argument("MotionMatcher: null adjacency");
+    throw util::ConfigError("MotionMatcher: null adjacency");
 }
 
 void MotionMatcher::rebind(
     std::shared_ptr<const kernel::MotionAdjacency> adjacency) {
   if (!adjacency)
-    throw std::invalid_argument("MotionMatcher::rebind: null adjacency");
+    throw util::ConfigError("MotionMatcher::rebind: null adjacency");
   adj_ = std::move(adjacency);
 }
 

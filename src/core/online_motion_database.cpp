@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace moloc::core {
@@ -21,7 +22,7 @@ OnlineMotionDatabase::OnlineMotionDatabase(const env::FloorPlan& plan,
       db_(plan.locationCount()) {
   if (reservoirCapacity <
       static_cast<std::size_t>(std::max(config.minSamplesPerPair, 1)))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "OnlineMotionDatabase: reservoir smaller than the per-pair "
         "sample minimum");
 #if MOLOC_METRICS_ENABLED
@@ -64,7 +65,7 @@ void checkMeasurement(double directionDeg, double offsetMeters) {
   // stale/unknown location ids.
   if (!std::isfinite(directionDeg) || !std::isfinite(offsetMeters) ||
       offsetMeters < 0.0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "OnlineMotionDatabase: non-finite or negative measurement");
 }
 
@@ -145,7 +146,7 @@ void OnlineMotionDatabase::applyAccepted(env::LocationId estimatedStart,
     if (decideLocked(estimatedStart, estimatedEnd, startLoc.pos,
                      endLoc.pos, directionDeg, offsetMeters) !=
         Decision::kAccepted)
-      throw std::logic_error(
+      throw util::StateError(
           "OnlineMotionDatabase::applyAccepted: observation was not "
           "accepted by classify()");
     sink = sink_;
@@ -337,7 +338,7 @@ OnlineMotionDatabase::Snapshot OnlineMotionDatabase::snapshot() const {
 
 void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
   if (snapshot.locationCount != plan_.locationCount())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "OnlineMotionDatabase::restore: snapshot covers " +
         std::to_string(snapshot.locationCount) +
         " locations, plan has " +
@@ -345,7 +346,7 @@ void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
   if (snapshot.capacity <
       static_cast<std::size_t>(
           std::max(snapshot.config.minSamplesPerPair, 1)))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "OnlineMotionDatabase::restore: snapshot capacity below the "
         "per-pair sample minimum");
 
@@ -355,14 +356,14 @@ void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
   for (const auto& pair : snapshot.reservoirs) {
     if (!plan_.isValid(pair.i) || !plan_.isValid(pair.j) ||
         pair.i >= pair.j)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "OnlineMotionDatabase::restore: invalid reservoir pair key");
     if (pair.samples.size() > snapshot.capacity)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "OnlineMotionDatabase::restore: reservoir larger than "
           "capacity");
     if (pair.seen < pair.samples.size())
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "OnlineMotionDatabase::restore: seen-count below retained "
           "samples");
     Reservoir reservoir;
@@ -373,13 +374,13 @@ void OnlineMotionDatabase::restore(const Snapshot& snapshot) {
     if (!reservoirs.emplace(PairKey{pair.i, pair.j},
                             std::move(reservoir))
              .second)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "OnlineMotionDatabase::restore: duplicate reservoir pair");
   }
   MotionDatabase db(snapshot.locationCount);
   for (const auto& entry : snapshot.entries) {
     if (db.hasEntry(entry.i, entry.j))
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "OnlineMotionDatabase::restore: duplicate published entry");
     db.setEntry(entry.i, entry.j, entry.stats);  // Throws on bad ids.
   }

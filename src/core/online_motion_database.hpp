@@ -11,6 +11,7 @@
 #include "env/floor_plan.hpp"
 #include "geometry/vec2.hpp"
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
@@ -83,7 +84,7 @@ class OnlineMotionDatabase {
 
   /// Feeds one crowdsourced RLM.  Returns true when the observation
   /// was accepted (passed the coarse filter and was not a self-pair).
-  /// Non-finite or negative measurements throw std::invalid_argument
+  /// Non-finite or negative measurements throw util::ConfigError
   /// before anything else is validated or counted; unknown location
   /// ids throw std::out_of_range.
   bool addObservation(env::LocationId estimatedStart,

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::core {
 
 TraceSmoother::TraceSmoother(const radio::FingerprintDatabase& fingerprints,
@@ -19,9 +21,9 @@ std::vector<env::LocationId> TraceSmoother::smooth(
     std::span<const std::optional<sensors::MotionMeasurement>> motions)
     const {
   if (scans.empty())
-    throw std::invalid_argument("TraceSmoother: no scans");
+    throw util::ConfigError("TraceSmoother: no scans");
   if (motions.size() + 1 != scans.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TraceSmoother: need exactly one motion per scan transition");
 
   // Per-step candidate lattices (the Viterbi state space).

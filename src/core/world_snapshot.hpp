@@ -9,6 +9,7 @@
 #include "index/tiered_index.hpp"
 #include "kernel/motion_kernel.hpp"
 #include "radio/fingerprint_database.hpp"
+#include "util/error.hpp"
 
 namespace moloc::core {
 
@@ -74,7 +75,7 @@ class WorldSnapshot {
         intakeRecords_(intakeRecords),
         publishedAt_(std::chrono::steady_clock::now()) {
     if (!adoptedAdjacency_)
-      throw std::invalid_argument("WorldSnapshot: null adjacency");
+      throw util::ConfigError("WorldSnapshot: null adjacency");
   }
 
   WorldSnapshot(const WorldSnapshot&) = delete;

@@ -3,12 +3,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace moloc::env {
 
 FloorPlan::FloorPlan(double width, double height)
     : width_(width), height_(height) {
   if (width <= 0.0 || height <= 0.0)
-    throw std::invalid_argument("FloorPlan: bounds must be positive");
+    throw util::ConfigError("FloorPlan: bounds must be positive");
 }
 
 void FloorPlan::addWall(const geometry::Segment& wall) {
@@ -17,7 +19,7 @@ void FloorPlan::addWall(const geometry::Segment& wall) {
 
 LocationId FloorPlan::addReferenceLocation(geometry::Vec2 pos) {
   if (pos.x < 0.0 || pos.x > width_ || pos.y < 0.0 || pos.y > height_)
-    throw std::invalid_argument("FloorPlan: location outside bounds");
+    throw util::ConfigError("FloorPlan: location outside bounds");
   const auto id = static_cast<LocationId>(locations_.size());
   locations_.push_back({id, pos});
   return id;

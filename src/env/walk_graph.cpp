@@ -7,6 +7,7 @@
 #include <string>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::env {
 
@@ -38,15 +39,15 @@ WalkGraph WalkGraph::fromEdges(std::size_t nodeCount,
     if (edge.a < 0 || edge.b < 0 ||
         static_cast<std::size_t>(edge.a) >= nodeCount ||
         static_cast<std::size_t>(edge.b) >= nodeCount)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "WalkGraph::fromEdges: edge (" + std::to_string(edge.a) + ", " +
           std::to_string(edge.b) + ") outside " +
           std::to_string(nodeCount) + " nodes");
     if (edge.a == edge.b)
-      throw std::invalid_argument("WalkGraph::fromEdges: self-loop at " +
+      throw util::ConfigError("WalkGraph::fromEdges: self-loop at " +
                                   std::to_string(edge.a));
     if (!(edge.length > 0.0))
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "WalkGraph::fromEdges: non-positive length on edge (" +
           std::to_string(edge.a) + ", " + std::to_string(edge.b) + ")");
     graph.adjacency_[static_cast<std::size_t>(edge.a)].push_back(

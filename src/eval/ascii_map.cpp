@@ -4,12 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::eval {
 
 AsciiMap::AsciiMap(const env::FloorPlan& plan, double metersPerCell)
     : plan_(plan), metersPerCell_(metersPerCell) {
   if (metersPerCell <= 0.0)
-    throw std::invalid_argument("AsciiMap: resolution must be positive");
+    throw util::ConfigError("AsciiMap: resolution must be positive");
   // Two characters per horizontal cell approximates square cells in a
   // terminal font.
   columns_ = static_cast<std::size_t>(

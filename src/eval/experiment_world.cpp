@@ -7,6 +7,7 @@
 #include "geometry/angles.hpp"
 #include "core/online_motion_database.hpp"
 #include "sensors/compass_calibrator.hpp"
+#include "util/error.hpp"
 
 namespace moloc::eval {
 
@@ -26,7 +27,7 @@ traj::ScanProvider makeReplayProvider(
     const auto& samples =
         survey.samples.at(static_cast<std::size_t>(location)).*partition;
     if (samples.empty())
-      throw std::logic_error(
+      throw util::StateError(
           "ExperimentWorld: replay partition is empty");
     auto& cursor = (*cursors)[static_cast<std::size_t>(location)];
     const auto& sample = samples[cursor % samples.size()];
@@ -45,7 +46,7 @@ ExperimentWorld::ExperimentWorld(env::Site site, WorldConfig config)
   if (config_.apCount < 1 ||
       static_cast<std::size_t>(config_.apCount) >
           hall_.apPositions.size())
-    throw std::invalid_argument("ExperimentWorld: bad AP count");
+    throw util::ConfigError("ExperimentWorld: bad AP count");
 
   // Independent derived streams: survey, motion training, evaluation.
   util::Rng master(config_.seed);

@@ -15,6 +15,8 @@
 #include "store/crc32c.hpp"
 #include "store/format.hpp"
 #include "store/posix_file.hpp"
+#include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
 
 namespace moloc::image {
 
@@ -425,14 +427,15 @@ VenueImage VenueImage::open(const std::string& path, LoadOptions options) {
   auto core = std::make_shared<Core>();
   if (options.mode == LoadMode::kMmap) {
     FdGuard fd;
-    fd.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    fd.fd = util::retryEintr(
+        [&] { return ::open(path.c_str(), O_RDONLY | O_CLOEXEC); });
     if (fd.fd < 0)
       throw store::StoreError("open failed for " + path + ": " +
-                              std::strerror(errno));
+                              util::errnoMessage(errno));
     struct stat st{};
     if (::fstat(fd.fd, &st) != 0)
       throw store::StoreError("fstat failed for " + path + ": " +
-                              std::strerror(errno));
+                              util::errnoMessage(errno));
     const auto size = static_cast<std::size_t>(st.st_size);
     if (size < sizeof(FileHeader))
       fail("truncated header");
@@ -440,7 +443,7 @@ VenueImage VenueImage::open(const std::string& path, LoadOptions options) {
         ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
     if (mapped == MAP_FAILED)
       throw store::StoreError("mmap failed for " + path + ": " +
-                              std::strerror(errno));
+                              util::errnoMessage(errno));
     core->mapBase = mapped;
     core->mapLength = size;
     core->data = static_cast<const std::uint8_t*>(mapped);

@@ -16,6 +16,8 @@
 #include "store/crc32c.hpp"
 #include "store/format.hpp"
 #include "store/posix_file.hpp"
+#include "util/posix_error.hpp"
+#include "util/retry_eintr.hpp"
 
 namespace moloc::image {
 
@@ -172,11 +174,13 @@ ImageWriteInfo writeVenueImage(const std::string& path,
   const std::string dir = directoryOf(path);
 
   FdGuard fd;
-  fd.fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                 0644);
+  fd.fd = util::retryEintr([&] {
+    return ::open(tmpPath.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  });
   if (fd.fd < 0)
     throw store::StoreError("open failed for " + tmpPath + ": " +
-                            std::strerror(errno));
+                            util::errnoMessage(errno));
 
   const std::size_t sectionCount =
       6 + (meta.hasIndex ? 5 : 0);
@@ -332,7 +336,7 @@ ImageWriteInfo writeVenueImage(const std::string& path,
       store::crc32c(table.data(), table.size() * sizeof(SectionEntry));
   if (::lseek(fd.fd, 0, SEEK_SET) != 0)
     throw store::StoreError("lseek failed for " + tmpPath + ": " +
-                            std::strerror(errno));
+                            util::errnoMessage(errno));
   store::detail::writeAll(fd.fd, reinterpret_cast<const char*>(&header),
                           sizeof(header), tmpPath);
   store::detail::writeAll(fd.fd,
@@ -345,7 +349,7 @@ ImageWriteInfo writeVenueImage(const std::string& path,
 
   if (::rename(tmpPath.c_str(), path.c_str()) != 0)
     throw store::StoreError("rename failed for " + tmpPath + " -> " +
-                            path + ": " + std::strerror(errno));
+                            path + ": " + util::errnoMessage(errno));
   if (options.fsync) store::detail::fsyncDirectory(dir);
 
   return {fileSize, table.size()};

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace moloc::index {
 
 namespace {
@@ -16,13 +18,13 @@ std::uint64_t entryMask(std::size_t entryCount) {
 
 void validateQuantizer(const QuantizerConfig& config) {
   if (!std::isfinite(config.floorDbm))
-    throw std::invalid_argument("QuantizerConfig: non-finite floorDbm");
+    throw util::ConfigError("QuantizerConfig: non-finite floorDbm");
   if (!(config.bucketWidthDb > 0.0) ||
       !std::isfinite(config.bucketWidthDb))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "QuantizerConfig: bucketWidthDb must be positive and finite");
   if (config.bucketCount < 2 || config.bucketCount > kMaxBucketCount)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "QuantizerConfig: bucketCount must be in [2, " +
         std::to_string(kMaxBucketCount) + "], got " +
         std::to_string(config.bucketCount));
@@ -43,18 +45,18 @@ void packThermometerPlanes(std::span<const std::uint8_t> buckets,
                            int bucketCount,
                            std::span<std::uint64_t> planes) {
   if (bucketCount < 2 || bucketCount > kMaxBucketCount)
-    throw std::invalid_argument("packThermometerPlanes: bad bucketCount");
+    throw util::ConfigError("packThermometerPlanes: bad bucketCount");
   if (buckets.size() > kBlockEntries)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "packThermometerPlanes: more than kBlockEntries buckets");
   if (planes.size() != static_cast<std::size_t>(bucketCount - 1))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "packThermometerPlanes: planes span must hold bucketCount - 1 "
         "words");
   for (auto& plane : planes) plane = 0;
   for (std::size_t e = 0; e < buckets.size(); ++e) {
     if (buckets[e] >= bucketCount)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "packThermometerPlanes: bucket value out of range");
     for (int t = 0; t < buckets[e]; ++t)
       planes[static_cast<std::size_t>(t)] |= std::uint64_t{1} << e;
@@ -65,17 +67,17 @@ void unpackThermometerPlanes(std::span<const std::uint64_t> planes,
                              int bucketCount, std::size_t entryCount,
                              std::span<std::uint8_t> buckets) {
   if (bucketCount < 2 || bucketCount > kMaxBucketCount)
-    throw std::invalid_argument("unpackThermometerPlanes: bad bucketCount");
+    throw util::ConfigError("unpackThermometerPlanes: bad bucketCount");
   if (planes.size() != static_cast<std::size_t>(bucketCount - 1))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "unpackThermometerPlanes: planes span must hold bucketCount - 1 "
         "words");
   if (entryCount > kBlockEntries || buckets.size() != entryCount)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "unpackThermometerPlanes: bad entry count");
   for (std::size_t t = 0; t + 1 < planes.size(); ++t)
     if ((planes[t + 1] & ~planes[t]) != 0)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "unpackThermometerPlanes: non-thermometer planes");
   for (std::size_t e = 0; e < entryCount; ++e) {
     std::uint8_t bucket = 0;

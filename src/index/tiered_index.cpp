@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "service/thread_pool.hpp"
+#include "util/error.hpp"
 
 namespace moloc::index {
 
@@ -59,10 +60,10 @@ TieredIndex::TieredIndex(
     std::shared_ptr<const radio::FingerprintDatabase> database,
     IndexConfig config, std::span<const std::size_t> shardStarts)
     : db_(std::move(database)), config_(config) {
-  if (!db_) throw std::invalid_argument("TieredIndex: null database");
+  if (!db_) throw util::ConfigError("TieredIndex: null database");
   validateQuantizer(config_.quantizer);
   if (config_.maxShardEntries == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: maxShardEntries must be >= 1");
 
   const std::size_t n = db_->size();
@@ -71,7 +72,7 @@ TieredIndex::TieredIndex(
       static_cast<std::size_t>(config_.quantizer.bucketCount - 1);
   if (apCount * planeCount >
       std::numeric_limits<std::uint16_t>::max())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: apCount * (bucketCount - 1) exceeds the scan "
         "counter range");
 
@@ -85,11 +86,11 @@ TieredIndex::TieredIndex(
   std::vector<std::size_t> starts(shardStarts.begin(), shardStarts.end());
   if (starts.empty()) starts.push_back(0);
   if (starts.front() != 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: shardStarts must begin at row 0");
   for (std::size_t i = 1; i < starts.size(); ++i)
     if (starts[i] <= starts[i - 1] || starts[i] >= n)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "TieredIndex: shardStarts must be strictly increasing and "
           "inside the database");
 
@@ -207,10 +208,10 @@ TieredIndex TieredIndex::fromImageViews(
   index.db_ = std::move(database);
   index.config_ = config;
   if (!index.db_)
-    throw std::invalid_argument("TieredIndex: null database");
+    throw util::ConfigError("TieredIndex: null database");
   validateQuantizer(index.config_.quantizer);
   if (index.config_.maxShardEntries == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: maxShardEntries must be >= 1");
 
   const std::size_t n = index.db_->size();
@@ -218,11 +219,11 @@ TieredIndex TieredIndex::fromImageViews(
   const int bucketCount = index.config_.quantizer.bucketCount;
   const std::size_t planeCount = static_cast<std::size_t>(bucketCount - 1);
   if (apCount * planeCount > std::numeric_limits<std::uint16_t>::max())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: apCount * (bucketCount - 1) exceeds the scan "
         "counter range");
   if (n == 0 && !shards.empty())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: shard views over an empty database");
 
   index.locIds_ = index.db_->locationIds();
@@ -234,28 +235,28 @@ TieredIndex TieredIndex::fromImageViews(
   std::size_t nextRow = 0;
   for (const ShardView& v : shards) {
     if (v.rowBegin != nextRow || v.rowEnd <= v.rowBegin || v.rowEnd > n)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "TieredIndex: shard views must partition the rows in order");
     nextRow = v.rowEnd;
     const std::size_t count = v.rowEnd - v.rowBegin;
     const std::size_t words = (count + kBlockEntries - 1) / kBlockEntries;
     if (v.minBucket.size() != v.activeAps.size() ||
         v.maxBucket.size() != v.activeAps.size())
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "TieredIndex: shard bucket ranges must match activeAps");
     for (std::size_t a = 0; a < v.activeAps.size(); ++a) {
       if (v.activeAps[a] >= apCount ||
           (a > 0 && v.activeAps[a] <= v.activeAps[a - 1]))
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "TieredIndex: shard activeAps must be strictly increasing "
             "and within the AP count");
       if (v.maxBucket[a] == 0 || v.maxBucket[a] >= bucketCount ||
           v.minBucket[a] > v.maxBucket[a])
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "TieredIndex: shard bucket range out of bounds");
     }
     if (v.slab.size() != v.activeAps.size() * planeCount * words)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "TieredIndex: shard slab size mismatch");
 
     Shard shard;
@@ -273,7 +274,7 @@ TieredIndex TieredIndex::fromImageViews(
     index.shards_.push_back(std::move(shard));
   }
   if (nextRow != n)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "TieredIndex: shard views must cover every row");
   return index;
 }
@@ -478,7 +479,7 @@ void TieredIndex::queryPrepared(const radio::Fingerprint& query,
         ++missed;
     if (stats) stats->missedTopK = missed;
     if (missed > 0)
-      throw std::logic_error(
+      throw util::StateError(
           "TieredIndex: exhaustive check failed: shortlist dropped " +
           std::to_string(missed) + " of the true top-" +
           std::to_string(ws.fullTopk.size()) + " entries");
@@ -489,13 +490,13 @@ void TieredIndex::queryInto(const radio::Fingerprint& query,
                             std::size_t k, std::vector<radio::Match>& out,
                             QueryStats* stats) const {
   if (k == 0)
-    throw std::invalid_argument("TieredIndex: k must be >= 1");
+    throw util::ConfigError("TieredIndex: k must be >= 1");
   if (rowValues_.empty())
-    throw std::logic_error("TieredIndex: empty database");
+    throw util::StateError("TieredIndex: empty database");
   if (!allFinite(query))
-    throw std::invalid_argument("TieredIndex: non-finite query RSS");
+    throw util::ConfigError("TieredIndex: non-finite query RSS");
   if (query.size() != db_->apCount())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "dissimilarity: fingerprint dimensions differ");
   queryPrepared(query, k, threadWorkspace(), out, stats);
 }
@@ -512,9 +513,9 @@ void TieredIndex::queryBatchInto(
     std::vector<std::vector<radio::Match>>& out,
     std::vector<std::exception_ptr>* errors) const {
   if (k == 0)
-    throw std::invalid_argument("TieredIndex: k must be >= 1");
+    throw util::ConfigError("TieredIndex: k must be >= 1");
   if (rowValues_.empty())
-    throw std::logic_error("TieredIndex: empty database");
+    throw util::StateError("TieredIndex: empty database");
   out.resize(queries.size());
   if (errors) errors->assign(queries.size(), nullptr);
   ScanWorkspace& ws = threadWorkspace();
@@ -523,9 +524,9 @@ void TieredIndex::queryBatchInto(
     try {
       const radio::Fingerprint& query = *queries[q];
       if (!allFinite(query))
-        throw std::invalid_argument("TieredIndex: non-finite query RSS");
+        throw util::ConfigError("TieredIndex: non-finite query RSS");
       if (query.size() != db_->apCount())
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "dissimilarity: fingerprint dimensions differ");
       queryPrepared(query, k, ws, out[q], nullptr);
     } catch (...) {

@@ -9,6 +9,7 @@
 
 #include "index/signature_codec.hpp"
 #include "radio/fingerprint_database.hpp"
+#include "util/error.hpp"
 
 namespace moloc::index {
 
@@ -41,7 +42,7 @@ struct IndexConfig {
   std::uint32_t marginBuckets = 8;
 
   /// Paranoid mode: after every query, run the exact full scan and
-  /// throw std::logic_error if the shortlist dropped any true top-k
+  /// throw util::StateError if the shortlist dropped any true top-k
   /// entry.  Orders of magnitude slower — for tests, benches, and
   /// recall audits only.
   bool exhaustiveCheck = false;

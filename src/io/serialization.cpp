@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+#include "util/error.hpp"
 
 #include "util/posix_error.hpp"
 
@@ -29,7 +30,7 @@ constexpr char kMotionHeader[] = "moloc-motion-db v1";
 constexpr std::size_t kMaxMotionLocations = 1u << 20;
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("moloc::io: line " + std::to_string(line) +
+  throw util::ParseError("moloc::io: line " + std::to_string(line) +
                            ": " + what);
 }
 
@@ -84,7 +85,7 @@ void checkHeader(const std::string& line, int lineNo,
 std::ifstream openForRead(const std::string& path) {
   std::ifstream in(path);
   if (!in)
-    throw std::runtime_error("moloc::io: cannot open for reading: " +
+    throw util::IoError("moloc::io: cannot open for reading: " +
                              path);
   return in;
 }
@@ -96,13 +97,13 @@ std::ifstream openForRead(const std::string& path) {
 void fsyncFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_WRONLY);
   if (fd < 0)
-    throw std::runtime_error("moloc::io: cannot reopen for fsync: " +
+    throw util::IoError("moloc::io: cannot reopen for fsync: " +
                              path + ": " + util::errnoMessage(errno));
   const int rc = ::fsync(fd);
   const int savedErrno = errno;
   ::close(fd);
   if (rc != 0)
-    throw std::runtime_error("moloc::io: fsync failed: " + path + ": " +
+    throw util::IoError("moloc::io: fsync failed: " + path + ": " +
                              util::errnoMessage(savedErrno));
 }
 
@@ -115,13 +116,13 @@ void fsyncParentDirectory(const std::string& path) {
       slash == std::string::npos ? "." : path.substr(0, slash);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0)
-    throw std::runtime_error("moloc::io: cannot open directory: " + dir +
+    throw util::IoError("moloc::io: cannot open directory: " + dir +
                              ": " + util::errnoMessage(errno));
   const int rc = ::fsync(fd);
   const int savedErrno = errno;
   ::close(fd);
   if (rc != 0)
-    throw std::runtime_error("moloc::io: fsync failed on directory: " +
+    throw util::IoError("moloc::io: fsync failed on directory: " +
                              dir + ": " + util::errnoMessage(savedErrno));
 }
 
@@ -129,7 +130,7 @@ void fsyncParentDirectory(const std::string& path) {
 /// flushes and fsyncs it, renames onto `path`, then fsyncs the
 /// directory — so a crash or power loss at any point leaves either the
 /// old file or the new one, never a torn half-written database.
-/// Failures throw std::runtime_error naming the path and remove the
+/// Failures throw util::IoError naming the path and remove the
 /// temporary.
 template <typename SaveBody>
 void atomicSave(const std::string& path, SaveBody&& body) {
@@ -137,13 +138,13 @@ void atomicSave(const std::string& path, SaveBody&& body) {
   {
     std::ofstream out(tmpPath);
     if (!out)
-      throw std::runtime_error("moloc::io: cannot open for writing: " +
+      throw util::IoError("moloc::io: cannot open for writing: " +
                                tmpPath);
     body(out);
     out.flush();
     if (!out) {
       std::remove(tmpPath.c_str());
-      throw std::runtime_error("moloc::io: write failed: " + tmpPath);
+      throw util::IoError("moloc::io: write failed: " + tmpPath);
     }
   }
   try {
@@ -155,7 +156,7 @@ void atomicSave(const std::string& path, SaveBody&& body) {
   if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
     const std::string reason = util::errnoMessage(errno);
     std::remove(tmpPath.c_str());
-    throw std::runtime_error("moloc::io: cannot rename '" + tmpPath +
+    throw util::IoError("moloc::io: cannot rename '" + tmpPath +
                              "' onto '" + path + "': " + reason);
   }
   fsyncParentDirectory(path);

@@ -24,7 +24,7 @@ namespace moloc::io {
 ///   locations <n>
 ///   entry <i> <j> <mu_dir> <sigma_dir> <mu_off> <sigma_off> <samples>
 ///
-/// Readers throw std::runtime_error with a line-numbered message on any
+/// Readers throw util::ParseError with a line-numbered message on any
 /// malformed input; partially-read data is never returned.
 
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
@@ -48,7 +48,7 @@ radio::ProbabilisticFingerprintDatabase loadProbabilisticDatabase(
 /// `<path>.tmp`, flush and fsync it, rename onto `path`, and fsync the
 /// directory, so a crash, power loss, or full disk leaves either the
 /// previous file or the complete new one — never a torn half-write.
-/// All failures throw std::runtime_error naming the path.
+/// All failures throw util::IoError naming the path.
 void saveFingerprintDatabase(const radio::FingerprintDatabase& db,
                              const std::string& path);
 radio::FingerprintDatabase loadFingerprintDatabase(

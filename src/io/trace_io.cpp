@@ -6,15 +6,26 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::io {
 
 namespace {
 
 constexpr char kTraceHeader[] = "moloc-trace v1";
 
+/// Upper bound on the trace count a collection header may claim.
+/// The header is untrusted input: without a cap, `1e18 traces` sizes
+/// the vector reservation from the raw count before a single trace
+/// line is read — the same allocation-bomb class as the motion-db
+/// `locations` header fixed in src/io/serialization.cpp
+/// (kMaxMotionLocations).  Generous: the largest committed sweeps use
+/// tens of thousands of traces.
+constexpr std::size_t kMaxTraceCount = 10'000'000;
+
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("moloc::io: line " + std::to_string(line) +
-                           ": " + what);
+  throw util::ParseError("moloc::io: line " + std::to_string(line) +
+                         ": " + what);
 }
 
 void writeFingerprint(std::ostream& out, const char* keyword,
@@ -185,8 +196,7 @@ void saveTraces(const std::vector<traj::Trace>& traces,
                 const std::string& path) {
   std::ofstream out(path);
   if (!out)
-    throw std::runtime_error("moloc::io: cannot open for writing: " +
-                             path);
+    throw util::IoError("moloc::io: cannot open for writing: " + path);
   out << traces.size() << " traces\n";
   for (const auto& trace : traces) saveTrace(trace, out);
 }
@@ -194,12 +204,15 @@ void saveTraces(const std::vector<traj::Trace>& traces,
 std::vector<traj::Trace> loadTraces(const std::string& path) {
   std::ifstream in(path);
   if (!in)
-    throw std::runtime_error("moloc::io: cannot open for reading: " +
-                             path);
+    throw util::IoError("moloc::io: cannot open for reading: " + path);
   std::size_t count = 0;
   std::string keyword;
   if (!(in >> count >> keyword) || keyword != "traces")
-    throw std::runtime_error("moloc::io: bad trace-collection header");
+    throw util::ParseError("moloc::io: bad trace-collection header");
+  if (count > kMaxTraceCount)
+    throw util::ParseError("moloc::io: trace count " +
+                           std::to_string(count) + " exceeds the " +
+                           std::to_string(kMaxTraceCount) + " limit");
   in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
 
   std::vector<traj::Trace> traces;

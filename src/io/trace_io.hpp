@@ -26,7 +26,7 @@ namespace moloc::io {
 ///   imu <rate_hz> <n>
 ///   <t> <accel> <compass> <gyro>     (n sample lines)
 ///
-/// Readers throw std::runtime_error with line numbers on malformed
+/// Readers throw util::ParseError with line numbers on malformed
 /// input.
 
 void saveTrace(const traj::Trace& trace, std::ostream& out);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::kernel {
 
 namespace {
@@ -43,7 +45,7 @@ std::size_t findBelowAvx2(const double* values, std::size_t begin,
 FlatMatrix FlatMatrix::view(const double* data, std::size_t rows,
                             std::size_t cols) {
   if (rows > 0 && data == nullptr)
-    throw std::invalid_argument("FlatMatrix: null view data");
+    throw util::ConfigError("FlatMatrix: null view data");
   FlatMatrix m;
   m.borrowed_ = data;
   m.rows_ = rows;
@@ -53,7 +55,7 @@ FlatMatrix FlatMatrix::view(const double* data, std::size_t rows,
 
 void FlatMatrix::reset(std::size_t cols) {
   if (borrowed_ != nullptr)
-    throw std::logic_error("FlatMatrix: cannot reset an immutable view");
+    throw util::StateError("FlatMatrix: cannot reset an immutable view");
   data_.clear();
   rows_ = 0;
   cols_ = cols;
@@ -61,10 +63,10 @@ void FlatMatrix::reset(std::size_t cols) {
 
 void FlatMatrix::appendRow(std::span<const double> row) {
   if (borrowed_ != nullptr)
-    throw std::logic_error(
+    throw util::StateError(
         "FlatMatrix: cannot append to an immutable view");
   if (row.size() != cols_)
-    throw std::invalid_argument("FlatMatrix: row length mismatch");
+    throw util::ConfigError("FlatMatrix: row length mismatch");
   // Entering a new block allocates it whole and zero-filled, so the
   // trailing partial block is always valid kernel input.
   if (rows_ % kRowBlock == 0)

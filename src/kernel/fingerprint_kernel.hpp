@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace moloc::kernel {
 
 /// Rows per interleaved block: storage groups this many rows together,
@@ -39,7 +41,7 @@ class FlatMatrix {
   /// hold paddedRows * cols doubles in exactly the layout described
   /// above (including the zero-padded trailing block) and must outlive
   /// the matrix and every copy of it.  A view is immutable: reset()
-  /// and appendRow() throw std::logic_error.
+  /// and appendRow() throw util::StateError.
   static FlatMatrix view(const double* data, std::size_t rows,
                          std::size_t cols);
 

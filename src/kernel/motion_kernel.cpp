@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::kernel {
 
 PairWindow makeWindow(env::LocationId to, const core::RlmStats& stats) {
@@ -23,7 +25,7 @@ MotionAdjacency MotionAdjacency::view(
     std::span<const std::size_t> rowStart,
     std::span<const PairWindow> edges) {
   if (rowStart.empty())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "MotionAdjacency: view rowStart must hold at least one offset");
   MotionAdjacency adjacency;
   adjacency.borrowedRowStart_ = rowStart.data();
@@ -35,7 +37,7 @@ MotionAdjacency MotionAdjacency::view(
 
 void MotionAdjacency::rebuild(const core::MotionDatabase& db) {
   if (borrowedRowStart_ != nullptr)
-    throw std::logic_error(
+    throw util::StateError(
         "MotionAdjacency: cannot rebuild an immutable view");
   locationCount_ = db.locationCount();
   edges_.clear();

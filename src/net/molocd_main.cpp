@@ -27,6 +27,7 @@
 #include "service/localization_service.hpp"
 #include "store/state_store.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
 #include "worldgen/generated_venue.hpp"
 #include "worldgen/venue_spec.hpp"
 
@@ -115,11 +116,11 @@ int main(int argc, char** argv) {
     const std::string imagePath = args.getString("image");
     if (!imagePath.empty()) {
       if (!venueSpecText.empty())
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "--image and --venue are mutually exclusive");
       const std::string verify = args.getString("image-verify");
       if (verify != "full" && verify != "bulk")
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "--image-verify must be 'full' or 'bulk'");
       image::LoadOptions loadOptions;
       loadOptions.verify = verify == "bulk"

@@ -4,6 +4,7 @@
 
 #include "store/crc32c.hpp"
 #include "store/format.hpp"
+#include "util/checked_cast.hpp"
 
 namespace moloc::net {
 
@@ -43,7 +44,7 @@ void checkCount(const Cursor& cursor, std::uint32_t count,
 }
 
 void putString(std::string& out, std::string_view s) {
-  putU32(out, static_cast<std::uint32_t>(s.size()));
+  putU32(out, util::checkedU32(s.size(), "string length"));
   out.append(s.data(), s.size());
 }
 
@@ -58,11 +59,11 @@ std::string readString(Cursor& cursor) {
 void putScan(std::string& out, const WireScan& s) {
   putU64(out, s.sessionId);
   const auto values = s.scan.values();
-  putU32(out, static_cast<std::uint32_t>(values.size()));
+  putU32(out, util::checkedU32(values.size(), "scan RSS count"));
   for (const double v : values) putF64(out, v);
   putF64(out, s.imu.sampleRateHz());
   const auto samples = s.imu.samples();
-  putU32(out, static_cast<std::uint32_t>(samples.size()));
+  putU32(out, util::checkedU32(samples.size(), "IMU sample count"));
   for (const auto& sample : samples) {
     putF64(out, sample.t);
     putF64(out, sample.accelMagnitude);
@@ -98,7 +99,7 @@ WireScan readScan(Cursor& cursor) {
 void putEstimate(std::string& out, const core::LocationEstimate& e) {
   putI32(out, e.location);
   putF64(out, e.probability);
-  putU32(out, static_cast<std::uint32_t>(e.candidates.size()));
+  putU32(out, util::checkedU32(e.candidates.size(), "candidate count"));
   for (const auto& c : e.candidates) {
     putI32(out, c.location);
     putF64(out, c.probability);
@@ -270,7 +271,7 @@ LocalizeRequest decodeLocalizeRequest(std::string_view payload) {
 std::string encodeLocalizeBatchRequest(const LocalizeBatchRequest& msg) {
   std::string payload;
   putU64(payload, msg.tag);
-  putU32(payload, static_cast<std::uint32_t>(msg.scans.size()));
+  putU32(payload, util::checkedU32(msg.scans.size(), "batch scan count"));
   for (const auto& scan : msg.scans) putScan(payload, scan);
   return encodeFrame(MsgType::kLocalizeBatch, payload);
 }
@@ -375,7 +376,8 @@ LocalizeResponse decodeLocalizeResponse(std::string_view payload) {
 std::string encodeLocalizeBatchResponse(const LocalizeBatchResponse& msg) {
   std::string payload;
   if (putResponseHead(payload, msg.tag, msg.status, msg.message)) {
-    putU32(payload, static_cast<std::uint32_t>(msg.estimates.size()));
+    putU32(payload,
+           util::checkedU32(msg.estimates.size(), "batch estimate count"));
     for (const auto& e : msg.estimates) putEstimate(payload, e);
   }
   return encodeFrame(MsgType::kLocalizeBatchResponse, payload);

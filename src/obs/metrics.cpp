@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::obs {
 
 namespace detail {
@@ -47,12 +49,12 @@ double secondsPerTick() {
 Histogram::Histogram(std::vector<double> upperBounds)
     : bounds_(std::move(upperBounds)) {
   if (bounds_.empty())
-    throw std::invalid_argument("Histogram: at least one bucket bound");
+    throw util::ConfigError("Histogram: at least one bucket bound");
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
     if (!std::isfinite(bounds_[i]))
-      throw std::invalid_argument("Histogram: bounds must be finite");
+      throw util::ConfigError("Histogram: bounds must be finite");
     if (i > 0 && bounds_[i] <= bounds_[i - 1])
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "Histogram: bounds must be strictly increasing");
   }
   const std::size_t cells = bounds_.size() + 1;  // + overflow.
@@ -128,7 +130,7 @@ std::vector<double> Histogram::exponentialBuckets(double start,
                                                   double factor,
                                                   std::size_t count) {
   if (!(start > 0.0) || !(factor > 1.0) || count == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "exponentialBuckets: need start > 0, factor > 1, count >= 1");
   std::vector<double> bounds;
   bounds.reserve(count);
@@ -143,7 +145,7 @@ std::vector<double> Histogram::exponentialBuckets(double start,
 std::vector<double> Histogram::linearBuckets(double start, double width,
                                              std::size_t count) {
   if (!(width > 0.0) || count == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "linearBuckets: need width > 0, count >= 1");
   std::vector<double> bounds;
   bounds.reserve(count);
@@ -182,10 +184,10 @@ obs::Labels normalizeLabels(const obs::Labels& labels) {
   std::sort(sorted.begin(), sorted.end());
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     if (!validLabelName(sorted[i].first))
-      throw std::invalid_argument("MetricsRegistry: bad label name '" +
+      throw util::ConfigError("MetricsRegistry: bad label name '" +
                                   sorted[i].first + "'");
     if (i > 0 && sorted[i].first == sorted[i - 1].first)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "MetricsRegistry: duplicate label name '" + sorted[i].first +
           "'");
   }
@@ -207,14 +209,14 @@ MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
                                                  const std::string& help,
                                                  MetricKind kind) {
   if (!validMetricName(name))
-    throw std::invalid_argument("MetricsRegistry: bad metric name '" +
+    throw util::ConfigError("MetricsRegistry: bad metric name '" +
                                 name + "'");
   auto [it, inserted] = families_.try_emplace(name);
   if (inserted) {
     it->second.kind = kind;
     it->second.help = help;
   } else if (it->second.kind != kind) {
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "MetricsRegistry: '" + name + "' already registered as " +
         kindName(it->second.kind) + ", requested as " + kindName(kind));
   }

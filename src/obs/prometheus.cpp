@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::obs {
 
 namespace {
@@ -103,10 +105,10 @@ void writePrometheusFile(const MetricsRegistry& registry,
                          const std::string& path) {
   std::ofstream file(path);
   if (!file)
-    throw std::runtime_error("writePrometheusFile: cannot open " + path);
+    throw util::IoError("writePrometheusFile: cannot open " + path);
   file << renderPrometheus(registry);
   if (!file)
-    throw std::runtime_error("writePrometheusFile: write failed for " +
+    throw util::IoError("writePrometheusFile: write failed for " +
                              path);
 }
 

@@ -3,11 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::radio {
 
 double& Fingerprint::operator[](std::size_t i) {
   if (isView())
-    throw std::logic_error("Fingerprint: cannot mutate an immutable view");
+    throw util::StateError("Fingerprint: cannot mutate an immutable view");
   return rss_[i];
 }
 
@@ -21,7 +23,7 @@ Fingerprint Fingerprint::truncated(std::size_t n) const {
 
 double squaredDissimilarity(const Fingerprint& a, const Fingerprint& b) {
   if (a.size() != b.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "dissimilarity: fingerprint dimensions differ");
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -37,12 +39,12 @@ double dissimilarity(const Fingerprint& a, const Fingerprint& b) {
 
 Fingerprint meanFingerprint(std::span<const Fingerprint> fps) {
   if (fps.empty())
-    throw std::invalid_argument("meanFingerprint: empty sample set");
+    throw util::ConfigError("meanFingerprint: empty sample set");
   const std::size_t n = fps.front().size();
   std::vector<double> acc(n, 0.0);
   for (const auto& fp : fps) {
     if (fp.size() != n)
-      throw std::invalid_argument("meanFingerprint: mismatched lengths");
+      throw util::ConfigError("meanFingerprint: mismatched lengths");
     for (std::size_t i = 0; i < n; ++i) acc[i] += fp[i];
   }
   for (double& v : acc) v /= static_cast<double>(fps.size());

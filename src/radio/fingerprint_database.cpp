@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace moloc::radio {
 
 namespace {
@@ -30,11 +32,11 @@ FingerprintDatabase FingerprintDatabase::fromImageView(
     std::span<const env::LocationId> ids, std::size_t apCount,
     const double* rowMajorValues, kernel::FlatMatrix blockedFlat) {
   if (!ids.empty() && (apCount == 0 || rowMajorValues == nullptr))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: view needs apCount >= 1 and values");
   if (blockedFlat.rows() != ids.size() ||
       (!ids.empty() && blockedFlat.cols() != apCount))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: view flat-matrix shape mismatch");
   FingerprintDatabase db;
   db.entries_.reserve(ids.size());
@@ -44,7 +46,7 @@ FingerprintDatabase FingerprintDatabase::fromImageView(
         {ids[r], Fingerprint::view({rowMajorValues + r * apCount,
                                     apCount})});
     if (!db.indexById_.emplace(ids[r], r).second)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "FingerprintDatabase: duplicate location " +
           std::to_string(ids[r]));
   }
@@ -55,16 +57,16 @@ FingerprintDatabase FingerprintDatabase::fromImageView(
 void FingerprintDatabase::addLocation(env::LocationId id,
                                       Fingerprint radioMapEntry) {
   if (radioMapEntry.empty())
-    throw std::invalid_argument("FingerprintDatabase: empty fingerprint");
+    throw util::ConfigError("FingerprintDatabase: empty fingerprint");
   if (!allFinite(radioMapEntry))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: non-finite RSS value");
   if (!entries_.empty() &&
       radioMapEntry.size() != entries_.front().fingerprint.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: mismatched AP dimensionality");
   if (contains(id))
-    throw std::invalid_argument("FingerprintDatabase: duplicate location " +
+    throw util::ConfigError("FingerprintDatabase: duplicate location " +
                                 std::to_string(id));
   if (entries_.empty()) flat_.reset(radioMapEntry.size());
   flat_.appendRow(radioMapEntry.values());
@@ -97,12 +99,12 @@ std::vector<env::LocationId> FingerprintDatabase::locationIds() const {
 
 env::LocationId FingerprintDatabase::nearest(const Fingerprint& query) const {
   if (entries_.empty())
-    throw std::logic_error("FingerprintDatabase: empty database");
+    throw util::StateError("FingerprintDatabase: empty database");
   if (!allFinite(query))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: non-finite query RSS");
   if (query.size() != apCount())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "dissimilarity: fingerprint dimensions differ");
   auto& ws = threadWorkspace();
   ws.distances.resize(flat_.paddedRows());
@@ -156,14 +158,14 @@ void FingerprintDatabase::queryPrepared(const Fingerprint& query,
 void FingerprintDatabase::queryInto(const Fingerprint& query, std::size_t k,
                                     std::vector<Match>& out) const {
   if (k == 0)
-    throw std::invalid_argument("FingerprintDatabase: k must be >= 1");
+    throw util::ConfigError("FingerprintDatabase: k must be >= 1");
   if (entries_.empty())
-    throw std::logic_error("FingerprintDatabase: empty database");
+    throw util::StateError("FingerprintDatabase: empty database");
   if (!allFinite(query))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "FingerprintDatabase: non-finite query RSS");
   if (query.size() != apCount())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "dissimilarity: fingerprint dimensions differ");
   auto& ws = threadWorkspace();
   queryPrepared(query, k, ws, out);
@@ -174,9 +176,9 @@ void FingerprintDatabase::queryBatchInto(
     std::vector<std::vector<Match>>& out,
     std::vector<std::exception_ptr>* errors) const {
   if (k == 0)
-    throw std::invalid_argument("FingerprintDatabase: k must be >= 1");
+    throw util::ConfigError("FingerprintDatabase: k must be >= 1");
   if (entries_.empty())
-    throw std::logic_error("FingerprintDatabase: empty database");
+    throw util::StateError("FingerprintDatabase: empty database");
   out.resize(queries.size());
   if (errors) errors->assign(queries.size(), nullptr);
   auto& ws = threadWorkspace();
@@ -185,10 +187,10 @@ void FingerprintDatabase::queryBatchInto(
     try {
       const Fingerprint& query = *queries[q];
       if (!allFinite(query))
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "FingerprintDatabase: non-finite query RSS");
       if (query.size() != apCount())
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "dissimilarity: fingerprint dimensions differ");
       queryPrepared(query, k, ws, out[q]);
     } catch (...) {

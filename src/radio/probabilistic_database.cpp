@@ -6,6 +6,7 @@
 #include <string>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace moloc::radio {
@@ -13,17 +14,17 @@ namespace moloc::radio {
 void ProbabilisticFingerprintDatabase::addLocation(
     env::LocationId id, std::span<const Fingerprint> samples) {
   if (samples.empty())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: no samples");
   const std::size_t n = samples.front().size();
   if (n == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: empty fingerprint");
   if (!entries_.empty() && n != entries_.front().mu.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: mismatched AP count");
   if (contains(id))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: duplicate location " +
         std::to_string(id));
 
@@ -35,7 +36,7 @@ void ProbabilisticFingerprintDatabase::addLocation(
   for (std::size_t ap = 0; ap < n; ++ap) {
     for (std::size_t s = 0; s < samples.size(); ++s) {
       if (samples[s].size() != n)
-        throw std::invalid_argument(
+        throw util::ConfigError(
             "ProbabilisticFingerprintDatabase: ragged samples");
       column[s] = samples[s][ap];
     }
@@ -75,7 +76,7 @@ double ProbabilisticFingerprintDatabase::logLikelihood(
     const Fingerprint& scan, env::LocationId id) const {
   const auto& entry = find(id);
   if (scan.size() != entry.mu.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: dimension mismatch");
   double logL = 0.0;
   for (std::size_t ap = 0; ap < entry.mu.size(); ++ap) {
@@ -89,7 +90,7 @@ double ProbabilisticFingerprintDatabase::logLikelihood(
 env::LocationId ProbabilisticFingerprintDatabase::mostLikely(
     const Fingerprint& scan) const {
   if (entries_.empty())
-    throw std::logic_error("ProbabilisticFingerprintDatabase: empty");
+    throw util::StateError("ProbabilisticFingerprintDatabase: empty");
   env::LocationId best = entries_.front().id;
   double bestLogL = logLikelihood(scan, best);
   for (const auto& e : entries_) {
@@ -112,10 +113,10 @@ std::vector<Match> ProbabilisticFingerprintDatabase::query(
 void ProbabilisticFingerprintDatabase::queryInto(
     const Fingerprint& scan, std::size_t k, std::vector<Match>& out) const {
   if (k == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: k must be >= 1");
   if (entries_.empty())
-    throw std::logic_error("ProbabilisticFingerprintDatabase: empty");
+    throw util::StateError("ProbabilisticFingerprintDatabase: empty");
 
   out.clear();
   out.reserve(entries_.size());
@@ -154,13 +155,13 @@ void ProbabilisticFingerprintDatabase::addFittedLocation(
     env::LocationId id, std::vector<double> mu,
     std::vector<double> sigma) {
   if (mu.empty() || mu.size() != sigma.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: bad fitted Gaussians");
   if (!entries_.empty() && mu.size() != entries_.front().mu.size())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: mismatched AP count");
   if (contains(id))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "ProbabilisticFingerprintDatabase: duplicate location " +
         std::to_string(id));
   for (double& s : sigma) s = std::max(s, kMinSigmaDb);

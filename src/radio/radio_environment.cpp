@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::radio {
 
 RadioEnvironment::RadioEnvironment(const env::FloorPlan& plan,
@@ -9,7 +11,7 @@ RadioEnvironment::RadioEnvironment(const env::FloorPlan& plan,
                                    PropagationParams params)
     : plan_(plan), aps_(std::move(aps)), model_(params, plan) {
   if (aps_.empty())
-    throw std::invalid_argument("RadioEnvironment: no access points");
+    throw util::ConfigError("RadioEnvironment: no access points");
 }
 
 Fingerprint RadioEnvironment::scan(geometry::Vec2 pos, double orientationDeg,

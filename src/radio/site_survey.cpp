@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::radio {
 
 FingerprintDatabase SurveyData::buildDatabase() const {
@@ -15,11 +17,11 @@ SurveyData conductSurvey(const RadioEnvironment& radio,
                          const SurveyConfig& config, util::Rng& rng) {
   if (config.trainPerLocation <= 0 || config.motionPerLocation < 0 ||
       config.testPerLocation < 0)
-    throw std::invalid_argument("conductSurvey: bad partition sizes");
+    throw util::ConfigError("conductSurvey: bad partition sizes");
   if (config.trainPerLocation + config.motionPerLocation +
           config.testPerLocation !=
       config.samplesPerLocation)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "conductSurvey: partitions must sum to samplesPerLocation");
 
   constexpr double kCardinal[4] = {0.0, 90.0, 180.0, 270.0};

@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::sensors {
 
 AccelerometerModel::AccelerometerModel(AccelParams params)
     : params_(params) {
   if (params_.sampleRateHz <= 0.0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "AccelerometerModel: sample rate must be positive");
 }
 
@@ -18,7 +19,7 @@ std::vector<double> AccelerometerModel::walkingSamples(std::size_t count,
                                                        double cadenceHz,
                                                        util::Rng& rng) {
   if (cadenceHz <= 0.0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "AccelerometerModel: cadence must be positive");
   std::vector<double> out;
   out.reserve(count);

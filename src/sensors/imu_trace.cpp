@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace moloc::sensors {
 
 ImuTrace::ImuTrace(double sampleRateHz) : sampleRateHz_(sampleRateHz) {
   if (sampleRateHz <= 0.0)
-    throw std::invalid_argument("ImuTrace: sample rate must be positive");
+    throw util::ConfigError("ImuTrace: sample rate must be positive");
 }
 
 double ImuTrace::duration() const {

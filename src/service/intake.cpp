@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace moloc::service {
 
 IntakePipeline::IntakePipeline(core::OnlineMotionDatabase& db,
@@ -14,13 +16,13 @@ IntakePipeline::IntakePipeline(core::OnlineMotionDatabase& db,
       publish_(std::move(publish)),
       afterApply_(std::move(afterApply)) {
   if (policy_.queueCapacity == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "IntakePipeline: queue capacity must be >= 1");
   if (policy_.publishEveryRecords == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "IntakePipeline: publishEveryRecords must be >= 1");
   if (policy_.maxStaleness <= std::chrono::milliseconds::zero())
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "IntakePipeline: maxStaleness must be positive");
 #if MOLOC_METRICS_ENABLED
   if (metrics) {

@@ -9,6 +9,7 @@
 
 #include "core/online_motion_database.hpp"
 #include "store/state_store.hpp"
+#include "util/error.hpp"
 
 namespace moloc::service {
 
@@ -22,7 +23,7 @@ std::size_t resolveThreadCount(std::size_t requested) {
 
 std::size_t checkShardCount(std::size_t shardCount) {
   if (shardCount == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "LocalizationService: shard count must be >= 1");
   return shardCount;
 }
@@ -101,7 +102,7 @@ LocalizationService::LocalizationService(
       shards_(checkShardCount(config.shardCount)),
       pool_(resolveThreadCount(config.threadCount), config.metrics) {
   if (!fingerprints_)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "LocalizationService: null fingerprint database");
   // The image ships a prebuilt index when the world had one; when it
   // did not, the service's own policy still applies (e.g. a campus
@@ -245,7 +246,7 @@ void LocalizationService::openSession(SessionId id,
   auto& shard = shardFor(id);
   const util::MutexLock lock(shard.mu);
   if (shard.sessions.count(id) > 0)
-    throw std::invalid_argument("LocalizationService: session " +
+    throw util::ConfigError("LocalizationService: session " +
                                 std::to_string(id) + " already exists");
   shard.sessions.emplace(
       id, std::make_shared<SessionSlot>(
@@ -506,10 +507,10 @@ void LocalizationService::attachIntake(core::OnlineMotionDatabase* db,
                                        std::uint64_t checkpointEveryRecords,
                                        IntakePolicy policy) {
   if (db == nullptr)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "LocalizationService::attachIntake: db must be non-null");
   if (checkpointEveryRecords > 0 && store == nullptr)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "LocalizationService::attachIntake: a checkpoint trigger "
         "requires a store");
 
@@ -554,7 +555,7 @@ bool LocalizationService::reportObservation(env::LocationId estimatedStart,
     pipeline = pipeline_;
   }
   if (!pipeline)
-    throw std::logic_error(
+    throw util::StateError(
         "LocalizationService::reportObservation: no intake attached "
         "(call attachIntake first)");
   const bool accepted = pipeline->submit(estimatedStart, estimatedEnd,
@@ -579,7 +580,7 @@ void LocalizationService::flushIntake() {
     pipeline = pipeline_;
   }
   if (!pipeline)
-    throw std::logic_error(
+    throw util::StateError(
         "LocalizationService::flushIntake: no intake attached");
   pipeline->flush();
 }
@@ -591,7 +592,7 @@ IntakePipeline::Stats LocalizationService::intakeStats() const {
     pipeline = pipeline_;
   }
   if (!pipeline)
-    throw std::logic_error(
+    throw util::StateError(
         "LocalizationService::intakeStats: no intake attached");
   return pipeline->stats();
 }

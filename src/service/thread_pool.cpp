@@ -4,12 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace moloc::service {
 
 ThreadPool::ThreadPool(std::size_t threadCount,
                        obs::MetricsRegistry* metrics) {
   if (threadCount == 0)
-    throw std::invalid_argument("ThreadPool: thread count must be >= 1");
+    throw util::ConfigError("ThreadPool: thread count must be >= 1");
 #if MOLOC_METRICS_ENABLED
   if (metrics) {
     queueDepth_ = &metrics->gauge("moloc_pool_queue_depth",
@@ -43,7 +45,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     const util::MutexLock lock(mu_);
     if (stopping_)
-      throw std::runtime_error("ThreadPool: submit after shutdown");
+      throw util::StateError("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(packaged));
     // set() under the queue lock (a relaxed store, vs two CAS adds for
     // inc/dec outside it) serializes depth updates with the queue

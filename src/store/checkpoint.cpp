@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "store/crc32c.hpp"
+#include "util/checked_cast.hpp"
 #include "store/format.hpp"
 #include "store/posix_file.hpp"
+#include "util/error.hpp"
 
 namespace moloc::store {
 
@@ -75,7 +77,8 @@ void encodeSnapshot(std::string& out,
     detail::putI32(out, pair.i);
     detail::putI32(out, pair.j);
     detail::putU64(out, pair.seen);
-    detail::putU32(out, static_cast<std::uint32_t>(pair.samples.size()));
+    detail::putU32(
+        out, util::checkedU32(pair.samples.size(), "reservoir sample count"));
     for (const auto& sample : pair.samples) {
       detail::putF64(out, sample.directionDeg);
       detail::putF64(out, sample.offsetMeters);
@@ -317,7 +320,7 @@ std::optional<CheckpointLoadResult> loadNewestCheckpoint(
 
 std::size_t pruneCheckpoints(const std::string& dir, std::size_t keep) {
   if (keep == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "pruneCheckpoints: keep must be >= 1 (the newest checkpoint is "
         "never removed)");
   const auto files = listCheckpoints(dir);  // Newest first.

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <stdexcept>
 
+#include "store/format.hpp"
 #include "util/posix_error.hpp"
 #include "util/retry_eintr.hpp"
 
@@ -15,7 +16,7 @@ namespace moloc::store::testing {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error("FaultFile: " + what + " '" + path +
+  throw StoreError("FaultFile: " + what + " '" + path +
                            "': " + util::errnoMessage(errno));
 }
 
@@ -34,7 +35,7 @@ std::uint64_t FaultFile::size() const {
 
 void FaultFile::truncateTo(std::uint64_t newSize) const {
   if (newSize > size())
-    throw std::runtime_error(
+    throw StoreError(
         "FaultFile: truncateTo would grow '" + path_ +
         "' (faults only destroy data)");
   if (util::retryEintr([&] {
@@ -46,17 +47,17 @@ void FaultFile::truncateTo(std::uint64_t newSize) const {
 void FaultFile::chopBytes(std::uint64_t n) const {
   const std::uint64_t current = size();
   if (n > current)
-    throw std::runtime_error("FaultFile: chopBytes(" + std::to_string(n) +
+    throw StoreError("FaultFile: chopBytes(" + std::to_string(n) +
                              ") exceeds size of '" + path_ + "'");
   truncateTo(current - n);
 }
 
 void FaultFile::flipByte(std::uint64_t offset, std::uint8_t mask) const {
   if (mask == 0)
-    throw std::runtime_error(
+    throw StoreError(
         "FaultFile: a zero mask would not damage '" + path_ + "'");
   if (offset >= size())
-    throw std::runtime_error("FaultFile: offset " + std::to_string(offset) +
+    throw StoreError("FaultFile: offset " + std::to_string(offset) +
                              " is past the end of '" + path_ + "'");
   const int fd =
       util::retryEintr([&] { return ::open(path_.c_str(), O_RDWR); });
@@ -80,7 +81,7 @@ void FaultFile::flipByte(std::uint64_t offset, std::uint8_t mask) const {
 
 void FaultFile::flipBit(std::uint64_t offset, unsigned bit) const {
   if (bit > 7)
-    throw std::runtime_error("FaultFile: bit index " + std::to_string(bit) +
+    throw StoreError("FaultFile: bit index " + std::to_string(bit) +
                              " out of range (0..7)");
   flipByte(offset, static_cast<std::uint8_t>(1u << bit));
 }

@@ -15,7 +15,7 @@ namespace moloc::store::testing {
 ///   flipByte / flipBit — latent media corruption: a record that was
 ///     acknowledged but no longer reads back as written.
 ///
-/// All methods throw std::runtime_error (naming the path) on I/O
+/// All methods throw store::StoreError (naming the path) on I/O
 /// failure or out-of-range offsets.
 class FaultFile {
  public:

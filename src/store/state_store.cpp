@@ -6,13 +6,14 @@
 #include <utility>
 
 #include "store/posix_file.hpp"
+#include "util/error.hpp"
 
 namespace moloc::store {
 
 StateStore::StateStore(std::string dir, StoreConfig config)
     : dir_(std::move(dir)), config_(config) {
   if (config_.keepCheckpoints == 0)
-    throw std::invalid_argument("StateStore: keepCheckpoints must be >= 1");
+    throw util::ConfigError("StateStore: keepCheckpoints must be >= 1");
 
   // Repair first: a torn tail left by the previous process must be
   // truncated away before it becomes a non-final segment (where damage
@@ -128,7 +129,7 @@ CheckpointInfo StateStore::checkpoint(
     // reached; sync before publishing.
     const util::MutexLock lock(mu_);
     if (throughSeq > wal_->lastSeq())
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "StateStore::checkpoint: throughSeq " +
           std::to_string(throughSeq) + " exceeds WAL lastSeq " +
           std::to_string(wal_->lastSeq()));

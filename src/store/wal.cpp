@@ -12,6 +12,7 @@
 
 #include "store/crc32c.hpp"
 #include "store/posix_file.hpp"
+#include "util/error.hpp"
 #include "util/posix_error.hpp"
 #include "util/retry_eintr.hpp"
 
@@ -92,10 +93,10 @@ WalWriter::WalWriter(std::string dir, WalConfig config,
       nextSeq_(nextSeq),
       segmentIndex_(segmentIndex) {
   if (config_.fsync == FsyncPolicy::kEveryN && config_.fsyncEveryN == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "WalWriter: fsyncEveryN must be >= 1 under FsyncPolicy::kEveryN");
   if (nextSeq_ == 0 || segmentIndex_ == 0)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "WalWriter: sequence numbers and segment indices are 1-based");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);

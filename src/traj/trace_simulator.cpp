@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "geometry/angles.hpp"
+#include "util/error.hpp"
 
 namespace moloc::traj {
 
@@ -24,7 +25,7 @@ Trace TraceSimulator::simulate(const UserProfile& user,
                                const std::vector<env::LocationId>& route,
                                util::Rng& rng) const {
   if (route.empty())
-    throw std::invalid_argument("TraceSimulator: empty route");
+    throw util::ConfigError("TraceSimulator: empty route");
 
   const sensors::CompassModel compass(params_.compass);
   const sensors::GyroscopeModel gyro(params_.gyro);
@@ -84,7 +85,7 @@ Trace TraceSimulator::simulate(const UserProfile& user,
 
     const auto rlm = graph_.groundTruthRlm(from, to);
     if (!rlm)
-      throw std::invalid_argument(
+      throw util::ConfigError(
           "TraceSimulator: route legs must be adjacent in the graph");
 
     LocalizationInterval interval;

@@ -3,13 +3,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace moloc::traj {
 
 TrajectoryGenerator::TrajectoryGenerator(const env::WalkGraph& graph,
                                          TrajectoryParams params)
     : graph_(graph), params_(params) {
   if (graph_.nodeCount() == 0)
-    throw std::invalid_argument("TrajectoryGenerator: empty graph");
+    throw util::ConfigError("TrajectoryGenerator: empty graph");
 }
 
 std::vector<env::LocationId> TrajectoryGenerator::randomWalk(
@@ -25,7 +27,7 @@ std::vector<env::LocationId> TrajectoryGenerator::randomWalk(
     }
     const auto neighbors = graph_.neighbors(current);
     if (neighbors.empty())
-      throw std::runtime_error("TrajectoryGenerator: isolated node");
+      throw util::DataError("TrajectoryGenerator: isolated node");
 
     // Prefer not to U-turn; fall back to it at a dead end.
     std::vector<env::LocationId> options;

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+
+namespace moloc::util {
+
+/// Checked 64→32-bit narrowing for framing and section arithmetic.
+///
+/// Every binary format in this codebase (WAL frames, wire frames,
+/// venue-image section tables) carries u32 length fields that are
+/// computed from std::size_t values.  A bare
+/// static_cast<std::uint32_t>(n) silently truncates once n crosses
+/// 4 GiB and the frame decodes as a different — CRC-valid — message.
+/// These helpers are the sanctioned spelling (the `narrowing-length`
+/// rule in tools/analyze/ bans the implicit conversion in src/net,
+/// src/image and src/store): the cast either fits or throws
+/// util::NarrowingError naming the field.
+inline std::uint32_t checkedU32(std::uint64_t value, const char* field) {
+  if (value > std::numeric_limits<std::uint32_t>::max())
+    throw NarrowingError(std::string(field) + " value " +
+                         std::to_string(value) +
+                         " does not fit in a u32 length field");
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Same contract for i32 destinations (section ids, counts that are
+/// negative-signalling on the wire).
+inline std::int32_t checkedI32(std::int64_t value, const char* field) {
+  if (value > std::numeric_limits<std::int32_t>::max() ||
+      value < std::numeric_limits<std::int32_t>::min())
+    throw NarrowingError(std::string(field) + " value " +
+                         std::to_string(value) +
+                         " does not fit in an i32 field");
+  return static_cast<std::int32_t>(value);
+}
+
+}  // namespace moloc::util

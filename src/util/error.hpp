@@ -1,0 +1,74 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace moloc::util {
+
+/// Typed project errors.
+///
+/// The library never throws a bare std::runtime_error /
+/// std::invalid_argument / std::logic_error (the `typed-errors` rule
+/// in tools/analyze/ enforces it, src/util/ excepted): a catch
+/// handler on a serving path must be able to tell "our validation
+/// rejected this input" from "the standard library blew up" — PR 7
+/// shipped exactly that bug, hostile wire values escaping molocd
+/// workers as an untyped std::invalid_argument until the server
+/// retyped them frame-by-frame.  Every throw site names one of these
+/// (or a subsystem type like store::CorruptionError or
+/// net::ProtocolError), so `catch (const util::Error&)`-style
+/// taxonomy is possible at every boundary.
+///
+/// Each class derives from the std type it replaces, so existing
+/// `catch (const std::invalid_argument&)` handlers and
+/// EXPECT_THROW(..., std::runtime_error) assertions keep working.
+
+/// A caller passed an invalid argument or configuration value
+/// (dimension mismatch, out-of-range knob, malformed spec string).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// An input document (text radio map, trace file, CSV header, bench
+/// spec) failed to parse; the message carries the line/offset.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A file or OS operation failed (open/stat/rename); the message
+/// names the path and the errno text.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input data that parsed fine is semantically invalid — a walk graph
+/// with an isolated node, a trace that steps outside its floor — and
+/// the violation only surfaces mid-computation.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The program misused an API: calls in the wrong order, lookups of
+/// ids that were never registered, violated internal invariants.
+class StateError : public std::logic_error {
+ public:
+  explicit StateError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// A checked integer narrowing (util::checkedU32 and friends) found a
+/// value that does not fit the destination type.  Derives from
+/// std::range_error so it reads as what it is: a value outside the
+/// representable range, detected instead of silently truncated.
+class NarrowingError : public std::range_error {
+ public:
+  explicit NarrowingError(const std::string& what)
+      : std::range_error(what) {}
+};
+
+}  // namespace moloc::util

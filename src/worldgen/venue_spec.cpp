@@ -1,3 +1,4 @@
+#include "util/error.hpp"
 #include "worldgen/venue_spec.hpp"
 
 #include <cmath>
@@ -56,7 +57,7 @@ double parseDouble(std::string_view key, std::string_view value) {
   try {
     return std::stod(std::string(value));
   } catch (const std::exception&) {
-    throw std::invalid_argument("VenueSpec: bad value '" +
+    throw util::ConfigError("VenueSpec: bad value '" +
                                 std::string(value) + "' for key '" +
                                 std::string(key) + "'");
   }
@@ -65,7 +66,7 @@ double parseDouble(std::string_view key, std::string_view value) {
 int parseInt(std::string_view key, std::string_view value) {
   const double d = parseDouble(key, value);
   if (d != std::floor(d))
-    throw std::invalid_argument("VenueSpec: key '" + std::string(key) +
+    throw util::ConfigError("VenueSpec: key '" + std::string(key) +
                                 "' expects an integer");
   return static_cast<int>(d);
 }
@@ -88,23 +89,23 @@ std::size_t apCount(const VenueSpec& spec) {
 void validateVenueSpec(const VenueSpec& spec) {
   if (spec.buildings < 1 || spec.floorsPerBuilding < 1 ||
       spec.gridCols < 2 || spec.gridRows < 2)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "VenueSpec: need >= 1 building/floor and a grid of at least "
         "2x2");
   if (!(spec.spacingMeters > 0.0) || !std::isfinite(spec.spacingMeters))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "VenueSpec: spacingMeters must be positive and finite");
   if (spec.apsPerFloor < 1)
-    throw std::invalid_argument("VenueSpec: apsPerFloor must be >= 1");
+    throw util::ConfigError("VenueSpec: apsPerFloor must be >= 1");
   if (!(spec.apVisibilityRadiusMeters > 0.0) ||
       !std::isfinite(spec.apVisibilityRadiusMeters))
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "VenueSpec: apVisibilityRadiusMeters must be positive and "
         "finite");
   if (spec.trainSamples < 1)
-    throw std::invalid_argument("VenueSpec: trainSamples must be >= 1");
+    throw util::ConfigError("VenueSpec: trainSamples must be >= 1");
   if (locationCount(spec) > kMaxVenueLocations)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "VenueSpec: " + std::to_string(locationCount(spec)) +
         " locations exceeds the supported maximum " +
         std::to_string(kMaxVenueLocations));
@@ -116,7 +117,7 @@ VenueSpec parseVenueSpec(std::string_view spec) {
   if (spec == "campus-16k") return presetCampus16k();
   if (spec == "campus-64k") return presetCampus64k();
   if (spec.find('=') == std::string_view::npos)
-    throw std::invalid_argument(
+    throw util::ConfigError(
         "VenueSpec: unknown preset '" + std::string(spec) +
         "' (expected campus-{1k,4k,16k,64k} or a key=value list)");
 
@@ -130,7 +131,7 @@ VenueSpec parseVenueSpec(std::string_view spec) {
                                            : rest.substr(comma + 1);
     const std::size_t eq = item.find('=');
     if (eq == std::string_view::npos || eq == 0)
-      throw std::invalid_argument("VenueSpec: expected key=value, got '" +
+      throw util::ConfigError("VenueSpec: expected key=value, got '" +
                                   std::string(item) + "'");
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
@@ -151,7 +152,7 @@ VenueSpec parseVenueSpec(std::string_view spec) {
     } else if (key == "train-samples") {
       out.trainSamples = parseInt(key, value);
     } else {
-      throw std::invalid_argument("VenueSpec: unknown key '" +
+      throw util::ConfigError("VenueSpec: unknown key '" +
                                   std::string(key) + "'");
     }
   }
@@ -164,7 +165,7 @@ VenueSpec venueSpecForLocations(std::size_t locations) {
        {presetCampus1k(), presetCampus4k(), presetCampus16k(),
         presetCampus64k()})
     if (locationCount(preset) == locations) return preset;
-  throw std::invalid_argument(
+  throw util::ConfigError(
       "venueSpecForLocations: no preset with exactly " +
       std::to_string(locations) +
       " locations (supported: 1024, 4096, 16384, 65536)");

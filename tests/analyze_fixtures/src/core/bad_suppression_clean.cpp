@@ -1,0 +1,10 @@
+// bad-suppression negatives: well-formed markers with known rules and
+// real reasons parse cleanly, even when no finding exists on the line
+// for them to suppress.
+namespace {
+
+int idle() { return 0; }  // lint:allow(rand): documents a historical exemption; nothing fires here
+
+}  // namespace
+
+int fixtureBadSuppressionClean() { return idle(); }

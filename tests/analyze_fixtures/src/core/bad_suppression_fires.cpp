@@ -1,0 +1,19 @@
+// bad-suppression: malformed or typo'd lint:allow markers are
+// findings themselves — a suppression that silently does nothing is
+// worse than none.  Note bad-suppression cannot itself be suppressed.
+
+void emptyRuleName();  // lint:allow(): no rule between the parens -- expect: bad-suppression
+
+void missingReason();  // lint:allow(rand) expect: bad-suppression
+
+// expect-next-line: bad-suppression
+void emptyReason();  // lint:allow(rand):
+
+void unknownRule();  // lint:allow(untrused-alloc): typo'd rule id suppresses nothing -- expect: bad-suppression
+
+// The finding below survives even though the same line carries a
+// well-formed lint:allow(bad-suppression) — the rule is exempt from
+// the suppression mechanism it polices.
+void unsuppressable();  // lint:allow(rand) lint:allow(bad-suppression): nice try -- expect: bad-suppression
+
+void fixtureBadSuppression() {}

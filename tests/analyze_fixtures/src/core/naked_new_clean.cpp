@@ -1,0 +1,24 @@
+// naked-new negatives: smart pointers and containers allocate without
+// a `new` expression in user code.
+#include <memory>
+#include <vector>
+
+namespace {
+
+struct Node {
+  int value = 0;
+};
+
+std::unique_ptr<Node> makeNode(int v) {
+  auto n = std::make_unique<Node>();
+  n->value = v;
+  return n;
+}
+
+std::vector<int> makeBuffer() { return std::vector<int>(8, 0); }
+
+}  // namespace
+
+int fixtureNakedNewClean() {
+  return makeNode(1)->value + static_cast<int>(makeBuffer().size());
+}

@@ -1,0 +1,30 @@
+// naked-new: every `new` expression — ownership in this tree is
+// unique_ptr/vector, and a bare allocation leaks on the first
+// exception path.
+namespace {
+
+struct Node {
+  int value = 0;
+  Node* next = nullptr;
+};
+
+Node* makeNode(int v) {
+  Node* n = new Node;  // expect: naked-new
+  n->value = v;
+  return n;
+}
+
+int* makeBuffer() {
+  return new int[8];  // expect: naked-new
+}
+
+}  // namespace
+
+int fixtureNakedNew() {
+  Node* n = makeNode(1);
+  int* buf = makeBuffer();
+  const int out = n->value + buf[0];
+  delete n;
+  delete[] buf;
+  return out;
+}

@@ -1,0 +1,15 @@
+// naked-new violation with a reasoned suppression.
+namespace {
+
+struct Arena {
+  int slots[64] = {};
+};
+
+Arena* globalArena() {
+  static Arena* arena = new Arena;  // lint:allow(naked-new): intentional leak — function-local singleton must outlive all users at shutdown
+  return arena;
+}
+
+}  // namespace
+
+int fixtureNakedNewSuppressed() { return globalArena()->slots[0]; }

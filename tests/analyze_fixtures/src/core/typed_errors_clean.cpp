@@ -1,0 +1,50 @@
+// typed-errors negatives: project-style typed errors (derived from
+// the std bases) and rethrows are exactly what the rule steers
+// toward, so neither may fire.
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+/// Stands in for src/util/error.hpp's hierarchy: the *derived* type
+/// is fine — the rule bans only the bare std bases.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+}  // namespace util
+
+namespace {
+
+void rejectTyped(int v) {
+  if (v < 0) throw util::ConfigError("negative");
+  if (v > 100) throw util::ParseError("too large");
+}
+
+void passThrough(int v) {
+  try {
+    rejectTyped(v);
+  } catch (const util::ParseError&) {
+    throw;  // bare rethrow has no type to retype
+  }
+}
+
+// out_of_range derives from logic_error but is not the bare base.
+void checkIndex(std::size_t i, std::size_t n) {
+  if (i >= n) throw std::out_of_range("index");
+}
+
+}  // namespace
+
+int fixtureTypedErrorsClean() {
+  passThrough(1);
+  checkIndex(0, 1);
+  return 0;
+}

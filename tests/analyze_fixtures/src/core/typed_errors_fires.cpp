@@ -1,0 +1,28 @@
+// typed-errors: bare std exception types thrown outside src/util/.
+// PR 7's hostile-wire-value escape shipped exactly this way.
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+void rejectConfig(int v) {
+  if (v < 0)
+    throw std::invalid_argument("negative");  // expect: typed-errors
+}
+
+void rejectData(const std::string& s) {
+  if (s.empty()) throw std::runtime_error("empty");  // expect: typed-errors
+}
+
+void rejectState(bool open) {
+  if (!open) throw std::logic_error("closed");  // expect: typed-errors
+}
+
+}  // namespace
+
+int fixtureTypedErrors() {
+  rejectConfig(1);
+  rejectData("x");
+  rejectState(true);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// typed-errors violation with a reasoned suppression: no findings.
+#include <stdexcept>
+
+namespace {
+
+void reject(int v) {
+  if (v < 0)
+    throw std::invalid_argument("negative");  // lint:allow(typed-errors): exception type is pinned by a third-party API contract
+}
+
+}  // namespace
+
+int fixtureTypedErrorsSuppressed() {
+  reject(1);
+  return 0;
+}

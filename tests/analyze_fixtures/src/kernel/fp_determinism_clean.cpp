@@ -1,0 +1,23 @@
+// fp-determinism negatives: ordered comparisons, sentinel tests
+// against literals, integer equality, and plain mul+add (which the
+// build keeps uncontracted via -ffp-contract=off, not via this rule).
+#include <cstdint>
+
+namespace {
+
+double mulAdd(double a, double b, double c) { return a * b + c; }
+
+bool better(double lhs, double rhs) { return lhs < rhs; }
+
+// Comparing against a literal is a sentinel test, not a computed
+// identity check.
+bool isUnset(double score) { return score == 0.0; }
+
+bool sameBucket(std::uint32_t a, std::uint32_t b) { return a == b; }
+
+}  // namespace
+
+double fixtureFpDeterminismClean(double a, double b, double c) {
+  return mulAdd(a, b, c) + (better(a, b) ? 1.0 : 0.0) +
+         (isUnset(c) ? 1.0 : 0.0) + (sameBucket(1, 2) ? 1.0 : 0.0);
+}

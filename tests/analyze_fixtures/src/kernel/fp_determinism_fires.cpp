@@ -1,0 +1,31 @@
+// fp-determinism: FMA contraction and exact float equality between
+// computed values fork the scalar and AVX2 kernels' bitwise results
+// (docs/performance.md).
+#include <cmath>
+
+namespace {
+
+double contracted(double a, double b, double c) {
+  return std::fma(a, b, c);  // expect: fp-determinism
+}
+
+double builtinContracted(double a, double b, double c) {
+  return __builtin_fma(a, b, c);  // expect: fp-determinism
+}
+
+bool sameScore(double lhsScore, double rhsScore) {
+  return lhsScore == rhsScore;  // expect: fp-determinism
+}
+
+bool divergedScore(float lhsScore, float rhsScore) {
+  return lhsScore != rhsScore;  // expect: fp-determinism
+}
+
+}  // namespace
+
+double fixtureFpDeterminism(double a, double b, double c) {
+  return contracted(a, b, c) + builtinContracted(a, b, c) +
+         (sameScore(a, b) ? 1.0 : 0.0) +
+         (divergedScore(static_cast<float>(a), static_cast<float>(b)) ? 1.0
+                                                                      : 0.0);
+}

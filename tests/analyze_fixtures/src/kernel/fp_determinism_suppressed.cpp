@@ -1,0 +1,12 @@
+// fp-determinism violation with a reasoned suppression.
+namespace {
+
+bool bitwiseIdentityCheck(double reference, double simd) {
+  return reference == simd;  // lint:allow(fp-determinism): this IS the bitwise-identity assertion the kernels are tested by
+}
+
+}  // namespace
+
+bool fixtureFpDeterminismSuppressed(double a, double b) {
+  return bitwiseIdentityCheck(a, b);
+}

@@ -1,0 +1,57 @@
+// narrowing-length negatives: the sanctioned checked-cast helper,
+// explicit casts, compile-time constants, and widening conversions.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+/// Stands in for src/util/checked_cast.hpp.
+inline std::uint32_t checkedU32(std::uint64_t value, const char* field) {
+  if (value > 0xffffffffull) throw std::out_of_range(field);
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace util
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+struct Header {
+  std::uint32_t sectionCount;
+};
+
+// The sanctioned route: checked, throwing narrowing.
+void encodeChecked(std::string& out, const std::string& payload) {
+  putU32(out, util::checkedU32(payload.size(), "payload length"));
+}
+
+// An explicit cast is a reviewed decision, not an accident.
+void encodeCast(std::string& out, const std::string& payload) {
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+}
+
+// Compile-time constants cannot truncate at runtime.
+void encodeConstant(std::string& out) {
+  putU32(out, sizeof(Header));
+  putU32(out, 12);
+}
+
+// Widening is always fine.
+std::uint64_t total(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t sum = a;
+  return sum + b;
+}
+
+}  // namespace
+
+std::uint64_t fixtureNarrowingClean(const std::string& payload) {
+  std::string out;
+  encodeChecked(out, payload);
+  encodeCast(out, payload);
+  encodeConstant(out);
+  return total(1, 2) + out.size();
+}

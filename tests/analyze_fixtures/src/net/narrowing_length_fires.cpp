@@ -1,0 +1,44 @@
+// narrowing-length: implicit 64-bit -> 32-bit integer conversions in
+// framing code.  A u32 length field computed from size_t silently
+// truncates past 4 GiB and reframes as a different, CRC-valid
+// message.
+#include <cstdint>
+#include <string>
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+// Implicit conversion at a call argument.
+void encodeLength(std::string& out, const std::string& payload) {
+  putU32(out, payload.size());  // expect: narrowing-length
+}
+
+// Implicit conversion initializing a 32-bit variable.
+std::uint32_t frameLength(const std::string& payload) {
+  const std::uint32_t length = payload.size();  // expect: narrowing-length
+  return length;
+}
+
+// Implicit conversion at a return.
+std::uint32_t sectionCount(std::uint64_t raw) {
+  return raw / 16;  // expect: narrowing-length
+}
+
+// Implicit conversion through an assignment.
+void storeLength(std::uint32_t& slot, std::uint64_t total) {
+  slot = total + 1;  // expect: narrowing-length
+}
+
+}  // namespace
+
+std::uint32_t fixtureNarrowing(const std::string& payload) {
+  std::string out;
+  encodeLength(out, payload);
+  std::uint32_t slot = 0;
+  storeLength(slot, payload.size());
+  return frameLength(payload) + sectionCount(slot) +
+         static_cast<std::uint32_t>(out.size());
+}

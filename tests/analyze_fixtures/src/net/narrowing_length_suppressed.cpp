@@ -1,0 +1,19 @@
+// narrowing-length violation with a reasoned suppression.
+#include <cstdint>
+#include <string>
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+void encodeLength(std::string& out, const std::string& payload) {
+  putU32(out, payload.size());  // lint:allow(narrowing-length): payload is capped at kMaxPayloadBytes (16 MiB) three frames up
+}
+
+}  // namespace
+
+void fixtureNarrowingSuppressed(std::string& out, const std::string& p) {
+  encodeLength(out, p);
+}

@@ -1,0 +1,37 @@
+// raw-eintr: interruptible syscalls outside util::retryEintr.
+//
+// The second case is the committed regression against tools/lint.sh:
+// its two-line window sees `retryEintr` on the previous line and
+// stays silent, but the ::read is NOT inside the wrapper — a SIGTERM
+// during the read still surfaces as a spurious failure.  The AST
+// check tracks the wrapper's argument subtree, not text proximity.
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace util {
+
+template <typename Fn>
+auto retryEintr(Fn fn) -> decltype(fn()) {
+  return fn();
+}
+
+}  // namespace util
+
+namespace {
+
+long bareRead(int fd, char* buf, unsigned long n) {
+  return ::read(fd, buf, n);  // expect: raw-eintr
+}
+
+long windowMissRegression(const char* path, char* buf, unsigned long n) {
+  const int fd = util::retryEintr([&] { return ::open(path, O_RDONLY); });
+  const long got = ::read(fd, buf, n);  // expect: raw-eintr
+  ::close(fd);
+  return got;
+}
+
+}  // namespace
+
+long fixtureRawEintr(int fd, char* buf) {
+  return bareRead(fd, buf, 1) + windowMissRegression("/dev/null", buf, 1);
+}

@@ -1,0 +1,19 @@
+// cout negatives: writing to a caller-supplied stream is fine, and an
+// identifier merely *named* cout outside namespace std is not the
+// global stream.
+#include <ostream>
+
+namespace {
+
+struct Channels {
+  long cout = 0;  // deliberately adversarial field name
+};
+
+}  // namespace
+
+void fixtureCoutClean(std::ostream& out, long value) {
+  out << "value=" << value << "\n";
+  Channels ch;
+  ch.cout = value;
+  out << ch.cout;
+}

@@ -1,0 +1,10 @@
+// cout: library code must not write to process-global streams; report
+// through obs:: metrics or a typed error instead.
+#include <iostream>
+
+void fixtureCout(long value) {
+  std::cout << "value=" << value << "\n";  // expect: cout
+  if (value < 0) {
+    std::cerr << "negative value\n";  // expect: cout
+  }
+}

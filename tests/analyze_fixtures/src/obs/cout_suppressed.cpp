@@ -1,0 +1,6 @@
+// cout violation with a reasoned suppression.
+#include <iostream>
+
+void fixtureCoutSuppressed() {
+  std::cout << "moloc self-test ok\n";  // lint:allow(cout): this TU is compiled into the smoke-test binary, not the library
+}

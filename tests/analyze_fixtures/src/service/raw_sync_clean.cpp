@@ -1,0 +1,51 @@
+// raw-sync negatives: project-style annotated wrappers (mocked — only
+// the type identity matters) and an atomic, which needs no lock.
+#include <atomic>
+
+namespace util {
+
+/// Stands in for the TSA-annotated src/util/mutex.hpp wrapper.
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace util
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    util::MutexLock hold(mu_);
+    ++value_;
+  }
+  long read() const { return snapshot_.load(); }
+  void publish() { snapshot_.store(value_); }
+
+ private:
+  util::Mutex mu_;
+  long value_ = 0;
+  std::atomic<long> snapshot_{0};
+};
+
+}  // namespace
+
+long fixtureRawSyncClean() {
+  Counter c;
+  c.bump();
+  c.publish();
+  return c.read();
+}

@@ -1,0 +1,29 @@
+// raw-sync: std lock types outside src/util/ — locking the clang
+// thread-safety analysis cannot see (both PR 5 races hid this way).
+#include <mutex>
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> hold(mu_);  // expect: raw-sync
+    ++value_;
+  }
+  long read() {
+    std::unique_lock<std::mutex> hold(mu_);  // expect: raw-sync
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;  // expect: raw-sync
+  long value_ = 0;
+};
+
+}  // namespace
+
+long fixtureRawSync() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

@@ -1,0 +1,23 @@
+// raw-sync violation with a reasoned suppression.
+#include <mutex>
+
+namespace {
+
+class Bridge {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> hold(mu_);  // lint:allow(raw-sync): interfacing with a third-party callback API that hands us its own std::mutex
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;  // lint:allow(raw-sync): interfacing with a third-party callback API that hands us its own std::mutex
+  long value_ = 0;
+};
+
+}  // namespace
+
+void fixtureRawSyncSuppressed() {
+  Bridge b;
+  b.touch();
+}

@@ -1,0 +1,92 @@
+// untrusted-alloc near-misses: every allocation here is dominated by
+// a cap check (or is simply not attacker-sized) and must NOT fire.
+// Each pattern is lifted from a real guard in the main tree.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+constexpr std::uint64_t kMaxRecords = 1u << 20;
+
+struct Cursor {
+  std::uint64_t at = 0;
+  std::uint64_t remainingBytes = 0;
+  std::uint32_t readU32() { return static_cast<std::uint32_t>(at++); }
+  std::uint64_t readU64() { return at++; }
+  std::uint64_t remaining() const { return remainingBytes; }
+};
+
+void checkCount(const Cursor& in, std::uint64_t count,
+                std::uint64_t entryBytes) {
+  if (count > in.remaining() / entryBytes)
+    throw std::out_of_range("count exceeds remaining data");
+}
+
+std::uint64_t checkedCount(Cursor& in, std::uint64_t entryBytes) {
+  const std::uint64_t count = in.readU64();
+  checkCount(in, count, entryBytes);
+  return count;
+}
+
+// Dominated by an IfStmt on the decoded variable (trace_io.cpp shape).
+std::vector<int> decodeWithIfGuard(Cursor& in) {
+  const std::uint64_t count = in.readU64();
+  if (count > kMaxRecords) throw std::out_of_range("count out of range");
+  std::vector<int> out;
+  out.reserve(count);
+  return out;
+}
+
+// Dominated by a guard-named call taking the variable (wire.cpp shape).
+std::vector<int> decodeWithCheckCall(Cursor& in) {
+  const std::uint32_t count = in.readU32();
+  checkCount(in, count, 8);
+  std::vector<int> out;
+  out.reserve(count);
+  return out;
+}
+
+// Dominated inside the initializer itself (checkpoint.cpp shape).
+std::vector<int> decodeWithCheckedInit(Cursor& in) {
+  const std::uint64_t count = checkedCount(in, 16);
+  std::vector<int> out;
+  out.reserve(count);
+  return out;
+}
+
+// A constant-size allocation cannot be attacker-controlled.
+std::vector<int> decodeFixed(Cursor& in) {
+  std::vector<int> out;
+  out.reserve(64);
+  out.push_back(static_cast<int>(in.readU32()));
+  return out;
+}
+
+// Sizing one container from another's .size() is not a decoded
+// length, even inside a parse-context function.
+std::vector<int> parseMirror(const std::vector<int>& existing) {
+  std::vector<int> out;
+  out.reserve(existing.size());
+  return out;
+}
+
+// Outside a parse context with no tainted source, a plain computed
+// size is the caller's business.
+std::vector<double> makeGrid(std::size_t rows, std::size_t cols) {
+  std::vector<double> out;
+  out.reserve(rows * cols);
+  return out;
+}
+
+}  // namespace
+
+int fixtureMain3() {
+  Cursor c;
+  c.remainingBytes = 1024;
+  return static_cast<int>(decodeWithIfGuard(c).size() +
+                          decodeWithCheckCall(c).size() +
+                          decodeWithCheckedInit(c).size() +
+                          decodeFixed(c).size() + parseMirror({}).size() +
+                          makeGrid(2, 2).size());
+}

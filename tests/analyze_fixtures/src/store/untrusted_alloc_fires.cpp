@@ -1,0 +1,53 @@
+// untrusted-alloc: allocations sized by decoded values with no
+// dominating cap check.  Mirrors the PR 5 checkpoint allocation bomb.
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+struct Cursor {
+  const unsigned char* data = nullptr;
+  std::uint64_t at = 0;
+  std::uint32_t readU32() { return static_cast<std::uint32_t>(at++); }
+  std::uint64_t readU64() { return at++; }
+};
+
+// Taint via the variable's initializer: `count` comes straight from
+// the wire and nothing bounds it before the reserve.
+std::vector<int> decodeRecords(Cursor& in) {
+  const std::uint32_t count = in.readU32();
+  std::vector<int> out;
+  out.reserve(count);  // expect: untrusted-alloc
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(1);
+  return out;
+}
+
+// Taint via a decode-named call directly in the size expression.
+std::vector<double> decodeSamples(Cursor& in) {
+  std::vector<double> out;
+  out.resize(in.readU64());  // expect: untrusted-alloc
+  return out;
+}
+
+// Vector size-constructor in a parse-context function.
+std::vector<unsigned char> parseBlob(Cursor& in) {
+  const std::uint64_t size = in.readU64();
+  std::vector<unsigned char> blob(size);  // expect: untrusted-alloc
+  return blob;
+}
+
+// new[] sized by a decoded count: both the allocation-bomb rule and
+// the ownership rule fire.
+double* loadTable(Cursor& in) {
+  const std::uint32_t n = in.readU32();
+  return new double[n];  // expect: untrusted-alloc expect: naked-new
+}
+
+}  // namespace
+
+int fixtureMain() {
+  Cursor c;
+  return static_cast<int>(decodeRecords(c).size() + decodeSamples(c).size() +
+                          parseBlob(c).size()) +
+         (loadTable(c) != nullptr ? 1 : 0);
+}

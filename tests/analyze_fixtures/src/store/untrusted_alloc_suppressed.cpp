@@ -1,0 +1,27 @@
+// untrusted-alloc violations carrying a reasoned lint:allow — the
+// analyzer must honor the suppression and report nothing.
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+struct Cursor {
+  std::uint64_t at = 0;
+  std::uint32_t readU32() { return static_cast<std::uint32_t>(at++); }
+};
+
+std::vector<int> decodeRecords(Cursor& in) {
+  const std::uint32_t count = in.readU32();
+  std::vector<int> out;
+  // lint:allow lives on the finding's own line, same as lint.sh.
+  out.reserve(count);  // lint:allow(untrusted-alloc): caller pre-validates count against the section header
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(1);
+  return out;
+}
+
+}  // namespace
+
+int fixtureMain2() {
+  Cursor c;
+  return static_cast<int>(decodeRecords(c).size());
+}

@@ -1,0 +1,19 @@
+// rand negatives: <random> engines are seedable and stream-local, and
+// a project function that happens to be *named* rand is not libc rand.
+#include <random>
+
+namespace sim {
+
+/// Project-local generator; same spelling, but the callee resolves to
+/// this declaration (not a system header), so the rule stays quiet.
+inline int rand(std::mt19937& gen) {
+  std::uniform_int_distribution<int> dist(0, 99);
+  return dist(gen);
+}
+
+}  // namespace sim
+
+int fixtureRandClean(unsigned seed) {
+  std::mt19937 gen(seed);
+  return sim::rand(gen) + sim::rand(gen);
+}

@@ -1,0 +1,10 @@
+// rand: libc rand()/srand() share hidden global state and break
+// seed-deterministic simulation replays.
+#include <cstdlib>
+
+unsigned fixtureRand(unsigned seed) {
+  srand(seed);  // expect: rand
+  const int a = rand();  // expect: rand
+  const int b = std::rand();  // expect: rand
+  return static_cast<unsigned>(a + b);
+}

@@ -1,0 +1,6 @@
+// rand violation with a reasoned suppression.
+#include <cstdlib>
+
+int fixtureRandSuppressed() {
+  return std::rand();  // lint:allow(rand): comparing against the libc generator in a calibration experiment
+}

@@ -1,0 +1,29 @@
+// Scope negative: src/util/ is where the annotated wrappers are
+// *implemented*, so raw-sync and typed-errors do not apply here —
+// this std::mutex and bare throw must produce no findings.
+#include <mutex>
+#include <stdexcept>
+
+namespace util {
+
+class WrapperImpl {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+void rejectUtil(int v) {
+  if (v < 0) throw std::invalid_argument("negative");
+}
+
+}  // namespace util
+
+void fixtureUtilExempt() {
+  util::WrapperImpl w;
+  w.lock();
+  w.unlock();
+  util::rejectUtil(1);
+}

@@ -1,0 +1,254 @@
+// End-to-end contract tests for moloc_check: shell out to the real
+// binary over tests/analyze_fixtures/ and compare its findings
+// against the `expect:` markers embedded in the fixture sources.
+//
+// Marker grammar (inside any // comment of a fixture .cpp):
+//   expect: <rule>            finding of <rule> on THIS line
+//   expect-next-line: <rule>  finding of <rule> on the NEXT line
+//     (needed when the marker text would change the finding itself,
+//      e.g. the empty-reason bad-suppression case)
+//
+// Only compiled when MOLOC_ANALYZE=ON; MOLOC_CHECK_BIN and
+// MOLOC_ANALYZE_FIXTURE_DIR are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "support/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// (repo-relative file, line, rule)
+using Key = std::tuple<std::string, unsigned, std::string>;
+
+fs::path fixtureRoot() { return fs::path(MOLOC_ANALYZE_FIXTURE_DIR); }
+
+std::vector<std::string> fixtureSources() {
+  std::vector<std::string> out;
+  const fs::path root = fixtureRoot();
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cpp")
+      continue;
+    out.push_back(fs::relative(entry.path(), root).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool isRuleChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+void scrapeLine(const std::string& line, unsigned lineNo,
+                const std::string& rel, std::set<Key>& expected) {
+  static const std::string kHere = "expect: ";
+  static const std::string kNext = "expect-next-line: ";
+  for (std::size_t at = 0; (at = line.find(kNext, at)) != std::string::npos;) {
+    std::size_t pos = at + kNext.size();
+    std::string rule;
+    while (pos < line.size() && isRuleChar(line[pos])) rule += line[pos++];
+    ASSERT_FALSE(rule.empty()) << rel << ":" << lineNo << ": bare marker";
+    expected.insert({rel, lineNo + 1, rule});
+    at = pos;
+  }
+  for (std::size_t at = 0; (at = line.find(kHere, at)) != std::string::npos;) {
+    std::size_t pos = at + kHere.size();
+    std::string rule;
+    while (pos < line.size() && isRuleChar(line[pos])) rule += line[pos++];
+    ASSERT_FALSE(rule.empty()) << rel << ":" << lineNo << ": bare marker";
+    expected.insert({rel, lineNo, rule});
+    at = pos;
+  }
+}
+
+std::set<Key> scrapeExpectations() {
+  std::set<Key> expected;
+  for (const std::string& rel : fixtureSources()) {
+    std::ifstream in(fixtureRoot() / rel);
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(in, line)) scrapeLine(line, ++lineNo, rel, expected);
+  }
+  return expected;
+}
+
+/// Writes a compile_commands.json covering every fixture source and
+/// returns its directory.  Paths are absolute: that is what CMake
+/// emits, and what moloc_check's relative-path hardening falls back
+/// to anyway.
+fs::path writeCompileDb() {
+  const fs::path dbDir = fs::temp_directory_path() / "moloc_analyze_db";
+  fs::create_directories(dbDir);
+  std::ostringstream json;
+  json << "[\n";
+  bool first = true;
+  for (const std::string& rel : fixtureSources()) {
+    const std::string abs = (fixtureRoot() / rel).generic_string();
+    if (!first) json << ",\n";
+    first = false;
+    json << "  {\"directory\": \"" << fixtureRoot().generic_string()
+         << "\",\n   \"command\": \"clang++ -std=c++20 -c " << abs
+         << "\",\n   \"file\": \"" << abs << "\"}";
+  }
+  json << "\n]\n";
+  std::ofstream out(dbDir / "compile_commands.json");
+  out << json.str();
+  return dbDir;
+}
+
+struct RunResult {
+  int exitCode = -1;
+  std::vector<std::string> stdoutLines;
+};
+
+RunResult runCheck(const std::string& extraArgs) {
+  const std::string cmd = std::string("\"") + MOLOC_CHECK_BIN + "\" -p \"" +
+                          writeCompileDb().generic_string() +
+                          "\" --repo-root \"" +
+                          fixtureRoot().generic_string() + "\" " + extraArgs;
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, got);
+  const int status = pclose(pipe);
+  result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::istringstream lines(output);
+  for (std::string line; std::getline(lines, line);)
+    if (!line.empty()) result.stdoutLines.push_back(line);
+  return result;
+}
+
+/// Parses "file:line:col: [rule] message" back into a Key.
+bool parseFinding(const std::string& line, Key& key) {
+  const std::size_t c1 = line.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = line.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  const std::size_t open = line.find('[');
+  const std::size_t close = line.find(']');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return false;
+  try {
+    key = {line.substr(0, c1),
+           static_cast<unsigned>(std::stoul(line.substr(c1 + 1, c2 - c1 - 1))),
+           line.substr(open + 1, close - open - 1)};
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string describe(const std::set<Key>& keys) {
+  std::ostringstream out;
+  for (const auto& [file, line, rule] : keys)
+    out << "  " << file << ":" << line << " [" << rule << "]\n";
+  return out.str();
+}
+
+}  // namespace
+
+// The whole corpus, one invocation: every expect marker must have a
+// matching finding and every finding a matching marker — exact file,
+// exact line, exact rule id.
+TEST(AnalyzeFixtures, FindingsMatchExpectMarkersExactly) {
+  const RunResult run = runCheck("");
+  ASSERT_EQ(run.exitCode, 0)
+      << "moloc_check reported parse errors over the fixture corpus";
+
+  std::set<Key> actual;
+  for (const std::string& line : run.stdoutLines) {
+    Key key;
+    ASSERT_TRUE(parseFinding(line, key)) << "unparseable finding: " << line;
+    actual.insert(key);
+  }
+
+  const std::set<Key> expected = scrapeExpectations();
+  ASSERT_FALSE(expected.empty());
+
+  std::set<Key> missing, unexpected;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::inserter(missing, missing.end()));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(),
+                      std::inserter(unexpected, unexpected.end()));
+  EXPECT_TRUE(missing.empty()) << "expected but not reported:\n"
+                               << describe(missing);
+  EXPECT_TRUE(unexpected.empty()) << "reported but not expected:\n"
+                                  << describe(unexpected);
+}
+
+// Every rule in the registry has at least one firing fixture — a new
+// check cannot land without corpus coverage.
+TEST(AnalyzeFixtures, EveryRuleHasAFiringFixture) {
+  std::set<std::string> covered;
+  for (const auto& [file, line, rule] : scrapeExpectations()) covered.insert(rule);
+  for (const auto& info : moloc::analyze::allRules())
+    EXPECT_TRUE(covered.count(info.id) != 0)
+        << "rule " << info.id << " has no firing fixture";
+}
+
+// The lint.sh raw-eintr regression: a raw ::read on the line after a
+// retryEintr-wrapped call must be reported (the grep window missed
+// it), and the multi-line wrapped idiom must stay quiet (the grep
+// window false-positived on it).
+TEST(AnalyzeFixtures, RawEintrWindowRegressions) {
+  const std::set<Key> expected = scrapeExpectations();
+  bool windowMiss = false;
+  for (const auto& [file, line, rule] : expected)
+    windowMiss |= (file == "src/net/raw_eintr_fires.cpp" &&
+                   rule == "raw-eintr" && line >= 27);
+  EXPECT_TRUE(windowMiss)
+      << "raw_eintr_fires.cpp lost its wrapped-call-on-previous-line case";
+
+  std::set<Key> clean;
+  for (const auto& key : expected)
+    if (std::get<0>(key) == "src/net/raw_eintr_clean.cpp") clean.insert(key);
+  EXPECT_TRUE(clean.empty())
+      << "raw_eintr_clean.cpp must carry no expect markers";
+}
+
+// --fail-on-findings turns the corpus's findings into exit 1.
+TEST(AnalyzeFixtures, FailOnFindingsExitsOne) {
+  EXPECT_EQ(runCheck("--fail-on-findings").exitCode, 1);
+}
+
+// Suppressed, clean, and scope-exempt fixtures produce zero findings
+// even under --fail-on-findings.
+TEST(AnalyzeFixtures, QuietFilesStayQuiet) {
+  std::string only;
+  for (const std::string& rel : fixtureSources())
+    if (rel.find("_fires") == std::string::npos)
+      only += " --only \"" + rel + "\"";
+  ASSERT_FALSE(only.empty());
+  const RunResult run = runCheck("--fail-on-findings" + only);
+  EXPECT_EQ(run.exitCode, 0);
+  EXPECT_TRUE(run.stdoutLines.empty())
+      << "findings in suppressed/clean fixtures:\n"
+      << run.stdoutLines.front();
+}
+
+// --list-rules advertises the full registry (CI logs this so a reader
+// can tell which gates a given run enforced).
+TEST(AnalyzeFixtures, ListRulesCoversRegistry) {
+  const RunResult run = runCheck("--list-rules");
+  ASSERT_EQ(run.exitCode, 0);
+  std::string all;
+  for (const std::string& line : run.stdoutLines) all += line + "\n";
+  for (const auto& info : moloc::analyze::allRules())
+    EXPECT_NE(all.find(info.id), std::string::npos)
+        << "--list-rules omits " << info.id;
+}

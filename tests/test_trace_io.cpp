@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "eval/experiment_world.hpp"
+#include "util/error.hpp"
 
 namespace moloc::io {
 namespace {
@@ -141,6 +143,33 @@ TEST(TraceIo, RejectsBadImuHeader) {
       "scan -40 -50\n"
       "imu 0 0\n");  // Zero sample rate.
   EXPECT_THROW(loadTrace(stream), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsAllocationBombTraceCount) {
+  // The collection header's count is untrusted input: a claimed 1e18
+  // traces must be rejected *before* the vector reservation sizes
+  // itself from the raw count, not fail on OOM later.  (Same class as
+  // the motion-db `locations` header bomb; see kMaxTraceCount.)
+  const std::string path = ::testing::TempDir() + "moloc_trace_bomb.txt";
+  {
+    std::ofstream out(path);
+    out << "1000000000000000000 traces\n";
+  }
+  EXPECT_THROW(loadTraces(path), util::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, AcceptsCountAtTheCapGrammar) {
+  // A count inside the cap with too few trace bodies still fails, but
+  // as a truncation parse error — proving the cap check sits on the
+  // header value, not the body.
+  const std::string path = ::testing::TempDir() + "moloc_trace_short.txt";
+  {
+    std::ofstream out(path);
+    out << "2 traces\n";
+  }
+  EXPECT_THROW(loadTraces(path), util::ParseError);
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, MissingFileThrows) {

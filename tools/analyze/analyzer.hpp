@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/findings.hpp"
+
+namespace moloc::analyze {
+
+struct AnalyzeOptions {
+  /// Absolute repo root; findings are reported repo-relative and
+  /// scope policy (rules.hpp) is evaluated against that path.
+  std::string repoRoot;
+  /// Directory holding compile_commands.json.
+  std::string compileDbDir;
+  /// When non-empty, only TUs whose repo-relative path is listed are
+  /// analyzed (fixture tests point this at a single file).
+  std::vector<std::string> onlyFiles;
+  /// Extra -I / -D flags appended after the compile-command flags
+  /// (fixture compile databases are generated without system paths).
+  std::vector<std::string> extraArgs;
+};
+
+struct AnalyzeResult {
+  /// Unsuppressed findings, sorted and deduped across TUs.
+  std::vector<Finding> findings;
+  /// Hard failures (TU missing from the database, parse failure)
+  /// that must fail the run regardless of findings.
+  std::vector<std::string> errors;
+  unsigned translationUnits = 0;
+};
+
+/// Parses every src/ TU in the compilation database and runs all
+/// registered checks.  Suppressions (`// lint:allow(rule): why`) are
+/// honored per line; malformed ones surface as `bad-suppression`
+/// findings.
+AnalyzeResult runAnalysis(const AnalyzeOptions& options);
+
+}  // namespace moloc::analyze

@@ -1,0 +1,41 @@
+/* Declaration-only stand-in for <clang-c/CXCompilationDatabase.h>;
+ * see Index.h in this directory for why this exists and when it is
+ * (and is not) used.
+ */
+#ifndef MOLOC_DEVSTUB_CLANG_C_CXCOMPILATIONDATABASE_H
+#define MOLOC_DEVSTUB_CLANG_C_CXCOMPILATIONDATABASE_H
+
+#include "clang-c/Index.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef void* CXCompilationDatabase;
+typedef void* CXCompileCommands;
+typedef void* CXCompileCommand;
+
+typedef enum {
+  CXCompilationDatabase_NoError = 0,
+  CXCompilationDatabase_CanNotLoadDatabase = 1
+} CXCompilationDatabase_Error;
+
+CXCompilationDatabase clang_CompilationDatabase_fromDirectory(
+    const char* BuildDir, CXCompilationDatabase_Error* ErrorCode);
+void clang_CompilationDatabase_dispose(CXCompilationDatabase);
+CXCompileCommands clang_CompilationDatabase_getAllCompileCommands(
+    CXCompilationDatabase);
+void clang_CompileCommands_dispose(CXCompileCommands);
+unsigned clang_CompileCommands_getSize(CXCompileCommands);
+CXCompileCommand clang_CompileCommands_getCommand(CXCompileCommands,
+                                                  unsigned I);
+CXString clang_CompileCommand_getDirectory(CXCompileCommand);
+CXString clang_CompileCommand_getFilename(CXCompileCommand);
+unsigned clang_CompileCommand_getNumArgs(CXCompileCommand);
+CXString clang_CompileCommand_getArg(CXCompileCommand, unsigned I);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MOLOC_DEVSTUB_CLANG_C_CXCOMPILATIONDATABASE_H */

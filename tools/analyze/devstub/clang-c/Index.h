@@ -1,0 +1,262 @@
+/* Declaration-only stand-in for libclang's <clang-c/Index.h>, LLVM-14
+ * surface, covering exactly the symbols moloc_check uses.
+ *
+ * Purpose: `tools/analyze/devstub/syntax_check.sh` type-checks the
+ * analyzer on machines without libclang-dev (the repo's default dev
+ * image ships none).  It is NEVER on the include path of a real
+ * build — tools/analyze/CMakeLists.txt only compiles the driver when
+ * the genuine headers+library are found, and this directory is not
+ * in any CMake include path.  Signatures below must track the real
+ * API; a mismatch shows up as a compile error in the MOLOC_ANALYZE
+ * CI job, which builds against the genuine libclang.
+ */
+#ifndef MOLOC_DEVSTUB_CLANG_C_INDEX_H
+#define MOLOC_DEVSTUB_CLANG_C_INDEX_H
+
+#include <stddef.h>
+#include <time.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---- strings ---- */
+typedef struct {
+  const void* data;
+  unsigned private_flags;
+} CXString;
+const char* clang_getCString(CXString string);
+void clang_disposeString(CXString string);
+
+/* ---- index / translation units ---- */
+typedef void* CXIndex;
+typedef struct CXTranslationUnitImpl* CXTranslationUnit;
+typedef void* CXClientData;
+
+CXIndex clang_createIndex(int excludeDeclarationsFromPCH,
+                          int displayDiagnostics);
+void clang_disposeIndex(CXIndex index);
+
+struct CXUnsavedFile {
+  const char* Filename;
+  const char* Contents;
+  unsigned long Length;
+};
+
+enum CXErrorCode {
+  CXError_Success = 0,
+  CXError_Failure = 1,
+  CXError_Crashed = 2,
+  CXError_InvalidArguments = 3,
+  CXError_ASTReadError = 4
+};
+
+enum CXTranslationUnit_Flags {
+  CXTranslationUnit_None = 0x0,
+  CXTranslationUnit_DetailedPreprocessingRecord = 0x01,
+  CXTranslationUnit_SkipFunctionBodies = 0x40,
+  CXTranslationUnit_KeepGoing = 0x200
+};
+
+enum CXErrorCode clang_parseTranslationUnit2(
+    CXIndex CIdx, const char* source_filename,
+    const char* const* command_line_args, int num_command_line_args,
+    struct CXUnsavedFile* unsaved_files, unsigned num_unsaved_files,
+    unsigned options, CXTranslationUnit* out_TU);
+void clang_disposeTranslationUnit(CXTranslationUnit unit);
+
+/* ---- files / locations ---- */
+typedef void* CXFile;
+CXString clang_getFileName(CXFile SFile);
+CXString clang_File_tryGetRealPathName(CXFile file);
+CXFile clang_getFile(CXTranslationUnit tu, const char* file_name);
+const char* clang_getFileContents(CXTranslationUnit tu, CXFile file,
+                                  size_t* size);
+
+typedef struct {
+  const void* ptr_data[2];
+  unsigned int_data;
+} CXSourceLocation;
+
+typedef struct {
+  const void* ptr_data[2];
+  unsigned begin_int_data;
+  unsigned end_int_data;
+} CXSourceRange;
+
+void clang_getExpansionLocation(CXSourceLocation location, CXFile* file,
+                                unsigned* line, unsigned* column,
+                                unsigned* offset);
+int clang_Location_isInSystemHeader(CXSourceLocation location);
+CXSourceLocation clang_getRangeStart(CXSourceRange range);
+CXSourceLocation clang_getRangeEnd(CXSourceRange range);
+
+/* ---- diagnostics ---- */
+typedef void* CXDiagnostic;
+enum CXDiagnosticSeverity {
+  CXDiagnostic_Ignored = 0,
+  CXDiagnostic_Note = 1,
+  CXDiagnostic_Warning = 2,
+  CXDiagnostic_Error = 3,
+  CXDiagnostic_Fatal = 4
+};
+unsigned clang_getNumDiagnostics(CXTranslationUnit Unit);
+CXDiagnostic clang_getDiagnostic(CXTranslationUnit Unit, unsigned Index);
+enum CXDiagnosticSeverity clang_getDiagnosticSeverity(CXDiagnostic);
+CXString clang_formatDiagnostic(CXDiagnostic Diagnostic, unsigned Options);
+unsigned clang_defaultDiagnosticDisplayOptions(void);
+void clang_disposeDiagnostic(CXDiagnostic Diagnostic);
+
+/* ---- cursors ---- */
+enum CXCursorKind {
+  CXCursor_UnexposedDecl = 1,
+  CXCursor_FieldDecl = 6,
+  CXCursor_FunctionDecl = 8,
+  CXCursor_VarDecl = 9,
+  CXCursor_ParmDecl = 10,
+  CXCursor_CXXMethod = 21,
+  CXCursor_Namespace = 22,
+  CXCursor_Constructor = 24,
+  CXCursor_Destructor = 25,
+  CXCursor_ConversionFunction = 26,
+  CXCursor_FunctionTemplate = 30,
+  CXCursor_DeclRefExpr = 101,
+  CXCursor_CallExpr = 103,
+  CXCursor_UnexposedExpr = 100,
+  CXCursor_IntegerLiteral = 106,
+  CXCursor_FloatingLiteral = 107,
+  CXCursor_ParenExpr = 111,
+  CXCursor_BinaryOperator = 114,
+  CXCursor_CompoundAssignOperator = 115,
+  CXCursor_CXXThrowExpr = 133,
+  CXCursor_CXXNewExpr = 134,
+  CXCursor_LambdaExpr = 144,
+  CXCursor_IfStmt = 205,
+  CXCursor_ReturnStmt = 214,
+  CXCursor_TranslationUnit = 350
+};
+
+typedef struct {
+  enum CXCursorKind kind;
+  int xdata;
+  const void* data[3];
+} CXCursor;
+
+CXCursor clang_getTranslationUnitCursor(CXTranslationUnit);
+CXCursor clang_getNullCursor(void);
+int clang_Cursor_isNull(CXCursor cursor);
+unsigned clang_equalCursors(CXCursor, CXCursor);
+enum CXCursorKind clang_getCursorKind(CXCursor);
+unsigned clang_isExpression(enum CXCursorKind);
+unsigned clang_isInvalid(enum CXCursorKind);
+CXString clang_getCursorSpelling(CXCursor);
+CXSourceLocation clang_getCursorLocation(CXCursor);
+CXSourceRange clang_getCursorExtent(CXCursor);
+CXCursor clang_getCursorReferenced(CXCursor);
+CXCursor clang_getCursorDefinition(CXCursor);
+CXCursor clang_getCursorSemanticParent(CXCursor cursor);
+CXCursor clang_getCanonicalCursor(CXCursor);
+int clang_Cursor_getNumArguments(CXCursor C);
+CXCursor clang_Cursor_getArgument(CXCursor C, unsigned i);
+
+enum CXChildVisitResult {
+  CXChildVisit_Break,
+  CXChildVisit_Continue,
+  CXChildVisit_Recurse
+};
+typedef enum CXChildVisitResult (*CXCursorVisitor)(CXCursor cursor,
+                                                   CXCursor parent,
+                                                   CXClientData client_data);
+unsigned clang_visitChildren(CXCursor parent, CXCursorVisitor visitor,
+                             CXClientData client_data);
+
+/* ---- types ---- */
+enum CXTypeKind {
+  CXType_Invalid = 0,
+  CXType_Unexposed = 1,
+  CXType_Void = 2,
+  CXType_Bool = 3,
+  CXType_Char_U = 4,
+  CXType_UChar = 5,
+  CXType_UShort = 8,
+  CXType_UInt = 9,
+  CXType_ULong = 10,
+  CXType_ULongLong = 11,
+  CXType_Char_S = 13,
+  CXType_SChar = 14,
+  CXType_Short = 16,
+  CXType_Int = 17,
+  CXType_Long = 18,
+  CXType_LongLong = 19,
+  CXType_Float = 21,
+  CXType_Double = 22,
+  CXType_LongDouble = 23,
+  CXType_Pointer = 101,
+  CXType_LValueReference = 103,
+  CXType_RValueReference = 104
+};
+
+typedef struct {
+  enum CXTypeKind kind;
+  void* data[2];
+} CXType;
+
+CXType clang_getCursorType(CXCursor C);
+CXType clang_getCanonicalType(CXType T);
+CXType clang_getPointeeType(CXType T);
+CXString clang_getTypeSpelling(CXType CT);
+long long clang_Type_getSizeOf(CXType T);
+int clang_getNumArgTypes(CXType T);
+CXType clang_getArgType(CXType T, unsigned i);
+CXType clang_getCursorResultType(CXCursor C);
+
+/* ---- constant evaluation ---- */
+typedef void* CXEvalResult;
+typedef enum {
+  CXEval_Int = 1,
+  CXEval_Float = 2,
+  CXEval_ObjCStrLiteral = 3,
+  CXEval_StrLiteral = 4,
+  CXEval_CFStr = 5,
+  CXEval_Other = 6,
+  CXEval_UnExposed = 0
+} CXEvalResultKind;
+CXEvalResult clang_Cursor_Evaluate(CXCursor C);
+CXEvalResultKind clang_EvalResult_getKind(CXEvalResult E);
+void clang_EvalResult_dispose(CXEvalResult E);
+
+/* ---- tokens ---- */
+typedef enum CXTokenKind {
+  CXToken_Punctuation = 0,
+  CXToken_Keyword = 1,
+  CXToken_Identifier = 2,
+  CXToken_Literal = 3,
+  CXToken_Comment = 4
+} CXTokenKind;
+
+typedef struct {
+  unsigned int_data[4];
+  void* ptr_data;
+} CXToken;
+
+void clang_tokenize(CXTranslationUnit TU, CXSourceRange Range,
+                    CXToken** Tokens, unsigned* NumTokens);
+void clang_disposeTokens(CXTranslationUnit TU, CXToken* Tokens,
+                         unsigned NumTokens);
+CXTokenKind clang_getTokenKind(CXToken);
+CXString clang_getTokenSpelling(CXTranslationUnit, CXToken);
+CXSourceLocation clang_getTokenLocation(CXTranslationUnit, CXToken);
+
+/* ---- inclusions ---- */
+typedef void (*CXInclusionVisitor)(CXFile included_file,
+                                   CXSourceLocation* inclusion_stack,
+                                   unsigned include_len,
+                                   CXClientData client_data);
+void clang_getInclusions(CXTranslationUnit tu, CXInclusionVisitor visitor,
+                         CXClientData client_data);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MOLOC_DEVSTUB_CLANG_C_INDEX_H */

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Type-checks the moloc_check driver against the devstub clang-c
+# headers.  For machines without libclang-dev: catches signature and
+# template errors locally; the MOLOC_ANALYZE CI job is the build of
+# record against genuine libclang.
+set -euo pipefail
+here="$(cd "$(dirname "$0")" && pwd)"
+analyze="$(dirname "$here")"
+cxx="${CXX:-g++}"
+"$cxx" -std=c++20 -fsyntax-only -Wall -Wextra \
+  -I "$here" -I "$analyze" \
+  "$analyze/analyzer.cpp" "$analyze/moloc_check.cpp" \
+  "$analyze/support/findings.cpp" "$analyze/support/rules.cpp" \
+  "$analyze/support/suppressions.cpp"
+echo "moloc_check: syntax check passed ($cxx, devstub headers)"

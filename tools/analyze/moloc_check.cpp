@@ -1,0 +1,121 @@
+// moloc_check: the repo's bug history as compile-time gates.
+//
+//   moloc_check -p build --repo-root . --fail-on-findings
+//
+// Loads compile_commands.json, parses every src/ translation unit
+// with libclang, and enforces the project rules (see --list-rules or
+// docs/static_analysis.md).  Findings print as
+//   <file>:<line>:<col>: [<rule>] <message>
+// and are silenced line-by-line with `// lint:allow(<rule>): <why>` —
+// the same contract tools/lint.sh uses.
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "support/rules.hpp"
+
+namespace {
+
+int usage(const char* argv0, int exitCode) {
+  std::ostream& out = exitCode == 0 ? std::cout : std::cerr;
+  out << "usage: " << argv0
+      << " [-p <dir>] [--repo-root <dir>] [--fail-on-findings]\n"
+         "       [--only <repo-relative-file>]... [--extra-arg <arg>]...\n"
+         "       [--list-rules]\n"
+         "\n"
+         "  -p <dir>            directory with compile_commands.json "
+         "(default: build)\n"
+         "  --repo-root <dir>   repository root (default: .)\n"
+         "  --fail-on-findings  exit 1 when any finding is reported\n"
+         "  --only <file>       analyze only this src/ TU (repeatable)\n"
+         "  --extra-arg <arg>   extra compiler arg appended to every TU\n"
+         "  --list-rules        print the rule catalog and exit\n";
+  return exitCode;
+}
+
+void listRules() {
+  for (const moloc::analyze::RuleInfo& rule : moloc::analyze::allRules()) {
+    std::cout << rule.id << "\n    bans:   " << rule.summary
+              << "\n    guards: " << rule.guards << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  moloc::analyze::AnalyzeOptions options;
+  options.compileDbDir = "build";
+  options.repoRoot = ".";
+  bool failOnFindings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-rules") {
+      listRules();
+      return 0;
+    } else if (arg == "--fail-on-findings") {
+      failOnFindings = true;
+    } else if (arg == "-p") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.compileDbDir = v;
+    } else if (arg == "--repo-root") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.repoRoot = v;
+    } else if (arg == "--only") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.onlyFiles.push_back(v);
+    } else if (arg == "--extra-arg") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.extraArgs.push_back(v);
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(argv[0], 0);
+    } else {
+      std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+
+  // The repo root must be absolute for path normalization against the
+  // absolute paths libclang reports.
+  if (options.repoRoot.empty() || options.repoRoot[0] != '/') {
+    std::vector<char> cwd(4096);
+    if (getcwd(cwd.data(), cwd.size()) == nullptr) {
+      std::cerr << argv[0] << ": cannot resolve cwd\n";
+      return 2;
+    }
+    std::string abs = cwd.data();
+    if (options.repoRoot != "." && !options.repoRoot.empty())
+      abs += "/" + options.repoRoot;
+    options.repoRoot = abs;
+  }
+
+  const moloc::analyze::AnalyzeResult result =
+      moloc::analyze::runAnalysis(options);
+
+  for (const moloc::analyze::Finding& finding : result.findings)
+    std::cout << moloc::analyze::formatFinding(finding) << "\n";
+  for (const std::string& error : result.errors)
+    std::cerr << argv[0] << ": error: " << error << "\n";
+
+  std::cerr << argv[0] << ": " << result.findings.size() << " finding(s) in "
+            << result.translationUnits << " translation unit(s)\n";
+
+  if (!result.errors.empty()) return 2;
+  if (failOnFindings && !result.findings.empty()) return 1;
+  return 0;
+}

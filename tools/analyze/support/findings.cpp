@@ -1,0 +1,31 @@
+#include "support/findings.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace moloc::analyze {
+
+void sortAndDedupe(std::vector<Finding>& findings) {
+  const auto key = [](const Finding& f) {
+    return std::tie(f.file, f.line, f.column, f.rule);
+  };
+  std::sort(findings.begin(), findings.end(),
+            [&](const Finding& a, const Finding& b) {
+              return key(a) < key(b);
+            });
+  findings.erase(
+      std::unique(findings.begin(), findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule;
+                  }),
+      findings.end());
+}
+
+std::string formatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ":" +
+         std::to_string(finding.column) + ": [" + finding.rule + "] " +
+         finding.message;
+}
+
+}  // namespace moloc::analyze

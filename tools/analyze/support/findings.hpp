@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace moloc::analyze {
+
+/// One diagnostic from a rule: where, which rule, and what to do.
+/// `file` is repo-relative with forward slashes (the scope policy and
+/// the suppression scanner both key on it).
+struct Finding {
+  std::string file;
+  unsigned line = 0;
+  unsigned column = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Canonical ordering (file, line, column, rule) and duplicate
+/// removal.  Headers are parsed once per including TU, so the same
+/// header-line finding arrives many times; a finding is one
+/// (file, line, rule) fact regardless of how many TUs saw it.
+void sortAndDedupe(std::vector<Finding>& findings);
+
+/// "src/net/wire.cpp:53:8: [untrusted-alloc] ..." — the same
+/// file:line shape compilers use, so editors and CI annotations link.
+std::string formatFinding(const Finding& finding);
+
+}  // namespace moloc::analyze

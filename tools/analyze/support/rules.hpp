@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace moloc::analyze {
+
+/// Registry entry for one check.  Ids are stable — they appear in
+/// `lint:allow(<id>)` suppressions, fixture expectations, and CI
+/// logs (`--list-rules` prints this table so rule drift shows up in
+/// CI history).
+struct RuleInfo {
+  const char* id;
+  /// What the rule bans, one line.
+  const char* summary;
+  /// The shipped-and-fixed bug this rule is the compile-time gate
+  /// for (docs/static_analysis.md carries the full catalog).
+  const char* guards;
+};
+
+const std::vector<RuleInfo>& allRules();
+
+/// True when `id` names a registered rule.
+bool isKnownRule(const std::string& id);
+
+/// Scope policy: is `repoRelPath` (forward slashes, e.g.
+/// "src/net/wire.cpp") subject to rule `id`?  Paths outside src/ are
+/// never in scope; src/util/ is exempt from the rules whose sanctioned
+/// alternative lives there (typed-errors, raw-sync: the typed error
+/// hierarchy and the annotated mutex wrappers are in src/util/).
+bool inScope(const std::string& id, const std::string& repoRelPath);
+
+/// Normalizes an absolute path against the repo root: returns the
+/// forward-slash repo-relative path, or "" when `path` is not under
+/// `root`.  Handles "." and ".." segments textually (libclang reports
+/// paths as spelled on the command line).
+std::string repoRelative(const std::string& path, const std::string& root);
+
+}  // namespace moloc::analyze

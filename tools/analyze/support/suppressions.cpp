@@ -1,0 +1,84 @@
+#include "support/suppressions.hpp"
+
+#include "support/rules.hpp"
+
+namespace moloc::analyze {
+
+namespace {
+
+constexpr std::string_view kMarker = "lint:allow(";
+
+bool isRuleChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+/// Parses every lint:allow occurrence on one line.  The marker must
+/// sit in a `//` comment — `lint:allow` inside a string literal is
+/// prose, not a suppression (this is the AST-era fix for the grep
+/// rules' comment-stripping heuristic: we only honor the marker after
+/// the first `//` on the line).
+void scanLine(std::string_view line, unsigned lineNo,
+              std::map<unsigned, std::set<std::string>>& entries,
+              std::vector<MalformedSuppression>& malformed) {
+  const std::size_t comment = line.find("//");
+  if (comment == std::string_view::npos) return;
+  std::string_view tail = line.substr(comment);
+  std::size_t at = 0;
+  while ((at = tail.find(kMarker, at)) != std::string_view::npos) {
+    std::size_t pos = at + kMarker.size();
+    at = pos;
+    std::string rule;
+    while (pos < tail.size() && isRuleChar(tail[pos])) rule += tail[pos++];
+    if (rule.empty() || pos >= tail.size() || tail[pos] != ')') {
+      malformed.push_back(
+          {lineNo, "lint:allow with a malformed rule name"});
+      continue;
+    }
+    ++pos;  // ')'
+    // Mandatory ": <reason>".
+    if (pos >= tail.size() || tail[pos] != ':') {
+      malformed.push_back(
+          {lineNo, "lint:allow(" + rule + ") without a ': <reason>'"});
+      continue;
+    }
+    ++pos;
+    while (pos < tail.size() && (tail[pos] == ' ' || tail[pos] == '\t'))
+      ++pos;
+    if (pos >= tail.size()) {
+      malformed.push_back(
+          {lineNo, "lint:allow(" + rule + ") with an empty reason"});
+      continue;
+    }
+    // A typo'd rule id would otherwise suppress nothing, silently.
+    if (!isKnownRule(rule)) {
+      malformed.push_back(
+          {lineNo, "lint:allow(" + rule + ") names an unknown rule"});
+      continue;
+    }
+    entries[lineNo].insert(rule);
+  }
+}
+
+}  // namespace
+
+bool SuppressionSet::allows(unsigned line, const std::string& rule) const {
+  const auto it = entries_.find(line);
+  return it != entries_.end() && it->second.count(rule) != 0;
+}
+
+SuppressionSet scanSuppressions(std::string_view text) {
+  SuppressionSet set;
+  unsigned lineNo = 1;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    scanLine(text.substr(start, end - start), lineNo, set.entries_,
+             set.malformed_);
+    start = end + 1;
+    ++lineNo;
+  }
+  return set;
+}
+
+}  // namespace moloc::analyze

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moloc::analyze {
+
+/// The `// lint:allow(<rule>): <why>` contract, shared verbatim with
+/// tools/lint.sh: a suppression lives on the same line as the finding
+/// it silences, names exactly one rule, and carries a mandatory
+/// non-empty reason after the colon.  A reason-less allow is itself
+/// reported (rule `bad-suppression`) instead of silently honored —
+/// an unexplained suppression is how dead suppressions accumulate.
+struct MalformedSuppression {
+  unsigned line = 0;
+  std::string detail;
+};
+
+class SuppressionSet {
+ public:
+  /// True when `line` carries a lint:allow for `rule` (with a reason).
+  bool allows(unsigned line, const std::string& rule) const;
+
+  /// Every well-formed (line, rule) pair, for unused-suppression
+  /// audits.
+  const std::map<unsigned, std::set<std::string>>& entries() const {
+    return entries_;
+  }
+
+  const std::vector<MalformedSuppression>& malformed() const {
+    return malformed_;
+  }
+
+ private:
+  friend SuppressionSet scanSuppressions(std::string_view text);
+  std::map<unsigned, std::set<std::string>> entries_;
+  std::vector<MalformedSuppression> malformed_;
+};
+
+/// Scans a whole file's text (lines are 1-based, matching libclang
+/// locations).
+SuppressionSet scanSuppressions(std::string_view text);
+
+}  // namespace moloc::analyze

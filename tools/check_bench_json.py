@@ -30,6 +30,15 @@ Checks, per file:
      *_ratio scaling summary.
      (Percentile fields like p50_ms stay optional: a MOLOC_METRICS=OFF
      build reports them as -1, and a missing histogram may null them.)
+  4. No object, at any depth, repeats a key.  json.loads keeps the
+     last duplicate silently, so a JsonWriter bug that emits a section
+     twice would otherwise *discard* the first measurement and still
+     look green.
+  5. Every top-level key is one the bench emitters are known to
+     write.  A typo'd or renamed section would otherwise pass (its
+     correctly-named twin simply absent) while the trajectory tooling
+     aggregates nothing; renames must update KNOWN_TOP_LEVEL here in
+     the same change.
 
 Usage: check_bench_json.py [FILE...]
 Defaults to bench_results/BENCH_*.json; exits non-zero when no
@@ -43,6 +52,29 @@ import re
 import sys
 
 REQUIRED_ENVELOPE = ("bench", "schema_version")
+
+# Union of the top-level sections across every BENCH_*.json emitter
+# (micro_engine, micro_service, micro_scale, micro_store, loadgen).
+KNOWN_TOP_LEVEL = frozenset(
+    (
+        "bench",
+        "schema_version",
+        "config",
+        "sections",
+        "sweep",
+        "scaling",
+        "determinism_bitwise",
+        "latency",
+        "observations",
+        "server",
+        "totals",
+        "verification",
+        "append",
+        "recovery",
+        "cold_start",
+        "cold_start_summary",
+    )
+)
 
 REQUIRED_NUMERIC = [
     re.compile(p)
@@ -110,11 +142,31 @@ def check_file(name):
     def reject_constant(token):
         raise ValueError(f"non-finite constant {token}")
 
+    duplicate_keys = []
+
+    def detect_duplicates(pairs):
+        obj = {}
+        for key, value in pairs:
+            if key in obj:
+                duplicate_keys.append(key)
+            obj[key] = value
+        return obj
+
     try:
-        document = json.loads(text, parse_constant=reject_constant)
+        document = json.loads(
+            text,
+            parse_constant=reject_constant,
+            object_pairs_hook=detect_duplicates,
+        )
     except ValueError as exc:
         errors.append(f"parse error: {exc}")
         return errors
+
+    for key in duplicate_keys:
+        errors.append(
+            f"duplicate key '{key}' (json keeps the last occurrence; the "
+            "first measurement would be silently discarded)"
+        )
 
     if not isinstance(document, dict):
         errors.append("top level is not an object")
@@ -124,6 +176,12 @@ def check_file(name):
             errors.append(f"missing required field '{key}'")
     if "bench" in document and not isinstance(document["bench"], str):
         errors.append("'bench' must be a string")
+    for key in document:
+        if key not in KNOWN_TOP_LEVEL:
+            errors.append(
+                f"unknown top-level key '{key}' (typo'd or renamed "
+                "section? update KNOWN_TOP_LEVEL with the emitter)"
+            )
 
     walk(document, "", errors)
     return errors
